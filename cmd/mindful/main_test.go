@@ -1,0 +1,86 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if runErr != nil {
+		t.Fatalf("runner failed: %v", runErr)
+	}
+	return out
+}
+
+func TestRunnersProduceOutput(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func() error
+		want []string
+	}{
+		{"table1", runTable1, []string{"BISC", "Neuralink", "HALO"}},
+		{"fig4", runFig4, []string{"Fig. 4", "HALO*", "true", "HALO (unscaled)", "false"}},
+		{"fig5", runFig5, []string{"naive", "high-margin", "P/Budget"}},
+		{"fig6", runFig6, []string{"sensing area fraction"}},
+		{"fig7", runFig7, []string{"QAM", "Average supportable channels"}},
+		{"fig9", runFig9, []string{"MACseq", "PE/Layer"}},
+		{"fig10", runFig10, []string{"MLP", "DN-CNN", "Average over SoCs feasible at 1024"}},
+		{"fig11", runFig11, []string{"partitioning", "Average gain"}},
+		{"fig12", runFig12, []string{"ChDr", "La+ChDr+Tech+Dense"}},
+		{"ablate", runAblate, []string{"depth-scaling", "flux split", "break-even"}},
+		{"ext", runExt, []string{"Wireless power", "density wall", "stimulation"}},
+		{"validate", runValidate, []string{"Pennes", "within the budget"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := capture(t, tc.fn)
+			for _, want := range tc.want {
+				if !strings.Contains(out, want) {
+					t.Errorf("%s output missing %q", tc.name, want)
+				}
+			}
+		})
+	}
+}
+
+func TestCSVAndSVGOutput(t *testing.T) {
+	dir := t.TempDir()
+	*csvDir = dir
+	*svgDir = dir
+	defer func() { *csvDir, *svgDir = "", "" }()
+	capture(t, runFig4)
+	csv, err := os.ReadFile(filepath.Join(dir, "fig4.csv"))
+	if err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+	if !strings.Contains(string(csv), "BISC") {
+		t.Errorf("csv content wrong")
+	}
+	svg, err := os.ReadFile(filepath.Join(dir, "fig4.svg"))
+	if err != nil {
+		t.Fatalf("svg not written: %v", err)
+	}
+	if !strings.HasPrefix(string(svg), "<svg") {
+		t.Errorf("svg content wrong")
+	}
+}

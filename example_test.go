@@ -1,0 +1,72 @@
+package mindful_test
+
+import (
+	"fmt"
+
+	"mindful"
+)
+
+// The core workflow: scale a published design to the 1024-channel
+// standard and check it against the thermal safety budget.
+func Example() {
+	bisc, _ := mindful.DesignByNum(1)
+	b := bisc.Baseline()
+	check := mindful.CheckSafety(b.At1024.Power, b.At1024.Area)
+	fmt.Println(check)
+	// Output:
+	// SAFE: 38.9 mW over 144 mm² = 27 mW/cm² (budget 57.6 mW, 68%)
+}
+
+// Pricing a computation-centric implant: the MLP on BISC at twice the
+// channel standard.
+func ExampleEvaluator() {
+	bisc, _ := mindful.DesignByNum(1)
+	ev := mindful.NewEvaluator(bisc.Baseline(), mindful.MLPTemplate())
+	a, _ := ev.Assess(2048, 2048)
+	fmt.Printf("feasible at 2048 channels: %v (%.0f%% of budget)\n",
+		a.Feasible(), a.Utilization()*100)
+	// Output:
+	// feasible at 2048 channels: true (84% of budget)
+}
+
+// Eq. (6): the raw data rate of the paper's worked example.
+func ExampleBaseline_sensingThroughput() {
+	bisc, _ := mindful.DesignByNum(1)
+	b := bisc.Baseline()
+	fmt.Println(b.SensingThroughputAt(1024))
+	// Output:
+	// 81.9 Mbps
+}
+
+// The analytic cost of denser constellations: each extra bit per symbol
+// demands more energy per bit at the same error rate.
+func ExampleNewQAM() {
+	for _, bits := range []int{2, 4, 6} {
+		q := mindful.NewQAM(bits)
+		fmt.Printf("%s needs Eb/N0 = %.0f at BER 1e-6\n", q.Name(), q.RequiredEbN0(1e-6))
+	}
+	// Output:
+	// 4-QAM needs Eb/N0 = 11 at BER 1e-6
+	// 16-QAM needs Eb/N0 = 28 at BER 1e-6
+	// 64-QAM needs Eb/N0 = 75 at BER 1e-6
+}
+
+// The power budget is a pure function of contact area (Eq. 3).
+func ExamplePowerBudget() {
+	fmt.Println(mindful.PowerBudget(mindful.SquareMillimetres(20)))
+	fmt.Println(mindful.PowerBudget(mindful.SquareMillimetres(144)))
+	// Output:
+	// 8 mW
+	// 57.6 mW
+}
+
+// Scaling a DNN workload with the channel count (Section 5.3's α).
+func ExampleDNNTemplate() {
+	small, _ := mindful.MLPTemplate().Scale(128)
+	large, _ := mindful.MLPTemplate().Scale(1024)
+	fmt.Printf("α=1: %d weights; α=8: %d weights (%.0f×)\n",
+		small.TotalWeights(), large.TotalWeights(),
+		float64(large.TotalWeights())/float64(small.TotalWeights()))
+	// Output:
+	// α=1: 648960 weights; α=8: 35773440 weights (55×)
+}

@@ -1,0 +1,76 @@
+// Designspace: an architect's tour of the paper's design space. Given a
+// target channel count, the example asks for every published SoC: can a
+// communication-centric design stream raw data (and at what QAM
+// efficiency), can a computation-centric design host the MLP, and what do
+// the Section 6 optimizations buy?
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mindful"
+)
+
+var channels = flag.Int("channels", 2048, "target NI channel count")
+
+func main() {
+	flag.Parse()
+	n := *channels
+	if n < 1024 {
+		log.Fatal("designspace: target must be at least 1024 channels")
+	}
+	fmt.Printf("Design space at %d channels\n", n)
+	fmt.Printf("===========================\n\n")
+
+	lb := mindful.NominalLinkBudget(1) // ideal transmitter; we report min efficiency
+	bits := (n + mindful.StandardChannels - 1) / mindful.StandardChannels
+
+	for _, d := range mindful.WirelessDesigns() {
+		b := d.Baseline()
+		budget := b.BudgetAt(n)
+		sensing := b.SensingPowerAt(n)
+		headroom := budget - sensing
+		fmt.Printf("%s\n", d)
+		fmt.Printf("  budget %v, sensing %v → headroom %v\n", budget, sensing, headroom)
+
+		// Communication-centric: raw streaming with ⌈n/1024⌉-bit QAM.
+		rate := b.SensingThroughputAt(n)
+		eff, err := lb.MinEfficiency(mindful.NewQAM(bits), 1e-6, rate, headroom)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case headroom <= 0:
+			fmt.Printf("  stream raw (%v, %d-bit QAM): no headroom at all\n", rate, bits)
+		case eff > 1:
+			fmt.Printf("  stream raw (%v, %d-bit QAM): infeasible even at 100%% efficiency\n", rate, bits)
+		default:
+			fmt.Printf("  stream raw (%v, %d-bit QAM): needs ≥ %.0f%% transmitter efficiency\n",
+				rate, bits, eff*100)
+		}
+
+		// Computation-centric: the full MLP on-implant.
+		ev := mindful.NewEvaluator(b, mindful.MLPTemplate())
+		a, err := ev.Assess(n, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  full MLP on-implant: %v of %v budget → feasible: %v\n",
+			a.Total(), a.Budget, a.Feasible())
+
+		// Section 6: what fraction of the model survives each
+		// optimization bundle?
+		results, err := ev.ModelSizeAfter(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  feasible MLP model size:")
+		for _, r := range results {
+			fmt.Printf("  %s=%.0f%%", r.Step, r.ModelFraction*100)
+		}
+		fmt.Println()
+		fmt.Println()
+	}
+}

@@ -1,0 +1,65 @@
+// Quickstart: load the Table 1 design database, scale a design to the
+// 1024-channel standard, check it against the thermal safety budget, and
+// ask whether it could host the paper's MLP on-implant.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mindful"
+)
+
+func main() {
+	// 1. Pick a published implanted SoC from the paper's Table 1.
+	bisc, ok := mindful.DesignByNum(1)
+	if !ok {
+		log.Fatal("BISC not in the database")
+	}
+	fmt.Printf("Design: %s\n", bisc)
+	fmt.Printf("  reported: %v over %v at %v\n\n", bisc.Power(), bisc.Area, bisc.Density)
+
+	// 2. Scale it to the current 1024-channel standard (Section 4.1) and
+	//    decompose it into sensing and non-sensing shares.
+	b := bisc.Baseline()
+	fmt.Printf("At %d channels: %v over %v\n", mindful.StandardChannels, b.At1024.Power, b.At1024.Area)
+	fmt.Printf("  sensing:     %v / %v\n", b.SensingPower, b.SensingArea)
+	fmt.Printf("  non-sensing: %v / %v\n", b.NonSensingPower, b.NonSensingArea)
+	fmt.Printf("  implied radio energy: %v per bit\n\n", b.EnergyPerBit())
+
+	// 3. Check the thermal safety budget (40 mW/cm², Section 3.2).
+	check := mindful.CheckSafety(b.At1024.Power, b.At1024.Area)
+	fmt.Println("Safety:", check)
+
+	// 4. Validate the 40 mW/cm² constant against the bio-heat model.
+	tm := mindful.DefaultThermalModel()
+	profile, err := tm.SteadyState(mindful.SafePowerDensity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Tissue temperature rise at the limit: %.2f °C (paper: 1–2 °C)\n\n", profile.SurfaceRise())
+
+	// 5. Could this SoC host the paper's MLP speech decoder on-implant?
+	ev := mindful.NewEvaluator(b, mindful.MLPTemplate())
+	for _, n := range []int{1024, 2048, 4096} {
+		a, err := ev.Assess(n, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("MLP at %4d channels: sensing %v + compute %v + radio %v = %v of %v budget → feasible: %v\n",
+			n, a.Sensing, a.Comp, a.Comm, a.Total(), a.Budget, a.Feasible())
+	}
+	max, ok, err := ev.MaxChannels(1024, 16384)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ok {
+		fmt.Printf("\nMaximum feasible channel count with the full MLP on-implant: %d\n", max)
+		// On the field's seven-year doubling law, that limit has a date.
+		year, err := mindful.DefaultRoadmap().YearFor(max)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("On the 7-year channel-doubling roadmap, the standard reaches that around %.0f.\n", year)
+	}
+}

@@ -1,0 +1,83 @@
+// Speech: the paper's motivating workload — an implant that decodes speech
+// features from 128-channel ECoG-like data with an on-implant network.
+// This example runs both dataflows of Fig. 3 on the same synthetic brain
+// and compares data volume, radio power, and safety.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mindful"
+)
+
+func buildDecoder(channels, labels int) (*mindful.Network, error) {
+	// A small MLP in the spirit of the paper's speech decoder: the output
+	// is one value per speech frequency label.
+	return mindful.NewRandomMLP(42, channels, 64, labels)
+}
+
+func run(flow mindful.Dataflow, net *mindful.Network, ticks int) (mindful.ImplantStats, error) {
+	cfg := mindful.DefaultImplantConfig()
+	cfg.Neural.Channels = 128
+	cfg.Flow = flow
+	cfg.Network = nil
+	if flow == mindful.ComputeCentric {
+		cfg.Network = net
+	}
+	im, err := mindful.NewImplant(cfg)
+	if err != nil {
+		return mindful.ImplantStats{}, err
+	}
+	// Drive a time-varying "speech intent" through the cortex model.
+	for i := 0; i < ticks; i++ {
+		if i%200 == 0 {
+			im.SetIntent(float64(i%400)/400, 1-float64(i%400)/400)
+		}
+		if err := im.Tick(); err != nil {
+			return mindful.ImplantStats{}, err
+		}
+	}
+	return im.Stats(), nil
+}
+
+func main() {
+	const labels = 40
+	net, err := buildDecoder(128, labels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const ticks = 2000 // 1 s at 2 kHz
+
+	fmt.Println("Running both Fig. 3 dataflows on the same 128-channel synthetic cortex…")
+	for _, flow := range []mindful.Dataflow{mindful.CommCentric, mindful.ComputeCentric} {
+		st, err := run(flow, net, ticks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%v dataflow\n", st.Flow)
+		fmt.Printf("  frames sent:        %d (%d inferences)\n", st.Frames, st.Inferences)
+		fmt.Printf("  raw sensing volume: %d bits, transmitted: %d bits (reduction %.1f×)\n",
+			st.RawBits(), st.BitsSent, st.CompressionRatio())
+		fmt.Printf("  uplink rate:        %v (raw rate %v)\n", st.TxRate, st.SensingRate)
+		fmt.Printf("  power: sensing %v + compute %v + radio %v = %v\n",
+			st.SensingPower, st.ComputePower, st.RadioPower, st.Total())
+		fmt.Printf("  safety: %v\n", st.Safety)
+	}
+
+	// The analytical view of the same trade-off at scale.
+	fmt.Println("\nAnalytical projection (Section 5.3): when does the full MLP stop fitting?")
+	for _, num := range []int{1, 3} {
+		d, _ := mindful.DesignByNum(num)
+		ev := mindful.NewEvaluator(d.Baseline(), mindful.MLPTemplate())
+		max, ok, err := ev.MaxChannels(128, 16384)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ok {
+			fmt.Printf("  %s: up to %d channels\n", d, max)
+		} else {
+			fmt.Printf("  %s: never feasible\n", d)
+		}
+	}
+}

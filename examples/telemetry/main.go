@@ -1,0 +1,52 @@
+// Telemetry: the full Fig. 1 link — implant, noisy wireless channel,
+// wearable receiver — under increasing bit error rates. The example shows
+// what the paper's BER = 1e-6 design target buys: below it the link is
+// effectively lossless; a few orders of magnitude worse and the frame
+// error rate collapses the stream.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mindful"
+)
+
+func main() {
+	const channels = 64
+	const ticks = 2000
+
+	fmt.Printf("%-10s %-10s %-10s %-12s %-12s %s\n",
+		"BER", "accepted", "rejected", "lost seq", "FER", "analytic FER")
+	for _, ber := range []float64{0, 1e-6, 1e-5, 1e-4, 1e-3} {
+		cfg := mindful.DefaultImplantConfig()
+		cfg.Neural.Channels = channels
+		im, err := mindful.NewImplant(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		link, err := mindful.NewLossyLink(ber, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rx, err := mindful.NewWearableReceiver(0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var frameBytes int
+		im.OnFrame(func(buf []byte) {
+			frameBytes = len(buf)
+			rx.Receive(link.Transport(buf)) //nolint:errcheck — rejects counted in stats
+		})
+		if err := im.Run(ticks); err != nil {
+			log.Fatal(err)
+		}
+		st := rx.Stats()
+		fmt.Printf("%-10.0e %-10d %-10d %-12d %-12.4f %.4f\n",
+			ber, st.Accepted, st.Corrupted, st.LostSeq,
+			st.FrameErrorRate(), link.ExpectedFrameErrorRate(frameBytes))
+	}
+
+	fmt.Println("\nThe CRC-framed packetizer turns bit errors into clean frame drops;")
+	fmt.Println("at the paper's BER = 1e-6 design point the stream is effectively lossless.")
+}

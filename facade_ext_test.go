@@ -1,0 +1,135 @@
+package mindful_test
+
+import (
+	"math"
+	"testing"
+
+	"mindful"
+)
+
+func TestFacadeFrontEnd(t *testing.T) {
+	fe := mindful.TypicalFrontEnd()
+	pc, err := fe.PerChannelPower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Microwatts() <= 0 {
+		t.Errorf("per-channel power = %v", pc)
+	}
+	pitch, err := fe.MinSafePitch(mindful.SafePowerDensity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pitch <= 20e-6 {
+		t.Errorf("the analog wall should sit above the 20 µm goal: %v", pitch)
+	}
+}
+
+func TestFacadeWPT(t *testing.T) {
+	link := mindful.TypicalWPTLink()
+	d, err := link.Deliver(mindful.Milliwatts(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Delivered <= 0 || d.Delivered >= mindful.Milliwatts(100) {
+		t.Errorf("delivery out of range: %+v", d)
+	}
+	eff, err := link.EffectiveBudget(mindful.SquareMillimetres(144))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := mindful.PowerBudget(mindful.SquareMillimetres(144))
+	if eff >= full {
+		t.Errorf("WPT must shrink the budget: %v vs %v", eff, full)
+	}
+}
+
+func TestFacadeSNN(t *testing.T) {
+	net, err := mindful.NewRandomSNN(5, mindful.DefaultLIF(), 32, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := mindful.NewSpikeEncoder(6, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]float64, 32)
+	for i := range values {
+		values[i] = 0.9
+	}
+	for s := 0; s < 200; s++ {
+		if _, err := net.Step(enc.Encode(values)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if net.SynapticEvents() == 0 {
+		t.Errorf("no events")
+	}
+	em := mindful.SNNEnergyFromMAC(mindful.NanGate45.EnergyPerStep())
+	if p := em.Power(net.SynapticEvents(), 0.1); p <= 0 {
+		t.Errorf("SNN power = %v", p)
+	}
+	if _, err := mindful.NewRandomSNN(1, mindful.DefaultLIF(), 8); err == nil {
+		t.Errorf("single-size SNN should fail")
+	}
+}
+
+func TestFacadeCompression(t *testing.T) {
+	samples := []uint16{100, 101, 99, 102, 103, 100, 98, 97}
+	enc, err := mindful.DeltaRiceEncode(samples, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := mindful.DeltaRiceDecode(enc, len(samples), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range samples {
+		if dec[i] != samples[i] {
+			t.Fatalf("round trip failed at %d", i)
+		}
+	}
+	ratio, err := mindful.CompressionRatio(samples, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio <= 0 {
+		t.Errorf("ratio = %v", ratio)
+	}
+}
+
+func TestFacadeImplantDropout(t *testing.T) {
+	cfg := mindful.DefaultImplantConfig()
+	cfg.Neural.Channels = 32
+	cfg.Dropout = mindful.ChannelDropout{Enabled: true, CalibrationTicks: 100, Keep: 8}
+	im, err := mindful.NewImplant(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := im.Run(150); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(im.ActiveChannels()); got != 8 {
+		t.Errorf("active channels = %d, want 8", got)
+	}
+}
+
+func TestFacadeRandomMLP(t *testing.T) {
+	net, err := mindful.NewRandomMLP(3, 16, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Params() != 16*8+8+8*4+4 {
+		t.Errorf("params = %d", net.Params())
+	}
+	if _, err := mindful.NewRandomMLP(3, 16); err == nil {
+		t.Errorf("single-size MLP should fail")
+	}
+	total, err := net.TotalMACs()
+	if err != nil || total != 16*8+8*4 {
+		t.Errorf("total MACs = %d, %v", total, err)
+	}
+	if math.Abs(float64(total)-160) > 0 {
+		t.Errorf("unexpected MAC count %d", total)
+	}
+}

@@ -1,0 +1,3 @@
+module mindful
+
+go 1.22

@@ -1,0 +1,262 @@
+package accel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mindful/internal/fixed"
+	"mindful/internal/mac"
+)
+
+func TestConfigValidation(t *testing.T) {
+	good := NewConfig(64, 256, 4)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		NewConfig(0, 256, 4),
+		NewConfig(64, 0, 4),
+		NewConfig(64, 256, 0),
+		NewConfig(4, 256, 8), // Eq. 12 violation: hw > ops
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+	wide := NewConfig(4, 4, 4)
+	wide.Bits = 64
+	if err := wide.Validate(); err == nil {
+		t.Errorf("64-bit datapath should be rejected")
+	}
+}
+
+func TestCyclesFormula(t *testing.T) {
+	tests := []struct {
+		ops, seq, hw, want int
+	}{
+		{4, 256, 4, 256},   // one pass
+		{64, 256, 4, 4096}, // 16 passes
+		{64, 256, 64, 256}, // fully parallel
+		{65, 256, 64, 512}, // ragged final pass
+		{512, 2048, 512, 2048},
+	}
+	for _, tt := range tests {
+		c := NewConfig(tt.ops, tt.seq, tt.hw)
+		if got := c.Cycles(); got != tt.want {
+			t.Errorf("Cycles(%d,%d,%d) = %d, want %d", tt.ops, tt.seq, tt.hw, got, tt.want)
+		}
+	}
+	// Time at 130 nm: 256 cycles × 10 ns.
+	c := NewConfig(4, 256, 4)
+	if got := c.Time(); got != 2560*time.Nanosecond {
+		t.Errorf("Time = %v", got)
+	}
+	if !c.MeetsDeadline(3 * time.Microsecond) {
+		t.Errorf("should meet 3µs deadline")
+	}
+	if c.MeetsDeadline(2 * time.Microsecond) {
+		t.Errorf("should miss 2µs deadline")
+	}
+}
+
+func TestFig9PowerTrajectory(t *testing.T) {
+	pts := Fig9DesignPoints()
+	if len(pts) != 12 {
+		t.Fatalf("Fig. 9 has %d points, want 12", len(pts))
+	}
+	for i, c := range pts {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("point %d invalid: %v", i+1, err)
+		}
+	}
+	// Small designs (1–5): PE fraction low, ≈25% regime.
+	for i := 0; i < 5; i++ {
+		if f := pts[i].PEFraction(); f < 0.10 || f > 0.40 {
+			t.Errorf("design %d PE fraction = %.2f, want ≈0.25", i+1, f)
+		}
+	}
+	// Scaling MAC_hw to match ops (6–9): fraction climbs to ≈80%.
+	if f := pts[8].PEFraction(); f < 0.70 || f > 0.90 {
+		t.Errorf("design 9 PE fraction = %.2f, want ≈0.80", f)
+	}
+	// Large designs (10–12): fraction reaches ≈96%.
+	if f := pts[11].PEFraction(); f < 0.93 || f > 0.99 {
+		t.Errorf("design 12 PE fraction = %.2f, want ≈0.96", f)
+	}
+	// Fraction must be monotonically non-decreasing from design 5 onward.
+	for i := 5; i < 12; i++ {
+		if pts[i].PEFraction() < pts[i-1].PEFraction()-1e-9 {
+			t.Errorf("PE fraction dips at design %d", i+1)
+		}
+	}
+	// Total power tracks MAC_hw: the PE component scales exactly 8× over
+	// the hw sweep 6→9 and dominates the total by design 9.
+	if pe6, pe9 := pts[5].PEPower().Watts(), pts[8].PEPower().Watts(); math.Abs(pe9-8*pe6) > 1e-15 {
+		t.Errorf("PE power did not scale with hw: %v vs %v", pe6, pe9)
+	}
+	p6 := pts[5].TotalPower().Watts()
+	p9 := pts[8].TotalPower().Watts()
+	if p9 < 3.5*p6 {
+		t.Errorf("8× hw increase raised power only %0.1f×", p9/p6)
+	}
+}
+
+func TestPowerDecomposition(t *testing.T) {
+	c := NewConfig(64, 256, 64)
+	total := c.TotalPower().Watts()
+	if math.Abs(total-c.PEPower().Watts()-c.OverheadPower().Watts()) > 1e-15 {
+		t.Errorf("power does not decompose")
+	}
+	// PE power = hw × PE total.
+	want := 64 * mac.PE130.Total().Watts()
+	if math.Abs(c.PEPower().Watts()-want) > 1e-15 {
+		t.Errorf("PE power = %v", c.PEPower())
+	}
+}
+
+func randWeights(rng *rand.Rand, ops, seq int, f fixed.Format) [][]fixed.Value {
+	w := make([][]fixed.Value, ops)
+	for i := range w {
+		row := make([]fixed.Value, seq)
+		for j := range row {
+			row[j] = fixed.FromFloat(rng.Float64()*0.1-0.05, f)
+		}
+		w[i] = row
+	}
+	return w
+}
+
+func TestSimulatorMatchesReference(t *testing.T) {
+	// The cycle-level simulator must compute exactly what a direct
+	// fixed-point dot product computes.
+	rng := rand.New(rand.NewSource(12))
+	cfg := NewConfig(10, 16, 3) // ragged: 4 passes, idle PEs in the last
+	f := fixed.Format{Bits: cfg.Bits, Frac: cfg.Bits - 1}
+	w := randWeights(rng, cfg.Ops, cfg.Seq, f)
+	sim, err := NewSimulator(cfg, w, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]fixed.Value, cfg.Seq)
+	for i := range in {
+		in[i] = fixed.FromFloat(rng.Float64()*0.5-0.25, f)
+	}
+	got, err := sim.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for op := 0; op < cfg.Ops; op++ {
+		want := fixed.Dot(in, w[op], f)
+		if got[op] != want {
+			t.Errorf("op %d: sim %v != reference %v", op, got[op], want)
+		}
+	}
+}
+
+func TestSimulatorCyclesMatchAnalyticalModel(t *testing.T) {
+	// The property the whole framework rests on: simulated cycles equal
+	// the Eq. (11) expression for any legal configuration.
+	f := func(opsR, seqR, hwR uint8) bool {
+		ops := int(opsR%50) + 1
+		seq := int(seqR%50) + 1
+		hw := int(hwR)%ops + 1
+		cfg := NewConfig(ops, seq, hw)
+		fm := fixed.Format{Bits: 8, Frac: 7}
+		w := randWeights(rand.New(rand.NewSource(int64(ops*seq*hw))), ops, seq, fm)
+		sim, err := NewSimulator(cfg, w, false)
+		if err != nil {
+			return false
+		}
+		in := make([]fixed.Value, seq)
+		for i := range in {
+			in[i] = fixed.FromFloat(0, fm)
+		}
+		if _, err := sim.Run(in); err != nil {
+			return false
+		}
+		return sim.Cycles() == uint64(cfg.Cycles())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimulatorReLU(t *testing.T) {
+	cfg := NewConfig(2, 2, 2)
+	f := fixed.Format{Bits: 8, Frac: 7}
+	w := [][]fixed.Value{
+		{fixed.FromFloat(0.5, f), fixed.FromFloat(0.5, f)},
+		{fixed.FromFloat(-0.5, f), fixed.FromFloat(-0.5, f)},
+	}
+	sim, err := NewSimulator(cfg, w, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []fixed.Value{fixed.FromFloat(0.5, f), fixed.FromFloat(0.5, f)}
+	out, err := sim.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Float() <= 0 {
+		t.Errorf("positive output clipped: %v", out[0])
+	}
+	if out[1].Raw != 0 {
+		t.Errorf("negative output not rectified: %v", out[1])
+	}
+}
+
+func TestSimulatorAccounting(t *testing.T) {
+	cfg := NewConfig(8, 32, 4)
+	f := fixed.Format{Bits: 8, Frac: 7}
+	sim, err := NewSimulator(cfg, randWeights(rand.New(rand.NewSource(1)), 8, 32, f), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]fixed.Value, 32)
+	for i := range in {
+		in[i] = fixed.FromFloat(0, f)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := sim.Run(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sim.Cycles() != 3*uint64(cfg.Cycles()) {
+		t.Errorf("cycles = %d", sim.Cycles())
+	}
+	if sim.Elapsed() != time.Duration(sim.Cycles())*mac.TSMC130.TMAC {
+		t.Errorf("elapsed = %v", sim.Elapsed())
+	}
+	// Energy = 3 inferences × ops × seq × step energy.
+	want := 3 * cfg.EnergyPerInference().Joules()
+	if math.Abs(sim.Energy().Joules()-want) > 1e-18 {
+		t.Errorf("energy = %v, want %v", sim.Energy().Joules(), want)
+	}
+}
+
+func TestSimulatorValidation(t *testing.T) {
+	f := fixed.Format{Bits: 8, Frac: 7}
+	cfg := NewConfig(4, 8, 2)
+	if _, err := NewSimulator(cfg, nil, false); err == nil {
+		t.Errorf("missing weights should fail")
+	}
+	w := randWeights(rand.New(rand.NewSource(2)), 4, 7, f)
+	if _, err := NewSimulator(cfg, w, false); err == nil {
+		t.Errorf("wrong seq length should fail")
+	}
+	bad := NewConfig(2, 8, 4)
+	if _, err := NewSimulator(bad, randWeights(rand.New(rand.NewSource(3)), 2, 8, f), false); err == nil {
+		t.Errorf("invalid config should fail")
+	}
+	sim, err := NewSimulator(cfg, randWeights(rand.New(rand.NewSource(4)), 4, 8, f), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(make([]fixed.Value, 3)); err == nil {
+		t.Errorf("wrong input length should fail")
+	}
+}

@@ -1,0 +1,190 @@
+package accel
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mindful/internal/fixed"
+	"mindful/internal/mac"
+	"mindful/internal/nn"
+	"mindful/internal/units"
+)
+
+// Pipeline chains per-layer Simulators into a full on-implant DNN
+// accelerator in the Eq. (14)–(15) pipelined discipline: each dense layer
+// owns its PEs, the initiation interval is the slowest stage, and one
+// inference's latency is the sum of stage times. Weights come from a
+// runnable nn.Network, quantized per layer with max-abs scaling, so the
+// pipeline computes real (approximate) inferences while its timing matches
+// the analytical schedule exactly.
+type Pipeline struct {
+	Stages []*Simulator
+	Cfgs   []Config
+
+	layers  []*nn.Dense
+	wScales []float64
+	format  fixed.Format
+}
+
+// BuildPipeline constructs a pipeline for a dense-only network with the
+// given per-layer MAC allocation (e.g. sched.Result.PerLayer) in the given
+// technology at the given datapath width.
+func BuildPipeline(net *nn.Network, alloc []int, node mac.TechNode, bits int) (*Pipeline, error) {
+	if net == nil {
+		return nil, fmt.Errorf("accel: nil network")
+	}
+	if len(alloc) != len(net.Layers) {
+		return nil, fmt.Errorf("accel: %d allocations for %d layers", len(alloc), len(net.Layers))
+	}
+	p := &Pipeline{format: fixed.Format{Bits: bits, Frac: bits - 1}}
+	for i, layer := range net.Layers {
+		dense, ok := layer.(*nn.Dense)
+		if !ok {
+			return nil, fmt.Errorf("accel: layer %d is not dense; the pipeline supports MLPs", i)
+		}
+		ops, seq := len(dense.W), len(dense.W[0])
+		cfg := Config{Ops: ops, Seq: seq, HW: alloc[i], Bits: bits,
+			Node: node, PE: mac.PE130, Overhead: mac.Overhead130}
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("accel: layer %d: %w", i, err)
+		}
+		// Quantize the weight ROM with a per-layer max-abs scale.
+		scale := 0.0
+		for _, row := range dense.W {
+			for _, w := range row {
+				if a := math.Abs(w); a > scale {
+					scale = a
+				}
+			}
+		}
+		if scale == 0 {
+			scale = 1
+		}
+		rom := make([][]fixed.Value, ops)
+		for o, row := range dense.W {
+			qrow := make([]fixed.Value, seq)
+			for c, w := range row {
+				qrow[c] = fixed.FromFloat(w/scale, p.format)
+			}
+			rom[o] = qrow
+		}
+		sim, err := NewSimulator(cfg, rom, false)
+		if err != nil {
+			return nil, fmt.Errorf("accel: layer %d: %w", i, err)
+		}
+		p.Stages = append(p.Stages, sim)
+		p.Cfgs = append(p.Cfgs, cfg)
+		p.layers = append(p.layers, dense)
+		p.wScales = append(p.wScales, scale)
+	}
+	return p, nil
+}
+
+// Infer runs one inference through every stage, applying each layer's bias
+// and activation at the PE output register (outside the MAC array, as in
+// the Fig. 9 PE's ReLU stage).
+func (p *Pipeline) Infer(input []float64) ([]float64, error) {
+	cur := input
+	for i, sim := range p.Stages {
+		if len(cur) != p.Cfgs[i].Seq {
+			return nil, fmt.Errorf("accel: stage %d input %d != %d", i, len(cur), p.Cfgs[i].Seq)
+		}
+		// Quantize activations with a per-vector scale.
+		aScale := 0.0
+		for _, v := range cur {
+			if a := math.Abs(v); a > aScale {
+				aScale = a
+			}
+		}
+		if aScale == 0 {
+			aScale = 1
+		}
+		qin := make([]fixed.Value, len(cur))
+		for j, v := range cur {
+			qin[j] = fixed.FromFloat(v/aScale, p.format)
+		}
+		rawOut, err := sim.RunExact(qin)
+		if err != nil {
+			return nil, fmt.Errorf("accel: stage %d: %w", i, err)
+		}
+		// The wide-accumulator readout carries the exact normalized dot
+		// product; the output stage rescales and applies bias/activation.
+		next := make([]float64, len(rawOut))
+		dense := p.layers[i]
+		for o, v := range rawOut {
+			val := v*p.wScales[i]*aScale + dense.Bias[o]
+			if dense.Act == nn.ReLU && val < 0 {
+				val = 0
+			}
+			next[o] = val
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// StageTimes returns each stage's per-inference latency.
+func (p *Pipeline) StageTimes() []time.Duration {
+	out := make([]time.Duration, len(p.Cfgs))
+	for i, c := range p.Cfgs {
+		out[i] = c.Time()
+	}
+	return out
+}
+
+// InitiationInterval returns the pipeline's throughput bound: the slowest
+// stage (Eq. 14's max(tᵢ)).
+func (p *Pipeline) InitiationInterval() time.Duration {
+	var worst time.Duration
+	for _, c := range p.Cfgs {
+		if t := c.Time(); t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// Latency returns one inference's end-to-end latency (sum of stages).
+func (p *Pipeline) Latency() time.Duration {
+	var total time.Duration
+	for _, c := range p.Cfgs {
+		total += c.Time()
+	}
+	return total
+}
+
+// MeetsDeadline reports whether the pipeline sustains one inference per
+// deadline (the Eq. 14 real-time constraint).
+func (p *Pipeline) MeetsDeadline(t time.Duration) bool {
+	return p.InitiationInterval() <= t
+}
+
+// TotalMACs returns the pipeline's physical MAC count Σhᵢ.
+func (p *Pipeline) TotalMACs() int {
+	n := 0
+	for _, c := range p.Cfgs {
+		n += c.HW
+	}
+	return n
+}
+
+// TotalPower returns the full-accelerator power: every stage's PE array
+// plus per-layer overhead.
+func (p *Pipeline) TotalPower() units.Power {
+	var total units.Power
+	for _, c := range p.Cfgs {
+		total += c.TotalPower()
+	}
+	return total
+}
+
+// PELowerBoundPower returns the Eq. (13) floor Σhᵢ·P_MAC in the pipeline's
+// node — the quantity the analytical framework prices. TotalPower exceeds
+// it by the per-layer overheads.
+func (p *Pipeline) PELowerBoundPower() units.Power {
+	if len(p.Cfgs) == 0 {
+		return 0
+	}
+	return units.Power(float64(p.TotalMACs()) * p.Cfgs[0].Node.PMAC.Watts())
+}

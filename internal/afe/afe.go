@@ -1,0 +1,224 @@
+// Package afe models the analog front end of a neural recording channel:
+// the low-noise amplifier, priced by its noise efficiency factor (NEF),
+// and the ADC, priced by its Walden figure of merit.
+//
+// This is the physical basis of the paper's Section 4.1 scaling assumption:
+// Simmich et al. (the paper's citation [107]) show that amplifier power at
+// constant signal quality — constant NEF and input-referred noise — scales
+// linearly with channel count. Here that result is derived rather than
+// assumed: per-channel power follows from the NEF definition
+//
+//	NEF = V_ni,rms · √( 2·I_tot / (π·U_T·4kT·BW) )
+//
+// solved for the total supply current I_tot, and total sensing power is
+// channels × (amplifier + ADC share).
+package afe
+
+import (
+	"fmt"
+	"math"
+
+	"mindful/internal/units"
+)
+
+// Physical constants at body temperature.
+const (
+	// ThermalVoltage is U_T = kT/q at 310 K, in volts.
+	ThermalVoltage = 0.0267
+	// FourKT is 4kT at 310 K, in J.
+	FourKT = 4 * units.Boltzmann * units.BodyTemperature
+)
+
+// Amplifier is a low-noise neural amplifier characterized by its NEF.
+type Amplifier struct {
+	// NEF is the noise efficiency factor (≥ 1 in theory; 2–4 for good
+	// neural amplifiers).
+	NEF float64
+	// SupplyV is the supply voltage in volts.
+	SupplyV float64
+	// BandwidthHz is the amplifier's noise bandwidth.
+	BandwidthHz float64
+	// InputNoiseVrms is the input-referred RMS noise in volts.
+	InputNoiseVrms float64
+}
+
+// TypicalNeuralAmp returns a representative action-potential-band
+// amplifier: NEF 3, 1 V supply, 10 kHz bandwidth, 5 µV rms input noise.
+func TypicalNeuralAmp() Amplifier {
+	return Amplifier{NEF: 3, SupplyV: 1.0, BandwidthHz: 10e3, InputNoiseVrms: 5e-6}
+}
+
+// Validate checks physical plausibility.
+func (a Amplifier) Validate() error {
+	if a.NEF < 1 {
+		return fmt.Errorf("afe: NEF %g below the theoretical limit of 1", a.NEF)
+	}
+	if a.SupplyV <= 0 || a.BandwidthHz <= 0 || a.InputNoiseVrms <= 0 {
+		return fmt.Errorf("afe: non-positive amplifier parameter")
+	}
+	return nil
+}
+
+// SupplyCurrent returns the total current implied by the NEF definition:
+//
+//	I_tot = NEF² · π·U_T·4kT·BW / (2·V_ni²)
+func (a Amplifier) SupplyCurrent() (float64, error) {
+	if err := a.Validate(); err != nil {
+		return 0, err
+	}
+	num := a.NEF * a.NEF * math.Pi * ThermalVoltage * FourKT * a.BandwidthHz
+	return num / (2 * a.InputNoiseVrms * a.InputNoiseVrms), nil
+}
+
+// Power returns the amplifier's supply power.
+func (a Amplifier) Power() (units.Power, error) {
+	i, err := a.SupplyCurrent()
+	if err != nil {
+		return 0, err
+	}
+	return units.Power(i * a.SupplyV), nil
+}
+
+// NoiseForPower inverts the trade-off: the input-referred noise achievable
+// at a given per-channel amplifier power (holding NEF, supply, bandwidth).
+// Lower noise costs quadratically more power — the reason signal quality,
+// not logic, dominates the sensing budget.
+func (a Amplifier) NoiseForPower(p units.Power) (float64, error) {
+	if err := a.Validate(); err != nil {
+		return 0, err
+	}
+	if p <= 0 {
+		return 0, fmt.Errorf("afe: non-positive power")
+	}
+	i := p.Watts() / a.SupplyV
+	num := a.NEF * a.NEF * math.Pi * ThermalVoltage * FourKT * a.BandwidthHz
+	return math.Sqrt(num / (2 * i)), nil
+}
+
+// ADC is an analog-to-digital converter priced by the Walden figure of
+// merit: P = FOM · 2^bits · f_s.
+type ADC struct {
+	// Bits is the resolution.
+	Bits int
+	// SampleRateHz is the per-channel conversion rate.
+	SampleRateHz float64
+	// WaldenFOMJ is the energy per conversion step in joules (good
+	// medical-grade SAR ADCs: 10–100 fJ).
+	WaldenFOMJ float64
+}
+
+// TypicalNeuralADC returns a 10-bit, 20 kS/s SAR converter at 30 fJ/step.
+func TypicalNeuralADC() ADC {
+	return ADC{Bits: 10, SampleRateHz: 20e3, WaldenFOMJ: 30e-15}
+}
+
+// Validate checks plausibility.
+func (c ADC) Validate() error {
+	if c.Bits < 1 || c.Bits > 24 {
+		return fmt.Errorf("afe: ADC bits %d outside 1..24", c.Bits)
+	}
+	if c.SampleRateHz <= 0 || c.WaldenFOMJ <= 0 {
+		return fmt.Errorf("afe: non-positive ADC parameter")
+	}
+	return nil
+}
+
+// Power returns the converter's power.
+func (c ADC) Power() (units.Power, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	return units.Power(c.WaldenFOMJ * math.Pow(2, float64(c.Bits)) * c.SampleRateHz), nil
+}
+
+// FrontEnd is one recording channel's analog chain. MuxRatio channels may
+// share one ADC through time multiplexing (the multiplexed-ADC
+// architecture large arrays use); the ADC then runs MuxRatio times faster.
+type FrontEnd struct {
+	Amp Amplifier
+	ADC ADC
+	// MuxRatio is the number of channels sharing one ADC (≥ 1).
+	MuxRatio int
+}
+
+// TypicalFrontEnd returns a representative channel with an 8:1 multiplexed
+// ADC.
+func TypicalFrontEnd() FrontEnd {
+	return FrontEnd{Amp: TypicalNeuralAmp(), ADC: TypicalNeuralADC(), MuxRatio: 8}
+}
+
+// Validate checks the chain.
+func (f FrontEnd) Validate() error {
+	if err := f.Amp.Validate(); err != nil {
+		return err
+	}
+	if err := f.ADC.Validate(); err != nil {
+		return err
+	}
+	if f.MuxRatio < 1 {
+		return fmt.Errorf("afe: mux ratio %d must be ≥ 1", f.MuxRatio)
+	}
+	return nil
+}
+
+// PerChannelPower returns one channel's share of the analog chain:
+// its amplifier plus 1/MuxRatio of a MuxRatio-times-faster ADC (which is
+// exactly one ADC's power at the base rate — multiplexing saves area, not
+// first-order power — plus nothing else here).
+func (f FrontEnd) PerChannelPower() (units.Power, error) {
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	amp, err := f.Amp.Power()
+	if err != nil {
+		return 0, err
+	}
+	fast := f.ADC
+	fast.SampleRateHz *= float64(f.MuxRatio)
+	adc, err := fast.Power()
+	if err != nil {
+		return 0, err
+	}
+	return amp + units.Power(adc.Watts()/float64(f.MuxRatio)), nil
+}
+
+// SensingPower returns the total analog power for n channels — linear in
+// n at constant signal quality, the Section 4.1 first-order scaling law.
+func (f FrontEnd) SensingPower(n int) (units.Power, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("afe: negative channel count %d", n)
+	}
+	pc, err := f.PerChannelPower()
+	if err != nil {
+		return 0, err
+	}
+	return units.Power(pc.Watts() * float64(n)), nil
+}
+
+// SensingAreaBudget reports whether n channels of the given per-channel
+// analog power fit the paper's power-density limit on a sensing area with
+// the given channel pitch (metres): density = P_channel / pitch².
+func (f FrontEnd) DensityAtPitch(pitch float64) (units.PowerDensity, error) {
+	if pitch <= 0 {
+		return 0, fmt.Errorf("afe: non-positive pitch")
+	}
+	pc, err := f.PerChannelPower()
+	if err != nil {
+		return 0, err
+	}
+	return units.DensityOf(pc, units.Area(pitch*pitch)), nil
+}
+
+// MaxChannelDensity returns the tightest channel pitch (metres) that keeps
+// the sensing array within a power-density limit — the analog-side
+// counterpart of the paper's 20 µm spacing goal (Section 3.2).
+func (f FrontEnd) MinSafePitch(limit units.PowerDensity) (float64, error) {
+	if limit <= 0 {
+		return 0, fmt.Errorf("afe: non-positive density limit")
+	}
+	pc, err := f.PerChannelPower()
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(pc.Watts() / limit.WattsPerM2()), nil
+}

@@ -1,0 +1,233 @@
+package afe
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mindful/internal/thermal"
+	"mindful/internal/units"
+)
+
+func TestAmplifierPowerMagnitude(t *testing.T) {
+	// A typical neural amplifier lands in the single-digit µW regime —
+	// consistent with the per-channel powers behind Table 1 (e.g. BISC's
+	// ≈19 µW/channel for the whole chain).
+	p, err := TypicalNeuralAmp().Power()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uw := p.Microwatts(); uw < 0.5 || uw > 20 {
+		t.Errorf("amplifier power = %v µW, want single-digit µW", uw)
+	}
+}
+
+func TestAmplifierHandComputed(t *testing.T) {
+	// I = NEF²·π·U_T·4kT·BW / (2·Vni²) with NEF=2, 1 V, 10 kHz, 10 µV.
+	a := Amplifier{NEF: 2, SupplyV: 1, BandwidthHz: 10e3, InputNoiseVrms: 10e-6}
+	i, err := a.SupplyCurrent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 * math.Pi * ThermalVoltage * FourKT * 10e3 / (2 * 1e-10)
+	if math.Abs(i-want) > 1e-12*want {
+		t.Errorf("current = %v, want %v", i, want)
+	}
+}
+
+func TestNoisePowerTradeoffQuadratic(t *testing.T) {
+	// Halving the input noise must quadruple the power — the fundamental
+	// analog scaling wall the paper's Section 8 points at.
+	a := TypicalNeuralAmp()
+	p1, err := a.Power()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.InputNoiseVrms /= 2
+	p2, err := a.Power()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p2.Watts()/p1.Watts()-4) > 1e-9 {
+		t.Errorf("power ratio = %v, want 4", p2.Watts()/p1.Watts())
+	}
+}
+
+func TestNoiseForPowerInverse(t *testing.T) {
+	a := TypicalNeuralAmp()
+	p, err := a.Power()
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise, err := a.NoiseForPower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(noise-a.InputNoiseVrms) > 1e-12 {
+		t.Errorf("inverse noise = %v, want %v", noise, a.InputNoiseVrms)
+	}
+	if _, err := a.NoiseForPower(0); err == nil {
+		t.Errorf("zero power should fail")
+	}
+}
+
+func TestNEFPropertyMonotone(t *testing.T) {
+	// Power grows with NEF² and with bandwidth; decreases with noise².
+	f := func(nefRaw, bwRaw, noiseRaw float64) bool {
+		nef := 1 + math.Abs(math.Mod(nefRaw, 5))
+		bw := 1e3 + math.Abs(math.Mod(bwRaw, 1e5))
+		noise := 1e-6 + math.Abs(math.Mod(noiseRaw, 1e-5))
+		a := Amplifier{NEF: nef, SupplyV: 1, BandwidthHz: bw, InputNoiseVrms: noise}
+		p1, err := a.Power()
+		if err != nil {
+			return false
+		}
+		a.NEF *= 2
+		p2, err := a.Power()
+		if err != nil {
+			return false
+		}
+		return math.Abs(p2.Watts()/p1.Watts()-4) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAmplifierValidation(t *testing.T) {
+	bad := []Amplifier{
+		{NEF: 0.5, SupplyV: 1, BandwidthHz: 1e4, InputNoiseVrms: 1e-6},
+		{NEF: 3, SupplyV: 0, BandwidthHz: 1e4, InputNoiseVrms: 1e-6},
+		{NEF: 3, SupplyV: 1, BandwidthHz: 0, InputNoiseVrms: 1e-6},
+		{NEF: 3, SupplyV: 1, BandwidthHz: 1e4, InputNoiseVrms: 0},
+	}
+	for i, a := range bad {
+		if _, err := a.Power(); err == nil {
+			t.Errorf("amplifier %d should fail validation", i)
+		}
+	}
+}
+
+func TestADCPower(t *testing.T) {
+	// 30 fJ × 2¹⁰ × 20 kS/s ≈ 0.61 µW.
+	p, err := TypicalNeuralADC().Power()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Microwatts(); math.Abs(got-0.6144) > 1e-6 {
+		t.Errorf("ADC power = %v µW, want 0.6144", got)
+	}
+	bad := ADC{Bits: 0, SampleRateHz: 1e4, WaldenFOMJ: 1e-14}
+	if _, err := bad.Power(); err == nil {
+		t.Errorf("invalid ADC should fail")
+	}
+	if _, err := (ADC{Bits: 30, SampleRateHz: 1e4, WaldenFOMJ: 1e-14}).Power(); err == nil {
+		t.Errorf("too-wide ADC should fail")
+	}
+}
+
+func TestFrontEndPerChannel(t *testing.T) {
+	fe := TypicalFrontEnd()
+	pc, err := fe.PerChannelPower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	amp, _ := fe.Amp.Power()
+	adc, _ := fe.ADC.Power()
+	// Per-channel = amplifier + exactly one base-rate ADC's power.
+	want := amp.Watts() + adc.Watts()
+	if math.Abs(pc.Watts()-want) > 1e-15 {
+		t.Errorf("per-channel = %v, want %v", pc.Watts(), want)
+	}
+	// A full-chain channel stays in the µW regime, below the ≈19 µW
+	// per-channel total of BISC (which also includes digital control).
+	if uw := pc.Microwatts(); uw < 1 || uw > 19 {
+		t.Errorf("per-channel power = %v µW, want 1–19", uw)
+	}
+}
+
+func TestSensingPowerLinear(t *testing.T) {
+	// The Simmich result the paper's Eq. (5) rests on: constant quality →
+	// linear power in channel count.
+	fe := TypicalFrontEnd()
+	p1024, err := fe.SensingPower(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2048, err := fe.SensingPower(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p2048.Watts()-2*p1024.Watts()) > 1e-15 {
+		t.Errorf("sensing power not linear: %v vs %v", p1024, p2048)
+	}
+	if p0, err := fe.SensingPower(0); err != nil || p0 != 0 {
+		t.Errorf("zero channels: %v, %v", p0, err)
+	}
+	if _, err := fe.SensingPower(-1); err == nil {
+		t.Errorf("negative channels should fail")
+	}
+}
+
+func TestDensityAtPitchAndMinSafePitch(t *testing.T) {
+	fe := TypicalFrontEnd()
+	// At the paper's 20 µm one-channel-per-neuron goal, the analog chain
+	// alone blows far past 40 mW/cm² — quantifying why dense NI scaling
+	// needs either duty cycling or better amplifiers.
+	d20, err := fe.DensityAtPitch(20e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d20.MWPerCM2() < 100 {
+		t.Errorf("density at 20 µm pitch = %v, expected ≫ 40 mW/cm²", d20)
+	}
+	// The minimum safe pitch is self-consistent.
+	pitch, err := fe.MinSafePitch(thermal.SafeDensity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := fe.DensityAtPitch(pitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.MWPerCM2()-40) > 1e-6 {
+		t.Errorf("density at min safe pitch = %v, want 40", d.MWPerCM2())
+	}
+	// And it lands near ≈100 µm for the typical chain, between today's
+	// ECoG pitches and the 20 µm goal.
+	if pitch < 30e-6 || pitch > 300e-6 {
+		t.Errorf("min safe pitch = %v m, want tens-to-hundreds of µm", pitch)
+	}
+	if _, err := fe.DensityAtPitch(0); err == nil {
+		t.Errorf("zero pitch should fail")
+	}
+	if _, err := fe.MinSafePitch(0); err == nil {
+		t.Errorf("zero limit should fail")
+	}
+}
+
+func TestFrontEndValidation(t *testing.T) {
+	fe := TypicalFrontEnd()
+	fe.MuxRatio = 0
+	if _, err := fe.PerChannelPower(); err == nil {
+		t.Errorf("zero mux ratio should fail")
+	}
+	fe = TypicalFrontEnd()
+	fe.Amp.NEF = 0.1
+	if _, err := fe.SensingPower(10); err == nil {
+		t.Errorf("invalid amplifier should propagate")
+	}
+	fe = TypicalFrontEnd()
+	fe.ADC.Bits = 0
+	if err := fe.Validate(); err == nil {
+		t.Errorf("invalid ADC should propagate")
+	}
+	fe = TypicalFrontEnd()
+	fe.Amp.NEF = 0.5
+	if _, err := fe.DensityAtPitch(1e-4); err == nil {
+		t.Errorf("invalid amp should propagate to density")
+	}
+	if _, err := fe.MinSafePitch(units.MilliwattsPerCM2(40)); err == nil {
+		t.Errorf("invalid amp should propagate to pitch")
+	}
+}

@@ -1,0 +1,146 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+
+	"mindful/internal/units"
+)
+
+// LinkBudget captures the RF path between the implanted and wearable SoCs:
+// the losses the transmit signal must overcome and how efficiently the
+// transmitter converts DC power into radiated energy.
+//
+// The paper's Section 5.2 nominal values are PathLossDB = 60,
+// MarginDB = 20 (biological tissue: skull, dura, skin), BER = 1e-6.
+type LinkBudget struct {
+	// PathLossDB is the free-space/tissue path loss in dB.
+	PathLossDB float64
+	// MarginDB is additional link margin for tissue variability in dB.
+	MarginDB float64
+	// NoiseFigureDB is the receiver noise figure in dB.
+	NoiseFigureDB float64
+	// NoiseTempK is the reference noise temperature in kelvin.
+	NoiseTempK float64
+	// Efficiency is the transmitter implementation efficiency in (0, 1]:
+	// the ratio of radiated power to DC power drawn. The paper's "QAM
+	// efficiency" parameter; biomedical implementations achieve ≈0.15.
+	Efficiency float64
+}
+
+// NominalBudget returns the paper's Section 5.2 link assumptions at the
+// given transmitter efficiency.
+func NominalBudget(efficiency float64) LinkBudget {
+	return LinkBudget{
+		PathLossDB:    60,
+		MarginDB:      20,
+		NoiseFigureDB: 0,
+		NoiseTempK:    units.BodyTemperature,
+		Efficiency:    efficiency,
+	}
+}
+
+// NominalBER is the paper's target bit error rate for the QAM analysis.
+const NominalBER = 1e-6
+
+func (lb LinkBudget) validate() error {
+	if lb.Efficiency <= 0 || lb.Efficiency > 1 {
+		return fmt.Errorf("comm: efficiency %g outside (0, 1]", lb.Efficiency)
+	}
+	if lb.NoiseTempK <= 0 {
+		return fmt.Errorf("comm: non-positive noise temperature %g", lb.NoiseTempK)
+	}
+	return nil
+}
+
+// TotalLossLinear returns the combined path loss, margin and noise figure
+// as a linear power ratio.
+func (lb LinkBudget) TotalLossLinear() float64 {
+	return units.FromDB(lb.PathLossDB + lb.MarginDB + lb.NoiseFigureDB)
+}
+
+// TxEnergyPerBit returns the DC energy the transmitter must spend per bit
+// so that the receiver sees the Eb/N0 that modulation m needs for the
+// target BER:
+//
+//	Eb_tx = (Eb/N0)_req · N0 · loss / efficiency
+func (lb LinkBudget) TxEnergyPerBit(m Modulation, ber float64) (units.Energy, error) {
+	if err := lb.validate(); err != nil {
+		return 0, err
+	}
+	n0 := units.ThermalNoiseDensity(lb.NoiseTempK)
+	req := m.RequiredEbN0(ber)
+	eb := req * n0 * lb.TotalLossLinear() / lb.Efficiency
+	return units.Joules(eb), nil
+}
+
+// TxPower returns the DC transmit power to sustain rate r with modulation m
+// at the target BER: P = T · Eb (Eq. 9).
+func (lb LinkBudget) TxPower(m Modulation, ber float64, r units.DataRate) (units.Power, error) {
+	eb, err := lb.TxEnergyPerBit(m, ber)
+	if err != nil {
+		return 0, err
+	}
+	return r.TimesEnergyPerBit(eb), nil
+}
+
+// MinEfficiency returns the smallest transmitter efficiency for which the
+// DC power of modulation m at rate r and target BER stays within maxPower.
+// It returns efficiency > 1 (infeasible) when even a perfect transmitter
+// exceeds the budget.
+func (lb LinkBudget) MinEfficiency(m Modulation, ber float64, r units.DataRate, maxPower units.Power) (float64, error) {
+	ideal := lb
+	ideal.Efficiency = 1
+	p, err := ideal.TxPower(m, ber, r)
+	if err != nil {
+		return 0, err
+	}
+	if maxPower <= 0 {
+		return math.Inf(1), nil
+	}
+	// P scales as 1/efficiency, so the minimum efficiency is P_ideal / max.
+	return p.Watts() / maxPower.Watts(), nil
+}
+
+// ShannonCapacity returns the AWGN channel capacity C = B·log2(1 + SNR) in
+// bits per second for bandwidth b (Hz) and linear signal-to-noise ratio.
+func ShannonCapacity(bandwidthHz, snr float64) units.DataRate {
+	if snr < 0 {
+		snr = 0
+	}
+	return units.BitsPerSecond(bandwidthHz * math.Log2(1+snr))
+}
+
+// ShannonMinEbN0 is the minimum Eb/N0 (linear) at which reliable
+// communication is possible as spectral efficiency → 0: ln 2 ≈ −1.59 dB.
+func ShannonMinEbN0() float64 { return math.Ln2 }
+
+// ShannonEbN0ForEfficiency returns the minimum Eb/N0 (linear) for a given
+// spectral efficiency η = R/B in bit/s/Hz: (2^η − 1)/η.
+func ShannonEbN0ForEfficiency(eta float64) float64 {
+	if eta <= 0 {
+		return ShannonMinEbN0()
+	}
+	return (math.Pow(2, eta) - 1) / eta
+}
+
+// FixedEbTransmitter is the Section 5.1 transceiver model: a design
+// customized for a constant energy per bit, whose power is simply
+// P = T · Eb for any rate it is asked to carry.
+type FixedEbTransmitter struct {
+	// Eb is the constant DC energy per transmitted bit.
+	Eb units.Energy
+	// MaxRate is the highest rate the design was customized for; 0 means
+	// unbounded (the paper's "high-margin" hypothesis).
+	MaxRate units.DataRate
+}
+
+// Power returns the DC power at rate r.
+func (t FixedEbTransmitter) Power(r units.DataRate) units.Power {
+	return r.TimesEnergyPerBit(t.Eb)
+}
+
+// Supports reports whether the design can carry rate r.
+func (t FixedEbTransmitter) Supports(r units.DataRate) bool {
+	return t.MaxRate == 0 || r <= t.MaxRate
+}

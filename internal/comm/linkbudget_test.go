@@ -1,0 +1,169 @@
+package comm
+
+import (
+	"math"
+	"testing"
+
+	"mindful/internal/units"
+)
+
+func TestTxEnergyPerBitMagnitude(t *testing.T) {
+	// 4-QAM at BER 1e-6 over the nominal 80 dB total loss at 15%
+	// efficiency: Eb/N0 ≈ 11.3, N0 ≈ 4.28e-21 → Eb_tx ≈ 32 pJ/bit,
+	// squarely in the tens-of-pJ/bit regime the BCI transceiver
+	// literature reports.
+	lb := NominalBudget(0.15)
+	eb, err := lb.TxEnergyPerBit(NewQAM(2), NominalBER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pj := eb.Picojoules(); pj < 10 || pj > 100 {
+		t.Errorf("Eb_tx = %v pJ/bit, want tens of pJ", pj)
+	}
+}
+
+func TestTxPowerScalesWithRate(t *testing.T) {
+	lb := NominalBudget(0.2)
+	m := NewQAM(2)
+	p1, err := lb.TxPower(m, NominalBER, units.MegabitsPerSecond(82))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := lb.TxPower(m, NominalBER, units.MegabitsPerSecond(164))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p2.Watts()-2*p1.Watts()) > 1e-12 {
+		t.Errorf("power must be linear in rate: %v vs %v", p1, p2)
+	}
+}
+
+func TestEfficiencyInverselyScalesPower(t *testing.T) {
+	m := NewQAM(4)
+	r := units.MegabitsPerSecond(100)
+	p15, err := NominalBudget(0.15).TxPower(m, NominalBER, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p30, err := NominalBudget(0.30).TxPower(m, NominalBER, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p15.Watts()-2*p30.Watts()) > 1e-12*p15.Watts() {
+		t.Errorf("doubling efficiency must halve power: %v vs %v", p15, p30)
+	}
+}
+
+func TestMinEfficiencyInversion(t *testing.T) {
+	lb := NominalBudget(1)
+	m := NewQAM(3)
+	r := units.MegabitsPerSecond(200)
+	budget := units.Milliwatts(20)
+	eff, err := lb.MinEfficiency(m, NominalBER, r, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff <= 0 {
+		t.Fatalf("min efficiency = %v", eff)
+	}
+	// At exactly that efficiency the power must equal the budget.
+	lb.Efficiency = math.Min(eff, 1)
+	if eff <= 1 {
+		p, err := lb.TxPower(m, NominalBER, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p.Watts()-budget.Watts()) > 1e-9*budget.Watts() {
+			t.Errorf("power at min efficiency = %v, want %v", p, budget)
+		}
+	}
+	// Zero budget is infeasible.
+	inf, err := lb.MinEfficiency(m, NominalBER, r, 0)
+	if err != nil || !math.IsInf(inf, 1) {
+		t.Errorf("zero budget: got %v, %v", inf, err)
+	}
+}
+
+func TestLinkBudgetValidation(t *testing.T) {
+	bad := NominalBudget(0)
+	if _, err := bad.TxEnergyPerBit(OOK{}, NominalBER); err == nil {
+		t.Errorf("zero efficiency should fail")
+	}
+	bad = NominalBudget(1.5)
+	if _, err := bad.TxEnergyPerBit(OOK{}, NominalBER); err == nil {
+		t.Errorf("efficiency > 1 should fail")
+	}
+	bad = NominalBudget(0.5)
+	bad.NoiseTempK = -1
+	if _, err := bad.TxEnergyPerBit(OOK{}, NominalBER); err == nil {
+		t.Errorf("negative noise temperature should fail")
+	}
+}
+
+func TestTotalLoss(t *testing.T) {
+	lb := NominalBudget(0.15)
+	// 60 + 20 dB = 1e8 linear.
+	if got := lb.TotalLossLinear(); math.Abs(got-1e8) > 1 {
+		t.Errorf("total loss = %v, want 1e8", got)
+	}
+}
+
+func TestShannonCapacity(t *testing.T) {
+	// 100 MHz at SNR 3 (linear) → 200 Mbps.
+	c := ShannonCapacity(100e6, 3)
+	if math.Abs(c.Mbps()-200) > 1e-9 {
+		t.Errorf("capacity = %v Mbps, want 200", c.Mbps())
+	}
+	if got := ShannonCapacity(100e6, -1).BPS(); got != 0 {
+		t.Errorf("negative SNR capacity = %v, want 0", got)
+	}
+}
+
+func TestShannonLimits(t *testing.T) {
+	if got := units.ToDB(ShannonMinEbN0()); math.Abs(got+1.59) > 0.01 {
+		t.Errorf("Shannon limit = %v dB, want −1.59", got)
+	}
+	// η → 0 recovers the limit; higher efficiency demands more energy.
+	if got := ShannonEbN0ForEfficiency(0); got != ShannonMinEbN0() {
+		t.Errorf("η=0 should return the Shannon limit")
+	}
+	prev := ShannonMinEbN0()
+	for _, eta := range []float64{0.5, 1, 2, 4, 8} {
+		cur := ShannonEbN0ForEfficiency(eta)
+		if cur <= prev {
+			t.Errorf("Eb/N0 not increasing with spectral efficiency at η=%v", eta)
+		}
+		prev = cur
+	}
+}
+
+func TestQAMAboveShannonProperty(t *testing.T) {
+	// Any practical QAM operating point must exceed the Shannon minimum
+	// Eb/N0 at its spectral efficiency (using 1 symbol/s/Hz).
+	for bits := 1; bits <= 10; bits++ {
+		req := NewQAM(bits).RequiredEbN0(NominalBER)
+		min := ShannonEbN0ForEfficiency(float64(bits))
+		if req <= min {
+			t.Errorf("%d-bit QAM @1e-6 Eb/N0 %v below Shannon bound %v", bits, req, min)
+		}
+	}
+}
+
+func TestFixedEbTransmitter(t *testing.T) {
+	rate := units.BitsPerSecond(1024 * 10 * 8000) // 81.92 Mbps
+	tx := FixedEbTransmitter{Eb: units.PicojoulesPerBit(50), MaxRate: rate}
+	p := tx.Power(rate)
+	if math.Abs(p.Milliwatts()-4.096) > 1e-9 {
+		t.Errorf("power = %v mW, want 4.096", p.Milliwatts())
+	}
+	if !tx.Supports(rate) {
+		t.Errorf("rate at limit should be supported")
+	}
+	if tx.Supports(units.MegabitsPerSecond(83)) {
+		t.Errorf("rate above limit should not be supported")
+	}
+	unbounded := FixedEbTransmitter{Eb: units.PicojoulesPerBit(50)}
+	if !unbounded.Supports(units.MegabitsPerSecond(1e6)) {
+		t.Errorf("high-margin transmitter supports any rate")
+	}
+}

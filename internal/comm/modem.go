@@ -1,0 +1,264 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Symbol is one complex baseband symbol.
+type Symbol struct {
+	I, Q float64
+}
+
+// Modem turns bit streams into baseband symbols and back. All modems are
+// normalized to unit average energy per bit (Eb = 1), so an AWGN channel
+// with noise density N0 = 1/(Eb/N0) reproduces a chosen operating point.
+//
+// Bits are represented as byte slices whose elements are 0 or 1.
+type Modem interface {
+	Modulation
+	// Modulate maps bits to symbols. len(bits) must be a multiple of
+	// BitsPerSymbol.
+	Modulate(bits []byte) ([]Symbol, error)
+	// Demodulate maps received symbols back to the most likely bits.
+	Demodulate(syms []Symbol) []byte
+}
+
+// NewModem returns a bit-accurate modem for the given modulation. OOK and
+// QAM with an even number of bits per symbol (square constellations) plus
+// BPSK are supported.
+func NewModem(m Modulation) (Modem, error) {
+	switch mod := m.(type) {
+	case OOK:
+		return ookModem{}, nil
+	case QAM:
+		if mod.Bits == 1 {
+			return newBPSK(), nil
+		}
+		if mod.Bits%2 != 0 {
+			return nil, fmt.Errorf("comm: bit-level modem supports square QAM only (even bits/symbol), got %d", mod.Bits)
+		}
+		return newQAMModem(mod.Bits), nil
+	default:
+		return nil, fmt.Errorf("comm: no modem for modulation %s", m.Name())
+	}
+}
+
+type ookModem struct{ OOK }
+
+func (ookModem) Modulate(bits []byte) ([]Symbol, error) {
+	if err := checkBits(bits, 1); err != nil {
+		return nil, err
+	}
+	// Amplitudes {0, √2}: average symbol energy (0 + 2)/2 = 1 = Eb.
+	amp := math.Sqrt2
+	out := make([]Symbol, len(bits))
+	for i, b := range bits {
+		if b != 0 {
+			out[i] = Symbol{I: amp}
+		}
+	}
+	return out, nil
+}
+
+func (ookModem) Demodulate(syms []Symbol) []byte {
+	out := make([]byte, len(syms))
+	thr := math.Sqrt2 / 2
+	for i, s := range syms {
+		if s.I > thr {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+type bpskModem struct{ QAM }
+
+func newBPSK() bpskModem { return bpskModem{QAM{Bits: 1}} }
+
+func (bpskModem) Modulate(bits []byte) ([]Symbol, error) {
+	if err := checkBits(bits, 1); err != nil {
+		return nil, err
+	}
+	out := make([]Symbol, len(bits))
+	for i, b := range bits {
+		if b != 0 {
+			out[i] = Symbol{I: 1}
+		} else {
+			out[i] = Symbol{I: -1}
+		}
+	}
+	return out, nil
+}
+
+func (bpskModem) Demodulate(syms []Symbol) []byte {
+	out := make([]byte, len(syms))
+	for i, s := range syms {
+		if s.I > 0 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// qamModem is a square M-QAM modem with independent Gray-coded PAM on each
+// axis, normalized to Eb = 1.
+type qamModem struct {
+	QAM
+	levels    int       // per-axis levels L = 2^(Bits/2)
+	scale     float64   // amplitude scale for Eb = 1
+	grayToIdx []int     // gray code → level index
+	idxToGray []int     // level index → gray code
+	amps      []float64 // level index → amplitude
+}
+
+func newQAMModem(bits int) *qamModem {
+	half := bits / 2
+	l := 1 << half
+	m := &qamModem{
+		QAM:       QAM{Bits: bits},
+		levels:    l,
+		grayToIdx: make([]int, l),
+		idxToGray: make([]int, l),
+		amps:      make([]float64, l),
+	}
+	// Average symbol energy of the unscaled ±1, ±3, … grid is 2(M−1)/3;
+	// scale so Es = Bits (i.e. Eb = 1).
+	mSize := float64(int(1) << bits)
+	m.scale = math.Sqrt(float64(bits) / (2 * (mSize - 1) / 3))
+	for i := 0; i < l; i++ {
+		g := i ^ (i >> 1)
+		m.idxToGray[i] = g
+		m.grayToIdx[g] = i
+		m.amps[i] = m.scale * float64(2*i-(l-1))
+	}
+	return m
+}
+
+func (m *qamModem) Modulate(bits []byte) ([]Symbol, error) {
+	if err := checkBits(bits, m.Bits); err != nil {
+		return nil, err
+	}
+	half := m.Bits / 2
+	nSym := len(bits) / m.Bits
+	out := make([]Symbol, nSym)
+	for s := 0; s < nSym; s++ {
+		chunk := bits[s*m.Bits:]
+		out[s] = Symbol{
+			I: m.amps[m.grayToIdx[bitsToInt(chunk[:half])]],
+			Q: m.amps[m.grayToIdx[bitsToInt(chunk[half:m.Bits])]],
+		}
+	}
+	return out, nil
+}
+
+func (m *qamModem) Demodulate(syms []Symbol) []byte {
+	half := m.Bits / 2
+	out := make([]byte, 0, len(syms)*m.Bits)
+	for _, s := range syms {
+		out = appendIntBits(out, m.idxToGray[m.nearestLevel(s.I)], half)
+		out = appendIntBits(out, m.idxToGray[m.nearestLevel(s.Q)], half)
+	}
+	return out
+}
+
+func (m *qamModem) nearestLevel(x float64) int {
+	// Levels are uniformly spaced at 2·scale starting at −(L−1)·scale.
+	idx := int(math.Round((x/m.scale + float64(m.levels-1)) / 2))
+	if idx < 0 {
+		return 0
+	}
+	if idx >= m.levels {
+		return m.levels - 1
+	}
+	return idx
+}
+
+func checkBits(bits []byte, per int) error {
+	if len(bits)%per != 0 {
+		return fmt.Errorf("comm: %d bits not a multiple of %d bits/symbol", len(bits), per)
+	}
+	for i, b := range bits {
+		if b > 1 {
+			return fmt.Errorf("comm: bit %d has non-binary value %d", i, b)
+		}
+	}
+	return nil
+}
+
+func bitsToInt(bits []byte) int {
+	v := 0
+	for _, b := range bits {
+		v = v<<1 | int(b)
+	}
+	return v
+}
+
+func appendIntBits(dst []byte, v, n int) []byte {
+	for i := n - 1; i >= 0; i-- {
+		dst = append(dst, byte(v>>i)&1)
+	}
+	return dst
+}
+
+// AWGNChannel adds white Gaussian noise to symbols at a configured Eb/N0
+// for a modem normalized to Eb = 1.
+type AWGNChannel struct {
+	rng *rand.Rand
+	// sigma is the per-dimension noise standard deviation √(N0/2).
+	sigma float64
+}
+
+// NewAWGNChannel returns a channel at the given linear Eb/N0, seeded for
+// reproducibility.
+func NewAWGNChannel(ebN0 float64, seed int64) *AWGNChannel {
+	if ebN0 <= 0 {
+		panic("comm: Eb/N0 must be positive")
+	}
+	n0 := 1 / ebN0 // Eb = 1 by modem normalization
+	return &AWGNChannel{
+		rng:   rand.New(rand.NewSource(seed)),
+		sigma: math.Sqrt(n0 / 2),
+	}
+}
+
+// Transmit returns a noisy copy of the symbols.
+func (c *AWGNChannel) Transmit(syms []Symbol) []Symbol {
+	out := make([]Symbol, len(syms))
+	for i, s := range syms {
+		out[i] = Symbol{
+			I: s.I + c.rng.NormFloat64()*c.sigma,
+			Q: s.Q + c.rng.NormFloat64()*c.sigma,
+		}
+	}
+	return out
+}
+
+// MeasureBER runs nbits random bits through the modem and an AWGN channel
+// at the given Eb/N0 and returns the measured bit error rate.
+func MeasureBER(m Modem, ebN0 float64, nbits int, seed int64) (float64, error) {
+	per := m.BitsPerSymbol()
+	nbits -= nbits % per
+	if nbits <= 0 {
+		return 0, fmt.Errorf("comm: need at least %d bits", per)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	bits := make([]byte, nbits)
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	syms, err := m.Modulate(bits)
+	if err != nil {
+		return 0, err
+	}
+	ch := NewAWGNChannel(ebN0, seed+1)
+	got := m.Demodulate(ch.Transmit(syms))
+	errs := 0
+	for i := range bits {
+		if bits[i] != got[i] {
+			errs++
+		}
+	}
+	return float64(errs) / float64(nbits), nil
+}

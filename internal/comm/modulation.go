@@ -1,0 +1,148 @@
+// Package comm models the wireless uplink of an implanted BCI SoC.
+//
+// It provides three layers:
+//
+//   - Analysis: modulation schemes (OOK and M-QAM) with analytic BER ↔
+//     Eb/N0 inversions, a link budget that turns a required Eb/N0 into
+//     transmit energy per bit through path loss, margin and implementation
+//     efficiency (Section 5.1–5.2 of the paper), and Shannon-limit helpers.
+//   - Simulation: a bit-level modulator/demodulator over an AWGN channel
+//     whose measured BER is checked against the analytic curves — the
+//     stand-in for RF hardware the paper's authors have and we do not.
+//   - Framing: the packetizer that the communication-centric dataflow uses
+//     to prepare digitized neural samples for transmission.
+package comm
+
+import (
+	"fmt"
+	"math"
+
+	"mindful/internal/mathx"
+)
+
+// Modulation is a digital modulation scheme characterized by its
+// bits-per-symbol and its analytic bit-error-rate curve on an AWGN channel.
+type Modulation interface {
+	// Name identifies the scheme (e.g. "OOK", "16-QAM").
+	Name() string
+	// BitsPerSymbol returns the number of bits encoded in one symbol.
+	BitsPerSymbol() int
+	// BER returns the analytic bit error rate at the given Eb/N0 (linear).
+	BER(ebN0 float64) float64
+	// RequiredEbN0 returns the minimum Eb/N0 (linear) achieving the target
+	// bit error rate.
+	RequiredEbN0(ber float64) float64
+}
+
+// OOK is on-off keying: one bit per symbol, the energy-efficient scheme
+// current implanted SoCs prefer (Section 5.1). With coherent detection its
+// BER is Q(√(Eb/N0)).
+type OOK struct{}
+
+// Name implements Modulation.
+func (OOK) Name() string { return "OOK" }
+
+// BitsPerSymbol implements Modulation.
+func (OOK) BitsPerSymbol() int { return 1 }
+
+// BER implements Modulation.
+func (OOK) BER(ebN0 float64) float64 {
+	if ebN0 <= 0 {
+		return 0.5
+	}
+	return mathx.Q(math.Sqrt(ebN0))
+}
+
+// RequiredEbN0 implements Modulation.
+func (OOK) RequiredEbN0(ber float64) float64 {
+	checkBER(ber)
+	x := mathx.QInv(ber)
+	return x * x
+}
+
+// QAM is square/cross M-ary quadrature amplitude modulation with Gray
+// mapping. For even bits-per-symbol k the constellation is square
+// (M = 2^k); for odd k the standard cross-constellation approximation is
+// used with the same closed form. k = 1 degenerates to BPSK.
+type QAM struct {
+	// Bits is the number of bits per symbol, k ≥ 1.
+	Bits int
+}
+
+// NewQAM returns a k-bit-per-symbol QAM scheme.
+func NewQAM(bits int) QAM {
+	if bits < 1 {
+		panic("comm: QAM requires at least 1 bit per symbol")
+	}
+	return QAM{Bits: bits}
+}
+
+// Name implements Modulation.
+func (q QAM) Name() string {
+	if q.Bits == 1 {
+		return "BPSK"
+	}
+	return fmt.Sprintf("%d-QAM", q.M())
+}
+
+// M returns the constellation size 2^Bits.
+func (q QAM) M() int { return 1 << q.Bits }
+
+// BitsPerSymbol implements Modulation.
+func (q QAM) BitsPerSymbol() int { return q.Bits }
+
+// BER implements Modulation. For k ≥ 2 it uses the standard Gray-coded
+// approximation
+//
+//	Pb ≈ 4/k · (1 − 1/√M) · Q(√(3k/(M−1) · Eb/N0))
+//
+// which is exact in the high-SNR limit for square constellations; k = 1 is
+// exact BPSK.
+func (q QAM) BER(ebN0 float64) float64 {
+	if ebN0 <= 0 {
+		return 0.5
+	}
+	k := float64(q.Bits)
+	if q.Bits == 1 {
+		return mathx.Q(math.Sqrt(2 * ebN0))
+	}
+	m := float64(q.M())
+	coef := 4 / k * (1 - 1/math.Sqrt(m))
+	p := coef * mathx.Q(math.Sqrt(3*k/(m-1)*ebN0))
+	return math.Min(p, 0.5)
+}
+
+// RequiredEbN0 implements Modulation by inverting the BER approximation.
+func (q QAM) RequiredEbN0(ber float64) float64 {
+	checkBER(ber)
+	k := float64(q.Bits)
+	if q.Bits == 1 {
+		x := mathx.QInv(ber)
+		return x * x / 2
+	}
+	m := float64(q.M())
+	coef := 4 / k * (1 - 1/math.Sqrt(m))
+	target := ber / coef
+	if target >= 0.5 {
+		target = 0.499999
+	}
+	x := mathx.QInv(target)
+	return x * x * (m - 1) / (3 * k)
+}
+
+func checkBER(ber float64) {
+	if ber <= 0 || ber >= 0.5 {
+		panic(fmt.Sprintf("comm: target BER %g outside (0, 0.5)", ber))
+	}
+}
+
+// BitsPerSymbolFor returns the paper's Section 5.2 modulation staircase:
+// for a transceiver sized for baseChannels, supporting n channels requires
+// ⌈n / baseChannels⌉ bits per symbol (one extra bit per additional
+// baseChannels block).
+func BitsPerSymbolFor(n, baseChannels int) int {
+	if n <= 0 || baseChannels <= 0 {
+		panic("comm: channel counts must be positive")
+	}
+	return mathx.CeilDiv(n, baseChannels)
+}

@@ -1,0 +1,159 @@
+package comm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mindful/internal/units"
+)
+
+func TestOOKRequiredEbN0(t *testing.T) {
+	// OOK: Pb = Q(√(Eb/N0)); at 1e-6, √(Eb/N0) = QInv(1e-6) ≈ 4.753,
+	// so Eb/N0 ≈ 22.6 (13.5 dB).
+	got := OOK{}.RequiredEbN0(1e-6)
+	if math.Abs(got-22.595) > 0.05 {
+		t.Errorf("OOK Eb/N0 @1e-6 = %v, want ≈22.6", got)
+	}
+	// Round trip.
+	if ber := (OOK{}).BER(got); math.Abs(ber-1e-6) > 1e-8 {
+		t.Errorf("round trip BER = %v", ber)
+	}
+}
+
+func TestBPSKKnownPoint(t *testing.T) {
+	// BPSK @1e-6 requires ≈10.53 dB.
+	got := units.ToDB(NewQAM(1).RequiredEbN0(1e-6))
+	if math.Abs(got-10.53) > 0.05 {
+		t.Errorf("BPSK Eb/N0 @1e-6 = %v dB, want ≈10.53", got)
+	}
+}
+
+func TestQAM16KnownPoint(t *testing.T) {
+	// Gray-coded 16-QAM @1e-6 requires ≈14.4 dB.
+	got := units.ToDB(NewQAM(4).RequiredEbN0(1e-6))
+	if math.Abs(got-14.4) > 0.1 {
+		t.Errorf("16-QAM Eb/N0 @1e-6 = %v dB, want ≈14.4", got)
+	}
+}
+
+func TestQAMRequiredEbN0MonotoneInBits(t *testing.T) {
+	// Denser constellations need more energy per bit (this drives the
+	// paper's Fig. 7 staircase).
+	prev := 0.0
+	for bits := 2; bits <= 10; bits++ {
+		cur := NewQAM(bits).RequiredEbN0(NominalBER)
+		if cur <= prev {
+			t.Errorf("Eb/N0 not increasing at %d bits: %v <= %v", bits, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestBERMonotoneInEbN0Property(t *testing.T) {
+	mods := []Modulation{OOK{}, NewQAM(1), NewQAM(2), NewQAM(4), NewQAM(6)}
+	f := func(a, b float64) bool {
+		x := math.Abs(math.Mod(a, 40)) + 0.1
+		y := x + math.Abs(math.Mod(b, 40)) + 0.1
+		for _, m := range mods {
+			if m.BER(x) < m.BER(y)-1e-15 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBERCeilingAndZeroSNR(t *testing.T) {
+	for _, m := range []Modulation{OOK{}, NewQAM(2), NewQAM(4)} {
+		if got := m.BER(0); got != 0.5 {
+			t.Errorf("%s BER at 0 SNR = %v, want 0.5", m.Name(), got)
+		}
+		if got := m.BER(-3); got != 0.5 {
+			t.Errorf("%s BER at negative SNR = %v, want 0.5", m.Name(), got)
+		}
+	}
+}
+
+func TestRequiredEbN0RoundTripProperty(t *testing.T) {
+	// The Gray-coded approximation is only invertible where the clamped
+	// coefficient does not bite: keep BER ≤ 0.1 (well above any practical
+	// operating point).
+	f := func(u float64) bool {
+		ber := math.Abs(math.Mod(u, 0.1)) + 1e-9
+		if ber >= 0.1 {
+			return true
+		}
+		for _, bits := range []int{1, 2, 3, 4, 6, 8} {
+			m := NewQAM(bits)
+			e := m.RequiredEbN0(ber)
+			if math.Abs(m.BER(e)-ber) > 1e-6*(1+ber) && math.Abs(m.BER(e)-ber) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadBERPanics(t *testing.T) {
+	for _, ber := range []float64{0, 0.5, 1, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RequiredEbN0(%v) should panic", ber)
+				}
+			}()
+			NewQAM(4).RequiredEbN0(ber)
+		}()
+	}
+}
+
+func TestNewQAMValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("NewQAM(0) should panic")
+		}
+	}()
+	NewQAM(0)
+}
+
+func TestModulationNames(t *testing.T) {
+	if got := (OOK{}).Name(); got != "OOK" {
+		t.Errorf("OOK name = %q", got)
+	}
+	if got := NewQAM(1).Name(); got != "BPSK" {
+		t.Errorf("1-bit QAM name = %q", got)
+	}
+	if got := NewQAM(4).Name(); got != "16-QAM" {
+		t.Errorf("4-bit QAM name = %q", got)
+	}
+	if got := NewQAM(4).M(); got != 16 {
+		t.Errorf("M = %d", got)
+	}
+}
+
+func TestBitsPerSymbolStaircase(t *testing.T) {
+	// The paper's rule: n ≤ 1024 → 1 bit; 1024 < n ≤ 2048 → 2 bits; …
+	tests := []struct{ n, want int }{
+		{1, 1}, {1024, 1}, {1025, 2}, {2048, 2}, {2049, 3}, {3072, 3}, {8192, 8},
+	}
+	for _, tt := range tests {
+		if got := BitsPerSymbolFor(tt.n, 1024); got != tt.want {
+			t.Errorf("BitsPerSymbolFor(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("non-positive channels should panic")
+			}
+		}()
+		BitsPerSymbolFor(0, 1024)
+	}()
+}

@@ -1,0 +1,160 @@
+package comm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// The communication-centric dataflow's only computation is digitizing and
+// packetizing raw neural data (Section 3.1). Frame layout (big endian):
+//
+//	magic   uint16  0xB C 1 F
+//	seq     uint32  frame sequence number
+//	chans   uint16  number of channels in the frame
+//	bits    uint8   sample bit width d (1..16)
+//	flags   uint8   reserved
+//	payload []byte  chans samples packed at d bits each, MSB first
+//	crc     uint32  CRC-32 (IEEE) over everything above
+
+// FrameMagic identifies a MINDFUL uplink frame.
+const FrameMagic uint16 = 0xBC1F
+
+const frameHeaderLen = 2 + 4 + 2 + 1 + 1
+
+// Frame is one uplink packet of digitized neural samples.
+type Frame struct {
+	Seq        uint32
+	SampleBits int
+	Samples    []uint16
+	Flags      byte
+}
+
+// Packetizer frames sample vectors for transmission, maintaining the frame
+// sequence counter.
+type Packetizer struct {
+	// SampleBits is the digitized sample width d (Eq. 6); 1..16.
+	SampleBits int
+	seq        uint32
+}
+
+// NewPacketizer returns a packetizer for d-bit samples.
+func NewPacketizer(sampleBits int) (*Packetizer, error) {
+	if sampleBits < 1 || sampleBits > 16 {
+		return nil, fmt.Errorf("comm: sample bits %d outside 1..16", sampleBits)
+	}
+	return &Packetizer{SampleBits: sampleBits}, nil
+}
+
+// Encode frames one sample vector (one sample per channel) and advances the
+// sequence counter.
+func (p *Packetizer) Encode(samples []uint16) ([]byte, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("comm: empty sample vector")
+	}
+	if len(samples) > 0xFFFF {
+		return nil, fmt.Errorf("comm: %d channels exceeds frame limit", len(samples))
+	}
+	max := uint16(1)<<p.SampleBits - 1
+	if p.SampleBits == 16 {
+		max = 0xFFFF
+	}
+	for i, s := range samples {
+		if s > max {
+			return nil, fmt.Errorf("comm: sample %d value %d exceeds %d bits", i, s, p.SampleBits)
+		}
+	}
+	payload := PackSamples(samples, p.SampleBits)
+	buf := make([]byte, 0, frameHeaderLen+len(payload)+4)
+	buf = binary.BigEndian.AppendUint16(buf, FrameMagic)
+	buf = binary.BigEndian.AppendUint32(buf, p.seq)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(samples)))
+	buf = append(buf, byte(p.SampleBits), 0)
+	buf = append(buf, payload...)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	p.seq++
+	return buf, nil
+}
+
+// FrameSizeBits returns the on-air size in bits of a frame carrying the
+// given number of channels at d bits per sample, including header and CRC.
+// This is the per-frame overhead the throughput analysis can account for.
+func FrameSizeBits(channels, sampleBits int) int {
+	payload := (channels*sampleBits + 7) / 8
+	return (frameHeaderLen + payload + 4) * 8
+}
+
+// Decoding errors.
+var (
+	ErrShortFrame = errors.New("comm: frame truncated")
+	ErrBadMagic   = errors.New("comm: bad frame magic")
+	ErrBadCRC     = errors.New("comm: frame CRC mismatch")
+)
+
+// Decode parses and verifies one frame produced by Encode.
+func Decode(buf []byte) (Frame, error) {
+	if len(buf) < frameHeaderLen+4 {
+		return Frame{}, ErrShortFrame
+	}
+	if binary.BigEndian.Uint16(buf[0:2]) != FrameMagic {
+		return Frame{}, ErrBadMagic
+	}
+	body, trailer := buf[:len(buf)-4], buf[len(buf)-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(trailer) {
+		return Frame{}, ErrBadCRC
+	}
+	seq := binary.BigEndian.Uint32(buf[2:6])
+	chans := int(binary.BigEndian.Uint16(buf[6:8]))
+	bits := int(buf[8])
+	flags := buf[9]
+	if bits < 1 || bits > 16 {
+		return Frame{}, fmt.Errorf("comm: frame sample bits %d invalid", bits)
+	}
+	payload := body[frameHeaderLen:]
+	if want := (chans*bits + 7) / 8; len(payload) != want {
+		return Frame{}, fmt.Errorf("comm: payload %d bytes, want %d", len(payload), want)
+	}
+	samples, err := UnpackSamples(payload, chans, bits)
+	if err != nil {
+		return Frame{}, err
+	}
+	return Frame{Seq: seq, SampleBits: bits, Samples: samples, Flags: flags}, nil
+}
+
+// PackSamples packs values at the given bit width, MSB first, padding the
+// final byte with zeros.
+func PackSamples(samples []uint16, bits int) []byte {
+	out := make([]byte, (len(samples)*bits+7)/8)
+	pos := 0
+	for _, s := range samples {
+		for b := bits - 1; b >= 0; b-- {
+			if s>>b&1 != 0 {
+				out[pos/8] |= 1 << (7 - pos%8)
+			}
+			pos++
+		}
+	}
+	return out
+}
+
+// UnpackSamples reverses PackSamples for a known sample count.
+func UnpackSamples(data []byte, count, bits int) ([]uint16, error) {
+	if need := (count*bits + 7) / 8; len(data) < need {
+		return nil, fmt.Errorf("comm: %d bytes too short for %d×%d-bit samples", len(data), count, bits)
+	}
+	out := make([]uint16, count)
+	pos := 0
+	for i := range out {
+		var v uint16
+		for b := 0; b < bits; b++ {
+			v <<= 1
+			if data[pos/8]>>(7-pos%8)&1 != 0 {
+				v |= 1
+			}
+			pos++
+		}
+		out[i] = v
+	}
+	return out, nil
+}

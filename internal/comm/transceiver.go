@@ -1,0 +1,106 @@
+package comm
+
+import (
+	"fmt"
+
+	"mindful/internal/units"
+)
+
+// Antenna is the implant's radiating element, characterized by the
+// bandwidth it offers the transceiver.
+type Antenna struct {
+	// Bandwidth is the usable RF bandwidth.
+	Bandwidth units.Frequency
+}
+
+// IdealRate returns the highest raw rate a modulation can push through the
+// antenna: bandwidth × bits-per-symbol (one symbol per hertz, the
+// idealization of Section 5.1: "if the antenna supports a bandwidth of
+// 100 MHz, an ideal OOK transceiver could theoretically transmit up to
+// 100 Mbps").
+func (a Antenna) IdealRate(m Modulation) units.DataRate {
+	return units.BitsPerSecond(a.Bandwidth.Hz() * float64(m.BitsPerSymbol()))
+}
+
+// Transceiver is the Section 5.1 custom implant transmitter: a modulation
+// scheme behind an antenna, customized for a constant energy per bit up to
+// a practical fraction of the ideal rate.
+type Transceiver struct {
+	Antenna    Antenna
+	Modulation Modulation
+	// Eb is the constant DC energy per bit the design was customized for.
+	Eb units.Energy
+	// Utilization is the fraction of the antenna's ideal rate the
+	// implementation actually achieves (the paper's worked example:
+	// 82 Mbps of a 100 Mbps ideal → 0.82).
+	Utilization float64
+}
+
+// BISCTransceiver reproduces the paper's Section 5.1 worked example: an
+// OOK design customized for Eb = 50 pJ/b on a 100 MHz antenna, supporting
+// exactly the 1024-channel × 10-bit × 8 kHz raw stream (82 Mbps).
+func BISCTransceiver() Transceiver {
+	return Transceiver{
+		Antenna:     Antenna{Bandwidth: units.Megahertz(100)},
+		Modulation:  OOK{},
+		Eb:          units.PicojoulesPerBit(50),
+		Utilization: 0.8192,
+	}
+}
+
+// Validate checks the transceiver.
+func (t Transceiver) Validate() error {
+	if t.Antenna.Bandwidth <= 0 {
+		return fmt.Errorf("comm: non-positive antenna bandwidth")
+	}
+	if t.Modulation == nil {
+		return fmt.Errorf("comm: transceiver has no modulation")
+	}
+	if t.Eb <= 0 {
+		return fmt.Errorf("comm: non-positive energy per bit")
+	}
+	if t.Utilization <= 0 || t.Utilization > 1 {
+		return fmt.Errorf("comm: utilization %g outside (0, 1]", t.Utilization)
+	}
+	return nil
+}
+
+// MaxRate returns the design's supported transmission rate:
+// utilization × ideal antenna rate.
+func (t Transceiver) MaxRate() units.DataRate {
+	return units.BitsPerSecond(t.Antenna.IdealRate(t.Modulation).BPS() * t.Utilization)
+}
+
+// Supports reports whether the design can carry rate r at its constant Eb.
+func (t Transceiver) Supports(r units.DataRate) bool {
+	return r <= t.MaxRate()
+}
+
+// Power returns the DC power at rate r (Eq. 9). It does not check
+// Supports; beyond MaxRate the constant-Eb assumption no longer holds
+// (Shannon pushes Eb up), which is exactly the Section 5.1 scaling wall.
+func (t Transceiver) Power(r units.DataRate) units.Power {
+	return r.TimesEnergyPerBit(t.Eb)
+}
+
+// MaxChannels returns the largest channel count whose raw stream
+// (d bits × f) the design supports — where the naive/high-margin fork of
+// Section 5.1 begins.
+func (t Transceiver) MaxChannels(sampleBits int, f units.Frequency) int {
+	if sampleBits <= 0 || f <= 0 {
+		return 0
+	}
+	perChannel := float64(sampleBits) * f.Hz()
+	return int(t.MaxRate().BPS() / perChannel)
+}
+
+// UpgradeModulation returns a copy using k-bit QAM on the same antenna —
+// the Section 5.2 move. Energy per bit must be re-derived from a link
+// budget; the rate ceiling scales with bits-per-symbol at the same symbol
+// utilization.
+func (t Transceiver) UpgradeModulation(bits int, newEb units.Energy) Transceiver {
+	out := t
+	out.Modulation = NewQAM(bits)
+	out.Eb = newEb
+	return out
+}

@@ -1,0 +1,79 @@
+package comm
+
+import (
+	"math"
+	"testing"
+
+	"mindful/internal/units"
+)
+
+func TestPaperWorkedExample(t *testing.T) {
+	// Section 5.1: "a transceiver customized to a system targeting
+	// exactly Eb = 50 pJ/b, n = 1024 channels, d = 10 bits per sample,
+	// and f = 8 kHz would support a transmission rate of 82 Mbps, even if
+	// the antenna bandwidth is 100 Mbps."
+	tx := BISCTransceiver()
+	if err := tx.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tx.Antenna.IdealRate(OOK{}).Mbps(); math.Abs(got-100) > 1e-9 {
+		t.Errorf("ideal OOK rate = %v Mbps, want 100", got)
+	}
+	if got := tx.MaxRate().Mbps(); math.Abs(got-81.92) > 1e-9 {
+		t.Errorf("max rate = %v Mbps, want 81.92", got)
+	}
+	raw := units.BitsPerSecond(1024 * 10 * 8000)
+	if !tx.Supports(raw) {
+		t.Errorf("the design must support its own raw stream")
+	}
+	if tx.Supports(units.MegabitsPerSecond(82)) {
+		t.Errorf("82 Mbps exceeds the customized 81.92 Mbps ceiling")
+	}
+	// Power at the ceiling: 81.92 Mbps × 50 pJ = 4.096 mW.
+	if got := tx.Power(raw).Milliwatts(); math.Abs(got-4.096) > 1e-9 {
+		t.Errorf("power = %v mW, want 4.096", got)
+	}
+	// Channel ceiling at d=10, f=8 kHz: exactly 1024.
+	if got := tx.MaxChannels(10, units.Kilohertz(8)); got != 1024 {
+		t.Errorf("max channels = %d, want 1024", got)
+	}
+}
+
+func TestQAMUpgradeRaisesCeiling(t *testing.T) {
+	// Section 5.2: more bits per symbol on the same antenna raises the
+	// rate ceiling proportionally — at a higher per-bit energy.
+	base := BISCTransceiver()
+	lb := NominalBudget(0.15)
+	eb2, err := lb.TxEnergyPerBit(NewQAM(2), NominalBER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := base.UpgradeModulation(2, eb2)
+	if err := up.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := up.MaxRate().BPS(), 2*base.MaxRate().BPS(); math.Abs(got-want) > 1e-6 {
+		t.Errorf("2-bit ceiling = %v, want %v", got, want)
+	}
+	if got := up.MaxChannels(10, units.Kilohertz(8)); got != 2048 {
+		t.Errorf("2-bit QAM channels = %d, want 2048", got)
+	}
+}
+
+func TestTransceiverValidation(t *testing.T) {
+	bad := []Transceiver{
+		{Antenna: Antenna{}, Modulation: OOK{}, Eb: units.PicojoulesPerBit(50), Utilization: 0.8},
+		{Antenna: Antenna{Bandwidth: units.Megahertz(100)}, Eb: units.PicojoulesPerBit(50), Utilization: 0.8},
+		{Antenna: Antenna{Bandwidth: units.Megahertz(100)}, Modulation: OOK{}, Utilization: 0.8},
+		{Antenna: Antenna{Bandwidth: units.Megahertz(100)}, Modulation: OOK{}, Eb: units.PicojoulesPerBit(50), Utilization: 0},
+		{Antenna: Antenna{Bandwidth: units.Megahertz(100)}, Modulation: OOK{}, Eb: units.PicojoulesPerBit(50), Utilization: 1.5},
+	}
+	for i, tx := range bad {
+		if err := tx.Validate(); err == nil {
+			t.Errorf("transceiver %d should fail validation", i)
+		}
+	}
+	if got := BISCTransceiver().MaxChannels(0, units.Kilohertz(8)); got != 0 {
+		t.Errorf("degenerate channels = %d", got)
+	}
+}

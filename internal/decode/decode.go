@@ -1,0 +1,342 @@
+// Package decode implements the traditional linear BCI decoders the paper
+// positions as the baseline for on-implant computation (Section 2.3):
+// a Kalman filter, a Wiener (lagged linear) filter, and the shared feature
+// extraction and accuracy metrics. Each decoder reports its per-step
+// multiply-accumulate count so the power framework can compare linear
+// control algorithms against DNNs on equal terms.
+package decode
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mindful/internal/linalg"
+)
+
+// BinSpikeCounts converts per-channel spike sample indices into binned
+// firing-rate features: result[t][c] is the spike count of channel c in bin
+// t. nSamples is the length of the recording and binSamples the bin width,
+// both in samples.
+func BinSpikeCounts(spikeLog [][]int, nSamples, binSamples int) ([][]float64, error) {
+	if binSamples <= 0 {
+		return nil, errors.New("decode: bin width must be positive")
+	}
+	if nSamples <= 0 {
+		return nil, errors.New("decode: recording length must be positive")
+	}
+	bins := nSamples / binSamples
+	out := make([][]float64, bins)
+	flat := make([]float64, bins*len(spikeLog))
+	for t := range out {
+		out[t] = flat[t*len(spikeLog) : (t+1)*len(spikeLog)]
+	}
+	for c, log := range spikeLog {
+		for _, idx := range log {
+			b := idx / binSamples
+			if b >= 0 && b < bins {
+				out[b][c]++
+			}
+		}
+	}
+	return out, nil
+}
+
+// Decoder maps one observation vector to one state estimate.
+type Decoder interface {
+	// Step consumes one observation and returns the state estimate.
+	Step(z []float64) ([]float64, error)
+	// Reset clears temporal state.
+	Reset()
+	// MACsPerStep returns the multiply-accumulate operations one Step
+	// executes, the quantity the power framework prices.
+	MACsPerStep() int
+}
+
+// Kalman is the standard BCI Kalman filter decoder: a linear-Gaussian
+// state-space model
+//
+//	x_t = A·x_{t−1} + w,  w ~ N(0, W)
+//	z_t = H·x_t + q,      q ~ N(0, Q)
+//
+// with the usual predict/update recursion.
+type Kalman struct {
+	A, W, H, Q linalg.Matrix
+
+	x linalg.Matrix // ds×1 state estimate
+	p linalg.Matrix // ds×ds covariance
+}
+
+// FitKalman estimates the model matrices from training pairs: states[t] is
+// the true latent state (e.g. cursor velocity) and obs[t] the observation
+// (binned rates) at bin t. Fits use least squares with a small ridge.
+func FitKalman(states, obs [][]float64) (*Kalman, error) {
+	if len(states) != len(obs) {
+		return nil, fmt.Errorf("decode: %d states vs %d observations", len(states), len(obs))
+	}
+	if len(states) < 3 {
+		return nil, errors.New("decode: need at least 3 training bins")
+	}
+	ds := len(states[0])
+	xAll := linalg.FromRows(states)
+	zAll := linalg.FromRows(obs)
+
+	// A: states[1:] ≈ states[:-1]·Aᵀ.
+	xPrev := linalg.FromRows(states[:len(states)-1])
+	xNext := linalg.FromRows(states[1:])
+	aT, err := linalg.LeastSquares(xPrev, xNext, 1e-6)
+	if err != nil {
+		return nil, fmt.Errorf("decode: fitting A: %w", err)
+	}
+	a := aT.T()
+	w := residualCovariance(xNext, xPrev.Mul(aT))
+
+	// H: obs ≈ states·Hᵀ.
+	hT, err := linalg.LeastSquares(xAll, zAll, 1e-6)
+	if err != nil {
+		return nil, fmt.Errorf("decode: fitting H: %w", err)
+	}
+	h := hT.T()
+	q := residualCovariance(zAll, xAll.Mul(hT))
+	// Regularize Q so the innovation covariance stays invertible even for
+	// silent channels.
+	for i := 0; i < q.Rows; i++ {
+		q.Set(i, i, q.At(i, i)+1e-6)
+	}
+
+	k := &Kalman{A: a, W: w, H: h, Q: q}
+	k.x = linalg.NewMatrix(ds, 1)
+	k.p = linalg.Identity(ds)
+	return k, nil
+}
+
+// residualCovariance returns cov of (y − ŷ) rows.
+func residualCovariance(y, yHat linalg.Matrix) linalg.Matrix {
+	diff := y.Sub(yHat)
+	n := float64(diff.Rows)
+	return diff.T().Mul(diff).Scale(1 / n)
+}
+
+// Step implements Decoder with one predict/update cycle.
+func (k *Kalman) Step(z []float64) ([]float64, error) {
+	if len(z) != k.H.Rows {
+		return nil, fmt.Errorf("decode: observation length %d != %d", len(z), k.H.Rows)
+	}
+	// Predict.
+	xPred := k.A.Mul(k.x)
+	pPred := k.A.Mul(k.p).Mul(k.A.T()).Add(k.W)
+	// Update.
+	zm := linalg.NewMatrix(len(z), 1)
+	copy(zm.Data, z)
+	innov := zm.Sub(k.H.Mul(xPred))
+	s := k.H.Mul(pPred).Mul(k.H.T()).Add(k.Q)
+	sInv, err := s.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("decode: innovation covariance singular: %w", err)
+	}
+	gain := pPred.Mul(k.H.T()).Mul(sInv)
+	k.x = xPred.Add(gain.Mul(innov))
+	k.p = linalg.Identity(pPred.Rows).Sub(gain.Mul(k.H)).Mul(pPred)
+	out := make([]float64, k.x.Rows)
+	copy(out, k.x.Data)
+	return out, nil
+}
+
+// Reset implements Decoder.
+func (k *Kalman) Reset() {
+	k.x = linalg.NewMatrix(k.A.Rows, 1)
+	k.p = linalg.Identity(k.A.Rows)
+}
+
+// MACsPerStep implements Decoder: the dominant matrix products of one
+// predict/update cycle (ignoring the cubic-in-do inversion, which real
+// implementations hoist to a steady-state gain).
+func (k *Kalman) MACsPerStep() int {
+	ds, do := k.A.Rows, k.H.Rows
+	return 2*ds*ds + // A·x, plus A·P·Aᵀ amortized per column
+		2*ds*ds*ds + // covariance products
+		2*ds*do + // H·x, Kᵀ·innovation
+		ds*ds*do // gain application
+}
+
+// SteadyStateGain runs the covariance recursion until the Kalman gain
+// converges and returns a fixed-gain decoder, the form implanted hardware
+// implements (constant-coefficient MACs, no inversion in the loop).
+func (k *Kalman) SteadyStateGain(maxIter int, tol float64) (*FixedGain, error) {
+	p := linalg.Identity(k.A.Rows)
+	var gain linalg.Matrix
+	for i := 0; i < maxIter; i++ {
+		pPred := k.A.Mul(p).Mul(k.A.T()).Add(k.W)
+		s := k.H.Mul(pPred).Mul(k.H.T()).Add(k.Q)
+		sInv, err := s.Inverse()
+		if err != nil {
+			return nil, err
+		}
+		g := pPred.Mul(k.H.T()).Mul(sInv)
+		pNew := linalg.Identity(p.Rows).Sub(g.Mul(k.H)).Mul(pPred)
+		if i > 0 && linalg.MaxAbsDiff(g, gain) < tol {
+			return &FixedGain{A: k.A, H: k.H, K: g, x: linalg.NewMatrix(k.A.Rows, 1)}, nil
+		}
+		gain, p = g, pNew
+	}
+	return nil, errors.New("decode: steady-state gain did not converge")
+}
+
+// FixedGain is a steady-state Kalman decoder: x ← A·x + K·(z − H·A·x).
+type FixedGain struct {
+	A, H, K linalg.Matrix
+	x       linalg.Matrix
+}
+
+// Step implements Decoder.
+func (f *FixedGain) Step(z []float64) ([]float64, error) {
+	if len(z) != f.H.Rows {
+		return nil, fmt.Errorf("decode: observation length %d != %d", len(z), f.H.Rows)
+	}
+	xPred := f.A.Mul(f.x)
+	zm := linalg.NewMatrix(len(z), 1)
+	copy(zm.Data, z)
+	f.x = xPred.Add(f.K.Mul(zm.Sub(f.H.Mul(xPred))))
+	out := make([]float64, f.x.Rows)
+	copy(out, f.x.Data)
+	return out, nil
+}
+
+// Reset implements Decoder.
+func (f *FixedGain) Reset() { f.x = linalg.NewMatrix(f.A.Rows, 1) }
+
+// MACsPerStep implements Decoder: A·x + H·x̂ + K·innovation.
+func (f *FixedGain) MACsPerStep() int {
+	ds, do := f.A.Rows, f.H.Rows
+	return ds*ds + do*ds + ds*do
+}
+
+// Wiener is a lagged linear (FIR) decoder: x_t = Σ_{l=0}^{L−1} W_l·z_{t−l}.
+type Wiener struct {
+	// W maps the stacked lag vector (do·L) to the state (ds).
+	W    linalg.Matrix
+	Lags int
+
+	hist [][]float64
+}
+
+// FitWiener fits a Wiener filter with the given number of lags by ridge
+// regression over the training pairs.
+func FitWiener(states, obs [][]float64, lags int, ridge float64) (*Wiener, error) {
+	if lags <= 0 {
+		return nil, errors.New("decode: lags must be positive")
+	}
+	if len(states) != len(obs) {
+		return nil, fmt.Errorf("decode: %d states vs %d observations", len(states), len(obs))
+	}
+	if len(obs) <= lags {
+		return nil, errors.New("decode: not enough training bins for lag depth")
+	}
+	do := len(obs[0])
+	rows := len(obs) - lags + 1
+	design := linalg.NewMatrix(rows, do*lags)
+	target := linalg.NewMatrix(rows, len(states[0]))
+	for t := 0; t < rows; t++ {
+		at := t + lags - 1 // current bin index
+		for l := 0; l < lags; l++ {
+			for c := 0; c < do; c++ {
+				design.Set(t, l*do+c, obs[at-l][c])
+			}
+		}
+		copy(target.Data[t*target.Cols:(t+1)*target.Cols], states[at])
+	}
+	wT, err := linalg.LeastSquares(design, target, ridge)
+	if err != nil {
+		return nil, fmt.Errorf("decode: fitting Wiener: %w", err)
+	}
+	return &Wiener{W: wT.T(), Lags: lags}, nil
+}
+
+// Step implements Decoder.
+func (w *Wiener) Step(z []float64) ([]float64, error) {
+	do := w.W.Cols / w.Lags
+	if len(z) != do {
+		return nil, fmt.Errorf("decode: observation length %d != %d", len(z), do)
+	}
+	zc := make([]float64, len(z))
+	copy(zc, z)
+	w.hist = append([][]float64{zc}, w.hist...)
+	if len(w.hist) > w.Lags {
+		w.hist = w.hist[:w.Lags]
+	}
+	stacked := make([]float64, w.W.Cols)
+	for l, h := range w.hist {
+		copy(stacked[l*do:(l+1)*do], h)
+	}
+	return w.W.MulVec(stacked), nil
+}
+
+// Reset implements Decoder.
+func (w *Wiener) Reset() { w.hist = nil }
+
+// MACsPerStep implements Decoder.
+func (w *Wiener) MACsPerStep() int { return w.W.Rows * w.W.Cols }
+
+// Run feeds every observation through a decoder, returning the estimate
+// trajectory.
+func Run(d Decoder, obs [][]float64) ([][]float64, error) {
+	out := make([][]float64, len(obs))
+	for i, z := range obs {
+		x, err := d.Step(z)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = x
+	}
+	return out, nil
+}
+
+// Correlation returns the Pearson correlation between two equal-length
+// scalar series; 0 if degenerate.
+func Correlation(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0
+	}
+	ma, mb := mean(a), mean(b)
+	var num, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		num += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return num / math.Sqrt(va*vb)
+}
+
+// RMSE returns the root-mean-square error between two scalar series.
+func RMSE(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(a)))
+}
+
+// Column extracts component j from a trajectory.
+func Column(traj [][]float64, j int) []float64 {
+	out := make([]float64, len(traj))
+	for i, row := range traj {
+		out[i] = row[j]
+	}
+	return out
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

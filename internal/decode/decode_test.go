@@ -1,0 +1,268 @@
+package decode
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mindful/internal/neural"
+	"mindful/internal/units"
+)
+
+// synthLinearSystem generates a smooth 2-D latent trajectory and noisy
+// linear observations of it.
+func synthLinearSystem(t *testing.T, bins, channels int, noise float64, seed int64) (states, obs [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	h := make([][]float64, channels)
+	for c := range h {
+		h[c] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	states = make([][]float64, bins)
+	obs = make([][]float64, bins)
+	for t := range states {
+		phase := float64(t) * 0.05
+		states[t] = []float64{math.Sin(phase), math.Cos(phase * 0.7)}
+		row := make([]float64, channels)
+		for c := range row {
+			row[c] = h[c][0]*states[t][0] + h[c][1]*states[t][1] + rng.NormFloat64()*noise
+		}
+		obs[t] = row
+	}
+	return states, obs
+}
+
+func TestKalmanDecodesLinearSystem(t *testing.T) {
+	states, obs := synthLinearSystem(t, 600, 24, 0.3, 4)
+	split := 400
+	k, err := FitKalman(states[:split], obs[:split])
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Run(k, obs[split:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dim := 0; dim < 2; dim++ {
+		r := Correlation(Column(states[split:], dim), Column(est, dim))
+		if r < 0.85 {
+			t.Errorf("dim %d correlation = %.3f, want ≥0.85", dim, r)
+		}
+	}
+}
+
+func TestFixedGainMatchesFullKalman(t *testing.T) {
+	states, obs := synthLinearSystem(t, 600, 16, 0.3, 5)
+	k, err := FitKalman(states[:400], obs[:400])
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg, err := k.SteadyStateGain(500, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(k, obs[400:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := Run(fg, obs[400:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After burn-in the two must agree closely.
+	for dim := 0; dim < 2; dim++ {
+		a := Column(full[50:], dim)
+		b := Column(fixed[50:], dim)
+		if rm := RMSE(a, b); rm > 0.1 {
+			t.Errorf("dim %d fixed-gain RMSE vs full = %v", dim, rm)
+		}
+	}
+	// And the fixed-gain decoder must be far cheaper.
+	if fg.MACsPerStep() >= k.MACsPerStep() {
+		t.Errorf("fixed gain MACs %d not below full Kalman %d", fg.MACsPerStep(), k.MACsPerStep())
+	}
+}
+
+func TestWienerDecodesLinearSystem(t *testing.T) {
+	states, obs := synthLinearSystem(t, 600, 24, 0.3, 6)
+	split := 400
+	w, err := FitWiener(states[:split], obs[:split], 3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Run(w, obs[split:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dim := 0; dim < 2; dim++ {
+		r := Correlation(Column(states[split:], dim), Column(est, dim))
+		if r < 0.85 {
+			t.Errorf("dim %d correlation = %.3f, want ≥0.85", dim, r)
+		}
+	}
+	if got := w.MACsPerStep(); got != 2*24*3 {
+		t.Errorf("Wiener MACs = %d, want %d", got, 2*24*3)
+	}
+}
+
+func TestKalmanOnSyntheticNeuralData(t *testing.T) {
+	// Full-substrate integration: spiking generator → binned counts →
+	// Kalman → decoded intent.
+	cfg := neural.DefaultConfig()
+	cfg.Channels = 96
+	cfg.ActiveFraction = 1
+	cfg.MeanRateHz = 60
+	cfg.ModulationDepth = 0.95
+	cfg.SampleRate = units.Kilohertz(1)
+	g, err := neural.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.RecordSpikes(true)
+	binSamples := 100 // 100 ms bins
+	bins := 500
+	states := make([][]float64, bins)
+	for b := 0; b < bins; b++ {
+		phase := float64(b) * 0.08
+		x, y := math.Sin(phase), math.Cos(phase*0.6)
+		g.SetIntent(x, y)
+		g.NextBlock(binSamples)
+		states[b] = []float64{x, y}
+	}
+	obs, err := BinSpikeCounts(g.SpikeLog(), bins*binSamples, binSamples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := 350
+	k, err := FitKalman(states[:split], obs[:split])
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Run(k, obs[split:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dim := 0; dim < 2; dim++ {
+		r := Correlation(Column(states[split:], dim), Column(est, dim))
+		if r < 0.6 {
+			t.Errorf("neural-data dim %d correlation = %.3f, want ≥0.6", dim, r)
+		}
+	}
+}
+
+func TestBinSpikeCounts(t *testing.T) {
+	log := [][]int{{0, 5, 99, 100}, {50}}
+	bins, err := BinSpikeCounts(log, 200, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) != 2 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	if bins[0][0] != 3 || bins[1][0] != 1 {
+		t.Errorf("channel 0 counts: %v %v", bins[0][0], bins[1][0])
+	}
+	if bins[0][1] != 1 || bins[1][1] != 0 {
+		t.Errorf("channel 1 counts: %v %v", bins[0][1], bins[1][1])
+	}
+	if _, err := BinSpikeCounts(log, 200, 0); err == nil {
+		t.Errorf("zero bin width should fail")
+	}
+	if _, err := BinSpikeCounts(log, 0, 10); err == nil {
+		t.Errorf("zero length should fail")
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := FitKalman([][]float64{{1, 2}}, [][]float64{{1}, {2}}); err == nil {
+		t.Errorf("length mismatch should fail")
+	}
+	if _, err := FitKalman([][]float64{{1, 2}}, [][]float64{{1}}); err == nil {
+		t.Errorf("too little data should fail")
+	}
+	if _, err := FitWiener([][]float64{{1}}, [][]float64{{1}}, 0, 0); err == nil {
+		t.Errorf("zero lags should fail")
+	}
+	if _, err := FitWiener([][]float64{{1}, {2}}, [][]float64{{1}, {2}}, 5, 0); err == nil {
+		t.Errorf("insufficient bins for lags should fail")
+	}
+}
+
+func TestStepValidation(t *testing.T) {
+	states, obs := synthLinearSystem(t, 100, 8, 0.2, 7)
+	k, err := FitKalman(states, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Step(make([]float64, 3)); err == nil {
+		t.Errorf("wrong observation length should fail")
+	}
+	w, err := FitWiener(states, obs, 2, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Step(make([]float64, 3)); err == nil {
+		t.Errorf("wrong observation length should fail")
+	}
+}
+
+func TestReset(t *testing.T) {
+	states, obs := synthLinearSystem(t, 100, 8, 0.2, 8)
+	k, err := FitKalman(states, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := k.Step(obs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Step(obs[1]); err != nil {
+		t.Fatal(err)
+	}
+	k.Reset()
+	again, err := k.Step(obs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if first[i] != again[i] {
+			t.Fatalf("Reset did not restore initial state")
+		}
+	}
+	w, err := FitWiener(states, obs, 2, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, _ := w.Step(obs[0])
+	w.Step(obs[1])
+	w.Reset()
+	wf2, _ := w.Step(obs[0])
+	for i := range wf {
+		if wf[i] != wf2[i] {
+			t.Fatalf("Wiener Reset did not restore state")
+		}
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if r := Correlation(a, a); math.Abs(r-1) > 1e-12 {
+		t.Errorf("self correlation = %v", r)
+	}
+	neg := []float64{4, 3, 2, 1}
+	if r := Correlation(a, neg); math.Abs(r+1) > 1e-12 {
+		t.Errorf("anti correlation = %v", r)
+	}
+	if r := Correlation(a, []float64{1, 1, 1, 1}); r != 0 {
+		t.Errorf("degenerate correlation = %v", r)
+	}
+	if r := Correlation(a, a[:2]); r != 0 {
+		t.Errorf("length mismatch correlation = %v", r)
+	}
+	if got := RMSE(a, []float64{2, 3, 4, 5}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("RMSE = %v", got)
+	}
+	if !math.IsNaN(RMSE(a, a[:2])) {
+		t.Errorf("mismatched RMSE should be NaN")
+	}
+}

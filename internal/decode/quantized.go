@@ -1,0 +1,170 @@
+package decode
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mindful/internal/fixed"
+	"mindful/internal/linalg"
+)
+
+// QuantizedFixedGain is a fixed-point implementation of the steady-state
+// Kalman decoder: all matrices are quantized to a Q-format and every
+// multiply-accumulate runs through the datapath model in internal/fixed.
+// This is the form an implanted ASIC implements — constant coefficients in
+// ROM, narrow MACs — and mirrors the tunable accuracy/energy trade-off of
+// the paper's companion Kalman-architecture work (its references [31, 32]):
+// fewer bits, less energy, more decoding error.
+type QuantizedFixedGain struct {
+	Format fixed.Format
+
+	// Quantized matrices with per-matrix scale factors (value = q·scale).
+	a, h, k          [][]fixed.Value
+	aScale           float64
+	hScale, kScale   float64
+	stateDim, obsDim int
+
+	x []float64
+}
+
+// NewQuantizedFixedGain quantizes a float fixed-gain decoder into the
+// given format.
+func NewQuantizedFixedGain(fg *FixedGain, f fixed.Format) (*QuantizedFixedGain, error) {
+	if fg == nil {
+		return nil, errors.New("decode: nil fixed-gain decoder")
+	}
+	if !f.Valid() {
+		return nil, fmt.Errorf("decode: invalid format %v", f)
+	}
+	q := &QuantizedFixedGain{
+		Format:   f,
+		stateDim: fg.A.Rows,
+		obsDim:   fg.H.Rows,
+		x:        make([]float64, fg.A.Rows),
+	}
+	q.a, q.aScale = quantizeMatrix(fg.A, f)
+	q.h, q.hScale = quantizeMatrix(fg.H, f)
+	q.k, q.kScale = quantizeMatrix(fg.K, f)
+	return q, nil
+}
+
+// quantizeMatrix maps a matrix into format f with a per-matrix max-abs
+// scale, returning rows of fixed values and the scale.
+func quantizeMatrix(m linalg.Matrix, f fixed.Format) ([][]fixed.Value, float64) {
+	scale := 0.0
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	rows := make([][]fixed.Value, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		row := make([]fixed.Value, m.Cols)
+		for c := 0; c < m.Cols; c++ {
+			row[c] = fixed.FromFloat(m.At(r, c)/scale, f)
+		}
+		rows[r] = row
+	}
+	return rows, scale
+}
+
+// mulQuantized computes (q·scale)·vec through the fixed-point datapath:
+// the vector is quantized against its own max-abs scale, each output is an
+// exact fixed accumulation, and the result is rescaled to float.
+func mulQuantized(rows [][]fixed.Value, scale float64, vec []float64, f fixed.Format) []float64 {
+	vScale := 0.0
+	for _, v := range vec {
+		if a := math.Abs(v); a > vScale {
+			vScale = a
+		}
+	}
+	if vScale == 0 {
+		vScale = 1
+	}
+	qv := make([]fixed.Value, len(vec))
+	for i, v := range vec {
+		qv[i] = fixed.FromFloat(v/vScale, f)
+	}
+	out := make([]float64, len(rows))
+	for r, row := range rows {
+		acc := fixed.NewAcc(f)
+		for c := range row {
+			acc.MAC(row[c], qv[c])
+		}
+		out[r] = acc.Float() * scale * vScale
+	}
+	return out
+}
+
+// Step implements Decoder: x ← A·x + K·(z − H·A·x), entirely in the
+// quantized datapath.
+func (q *QuantizedFixedGain) Step(z []float64) ([]float64, error) {
+	if len(z) != q.obsDim {
+		return nil, fmt.Errorf("decode: observation length %d != %d", len(z), q.obsDim)
+	}
+	xPred := mulQuantized(q.a, q.aScale, q.x, q.Format)
+	zPred := mulQuantized(q.h, q.hScale, xPred, q.Format)
+	innov := make([]float64, len(z))
+	for i := range z {
+		innov[i] = z[i] - zPred[i]
+	}
+	corr := mulQuantized(q.k, q.kScale, innov, q.Format)
+	for i := range q.x {
+		q.x[i] = xPred[i] + corr[i]
+	}
+	out := make([]float64, len(q.x))
+	copy(out, q.x)
+	return out, nil
+}
+
+// Reset implements Decoder.
+func (q *QuantizedFixedGain) Reset() {
+	for i := range q.x {
+		q.x[i] = 0
+	}
+}
+
+// MACsPerStep implements Decoder (same structure as the float decoder).
+func (q *QuantizedFixedGain) MACsPerStep() int {
+	ds, do := q.stateDim, q.obsDim
+	return ds*ds + do*ds + ds*do
+}
+
+// EnergyPerStepJ returns the datapath energy of one step given a per-MAC
+// energy that scales quadratically with datapath width relative to 8 bits
+// (multiplier area/energy ∝ bits²) — the knob behind the tunable
+// accuracy/energy trade-off.
+func (q *QuantizedFixedGain) EnergyPerStepJ(macStep8bitJ float64) float64 {
+	widthFactor := float64(q.Format.Bits) * float64(q.Format.Bits) / 64
+	return float64(q.MACsPerStep()) * macStep8bitJ * widthFactor
+}
+
+// AccuracyStudy compares the quantized decoder against its float reference
+// on a trajectory, returning the RMSE between the two state estimates per
+// dimension.
+func AccuracyStudy(fg *FixedGain, f fixed.Format, obs [][]float64) ([]float64, error) {
+	q, err := NewQuantizedFixedGain(fg, f)
+	if err != nil {
+		return nil, err
+	}
+	fg.Reset()
+	defer fg.Reset()
+	refTraj, err := Run(fg, obs)
+	if err != nil {
+		return nil, err
+	}
+	qTraj, err := Run(q, obs)
+	if err != nil {
+		return nil, err
+	}
+	dims := len(refTraj[0])
+	out := make([]float64, dims)
+	for d := 0; d < dims; d++ {
+		out[d] = RMSE(Column(refTraj, d), Column(qTraj, d))
+	}
+	return out, nil
+}

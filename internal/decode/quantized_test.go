@@ -1,0 +1,158 @@
+package decode
+
+import (
+	"math"
+	"testing"
+
+	"mindful/internal/fixed"
+)
+
+func trainedFixedGain(t *testing.T) (*FixedGain, [][]float64, [][]float64) {
+	t.Helper()
+	states, obs := synthLinearSystem(t, 600, 16, 0.3, 21)
+	k, err := FitKalman(states[:400], obs[:400])
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg, err := k.SteadyStateGain(500, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fg, states[400:], obs[400:]
+}
+
+func TestQuantizedTracksFloatAt16Bits(t *testing.T) {
+	fg, states, obs := trainedFixedGain(t)
+	q, err := NewQuantizedFixedGain(fg, fixed.Q15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Run(q, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dim := 0; dim < 2; dim++ {
+		r := Correlation(Column(states, dim), Column(est, dim))
+		if r < 0.85 {
+			t.Errorf("16-bit quantized decoder dim %d correlation = %.3f", dim, r)
+		}
+	}
+}
+
+func TestAccuracyDegradesGracefullyWithBits(t *testing.T) {
+	// The tunable accuracy/energy trade-off: fewer datapath bits, larger
+	// deviation from the float reference — monotonically.
+	fg, _, obs := trainedFixedGain(t)
+	formats := []fixed.Format{
+		{Bits: 16, Frac: 15},
+		{Bits: 12, Frac: 11},
+		{Bits: 8, Frac: 7},
+		{Bits: 6, Frac: 5},
+	}
+	prev := -1.0
+	for _, f := range formats {
+		rmse, err := AccuracyStudy(fg, f, obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst := math.Max(rmse[0], rmse[1])
+		if prev >= 0 && worst < prev*0.5 {
+			t.Errorf("error did not grow when shrinking to %v: %v after %v", f, worst, prev)
+		}
+		prev = worst
+	}
+	// 16-bit error is small in absolute terms (states are O(1)).
+	rmse16, err := AccuracyStudy(fg, fixed.Q15, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse16[0] > 0.05 || rmse16[1] > 0.05 {
+		t.Errorf("16-bit RMSE vs float = %v, want < 0.05", rmse16)
+	}
+}
+
+func TestEnergyScalesWithWidth(t *testing.T) {
+	fg, _, _ := trainedFixedGain(t)
+	q16, err := NewQuantizedFixedGain(fg, fixed.Q15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q8, err := NewQuantizedFixedGain(fg, fixed.Q7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const macJ = 1e-13 // 0.1 pJ per 8-bit MAC
+	e16 := q16.EnergyPerStepJ(macJ)
+	e8 := q8.EnergyPerStepJ(macJ)
+	if math.Abs(e16/e8-4) > 1e-9 {
+		t.Errorf("16-bit/8-bit energy ratio = %v, want 4 (quadratic in width)", e16/e8)
+	}
+	if q8.MACsPerStep() != fg.MACsPerStep() {
+		t.Errorf("quantized MAC count %d != float %d", q8.MACsPerStep(), fg.MACsPerStep())
+	}
+}
+
+func TestQuantizedValidation(t *testing.T) {
+	if _, err := NewQuantizedFixedGain(nil, fixed.Q7); err == nil {
+		t.Errorf("nil decoder should fail")
+	}
+	fg, _, _ := trainedFixedGain(t)
+	if _, err := NewQuantizedFixedGain(fg, fixed.Format{Bits: 1, Frac: 0}); err == nil {
+		t.Errorf("invalid format should fail")
+	}
+	q, err := NewQuantizedFixedGain(fg, fixed.Q15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Step(make([]float64, 3)); err == nil {
+		t.Errorf("wrong observation size should fail")
+	}
+}
+
+func TestQuantizedReset(t *testing.T) {
+	fg, _, obs := trainedFixedGain(t)
+	q, err := NewQuantizedFixedGain(fg, fixed.Q15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := q.Step(obs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Step(obs[1]); err != nil {
+		t.Fatal(err)
+	}
+	q.Reset()
+	again, err := q.Step(obs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if first[i] != again[i] {
+			t.Fatalf("Reset did not restore initial state")
+		}
+	}
+}
+
+func TestZeroMatrixQuantization(t *testing.T) {
+	// A decoder with an all-zero gain must survive quantization (scale
+	// fallback) and behave like pure prediction.
+	fg, _, obs := trainedFixedGain(t)
+	zeroK := fg.K.Scale(0)
+	z := &FixedGain{A: fg.A, H: fg.H, K: zeroK, x: fg.x}
+	z.Reset()
+	q, err := NewQuantizedFixedGain(z, fixed.Q15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := q.Step(obs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out {
+		if v != 0 {
+			t.Errorf("zero-gain decoder from zero state should stay at zero, got %v", out)
+			break
+		}
+	}
+}

@@ -1,0 +1,316 @@
+// Package dnnmodel describes the DNN workloads of Section 5.3 structurally:
+// layer shapes, the f_MAC decomposition of Eq. (10), the α channel-scaling
+// rule, and the implant/wearable partitioning of Section 6.1.
+//
+// Two templates mirror the paper's workloads — an MLP and a densely
+// connected CNN (DN-CNN), both sized for speech synthesis from 128-channel,
+// 2 kHz ECoG with 40 output labels. The exact hidden dimensions of the
+// original networks are not published; the shapes here are calibrated so
+// the framework reproduces the paper's feasibility crossovers (≈1800
+// channels for the MLP, ≈1400 for the DN-CNN, partition gains ≈20% for the
+// MLP and ≈0 for the DN-CNN). See DESIGN.md for the calibration notes.
+package dnnmodel
+
+import (
+	"fmt"
+	"math"
+
+	"mindful/internal/units"
+)
+
+// Kind discriminates layer types.
+type Kind int
+
+// Layer kinds.
+const (
+	DenseKind Kind = iota
+	ConvKind
+)
+
+// LayerSpec is one layer's structural description.
+type LayerSpec struct {
+	Kind Kind
+	// Dense: In/Out are feature counts. Conv: In/Out are channel counts.
+	In, Out int
+	// Conv only: kernel width and input spatial length (stride 1, valid).
+	K, InLen int
+}
+
+// Validate checks the spec is structurally sound.
+func (l LayerSpec) Validate() error {
+	if l.In <= 0 || l.Out <= 0 {
+		return fmt.Errorf("dnnmodel: non-positive layer dims %d→%d", l.In, l.Out)
+	}
+	if l.Kind == ConvKind {
+		if l.K <= 0 || l.InLen < l.K {
+			return fmt.Errorf("dnnmodel: conv K=%d over length %d invalid", l.K, l.InLen)
+		}
+	}
+	return nil
+}
+
+// OutLen returns a conv layer's output length (stride 1, valid padding);
+// dense layers return 1.
+func (l LayerSpec) OutLen() int {
+	if l.Kind == ConvKind {
+		return l.InLen - l.K + 1
+	}
+	return 1
+}
+
+// MACOps returns #MAC_op: the independent multiply-accumulate sequences in
+// the layer (Fig. 8's definition — output neurons for dense, output
+// positions × output channels for conv).
+func (l LayerSpec) MACOps() int {
+	if l.Kind == ConvKind {
+		return l.Out * l.OutLen()
+	}
+	return l.Out
+}
+
+// MACSeq returns MAC_seq: the accumulation length of each MAC_op.
+func (l LayerSpec) MACSeq() int {
+	if l.Kind == ConvKind {
+		return l.K * l.In
+	}
+	return l.In
+}
+
+// TotalMACs returns #MAC_op × MAC_seq for the layer.
+func (l LayerSpec) TotalMACs() int { return l.MACOps() * l.MACSeq() }
+
+// Weights returns the layer's parameter count (weights only; biases are
+// negligible for the paper's model-size metric).
+func (l LayerSpec) Weights() int {
+	if l.Kind == ConvKind {
+		return l.Out * l.In * l.K
+	}
+	return l.Out * l.In
+}
+
+// OutputValues returns the number of values the layer emits per inference —
+// the quantity that sets T_comm when the network is cut after this layer.
+func (l LayerSpec) OutputValues() int {
+	if l.Kind == ConvKind {
+		return l.Out * l.OutLen()
+	}
+	return l.Out
+}
+
+// Model is a concrete (already scaled) network.
+type Model struct {
+	Name string
+	// Channels is the NI channel count n this instance was scaled for.
+	Channels int
+	// Alpha is the scaling factor n / baseChannels.
+	Alpha float64
+	// Labels is the fixed output size (speech frequencies in the paper).
+	Labels int
+	// SampleRate is the application's native sampling rate: one inference
+	// must complete per sample period (the real-time deadline t = 1/f).
+	SampleRate units.Frequency
+	Layers     []LayerSpec
+}
+
+// Validate checks every layer and inter-layer compatibility of sizes.
+func (m Model) Validate() error {
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("dnnmodel: %s has no layers", m.Name)
+	}
+	for i, l := range m.Layers {
+		if err := l.Validate(); err != nil {
+			return fmt.Errorf("dnnmodel: %s layer %d: %w", m.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// TotalMACs returns the per-inference MAC step count.
+func (m Model) TotalMACs() int {
+	t := 0
+	for _, l := range m.Layers {
+		t += l.TotalMACs()
+	}
+	return t
+}
+
+// TotalWeights returns the model size in weights (the Fig. 12 metric).
+func (m Model) TotalWeights() int {
+	t := 0
+	for _, l := range m.Layers {
+		t += l.Weights()
+	}
+	return t
+}
+
+// OutputValues returns the final layer's output size.
+func (m Model) OutputValues() int {
+	return m.Layers[len(m.Layers)-1].OutputValues()
+}
+
+// Prefix returns the on-implant sub-model consisting of layers [0, cut].
+func (m Model) Prefix(cut int) (Model, error) {
+	if cut < 0 || cut >= len(m.Layers) {
+		return Model{}, fmt.Errorf("dnnmodel: cut %d outside [0, %d]", cut, len(m.Layers)-1)
+	}
+	out := m
+	out.Name = fmt.Sprintf("%s[0:%d]", m.Name, cut+1)
+	out.Layers = m.Layers[:cut+1]
+	return out, nil
+}
+
+// Partition implements Section 6.1's layer-reduction rule: it returns the
+// earliest cut index whose post-cut transmission volume fits maxValues
+// output values per inference (the value budget of a 1024-channel
+// communication-centric design). The second result is false when only the
+// complete network satisfies the bound (no benefit).
+func (m Model) Partition(maxValues int) (int, bool) {
+	for i := 0; i < len(m.Layers)-1; i++ {
+		if m.Layers[i].OutputValues() <= maxValues {
+			return i, true
+		}
+	}
+	return len(m.Layers) - 1, false
+}
+
+// DepthPolicy maps the scaling factor α to the number of extra hidden
+// layers inserted when a template is scaled (the paper scales "the network
+// depth according to α").
+type DepthPolicy func(alpha float64) int
+
+// DefaultDepth adds ⌈log₂ α⌉ layers for α > 1 and none otherwise.
+func DefaultDepth(alpha float64) int {
+	if alpha <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(alpha)))
+}
+
+// Template is a scalable network family.
+type Template struct {
+	Name string
+	// BaseChannels is the channel count the original network was built
+	// for (n₀ = 128 in the paper's workloads).
+	BaseChannels int
+	// SampleRate is the workload's native sampling rate (2 kHz for the
+	// paper's speech-synthesis networks); it sets the real-time deadline
+	// and the inference rate for output transmission.
+	SampleRate units.Frequency
+	// Labels is the fixed output size.
+	Labels int
+	// Depth is the depth-scaling policy (DefaultDepth if nil).
+	Depth DepthPolicy
+	// build produces the layer stack for a given α, channel count and
+	// extra depth.
+	build func(alpha float64, channels, extraDepth, labels int) []LayerSpec
+}
+
+// Scale instantiates the template for n channels with α = n/BaseChannels
+// (Section 5.3's scaling factor).
+func (t Template) Scale(n int) (Model, error) {
+	if n <= 0 {
+		return Model{}, fmt.Errorf("dnnmodel: channel count %d must be positive", n)
+	}
+	alpha := float64(n) / float64(t.BaseChannels)
+	depth := t.Depth
+	if depth == nil {
+		depth = DefaultDepth
+	}
+	m := Model{
+		Name:       t.Name,
+		Channels:   n,
+		Alpha:      alpha,
+		Labels:     t.Labels,
+		SampleRate: t.SampleRate,
+		Layers:     t.build(alpha, n, depth(alpha), t.Labels),
+	}
+	if err := m.Validate(); err != nil {
+		return Model{}, err
+	}
+	return m, nil
+}
+
+// scaleDim rounds a base width by α with a floor of 1.
+func scaleDim(base int, alpha float64) int {
+	v := int(math.Round(float64(base) * alpha))
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// MLP returns the multi-layer-perceptron template: a wide first hidden
+// layer, a narrow bottleneck (whose output is what partitioning can ship
+// to the wearable), extra bottleneck-width layers added with depth, and a
+// wide pre-output layer.
+func MLP() Template {
+	return Template{
+		Name:         "MLP",
+		BaseChannels: 128,
+		SampleRate:   units.Kilohertz(2),
+		Labels:       40,
+		build: func(alpha float64, channels, extraDepth, labels int) []LayerSpec {
+			h1 := scaleDim(1920, alpha)
+			bott := scaleDim(60, alpha)
+			h2 := scaleDim(2880, alpha)
+			layers := []LayerSpec{
+				{Kind: DenseKind, In: channels, Out: h1},
+				{Kind: DenseKind, In: h1, Out: bott},
+			}
+			for i := 0; i < extraDepth; i++ {
+				layers = append(layers, LayerSpec{Kind: DenseKind, In: bott, Out: bott})
+			}
+			layers = append(layers,
+				LayerSpec{Kind: DenseKind, In: bott, Out: h2},
+				LayerSpec{Kind: DenseKind, In: h2, Out: labels},
+			)
+			return layers
+		},
+	}
+}
+
+// DNCNNWindow is the DN-CNN's input window length in samples.
+const DNCNNWindow = 16
+
+// DNCNN returns the densely connected CNN template: a channel-reducing
+// front convolution, a dense block whose convolutions see concatenated
+// features, a transition convolution (repeated with depth), and a dense
+// classifier. Its intermediate feature maps are large, which is exactly
+// why Section 6.1 finds no partitioning benefit for it.
+func DNCNN() Template {
+	return Template{
+		Name:         "DN-CNN",
+		BaseChannels: 128,
+		SampleRate:   units.Kilohertz(2),
+		Labels:       40,
+		build: func(alpha float64, channels, extraDepth, labels int) []LayerSpec {
+			c1 := scaleDim(64, alpha)
+			growth := scaleDim(32, alpha)
+			c2 := scaleDim(128, alpha)
+			ln := DNCNNWindow
+			layers := []LayerSpec{
+				{Kind: ConvKind, In: channels, Out: c1, K: 3, InLen: ln},
+			}
+			ln -= 2
+			// Dense block: two K=1 convolutions on concatenated features.
+			layers = append(layers,
+				LayerSpec{Kind: ConvKind, In: c1, Out: growth, K: 1, InLen: ln},
+				LayerSpec{Kind: ConvKind, In: c1 + growth, Out: growth, K: 1, InLen: ln},
+			)
+			// Transition convolution, then depth adds K=1 feature mixers.
+			width := c1 + 2*growth
+			layers = append(layers, LayerSpec{Kind: ConvKind, In: width, Out: c2, K: 3, InLen: ln})
+			ln -= 2
+			width = c2
+			for i := 0; i < extraDepth; i++ {
+				layers = append(layers, LayerSpec{Kind: ConvKind, In: width, Out: c2, K: 1, InLen: ln})
+				width = c2
+			}
+			layers = append(layers, LayerSpec{Kind: DenseKind, In: width * ln, Out: labels})
+			return layers
+		},
+	}
+}
+
+// Templates returns the paper's two workload families.
+func Templates() []Template { return []Template{MLP(), DNCNN()} }

@@ -1,0 +1,266 @@
+package dnnmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLayerSpecPaperExamples(t *testing.T) {
+	// Fig. 8 matrix case: A(4×3)·x → #MAC_op = 4 output rows, MAC_seq = 3.
+	dense := LayerSpec{Kind: DenseKind, In: 3, Out: 4}
+	if dense.MACOps() != 4 || dense.MACSeq() != 3 {
+		t.Errorf("dense profile = %d/%d, want 4/3", dense.MACOps(), dense.MACSeq())
+	}
+	// Fig. 8 conv case: 2 in-channels, 1 out-channel, K=4, output size 4 →
+	// #MAC_op = 4, MAC_seq = 8.
+	conv := LayerSpec{Kind: ConvKind, In: 2, Out: 1, K: 4, InLen: 7}
+	if conv.OutLen() != 4 {
+		t.Fatalf("conv out length = %d", conv.OutLen())
+	}
+	if conv.MACOps() != 4 || conv.MACSeq() != 8 {
+		t.Errorf("conv profile = %d/%d, want 4/8", conv.MACOps(), conv.MACSeq())
+	}
+	if conv.TotalMACs() != 32 {
+		t.Errorf("conv total = %d, want 32", conv.TotalMACs())
+	}
+	if conv.Weights() != 8 {
+		t.Errorf("conv weights = %d, want 8", conv.Weights())
+	}
+	if dense.Weights() != 12 {
+		t.Errorf("dense weights = %d", dense.Weights())
+	}
+}
+
+func TestLayerValidation(t *testing.T) {
+	bad := []LayerSpec{
+		{Kind: DenseKind, In: 0, Out: 4},
+		{Kind: DenseKind, In: 4, Out: 0},
+		{Kind: ConvKind, In: 1, Out: 1, K: 0, InLen: 4},
+		{Kind: ConvKind, In: 1, Out: 1, K: 5, InLen: 4},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("layer %d should fail validation", i)
+		}
+	}
+}
+
+func TestScaleAtBaseChannels(t *testing.T) {
+	for _, tmpl := range Templates() {
+		m, err := tmpl.Scale(tmpl.BaseChannels)
+		if err != nil {
+			t.Fatalf("%s: %v", tmpl.Name, err)
+		}
+		if m.Alpha != 1 {
+			t.Errorf("%s α = %v at base channels", tmpl.Name, m.Alpha)
+		}
+		if m.OutputValues() != 40 {
+			t.Errorf("%s output = %d labels, want 40", tmpl.Name, m.OutputValues())
+		}
+		if m.TotalMACs() <= 0 || m.TotalWeights() <= 0 {
+			t.Errorf("%s degenerate size", tmpl.Name)
+		}
+	}
+}
+
+func TestScalingSuperlinear(t *testing.T) {
+	// The paper: DNN compute grows super-linearly with input size.
+	for _, tmpl := range Templates() {
+		base, err := tmpl.Scale(128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		big, err := tmpl.Scale(1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(big.TotalMACs()) / float64(base.TotalMACs())
+		if ratio < 8*8*0.8 { // ≳ α² (widths scale linearly on both ends)
+			t.Errorf("%s compute ratio at 8× channels = %v, want ≳α²", tmpl.Name, ratio)
+		}
+	}
+}
+
+func TestOutputSizeFixedUnderScaling(t *testing.T) {
+	// Classification output stays 40 labels regardless of n (Section 5.3).
+	for _, tmpl := range Templates() {
+		for _, n := range []int{128, 1024, 4096, 8192} {
+			m, err := tmpl.Scale(n)
+			if err != nil {
+				t.Fatalf("%s @%d: %v", tmpl.Name, n, err)
+			}
+			if m.OutputValues() != 40 {
+				t.Errorf("%s @%d output = %d", tmpl.Name, n, m.OutputValues())
+			}
+		}
+	}
+}
+
+func TestDepthGrowsWithAlpha(t *testing.T) {
+	mlp := MLP()
+	small, _ := mlp.Scale(128)
+	big, _ := mlp.Scale(2048)
+	if len(big.Layers) <= len(small.Layers) {
+		t.Errorf("depth did not grow: %d vs %d layers", len(big.Layers), len(small.Layers))
+	}
+	if got := DefaultDepth(1); got != 0 {
+		t.Errorf("DefaultDepth(1) = %d", got)
+	}
+	if got := DefaultDepth(8); got != 3 {
+		t.Errorf("DefaultDepth(8) = %d", got)
+	}
+	if got := DefaultDepth(0.5); got != 0 {
+		t.Errorf("DefaultDepth(<1) = %d", got)
+	}
+}
+
+func TestScaleValidation(t *testing.T) {
+	if _, err := MLP().Scale(0); err == nil {
+		t.Errorf("zero channels should fail")
+	}
+	if _, err := MLP().Scale(-5); err == nil {
+		t.Errorf("negative channels should fail")
+	}
+}
+
+func TestMLPPartitionFindsBottleneck(t *testing.T) {
+	// At 1024 channels the MLP bottleneck is 512 values — within a
+	// 1024-value budget — so a proper cut exists.
+	m, err := MLP().Scale(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, ok := m.Partition(1024)
+	if !ok {
+		t.Fatalf("no cut found for MLP@1024")
+	}
+	if m.Layers[cut].OutputValues() > 1024 {
+		t.Errorf("cut output %d exceeds budget", m.Layers[cut].OutputValues())
+	}
+	// The cut must strictly reduce on-implant compute.
+	pre, err := m.Prefix(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.TotalMACs() >= m.TotalMACs() {
+		t.Errorf("prefix MACs %d not below full %d", pre.TotalMACs(), m.TotalMACs())
+	}
+	// The offloaded fraction should be meaningful (paper: ≈20% channel
+	// gain needs ≳25% compute reduction).
+	frac := float64(pre.TotalMACs()) / float64(m.TotalMACs())
+	if frac > 0.85 {
+		t.Errorf("cut removes only %.0f%% of compute", (1-frac)*100)
+	}
+}
+
+func TestDNCNNPartitionFindsNoCutAtScale(t *testing.T) {
+	// The DN-CNN's intermediate feature maps exceed the value budget at
+	// the channel counts that matter — Section 6.1's negative result.
+	for _, n := range []int{1024, 2048, 4096} {
+		m, err := DNCNN().Scale(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := m.Partition(1024); ok {
+			t.Errorf("DN-CNN@%d unexpectedly has a valid cut", n)
+		}
+	}
+}
+
+func TestPartitionBudgetMonotoneProperty(t *testing.T) {
+	m, err := MLP().Scale(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(b1, b2 uint16) bool {
+		lo, hi := int(b1)%5000+1, int(b2)%5000+1
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cutLo, okLo := m.Partition(lo)
+		cutHi, okHi := m.Partition(hi)
+		// A larger budget can only move the cut earlier (or keep it).
+		if okLo && !okHi {
+			return false
+		}
+		if okLo && okHi && cutHi > cutLo {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixValidation(t *testing.T) {
+	m, err := MLP().Scale(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Prefix(-1); err == nil {
+		t.Errorf("negative cut should fail")
+	}
+	if _, err := m.Prefix(len(m.Layers)); err == nil {
+		t.Errorf("out-of-range cut should fail")
+	}
+	pre, err := m.Prefix(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pre.Layers) != 1 {
+		t.Errorf("prefix(0) layers = %d", len(pre.Layers))
+	}
+}
+
+func TestRelativeCostOfTemplates(t *testing.T) {
+	// Calibration guard: the DN-CNN must be markedly costlier than the
+	// MLP — the paper's feasibility crossovers (≈1400 vs ≈1800 channels
+	// under quadratic compute growth) imply roughly a 2–4× MAC ratio.
+	mlp, _ := MLP().Scale(1024)
+	cnn, _ := DNCNN().Scale(1024)
+	ratio := float64(cnn.TotalMACs()) / float64(mlp.TotalMACs())
+	if ratio < 2 || ratio > 5 {
+		t.Errorf("DN-CNN/MLP MAC ratio = %.2f, want within [2, 5]", ratio)
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	if err := (Model{Name: "x"}).Validate(); err == nil {
+		t.Errorf("empty model should fail")
+	}
+	m := Model{Name: "x", Layers: []LayerSpec{{Kind: DenseKind, In: 0, Out: 1}}}
+	if err := m.Validate(); err == nil {
+		t.Errorf("invalid layer should fail")
+	}
+}
+
+func TestScaleDimFloor(t *testing.T) {
+	if got := scaleDim(4, 0.01); got != 1 {
+		t.Errorf("scaleDim floor = %d", got)
+	}
+	if got := scaleDim(512, 2); got != 1024 {
+		t.Errorf("scaleDim = %d", got)
+	}
+	if got := scaleDim(3, 1.5); got != 5 { // 4.5 rounds to 5 (half away)
+		t.Errorf("scaleDim rounding = %d", got)
+	}
+}
+
+func TestAlphaMatchesDefinition(t *testing.T) {
+	m, err := MLP().Scale(320)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Alpha-2.5) > 1e-12 {
+		t.Errorf("α = %v, want 2.5", m.Alpha)
+	}
+	if m.Channels != 320 {
+		t.Errorf("channels = %d", m.Channels)
+	}
+	// First layer input equals the channel count.
+	if m.Layers[0].In != 320 {
+		t.Errorf("input layer In = %d", m.Layers[0].In)
+	}
+}

@@ -1,0 +1,255 @@
+package dsp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// NEO computes the nonlinear energy operator ψ[n] = x[n]² − x[n−1]·x[n+1],
+// a hardware-cheap spike emphasizer (two multiplies per sample) used by
+// on-chip detectors as an alternative to plain thresholding. Edge samples
+// are zero.
+func NEO(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i := 1; i+1 < len(xs); i++ {
+		out[i] = xs[i]*xs[i] - xs[i-1]*xs[i+1]
+	}
+	return out
+}
+
+// NEODetector finds spikes by thresholding the smoothed NEO at a multiple
+// of its mean — the classic k·mean(ψ) rule.
+type NEODetector struct {
+	// ThresholdFactor is the multiple of mean ψ (typically 8–15).
+	ThresholdFactor float64
+	// SmoothSamples is the moving-average window over ψ (≈ one spike
+	// width).
+	SmoothSamples int
+	// RefractorySamples suppresses re-triggering.
+	RefractorySamples int
+}
+
+// NewNEODetector returns standard settings for a sample rate: factor 10,
+// 0.5 ms smoothing, 1 ms refractory.
+func NewNEODetector(fsHz float64) NEODetector {
+	smooth := int(fsHz * 0.5e-3)
+	if smooth < 1 {
+		smooth = 1
+	}
+	return NEODetector{
+		ThresholdFactor:   10,
+		SmoothSamples:     smooth,
+		RefractorySamples: int(fsHz * 1e-3),
+	}
+}
+
+// Detect returns spike sample indices.
+func (d NEODetector) Detect(xs []float64) ([]int, error) {
+	if d.ThresholdFactor <= 0 || d.SmoothSamples < 1 {
+		return nil, errors.New("dsp: invalid NEO detector parameters")
+	}
+	psi := NEO(xs)
+	ma, err := NewMovingAverage(d.SmoothSamples)
+	if err != nil {
+		return nil, err
+	}
+	smooth := ProcessBlock(ma, psi)
+	mean := 0.0
+	for _, v := range smooth {
+		mean += v
+	}
+	if len(smooth) > 0 {
+		mean /= float64(len(smooth))
+	}
+	if mean <= 0 {
+		return nil, nil
+	}
+	thr := d.ThresholdFactor * mean
+	var out []int
+	hold := 0
+	for i, v := range smooth {
+		if hold > 0 {
+			hold--
+			continue
+		}
+		if v > thr {
+			out = append(out, i)
+			hold = d.RefractorySamples
+		}
+	}
+	return out, nil
+}
+
+// Delta–Rice compression: neural signals are smooth, so first-order sample
+// differences concentrate near zero; Rice coding then spends few bits per
+// sample. This is the hardware-friendly lossless scheme behind
+// data-compressive recording ICs like Table 1's SoC 10.
+
+// bitWriter packs bits MSB-first.
+type bitWriter struct {
+	buf []byte
+	n   int // bits written
+}
+
+func (w *bitWriter) writeBit(b int) {
+	if w.n%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b != 0 {
+		w.buf[w.n/8] |= 1 << (7 - w.n%8)
+	}
+	w.n++
+}
+
+func (w *bitWriter) writeBits(v uint32, n int) {
+	for i := n - 1; i >= 0; i-- {
+		w.writeBit(int(v>>i) & 1)
+	}
+}
+
+// bitReader reads bits MSB-first.
+type bitReader struct {
+	buf []byte
+	pos int
+}
+
+func (r *bitReader) readBit() (int, error) {
+	if r.pos >= len(r.buf)*8 {
+		return 0, errors.New("dsp: bitstream exhausted")
+	}
+	b := int(r.buf[r.pos/8]>>(7-r.pos%8)) & 1
+	r.pos++
+	return b, nil
+}
+
+func (r *bitReader) readBits(n int) (uint32, error) {
+	var v uint32
+	for i := 0; i < n; i++ {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint32(b)
+	}
+	return v, nil
+}
+
+// zigzag maps signed deltas to unsigned: 0,-1,1,-2,2 → 0,1,2,3,4.
+func zigzag(v int32) uint32 {
+	return uint32((v << 1) ^ (v >> 31))
+}
+
+func unzigzag(u uint32) int32 {
+	return int32(u>>1) ^ -int32(u&1)
+}
+
+// RiceK picks the Rice parameter from the mean absolute delta of a block.
+func RiceK(deltas []int32) int {
+	if len(deltas) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, d := range deltas {
+		mean += math.Abs(float64(d))
+	}
+	mean /= float64(len(deltas))
+	k := 0
+	for threshold := 1.0; mean > threshold && k < 15; threshold *= 2 {
+		k++
+	}
+	return k
+}
+
+// DeltaRiceEncode losslessly compresses one channel's sample trace:
+// the first sample verbatim at the given bit width, then zigzagged
+// first-order deltas Rice-coded with a per-block parameter.
+func DeltaRiceEncode(samples []uint16, sampleBits int) ([]byte, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("dsp: empty trace")
+	}
+	if sampleBits < 1 || sampleBits > 16 {
+		return nil, fmt.Errorf("dsp: sample bits %d outside 1..16", sampleBits)
+	}
+	deltas := make([]int32, len(samples)-1)
+	for i := 1; i < len(samples); i++ {
+		deltas[i-1] = int32(samples[i]) - int32(samples[i-1])
+	}
+	k := RiceK(deltas)
+	w := &bitWriter{}
+	w.writeBits(uint32(k), 4)
+	w.writeBits(uint32(samples[0]), sampleBits)
+	for _, d := range deltas {
+		u := zigzag(d)
+		q := u >> k
+		// Guard against pathological blocks: a quotient longer than the
+		// raw width would balloon; escape-code it as unary 2^sampleBits
+		// won't occur for k chosen from the block, but cap defensively.
+		for i := uint32(0); i < q; i++ {
+			w.writeBit(1)
+		}
+		w.writeBit(0)
+		w.writeBits(u&(1<<k-1), k)
+	}
+	return w.buf, nil
+}
+
+// DeltaRiceDecode reverses DeltaRiceEncode for a known sample count.
+func DeltaRiceDecode(data []byte, count, sampleBits int) ([]uint16, error) {
+	if count <= 0 {
+		return nil, errors.New("dsp: non-positive sample count")
+	}
+	if sampleBits < 1 || sampleBits > 16 {
+		return nil, fmt.Errorf("dsp: sample bits %d outside 1..16", sampleBits)
+	}
+	r := &bitReader{buf: data}
+	kv, err := r.readBits(4)
+	if err != nil {
+		return nil, err
+	}
+	k := int(kv)
+	first, err := r.readBits(sampleBits)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint16, count)
+	out[0] = uint16(first)
+	prev := int32(first)
+	for i := 1; i < count; i++ {
+		q := uint32(0)
+		for {
+			b, err := r.readBit()
+			if err != nil {
+				return nil, err
+			}
+			if b == 0 {
+				break
+			}
+			q++
+			if q > 1<<20 {
+				return nil, errors.New("dsp: corrupt Rice stream")
+			}
+		}
+		rem, err := r.readBits(k)
+		if err != nil {
+			return nil, err
+		}
+		u := q<<k | rem
+		prev += unzigzag(u)
+		if prev < 0 || prev >= 1<<sampleBits {
+			return nil, fmt.Errorf("dsp: decoded sample %d out of range", prev)
+		}
+		out[i] = uint16(prev)
+	}
+	return out, nil
+}
+
+// CompressionRatio returns raw bits over compressed bits for one encode.
+func CompressionRatio(samples []uint16, sampleBits int) (float64, error) {
+	enc, err := DeltaRiceEncode(samples, sampleBits)
+	if err != nil {
+		return 0, err
+	}
+	raw := float64(len(samples) * sampleBits)
+	return raw / float64(len(enc)*8), nil
+}

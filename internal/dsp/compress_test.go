@@ -1,0 +1,215 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mindful/internal/neural"
+)
+
+func TestNEOEmphasizesSpikes(t *testing.T) {
+	at := []int{200, 600}
+	xs := synthTrace(1000, testTemplate, at, 0.03, 41)
+	psi := NEO(xs)
+	if psi[0] != 0 || psi[len(psi)-1] != 0 {
+		t.Errorf("NEO edges should be zero")
+	}
+	// ψ around spikes must dwarf ψ in quiet regions.
+	peak := 0.0
+	for _, idx := range at {
+		for k := 0; k < len(testTemplate); k++ {
+			if v := psi[idx+k]; v > peak {
+				peak = v
+			}
+		}
+	}
+	quiet := 0.0
+	for i := 50; i < 150; i++ {
+		if v := math.Abs(psi[i]); v > quiet {
+			quiet = v
+		}
+	}
+	if peak < 20*quiet {
+		t.Errorf("NEO contrast too low: peak %v vs quiet %v", peak, quiet)
+	}
+}
+
+func TestNEODetectorFindsSpikes(t *testing.T) {
+	at := []int{300, 900, 1500, 2100}
+	xs := synthTrace(2600, testTemplate, at, 0.05, 43)
+	det := NewNEODetector(8000)
+	got, err := det.Detect(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(at) {
+		t.Fatalf("detected %d spikes, want %d (%v)", len(got), len(at), got)
+	}
+	for i, idx := range got {
+		if idx < at[i] || idx > at[i]+len(testTemplate)+4 {
+			t.Errorf("spike %d at %d, want ≈%d", i, idx, at[i])
+		}
+	}
+}
+
+func TestNEODetectorEdgeCases(t *testing.T) {
+	det := NewNEODetector(8000)
+	got, err := det.Detect(make([]float64, 100))
+	if err != nil || got != nil {
+		t.Errorf("flat trace: %v, %v", got, err)
+	}
+	bad := det
+	bad.ThresholdFactor = 0
+	if _, err := bad.Detect(make([]float64, 10)); err == nil {
+		t.Errorf("invalid factor should fail")
+	}
+	bad = det
+	bad.SmoothSamples = 0
+	if _, err := bad.Detect(make([]float64, 10)); err == nil {
+		t.Errorf("invalid smoothing should fail")
+	}
+}
+
+func TestZigzagRoundTripProperty(t *testing.T) {
+	f := func(v int32) bool {
+		return unzigzag(zigzag(v)) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeltaRiceRoundTrip(t *testing.T) {
+	samples := []uint16{512, 514, 513, 520, 519, 500, 505, 1023, 0, 3}
+	enc, err := DeltaRiceEncode(samples, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DeltaRiceDecode(enc, len(samples), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range samples {
+		if dec[i] != samples[i] {
+			t.Fatalf("sample %d: %d != %d", i, dec[i], samples[i])
+		}
+	}
+}
+
+func TestDeltaRiceRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16, bitsRaw uint8) bool {
+		bits := int(bitsRaw%12) + 4
+		n := int(nRaw%800) + 2
+		rng := rand.New(rand.NewSource(seed))
+		samples := make([]uint16, n)
+		// Random-walk signal (realistic smooth trace).
+		cur := 1 << (bits - 1)
+		max := 1<<bits - 1
+		for i := range samples {
+			cur += rng.Intn(9) - 4
+			if cur < 0 {
+				cur = 0
+			}
+			if cur > max {
+				cur = max
+			}
+			samples[i] = uint16(cur)
+		}
+		enc, err := DeltaRiceEncode(samples, bits)
+		if err != nil {
+			return false
+		}
+		dec, err := DeltaRiceDecode(enc, n, bits)
+		if err != nil {
+			return false
+		}
+		for i := range samples {
+			if dec[i] != samples[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeltaRiceCompressesNeuralData(t *testing.T) {
+	// On realistic neural traces the codec must beat raw 10-bit coding —
+	// the premise of the data-compressive recording IC (SoC 10).
+	cfg := neural.DefaultConfig()
+	cfg.Channels = 1
+	cfg.ActiveFraction = 1
+	cfg.NoiseRMS = 0.05 // low-noise front end, the regime compression targets
+	g, err := neural.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adc := neural.DefaultADC()
+	block := g.NextBlock(4000)
+	samples := make([]uint16, len(block))
+	for i := range block {
+		samples[i] = adc.Quantize(block[i][0])
+	}
+	ratio, err := CompressionRatio(samples, adc.Bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 1.3 {
+		t.Errorf("compression ratio on neural data = %.2f, want > 1.3", ratio)
+	}
+	// And a worst case: white full-range noise should not explode badly.
+	rng := rand.New(rand.NewSource(3))
+	noise := make([]uint16, 2000)
+	for i := range noise {
+		noise[i] = uint16(rng.Intn(1024))
+	}
+	nr, err := CompressionRatio(noise, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr < 0.5 {
+		t.Errorf("noise expansion too large: ratio %.2f", nr)
+	}
+}
+
+func TestDeltaRiceValidation(t *testing.T) {
+	if _, err := DeltaRiceEncode(nil, 10); err == nil {
+		t.Errorf("empty trace should fail")
+	}
+	if _, err := DeltaRiceEncode([]uint16{1}, 0); err == nil {
+		t.Errorf("zero bits should fail")
+	}
+	if _, err := DeltaRiceDecode(nil, 0, 10); err == nil {
+		t.Errorf("zero count should fail")
+	}
+	if _, err := DeltaRiceDecode([]byte{0}, 10, 10); err == nil {
+		t.Errorf("truncated stream should fail")
+	}
+	// An all-ones stream has an endless unary run: the decoder must
+	// detect exhaustion rather than loop or return garbage.
+	junk := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := DeltaRiceDecode(junk, 100, 10); err == nil {
+		t.Errorf("corrupt stream should fail")
+	}
+}
+
+func TestRiceK(t *testing.T) {
+	if k := RiceK(nil); k != 0 {
+		t.Errorf("empty deltas k = %d", k)
+	}
+	if k := RiceK([]int32{0, 0, 0}); k != 0 {
+		t.Errorf("zero deltas k = %d", k)
+	}
+	small := RiceK([]int32{1, -1, 2, -2})
+	large := RiceK([]int32{100, -120, 90, -80})
+	if large <= small {
+		t.Errorf("k should grow with delta magnitude: %d vs %d", small, large)
+	}
+	if k := RiceK([]int32{1 << 30}); k != 15 {
+		t.Errorf("k should cap at 15, got %d", k)
+	}
+}

@@ -1,0 +1,109 @@
+package dsp
+
+import (
+	"fmt"
+)
+
+// BandPowerExtractor computes the canonical ECoG feature the paper's
+// speech decoders consume: band-limited signal power. The chain is
+// band-pass → square-law rectification → low-pass envelope smoothing →
+// decimation, exactly what an on-implant feature front end implements
+// before the DNN (high-gamma power at a reduced rate).
+type BandPowerExtractor struct {
+	band     Chain
+	envelope *Biquad
+	// Decimate is the output rate divider (one feature per Decimate
+	// input samples).
+	Decimate int
+
+	count int
+	last  float64
+}
+
+// NewBandPowerExtractor builds an extractor: the analysis band
+// [lowHz, highHz], an envelope cutoff, and a decimation factor, all at
+// sample rate fsHz.
+func NewBandPowerExtractor(lowHz, highHz, envelopeHz, fsHz float64, decimate int) (*BandPowerExtractor, error) {
+	if decimate < 1 {
+		return nil, fmt.Errorf("dsp: decimation %d must be ≥ 1", decimate)
+	}
+	band, err := NewBandpass(lowHz, highHz, fsHz)
+	if err != nil {
+		return nil, err
+	}
+	env, err := NewLowpass(envelopeHz, fsHz)
+	if err != nil {
+		return nil, err
+	}
+	return &BandPowerExtractor{band: band, envelope: env, Decimate: decimate}, nil
+}
+
+// NewHighGammaExtractor returns the standard speech-decoding feature:
+// 70–170 Hz power smoothed at 10 Hz, decimated to ≈100 features/s.
+func NewHighGammaExtractor(fsHz float64) (*BandPowerExtractor, error) {
+	dec := int(fsHz / 100)
+	if dec < 1 {
+		dec = 1
+	}
+	return NewBandPowerExtractor(70, 170, 10, fsHz, dec)
+}
+
+// Process consumes one sample; the boolean reports whether a decimated
+// feature was emitted this step.
+func (e *BandPowerExtractor) Process(x float64) (float64, bool) {
+	v := e.band.Process(x)
+	p := e.envelope.Process(v * v)
+	e.last = p
+	e.count++
+	if e.count%e.Decimate == 0 {
+		return p, true
+	}
+	return 0, false
+}
+
+// Last returns the most recent envelope value regardless of decimation.
+func (e *BandPowerExtractor) Last() float64 { return e.last }
+
+// Reset clears all filter state.
+func (e *BandPowerExtractor) Reset() {
+	e.band.Reset()
+	e.envelope.Reset()
+	e.count = 0
+	e.last = 0
+}
+
+// ExtractBandPower runs one extractor per channel over a block
+// (block[i][c] = channel c at time i) and returns the decimated feature
+// matrix (features[t][c]).
+func ExtractBandPower(block [][]float64, lowHz, highHz, envelopeHz, fsHz float64, decimate int) ([][]float64, error) {
+	if len(block) == 0 {
+		return nil, nil
+	}
+	nCh := len(block[0])
+	extractors := make([]*BandPowerExtractor, nCh)
+	for c := range extractors {
+		e, err := NewBandPowerExtractor(lowHz, highHz, envelopeHz, fsHz, decimate)
+		if err != nil {
+			return nil, err
+		}
+		extractors[c] = e
+	}
+	var out [][]float64
+	row := make([]float64, nCh)
+	for i := range block {
+		emitted := false
+		for c := 0; c < nCh; c++ {
+			v, ok := extractors[c].Process(block[i][c])
+			if ok {
+				row[c] = v
+				emitted = true
+			}
+		}
+		if emitted {
+			cp := make([]float64, nCh)
+			copy(cp, row)
+			out = append(out, cp)
+		}
+	}
+	return out, nil
+}

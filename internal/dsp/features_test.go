@@ -1,0 +1,137 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func sine(freq, fsHz float64, n int, amp float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = amp * math.Sin(2*math.Pi*freq*float64(i)/fsHz)
+	}
+	return out
+}
+
+func meanFeature(t *testing.T, e *BandPowerExtractor, xs []float64) float64 {
+	t.Helper()
+	var sum float64
+	var n int
+	for i, x := range xs {
+		v, ok := e.Process(x)
+		if ok && i > len(xs)/2 { // skip the settling transient
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no features emitted")
+	}
+	return sum / float64(n)
+}
+
+func TestBandPowerSelectsBand(t *testing.T) {
+	const fs = 2000
+	e, err := NewHighGammaExtractor(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inBand := meanFeature(t, e, sine(120, fs, 4*fs, 1))
+	e.Reset()
+	below := meanFeature(t, e, sine(10, fs, 4*fs, 1))
+	e.Reset()
+	above := meanFeature(t, e, sine(600, fs, 4*fs, 1))
+	if inBand < 20*below {
+		t.Errorf("in-band power %v should dwarf low-frequency %v", inBand, below)
+	}
+	if inBand < 20*above {
+		t.Errorf("in-band power %v should dwarf high-frequency %v", inBand, above)
+	}
+	// Power scales with amplitude squared.
+	e.Reset()
+	half := meanFeature(t, e, sine(120, fs, 4*fs, 0.5))
+	if math.Abs(half/inBand-0.25) > 0.05 {
+		t.Errorf("power ratio at half amplitude = %v, want ≈0.25", half/inBand)
+	}
+}
+
+func TestBandPowerDecimation(t *testing.T) {
+	const fs = 2000
+	e, err := NewBandPowerExtractor(70, 170, 10, fs, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitted := 0
+	for _, x := range sine(120, fs, 1000, 1) {
+		if _, ok := e.Process(x); ok {
+			emitted++
+		}
+	}
+	if emitted != 50 {
+		t.Errorf("emitted %d features for 1000 samples at ÷20, want 50", emitted)
+	}
+	if e.Last() <= 0 {
+		t.Errorf("Last should track the envelope")
+	}
+}
+
+func TestHighGammaExtractorDefaults(t *testing.T) {
+	e, err := NewHighGammaExtractor(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Decimate != 20 { // 2 kHz → 100 features/s
+		t.Errorf("decimation = %d, want 20", e.Decimate)
+	}
+	// Very low sample rates clamp the divider.
+	low, err := NewHighGammaExtractor(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Decimate != 5 {
+		t.Errorf("500 Hz decimation = %d, want 5", low.Decimate)
+	}
+}
+
+func TestBandPowerValidation(t *testing.T) {
+	if _, err := NewBandPowerExtractor(70, 170, 10, 2000, 0); err == nil {
+		t.Errorf("zero decimation should fail")
+	}
+	if _, err := NewBandPowerExtractor(170, 70, 10, 2000, 1); err == nil {
+		t.Errorf("inverted band should fail")
+	}
+	if _, err := NewBandPowerExtractor(70, 170, 0, 2000, 1); err == nil {
+		t.Errorf("zero envelope cutoff should fail")
+	}
+}
+
+func TestExtractBandPowerBlock(t *testing.T) {
+	const fs = 2000
+	n := 2 * fs
+	block := make([][]float64, n)
+	carrier := sine(120, fs, n, 1)
+	for i := range block {
+		// Channel 0 carries in-band power, channel 1 is silent.
+		block[i] = []float64{carrier[i], 0}
+	}
+	features, err := ExtractBandPower(block, 70, 170, 10, fs, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(features) != n/20 {
+		t.Fatalf("feature rows = %d, want %d", len(features), n/20)
+	}
+	lastRow := features[len(features)-1]
+	if len(lastRow) != 2 {
+		t.Fatalf("feature width = %d", len(lastRow))
+	}
+	if lastRow[0] < 100*math.Max(lastRow[1], 1e-12) {
+		t.Errorf("active channel %v should dominate silent %v", lastRow[0], lastRow[1])
+	}
+	if got, err := ExtractBandPower(nil, 70, 170, 10, fs, 20); err != nil || got != nil {
+		t.Errorf("empty block: %v, %v", got, err)
+	}
+	if _, err := ExtractBandPower(block, 170, 70, 10, fs, 20); err == nil {
+		t.Errorf("bad band should fail")
+	}
+}

@@ -1,0 +1,227 @@
+// Package dsp provides the digital signal processing front end of the
+// implant datapath: IIR/FIR filtering, threshold spike detection with
+// robust noise estimation, template-matching spike sorting, and the
+// per-channel activity ranking that backs the paper's channel-dropout
+// optimization (Section 6.2).
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Filter is a streaming single-channel filter.
+type Filter interface {
+	// Process consumes one sample and returns one output sample.
+	Process(x float64) float64
+	// Reset clears internal state.
+	Reset()
+}
+
+// Biquad is a second-order IIR section in direct form II transposed:
+//
+//	y[n] = b0·x[n] + z1;  z1 = b1·x[n] − a1·y[n] + z2;  z2 = b2·x[n] − a2·y[n]
+//
+// Coefficients are normalized to a0 = 1.
+type Biquad struct {
+	B0, B1, B2 float64
+	A1, A2     float64
+	z1, z2     float64
+}
+
+// Process implements Filter.
+func (f *Biquad) Process(x float64) float64 {
+	y := f.B0*x + f.z1
+	f.z1 = f.B1*x - f.A1*y + f.z2
+	f.z2 = f.B2*x - f.A2*y
+	return y
+}
+
+// Reset implements Filter.
+func (f *Biquad) Reset() { f.z1, f.z2 = 0, 0 }
+
+// Stable reports whether the filter's poles are inside the unit circle.
+func (f *Biquad) Stable() bool {
+	// Jury criterion for z² + a1·z + a2.
+	return math.Abs(f.A2) < 1 && math.Abs(f.A1) < 1+f.A2
+}
+
+// NewLowpass designs a second-order Butterworth low-pass biquad with the
+// given cutoff (Hz) at sample rate fs via the bilinear transform.
+func NewLowpass(cutoffHz, fsHz float64) (*Biquad, error) {
+	if err := checkFreq(cutoffHz, fsHz); err != nil {
+		return nil, err
+	}
+	k := math.Tan(math.Pi * cutoffHz / fsHz)
+	q := math.Sqrt2 / 2
+	norm := 1 / (1 + k/q + k*k)
+	return &Biquad{
+		B0: k * k * norm,
+		B1: 2 * k * k * norm,
+		B2: k * k * norm,
+		A1: 2 * (k*k - 1) * norm,
+		A2: (1 - k/q + k*k) * norm,
+	}, nil
+}
+
+// NewHighpass designs a second-order Butterworth high-pass biquad.
+func NewHighpass(cutoffHz, fsHz float64) (*Biquad, error) {
+	if err := checkFreq(cutoffHz, fsHz); err != nil {
+		return nil, err
+	}
+	k := math.Tan(math.Pi * cutoffHz / fsHz)
+	q := math.Sqrt2 / 2
+	norm := 1 / (1 + k/q + k*k)
+	return &Biquad{
+		B0: norm,
+		B1: -2 * norm,
+		B2: norm,
+		A1: 2 * (k*k - 1) * norm,
+		A2: (1 - k/q + k*k) * norm,
+	}, nil
+}
+
+func checkFreq(cutoffHz, fsHz float64) error {
+	if fsHz <= 0 {
+		return fmt.Errorf("dsp: non-positive sample rate %g", fsHz)
+	}
+	if cutoffHz <= 0 || cutoffHz >= fsHz/2 {
+		return fmt.Errorf("dsp: cutoff %g Hz outside (0, %g)", cutoffHz, fsHz/2)
+	}
+	return nil
+}
+
+// Chain runs filters in sequence.
+type Chain []Filter
+
+// Process implements Filter.
+func (c Chain) Process(x float64) float64 {
+	for _, f := range c {
+		x = f.Process(x)
+	}
+	return x
+}
+
+// Reset implements Filter.
+func (c Chain) Reset() {
+	for _, f := range c {
+		f.Reset()
+	}
+}
+
+// NewBandpass builds the spike band-pass used before detection: a
+// high-pass at lowHz cascaded with a low-pass at highHz.
+func NewBandpass(lowHz, highHz, fsHz float64) (Chain, error) {
+	if lowHz >= highHz {
+		return nil, fmt.Errorf("dsp: band edges inverted (%g ≥ %g)", lowHz, highHz)
+	}
+	hp, err := NewHighpass(lowHz, fsHz)
+	if err != nil {
+		return nil, err
+	}
+	lp, err := NewLowpass(highHz, fsHz)
+	if err != nil {
+		return nil, err
+	}
+	return Chain{hp, lp}, nil
+}
+
+// FIR is a finite-impulse-response filter with the given taps.
+type FIR struct {
+	Taps []float64
+	hist []float64
+	pos  int
+}
+
+// NewFIR returns a FIR filter; taps must be non-empty.
+func NewFIR(taps []float64) (*FIR, error) {
+	if len(taps) == 0 {
+		return nil, fmt.Errorf("dsp: FIR requires at least one tap")
+	}
+	t := make([]float64, len(taps))
+	copy(t, taps)
+	return &FIR{Taps: t, hist: make([]float64, len(taps))}, nil
+}
+
+// NewMovingAverage returns an n-tap moving-average FIR.
+func NewMovingAverage(n int) (*FIR, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dsp: moving average length must be positive")
+	}
+	taps := make([]float64, n)
+	for i := range taps {
+		taps[i] = 1 / float64(n)
+	}
+	return NewFIR(taps)
+}
+
+// Process implements Filter.
+func (f *FIR) Process(x float64) float64 {
+	f.hist[f.pos] = x
+	y := 0.0
+	idx := f.pos
+	for _, t := range f.Taps {
+		y += t * f.hist[idx]
+		idx--
+		if idx < 0 {
+			idx = len(f.hist) - 1
+		}
+	}
+	f.pos++
+	if f.pos == len(f.hist) {
+		f.pos = 0
+	}
+	return y
+}
+
+// Reset implements Filter.
+func (f *FIR) Reset() {
+	for i := range f.hist {
+		f.hist[i] = 0
+	}
+	f.pos = 0
+}
+
+// ProcessBlock applies a streaming filter to a block, returning a new
+// slice.
+func ProcessBlock(f Filter, xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = f.Process(x)
+	}
+	return out
+}
+
+// FrequencyResponse returns the magnitude response |H(e^{jω})| of a biquad
+// at the given frequency.
+func (f *Biquad) FrequencyResponse(freqHz, fsHz float64) float64 {
+	w := 2 * math.Pi * freqHz / fsHz
+	z := complex(math.Cos(w), math.Sin(w))
+	num := complex(f.B0, 0) + complex(f.B1, 0)/z + complex(f.B2, 0)/(z*z)
+	den := complex(1, 0) + complex(f.A1, 0)/z + complex(f.A2, 0)/(z*z)
+	return cmplxAbs(num) / cmplxAbs(den)
+}
+
+func cmplxAbs(c complex128) float64 { return math.Hypot(real(c), imag(c)) }
+
+// MedianAbsDeviation returns the robust noise σ estimate used by spike
+// detectors: median(|x|)/0.6745 (Quiroga's estimator).
+func MedianAbsDeviation(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	abs := make([]float64, len(xs))
+	for i, x := range xs {
+		abs[i] = math.Abs(x)
+	}
+	sort.Float64s(abs)
+	var med float64
+	n := len(abs)
+	if n%2 == 1 {
+		med = abs[n/2]
+	} else {
+		med = (abs[n/2-1] + abs[n/2]) / 2
+	}
+	return med / 0.6745
+}

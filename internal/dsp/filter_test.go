@@ -1,0 +1,230 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLowpassDesign(t *testing.T) {
+	f, err := NewLowpass(300, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Stable() {
+		t.Fatal("lowpass unstable")
+	}
+	if got := f.FrequencyResponse(0.001, 8000); math.Abs(got-1) > 1e-3 {
+		t.Errorf("DC gain = %v, want 1", got)
+	}
+	// −3 dB at the cutoff for a Butterworth design.
+	if got := f.FrequencyResponse(300, 8000); math.Abs(got-math.Sqrt2/2) > 0.01 {
+		t.Errorf("gain at cutoff = %v, want 0.707", got)
+	}
+	// Strong attenuation one decade above cutoff (−40 dB/decade for 2nd order).
+	if got := f.FrequencyResponse(3000, 8000); got > 0.02 {
+		t.Errorf("gain a decade above cutoff = %v, want < 0.02", got)
+	}
+}
+
+func TestHighpassDesign(t *testing.T) {
+	f, err := NewHighpass(300, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Stable() {
+		t.Fatal("highpass unstable")
+	}
+	if got := f.FrequencyResponse(0.001, 8000); got > 1e-3 {
+		t.Errorf("DC gain = %v, want ≈0", got)
+	}
+	if got := f.FrequencyResponse(300, 8000); math.Abs(got-math.Sqrt2/2) > 0.01 {
+		t.Errorf("gain at cutoff = %v, want 0.707", got)
+	}
+	if got := f.FrequencyResponse(3500, 8000); math.Abs(got-1) > 0.01 {
+		t.Errorf("passband gain = %v, want 1", got)
+	}
+}
+
+func TestDesignValidation(t *testing.T) {
+	if _, err := NewLowpass(0, 8000); err == nil {
+		t.Errorf("zero cutoff should fail")
+	}
+	if _, err := NewLowpass(4000, 8000); err == nil {
+		t.Errorf("cutoff at Nyquist should fail")
+	}
+	if _, err := NewHighpass(100, 0); err == nil {
+		t.Errorf("zero sample rate should fail")
+	}
+	if _, err := NewBandpass(500, 300, 8000); err == nil {
+		t.Errorf("inverted band edges should fail")
+	}
+	if _, err := NewBandpass(0, 300, 8000); err == nil {
+		t.Errorf("bad low edge should fail")
+	}
+	if _, err := NewBandpass(300, 4000, 8000); err == nil {
+		t.Errorf("bad high edge should fail")
+	}
+}
+
+func TestStabilityProperty(t *testing.T) {
+	// Every valid Butterworth design must be stable.
+	f := func(a, b float64) bool {
+		fs := 1000 + math.Abs(math.Mod(a, 50000))
+		cut := math.Abs(math.Mod(b, fs/2-2)) + 1
+		lp, err := NewLowpass(cut, fs)
+		if err != nil {
+			return false
+		}
+		hp, err := NewHighpass(cut, fs)
+		if err != nil {
+			return false
+		}
+		return lp.Stable() && hp.Stable()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFilterImpulseDecays(t *testing.T) {
+	lp, err := NewLowpass(300, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp.Process(1)
+	last := math.Inf(1)
+	for i := 0; i < 2000; i++ {
+		last = lp.Process(0)
+	}
+	if math.Abs(last) > 1e-9 {
+		t.Errorf("impulse response did not decay: %v", last)
+	}
+}
+
+func TestBandpassPassesSpikeBand(t *testing.T) {
+	bp, err := NewBandpass(300, 3000, 16000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measure sinusoid gain through the chain (steady state).
+	gain := func(freq float64) float64 {
+		bp.Reset()
+		peak := 0.0
+		for i := 0; i < 16000; i++ {
+			y := bp.Process(math.Sin(2 * math.Pi * freq * float64(i) / 16000))
+			if i > 8000 && math.Abs(y) > peak {
+				peak = math.Abs(y)
+			}
+		}
+		return peak
+	}
+	if g := gain(1000); g < 0.8 {
+		t.Errorf("in-band gain = %v", g)
+	}
+	if g := gain(10); g > 0.05 {
+		t.Errorf("LFP leak-through = %v", g)
+	}
+	if g := gain(7500); g > 0.2 {
+		t.Errorf("high-frequency leak-through = %v", g)
+	}
+}
+
+func TestChainReset(t *testing.T) {
+	bp, err := NewBandpass(300, 3000, 16000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y1 := bp.Process(1)
+	bp.Reset()
+	y2 := bp.Process(1)
+	if y1 != y2 {
+		t.Errorf("Reset did not restore initial state: %v vs %v", y1, y2)
+	}
+}
+
+func TestFIRMovingAverage(t *testing.T) {
+	ma, err := NewMovingAverage(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step response reaches 1 after 4 samples.
+	var last float64
+	for i := 0; i < 4; i++ {
+		last = ma.Process(1)
+	}
+	if math.Abs(last-1) > 1e-12 {
+		t.Errorf("step response = %v, want 1", last)
+	}
+	// Partial fill: first output is 1/4.
+	ma.Reset()
+	if got := ma.Process(1); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("first output = %v, want 0.25", got)
+	}
+	if _, err := NewMovingAverage(0); err == nil {
+		t.Errorf("zero-length moving average should fail")
+	}
+	if _, err := NewFIR(nil); err == nil {
+		t.Errorf("empty FIR should fail")
+	}
+}
+
+func TestFIRMatchesConvolution(t *testing.T) {
+	taps := []float64{0.5, -0.25, 0.125}
+	f, err := NewFIR(taps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := []float64{1, 2, 3, 4, 5}
+	got := ProcessBlock(f, xs)
+	for n := range xs {
+		want := 0.0
+		for k, tp := range taps {
+			if n-k >= 0 {
+				want += tp * xs[n-k]
+			}
+		}
+		if math.Abs(got[n]-want) > 1e-12 {
+			t.Errorf("y[%d] = %v, want %v", n, got[n], want)
+		}
+	}
+}
+
+func TestMedianAbsDeviation(t *testing.T) {
+	// On Gaussian noise, the estimator recovers σ.
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 2.5
+	}
+	if got := MedianAbsDeviation(xs); math.Abs(got-2.5) > 0.1 {
+		t.Errorf("MAD σ = %v, want ≈2.5", got)
+	}
+	if MedianAbsDeviation(nil) != 0 {
+		t.Errorf("empty MAD should be 0")
+	}
+	// Even-length exact case.
+	if got := MedianAbsDeviation([]float64{-1, 1, -3, 3}); math.Abs(got-2/0.6745) > 1e-12 {
+		t.Errorf("even MAD = %v", got)
+	}
+}
+
+func TestMADRobustToSpikesProperty(t *testing.T) {
+	// Adding a few large outliers must barely move the estimate — the
+	// reason detectors use MAD instead of RMS.
+	rng := rand.New(rand.NewSource(9))
+	base := make([]float64, 5000)
+	for i := range base {
+		base[i] = rng.NormFloat64()
+	}
+	clean := MedianAbsDeviation(base)
+	withSpikes := append([]float64(nil), base...)
+	for i := 0; i < 50; i++ {
+		withSpikes[i*100] = -40
+	}
+	dirty := MedianAbsDeviation(withSpikes)
+	if math.Abs(dirty-clean) > 0.05*clean {
+		t.Errorf("MAD moved from %v to %v under 1%% outliers", clean, dirty)
+	}
+}

@@ -1,0 +1,307 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Detector finds action potentials by negative-threshold crossing with a
+// refractory hold-off, the hardware-efficient method implanted SoCs use
+// for on-chip spike detection.
+type Detector struct {
+	// ThresholdSigmas is the detection threshold as a multiple of the
+	// robust noise estimate (typically 3.5–5).
+	ThresholdSigmas float64
+	// RefractorySamples suppresses re-triggering for this many samples.
+	RefractorySamples int
+}
+
+// NewDetector returns a detector with standard settings for the given
+// sample rate: 4σ threshold, 1 ms refractory period.
+func NewDetector(fsHz float64) Detector {
+	return Detector{
+		ThresholdSigmas:   4,
+		RefractorySamples: int(fsHz * 1e-3),
+	}
+}
+
+// Detect returns the sample indices of detected spikes (the index of the
+// threshold crossing). The noise level is estimated from the trace itself.
+func (d Detector) Detect(xs []float64) []int {
+	sigma := MedianAbsDeviation(xs)
+	return d.DetectWithSigma(xs, sigma)
+}
+
+// DetectWithSigma detects spikes against an externally supplied noise σ.
+func (d Detector) DetectWithSigma(xs []float64, sigma float64) []int {
+	if sigma <= 0 {
+		return nil
+	}
+	thr := -d.ThresholdSigmas * sigma
+	var out []int
+	hold := 0
+	for i, x := range xs {
+		if hold > 0 {
+			hold--
+			continue
+		}
+		if x < thr {
+			out = append(out, i)
+			hold = d.RefractorySamples
+		}
+	}
+	return out
+}
+
+// StreamingDetector is the sample-at-a-time form of Detector for on-chip
+// use: it estimates the noise level from an initial calibration window,
+// then flags threshold crossings with a refractory hold-off. This is the
+// spike-detection block implanted SoCs (e.g. Neuralink) run per channel to
+// compress the uplink to spike events.
+type StreamingDetector struct {
+	// ThresholdSigmas and RefractorySamples as in Detector.
+	ThresholdSigmas   float64
+	RefractorySamples int
+
+	calBuf    []float64
+	calNeeded int
+	thr       float64
+	hold      int
+}
+
+// NewStreamingDetector returns a detector that calibrates its threshold on
+// the first calibrationSamples samples (4σ, 1 ms refractory at fsHz).
+func NewStreamingDetector(fsHz float64, calibrationSamples int) (*StreamingDetector, error) {
+	if calibrationSamples < 8 {
+		return nil, fmt.Errorf("dsp: calibration window %d too short", calibrationSamples)
+	}
+	return &StreamingDetector{
+		ThresholdSigmas:   4,
+		RefractorySamples: int(fsHz * 1e-3),
+		calNeeded:         calibrationSamples,
+	}, nil
+}
+
+// Ready reports whether calibration has completed.
+func (d *StreamingDetector) Ready() bool { return d.calNeeded == 0 }
+
+// Process consumes one sample and reports a detected spike. During
+// calibration it always returns false.
+func (d *StreamingDetector) Process(x float64) bool {
+	if d.calNeeded > 0 {
+		d.calBuf = append(d.calBuf, x)
+		d.calNeeded--
+		if d.calNeeded == 0 {
+			sigma := MedianAbsDeviation(d.calBuf)
+			d.thr = -d.ThresholdSigmas * sigma
+			d.calBuf = nil
+		}
+		return false
+	}
+	if d.hold > 0 {
+		d.hold--
+		return false
+	}
+	if d.thr < 0 && x < d.thr {
+		d.hold = d.RefractorySamples
+		return true
+	}
+	return false
+}
+
+// ExtractSnippets cuts fixed-length windows around detected spikes for
+// sorting: pre samples before and post samples after each index. Spikes too
+// close to the edges are skipped.
+func ExtractSnippets(xs []float64, idx []int, pre, post int) [][]float64 {
+	var out [][]float64
+	for _, i := range idx {
+		if i-pre < 0 || i+post > len(xs) {
+			continue
+		}
+		snip := make([]float64, pre+post)
+		copy(snip, xs[i-pre:i+post])
+		out = append(out, snip)
+	}
+	return out
+}
+
+// Sorter assigns spike snippets to units by nearest-template matching —
+// the spike-sorting step the paper lists as a data-reduction method
+// (Section 6.2, "methods such as spike sorting are often used to reduce
+// the amount of neural data").
+type Sorter struct {
+	Templates [][]float64
+}
+
+// NewSorter builds a sorter from unit templates, all of equal length.
+func NewSorter(templates [][]float64) (*Sorter, error) {
+	if len(templates) == 0 {
+		return nil, fmt.Errorf("dsp: sorter needs at least one template")
+	}
+	n := len(templates[0])
+	for i, tp := range templates {
+		if len(tp) != n {
+			return nil, fmt.Errorf("dsp: template %d length %d != %d", i, len(tp), n)
+		}
+	}
+	return &Sorter{Templates: templates}, nil
+}
+
+// Classify returns the index of the closest template (squared Euclidean
+// distance) and that distance.
+func (s *Sorter) Classify(snippet []float64) (int, float64) {
+	best, bestD := -1, math.Inf(1)
+	for i, tp := range s.Templates {
+		d := sqDist(snippet, tp)
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+func sqDist(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	d := 0.0
+	for i := 0; i < n; i++ {
+		diff := a[i] - b[i]
+		d += diff * diff
+	}
+	return d
+}
+
+// LearnTemplates clusters snippets into k templates with Lloyd's k-means
+// (deterministic farthest-point initialization). It returns the templates
+// sorted by descending cluster size.
+func LearnTemplates(snippets [][]float64, k, iters int) ([][]float64, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("dsp: k must be positive")
+	}
+	if len(snippets) < k {
+		return nil, fmt.Errorf("dsp: %d snippets cannot form %d clusters", len(snippets), k)
+	}
+	dim := len(snippets[0])
+	for _, s := range snippets {
+		if len(s) != dim {
+			return nil, fmt.Errorf("dsp: ragged snippets")
+		}
+	}
+	// Farthest-point initialization from snippet 0.
+	centers := make([][]float64, 0, k)
+	centers = append(centers, append([]float64(nil), snippets[0]...))
+	for len(centers) < k {
+		bestIdx, bestD := 0, -1.0
+		for i, s := range snippets {
+			d := math.Inf(1)
+			for _, c := range centers {
+				if dd := sqDist(s, c); dd < d {
+					d = dd
+				}
+			}
+			if d > bestD {
+				bestIdx, bestD = i, d
+			}
+		}
+		centers = append(centers, append([]float64(nil), snippets[bestIdx]...))
+	}
+	assign := make([]int, len(snippets))
+	counts := make([]int, k)
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, s := range snippets {
+			best, bestD := 0, math.Inf(1)
+			for j, c := range centers {
+				if d := sqDist(s, c); d < bestD {
+					best, bestD = j, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		for j := range centers {
+			for d := range centers[j] {
+				centers[j][d] = 0
+			}
+			counts[j] = 0
+		}
+		for i, s := range snippets {
+			j := assign[i]
+			counts[j]++
+			for d, v := range s {
+				centers[j][d] += v
+			}
+		}
+		for j := range centers {
+			if counts[j] == 0 {
+				continue // keep previous center (now zeroed; re-seed below)
+			}
+			for d := range centers[j] {
+				centers[j][d] /= float64(counts[j])
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+	}
+	// Sort templates by descending cluster size.
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return counts[order[a]] > counts[order[b]] })
+	out := make([][]float64, k)
+	for i, j := range order {
+		out[i] = centers[j]
+	}
+	return out, nil
+}
+
+// ChannelActivity summarizes one channel's spiking for dropout ranking.
+type ChannelActivity struct {
+	Channel int
+	Spikes  int
+	RateHz  float64
+}
+
+// RankChannels detects spikes on every channel of a block (block[i][c] is
+// channel c at time i) and returns channels ordered by descending spike
+// count. fsHz is the sample rate used for the rate estimate.
+func RankChannels(block [][]float64, fsHz float64) []ChannelActivity {
+	if len(block) == 0 {
+		return nil
+	}
+	nCh := len(block[0])
+	det := NewDetector(fsHz)
+	out := make([]ChannelActivity, nCh)
+	trace := make([]float64, len(block))
+	dur := float64(len(block)) / fsHz
+	for c := 0; c < nCh; c++ {
+		for i := range block {
+			trace[i] = block[i][c]
+		}
+		n := len(det.Detect(trace))
+		out[c] = ChannelActivity{Channel: c, Spikes: n, RateHz: float64(n) / dur}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Spikes > out[b].Spikes })
+	return out
+}
+
+// SelectActive returns the channel indices of the top n entries of a
+// ranking (the channel-dropout selection n′ ≤ n).
+func SelectActive(ranked []ChannelActivity, n int) []int {
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	out := make([]int, 0, n)
+	for _, r := range ranked[:n] {
+		out = append(out, r.Channel)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,314 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mindful/internal/neural"
+	"mindful/internal/units"
+)
+
+// synthTrace builds a noise trace with spikes of the given template at the
+// given indices.
+func synthTrace(n int, template []float64, at []int, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * noise
+	}
+	for _, idx := range at {
+		for k, v := range template {
+			if idx+k < n {
+				xs[idx+k] += v
+			}
+		}
+	}
+	return xs
+}
+
+var testTemplate = []float64{-0.2, -1.0, -0.6, 0.2, 0.4, 0.2}
+
+func TestDetectorFindsPlantedSpikes(t *testing.T) {
+	at := []int{100, 300, 500, 700, 900}
+	xs := synthTrace(1200, testTemplate, at, 0.05, 3)
+	det := NewDetector(8000)
+	got := det.Detect(xs)
+	if len(got) != len(at) {
+		t.Fatalf("detected %d spikes, want %d (%v)", len(got), len(at), got)
+	}
+	for i, idx := range got {
+		if idx < at[i] || idx > at[i]+2 {
+			t.Errorf("spike %d at %d, want ≈%d", i, idx, at[i])
+		}
+	}
+}
+
+func TestDetectorRefractorySuppression(t *testing.T) {
+	// Two threshold crossings within the refractory window count once.
+	xs := make([]float64, 100)
+	xs[10], xs[12] = -5, -5
+	det := Detector{ThresholdSigmas: 3, RefractorySamples: 8}
+	got := det.DetectWithSigma(xs, 1)
+	if len(got) != 1 {
+		t.Errorf("refractory failed: %v", got)
+	}
+	// Outside the window they count twice.
+	det.RefractorySamples = 1
+	if got := det.DetectWithSigma(xs, 1); len(got) != 2 {
+		t.Errorf("distinct spikes merged: %v", got)
+	}
+}
+
+func TestDetectorZeroSigma(t *testing.T) {
+	det := NewDetector(8000)
+	if got := det.DetectWithSigma(make([]float64, 10), 0); got != nil {
+		t.Errorf("zero sigma should detect nothing")
+	}
+	if got := det.Detect(make([]float64, 10)); got != nil {
+		t.Errorf("flat trace should detect nothing")
+	}
+}
+
+func TestDetectorOnSyntheticNeuralData(t *testing.T) {
+	// End-to-end against the neural substrate's ground truth.
+	cfg := neural.DefaultConfig()
+	cfg.Channels = 1
+	cfg.ActiveFraction = 1
+	cfg.MeanRateHz = 8
+	cfg.NoiseRMS = 0.08
+	cfg.LFPAmplitude = 0.1
+	cfg.SampleRate = units.Kilohertz(16)
+	g, err := neural.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.RecordSpikes(true)
+	block := g.NextBlock(int(cfg.SampleRate.Hz() * 4))
+	trace := make([]float64, len(block))
+	for i := range block {
+		trace[i] = block[i][0]
+	}
+	// Band-pass before detection, as the real pipeline does.
+	bp, err := NewBandpass(300, 5000, cfg.SampleRate.Hz())
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered := ProcessBlock(bp, trace)
+	det := NewDetector(cfg.SampleRate.Hz())
+	got := det.Detect(filtered)
+	truth := g.SpikeLog()[0]
+	if len(truth) < 10 {
+		t.Fatalf("degenerate ground truth: %d spikes", len(truth))
+	}
+	// Match within ±2 ms.
+	tol := int(cfg.SampleRate.Hz() * 2e-3)
+	matched := 0
+	for _, tr := range truth {
+		for _, d := range got {
+			if d >= tr-tol && d <= tr+tol {
+				matched++
+				break
+			}
+		}
+	}
+	recall := float64(matched) / float64(len(truth))
+	if recall < 0.8 {
+		t.Errorf("recall = %.2f (%d/%d), want ≥0.8", recall, matched, len(truth))
+	}
+	if len(got) > 2*len(truth) {
+		t.Errorf("too many false positives: %d detections for %d spikes", len(got), len(truth))
+	}
+}
+
+func TestExtractSnippets(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	snips := ExtractSnippets(xs, []int{1, 50, 99}, 5, 10)
+	// Index 1 (too close to start) and 99 (too close to end) are skipped.
+	if len(snips) != 1 {
+		t.Fatalf("got %d snippets, want 1", len(snips))
+	}
+	if len(snips[0]) != 15 || snips[0][0] != 45 {
+		t.Errorf("snippet content wrong: %v", snips[0])
+	}
+}
+
+func TestSorterClassify(t *testing.T) {
+	t1 := []float64{-1, -0.5, 0, 0.3}
+	t2 := []float64{-0.3, -1.2, -0.8, 0}
+	s, err := NewSorter([][]float64{t1, t2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := []float64{-0.95, -0.45, 0.05, 0.28}
+	id, d := s.Classify(noisy)
+	if id != 0 {
+		t.Errorf("classified as %d, want 0", id)
+	}
+	if d > 0.02 {
+		t.Errorf("distance %v too large", d)
+	}
+	if id, _ := s.Classify([]float64{-0.3, -1.1, -0.75, 0.02}); id != 1 {
+		t.Errorf("second unit misclassified as %d", id)
+	}
+}
+
+func TestNewSorterValidation(t *testing.T) {
+	if _, err := NewSorter(nil); err == nil {
+		t.Errorf("empty sorter should fail")
+	}
+	if _, err := NewSorter([][]float64{{1, 2}, {1}}); err == nil {
+		t.Errorf("ragged templates should fail")
+	}
+}
+
+func TestLearnTemplatesRecoversUnits(t *testing.T) {
+	// Two distinct waveforms plus noise; k-means must separate them.
+	a := []float64{-1, -0.2, 0.4, 0.1}
+	b := []float64{-0.2, -1, -0.6, 0.3}
+	rng := rand.New(rand.NewSource(17))
+	var snips [][]float64
+	for i := 0; i < 60; i++ {
+		src := a
+		if i%2 == 1 {
+			src = b
+		}
+		s := make([]float64, len(src))
+		for j := range s {
+			s[j] = src[j] + rng.NormFloat64()*0.05
+		}
+		snips = append(snips, s)
+	}
+	tmpl, err := LearnTemplates(snips, 2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmpl) != 2 {
+		t.Fatalf("got %d templates", len(tmpl))
+	}
+	// Each learned template must be close to one true waveform.
+	match := func(tp []float64) float64 {
+		return math.Min(sqDist(tp, a), sqDist(tp, b))
+	}
+	if match(tmpl[0]) > 0.05 || match(tmpl[1]) > 0.05 {
+		t.Errorf("templates not recovered: %v / %v", tmpl[0], tmpl[1])
+	}
+	// And they must differ from each other.
+	if sqDist(tmpl[0], tmpl[1]) < 0.1 {
+		t.Errorf("templates collapsed")
+	}
+}
+
+func TestLearnTemplatesValidation(t *testing.T) {
+	if _, err := LearnTemplates(nil, 2, 5); err == nil {
+		t.Errorf("too few snippets should fail")
+	}
+	if _, err := LearnTemplates([][]float64{{1}}, 0, 5); err == nil {
+		t.Errorf("k=0 should fail")
+	}
+	if _, err := LearnTemplates([][]float64{{1, 2}, {1}}, 2, 5); err == nil {
+		t.Errorf("ragged snippets should fail")
+	}
+}
+
+func TestRankChannelsAndSelectActive(t *testing.T) {
+	// Channels 0 and 2 spike, channel 1 is silent.
+	n := 4000
+	block := make([][]float64, n)
+	rng := rand.New(rand.NewSource(23))
+	spikes0 := []int{200, 900, 1600, 2300, 3000}
+	spikes2 := []int{500, 1800}
+	for i := range block {
+		block[i] = []float64{rng.NormFloat64() * 0.05, rng.NormFloat64() * 0.05, rng.NormFloat64() * 0.05}
+	}
+	for _, s := range spikes0 {
+		for k, v := range testTemplate {
+			block[s+k][0] += v
+		}
+	}
+	for _, s := range spikes2 {
+		for k, v := range testTemplate {
+			block[s+k][2] += v
+		}
+	}
+	ranked := RankChannels(block, 8000)
+	if len(ranked) != 3 {
+		t.Fatalf("ranked %d channels", len(ranked))
+	}
+	if ranked[0].Channel != 0 || ranked[1].Channel != 2 || ranked[2].Channel != 1 {
+		t.Errorf("ranking wrong: %+v", ranked)
+	}
+	if ranked[0].Spikes != 5 || ranked[1].Spikes != 2 {
+		t.Errorf("spike counts wrong: %+v", ranked[:2])
+	}
+	// Rate estimate: 5 spikes over 0.5 s = 10 Hz.
+	if math.Abs(ranked[0].RateHz-10) > 1e-9 {
+		t.Errorf("rate = %v, want 10", ranked[0].RateHz)
+	}
+	sel := SelectActive(ranked, 2)
+	if len(sel) != 2 || sel[0] != 0 || sel[1] != 2 {
+		t.Errorf("selection wrong: %v", sel)
+	}
+	if got := SelectActive(ranked, 10); len(got) != 3 {
+		t.Errorf("over-selection should clamp: %v", got)
+	}
+	if got := RankChannels(nil, 8000); got != nil {
+		t.Errorf("empty block should rank nothing")
+	}
+}
+
+func TestStreamingDetectorMatchesBatch(t *testing.T) {
+	// After calibration on the same noise, the streaming detector must
+	// find the same spikes as the batch detector.
+	at := []int{3000, 3400, 3800, 4200}
+	xs := synthTrace(5000, testTemplate, at, 0.05, 51)
+	sd, err := NewStreamingDetector(8000, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	for i, x := range xs {
+		if sd.Process(x) {
+			got = append(got, i)
+		}
+	}
+	if !sd.Ready() {
+		t.Fatalf("detector never finished calibration")
+	}
+	if len(got) != len(at) {
+		t.Fatalf("streaming detected %d spikes, want %d (%v)", len(got), len(at), got)
+	}
+	for i, idx := range got {
+		if idx < at[i] || idx > at[i]+3 {
+			t.Errorf("spike %d at %d, want ≈%d", i, idx, at[i])
+		}
+	}
+}
+
+func TestStreamingDetectorCalibrationWindow(t *testing.T) {
+	if _, err := NewStreamingDetector(8000, 4); err == nil {
+		t.Errorf("tiny calibration should fail")
+	}
+	sd, err := NewStreamingDetector(8000, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// During calibration nothing fires, even on a huge excursion.
+	for i := 0; i < 16; i++ {
+		if sd.Process(-100) {
+			t.Fatalf("fired during calibration at %d", i)
+		}
+	}
+	if !sd.Ready() {
+		t.Fatalf("should be calibrated after 16 samples")
+	}
+	// A flat calibration trace yields σ = 0 wait — all -100: MAD of
+	// constant -100 is |−100|/0.6745 ≫ 0, so the threshold is deep and a
+	// mild dip stays silent.
+	if sd.Process(-5) {
+		t.Errorf("sub-threshold dip fired")
+	}
+}

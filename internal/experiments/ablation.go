@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"mindful/internal/dnnmodel"
+	"mindful/internal/mac"
+	"mindful/internal/optimize"
+	"mindful/internal/sched"
+	"mindful/internal/soc"
+	"mindful/internal/thermal"
+	"mindful/internal/units"
+)
+
+// Ablations quantify how sensitive the headline results are to the
+// modeling choices DESIGN.md documents: the DNN depth-scaling policy, the
+// sensing/non-sensing split, the QAM implementation loss, the scheduling
+// discipline, and the thermal flux split.
+
+// DepthPolicyAblation is one row of the depth-policy study: the MLP
+// crossover average under a given policy.
+type DepthPolicyAblation struct {
+	Policy       string
+	AvgCrossover float64
+}
+
+// AblateDepthPolicy recomputes the Fig. 10 MLP crossover average under
+// three depth policies: no depth growth, the default ⌈log₂α⌉, and linear
+// ⌊α⌋ extra layers.
+func AblateDepthPolicy() ([]DepthPolicyAblation, error) {
+	policies := []struct {
+		name string
+		fn   dnnmodel.DepthPolicy
+	}{
+		{"none", func(alpha float64) int { return 0 }},
+		{"log2 (default)", dnnmodel.DefaultDepth},
+		{"linear", func(alpha float64) int {
+			if alpha <= 1 {
+				return 0
+			}
+			return int(alpha)
+		}},
+	}
+	var out []DepthPolicyAblation
+	for _, p := range policies {
+		tmpl := dnnmodel.MLP()
+		tmpl.Depth = p.fn
+		_, avg, err := Fig10Crossovers(tmpl)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: depth ablation %q: %w", p.name, err)
+		}
+		out = append(out, DepthPolicyAblation{Policy: p.name, AvgCrossover: avg})
+	}
+	return out, nil
+}
+
+// SplitAblation is one row of the sensing-split study.
+type SplitAblation struct {
+	AreaFrac float64
+	// AllCross reports whether every wireless SoC's high-margin design
+	// eventually exceeds its budget (the Fig. 5 claim).
+	AllCross bool
+	// MLPAvgCrossover is the Fig. 10 average under this split.
+	MLPAvgCrossover float64
+}
+
+// AblateSensingSplit sweeps the sensing-area fraction and reports which
+// paper claims survive. The default 0.4 is the largest value for which the
+// Fig. 5 high-margin crossing holds for all SoCs.
+func AblateSensingSplit(fracs []float64) ([]SplitAblation, error) {
+	var out []SplitAblation
+	for _, frac := range fracs {
+		if frac <= 0 || frac >= 1 {
+			return nil, fmt.Errorf("experiments: split fraction %g outside (0,1)", frac)
+		}
+		row := SplitAblation{AreaFrac: frac, AllCross: true}
+		var sum, cnt float64
+		for _, d := range soc.WirelessDesigns() {
+			d.SensingAreaFrac = frac
+			b := d.Baseline()
+			// Does the high-margin design ever cross?
+			asym := b.At1024.Power.Watts() / (thermal.SafeDensity.WattsPerM2() * b.SensingArea.M2())
+			if asym <= 1 {
+				row.AllCross = false
+			}
+			ev := optimize.NewEvaluator(b, dnnmodel.MLP())
+			a, err := ev.Assess(1024, 1024)
+			if err != nil {
+				return nil, err
+			}
+			if !a.Feasible() {
+				continue
+			}
+			max, ok, err := ev.MaxChannels(1024, 16384)
+			if err != nil || !ok {
+				return nil, fmt.Errorf("experiments: split ablation: %v", err)
+			}
+			sum += float64(max)
+			cnt++
+		}
+		if cnt > 0 {
+			row.MLPAvgCrossover = sum / cnt
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// QAMLossAblation is one row of the implementation-loss study.
+type QAMLossAblation struct {
+	ImplLossDB        float64
+	At15, At20, At100 float64
+}
+
+// AblateQAMLoss sweeps the Fig. 7 implementation-loss calibration knob and
+// reports the three annotation statistics.
+func AblateQAMLoss(lossesDB []float64) ([]QAMLossAblation, error) {
+	var out []QAMLossAblation
+	for _, loss := range lossesDB {
+		cfg := DefaultFig7Config()
+		cfg.ImplLossDB = loss
+		rows, err := Fig7(cfg)
+		if err != nil {
+			return nil, err
+		}
+		_, a15 := Fig7MaxChannelsAt(rows, 0.15)
+		_, a20 := Fig7MaxChannelsAt(rows, 0.20)
+		_, a100 := Fig7MaxChannelsAt(rows, 1.00)
+		out = append(out, QAMLossAblation{ImplLossDB: loss, At15: a15, At20: a20, At100: a100})
+	}
+	return out, nil
+}
+
+// SchedulingAblation compares the two Eq. (11)–(15) disciplines for one
+// model instance.
+type SchedulingAblation struct {
+	Model        string
+	Channels     int
+	NonPipelined int // MAC units (0 if infeasible)
+	Pipelined    int
+	BestIsPipe   bool
+}
+
+// AblateScheduling evaluates both disciplines for both templates at the
+// given channel counts (2 kHz application deadline, 45 nm).
+func AblateScheduling(channelCounts []int) ([]SchedulingAblation, error) {
+	deadline := sched.DeadlineFor(units.Kilohertz(2))
+	var out []SchedulingAblation
+	for _, tmpl := range dnnmodel.Templates() {
+		for _, n := range channelCounts {
+			m, err := tmpl.Scale(n)
+			if err != nil {
+				return nil, err
+			}
+			np, err := sched.NonPipelined(m, deadline, mac.NanGate45)
+			if err != nil {
+				return nil, err
+			}
+			pl, err := sched.Pipelined(m, deadline, mac.NanGate45)
+			if err != nil {
+				return nil, err
+			}
+			row := SchedulingAblation{Model: tmpl.Name, Channels: n}
+			if np.Feasible {
+				row.NonPipelined = np.MACHW
+			}
+			if pl.Feasible {
+				row.Pipelined = pl.MACHW
+			}
+			row.BestIsPipe = pl.Feasible && (!np.Feasible || pl.MACHW < np.MACHW)
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// FluxSplitAblation is one row of the thermal-model study.
+type FluxSplitAblation struct {
+	FluxSplit float64
+	// RiseAtLimit is the tissue temperature rise at 40 mW/cm².
+	RiseAtLimit float64
+	// WithinPaperWindow reports whether the rise lands in 1–2 °C.
+	WithinPaperWindow bool
+}
+
+// AblateFluxSplit sweeps the fraction of implant heat entering brain
+// tissue and reports where the paper's 1–2 °C window survives.
+func AblateFluxSplit(splits []float64) ([]FluxSplitAblation, error) {
+	var out []FluxSplitAblation
+	for _, s := range splits {
+		m := thermal.DefaultModel()
+		m.FluxSplit = s
+		p, err := m.SteadyState(thermal.SafeDensity)
+		if err != nil {
+			return nil, err
+		}
+		rise := p.SurfaceRise()
+		out = append(out, FluxSplitAblation{
+			FluxSplit:         s,
+			RiseAtLimit:       rise,
+			WithinPaperWindow: rise >= 1 && rise <= 2,
+		})
+	}
+	return out, nil
+}
+
+// ACRatioAblation quantifies the SNN-vs-MLP break-even activity: the input
+// activity below which an event-driven network beats the dense MAC floor,
+// as a function of the accumulate/MAC energy ratio.
+type ACRatioAblation struct {
+	ACOverMAC float64
+	// BreakEvenActivity is the activity factor at which SNN energy equals
+	// dense energy: activity × ratio = 1 → activity = 1/ratio... clamped
+	// to 1.
+	BreakEvenActivity float64
+}
+
+// AblateACRatio computes break-even activities for a sweep of energy
+// ratios — the quantitative version of the related work's "SNNs offer
+// improved power efficiency" claim.
+func AblateACRatio(ratios []float64) ([]ACRatioAblation, error) {
+	var out []ACRatioAblation
+	for _, r := range ratios {
+		if r <= 0 {
+			return nil, fmt.Errorf("experiments: non-positive AC/MAC ratio %g", r)
+		}
+		out = append(out, ACRatioAblation{
+			ACOverMAC:         r,
+			BreakEvenActivity: math.Min(1/r, 1),
+		})
+	}
+	return out, nil
+}

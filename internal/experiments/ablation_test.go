@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestAblateDepthPolicy(t *testing.T) {
+	rows, err := AblateDepthPolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]float64{}
+	for _, r := range rows {
+		if r.AvgCrossover <= 0 {
+			t.Errorf("policy %q crossover = %v", r.Policy, r.AvgCrossover)
+		}
+		byName[r.Policy] = r.AvgCrossover
+	}
+	// Deeper networks cost more: crossovers must be ordered
+	// none ≥ default ≥ linear.
+	if !(byName["none"] >= byName["log2 (default)"] && byName["log2 (default)"] >= byName["linear"]) {
+		t.Errorf("crossover ordering violated: %v", byName)
+	}
+	// The depth policy is a second-order choice: the default and "none"
+	// agree within 25%.
+	if byName["none"] > 1.25*byName["log2 (default)"] {
+		t.Errorf("depth policy dominates the result: %v", byName)
+	}
+}
+
+func TestAblateSensingSplit(t *testing.T) {
+	rows, err := AblateSensingSplit([]float64{0.3, 0.4, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The Fig. 5 all-SoCs-cross claim holds at 0.3 and 0.4 but fails at
+	// 0.5 (Shen's density is too low) — the documented reason for the
+	// 0.4 default.
+	for _, r := range rows {
+		switch r.AreaFrac {
+		case 0.3, 0.4:
+			if !r.AllCross {
+				t.Errorf("frac %v: high-margin crossing should hold", r.AreaFrac)
+			}
+		case 0.5:
+			if r.AllCross {
+				t.Errorf("frac 0.5: crossing should fail for the least dense SoC")
+			}
+		}
+		if r.MLPAvgCrossover < 1000 || r.MLPAvgCrossover > 4000 {
+			t.Errorf("frac %v: crossover %v implausible", r.AreaFrac, r.MLPAvgCrossover)
+		}
+	}
+	if _, err := AblateSensingSplit([]float64{0}); err == nil {
+		t.Errorf("invalid fraction should fail")
+	}
+}
+
+func TestAblateQAMLoss(t *testing.T) {
+	rows, err := AblateQAMLoss([]float64{6, 8, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// More loss → fewer channels at any efficiency, monotonically.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].At20 > rows[i-1].At20 || rows[i].At100 > rows[i-1].At100 {
+			t.Errorf("channel counts should fall with loss: %+v then %+v", rows[i-1], rows[i])
+		}
+	}
+	// At every loss, ideal efficiency beats 20%.
+	for _, r := range rows {
+		if r.At100 < r.At20 {
+			t.Errorf("loss %v: 100%% (%v) below 20%% (%v)", r.ImplLossDB, r.At100, r.At20)
+		}
+	}
+}
+
+func TestAblateScheduling(t *testing.T) {
+	rows, err := AblateScheduling([]int{128, 1024, 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.NonPipelined == 0 && r.Pipelined == 0 {
+			t.Errorf("%s@%d: both disciplines infeasible", r.Model, r.Channels)
+		}
+		// When both are feasible, the best flag matches the counts.
+		if r.NonPipelined > 0 && r.Pipelined > 0 {
+			wantPipe := r.Pipelined < r.NonPipelined
+			if r.BestIsPipe != wantPipe {
+				t.Errorf("%s@%d best flag wrong: %+v", r.Model, r.Channels, r)
+			}
+		}
+	}
+}
+
+func TestAblateFluxSplit(t *testing.T) {
+	rows, err := AblateFluxSplit([]float64{0.3, 0.5, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rise scales linearly with the split; the default 0.5 sits in the
+	// paper's window.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].RiseAtLimit <= rows[i-1].RiseAtLimit {
+			t.Errorf("rise should grow with flux split")
+		}
+	}
+	for _, r := range rows {
+		if r.FluxSplit == 0.5 && !r.WithinPaperWindow {
+			t.Errorf("default split outside the 1–2 °C window: %v", r.RiseAtLimit)
+		}
+	}
+	if _, err := AblateFluxSplit([]float64{1.5}); err == nil {
+		t.Errorf("invalid split should fail (model validation)")
+	}
+}
+
+func TestAblateACRatio(t *testing.T) {
+	rows, err := AblateACRatio([]float64{0.2, 0.4, 1.0, 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].BreakEvenActivity != 1 {
+		t.Errorf("cheap accumulates should break even at full activity (clamped): %v", rows[0])
+	}
+	if rows[3].BreakEvenActivity != 0.5 {
+		t.Errorf("ratio 2 break-even = %v, want 0.5", rows[3].BreakEvenActivity)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].BreakEvenActivity > rows[i-1].BreakEvenActivity {
+			t.Errorf("break-even should fall with ratio")
+		}
+	}
+	if _, err := AblateACRatio([]float64{0}); err == nil {
+		t.Errorf("zero ratio should fail")
+	}
+}

@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"mindful/internal/dnnmodel"
+	"mindful/internal/optimize"
+)
+
+func TestChannelSweep(t *testing.T) {
+	s := ChannelSweep()
+	if len(s) != 8 || s[0] != 1024 || s[7] != 8192 {
+		t.Errorf("sweep = %v", s)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 11 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.PowerMW <= 0 {
+			t.Errorf("SoC %d power = %v", r.Design.Num, r.PowerMW)
+		}
+	}
+}
+
+func TestFig4AllSafeExceptRawHALO(t *testing.T) {
+	rows := Fig4()
+	if len(rows) != 12 { // 11 designs + unscaled HALO
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows[:11] {
+		if !r.Safe {
+			t.Errorf("%s should be inside the budget (%.1f mW over %.1f mW)", r.Name, r.PowerMW, r.BudgetMW)
+		}
+		if r.DensityMW > 40+1e-9 {
+			t.Errorf("%s density %.1f exceeds 40 mW/cm²", r.Name, r.DensityMW)
+		}
+	}
+	raw := rows[11]
+	if raw.Safe {
+		t.Errorf("unscaled HALO must violate the budget")
+	}
+}
+
+func TestFig5NaiveFlatHighMarginCrossing(t *testing.T) {
+	naive := Fig5(Naive)
+	if len(naive) != 8*4 {
+		t.Fatalf("naive rows = %d", len(naive))
+	}
+	// Per SoC, the naive ratio is constant in n.
+	ratios := map[int]float64{}
+	for _, r := range naive {
+		if prev, ok := ratios[r.SoC]; ok {
+			if math.Abs(prev-r.Ratio) > 1e-9 {
+				t.Errorf("SoC %d naive ratio drifts: %v vs %v", r.SoC, prev, r.Ratio)
+			}
+		} else {
+			ratios[r.SoC] = r.Ratio
+		}
+		if r.Ratio > 1 {
+			t.Errorf("SoC %d naive point over budget at n=%d", r.SoC, r.Channels)
+		}
+		// Bars decompose.
+		if r.SensingMW < 0 || r.NonSensingMW < 0 {
+			t.Errorf("negative split: %+v", r)
+		}
+	}
+	// High margin: ratio strictly increases with n for every SoC.
+	hm := Fig5(HighMargin)
+	last := map[int]float64{}
+	for _, r := range hm {
+		if prev, ok := last[r.SoC]; ok && r.Ratio <= prev {
+			t.Errorf("SoC %d high-margin ratio not increasing at n=%d", r.SoC, r.Channels)
+		}
+		last[r.SoC] = r.Ratio
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	naive := Fig6(Naive)
+	for _, r := range naive {
+		if math.Abs(r.Fraction-0.4) > 1e-9 {
+			t.Errorf("naive fraction = %v at SoC %d", r.Fraction, r.SoC)
+		}
+	}
+	hm := Fig6(HighMargin)
+	last := map[int]float64{}
+	for _, r := range hm {
+		if prev, ok := last[r.SoC]; ok && r.Fraction <= prev {
+			t.Errorf("SoC %d high-margin fraction not increasing", r.SoC)
+		}
+		last[r.SoC] = r.Fraction
+		// At 1024 the fraction equals the baseline split; beyond it the
+		// high-margin design must beat the naive flat line.
+		if r.Channels > 1024 && r.Fraction <= 0.4 {
+			t.Errorf("high-margin fraction %v should exceed the naive 0.4", r.Fraction)
+		}
+	}
+}
+
+func TestFig7StaircaseAndAnnotations(t *testing.T) {
+	rows, err := Fig7(DefaultFig7Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bits per symbol follow the ⌈n/1024⌉ staircase.
+	for _, r := range rows {
+		want := (r.Channels + 1023) / 1024
+		if r.BitsPerSymbol != want {
+			t.Errorf("SoC %d n=%d bits=%d, want %d", r.SoC, r.Channels, r.BitsPerSymbol, want)
+		}
+	}
+	// Within one SoC and one bits-per-symbol block, efficiency increases
+	// with n; at block boundaries it jumps up (the figure's sharp steps).
+	perSoC := map[int][]Fig7Row{}
+	for _, r := range rows {
+		perSoC[r.SoC] = append(perSoC[r.SoC], r)
+	}
+	for num, rs := range perSoC {
+		for i := 1; i < len(rs); i++ {
+			if rs[i].MinEfficiency < rs[i-1].MinEfficiency-1e-12 {
+				t.Errorf("SoC %d efficiency decreased at n=%d", num, rs[i].Channels)
+			}
+		}
+	}
+	// Paper annotations: ≈1800–2000 channels near the current 13–15%
+	// standard; ≈2× at 20%; ≥2.5× at the 100% ideal.
+	if _, at15 := Fig7MaxChannelsAt(rows, 0.15); at15 < 1500 || at15 > 2500 {
+		t.Errorf("avg channels at 15%% = %.0f, want ≈2000", at15)
+	}
+	if _, at20 := Fig7MaxChannelsAt(rows, 0.20); at20 < 1800 || at20 > 2700 {
+		t.Errorf("avg channels at 20%% = %.0f, paper says ≈2× (2048)", at20)
+	}
+	_, at100 := Fig7MaxChannelsAt(rows, 1.0)
+	if at100 < 2600 {
+		t.Errorf("avg channels at 100%% = %.0f, paper says up to ≈4×", at100)
+	}
+	// And 100% must beat 20% decisively.
+	_, at20 := Fig7MaxChannelsAt(rows, 0.20)
+	if at100 <= at20 {
+		t.Errorf("ideal efficiency should allow more channels: %v vs %v", at100, at20)
+	}
+}
+
+func TestFig7AverageCurveSorted(t *testing.T) {
+	rows, err := Fig7(DefaultFig7Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, avg := Fig7AverageCurve(rows)
+	if len(ns) != len(avg) || len(ns) == 0 {
+		t.Fatalf("curve shape: %d vs %d", len(ns), len(avg))
+	}
+	for i := 1; i < len(ns); i++ {
+		if ns[i] <= ns[i-1] {
+			t.Fatalf("curve not sorted")
+		}
+		if avg[i] < avg[i-1]-1e-12 {
+			t.Errorf("average curve decreased at n=%d", ns[i])
+		}
+	}
+}
+
+func TestFig9Trajectory(t *testing.T) {
+	rows := Fig9()
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].PEFraction > 0.4 {
+		t.Errorf("design 1 PE fraction = %v", rows[0].PEFraction)
+	}
+	if f := rows[8].PEFraction; f < 0.7 || f > 0.9 {
+		t.Errorf("design 9 PE fraction = %v, want ≈0.8", f)
+	}
+	if f := rows[11].PEFraction; f < 0.93 {
+		t.Errorf("design 12 PE fraction = %v, want ≈0.96", f)
+	}
+	for _, r := range rows {
+		if math.Abs(r.PEMW/r.LayerMW-r.PEFraction) > 1e-9 {
+			t.Errorf("design %d fraction inconsistent", r.Design)
+		}
+	}
+}
+
+func TestFig10PaperClaims(t *testing.T) {
+	for _, tmpl := range dnnmodel.Templates() {
+		rows, err := Fig10(tmpl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 8*7 {
+			t.Fatalf("%s rows = %d", tmpl.Name, len(rows))
+		}
+		// Utilization grows monotonically with n for every SoC.
+		last := map[int]float64{}
+		for _, r := range rows {
+			if prev, ok := last[r.SoC]; ok && r.Utilization < prev {
+				t.Errorf("%s SoC %d utilization decreased at n=%d", tmpl.Name, r.SoC, r.Channels)
+			}
+			last[r.SoC] = r.Utilization
+		}
+	}
+	// Crossover averages (among SoCs feasible at 1024).
+	_, avgMLP, err := Fig10Crossovers(dnnmodel.MLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avgMLP < 1500 || avgMLP > 2200 {
+		t.Errorf("MLP crossover average = %.0f, paper says ≈1800", avgMLP)
+	}
+	_, avgCNN, err := Fig10Crossovers(dnnmodel.DNCNN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avgCNN < 1100 || avgCNN > 1700 {
+		t.Errorf("DN-CNN crossover average = %.0f, paper says ≈1400", avgCNN)
+	}
+	if avgCNN >= avgMLP {
+		t.Errorf("DN-CNN must cross earlier than MLP: %v vs %v", avgCNN, avgMLP)
+	}
+}
+
+func TestFig11PaperClaims(t *testing.T) {
+	rows, err := Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	mlpGain := Fig11AverageGain(rows, "MLP")
+	if mlpGain < 0.10 || mlpGain > 0.35 {
+		t.Errorf("MLP average gain = %.0f%%, paper says ≈20%%", mlpGain*100)
+	}
+	cnnGain := Fig11AverageGain(rows, "DN-CNN")
+	if math.Abs(cnnGain) > 0.02 {
+		t.Errorf("DN-CNN average gain = %.0f%%, paper says none", cnnGain*100)
+	}
+	// The best MLP case reaches a substantial gain (paper: 40%).
+	best := 0.0
+	for _, r := range rows {
+		if r.Model == "MLP" && r.Increase-1 > best {
+			best = r.Increase - 1
+		}
+	}
+	if best < 0.2 {
+		t.Errorf("best MLP gain = %.0f%%, paper says up to 40%%", best*100)
+	}
+	if Fig11AverageGain(rows, "missing") != 0 {
+		t.Errorf("unknown model gain should be 0")
+	}
+}
+
+func TestFig12PaperShape(t *testing.T) {
+	rows, err := Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8*3*4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	a2048 := Fig12Averages(rows, 2048)
+	a4096 := Fig12Averages(rows, 4096)
+	a8192 := Fig12Averages(rows, 8192)
+	// Feasible model size shrinks with n at every step.
+	for _, s := range optimize.Steps() {
+		if !(a2048[s] > a4096[s] && a4096[s] >= a8192[s]) {
+			t.Errorf("step %v fractions not decreasing: %.2f %.2f %.2f", s, a2048[s], a4096[s], a8192[s])
+		}
+	}
+	// La helps, Tech helps more, Dense hurts — at every n.
+	for _, a := range []map[optimize.Step]float64{a2048, a4096, a8192} {
+		if a[optimize.La] < a[optimize.ChDr]-1e-9 {
+			t.Errorf("La below ChDr: %v", a)
+		}
+		if a[optimize.Tech] < a[optimize.La]-1e-9 {
+			t.Errorf("Tech below La: %v", a)
+		}
+		if a[optimize.Dense] > a[optimize.Tech]+1e-9 {
+			t.Errorf("Dense above Tech: %v", a)
+		}
+	}
+	// Magnitudes: deep cuts required at scale (paper: 2% at 8192).
+	if a8192[optimize.ChDr] > 0.15 {
+		t.Errorf("ChDr@8192 = %v, want small", a8192[optimize.ChDr])
+	}
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mindful/internal/afe"
+	"mindful/internal/soc"
+	"mindful/internal/stim"
+	"mindful/internal/thermal"
+	"mindful/internal/units"
+	"mindful/internal/wpt"
+)
+
+// Extension studies: the Section 8 "future considerations" quantified with
+// the substrates this repository adds beyond the paper's evaluation —
+// wireless power transfer, analog front-end scaling, and closed-loop
+// stimulation.
+
+// WPTRow is one SoC's budget accounting under wireless powering.
+type WPTRow struct {
+	SoC int
+	// FullBudgetMW is the thermal budget at 1024 channels.
+	FullBudgetMW float64
+	// EffectiveBudgetMW subtracts the on-implant WPT losses.
+	EffectiveBudgetMW float64
+	// StillFeasible reports whether the scaled design still fits after
+	// the WPT penalty.
+	StillFeasible bool
+	// TxPowerMW is the external transmit power needed to run the design.
+	TxPowerMW float64
+}
+
+// ExtWPT evaluates every wireless SoC at 1024 channels under a typical
+// transcutaneous power link.
+func ExtWPT(link wpt.Link) ([]WPTRow, error) {
+	var out []WPTRow
+	for _, d := range soc.WirelessDesigns() {
+		b := d.Baseline()
+		full := thermal.Budget(b.At1024.Area)
+		eff, err := link.EffectiveBudget(b.At1024.Area)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: wpt SoC %d: %w", d.Num, err)
+		}
+		tx, err := link.TxForDelivered(b.At1024.Power)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, WPTRow{
+			SoC:               d.Num,
+			FullBudgetMW:      full.Milliwatts(),
+			EffectiveBudgetMW: eff.Milliwatts(),
+			StillFeasible:     b.At1024.Power <= eff,
+			TxPowerMW:         tx.Milliwatts(),
+		})
+	}
+	return out, nil
+}
+
+// AFERow is one point of the analog-scaling study: the minimum safe
+// channel pitch for a given input-referred noise target.
+type AFERow struct {
+	NoiseUVrms float64
+	// PerChannelUW is the analog chain power per channel.
+	PerChannelUW float64
+	// MinSafePitchUM is the tightest pitch within 40 mW/cm².
+	MinSafePitchUM float64
+	// Meets20UMGoal reports whether the paper's 20 µm one-channel-per-
+	// neuron target (Section 3.2) is reachable at this quality.
+	Meets20UMGoal bool
+}
+
+// ExtAFE sweeps amplifier noise targets and reports the density wall the
+// analog front end imposes — the quantitative form of Section 8's "analog
+// components remain a key scaling limitation".
+func ExtAFE(noiseTargetsUV []float64) ([]AFERow, error) {
+	var out []AFERow
+	for _, uv := range noiseTargetsUV {
+		fe := afe.TypicalFrontEnd()
+		fe.Amp.InputNoiseVrms = uv * 1e-6
+		pc, err := fe.PerChannelPower()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: afe at %g µV: %w", uv, err)
+		}
+		pitch, err := fe.MinSafePitch(thermal.SafeDensity)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AFERow{
+			NoiseUVrms:     uv,
+			PerChannelUW:   pc.Microwatts(),
+			MinSafePitchUM: pitch * 1e6,
+			Meets20UMGoal:  pitch <= 20e-6,
+		})
+	}
+	return out, nil
+}
+
+// StimRow is one closed-loop stimulation scenario.
+type StimRow struct {
+	Electrodes int
+	RateHz     float64
+	// PowerUW is the stimulator's average draw.
+	PowerUW float64
+	// ShannonSafe reports per-electrode charge safety.
+	ShannonSafe bool
+	// BudgetSharePct is the fraction of a Neuralink-sized (20 mm²)
+	// budget consumed.
+	BudgetSharePct float64
+}
+
+// ExtStim sweeps stimulation scales on the typical electrode and pulse.
+func ExtStim(electrodeCounts []int, rateHz float64) ([]StimRow, error) {
+	budget := thermal.Budget(units.SquareMillimetres(20))
+	var out []StimRow
+	for _, n := range electrodeCounts {
+		s := stim.TypicalSchedule()
+		s.Electrodes = n
+		s.RateHz = rateHz
+		p, err := s.AveragePower()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: stim %d electrodes: %w", n, err)
+		}
+		check, err := stim.CheckShannon(s.Pulse, stim.TypicalMicroelectrode())
+		if err != nil {
+			return nil, err
+		}
+		share, err := s.BudgetShare(budget)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, StimRow{
+			Electrodes:     n,
+			RateHz:         rateHz,
+			PowerUW:        p.Microwatts(),
+			ShannonSafe:    check.Safe(),
+			BudgetSharePct: share * 100,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"testing"
+
+	"mindful/internal/wpt"
+)
+
+func TestExtWPT(t *testing.T) {
+	rows, err := ExtWPT(wpt.TypicalLink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.EffectiveBudgetMW >= r.FullBudgetMW {
+			t.Errorf("SoC %d: WPT must shrink the budget (%v vs %v)",
+				r.SoC, r.EffectiveBudgetMW, r.FullBudgetMW)
+		}
+		if r.TxPowerMW <= 0 {
+			t.Errorf("SoC %d: degenerate transmit power", r.SoC)
+		}
+	}
+	// The WPT penalty must flip at least one previously-safe design to
+	// infeasible — the Section 8 concern made concrete. (Neuralink at
+	// 39 of 40 mW/cm² has no headroom for conversion losses.)
+	flipped := 0
+	for _, r := range rows {
+		if !r.StillFeasible {
+			flipped++
+		}
+	}
+	if flipped == 0 {
+		t.Errorf("expected at least one design to lose feasibility under WPT")
+	}
+	// But not all: the roomiest designs survive.
+	if flipped == len(rows) {
+		t.Errorf("expected some designs to survive WPT")
+	}
+	// Transmit power exceeds delivered power (efficiency < 1).
+	for _, r := range rows {
+		d, _ := soc_byNumPower(r.SoC)
+		if r.TxPowerMW <= d {
+			t.Errorf("SoC %d: tx %v mW not above delivered %v mW", r.SoC, r.TxPowerMW, d)
+		}
+	}
+}
+
+// soc_byNumPower returns the scaled design power in mW for comparison.
+func soc_byNumPower(num int) (float64, bool) {
+	for _, r := range Fig4()[:11] {
+		if r.SoC == num && r.Name != "HALO (unscaled)" {
+			return r.PowerMW, true
+		}
+	}
+	return 0, false
+}
+
+func TestExtAFE(t *testing.T) {
+	rows, err := ExtAFE([]float64{10, 5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Lower noise → more power → wider minimum pitch.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].PerChannelUW <= rows[i-1].PerChannelUW {
+			t.Errorf("power should grow as noise shrinks")
+		}
+		if rows[i].MinSafePitchUM <= rows[i-1].MinSafePitchUM {
+			t.Errorf("pitch wall should widen as noise shrinks")
+		}
+	}
+	// The 20 µm goal is out of reach for all realistic noise targets —
+	// the analog scaling wall.
+	for _, r := range rows {
+		if r.Meets20UMGoal {
+			t.Errorf("noise %g µV: 20 µm pitch should be thermally impossible", r.NoiseUVrms)
+		}
+	}
+	if _, err := ExtAFE([]float64{0}); err == nil {
+		t.Errorf("zero noise target should fail")
+	}
+}
+
+func TestExtStim(t *testing.T) {
+	rows, err := ExtStim([]int{16, 64, 256}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if !r.ShannonSafe {
+			t.Errorf("typical pulse should be Shannon-safe")
+		}
+		if i > 0 && r.PowerUW <= rows[i-1].PowerUW {
+			t.Errorf("power should grow with electrode count")
+		}
+	}
+	// Even 256 electrodes at 100 Hz stay under half the 20 mm² budget —
+	// stimulation is charge-limited, not thermally limited, at this scale.
+	if rows[2].BudgetSharePct > 50 {
+		t.Errorf("256-electrode share = %v%%, want < 50%%", rows[2].BudgetSharePct)
+	}
+	if _, err := ExtStim([]int{0}, 100); err == nil {
+		t.Errorf("zero electrodes should fail")
+	}
+}

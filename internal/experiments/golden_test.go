@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"mindful/internal/dnnmodel"
+)
+
+// The golden summary pins the exact headline numbers the default
+// calibration produces. Everything here is deterministic; a change to any
+// model constant shows up as a diff against these values, so calibration
+// drift cannot slip in silently. (The paper-shape assertions live in the
+// other test files; this one is the regression net.)
+func TestGoldenSummary(t *testing.T) {
+	intEq := func(name string, got, want int) {
+		t.Helper()
+		if got != want {
+			t.Errorf("%s = %d, want %d (calibration drift?)", name, got, want)
+		}
+	}
+	floatNear := func(name string, got, want, tol float64) {
+		t.Helper()
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s = %v, want %v ± %v (calibration drift?)", name, got, want, tol)
+		}
+	}
+
+	// Fig. 10 crossovers.
+	mlpPer, mlpAvg, err := Fig10Crossovers(dnnmodel.MLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	floatNear("MLP crossover avg", mlpAvg, 1833.4, 0.5)
+	intEq("MLP max SoC1", mlpPer[1], 2474)
+	intEq("MLP max SoC3", mlpPer[3], 763)
+	intEq("MLP max SoC8", mlpPer[8], 1101)
+	_, cnnAvg, err := Fig10Crossovers(dnnmodel.DNCNN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	floatNear("DN-CNN crossover avg", cnnAvg, 1273.5, 0.5)
+
+	// Fig. 11 gains.
+	f11, err := Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	floatNear("MLP partition gain", Fig11AverageGain(f11, "MLP"), 0.170, 0.005)
+	floatNear("DN-CNN partition gain", Fig11AverageGain(f11, "DN-CNN"), 0, 1e-9)
+
+	// Fig. 7 annotations.
+	f7, err := Fig7(DefaultFig7Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, at15 := Fig7MaxChannelsAt(f7, 0.15)
+	_, at20 := Fig7MaxChannelsAt(f7, 0.20)
+	_, at100 := Fig7MaxChannelsAt(f7, 1.00)
+	floatNear("Fig7 @15%", at15, 2005, 10)
+	floatNear("Fig7 @20%", at20, 2112, 10)
+	floatNear("Fig7 @100%", at100, 3035, 10)
+
+	// Workload sizes at the standard channel count.
+	mlp, err := dnnmodel.MLP().Scale(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intEq("MLP@1024 MACs", mlp.TotalMACs(), 35773440)
+	cnn, err := dnnmodel.DNCNN().Scale(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intEq("DN-CNN@1024 MACs", cnn.TotalMACs(), 102596608)
+
+	// Fig. 12 averages at 2048 channels.
+	f12, err := Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Fig12Averages(f12, 2048)
+	floatNear("Fig12 ChDr@2048", a[0], 0.519, 0.01)
+	floatNear("Fig12 Dense@2048", a[3], 0.671, 0.01)
+}

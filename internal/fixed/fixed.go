@@ -1,0 +1,210 @@
+// Package fixed implements the Q-format fixed-point arithmetic used by the
+// implant's datapath models. The paper's accelerator operates on an 8-bit
+// datatype; this package provides signed Q-format values with saturating
+// conversion, multiply, and the multiply-accumulate primitive the MAC unit
+// executes, plus helpers to quantize float64 tensors for the int8 inference
+// engine in internal/nn.
+package fixed
+
+import (
+	"fmt"
+	"math"
+)
+
+// Format describes a signed fixed-point representation with a total bit
+// width (including the sign bit) and a number of fractional bits.
+type Format struct {
+	Bits int // total width, 2..32
+	Frac int // fractional bits, 0..Bits-1
+}
+
+// Common formats.
+var (
+	// Q15 is the 16-bit format with 15 fractional bits (range [-1, 1)).
+	Q15 = Format{Bits: 16, Frac: 15}
+	// Q7 is the 8-bit format with 7 fractional bits (range [-1, 1)).
+	// This is the accelerator's native datatype.
+	Q7 = Format{Bits: 8, Frac: 7}
+	// Q4_3 is an 8-bit format with 3 integer bits for activations that
+	// exceed unit range.
+	Q4_3 = Format{Bits: 8, Frac: 3}
+)
+
+// Valid reports whether the format is representable.
+func (f Format) Valid() bool {
+	return f.Bits >= 2 && f.Bits <= 32 && f.Frac >= 0 && f.Frac < f.Bits
+}
+
+// Max returns the largest representable raw value.
+func (f Format) Max() int32 { return int32(1)<<(f.Bits-1) - 1 }
+
+// Min returns the smallest representable raw value.
+func (f Format) Min() int32 { return -(int32(1) << (f.Bits - 1)) }
+
+// Scale returns the value of one least-significant bit.
+func (f Format) Scale() float64 { return 1 / float64(int64(1)<<f.Frac) }
+
+// MaxFloat returns the largest representable real value.
+func (f Format) MaxFloat() float64 { return float64(f.Max()) * f.Scale() }
+
+// MinFloat returns the smallest representable real value.
+func (f Format) MinFloat() float64 { return float64(f.Min()) * f.Scale() }
+
+// String renders the format in Qm.n notation.
+func (f Format) String() string { return fmt.Sprintf("Q%d.%d", f.Bits-1-f.Frac, f.Frac) }
+
+// Value is a fixed-point number: a raw integer interpreted under a Format.
+type Value struct {
+	Raw int32
+	Fmt Format
+}
+
+// FromFloat quantizes x into format f, rounding to nearest and saturating
+// at the format limits.
+func FromFloat(x float64, f Format) Value {
+	if !f.Valid() {
+		panic("fixed: invalid format " + f.String())
+	}
+	scaled := math.Round(x / f.Scale())
+	return Value{Raw: saturate32(scaled, f), Fmt: f}
+}
+
+// Float returns the real value represented.
+func (v Value) Float() float64 { return float64(v.Raw) * v.Fmt.Scale() }
+
+// String renders the value and its format.
+func (v Value) String() string { return fmt.Sprintf("%g(%s)", v.Float(), v.Fmt) }
+
+// Add returns v + w saturated in v's format. w must share the format.
+func (v Value) Add(w Value) Value {
+	mustMatch(v.Fmt, w.Fmt)
+	return Value{Raw: saturate32(float64(v.Raw)+float64(w.Raw), v.Fmt), Fmt: v.Fmt}
+}
+
+// Mul returns v × w saturated in v's format. w must share the format.
+func (v Value) Mul(w Value) Value {
+	mustMatch(v.Fmt, w.Fmt)
+	prod := int64(v.Raw) * int64(w.Raw) // up to 2·Bits-1 significant bits
+	// Renormalize: the product carries 2·Frac fractional bits.
+	shifted := roundShift(prod, v.Fmt.Frac)
+	return Value{Raw: saturate32(float64(shifted), v.Fmt), Fmt: v.Fmt}
+}
+
+func mustMatch(a, b Format) {
+	if a != b {
+		panic(fmt.Sprintf("fixed: format mismatch %s vs %s", a, b))
+	}
+}
+
+// roundShift arithmetic-shifts x right by n bits with round-half-away-from-
+// zero semantics.
+func roundShift(x int64, n int) int64 {
+	if n == 0 {
+		return x
+	}
+	half := int64(1) << (n - 1)
+	if x >= 0 {
+		return (x + half) >> n
+	}
+	return -((-x + half) >> n)
+}
+
+func saturate32(x float64, f Format) int32 {
+	if x > float64(f.Max()) {
+		return f.Max()
+	}
+	if x < float64(f.Min()) {
+		return f.Min()
+	}
+	return int32(x)
+}
+
+// Acc is the wide accumulator of a MAC unit. The paper's MAC executes a
+// sequence of multiply-and-add steps into one accumulator (MAC_seq steps per
+// MAC_op); a 32-bit accumulator holds the full-precision running sum of
+// 8-bit × 8-bit products without intermediate rounding, matching standard
+// DNN-accelerator practice.
+type Acc struct {
+	sum int64
+	fmt Format
+}
+
+// NewAcc returns a zeroed accumulator for operands in format f.
+func NewAcc(f Format) *Acc {
+	if !f.Valid() {
+		panic("fixed: invalid format " + f.String())
+	}
+	return &Acc{fmt: f}
+}
+
+// MAC performs one multiply-accumulate step: acc += a × b.
+func (a *Acc) MAC(x, y Value) {
+	mustMatch(x.Fmt, a.fmt)
+	mustMatch(y.Fmt, a.fmt)
+	a.sum += int64(x.Raw) * int64(y.Raw)
+}
+
+// Steps is unused state-free metadata: the accumulator itself does not bound
+// sequence length; saturation is applied only at readout.
+
+// Value rounds and saturates the accumulated sum back into the operand
+// format. This models the requantization stage at the MAC output.
+func (a *Acc) Value() Value {
+	shifted := roundShift(a.sum, a.fmt.Frac)
+	return Value{Raw: saturate32(float64(shifted), a.fmt), Fmt: a.fmt}
+}
+
+// Float returns the exact accumulated real value before requantization.
+func (a *Acc) Float() float64 {
+	return float64(a.sum) * a.fmt.Scale() * a.fmt.Scale()
+}
+
+// Reset zeroes the accumulator.
+func (a *Acc) Reset() { a.sum = 0 }
+
+// Dot computes the fixed-point dot product of xs and ys (equal length) using
+// a fresh accumulator and returns the requantized result. It is the software
+// model of one MAC_op of length MAC_seq = len(xs).
+func Dot(xs, ys []Value, f Format) Value {
+	if len(xs) != len(ys) {
+		panic("fixed: Dot length mismatch")
+	}
+	acc := NewAcc(f)
+	for i := range xs {
+		acc.MAC(xs[i], ys[i])
+	}
+	return acc.Value()
+}
+
+// QuantizeSlice converts a float64 slice into format f, saturating each
+// element.
+func QuantizeSlice(xs []float64, f Format) []Value {
+	out := make([]Value, len(xs))
+	for i, x := range xs {
+		out[i] = FromFloat(x, f)
+	}
+	return out
+}
+
+// DequantizeSlice converts fixed values back to float64.
+func DequantizeSlice(vs []Value) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = v.Float()
+	}
+	return out
+}
+
+// QuantizationError returns the maximum absolute error introduced by
+// round-tripping xs through format f. Values outside the representable
+// range saturate and are reported as-is.
+func QuantizationError(xs []float64, f Format) float64 {
+	worst := 0.0
+	for _, x := range xs {
+		err := math.Abs(FromFloat(x, f).Float() - x)
+		if err > worst {
+			worst = err
+		}
+	}
+	return worst
+}

@@ -1,0 +1,220 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatProperties(t *testing.T) {
+	if !Q7.Valid() || !Q15.Valid() || !Q4_3.Valid() {
+		t.Fatal("standard formats must be valid")
+	}
+	if Q7.Max() != 127 || Q7.Min() != -128 {
+		t.Errorf("Q7 range = [%d, %d]", Q7.Min(), Q7.Max())
+	}
+	if got := Q7.Scale(); got != 1.0/128 {
+		t.Errorf("Q7 scale = %v", got)
+	}
+	if got := Q7.String(); got != "Q0.7" {
+		t.Errorf("Q7 string = %q", got)
+	}
+	if got := Q4_3.String(); got != "Q4.3" {
+		t.Errorf("Q4_3 string = %q", got)
+	}
+	bad := Format{Bits: 1, Frac: 0}
+	if bad.Valid() {
+		t.Errorf("1-bit format should be invalid")
+	}
+	if (Format{Bits: 8, Frac: 8}).Valid() {
+		t.Errorf("Frac == Bits should be invalid")
+	}
+}
+
+func TestFromFloatRounding(t *testing.T) {
+	tests := []struct {
+		x    float64
+		f    Format
+		want int32
+	}{
+		{0, Q7, 0},
+		{0.5, Q7, 64},
+		{-0.5, Q7, -64},
+		{1.0, Q7, 127},   // saturates: 1.0 not representable
+		{-1.0, Q7, -128}, // exactly representable
+		{2.0, Q7, 127},   // saturate high
+		{-2.0, Q7, -128}, // saturate low
+		{1.0, Q4_3, 8},   // 1.0 → raw 8 at 3 frac bits
+		{15.875, Q4_3, 127},
+		{0.004, Q7, 1}, // 0.004·128 = 0.512 rounds to 1
+	}
+	for _, tt := range tests {
+		if got := FromFloat(tt.x, tt.f).Raw; got != tt.want {
+			t.Errorf("FromFloat(%v, %s).Raw = %d, want %d", tt.x, tt.f, got, tt.want)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Any in-range value round-trips within half an LSB.
+	f := func(x float64) bool {
+		x = math.Mod(x, 1) * 0.99 // keep within Q7 range
+		v := FromFloat(x, Q7)
+		return math.Abs(v.Float()-x) <= Q7.Scale()/2+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddSaturates(t *testing.T) {
+	a := FromFloat(0.9, Q7)
+	b := FromFloat(0.9, Q7)
+	sum := a.Add(b)
+	if sum.Raw != Q7.Max() {
+		t.Errorf("0.9+0.9 in Q7 should saturate to %d, got %d", Q7.Max(), sum.Raw)
+	}
+	c := FromFloat(-0.9, Q7)
+	if got := c.Add(c).Raw; got != Q7.Min() {
+		t.Errorf("-0.9-0.9 should saturate to %d, got %d", Q7.Min(), got)
+	}
+	small := FromFloat(0.25, Q7).Add(FromFloat(0.25, Q7))
+	if math.Abs(small.Float()-0.5) > 1e-12 {
+		t.Errorf("0.25+0.25 = %v", small.Float())
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromFloat(0.5, Q7)
+	b := FromFloat(0.5, Q7)
+	if got := a.Mul(b).Float(); math.Abs(got-0.25) > Q7.Scale() {
+		t.Errorf("0.5·0.5 = %v, want 0.25", got)
+	}
+	n := FromFloat(-0.5, Q7)
+	if got := a.Mul(n).Float(); math.Abs(got+0.25) > Q7.Scale() {
+		t.Errorf("0.5·-0.5 = %v, want -0.25", got)
+	}
+}
+
+func TestMulProperty(t *testing.T) {
+	f := func(xr, yr int8) bool {
+		x := Value{Raw: int32(xr), Fmt: Q7}
+		y := Value{Raw: int32(yr), Fmt: Q7}
+		got := x.Mul(y).Float()
+		want := x.Float() * y.Float()
+		// Result is exact to within one LSB after rounding, unless saturated.
+		if want > Q7.MaxFloat() {
+			want = Q7.MaxFloat()
+		}
+		if want < Q7.MinFloat() {
+			want = Q7.MinFloat()
+		}
+		return math.Abs(got-want) <= Q7.Scale()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("mixed-format Add should panic")
+		}
+	}()
+	FromFloat(0.1, Q7).Add(FromFloat(0.1, Q15))
+}
+
+func TestAccumulatorExactness(t *testing.T) {
+	// The accumulator must hold the exact sum of products without
+	// intermediate rounding: sum of 256 products of ±1 LSB values.
+	acc := NewAcc(Q7)
+	one := Value{Raw: 1, Fmt: Q7}
+	for i := 0; i < 256; i++ {
+		acc.MAC(one, one)
+	}
+	// Exact sum = 256 · (1/128)² = 0.015625.
+	if got := acc.Float(); math.Abs(got-256.0/(128*128)) > 1e-15 {
+		t.Errorf("exact accumulated value = %v", got)
+	}
+	// Requantized: 256/128 = 2 raw → 2/128.
+	if got := acc.Value().Float(); math.Abs(got-2.0/128) > 1e-15 {
+		t.Errorf("requantized value = %v", got)
+	}
+	acc.Reset()
+	if acc.Float() != 0 {
+		t.Errorf("Reset did not zero accumulator")
+	}
+}
+
+func TestDotMatchesFloat(t *testing.T) {
+	xs := []float64{0.1, -0.2, 0.3, 0.45, -0.5}
+	ys := []float64{0.5, 0.25, -0.125, 0.75, 0.9}
+	qx := QuantizeSlice(xs, Q15)
+	qy := QuantizeSlice(ys, Q15)
+	got := Dot(qx, qy, Q15).Float()
+	want := 0.0
+	for i := range xs {
+		want += xs[i] * ys[i]
+	}
+	if math.Abs(got-want) > 1e-3 {
+		t.Errorf("Dot = %v, want ≈%v", got, want)
+	}
+}
+
+func TestDotProperty(t *testing.T) {
+	// Fixed-point dot product tracks the float dot product to within
+	// len·LSB (quantization of inputs) + 1 LSB (output rounding).
+	f := func(raw [8]int8, raw2 [8]int8) bool {
+		xs := make([]Value, 8)
+		ys := make([]Value, 8)
+		var want float64
+		for i := 0; i < 8; i++ {
+			xs[i] = Value{Raw: int32(raw[i]), Fmt: Q7}
+			ys[i] = Value{Raw: int32(raw2[i]), Fmt: Q7}
+			want += xs[i].Float() * ys[i].Float()
+		}
+		got := Dot(xs, ys, Q7).Float()
+		if want > Q7.MaxFloat() {
+			want = Q7.MaxFloat()
+		}
+		if want < Q7.MinFloat() {
+			want = Q7.MinFloat()
+		}
+		return math.Abs(got-want) <= Q7.Scale()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDotLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("length mismatch should panic")
+		}
+	}()
+	Dot(make([]Value, 2), make([]Value, 3), Q7)
+}
+
+func TestQuantizeDequantize(t *testing.T) {
+	xs := []float64{0, 0.5, -0.25, 0.999, -1}
+	back := DequantizeSlice(QuantizeSlice(xs, Q15))
+	for i := range xs {
+		if math.Abs(back[i]-xs[i]) > Q15.Scale() {
+			t.Errorf("element %d: %v -> %v", i, xs[i], back[i])
+		}
+	}
+}
+
+func TestQuantizationError(t *testing.T) {
+	// In-range values: error bounded by half an LSB.
+	xs := []float64{0.1, 0.2, 0.3}
+	if got := QuantizationError(xs, Q15); got > Q15.Scale()/2+1e-12 {
+		t.Errorf("in-range error = %v", got)
+	}
+	// Out-of-range values saturate; the error reflects clipping.
+	if got := QuantizationError([]float64{5}, Q7); got < 3.9 {
+		t.Errorf("clipping error = %v, want ≈4", got)
+	}
+}

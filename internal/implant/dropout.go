@@ -1,0 +1,73 @@
+package implant
+
+import (
+	"errors"
+	"fmt"
+
+	"mindful/internal/dsp"
+)
+
+// Dropout configures the Section 6.2 channel-dropout optimization in the
+// running pipeline: during a calibration window the implant records all
+// channels and ranks them by detected spiking activity (the hardware-
+// efficient proxy for information content); afterwards only the Keep most
+// active channels are digitized and transmitted, shrinking both the
+// computation input and the uplink volume.
+type Dropout struct {
+	// Enabled turns the optimization on.
+	Enabled bool
+	// CalibrationTicks is the length of the ranking window in samples.
+	CalibrationTicks int
+	// Keep is the number of channels retained after calibration (n′).
+	Keep int
+}
+
+// dropoutState tracks calibration progress inside an implant.
+type dropoutState struct {
+	cfg      Dropout
+	calBlock [][]float64
+	selected []int // nil until calibration completes
+}
+
+func newDropoutState(cfg Dropout, channels int) (*dropoutState, error) {
+	if !cfg.Enabled {
+		return nil, nil
+	}
+	if cfg.CalibrationTicks <= 0 {
+		return nil, errors.New("implant: dropout needs a positive calibration window")
+	}
+	if cfg.Keep <= 0 || cfg.Keep > channels {
+		return nil, fmt.Errorf("implant: dropout keep %d outside 1..%d", cfg.Keep, channels)
+	}
+	return &dropoutState{cfg: cfg}, nil
+}
+
+// observe consumes one full-width sample vector during calibration; once
+// the window fills it computes the selection. It returns the channel
+// subset to transmit (nil while still calibrating on the full set).
+func (s *dropoutState) observe(samples []float64, fsHz float64) []int {
+	if s == nil {
+		return nil
+	}
+	if s.selected != nil {
+		return s.selected
+	}
+	row := make([]float64, len(samples))
+	copy(row, samples)
+	s.calBlock = append(s.calBlock, row)
+	if len(s.calBlock) >= s.cfg.CalibrationTicks {
+		ranked := dsp.RankChannels(s.calBlock, fsHz)
+		s.selected = dsp.SelectActive(ranked, s.cfg.Keep)
+		s.calBlock = nil
+	}
+	return s.selected
+}
+
+// Selected returns the chosen channel subset (nil before calibration
+// completes).
+func (s *dropoutState) Selected() []int {
+	if s == nil {
+		return nil
+	}
+	return s.selected
+}

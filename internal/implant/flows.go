@@ -1,0 +1,94 @@
+package implant
+
+import (
+	"errors"
+
+	"mindful/internal/dsp"
+)
+
+// The two reduced-rate dataflows beyond Fig. 3's pair: feature-centric
+// (transmit band-power features at a decimated rate) and spike-centric
+// (transmit spike events only — the on-chip detection path Neuralink-style
+// designs use). Both are "hardware-efficient methods to detect patterns in
+// neural activity" in the paper's Section 7 sense: they buy uplink
+// reduction with far less computation than a DNN.
+
+// featureState holds the per-channel extractors of the feature flow.
+type featureState struct {
+	extractors []*dsp.BandPowerExtractor
+	// scale maps envelope power to the ADC's input range.
+	scale float64
+}
+
+func newFeatureState(channels int, fsHz float64, fullScale float64) (*featureState, error) {
+	st := &featureState{scale: fullScale}
+	for c := 0; c < channels; c++ {
+		// High-gamma extractor when the band fits; otherwise a generic
+		// low/quarter-Nyquist band so low-rate interfaces still work.
+		var e *dsp.BandPowerExtractor
+		var err error
+		if fsHz > 400 {
+			e, err = dsp.NewHighGammaExtractor(fsHz)
+		} else {
+			e, err = dsp.NewBandPowerExtractor(fsHz/20, fsHz/4, fsHz/50, fsHz, 10)
+		}
+		if err != nil {
+			return nil, err
+		}
+		st.extractors = append(st.extractors, e)
+	}
+	return st, nil
+}
+
+// process consumes one sample vector; when the decimator fires it returns
+// the feature vector mapped into [−fullScale, fullScale] for the ADC.
+func (st *featureState) process(samples []float64) ([]float64, bool) {
+	var out []float64
+	emitted := false
+	for c, x := range samples {
+		v, ok := st.extractors[c].Process(x)
+		if ok {
+			if out == nil {
+				out = make([]float64, len(samples))
+			}
+			// Envelope power is non-negative; clamp into the ADC range.
+			if v > st.scale {
+				v = st.scale
+			}
+			out[c] = v
+			emitted = true
+		}
+	}
+	return out, emitted
+}
+
+// spikeState holds the per-channel streaming detectors of the spike flow.
+type spikeState struct {
+	detectors []*dsp.StreamingDetector
+}
+
+func newSpikeState(channels int, fsHz float64, calibration int) (*spikeState, error) {
+	if calibration < 8 {
+		return nil, errors.New("implant: spike flow needs a calibration window of at least 8 samples")
+	}
+	st := &spikeState{}
+	for c := 0; c < channels; c++ {
+		d, err := dsp.NewStreamingDetector(fsHz, calibration)
+		if err != nil {
+			return nil, err
+		}
+		st.detectors = append(st.detectors, d)
+	}
+	return st, nil
+}
+
+// process returns the indices of channels that spiked this tick.
+func (st *spikeState) process(samples []float64) []uint16 {
+	var events []uint16
+	for c, x := range samples {
+		if st.detectors[c].Process(x) {
+			events = append(events, uint16(c))
+		}
+	}
+	return events
+}

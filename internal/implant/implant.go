@@ -1,0 +1,355 @@
+// Package implant is the end-to-end virtual implant: it wires the
+// synthetic neural interface, the ADC, and either the packetizer
+// (communication-centric dataflow) or an on-implant network
+// (computation-centric dataflow) into one tick-driven pipeline with
+// throughput, energy and safety accounting — the runnable counterpart of
+// the paper's Fig. 3.
+package implant
+
+import (
+	"errors"
+	"fmt"
+
+	"mindful/internal/comm"
+	"mindful/internal/mac"
+	"mindful/internal/neural"
+	"mindful/internal/nn"
+	"mindful/internal/thermal"
+	"mindful/internal/units"
+)
+
+// Dataflow selects the Section 3.1 processing strategy.
+type Dataflow int
+
+// The dataflows: Fig. 3's pair plus the two reduced-rate strategies the
+// paper's Section 7 points at (pattern detection instead of full DNNs).
+const (
+	// CommCentric digitizes, packetizes and transmits raw neural data.
+	CommCentric Dataflow = iota
+	// ComputeCentric runs an on-implant network and transmits its output.
+	ComputeCentric
+	// FeatureCentric transmits band-power features at a decimated rate.
+	FeatureCentric
+	// SpikeCentric transmits spike events from on-chip detection.
+	SpikeCentric
+)
+
+// String names the dataflow.
+func (d Dataflow) String() string {
+	switch d {
+	case CommCentric:
+		return "communication-centric"
+	case ComputeCentric:
+		return "computation-centric"
+	case FeatureCentric:
+		return "feature-centric"
+	case SpikeCentric:
+		return "spike-centric"
+	default:
+		return "unknown"
+	}
+}
+
+// Config assembles an implant.
+type Config struct {
+	Neural neural.Config
+	ADC    neural.ADC
+	Flow   Dataflow
+	// Network is required for ComputeCentric: its input shape must be
+	// 1 × channels (one inference per sample vector, the paper's
+	// real-time discipline).
+	Network *nn.Network
+	// Radio is the constant-Eb transceiver.
+	Radio comm.FixedEbTransmitter
+	// ComputeNode prices on-implant MACs (energy per step).
+	ComputeNode mac.TechNode
+	// SensingPower is the analog front end's draw.
+	SensingPower units.Power
+	// Area is the implant's tissue-contact area for safety checks.
+	Area units.Area
+	// Dropout enables the Section 6.2 channel-dropout optimization
+	// (communication-centric flow only).
+	Dropout Dropout
+	// SpikeCalibrationTicks is the noise-calibration window of the
+	// spike-centric flow (default 256 samples when zero).
+	SpikeCalibrationTicks int
+}
+
+// DefaultConfig returns a 128-channel communication-centric implant
+// matching SoC 1's per-channel characteristics at reduced scale.
+func DefaultConfig() Config {
+	ncfg := neural.DefaultConfig()
+	return Config{
+		Neural:       ncfg,
+		ADC:          neural.DefaultADC(),
+		Flow:         CommCentric,
+		Radio:        comm.FixedEbTransmitter{Eb: units.PicojoulesPerBit(237)},
+		ComputeNode:  mac.NanGate45,
+		SensingPower: units.Milliwatts(2.4), // ≈19 µW/channel, BISC-like
+		Area:         units.SquareMillimetres(18),
+	}
+}
+
+// Implant is a running pipeline instance.
+type Implant struct {
+	cfg  Config
+	gen  *neural.Generator
+	pkt  *comm.Packetizer
+	drop *dropoutState
+	feat *featureState
+	spk  *spikeState
+
+	spikeEvents    int64
+	featureVectors int64
+
+	ticks      int64
+	frames     int64
+	inferences int64
+	bitsSent   int64
+	macSteps   int64
+	// lastOutput is the most recent DNN output (compute-centric).
+	lastOutput []float64
+	// onFrame receives every encoded frame when set (the "wearable").
+	onFrame func([]byte)
+}
+
+// New validates the configuration and builds the pipeline.
+func New(cfg Config) (*Implant, error) {
+	gen, err := neural.New(cfg.Neural)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Flow == ComputeCentric {
+		if cfg.Network == nil {
+			return nil, errors.New("implant: computation-centric flow requires a network")
+		}
+		if cfg.Network.InCh != 1 || cfg.Network.InLen != cfg.Neural.Channels {
+			return nil, fmt.Errorf("implant: network input %d×%d does not match %d channels",
+				cfg.Network.InCh, cfg.Network.InLen, cfg.Neural.Channels)
+		}
+	}
+	pkt, err := comm.NewPacketizer(cfg.ADC.Bits)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ComputeNode.TMAC <= 0 {
+		return nil, errors.New("implant: compute node has no timing")
+	}
+	if cfg.Dropout.Enabled && cfg.Flow != CommCentric {
+		return nil, errors.New("implant: channel dropout requires the communication-centric flow")
+	}
+	drop, err := newDropoutState(cfg.Dropout, cfg.Neural.Channels)
+	if err != nil {
+		return nil, err
+	}
+	im := &Implant{cfg: cfg, gen: gen, pkt: pkt, drop: drop}
+	switch cfg.Flow {
+	case FeatureCentric:
+		im.feat, err = newFeatureState(cfg.Neural.Channels, cfg.Neural.SampleRate.Hz(), cfg.ADC.FullScale)
+		if err != nil {
+			return nil, err
+		}
+	case SpikeCentric:
+		calib := cfg.SpikeCalibrationTicks
+		if calib == 0 {
+			calib = 256
+		}
+		im.spk, err = newSpikeState(cfg.Neural.Channels, cfg.Neural.SampleRate.Hz(), calib)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return im, nil
+}
+
+// ActiveChannels returns the channel subset selected by dropout, or nil
+// when dropout is off or still calibrating (all channels active).
+func (im *Implant) ActiveChannels() []int {
+	return im.drop.Selected()
+}
+
+// OnFrame registers a sink for encoded uplink frames (e.g. a simulated
+// wearable receiver). Pass nil to detach.
+func (im *Implant) OnFrame(f func([]byte)) { im.onFrame = f }
+
+// SetIntent forwards a latent intent to the neural substrate.
+func (im *Implant) SetIntent(x, y float64) { im.gen.SetIntent(x, y) }
+
+// LastOutput returns the most recent DNN output (nil for comm-centric).
+func (im *Implant) LastOutput() []float64 { return im.lastOutput }
+
+// emit frames one value vector and feeds the wearable sink. Values must
+// fit the ADC bit width (spike-centric channel indices do whenever the
+// channel count stays within the code range).
+func (im *Implant) emit(codes []uint16) error {
+	frame, err := im.pkt.Encode(codes)
+	if err != nil {
+		return err
+	}
+	im.bitsSent += int64(len(frame) * 8)
+	im.frames++
+	if im.onFrame != nil {
+		im.onFrame(frame)
+	}
+	return nil
+}
+
+// Tick advances the pipeline by one sample period.
+func (im *Implant) Tick() error {
+	samples := im.gen.Next()
+	if sel := im.drop.observe(samples, im.cfg.Neural.SampleRate.Hz()); sel != nil {
+		// Post-calibration: digitize and ship only the active subset.
+		sub := make([]float64, len(sel))
+		for i, c := range sel {
+			sub[i] = samples[c]
+		}
+		samples = sub
+	}
+	codes := im.cfg.ADC.QuantizeBlock(samples)
+	switch im.cfg.Flow {
+	case CommCentric:
+		frame, err := im.pkt.Encode(codes)
+		if err != nil {
+			return err
+		}
+		im.bitsSent += int64(len(frame) * 8)
+		im.frames++
+		if im.onFrame != nil {
+			im.onFrame(frame)
+		}
+	case ComputeCentric:
+		in := make([]float64, len(codes))
+		for i, c := range codes {
+			in[i] = im.cfg.ADC.Dequantize(c)
+		}
+		out, err := im.cfg.Network.Forward(nn.FromVector(in))
+		if err != nil {
+			return err
+		}
+		im.lastOutput = out.Data
+		im.inferences++
+		macs, err := im.cfg.Network.TotalMACs()
+		if err != nil {
+			return err
+		}
+		im.macSteps += int64(macs)
+		// Transmit the output values at the ADC width in a frame.
+		outCodes := make([]uint16, len(out.Data))
+		for i, v := range out.Data {
+			outCodes[i] = im.cfg.ADC.Quantize(v)
+		}
+		frame, err := im.pkt.Encode(outCodes)
+		if err != nil {
+			return err
+		}
+		im.bitsSent += int64(len(frame) * 8)
+		im.frames++
+		if im.onFrame != nil {
+			im.onFrame(frame)
+		}
+	case FeatureCentric:
+		features, ok := im.feat.process(samples)
+		if !ok {
+			break // decimator has not fired this tick
+		}
+		im.featureVectors++
+		if err := im.emit(im.cfg.ADC.QuantizeBlock(features)); err != nil {
+			return err
+		}
+	case SpikeCentric:
+		events := im.spk.process(samples)
+		im.spikeEvents += int64(len(events))
+		if len(events) == 0 {
+			break // nothing to transmit this tick
+		}
+		if err := im.emit(events); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("implant: unknown dataflow %d", im.cfg.Flow)
+	}
+	im.ticks++
+	return nil
+}
+
+// Run advances n ticks.
+func (im *Implant) Run(n int) error {
+	for i := 0; i < n; i++ {
+		if err := im.Tick(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	Flow       Dataflow
+	Ticks      int64
+	Frames     int64
+	Inferences int64
+	BitsSent   int64
+	// FeatureVectors and SpikeEvents count the reduced-rate flows' output.
+	FeatureVectors int64
+	SpikeEvents    int64
+	// Channels and SampleBits echo the configuration for derived metrics.
+	Channels   int
+	SampleBits int
+	// TxRate is the average uplink rate implied by the sample clock.
+	TxRate units.DataRate
+	// SensingRate is Eq. (6)'s raw data rate d·n·f.
+	SensingRate units.DataRate
+	// RadioPower, ComputePower, SensingPower and Total are the average
+	// power figures of the run.
+	RadioPower   units.Power
+	ComputePower units.Power
+	SensingPower units.Power
+	// Safety is the thermal check of Total over the implant area.
+	Safety thermal.Check
+}
+
+// Total returns the implant's total average power.
+func (s Stats) Total() units.Power {
+	return s.RadioPower + s.ComputePower + s.SensingPower
+}
+
+// RawBits returns the digitized sensing volume of the run: ticks · n · d.
+func (s Stats) RawBits() int64 {
+	return s.Ticks * int64(s.Channels) * int64(s.SampleBits)
+}
+
+// CompressionRatio returns raw sensing bits over transmitted bits — the
+// data-volume reduction the computation-centric dataflow buys (< 1 for a
+// communication-centric implant, whose framing adds overhead).
+func (s Stats) CompressionRatio() float64 {
+	if s.BitsSent == 0 {
+		return 0
+	}
+	return float64(s.RawBits()) / float64(s.BitsSent)
+}
+
+// Stats computes the summary for the run so far.
+func (im *Implant) Stats() Stats {
+	f := im.cfg.Neural.SampleRate
+	st := Stats{
+		Flow:           im.cfg.Flow,
+		Ticks:          im.ticks,
+		Frames:         im.frames,
+		Inferences:     im.inferences,
+		BitsSent:       im.bitsSent,
+		FeatureVectors: im.featureVectors,
+		SpikeEvents:    im.spikeEvents,
+		Channels:       im.cfg.Neural.Channels,
+		SampleBits:     im.cfg.ADC.Bits,
+		SensingRate:    neural.SensingThroughput(im.cfg.Neural.Channels, im.cfg.ADC.Bits, f),
+	}
+	if im.ticks > 0 {
+		seconds := float64(im.ticks) * f.Period()
+		st.TxRate = units.BitsPerSecond(float64(im.bitsSent) / seconds)
+		st.RadioPower = im.cfg.Radio.Power(st.TxRate)
+		st.ComputePower = units.Power(float64(im.macSteps) * im.cfg.ComputeNode.EnergyPerStep().Joules() / seconds)
+	}
+	st.SensingPower = im.cfg.SensingPower
+	st.Safety = thermal.Evaluate(st.Total(), im.cfg.Area)
+	return st
+}

@@ -1,0 +1,232 @@
+// Package linalg provides the small dense linear algebra kernel used by
+// the decoder baselines and the neural-network engine: a row-major matrix
+// type with multiplication, transpose, inversion (Gauss–Jordan with partial
+// pivoting) and least-squares solving. It is deliberately minimal — the
+// framework's matrices are tiny (state dimensions and layer widths), so
+// clarity beats asymptotic cleverness.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zeroed r×c matrix.
+func NewMatrix(r, c int) Matrix {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("linalg: invalid dimensions %d×%d", r, c))
+	}
+	return Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from row slices, which must be equal length.
+func FromRows(rows [][]float64) Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("linalg: FromRows requires a non-empty rectangle")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, row := range rows {
+		if len(row) != m.Cols {
+			panic("linalg: ragged rows")
+		}
+		copy(m.Data[i*m.Cols:], row)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m Matrix) Clone() Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns the transpose.
+func (m Matrix) T() Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Mul returns m·b.
+func (m Matrix) Mul(b Matrix) Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: Mul dimension mismatch %d×%d · %d×%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*out.Cols+j] += a * b.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m·v for a vector of length Cols.
+func (m Matrix) MulVec(v []float64) []float64 {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVec length %d != cols %d", len(v), m.Cols))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, x := range v {
+			s += row[j] * x
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Add returns m + b.
+func (m Matrix) Add(b Matrix) Matrix { return m.axpy(b, 1) }
+
+// Sub returns m − b.
+func (m Matrix) Sub(b Matrix) Matrix { return m.axpy(b, -1) }
+
+func (m Matrix) axpy(b Matrix, sign float64) Matrix {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("linalg: shape mismatch")
+	}
+	out := m.Clone()
+	for i := range out.Data {
+		out.Data[i] += sign * b.Data[i]
+	}
+	return out
+}
+
+// Scale returns s·m.
+func (m Matrix) Scale(s float64) Matrix {
+	out := m.Clone()
+	for i := range out.Data {
+		out.Data[i] *= s
+	}
+	return out
+}
+
+// ErrSingular is returned when a matrix cannot be inverted.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// Inverse returns m⁻¹ by Gauss–Jordan elimination with partial pivoting.
+func (m Matrix) Inverse() (Matrix, error) {
+	if m.Rows != m.Cols {
+		return Matrix{}, fmt.Errorf("linalg: cannot invert %d×%d matrix", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	a := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot, best := col, math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				pivot, best = r, v
+			}
+		}
+		if best < 1e-12 {
+			return Matrix{}, ErrSingular
+		}
+		if pivot != col {
+			swapRows(a, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		// Normalize pivot row.
+		p := a.At(col, col)
+		for j := 0; j < n; j++ {
+			a.Set(col, j, a.At(col, j)/p)
+			inv.Set(col, j, inv.At(col, j)/p)
+		}
+		// Eliminate.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				a.Set(r, j, a.At(r, j)-f*a.At(col, j))
+				inv.Set(r, j, inv.At(r, j)-f*inv.At(col, j))
+			}
+		}
+	}
+	return inv, nil
+}
+
+func swapRows(m Matrix, a, b int) {
+	ra := m.Data[a*m.Cols : (a+1)*m.Cols]
+	rb := m.Data[b*m.Cols : (b+1)*m.Cols]
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}
+
+// LeastSquares solves min‖A·x − B‖² column-wise with ridge regularization
+// λ ≥ 0, returning x = (AᵀA + λI)⁻¹AᵀB.
+func LeastSquares(a, b Matrix, lambda float64) (Matrix, error) {
+	if a.Rows != b.Rows {
+		return Matrix{}, fmt.Errorf("linalg: LeastSquares row mismatch %d vs %d", a.Rows, b.Rows)
+	}
+	if lambda < 0 {
+		return Matrix{}, fmt.Errorf("linalg: negative ridge %g", lambda)
+	}
+	at := a.T()
+	gram := at.Mul(a)
+	for i := 0; i < gram.Rows; i++ {
+		gram.Set(i, i, gram.At(i, i)+lambda)
+	}
+	inv, err := gram.Inverse()
+	if err != nil {
+		return Matrix{}, err
+	}
+	return inv.Mul(at.Mul(b)), nil
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference between
+// two equal-shape matrices.
+func MaxAbsDiff(a, b Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("linalg: shape mismatch")
+	}
+	worst := 0.0
+	for i := range a.Data {
+		if d := math.Abs(a.Data[i] - b.Data[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

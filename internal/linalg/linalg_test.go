@@ -1,0 +1,183 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	prod := a.Mul(b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if MaxAbsDiff(prod, want) > 1e-12 {
+		t.Errorf("Mul = %+v", prod)
+	}
+	if MaxAbsDiff(a.Add(b), FromRows([][]float64{{6, 8}, {10, 12}})) > 1e-12 {
+		t.Errorf("Add wrong")
+	}
+	if MaxAbsDiff(b.Sub(a), FromRows([][]float64{{4, 4}, {4, 4}})) > 1e-12 {
+		t.Errorf("Sub wrong")
+	}
+	if MaxAbsDiff(a.Scale(2), FromRows([][]float64{{2, 4}, {6, 8}})) > 1e-12 {
+		t.Errorf("Scale wrong")
+	}
+	if MaxAbsDiff(a.T(), FromRows([][]float64{{1, 3}, {2, 4}})) > 1e-12 {
+		t.Errorf("T wrong")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := a.MulVec([]float64{1, 0, -1})
+	if got[0] != -2 || got[1] != -2 {
+		t.Errorf("MulVec = %v", got)
+	}
+}
+
+func TestIdentityAndClone(t *testing.T) {
+	i3 := Identity(3)
+	a := FromRows([][]float64{{2, 0, 1}, {1, 3, 2}, {0, 1, 1}})
+	if MaxAbsDiff(a.Mul(i3), a) > 1e-12 {
+		t.Errorf("A·I != A")
+	}
+	c := a.Clone()
+	c.Set(0, 0, 99)
+	if a.At(0, 0) == 99 {
+		t.Errorf("Clone aliases data")
+	}
+}
+
+func TestInverseKnown(t *testing.T) {
+	a := FromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := a.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromRows([][]float64{{0.6, -0.7}, {-0.2, 0.4}})
+	if MaxAbsDiff(inv, want) > 1e-12 {
+		t.Errorf("inverse = %+v", inv)
+	}
+}
+
+func TestInverseProperty(t *testing.T) {
+	// A·A⁻¹ = I for random well-conditioned matrices.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(seed%5+5)%5
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		// Diagonal dominance keeps it invertible.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)*2)
+		}
+		inv, err := a.Inverse()
+		if err != nil {
+			return false
+		}
+		return MaxAbsDiff(a.Mul(inv), Identity(n)) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInverseErrors(t *testing.T) {
+	if _, err := NewMatrix(2, 3).Inverse(); err == nil {
+		t.Errorf("non-square inversion should fail")
+	}
+	sing := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := sing.Inverse(); err != ErrSingular {
+		t.Errorf("singular matrix error = %v", err)
+	}
+}
+
+func TestInverseNeedsPivoting(t *testing.T) {
+	// Zero leading pivot: fails without partial pivoting.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	inv, err := a.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxAbsDiff(inv, a) > 1e-12 {
+		t.Errorf("permutation inverse wrong: %+v", inv)
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Overdetermined consistent system: recover exact coefficients.
+	x := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}})
+	coef := FromRows([][]float64{{3}, {-2}})
+	y := x.Mul(coef)
+	got, err := LeastSquares(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxAbsDiff(got, coef) > 1e-9 {
+		t.Errorf("coefficients = %+v", got)
+	}
+}
+
+func TestLeastSquaresRidgeShrinks(t *testing.T) {
+	x := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	y := FromRows([][]float64{{2}, {2}, {4}})
+	unreg, err := LeastSquares(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := LeastSquares(x, y, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normU := math.Hypot(unreg.At(0, 0), unreg.At(1, 0))
+	normR := math.Hypot(reg.At(0, 0), reg.At(1, 0))
+	if normR >= normU {
+		t.Errorf("ridge did not shrink: %v vs %v", normR, normU)
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	x := NewMatrix(3, 2)
+	y := NewMatrix(4, 1)
+	if _, err := LeastSquares(x, y, 0); err == nil {
+		t.Errorf("row mismatch should fail")
+	}
+	if _, err := LeastSquares(x, NewMatrix(3, 1), -1); err == nil {
+		t.Errorf("negative ridge should fail")
+	}
+	// Collinear columns without ridge: singular.
+	col := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	if _, err := LeastSquares(col, NewMatrix(3, 1), 0); err == nil {
+		t.Errorf("collinear design should fail unregularized")
+	}
+	// With ridge it succeeds.
+	if _, err := LeastSquares(col, NewMatrix(3, 1), 0.1); err != nil {
+		t.Errorf("ridge should fix collinearity: %v", err)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewMatrix(0, 1) },
+		func() { FromRows(nil) },
+		func() { FromRows([][]float64{{1, 2}, {1}}) },
+		func() { NewMatrix(2, 2).Mul(NewMatrix(3, 3)) },
+		func() { NewMatrix(2, 2).MulVec([]float64{1}) },
+		func() { NewMatrix(2, 2).Add(NewMatrix(2, 3)) },
+		func() { MaxAbsDiff(NewMatrix(2, 2), NewMatrix(2, 3)) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

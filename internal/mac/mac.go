@@ -1,0 +1,185 @@
+// Package mac models the multiply-accumulate (MAC) hardware that anchors
+// the paper's computation-power analysis.
+//
+// The paper obtains per-unit numbers from synthesis: a 130 nm TSMC library
+// for the Fig. 9 accelerator study, and NanGate 45 nm / 12 nm MAC units
+// (t_MAC = 2 ns / 1 ns, P_MAC = 0.05 mW / 0.026 mW) for the Eq. (13) lower
+// bounds. We cannot run Genus here, so those published post-synthesis points
+// *are* the technology library; this package carries them as data, provides
+// the processing-element (PE) component breakdown used by internal/accel,
+// and implements a behavioural MAC unit (built on internal/fixed) that
+// executes MAC_op sequences while accounting cycles and energy.
+package mac
+
+import (
+	"fmt"
+	"time"
+
+	"mindful/internal/fixed"
+	"mindful/internal/units"
+)
+
+// TechNode is one synthesis target: a feature size with its measured MAC
+// step time and per-unit power at the stated clock.
+type TechNode struct {
+	Name      string
+	FeatureNm int
+	Clock     units.Frequency
+	// TMAC is the time to execute one MAC step (Eq. 11's t_MAC).
+	TMAC time.Duration
+	// PMAC is the power of one active MAC unit (Eq. 13's P_MAC).
+	PMAC units.Power
+}
+
+// The technology nodes used in the paper.
+var (
+	// TSMC130 anchors the Fig. 9 accelerator synthesis (8-bit datatype,
+	// 100 MHz target).
+	TSMC130 = TechNode{
+		Name:      "TSMC 130nm",
+		FeatureNm: 130,
+		Clock:     units.Megahertz(100),
+		TMAC:      10 * time.Nanosecond,
+		PMAC:      units.Milliwatts(0.12),
+	}
+	// NanGate45 is the node for the Section 5.3 evaluation:
+	// t_MAC = 2 ns, P_MAC = 0.05 mW.
+	NanGate45 = TechNode{
+		Name:      "NanGate 45nm",
+		FeatureNm: 45,
+		Clock:     units.Megahertz(100),
+		TMAC:      2 * time.Nanosecond,
+		PMAC:      units.Milliwatts(0.05),
+	}
+	// Node12 is the Section 6.2 technology-scaling target:
+	// t_MAC = 1 ns, P_MAC = 0.026 mW.
+	Node12 = TechNode{
+		Name:      "12nm",
+		FeatureNm: 12,
+		Clock:     units.Megahertz(100),
+		TMAC:      1 * time.Nanosecond,
+		PMAC:      units.Milliwatts(0.026),
+	}
+)
+
+// Nodes lists the available technology nodes, newest last.
+func Nodes() []TechNode { return []TechNode{TSMC130, NanGate45, Node12} }
+
+// NodeByName looks a node up by its Name field.
+func NodeByName(name string) (TechNode, bool) {
+	for _, n := range Nodes() {
+		if n.Name == name {
+			return n, true
+		}
+	}
+	return TechNode{}, false
+}
+
+// EnergyPerStep returns the energy of one MAC step: P_MAC · t_MAC.
+func (n TechNode) EnergyPerStep() units.Energy {
+	return units.Joules(n.PMAC.Watts() * n.TMAC.Seconds())
+}
+
+// String identifies the node.
+func (n TechNode) String() string {
+	return fmt.Sprintf("%s (t_MAC=%v, P_MAC=%v)", n.Name, n.TMAC, n.PMAC)
+}
+
+// PEModel is the power breakdown of one processing element as synthesized
+// for Fig. 9: a MAC unit, a ReLU, a small control FSM, and the read-only
+// memory holding the PE's weights.
+type PEModel struct {
+	MAC  units.Power
+	ROM  units.Power
+	ReLU units.Power
+	FSM  units.Power
+}
+
+// PE130 is the 130 nm PE breakdown backing the Fig. 9 study. The component
+// split is calibrated so the accelerator-level study reproduces the paper's
+// relative-PE-power trajectory (~25% → ~80% → ~96%).
+var PE130 = PEModel{
+	MAC:  TSMC130.PMAC,
+	ROM:  units.Milliwatts(0.03),
+	ReLU: units.Milliwatts(0.01),
+	FSM:  units.Milliwatts(0.02),
+}
+
+// Total returns the PE's total power.
+func (m PEModel) Total() units.Power {
+	return m.MAC + m.ROM + m.ReLU + m.FSM
+}
+
+// LayerOverhead is the non-PE power of one accelerator layer: the dataflow
+// FSM that sequences the computation, plus the per-bit register cost of the
+// layer's output register file (input activations are streamed through the
+// dataflow FSM's double buffer, which is part of the constant term).
+type LayerOverhead struct {
+	DataflowFSM units.Power
+	PerRegBit   units.Power
+}
+
+// Overhead130 is the 130 nm layer-overhead model backing Fig. 9.
+var Overhead130 = LayerOverhead{
+	DataflowFSM: units.Milliwatts(2.0),
+	PerRegBit:   units.Milliwatts(0.0005),
+}
+
+// Power returns the overhead power for a layer with the given number of
+// output registers of width bits each.
+func (o LayerOverhead) Power(outputRegs, bits int) units.Power {
+	return o.DataflowFSM + units.Power(float64(outputRegs*bits)*o.PerRegBit.Watts())
+}
+
+// Unit is a behavioural MAC unit: it executes multiply-accumulate steps on
+// fixed-point operands, tracking the cycle and energy cost in its node's
+// technology. One Unit corresponds to one MAC_hw of the paper.
+type Unit struct {
+	Node   TechNode
+	Format fixed.Format
+
+	acc   *fixed.Acc
+	steps uint64
+}
+
+// NewUnit returns a MAC unit in technology node n operating on operands in
+// format f.
+func NewUnit(n TechNode, f fixed.Format) *Unit {
+	return &Unit{Node: n, Format: f, acc: fixed.NewAcc(f)}
+}
+
+// Step executes one MAC step: acc += a × b.
+func (u *Unit) Step(a, b fixed.Value) {
+	u.acc.MAC(a, b)
+	u.steps++
+}
+
+// RunOp executes one complete MAC_op: it resets the accumulator, performs
+// len(xs) steps, and returns the requantized result. len(xs) is the MAC_seq
+// of the operation.
+func (u *Unit) RunOp(xs, ys []fixed.Value) fixed.Value {
+	if len(xs) != len(ys) {
+		panic("mac: RunOp length mismatch")
+	}
+	u.acc.Reset()
+	for i := range xs {
+		u.Step(xs[i], ys[i])
+	}
+	return u.acc.Value()
+}
+
+// Steps returns the number of MAC steps executed so far.
+func (u *Unit) Steps() uint64 { return u.steps }
+
+// Elapsed returns the wall-clock time consumed by the executed steps.
+func (u *Unit) Elapsed() time.Duration {
+	return time.Duration(u.steps) * u.Node.TMAC
+}
+
+// Energy returns the energy consumed by the executed steps.
+func (u *Unit) Energy() units.Energy {
+	return units.Energy(float64(u.steps) * u.Node.EnergyPerStep().Joules())
+}
+
+// ResetStats zeroes the step counter (the accumulator is reset per-op).
+func (u *Unit) ResetStats() { u.steps = 0 }

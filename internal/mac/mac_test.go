@@ -1,0 +1,120 @@
+package mac
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mindful/internal/fixed"
+	"mindful/internal/units"
+)
+
+func TestPublishedNodes(t *testing.T) {
+	// The nodes must carry exactly the paper's published synthesis points.
+	if NanGate45.TMAC != 2*time.Nanosecond {
+		t.Errorf("45nm t_MAC = %v, want 2ns", NanGate45.TMAC)
+	}
+	if got := NanGate45.PMAC.Milliwatts(); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("45nm P_MAC = %v mW, want 0.05", got)
+	}
+	if Node12.TMAC != 1*time.Nanosecond {
+		t.Errorf("12nm t_MAC = %v, want 1ns", Node12.TMAC)
+	}
+	if got := Node12.PMAC.Milliwatts(); math.Abs(got-0.026) > 1e-12 {
+		t.Errorf("12nm P_MAC = %v mW, want 0.026", got)
+	}
+}
+
+func TestNodeByName(t *testing.T) {
+	n, ok := NodeByName("NanGate 45nm")
+	if !ok || n.FeatureNm != 45 {
+		t.Errorf("NodeByName failed: %v, %v", n, ok)
+	}
+	if _, ok := NodeByName("7nm"); ok {
+		t.Errorf("unknown node should not resolve")
+	}
+	if len(Nodes()) != 3 {
+		t.Errorf("expected 3 nodes")
+	}
+}
+
+func TestEnergyPerStep(t *testing.T) {
+	// 45nm: 0.05 mW × 2 ns = 0.1 pJ.
+	if got := NanGate45.EnergyPerStep().Picojoules(); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("45nm step energy = %v pJ, want 0.1", got)
+	}
+	// 12nm: 0.026 mW × 1 ns = 0.026 pJ — technology scaling must reduce
+	// per-step energy.
+	e12 := Node12.EnergyPerStep().Picojoules()
+	if e12 >= NanGate45.EnergyPerStep().Picojoules() {
+		t.Errorf("12nm step energy %v pJ should beat 45nm", e12)
+	}
+}
+
+func TestPEModelTotal(t *testing.T) {
+	got := PE130.Total().Milliwatts()
+	want := PE130.MAC.Milliwatts() + PE130.ROM.Milliwatts() + PE130.ReLU.Milliwatts() + PE130.FSM.Milliwatts()
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("PE total = %v, want %v", got, want)
+	}
+	if PE130.MAC != TSMC130.PMAC {
+		t.Errorf("PE MAC power must equal the 130nm MAC unit power")
+	}
+}
+
+func TestLayerOverheadPower(t *testing.T) {
+	// Zero registers: pure FSM power.
+	if got := Overhead130.Power(0, 8); got != Overhead130.DataflowFSM {
+		t.Errorf("zero-reg overhead = %v", got)
+	}
+	// 64 output registers × 8 bits at 0.5 µW/bit = 0.256 mW extra.
+	got := Overhead130.Power(64, 8).Milliwatts()
+	want := Overhead130.DataflowFSM.Milliwatts() + 64*8*Overhead130.PerRegBit.Milliwatts()
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("overhead = %v mW, want %v", got, want)
+	}
+}
+
+func TestUnitRunOp(t *testing.T) {
+	u := NewUnit(NanGate45, fixed.Q15)
+	xs := fixed.QuantizeSlice([]float64{0.1, 0.2, 0.3}, fixed.Q15)
+	ys := fixed.QuantizeSlice([]float64{0.4, 0.5, 0.6}, fixed.Q15)
+	got := u.RunOp(xs, ys).Float()
+	want := 0.1*0.4 + 0.2*0.5 + 0.3*0.6
+	if math.Abs(got-want) > 1e-3 {
+		t.Errorf("RunOp = %v, want ≈%v", got, want)
+	}
+	if u.Steps() != 3 {
+		t.Errorf("Steps = %d, want 3", u.Steps())
+	}
+	if u.Elapsed() != 6*time.Nanosecond {
+		t.Errorf("Elapsed = %v, want 6ns", u.Elapsed())
+	}
+	// Energy = 3 steps × 0.1 pJ.
+	if got := u.Energy().Picojoules(); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("Energy = %v pJ, want 0.3", got)
+	}
+}
+
+func TestUnitAccumulatorResetsBetweenOps(t *testing.T) {
+	u := NewUnit(TSMC130, fixed.Q7)
+	xs := fixed.QuantizeSlice([]float64{0.5}, fixed.Q7)
+	first := u.RunOp(xs, xs).Float()
+	second := u.RunOp(xs, xs).Float()
+	if first != second {
+		t.Errorf("accumulator leaked between ops: %v vs %v", first, second)
+	}
+	u.ResetStats()
+	if u.Steps() != 0 || u.Energy() != units.Energy(0) {
+		t.Errorf("ResetStats did not clear counters")
+	}
+}
+
+func TestUnitRunOpMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("length mismatch should panic")
+		}
+	}()
+	NewUnit(TSMC130, fixed.Q7).RunOp(make([]fixed.Value, 1), make([]fixed.Value, 2))
+}

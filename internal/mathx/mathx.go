@@ -1,0 +1,178 @@
+// Package mathx provides the numerical building blocks shared by the
+// MINDFUL analysis packages: the Gaussian Q-function and its inverse,
+// root finding, monotone integer search, and small statistics helpers.
+package mathx
+
+import (
+	"errors"
+	"math"
+)
+
+// Q returns the Gaussian tail probability Q(x) = P(N(0,1) > x).
+func Q(x float64) float64 {
+	return 0.5 * math.Erfc(x/math.Sqrt2)
+}
+
+// QInv returns the x such that Q(x) = p for p in (0, 1).
+// It panics outside that domain.
+func QInv(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("mathx: QInv domain is (0, 1)")
+	}
+	// Q is strictly decreasing; bracket and bisect. Q(-40)≈1, Q(40)≈0.
+	x, err := Bisect(func(x float64) float64 { return Q(x) - p }, -40, 40, 1e-12, 200)
+	if err != nil {
+		// Unreachable for p in (0,1): the bracket always straddles the root.
+		panic("mathx: QInv failed to converge: " + err.Error())
+	}
+	return x
+}
+
+// ErrNoBracket is returned by Bisect when f(a) and f(b) have the same sign.
+var ErrNoBracket = errors.New("mathx: root not bracketed")
+
+// Bisect finds a root of f in [a, b] by bisection. f(a) and f(b) must have
+// opposite signs. tol is the absolute tolerance on x; maxIter bounds the
+// number of halvings.
+func Bisect(f func(float64) float64, a, b, tol float64, maxIter int) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if (fa > 0) == (fb > 0) {
+		return 0, ErrNoBracket
+	}
+	for i := 0; i < maxIter; i++ {
+		m := 0.5 * (a + b)
+		fm := f(m)
+		if fm == 0 || (b-a)/2 < tol {
+			return m, nil
+		}
+		if (fm > 0) == (fa > 0) {
+			a, fa = m, fm
+		} else {
+			b = m
+		}
+	}
+	return 0.5 * (a + b), nil
+}
+
+// MinIntWhere returns the smallest n in [lo, hi] for which ok(n) is true,
+// assuming ok is monotone (false ... false true ... true). The boolean
+// result is false when no n in range satisfies ok.
+func MinIntWhere(lo, hi int, ok func(int) bool) (int, bool) {
+	if lo > hi {
+		return 0, false
+	}
+	if !ok(hi) {
+		return 0, false
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if ok(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, true
+}
+
+// MaxIntWhere returns the largest n in [lo, hi] for which ok(n) is true,
+// assuming ok is monotone (true ... true false ... false). The boolean
+// result is false when no n in range satisfies ok.
+func MaxIntWhere(lo, hi int, ok func(int) bool) (int, bool) {
+	if lo > hi {
+		return 0, false
+	}
+	if !ok(lo) {
+		return 0, false
+	}
+	for lo < hi {
+		mid := lo + (hi-lo+1)/2
+		if ok(mid) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, true
+}
+
+// CeilDiv returns ⌈a/b⌉ for positive b.
+func CeilDiv(a, b int) int {
+	if b <= 0 {
+		panic("mathx: CeilDiv requires positive divisor")
+	}
+	return (a + b - 1) / b
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs, or 0 when
+// len(xs) < 2.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Linspace returns n evenly spaced values from a to b inclusive.
+// n must be at least 2.
+func Linspace(a, b float64, n int) []float64 {
+	if n < 2 {
+		panic("mathx: Linspace requires n >= 2")
+	}
+	out := make([]float64, n)
+	step := (b - a) / float64(n-1)
+	for i := range out {
+		out[i] = a + float64(i)*step
+	}
+	out[n-1] = b
+	return out
+}
+
+// AlmostEqual reports whether a and b agree to within a relative tolerance
+// rel (with an absolute floor of rel for values near zero).
+func AlmostEqual(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return diff <= rel*scale
+}

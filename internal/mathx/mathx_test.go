@@ -1,0 +1,199 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQKnownValues(t *testing.T) {
+	tests := []struct {
+		x, want, tol float64
+	}{
+		{0, 0.5, 1e-12},
+		{1, 0.158655, 1e-6},
+		{2, 0.022750, 1e-6},
+		{3, 1.349898e-3, 1e-8},
+		{4.753424, 1e-6, 2e-8}, // QInv(1e-6) ≈ 4.7534
+		{-1, 0.841345, 1e-6},
+	}
+	for _, tt := range tests {
+		if got := Q(tt.x); math.Abs(got-tt.want) > tt.tol {
+			t.Errorf("Q(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestQInvRoundTrip(t *testing.T) {
+	for _, p := range []float64{0.4, 0.1, 1e-2, 1e-4, 1e-6, 1e-9} {
+		x := QInv(p)
+		if got := Q(x); math.Abs(got-p) > 1e-9*p+1e-15 {
+			t.Errorf("Q(QInv(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestQInvProperty(t *testing.T) {
+	f := func(u float64) bool {
+		p := math.Abs(math.Mod(u, 1))
+		if p < 1e-12 || p > 1-1e-12 {
+			return true
+		}
+		x := QInv(p)
+		return math.Abs(Q(x)-p) < 1e-8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQInvPanicsOutsideDomain(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("QInv(%v) should panic", p)
+				}
+			}()
+			QInv(p)
+		}()
+	}
+}
+
+func TestBisect(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-math.Sqrt2) > 1e-10 {
+		t.Errorf("root = %v, want √2", root)
+	}
+	if _, err := Bisect(func(x float64) float64 { return x*x + 1 }, -1, 1, 1e-12, 100); err != ErrNoBracket {
+		t.Errorf("expected ErrNoBracket, got %v", err)
+	}
+	// Endpoints that are exact roots.
+	if r, err := Bisect(func(x float64) float64 { return x }, 0, 1, 1e-12, 100); err != nil || r != 0 {
+		t.Errorf("root at a: got %v, %v", r, err)
+	}
+	if r, err := Bisect(func(x float64) float64 { return x - 1 }, 0, 1, 1e-12, 100); err != nil || r != 1 {
+		t.Errorf("root at b: got %v, %v", r, err)
+	}
+}
+
+func TestMinIntWhere(t *testing.T) {
+	got, ok := MinIntWhere(1, 1000, func(n int) bool { return n >= 37 })
+	if !ok || got != 37 {
+		t.Errorf("MinIntWhere = %v, %v; want 37, true", got, ok)
+	}
+	if _, ok := MinIntWhere(1, 10, func(n int) bool { return false }); ok {
+		t.Errorf("MinIntWhere should fail when nothing satisfies")
+	}
+	if got, ok := MinIntWhere(5, 5, func(n int) bool { return true }); !ok || got != 5 {
+		t.Errorf("single-element range: got %v, %v", got, ok)
+	}
+	if _, ok := MinIntWhere(10, 5, func(n int) bool { return true }); ok {
+		t.Errorf("inverted range should fail")
+	}
+}
+
+func TestMaxIntWhere(t *testing.T) {
+	got, ok := MaxIntWhere(1, 1000, func(n int) bool { return n <= 613 })
+	if !ok || got != 613 {
+		t.Errorf("MaxIntWhere = %v, %v; want 613, true", got, ok)
+	}
+	if _, ok := MaxIntWhere(1, 10, func(n int) bool { return false }); ok {
+		t.Errorf("MaxIntWhere should fail when nothing satisfies")
+	}
+	if got, ok := MaxIntWhere(1, 10, func(n int) bool { return true }); !ok || got != 10 {
+		t.Errorf("all-true range: got %v, %v", got, ok)
+	}
+}
+
+func TestSearchDuality(t *testing.T) {
+	// For a monotone threshold predicate, MinIntWhere(ok) - 1 ==
+	// MaxIntWhere(!ok) whenever both exist.
+	f := func(thr uint16) bool {
+		th := int(thr%500) + 2
+		lo, hi := 1, 1000
+		minOK, ok1 := MinIntWhere(lo, hi, func(n int) bool { return n >= th })
+		maxNot, ok2 := MaxIntWhere(lo, hi, func(n int) bool { return n < th })
+		return ok1 && ok2 && minOK == th && maxNot == th-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	tests := []struct{ a, b, want int }{
+		{10, 3, 4}, {9, 3, 3}, {1, 5, 1}, {0, 5, 0}, {1024, 1024, 1},
+	}
+	for _, tt := range tests {
+		if got := CeilDiv(tt.a, tt.b); got != tt.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("CeilDiv with zero divisor should panic")
+			}
+		}()
+		CeilDiv(1, 0)
+	}()
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 1); got != 1 {
+		t.Errorf("Clamp high = %v", got)
+	}
+	if got := Clamp(-5, 0, 1); got != 0 {
+		t.Errorf("Clamp low = %v", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Errorf("Clamp mid = %v", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := StdDev(xs); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Errorf("degenerate stats should be 0")
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	xs := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(xs[i]-want[i]) > 1e-12 {
+			t.Errorf("Linspace[%d] = %v, want %v", i, xs[i], want[i])
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("Linspace with n<2 should panic")
+			}
+		}()
+		Linspace(0, 1, 1)
+	}()
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !AlmostEqual(100, 100.05, 1e-3) {
+		t.Errorf("100 ≈ 100.05 at 1e-3")
+	}
+	if AlmostEqual(100, 101, 1e-3) {
+		t.Errorf("100 !≈ 101 at 1e-3")
+	}
+	if !AlmostEqual(0, 1e-9, 1e-3) {
+		t.Errorf("near-zero values should use absolute floor")
+	}
+}

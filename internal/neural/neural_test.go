@@ -1,0 +1,246 @@
+package neural
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mindful/internal/units"
+)
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{Channels: 0, SampleRate: units.Kilohertz(2)},
+		{Channels: 8, SampleRate: 0},
+		{Channels: 8, SampleRate: units.Kilohertz(2), ActiveFraction: 1.5},
+		{Channels: 8, SampleRate: units.Kilohertz(2), MeanRateHz: -1},
+		{Channels: 8, SampleRate: units.Kilohertz(2), ModulationDepth: 2},
+		{Channels: 8, SampleRate: units.Kilohertz(2), NoiseRMS: -0.1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	g1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := g1.NextBlock(100)
+	b2 := g2.NextBlock(100)
+	for i := range b1 {
+		for c := range b1[i] {
+			if b1[i][c] != b2[i][c] {
+				t.Fatalf("same seed diverged at sample %d channel %d", i, c)
+			}
+		}
+	}
+}
+
+func TestBlockShape(t *testing.T) {
+	g, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := g.NextBlock(50)
+	if len(b) != 50 {
+		t.Fatalf("block rows = %d", len(b))
+	}
+	for _, row := range b {
+		if len(row) != 128 {
+			t.Fatalf("row width = %d", len(row))
+		}
+	}
+	if len(g.Next()) != 128 {
+		t.Fatalf("Next width wrong")
+	}
+}
+
+func TestActiveFractionRespected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 1000
+	cfg.ActiveFraction = 0.3
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(g.ActiveChannels())
+	if n < 230 || n > 370 {
+		t.Errorf("active channels = %d of 1000, want ≈300", n)
+	}
+	cfg.ActiveFraction = 0
+	g0, _ := New(cfg)
+	if len(g0.ActiveChannels()) != 0 {
+		t.Errorf("zero fraction should give no active channels")
+	}
+}
+
+func TestSpikeLogAndRates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 64
+	cfg.ActiveFraction = 1
+	cfg.MeanRateHz = 50
+	cfg.ModulationDepth = 0
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.RecordSpikes(true)
+	seconds := 5.0
+	n := int(cfg.SampleRate.Hz() * seconds)
+	g.NextBlock(n)
+	total := 0
+	for _, log := range g.SpikeLog() {
+		total += len(log)
+	}
+	// Expected 64 ch × 50 Hz × 5 s = 16000 spikes; allow ±15%.
+	want := 64 * 50 * seconds
+	if math.Abs(float64(total)-want) > 0.15*want {
+		t.Errorf("total spikes = %d, want ≈%v", total, want)
+	}
+}
+
+func TestIntentModulatesRates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 200
+	cfg.ActiveFraction = 1
+	cfg.MeanRateHz = 40
+	cfg.ModulationDepth = 0.9
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.RecordSpikes(true)
+	// Drive intent along +x; channels tuned to +x should fire more than
+	// channels tuned to −x.
+	g.SetIntent(1, 0)
+	if x, y := g.Intent(); x != 1 || y != 0 {
+		t.Fatalf("intent round trip failed")
+	}
+	n := int(cfg.SampleRate.Hz() * 4)
+	g.NextBlock(n)
+	logs := g.SpikeLog()
+	var hi, lo, nHi, nLo float64
+	for c := 0; c < cfg.Channels; c++ {
+		switch proj := g.tuning[c][0]; {
+		case proj > 0.5:
+			hi += float64(len(logs[c]))
+			nHi++
+		case proj < -0.5:
+			lo += float64(len(logs[c]))
+			nLo++
+		}
+	}
+	if nHi == 0 || nLo == 0 {
+		t.Fatal("tuning distribution degenerate")
+	}
+	if hi/nHi <= 1.3*(lo/nLo) {
+		t.Errorf("aligned channels should fire ≫ anti-aligned: %v vs %v", hi/nHi, lo/nLo)
+	}
+}
+
+func TestSignalContainsSpikesAboveNoise(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 4
+	cfg.ActiveFraction = 1
+	cfg.MeanRateHz = 100
+	cfg.NoiseRMS = 0.05
+	cfg.LFPAmplitude = 0
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := g.NextBlock(int(cfg.SampleRate.Hz()))
+	min := 0.0
+	for _, row := range b {
+		for _, v := range row {
+			if v < min {
+				min = v
+			}
+		}
+	}
+	// The AP template has a −1 trough; with 100 Hz firing we must see it.
+	if min > -0.7 {
+		t.Errorf("no spike troughs visible: min = %v", min)
+	}
+}
+
+func TestADCRoundTripProperty(t *testing.T) {
+	adc := DefaultADC()
+	step := 2 * adc.FullScale / float64(adc.Levels())
+	f := func(x float64) bool {
+		x = math.Mod(x, adc.FullScale*0.99)
+		q := adc.Quantize(x)
+		back := adc.Dequantize(q)
+		return math.Abs(back-x) <= step
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestADCClipping(t *testing.T) {
+	adc := DefaultADC()
+	if got := adc.Quantize(100); got != uint16(adc.Levels()-1) {
+		t.Errorf("positive clip = %d", got)
+	}
+	if got := adc.Quantize(-100); got != 0 {
+		t.Errorf("negative clip = %d", got)
+	}
+	if adc.Levels() != 1024 {
+		t.Errorf("10-bit ADC levels = %d", adc.Levels())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("invalid ADC bits should panic")
+			}
+		}()
+		ADC{Bits: 0, FullScale: 1}.Quantize(0)
+	}()
+}
+
+func TestADCMonotoneProperty(t *testing.T) {
+	adc := DefaultADC()
+	f := func(a, b float64) bool {
+		a = math.Mod(a, 3)
+		b = math.Mod(b, 3)
+		if a > b {
+			a, b = b, a
+		}
+		return adc.Quantize(a) <= adc.Quantize(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeBlock(t *testing.T) {
+	adc := DefaultADC()
+	got := adc.QuantizeBlock([]float64{-3, 0, 3})
+	if got[0] != 0 || got[2] != 1023 {
+		t.Errorf("block extremes wrong: %v", got)
+	}
+	if got[1] != 512 {
+		t.Errorf("midscale code = %d, want 512", got[1])
+	}
+}
+
+func TestSensingThroughput(t *testing.T) {
+	// Eq. 6 worked example: 1024 ch × 10 b × 8 kHz = 81.92 Mbps.
+	got := SensingThroughput(1024, 10, units.Kilohertz(8))
+	if math.Abs(got.Mbps()-81.92) > 1e-9 {
+		t.Errorf("T_sensing = %v Mbps, want 81.92", got.Mbps())
+	}
+}

@@ -1,0 +1,160 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"mindful/internal/dnnmodel"
+)
+
+func TestBuildFromSpecMatchesAnalyticalModel(t *testing.T) {
+	// The core cross-validation: the runnable network and the analytical
+	// workload must agree on every layer's f_MAC decomposition, for
+	// several channel counts.
+	for _, n := range []int{128, 256, 1024} {
+		m, err := dnnmodel.MLP().Scale(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net, err := BuildFromSpec(m, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyAgainstSpec(net, m); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+		// And the network must actually run, producing the fixed 40-label
+		// output the paper's scaling argument relies on.
+		rng := rand.New(rand.NewSource(int64(n)))
+		in := make([]float64, n)
+		for i := range in {
+			in[i] = rng.NormFloat64() * 0.1
+		}
+		out, err := net.Forward(FromVector(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Size() != 40 {
+			t.Errorf("n=%d output size = %d, want 40", n, out.Size())
+		}
+	}
+}
+
+func TestBuildFromSpecDeterministic(t *testing.T) {
+	m, err := dnnmodel.MLP().Scale(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := BuildFromSpec(m, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildFromSpec(m, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]float64, 128)
+	in[0] = 1
+	oa, err := a.Forward(FromVector(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, err := b.Forward(FromVector(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range oa.Data {
+		if oa.Data[i] != ob.Data[i] {
+			t.Fatalf("same seed diverged at output %d", i)
+		}
+	}
+}
+
+func TestBuildFromSpecRejectsConv(t *testing.T) {
+	m, err := dnnmodel.DNCNN().Scale(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildFromSpec(m, 1); err == nil {
+		t.Errorf("conv model should be rejected by the dense bridge")
+	}
+	if _, err := BuildFromSpec(dnnmodel.Model{}, 1); err == nil {
+		t.Errorf("empty model should be rejected")
+	}
+}
+
+func TestVerifyAgainstSpecDetectsMismatch(t *testing.T) {
+	m, err := dnnmodel.MLP().Scale(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := BuildFromSpec(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with the spec: wrong width.
+	wrong := m
+	wrong.Layers = append([]dnnmodel.LayerSpec(nil), m.Layers...)
+	wrong.Layers[1].Out++
+	if err := VerifyAgainstSpec(net, wrong); err == nil {
+		t.Errorf("mismatched spec should be detected")
+	}
+	// Wrong layer count.
+	short := m
+	short.Layers = m.Layers[:len(m.Layers)-1]
+	if err := VerifyAgainstSpec(net, short); err == nil {
+		t.Errorf("layer-count mismatch should be detected")
+	}
+}
+
+func TestBuildConvFromSpecRunsDNCNN(t *testing.T) {
+	// The DN-CNN must be runnable too: build it for several channel
+	// counts, check the total MAC work matches the analytical model, and
+	// run an inference.
+	for _, n := range []int{128, 256} {
+		m, err := dnnmodel.DNCNN().Scale(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net, err := BuildConvFromSpec(m, 5)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		total, err := net.TotalMACs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The dense block aggregates its members with a rounded average
+		// sequence length; allow 2% slack.
+		spec := m.TotalMACs()
+		diff := float64(total-spec) / float64(spec)
+		if diff < -0.02 || diff > 0.02 {
+			t.Errorf("n=%d: network MACs %d vs spec %d (%.1f%% off)", n, total, spec, diff*100)
+		}
+		in := NewTensor(n, dnnmodel.DNCNNWindow)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := range in.Data {
+			in.Data[i] = rng.NormFloat64() * 0.1
+		}
+		out, err := net.Forward(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Size() != 40 {
+			t.Errorf("n=%d output = %d labels", n, out.Size())
+		}
+	}
+}
+
+func TestBuildConvFromSpecValidation(t *testing.T) {
+	if _, err := BuildConvFromSpec(dnnmodel.Model{}, 1); err == nil {
+		t.Errorf("empty model should fail")
+	}
+	m, err := dnnmodel.MLP().Scale(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildConvFromSpec(m, 1); err == nil {
+		t.Errorf("dense front layer should be rejected")
+	}
+}

@@ -1,0 +1,283 @@
+// Package optimize evaluates computation-centric implanted SoCs
+// (Section 5.3) and the combined optimization strategies of Section 6:
+// DNN partitioning (layer reduction), channel dropout, technology scaling,
+// and channel density.
+//
+// The system model prices one design point as
+//
+//	P_SoC(n) = P_sensing(n) + P_comp(DNN) + P_comm(n_out)
+//
+// with sensing from the SoC baseline (Eq. 5), computation from the
+// sched lower bound (Eq. 13), and communication of the DNN output at the
+// design's calibrated energy per bit. Feasibility compares against
+// P_budget(n) (Eq. 3) under the frozen-non-sensing-area assumption.
+package optimize
+
+import (
+	"fmt"
+
+	"mindful/internal/dnnmodel"
+	"mindful/internal/mac"
+	"mindful/internal/mathx"
+	"mindful/internal/sched"
+	"mindful/internal/soc"
+	"mindful/internal/thermal"
+	"mindful/internal/units"
+)
+
+// Evaluator prices computation-centric design points for one SoC and one
+// DNN family.
+type Evaluator struct {
+	Baseline soc.Baseline
+	Template dnnmodel.Template
+	// Node is the synthesis technology for the MAC array (NanGate45 in
+	// Section 5.3; Node12 with the Tech optimization).
+	Node mac.TechNode
+	// Partitioned applies Section 6.1's layer reduction: only the prefix
+	// up to the earliest transmittable cut runs on the implant.
+	Partitioned bool
+	// SensingAreaScale scales the per-channel sensing area (the Dense
+	// optimization halves it, which also shrinks the power budget).
+	SensingAreaScale float64
+}
+
+// NewEvaluator returns the Section 5.3 baseline evaluator (45 nm, full
+// model on implant, nominal density).
+func NewEvaluator(b soc.Baseline, t dnnmodel.Template) Evaluator {
+	return Evaluator{Baseline: b, Template: t, Node: mac.NanGate45, SensingAreaScale: 1}
+}
+
+// Assessment is one priced design point.
+type Assessment struct {
+	Channels int
+	// Model is the full application DNN at this channel count; OnImplant
+	// is the part that runs on the implant (equal to Model unless
+	// partitioned).
+	Model     dnnmodel.Model
+	OnImplant dnnmodel.Model
+	// Cut is the partition index (−1 when the full model is on-implant).
+	Cut int
+	// OutValues is the number of values transmitted per inference.
+	OutValues int
+
+	Sched   sched.Result
+	Sensing units.Power
+	Comp    units.Power
+	Comm    units.Power
+	Budget  units.Power
+}
+
+// Total returns P_SoC.
+func (a Assessment) Total() units.Power { return a.Sensing + a.Comp + a.Comm }
+
+// Feasible reports whether the point is schedulable and within budget.
+func (a Assessment) Feasible() bool {
+	return a.Sched.Feasible && a.Total() <= a.Budget
+}
+
+// Utilization returns P_SoC / P_budget.
+func (a Assessment) Utilization() float64 {
+	if a.Budget <= 0 {
+		return 0
+	}
+	return a.Total().Watts() / a.Budget.Watts()
+}
+
+func (e Evaluator) validate() error {
+	if e.SensingAreaScale <= 0 {
+		return fmt.Errorf("optimize: non-positive sensing area scale %g", e.SensingAreaScale)
+	}
+	return nil
+}
+
+// budgetAt returns P_budget(n) with the evaluator's sensing-area scale.
+func (e Evaluator) budgetAt(n int) units.Power {
+	area := units.Area(e.Baseline.SensingAreaAt(n).M2()*e.SensingAreaScale + e.Baseline.NonSensingArea.M2())
+	return thermal.Budget(area)
+}
+
+// commPower prices transmitting outValues per inference at the design's
+// calibrated Eb: T = outValues · d · f_app, where f_app is the
+// application's inference rate (Eq. 8).
+func (e Evaluator) commPower(outValues int, inferenceRate units.Frequency) units.Power {
+	rate := units.BitsPerSecond(float64(outValues) * soc.SampleBits * inferenceRate.Hz())
+	return rate.TimesEnergyPerBit(e.Baseline.EnergyPerBit())
+}
+
+// Assess prices the design at n NI channels with the DNN scaled for
+// modelChannels active channels (modelChannels = n unless channel dropout
+// is applied).
+func (e Evaluator) Assess(n, modelChannels int) (Assessment, error) {
+	if err := e.validate(); err != nil {
+		return Assessment{}, err
+	}
+	if n <= 0 || modelChannels <= 0 || modelChannels > n {
+		return Assessment{}, fmt.Errorf("optimize: invalid channel counts n=%d model=%d", n, modelChannels)
+	}
+	full, err := e.Template.Scale(modelChannels)
+	if err != nil {
+		return Assessment{}, err
+	}
+	onImplant := full
+	cut := -1
+	outValues := full.OutputValues()
+	if e.Partitioned {
+		// Section 6.1: cut at the earliest layer whose output volume fits
+		// the transmission budget of a 1024-channel comm-centric design.
+		if c, ok := full.Partition(soc.StandardChannels); ok {
+			prefix, err := full.Prefix(c)
+			if err != nil {
+				return Assessment{}, err
+			}
+			onImplant, cut, outValues = prefix, c, full.Layers[c].OutputValues()
+		}
+	}
+	// The real-time deadline is set by the application's own sampling
+	// rate (one inference per application sample period). Using the
+	// workload rate rather than each SoC's NI rate reproduces the
+	// paper's reported feasibility pattern — e.g. Muller (1 kHz NI) is
+	// infeasible for the MLP while Yang (20 kHz NI) is not.
+	deadline := sched.DeadlineFor(full.SampleRate)
+	res, err := sched.Best(onImplant, deadline, e.Node)
+	if err != nil {
+		return Assessment{}, err
+	}
+	return Assessment{
+		Channels:  n,
+		Model:     full,
+		OnImplant: onImplant,
+		Cut:       cut,
+		OutValues: outValues,
+		Sched:     res,
+		Sensing:   e.Baseline.SensingPowerAt(n),
+		Comp:      res.Power,
+		Comm:      e.commPower(outValues, full.SampleRate),
+		Budget:    e.budgetAt(n),
+	}, nil
+}
+
+// MaxChannels returns the largest n in [lo, hi] at which the full-rate
+// design (modelChannels = n) is feasible. ok is false when even lo fails.
+func (e Evaluator) MaxChannels(lo, hi int) (int, bool, error) {
+	var firstErr error
+	n, ok := mathx.MaxIntWhere(lo, hi, func(n int) bool {
+		a, err := e.Assess(n, n)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return false
+		}
+		return a.Feasible()
+	})
+	return n, ok, firstErr
+}
+
+// MaxActiveChannels returns the Section 6.2 channel-dropout solution: the
+// largest n′ ≤ n for which the DNN scaled to n′ active channels fits the
+// budget at a full NI of n channels. ok is false when not even n′ = 1 fits.
+func (e Evaluator) MaxActiveChannels(n int) (int, bool, error) {
+	var firstErr error
+	np, ok := mathx.MaxIntWhere(1, n, func(np int) bool {
+		a, err := e.Assess(n, np)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return false
+		}
+		return a.Feasible()
+	})
+	return np, ok, firstErr
+}
+
+// Step is one Section 6.2 optimization bundle (each includes the previous).
+type Step int
+
+// Optimization steps in the paper's order.
+const (
+	// ChDr: channel dropout only.
+	ChDr Step = iota
+	// La: adds layer reduction (DNN partitioning).
+	La
+	// Tech: adds 12 nm technology scaling for the MAC array.
+	Tech
+	// Dense: adds 2× channel density (halves sensing area and budget).
+	Dense
+)
+
+// String names the cumulative step as in Fig. 12.
+func (s Step) String() string {
+	switch s {
+	case ChDr:
+		return "ChDr"
+	case La:
+		return "La+ChDr"
+	case Tech:
+		return "La+ChDr+Tech"
+	case Dense:
+		return "La+ChDr+Tech+Dense"
+	default:
+		return fmt.Sprintf("Step(%d)", int(s))
+	}
+}
+
+// Steps lists the cumulative optimization bundles in order.
+func Steps() []Step { return []Step{ChDr, La, Tech, Dense} }
+
+// Apply configures an evaluator for the cumulative step.
+func (e Evaluator) Apply(s Step) Evaluator {
+	out := e
+	out.Partitioned = s >= La
+	if s >= Tech {
+		out.Node = mac.Node12
+	} else {
+		out.Node = mac.NanGate45
+	}
+	if s >= Dense {
+		out.SensingAreaScale = 0.5
+	} else {
+		out.SensingAreaScale = 1
+	}
+	return out
+}
+
+// SizeResult is one Fig. 12 bar: the feasible model size after an
+// optimization bundle.
+type SizeResult struct {
+	Step Step
+	// ActiveChannels is the dropout solution n′.
+	ActiveChannels int
+	// ModelFraction is weights(n′)/weights(n) — Fig. 12's normalized
+	// model size. Zero when nothing fits.
+	ModelFraction float64
+}
+
+// ModelSizeAfter runs the cumulative optimization bundles at NI channel
+// count n and returns one SizeResult per step.
+func (e Evaluator) ModelSizeAfter(n int) ([]SizeResult, error) {
+	fullAtN, err := e.Template.Scale(n)
+	if err != nil {
+		return nil, err
+	}
+	ref := float64(fullAtN.TotalWeights())
+	out := make([]SizeResult, 0, 4)
+	for _, s := range Steps() {
+		ev := e.Apply(s)
+		np, ok, err := ev.MaxActiveChannels(n)
+		if err != nil {
+			return nil, err
+		}
+		r := SizeResult{Step: s}
+		if ok {
+			m, err := e.Template.Scale(np)
+			if err != nil {
+				return nil, err
+			}
+			r.ActiveChannels = np
+			r.ModelFraction = float64(m.TotalWeights()) / ref
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,323 @@
+// Package report renders experiment results as aligned text tables, CSV,
+// ASCII charts, and standalone SVG files — the stdlib-only replacement for
+// the original artifact's matplotlib output.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = displayWidth(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && displayWidth(c) > widths[i] {
+				widths[i] = displayWidth(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-displayWidth(c)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// displayWidth counts runes (a rough terminal width; the tables use only
+// narrow glyphs).
+func displayWidth(s string) int { return len([]rune(s)) }
+
+// CSV renders the table as comma-separated values with a header line.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, t.Headers)
+	for _, row := range t.Rows {
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			b.WriteByte('"')
+			b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+			b.WriteByte('"')
+		} else {
+			b.WriteString(c)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+// Series is one named line of (x, y) points.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart is a collection of series with axis labels.
+type Chart struct {
+	Title, XLabel, YLabel string
+	Series                []Series
+	// LogY plots log10(y) instead of y (positive values only).
+	LogY bool
+}
+
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64, ok bool) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			y := s.Y[i]
+			if c.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			if s.X[i] < xmin {
+				xmin = s.X[i]
+			}
+			if s.X[i] > xmax {
+				xmax = s.X[i]
+			}
+			if y < ymin {
+				ymin = y
+			}
+			if y > ymax {
+				ymax = y
+			}
+		}
+	}
+	if math.IsInf(xmin, 1) || xmin == xmax {
+		return 0, 0, 0, 0, false
+	}
+	if ymin == ymax {
+		ymin, ymax = ymin-1, ymax+1
+	}
+	return xmin, xmax, ymin, ymax, true
+}
+
+// ASCII renders the chart on a character grid of the given size.
+func (c *Chart) ASCII(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	xmin, xmax, ymin, ymax, ok := c.bounds()
+	if !ok {
+		return c.Title + "\n(no data)\n"
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			y := s.Y[i]
+			if c.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			col := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			row := height - 1 - int((y-ymin)/(ymax-ymin)*float64(height-1))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = m
+			}
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yl, yh := ymin, ymax
+	if c.LogY {
+		yl, yh = math.Pow(10, ymin), math.Pow(10, ymax)
+	}
+	fmt.Fprintf(&b, "%s: %.4g .. %.4g\n", orDefault(c.YLabel, "y"), yl, yh)
+	for _, row := range grid {
+		b.WriteByte('|')
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%s: %.4g .. %.4g\n", orDefault(c.XLabel, "x"), xmin, xmax)
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// SVG renders the chart as a standalone SVG document with axes, polylines
+// and a legend.
+func (c *Chart) SVG(width, height int) string {
+	if width < 100 {
+		width = 100
+	}
+	if height < 80 {
+		height = 80
+	}
+	xmin, xmax, ymin, ymax, ok := c.bounds()
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	marginL, marginR, marginT, marginB := 60, 20, 30, 40
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+	fmt.Fprintf(&b, `<text x="%d" y="18" font-size="13" font-family="sans-serif">%s</text>`+"\n", marginL, xmlEscape(c.Title))
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="black"/>`+"\n", marginL, marginT, plotW, plotH)
+	if ok {
+		colors := []string{"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b", "#e377c2", "#7f7f7f"}
+		toPx := func(x, y float64) (float64, float64) {
+			if c.LogY {
+				y = math.Log10(y)
+			}
+			px := float64(marginL) + (x-xmin)/(xmax-xmin)*float64(plotW)
+			py := float64(marginT+plotH) - (y-ymin)/(ymax-ymin)*float64(plotH)
+			return px, py
+		}
+		for si, s := range c.Series {
+			col := colors[si%len(colors)]
+			var pts []string
+			for i := range s.X {
+				if c.LogY && s.Y[i] <= 0 {
+					continue
+				}
+				px, py := toPx(s.X[i], s.Y[i])
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", px, py))
+			}
+			if len(pts) > 1 {
+				fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="%s"/>`+"\n", col, strings.Join(pts, " "))
+			}
+			for _, p := range pts {
+				xy := strings.Split(p, ",")
+				fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="2.5" fill="%s"/>`+"\n", xy[0], xy[1], col)
+			}
+			fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" font-family="sans-serif" fill="%s">%s</text>`+"\n",
+				width-marginR-110, marginT+14*(si+1), col, xmlEscape(s.Name))
+		}
+		// Axis extremes.
+		yl, yh := ymin, ymax
+		if c.LogY {
+			yl, yh = math.Pow(10, ymin), math.Pow(10, ymax)
+		}
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" font-family="sans-serif" text-anchor="end">%.4g</text>`+"\n", marginL-4, marginT+plotH, yl)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" font-family="sans-serif" text-anchor="end">%.4g</text>`+"\n", marginL-4, marginT+10, yh)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" font-family="sans-serif">%.4g</text>`+"\n", marginL, height-marginB+14, xmin)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" font-family="sans-serif" text-anchor="end">%.4g</text>`+"\n", marginL+plotW, height-marginB+14, xmax)
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" font-family="sans-serif" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, height-8, xmlEscape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%d" font-size="11" font-family="sans-serif" transform="rotate(-90 14 %d)" text-anchor="middle">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, xmlEscape(c.YLabel))
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// Bar is one labelled value for bar rendering.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders horizontal ASCII bars scaled to the maximum value.
+func BarChart(title string, unit string, bars []Bar, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	max := 0.0
+	labelW := 0
+	for _, b := range bars {
+		if b.Value > max {
+			max = b.Value
+		}
+		if l := displayWidth(b.Label); l > labelW {
+			labelW = l
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	for _, b := range bars {
+		n := 0
+		if max > 0 {
+			n = int(b.Value / max * float64(width))
+		}
+		fmt.Fprintf(&sb, "%-*s |%s%s %.4g%s\n", labelW, b.Label,
+			strings.Repeat("█", n), strings.Repeat(" ", width-n), b.Value, unit)
+	}
+	return sb.String()
+}

@@ -1,0 +1,145 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "SoC", "Power")
+	tb.AddRow("BISC", "38.9 mW")
+	tb.AddRow("Neuralink")
+	s := tb.String()
+	if !strings.Contains(s, "Demo") || !strings.Contains(s, "BISC") {
+		t.Errorf("table missing content:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("lines = %d:\n%s", len(lines), s)
+	}
+	// Columns aligned: both data rows start "BISC " / "Neuralink".
+	if !strings.HasPrefix(lines[3], "BISC ") {
+		t.Errorf("row 1 misaligned: %q", lines[3])
+	}
+	// Short row padded without panic.
+	if !strings.HasPrefix(lines[4], "Neuralink") {
+		t.Errorf("row 2 wrong: %q", lines[4])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("1", `va"l,ue`)
+	csv := tb.CSV()
+	want := "a,b\n1,\"va\"\"l,ue\"\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestChartASCII(t *testing.T) {
+	c := Chart{
+		Title:  "Power vs channels",
+		XLabel: "channels",
+		YLabel: "mW",
+		Series: []Series{
+			{Name: "SoC 1", X: []float64{1024, 2048, 4096}, Y: []float64{10, 20, 40}},
+			{Name: "SoC 2", X: []float64{1024, 2048, 4096}, Y: []float64{5, 25, 35}},
+		},
+	}
+	s := c.ASCII(40, 10)
+	if !strings.Contains(s, "Power vs channels") {
+		t.Errorf("missing title")
+	}
+	if !strings.Contains(s, "*") || !strings.Contains(s, "o") {
+		t.Errorf("missing markers:\n%s", s)
+	}
+	if !strings.Contains(s, "SoC 1") || !strings.Contains(s, "SoC 2") {
+		t.Errorf("missing legend")
+	}
+	if !strings.Contains(s, "channels: 1024 .. 4096") {
+		t.Errorf("missing x range:\n%s", s)
+	}
+}
+
+func TestChartASCIILogY(t *testing.T) {
+	c := Chart{
+		LogY: true,
+		Series: []Series{
+			{Name: "p", X: []float64{1, 2, 3}, Y: []float64{0.1, 10, 1000}},
+		},
+	}
+	s := c.ASCII(30, 8)
+	if !strings.Contains(s, "0.1 .. 1000") {
+		t.Errorf("log axis labels missing:\n%s", s)
+	}
+	// Non-positive values skipped without panic.
+	c.Series[0].Y[0] = -1
+	_ = c.ASCII(30, 8)
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := Chart{Title: "nothing"}
+	if !strings.Contains(c.ASCII(30, 8), "(no data)") {
+		t.Errorf("empty chart should say so")
+	}
+	svg := c.SVG(200, 100)
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Errorf("empty SVG malformed")
+	}
+}
+
+func TestChartSVG(t *testing.T) {
+	c := Chart{
+		Title:  "t<itle>",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{{Name: "s&1", X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}}},
+	}
+	svg := c.SVG(300, 200)
+	for _, want := range []string{"<svg", "polyline", "circle", "t&lt;itle&gt;", "s&amp;1", "</svg>"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Contains(svg, "<itle>") {
+		t.Errorf("SVG not escaped")
+	}
+}
+
+func TestChartSizeClamping(t *testing.T) {
+	c := Chart{Series: []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}}}}
+	if s := c.ASCII(1, 1); len(s) == 0 {
+		t.Errorf("tiny ASCII chart empty")
+	}
+	if s := c.SVG(1, 1); !strings.Contains(s, "<svg") {
+		t.Errorf("tiny SVG chart broken")
+	}
+}
+
+func TestFlatSeries(t *testing.T) {
+	// Constant y must not divide by zero.
+	c := Chart{Series: []Series{{Name: "flat", X: []float64{0, 1, 2}, Y: []float64{5, 5, 5}}}}
+	if s := c.ASCII(30, 8); !strings.Contains(s, "flat") {
+		t.Errorf("flat series not rendered")
+	}
+	// Constant x is degenerate → no data.
+	c2 := Chart{Series: []Series{{Name: "v", X: []float64{1, 1}, Y: []float64{0, 2}}}}
+	if s := c2.ASCII(30, 8); !strings.Contains(s, "(no data)") {
+		t.Errorf("vertical series should be degenerate")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	s := BarChart("Budget", " mW", []Bar{{"BISC", 57.6}, {"Neuralink", 8}}, 20)
+	if !strings.Contains(s, "Budget") || !strings.Contains(s, "█") {
+		t.Errorf("bar chart malformed:\n%s", s)
+	}
+	if !strings.Contains(s, "57.6 mW") {
+		t.Errorf("missing value:\n%s", s)
+	}
+	// Zero values render without panic.
+	if z := BarChart("", "", []Bar{{"x", 0}}, 5); !strings.Contains(z, "x") {
+		t.Errorf("zero bar missing")
+	}
+}

@@ -1,0 +1,164 @@
+// Package sched computes the paper's architecture-independent lower bound
+// on on-implant DNN computation (Section 5.3, Equations 11–15): the
+// minimum number of MAC units (#MAC_hw) that can execute a network within
+// the real-time deadline t = 1/f, and the resulting power floor
+// P_comp = #MAC_hw · P_MAC (Eq. 13).
+//
+// Two execution disciplines are supported, mirroring the paper:
+//
+//   - Non-pipelined (Eq. 11–12): one shared pool of MAC units processes the
+//     layers in sequence; Σᵢ MAC_seqᵢ·t_MAC·⌈#MAC_opᵢ/#MAC_hw⌉ ≤ t, with
+//     #MAC_hw bounded by the widest layer.
+//   - Pipelined (Eq. 14–15): each layer has its own units and the slowest
+//     stage bounds the rate; per layer, MAC_seqᵢ·t_MAC·⌈#MAC_opᵢ/hᵢ⌉ ≤ t.
+//
+// The paper reports the better of the two for each design point; Best does
+// the same.
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"mindful/internal/dnnmodel"
+	"mindful/internal/mac"
+	"mindful/internal/mathx"
+	"mindful/internal/units"
+)
+
+// Result is the outcome of a lower-bound scheduling problem.
+type Result struct {
+	// Feasible is false when no unit count meets the deadline (a single
+	// MAC_op's sequence alone overruns t).
+	Feasible bool
+	// Pipelined records which discipline produced this result.
+	Pipelined bool
+	// MACHW is the total number of MAC units (Σ hᵢ when pipelined).
+	MACHW int
+	// PerLayer holds hᵢ for pipelined results (nil otherwise).
+	PerLayer []int
+	// Power is the Eq. (13) lower bound #MAC_hw · P_MAC.
+	Power units.Power
+}
+
+func checkInputs(m dnnmodel.Model, deadline time.Duration, node mac.TechNode) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if deadline <= 0 {
+		return fmt.Errorf("sched: non-positive deadline %v", deadline)
+	}
+	if node.TMAC <= 0 {
+		return fmt.Errorf("sched: node %q has no MAC timing", node.Name)
+	}
+	return nil
+}
+
+// layerTime returns the execution time of one layer on h shared units.
+func layerTime(l dnnmodel.LayerSpec, h int, tmac time.Duration) time.Duration {
+	passes := mathx.CeilDiv(l.MACOps(), h)
+	return time.Duration(l.MACSeq()) * tmac * time.Duration(passes)
+}
+
+// NonPipelined solves Eq. (11)–(12): the smallest shared pool meeting the
+// deadline.
+func NonPipelined(m dnnmodel.Model, deadline time.Duration, node mac.TechNode) (Result, error) {
+	if err := checkInputs(m, deadline, node); err != nil {
+		return Result{}, err
+	}
+	maxOps := 0
+	for _, l := range m.Layers {
+		if ops := l.MACOps(); ops > maxOps {
+			maxOps = ops
+		}
+	}
+	fits := func(h int) bool {
+		var total time.Duration
+		for _, l := range m.Layers {
+			total += layerTime(l, h, node.TMAC)
+			if total > deadline {
+				return false
+			}
+		}
+		return true
+	}
+	h, ok := mathx.MinIntWhere(1, maxOps, fits)
+	if !ok {
+		return Result{Feasible: false}, nil
+	}
+	return Result{
+		Feasible: true,
+		MACHW:    h,
+		Power:    units.Power(float64(h) * node.PMAC.Watts()),
+	}, nil
+}
+
+// Pipelined solves Eq. (14)–(15): per-layer unit counts with every stage
+// meeting the deadline independently.
+func Pipelined(m dnnmodel.Model, deadline time.Duration, node mac.TechNode) (Result, error) {
+	if err := checkInputs(m, deadline, node); err != nil {
+		return Result{}, err
+	}
+	per := make([]int, len(m.Layers))
+	total := 0
+	for i, l := range m.Layers {
+		l := l
+		h, ok := mathx.MinIntWhere(1, l.MACOps(), func(h int) bool {
+			return layerTime(l, h, node.TMAC) <= deadline
+		})
+		if !ok {
+			return Result{Feasible: false, Pipelined: true}, nil
+		}
+		per[i] = h
+		total += h
+	}
+	return Result{
+		Feasible:  true,
+		Pipelined: true,
+		MACHW:     total,
+		PerLayer:  per,
+		Power:     units.Power(float64(total) * node.PMAC.Watts()),
+	}, nil
+}
+
+// Best returns the lower-power feasible result of the two disciplines, as
+// the paper reports "the best result between a pipelined and a
+// non-pipelined design". If neither is feasible the returned result has
+// Feasible == false.
+func Best(m dnnmodel.Model, deadline time.Duration, node mac.TechNode) (Result, error) {
+	np, err := NonPipelined(m, deadline, node)
+	if err != nil {
+		return Result{}, err
+	}
+	pl, err := Pipelined(m, deadline, node)
+	if err != nil {
+		return Result{}, err
+	}
+	switch {
+	case np.Feasible && pl.Feasible:
+		if pl.MACHW < np.MACHW {
+			return pl, nil
+		}
+		return np, nil
+	case np.Feasible:
+		return np, nil
+	case pl.Feasible:
+		return pl, nil
+	default:
+		return Result{Feasible: false}, nil
+	}
+}
+
+// DeadlineFor returns the real-time budget for a sampling frequency: the
+// paper's t = 1/f (processing keeps pace with the NI sampling rate).
+func DeadlineFor(f units.Frequency) time.Duration {
+	return time.Duration(f.Period() * float64(time.Second))
+}
+
+// MinMACsFloor returns the information-theoretic floor ⌈totalMACs·t_MAC/t⌉:
+// no schedule can use fewer units than the work-density bound. Useful as a
+// sanity check on solver results.
+func MinMACsFloor(m dnnmodel.Model, deadline time.Duration, node mac.TechNode) int {
+	work := time.Duration(m.TotalMACs()) * node.TMAC
+	return int((work + deadline - 1) / deadline)
+}

@@ -1,0 +1,233 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mindful/internal/dnnmodel"
+	"mindful/internal/mac"
+	"mindful/internal/units"
+)
+
+// model builds a dense-only model from (in, out) pairs.
+func model(dims ...int) dnnmodel.Model {
+	layers := make([]dnnmodel.LayerSpec, 0, len(dims)-1)
+	for i := 0; i+1 < len(dims); i++ {
+		layers = append(layers, dnnmodel.LayerSpec{Kind: dnnmodel.DenseKind, In: dims[i], Out: dims[i+1]})
+	}
+	return dnnmodel.Model{Name: "test", Channels: dims[0], Alpha: 1, Labels: dims[len(dims)-1], Layers: layers}
+}
+
+func TestNonPipelinedHandComputed(t *testing.T) {
+	// One layer: 8 ops × 100 seq at t_MAC = 2 ns → work per unit pass =
+	// 200 ns. Deadline 400 ns → need ⌈8/h⌉·200 ≤ 400 → h = 4.
+	m := model(100, 8)
+	r, err := NonPipelined(m, 400*time.Nanosecond, mac.NanGate45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible || r.MACHW != 4 {
+		t.Errorf("result = %+v, want 4 units", r)
+	}
+	// Power = 4 × 0.05 mW.
+	if got := r.Power.Milliwatts(); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("power = %v mW, want 0.2", got)
+	}
+}
+
+func TestNonPipelinedInfeasible(t *testing.T) {
+	// MAC_seq alone exceeds the deadline: 100 seq × 2 ns = 200 ns > 100 ns
+	// even with one unit per op.
+	m := model(100, 8)
+	r, err := NonPipelined(m, 100*time.Nanosecond, mac.NanGate45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Feasible {
+		t.Errorf("expected infeasible, got %+v", r)
+	}
+}
+
+func TestPipelinedHandComputed(t *testing.T) {
+	// Two layers: L1 = 16 ops × 50 seq, L2 = 4 ops × 100 seq, t_MAC = 2 ns,
+	// deadline 400 ns.
+	// L1: ⌈16/h⌉·100 ≤ 400 → h₁ = 4. L2: ⌈4/h⌉·200 ≤ 400 → h₂ = 2.
+	m := dnnmodel.Model{Name: "t", Channels: 50, Alpha: 1, Labels: 4, Layers: []dnnmodel.LayerSpec{
+		{Kind: dnnmodel.DenseKind, In: 50, Out: 16},
+		{Kind: dnnmodel.DenseKind, In: 100, Out: 4},
+	}}
+	r, err := Pipelined(m, 400*time.Nanosecond, mac.NanGate45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible || r.MACHW != 6 {
+		t.Fatalf("result = %+v, want 6 units", r)
+	}
+	if len(r.PerLayer) != 2 || r.PerLayer[0] != 4 || r.PerLayer[1] != 2 {
+		t.Errorf("per-layer = %v, want [4 2]", r.PerLayer)
+	}
+}
+
+func TestBestPicksCheaper(t *testing.T) {
+	m := model(256, 64, 40)
+	deadline := DeadlineFor(units.Kilohertz(8))
+	np, err := NonPipelined(m, deadline, mac.NanGate45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Pipelined(m, deadline, mac.NanGate45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := Best(m, deadline, mac.NanGate45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := np.MACHW
+	if pl.Feasible && (!np.Feasible || pl.MACHW < np.MACHW) {
+		want = pl.MACHW
+	}
+	if !best.Feasible || best.MACHW != want {
+		t.Errorf("best = %+v, np = %+v, pl = %+v", best, np, pl)
+	}
+}
+
+func TestSolverRespectsWorkFloorProperty(t *testing.T) {
+	// No feasible schedule may beat the work-density floor, and the found
+	// minimum must be genuinely minimal (h−1 must fail).
+	f := func(inRaw, outRaw, fRaw uint16) bool {
+		in := int(inRaw%500) + 1
+		out := int(outRaw%500) + 1
+		freq := float64(fRaw%30000) + 1000
+		m := model(in, out, 40)
+		deadline := DeadlineFor(units.Hertz(freq))
+		r, err := NonPipelined(m, deadline, mac.NanGate45)
+		if err != nil {
+			return false
+		}
+		if !r.Feasible {
+			return true
+		}
+		if r.MACHW < MinMACsFloor(m, deadline, mac.NanGate45) {
+			return false
+		}
+		if r.MACHW > 1 {
+			// h−1 must be insufficient: recompute the total time.
+			var total time.Duration
+			for _, l := range m.Layers {
+				total += layerTime(l, r.MACHW-1, mac.NanGate45.TMAC)
+			}
+			if total <= deadline {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeadlineMonotoneProperty(t *testing.T) {
+	// A longer deadline never needs more units.
+	m := model(512, 128, 40)
+	f := func(a, b uint16) bool {
+		d1 := time.Duration(int(a%1000)+50) * time.Microsecond
+		d2 := d1 + time.Duration(int(b%1000))*time.Microsecond
+		r1, err1 := Best(m, d1, mac.NanGate45)
+		r2, err2 := Best(m, d2, mac.NanGate45)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if !r1.Feasible {
+			return true
+		}
+		return r2.Feasible && r2.MACHW <= r1.MACHW
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTechnologyScalingReducesPower(t *testing.T) {
+	// Section 6.2: moving from 45 nm to 12 nm must cut the power floor.
+	m, err := dnnmodel.MLP().Scale(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := DeadlineFor(units.Kilohertz(8))
+	r45, err := Best(m, deadline, mac.NanGate45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r12, err := Best(m, deadline, mac.Node12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r45.Feasible || !r12.Feasible {
+		t.Fatalf("expected both nodes feasible: %+v / %+v", r45, r12)
+	}
+	if r12.Power.Watts() >= r45.Power.Watts() {
+		t.Errorf("12 nm power %v not below 45 nm %v", r12.Power, r45.Power)
+	}
+	// 12 nm is also faster, so it needs no more units.
+	if r12.MACHW > r45.MACHW {
+		t.Errorf("12 nm units %d > 45 nm %d", r12.MACHW, r45.MACHW)
+	}
+}
+
+func TestPaperScaleMagnitudes(t *testing.T) {
+	// Calibration guard for Fig. 10: the MLP at 1024 channels on a
+	// BISC-like SoC (f = 8 kHz, 45 nm) must land in the tens-of-mW
+	// regime — large enough to pressure budgets, small enough that the
+	// roomiest SoCs can host it.
+	m, err := dnnmodel.MLP().Scale(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Best(m, DeadlineFor(units.Kilohertz(8)), mac.NanGate45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible {
+		t.Fatal("MLP@1024 must be schedulable")
+	}
+	if mw := r.Power.Milliwatts(); mw < 5 || mw > 80 {
+		t.Errorf("MLP@1024 power floor = %v mW, want 5–80 mW", mw)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	m := model(10, 5)
+	if _, err := NonPipelined(m, 0, mac.NanGate45); err == nil {
+		t.Errorf("zero deadline should fail")
+	}
+	if _, err := Pipelined(m, -time.Second, mac.NanGate45); err == nil {
+		t.Errorf("negative deadline should fail")
+	}
+	if _, err := Best(dnnmodel.Model{}, time.Second, mac.NanGate45); err == nil {
+		t.Errorf("empty model should fail")
+	}
+	if _, err := NonPipelined(m, time.Second, mac.TechNode{Name: "broken"}); err == nil {
+		t.Errorf("node without timing should fail")
+	}
+}
+
+func TestBestBothInfeasible(t *testing.T) {
+	m := model(100000, 1)
+	r, err := Best(m, time.Nanosecond, mac.NanGate45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Feasible {
+		t.Errorf("expected infeasible")
+	}
+}
+
+func TestDeadlineFor(t *testing.T) {
+	if got := DeadlineFor(units.Kilohertz(8)); got != 125*time.Microsecond {
+		t.Errorf("deadline = %v, want 125µs", got)
+	}
+}

@@ -1,0 +1,76 @@
+package soc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Roadmap is the neural-interface scaling law the paper builds on: channel
+// counts double roughly every seven years (Stevenson & Kording, the
+// paper's reference [113]). It converts between calendar years and channel
+// counts so design-space results ("feasible up to 1833 channels") can be
+// read as time horizons ("mid-2030s").
+type Roadmap struct {
+	// BaseYear anchors the law at BaseChannels.
+	BaseYear int
+	// BaseChannels is the standard at BaseYear.
+	BaseChannels int
+	// DoublingYears is the doubling period.
+	DoublingYears float64
+}
+
+// DefaultRoadmap anchors 1024 channels at 2025 with the paper's
+// seven-year doubling.
+func DefaultRoadmap() Roadmap {
+	return Roadmap{BaseYear: 2025, BaseChannels: StandardChannels, DoublingYears: 7}
+}
+
+// Validate checks the law's parameters.
+func (r Roadmap) Validate() error {
+	if r.BaseChannels <= 0 {
+		return fmt.Errorf("soc: roadmap base channels %d must be positive", r.BaseChannels)
+	}
+	if r.DoublingYears <= 0 {
+		return fmt.Errorf("soc: roadmap doubling period %g must be positive", r.DoublingYears)
+	}
+	return nil
+}
+
+// ChannelsAt projects the channel standard in a given year.
+func (r Roadmap) ChannelsAt(year int) (int, error) {
+	if err := r.Validate(); err != nil {
+		return 0, err
+	}
+	exp := float64(year-r.BaseYear) / r.DoublingYears
+	n := float64(r.BaseChannels) * math.Pow(2, exp)
+	if n < 1 {
+		return 1, nil
+	}
+	if n > math.MaxInt32 {
+		return 0, fmt.Errorf("soc: projection overflows at year %d", year)
+	}
+	return int(math.Round(n)), nil
+}
+
+// YearFor returns the (possibly fractional) year at which the standard
+// reaches n channels.
+func (r Roadmap) YearFor(n int) (float64, error) {
+	if err := r.Validate(); err != nil {
+		return 0, err
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("soc: channel count %d must be positive", n)
+	}
+	return float64(r.BaseYear) + r.DoublingYears*math.Log2(float64(n)/float64(r.BaseChannels)), nil
+}
+
+// Horizon translates a feasibility limit into a time budget: how many
+// years after BaseYear the standard overtakes maxChannels. Zero or
+// negative means the limit is already behind the standard.
+func (r Roadmap) Horizon(maxChannels int) (float64, error) {
+	y, err := r.YearFor(maxChannels)
+	if err != nil {
+		return 0, err
+	}
+	return y - float64(r.BaseYear), nil
+}

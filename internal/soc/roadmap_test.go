@@ -1,0 +1,105 @@
+package soc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoadmapDoubling(t *testing.T) {
+	r := DefaultRoadmap()
+	// One doubling period after the anchor: 2048 channels.
+	n, err := r.ChannelsAt(2032)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2048 {
+		t.Errorf("channels at 2032 = %d, want 2048", n)
+	}
+	// Three periods: 8192 in 2046 — the top of the paper's sweeps.
+	n, err = r.ChannelsAt(2046)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8192 {
+		t.Errorf("channels at 2046 = %d, want 8192", n)
+	}
+	// Backwards too: 512 channels seven years before the anchor.
+	n, err = r.ChannelsAt(2018)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 512 {
+		t.Errorf("channels at 2018 = %d, want 512", n)
+	}
+}
+
+func TestRoadmapYearFor(t *testing.T) {
+	r := DefaultRoadmap()
+	y, err := r.YearFor(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y-2032) > 1e-9 {
+		t.Errorf("year for 2048 = %v, want 2032", y)
+	}
+	// The MLP crossover (≈1833 channels) lands in the early 2030s: the
+	// paper's "short-term goal" framing in calendar form.
+	y, err = r.YearFor(1833)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y < 2030 || y > 2032 {
+		t.Errorf("year for the MLP crossover = %v, want early 2030s", y)
+	}
+	h, err := r.Horizon(1833)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-(y-2025)) > 1e-12 {
+		t.Errorf("horizon inconsistent with YearFor")
+	}
+}
+
+func TestRoadmapRoundTripProperty(t *testing.T) {
+	r := DefaultRoadmap()
+	f := func(raw uint16) bool {
+		n := int(raw)%100000 + 64
+		y, err := r.YearFor(n)
+		if err != nil {
+			return false
+		}
+		back, err := r.ChannelsAt(int(math.Round(y)))
+		if err != nil {
+			return false
+		}
+		// Rounding the year loses up to half a year: allow the matching
+		// channel drift (2^(0.5/7) ≈ 5%).
+		return math.Abs(float64(back-n)) <= 0.06*float64(n)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoadmapValidation(t *testing.T) {
+	bad := Roadmap{BaseYear: 2025, BaseChannels: 0, DoublingYears: 7}
+	if _, err := bad.ChannelsAt(2030); err == nil {
+		t.Errorf("zero base channels should fail")
+	}
+	bad = Roadmap{BaseYear: 2025, BaseChannels: 1024, DoublingYears: 0}
+	if _, err := bad.YearFor(2048); err == nil {
+		t.Errorf("zero doubling period should fail")
+	}
+	r := DefaultRoadmap()
+	if _, err := r.YearFor(0); err == nil {
+		t.Errorf("zero channels should fail")
+	}
+	if _, err := r.ChannelsAt(2500); err == nil {
+		t.Errorf("absurd projection should overflow-guard")
+	}
+	// Far past clamps to one channel.
+	if n, err := r.ChannelsAt(1800); err != nil || n != 1 {
+		t.Errorf("deep past = %d, %v", n, err)
+	}
+}

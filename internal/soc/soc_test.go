@@ -1,0 +1,271 @@
+package soc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mindful/internal/units"
+)
+
+func TestTable1Shape(t *testing.T) {
+	designs := Table1()
+	if len(designs) != 11 {
+		t.Fatalf("Table 1 has %d designs, want 11", len(designs))
+	}
+	for i, d := range designs {
+		if d.Num != i+1 {
+			t.Errorf("design %d numbered %d", i, d.Num)
+		}
+		if d.Channels <= 0 || d.Area <= 0 || d.Density <= 0 || d.SampleRate <= 0 {
+			t.Errorf("%s has degenerate parameters", d)
+		}
+		if d.SensingAreaFrac != 0.4 || d.SensingPowerFrac != 0.5 {
+			t.Errorf("%s default split not applied", d)
+		}
+	}
+	if n := len(WirelessDesigns()); n != 8 {
+		t.Errorf("wireless designs = %d, want 8 (SoCs 1–8)", n)
+	}
+	if _, ok := ByNum(3); !ok {
+		t.Errorf("ByNum(3) failed")
+	}
+	if _, ok := ByNum(12); ok {
+		t.Errorf("ByNum(12) should fail")
+	}
+}
+
+func TestKnownPowers(t *testing.T) {
+	// BISC: 27 mW/cm² × 1.44 cm² = 38.88 mW.
+	bisc, _ := ByNum(1)
+	if got := bisc.Power().Milliwatts(); math.Abs(got-38.88) > 1e-9 {
+		t.Errorf("BISC power = %v mW, want 38.88", got)
+	}
+	// HALO: 1500 mW/cm² × 0.01 cm² = 15 mW (the published HALO power).
+	halo, _ := ByNum(8)
+	if got := halo.Power().Milliwatts(); math.Abs(got-15) > 1e-9 {
+		t.Errorf("HALO power = %v mW, want 15", got)
+	}
+}
+
+func TestEq1PaperCrossChecks(t *testing.T) {
+	// The two derived statements in Section 4.1 that pin down the Eq. (1)
+	// interpretation.
+	muller, _ := ByNum(5)
+	p := muller.ScaleEq1(1024)
+	if got := p.Density().MWPerCM2(); math.Abs(got-10) > 0.01 {
+		t.Errorf("Muller Eq.1 density = %v, paper says ≈10 mW/cm²", got)
+	}
+	wim, _ := ByNum(7)
+	w := wim.ScaleEq1(1024)
+	w.Area /= 2
+	if got := w.Density().MWPerCM2(); math.Abs(got-30.4) > 0.1 {
+		t.Errorf("WIMAGINE 2×-cut density = %v, paper says 30 mW/cm²", got)
+	}
+	if got := w.ChannelSpacing(); math.Abs(got-1.96e-3) > 0.02e-3 {
+		t.Errorf("WIMAGINE spacing = %v m, paper says ≈2 mm", got)
+	}
+}
+
+func TestScaleTo1024SpecialCases(t *testing.T) {
+	muller, _ := ByNum(5)
+	mp := muller.ScaleTo1024()
+	if got := mp.Density().MWPerCM2(); math.Abs(got-20) > 0.01 {
+		t.Errorf("Muller final density = %v, want 20 (paper)", got)
+	}
+	wim, _ := ByNum(7)
+	wp := wim.ScaleTo1024()
+	// 50× reduction on the 2×-cut design: area 78.4 mm², density preserved.
+	if got := wp.Area.MM2(); math.Abs(got-78.4) > 0.1 {
+		t.Errorf("WIMAGINE* area = %v mm², want 78.4", got)
+	}
+	if got := wp.Density().MWPerCM2(); math.Abs(got-30.4) > 0.1 {
+		t.Errorf("WIMAGINE* density = %v, want ≈30", got)
+	}
+	// Spacing lands near the paper's "realistic ~200 µm" target.
+	if sp := wp.ChannelSpacing(); sp < 150e-6 || sp > 350e-6 {
+		t.Errorf("WIMAGINE* spacing = %v m, want ≈200–300 µm", sp)
+	}
+	// Neuropixels scales linearly: density unchanged.
+	npx, _ := ByNum(9)
+	np := npx.ScaleTo1024()
+	if got := np.Density().MWPerCM2(); math.Abs(got-21) > 1e-9 {
+		t.Errorf("Neuropixels density = %v, want 21 (linear scaling)", got)
+	}
+	if got := np.Area.MM2(); math.Abs(got-22.0*1024/384) > 1e-9 {
+		t.Errorf("Neuropixels area = %v", got)
+	}
+	// Identity for designs already at 1024.
+	bisc, _ := ByNum(1)
+	bp := bisc.ScaleTo1024()
+	if bp.Area != bisc.Area || math.Abs(bp.Power.Watts()-bisc.Power().Watts()) > 1e-15 {
+		t.Errorf("BISC should scale to itself")
+	}
+}
+
+func TestFig4AllScaledDesignsSafe(t *testing.T) {
+	// Fig. 4's headline: every design scaled to 1024 channels sits within
+	// the 40 mW/cm² power budget.
+	for _, d := range Table1() {
+		p := d.ScaleTo1024()
+		if !p.Safe() {
+			t.Errorf("%s scaled point unsafe: %v over %v (%v)", d, p.Power, p.Area, p.Density())
+		}
+		if p.Channels != 1024 {
+			t.Errorf("%s scaled to %d channels", d, p.Channels)
+		}
+	}
+	// And raw HALO (without the * adjustment) must violate the budget —
+	// the reason the paper introduces HALO*.
+	halo, _ := ByNum(8)
+	if halo.ScaleEq1(1024).Safe() {
+		t.Errorf("unmodified HALO should exceed the budget")
+	}
+}
+
+func TestBaselineSplit(t *testing.T) {
+	bisc, _ := ByNum(1)
+	b := bisc.Baseline()
+	if math.Abs(b.SensingPower.Watts()+b.NonSensingPower.Watts()-b.At1024.Power.Watts()) > 1e-15 {
+		t.Errorf("power split does not sum")
+	}
+	if math.Abs(b.SensingArea.M2()+b.NonSensingArea.M2()-b.At1024.Area.M2()) > 1e-18 {
+		t.Errorf("area split does not sum")
+	}
+	// Eq. 5 linearity.
+	if got := b.SensingPowerAt(2048).Watts(); math.Abs(got-2*b.SensingPower.Watts()) > 1e-15 {
+		t.Errorf("sensing power not linear")
+	}
+	if got := b.SensingAreaAt(512).M2(); math.Abs(got-b.SensingArea.M2()/2) > 1e-18 {
+		t.Errorf("sensing area not linear")
+	}
+}
+
+func TestSensingThroughput(t *testing.T) {
+	bisc, _ := ByNum(1)
+	b := bisc.Baseline()
+	// 1024 ch × 10 b × 8 kHz = 81.92 Mbps (the paper's worked example).
+	if got := b.SensingThroughputAt(1024).Mbps(); math.Abs(got-81.92) > 1e-9 {
+		t.Errorf("T_sensing = %v Mbps, want 81.92", got)
+	}
+}
+
+func TestEnergyPerBitCalibration(t *testing.T) {
+	// BISC: non-sensing power 19.44 mW over 81.92 Mbps ≈ 237 pJ/b —
+	// the right order for published implant transceivers (tens to
+	// hundreds of pJ/b).
+	bisc, _ := ByNum(1)
+	eb := bisc.Baseline().EnergyPerBit()
+	if pj := eb.Picojoules(); pj < 20 || pj > 2000 {
+		t.Errorf("BISC implied Eb = %v pJ/b, want 20–2000", pj)
+	}
+}
+
+func TestNaiveDesignConstantMargin(t *testing.T) {
+	// Fig. 5 left: P_SoC/P_budget is constant in n for the naive design.
+	for _, d := range WirelessDesigns() {
+		b := d.Baseline()
+		base := b.Naive(1024)
+		r0 := base.Power.Watts() / base.Budget().Watts()
+		for _, n := range []int{2048, 4096, 8192} {
+			p := b.Naive(n)
+			r := p.Power.Watts() / p.Budget().Watts()
+			if math.Abs(r-r0) > 1e-9 {
+				t.Errorf("%s naive ratio drifts: %v vs %v at n=%d", d, r, r0, n)
+			}
+		}
+	}
+}
+
+func TestHighMarginEventuallyExceedsBudget(t *testing.T) {
+	// Fig. 5 right: the high-margin design crosses the budget for every
+	// SoC at some channel count.
+	for _, d := range WirelessDesigns() {
+		b := d.Baseline()
+		crossed := false
+		for n := 1024; n <= 1<<26; n *= 2 {
+			p := b.HighMargin(n)
+			if p.Power.Watts() > p.Budget().Watts() {
+				crossed = true
+				break
+			}
+		}
+		if !crossed {
+			t.Errorf("%s high-margin never exceeds budget", d)
+		}
+	}
+}
+
+func TestSensingFractionTrends(t *testing.T) {
+	// Fig. 6: naive fraction flat; high-margin fraction rises toward 1.
+	for _, d := range WirelessDesigns() {
+		b := d.Baseline()
+		if got := b.SensingFractionNaive(8192); got != b.Design.SensingAreaFrac {
+			t.Errorf("%s naive fraction = %v", d, got)
+		}
+		prev := 0.0
+		for _, n := range []int{1024, 2048, 4096, 8192} {
+			f := b.SensingFractionHighMargin(n)
+			if f <= prev {
+				t.Errorf("%s high-margin fraction not increasing at %d", d, n)
+			}
+			prev = f
+		}
+		if prev <= b.Design.SensingAreaFrac {
+			t.Errorf("%s high-margin fraction should exceed the flat naive value", d)
+		}
+		// Limit is 1 (Eq. 4).
+		if f := b.SensingFractionHighMargin(1 << 26); f < 0.99 {
+			t.Errorf("%s fraction limit = %v, want → 1", d, f)
+		}
+	}
+}
+
+func TestScalingMonotoneProperty(t *testing.T) {
+	bisc, _ := ByNum(1)
+	b := bisc.Baseline()
+	f := func(aRaw, bRaw uint16) bool {
+		n1 := int(aRaw)%16384 + 1024
+		n2 := n1 + int(bRaw)%16384
+		for _, pair := range [][2]Point{
+			{b.Naive(n1), b.Naive(n2)},
+			{b.HighMargin(n1), b.HighMargin(n2)},
+		} {
+			if pair[1].Power < pair[0].Power || pair[1].Area < pair[0].Area {
+				return false
+			}
+		}
+		return b.BudgetAt(n2) >= b.BudgetAt(n1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComputeCentricAreaAndBudget(t *testing.T) {
+	bisc, _ := ByNum(1)
+	b := bisc.Baseline()
+	// At 1024 the compute-centric area equals the full scaled area.
+	if got := b.ComputeCentricArea(1024).MM2(); math.Abs(got-144) > 1e-9 {
+		t.Errorf("area at 1024 = %v mm²", got)
+	}
+	// At 2048: sensing doubles (57.6→115.2 mm²), non-sensing fixed
+	// (86.4 mm²) → 201.6 mm².
+	if got := b.ComputeCentricArea(2048).MM2(); math.Abs(got-201.6) > 1e-9 {
+		t.Errorf("area at 2048 = %v mm²", got)
+	}
+	if got := b.BudgetAt(2048).Milliwatts(); math.Abs(got-0.4*201.6) > 1e-9 {
+		t.Errorf("budget at 2048 = %v mW", got)
+	}
+}
+
+func TestChannelSpacing(t *testing.T) {
+	p := Point{Channels: 1024, Area: units.SquareMillimetres(144)}
+	// 144 mm² over 1024 channels → 375 µm pitch.
+	if got := p.ChannelSpacing(); math.Abs(got-375e-6) > 1e-9 {
+		t.Errorf("spacing = %v", got)
+	}
+	if !math.IsNaN((Point{}).ChannelSpacing()) {
+		t.Errorf("zero-channel spacing should be NaN")
+	}
+}

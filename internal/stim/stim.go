@@ -1,0 +1,208 @@
+// Package stim models the stimulation side of a closed-loop BCI — the
+// extension the paper's Section 7 plans ("we plan to extend this work to
+// accommodate closed-loop BCIs"). Stimulation brings its own safety
+// envelope, independent of the thermal budget: electrode damage is bounded
+// by the Shannon charge-density criterion
+//
+//	log₁₀(D) ≤ k − log₁₀(Q)
+//
+// with D the charge density per phase (µC/cm²), Q the charge per phase
+// (µC), and k ≈ 1.85 the accepted safety constant. The package provides
+// charge-balanced biphasic pulse trains, the Shannon check, and the power
+// cost of a stimulation schedule, so a closed-loop implant can be budgeted
+// end to end.
+package stim
+
+import (
+	"fmt"
+	"math"
+
+	"mindful/internal/units"
+)
+
+// ShannonK is the conventional safety constant of the Shannon criterion.
+const ShannonK = 1.85
+
+// Pulse is one symmetric, charge-balanced biphasic current pulse.
+type Pulse struct {
+	// AmplitudeA is the phase current in amperes.
+	AmplitudeA float64
+	// PhaseS is the duration of each phase in seconds.
+	PhaseS float64
+	// GapS is the interphase gap in seconds.
+	GapS float64
+}
+
+// Validate checks the pulse shape.
+func (p Pulse) Validate() error {
+	if p.AmplitudeA <= 0 {
+		return fmt.Errorf("stim: non-positive amplitude %g", p.AmplitudeA)
+	}
+	if p.PhaseS <= 0 {
+		return fmt.Errorf("stim: non-positive phase width %g", p.PhaseS)
+	}
+	if p.GapS < 0 {
+		return fmt.Errorf("stim: negative interphase gap")
+	}
+	return nil
+}
+
+// ChargePerPhase returns Q in coulombs.
+func (p Pulse) ChargePerPhase() float64 { return p.AmplitudeA * p.PhaseS }
+
+// Duration returns the full pulse duration (two phases plus gap).
+func (p Pulse) Duration() float64 { return 2*p.PhaseS + p.GapS }
+
+// TypicalPulse returns a representative cortical microstimulation pulse:
+// 50 µA, 200 µs per phase, 50 µs gap.
+func TypicalPulse() Pulse {
+	return Pulse{AmplitudeA: 50e-6, PhaseS: 200e-6, GapS: 50e-6}
+}
+
+// Electrode is a stimulating site.
+type Electrode struct {
+	// Area is the geometric surface area.
+	Area units.Area
+	// AccessOhms is the access resistance the stimulator drives.
+	AccessOhms float64
+}
+
+// TypicalMicroelectrode returns a 2000 µm² site with 50 kΩ access
+// resistance.
+func TypicalMicroelectrode() Electrode {
+	return Electrode{Area: units.SquareMicrometres(2000), AccessOhms: 50e3}
+}
+
+// Validate checks the electrode.
+func (e Electrode) Validate() error {
+	if e.Area <= 0 {
+		return fmt.Errorf("stim: non-positive electrode area")
+	}
+	if e.AccessOhms <= 0 {
+		return fmt.Errorf("stim: non-positive access resistance")
+	}
+	return nil
+}
+
+// ShannonCheck is the result of a charge-safety evaluation.
+type ShannonCheck struct {
+	// ChargeUC is the charge per phase in µC.
+	ChargeUC float64
+	// DensityUCCM2 is the charge density per phase in µC/cm².
+	DensityUCCM2 float64
+	// K is log₁₀(D) + log₁₀(Q): safe while K ≤ ShannonK.
+	K float64
+}
+
+// Safe reports whether the point respects the Shannon criterion.
+func (c ShannonCheck) Safe() bool { return c.K <= ShannonK }
+
+// String summarizes the check.
+func (c ShannonCheck) String() string {
+	verdict := "SAFE"
+	if !c.Safe() {
+		verdict = "UNSAFE"
+	}
+	return fmt.Sprintf("%s: Q=%.3g µC, D=%.3g µC/cm², k=%.2f (limit %.2f)",
+		verdict, c.ChargeUC, c.DensityUCCM2, c.K, ShannonK)
+}
+
+// CheckShannon evaluates a pulse on an electrode against the Shannon
+// criterion.
+func CheckShannon(p Pulse, e Electrode) (ShannonCheck, error) {
+	if err := p.Validate(); err != nil {
+		return ShannonCheck{}, err
+	}
+	if err := e.Validate(); err != nil {
+		return ShannonCheck{}, err
+	}
+	qUC := p.ChargePerPhase() * 1e6
+	dUC := qUC / e.Area.CM2()
+	return ShannonCheck{
+		ChargeUC:     qUC,
+		DensityUCCM2: dUC,
+		K:            math.Log10(dUC) + math.Log10(qUC),
+	}, nil
+}
+
+// MaxSafeAmplitude returns the largest phase current for which the pulse
+// stays Shannon-safe on the electrode (holding the phase width).
+func MaxSafeAmplitude(p Pulse, e Electrode) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if err := e.Validate(); err != nil {
+		return 0, err
+	}
+	// k = log(Q²/A) with A in cm²; Q_max = √(10^k · A).
+	qMax := math.Sqrt(math.Pow(10, ShannonK) * e.Area.CM2()) // µC
+	return qMax * 1e-6 / p.PhaseS, nil
+}
+
+// Schedule is a stimulation pattern: a pulse train at a repetition rate on
+// some number of simultaneously driven electrodes.
+type Schedule struct {
+	Pulse Pulse
+	// RateHz is the per-electrode pulse repetition rate.
+	RateHz float64
+	// Electrodes is the number of sites driven concurrently.
+	Electrodes int
+	// ComplianceV is the stimulator supply (compliance) voltage; the
+	// stimulator burns V·I during each phase regardless of the electrode
+	// drop — the standard current-source cost model.
+	ComplianceV float64
+}
+
+// TypicalSchedule returns 16 electrodes at 100 Hz with the typical pulse
+// and a 5 V compliance rail.
+func TypicalSchedule() Schedule {
+	return Schedule{Pulse: TypicalPulse(), RateHz: 100, Electrodes: 16, ComplianceV: 5}
+}
+
+// Validate checks the schedule.
+func (s Schedule) Validate() error {
+	if err := s.Pulse.Validate(); err != nil {
+		return err
+	}
+	if s.RateHz <= 0 {
+		return fmt.Errorf("stim: non-positive pulse rate")
+	}
+	if s.Pulse.Duration()*s.RateHz > 1 {
+		return fmt.Errorf("stim: pulses overlap at %g Hz", s.RateHz)
+	}
+	if s.Electrodes <= 0 {
+		return fmt.Errorf("stim: non-positive electrode count")
+	}
+	if s.ComplianceV <= 0 {
+		return fmt.Errorf("stim: non-positive compliance voltage")
+	}
+	return nil
+}
+
+// DutyCycle returns the fraction of time each electrode is driven.
+func (s Schedule) DutyCycle() float64 { return 2 * s.Pulse.PhaseS * s.RateHz }
+
+// AveragePower returns the stimulator's average power draw: compliance
+// voltage × amplitude × duty cycle × electrodes. This power dissipates on
+// the implant and counts against the same 40 mW/cm² budget as everything
+// else.
+func (s Schedule) AveragePower() (units.Power, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	perElectrode := s.ComplianceV * s.Pulse.AmplitudeA * s.DutyCycle()
+	return units.Power(perElectrode * float64(s.Electrodes)), nil
+}
+
+// BudgetShare returns the fraction of an implant's thermal budget the
+// schedule consumes, given the implant's total power budget.
+func (s Schedule) BudgetShare(budget units.Power) (float64, error) {
+	p, err := s.AveragePower()
+	if err != nil {
+		return 0, err
+	}
+	if budget <= 0 {
+		return 0, fmt.Errorf("stim: non-positive budget")
+	}
+	return p.Watts() / budget.Watts(), nil
+}

@@ -1,0 +1,173 @@
+package stim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mindful/internal/thermal"
+	"mindful/internal/units"
+)
+
+func TestPulseBasics(t *testing.T) {
+	p := TypicalPulse()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Q = 50 µA × 200 µs = 10 nC = 0.01 µC.
+	if got := p.ChargePerPhase(); math.Abs(got-10e-9) > 1e-15 {
+		t.Errorf("charge = %v, want 10 nC", got)
+	}
+	if got := p.Duration(); math.Abs(got-450e-6) > 1e-12 {
+		t.Errorf("duration = %v, want 450 µs", got)
+	}
+	bad := []Pulse{
+		{AmplitudeA: 0, PhaseS: 1e-4},
+		{AmplitudeA: 1e-5, PhaseS: 0},
+		{AmplitudeA: 1e-5, PhaseS: 1e-4, GapS: -1},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("pulse %d should fail", i)
+		}
+	}
+}
+
+func TestShannonCheckTypicalIsSafe(t *testing.T) {
+	// 0.01 µC over 2000 µm² (2e-5 cm²) → D = 500 µC/cm²;
+	// k = log10(500) + log10(0.01) = 2.7 − 2 = 0.7 ≤ 1.85 → safe.
+	c, err := CheckShannon(TypicalPulse(), TypicalMicroelectrode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Safe() {
+		t.Errorf("typical microstimulation should be Shannon-safe: %v", c)
+	}
+	if math.Abs(c.ChargeUC-0.01) > 1e-12 {
+		t.Errorf("Q = %v µC", c.ChargeUC)
+	}
+	if math.Abs(c.DensityUCCM2-500) > 1e-6 {
+		t.Errorf("D = %v µC/cm²", c.DensityUCCM2)
+	}
+	if math.Abs(c.K-0.69897) > 1e-4 {
+		t.Errorf("k = %v", c.K)
+	}
+}
+
+func TestShannonCheckOverdriveIsUnsafe(t *testing.T) {
+	p := TypicalPulse()
+	p.AmplitudeA = 5e-3 // 100× the typical current
+	c, err := CheckShannon(p, TypicalMicroelectrode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Safe() {
+		t.Errorf("100× overdrive should violate Shannon: %v", c)
+	}
+}
+
+func TestMaxSafeAmplitudeSelfConsistent(t *testing.T) {
+	p := TypicalPulse()
+	e := TypicalMicroelectrode()
+	iMax, err := MaxSafeAmplitude(p, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iMax <= p.AmplitudeA {
+		t.Fatalf("typical pulse should be below the limit: %v", iMax)
+	}
+	// At the limit, k equals ShannonK.
+	p.AmplitudeA = iMax
+	c, err := CheckShannon(p, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.K-ShannonK) > 1e-9 {
+		t.Errorf("k at the limit = %v, want %v", c.K, ShannonK)
+	}
+	// Just above it fails.
+	p.AmplitudeA = iMax * 1.01
+	c, _ = CheckShannon(p, e)
+	if c.Safe() {
+		t.Errorf("1%% above the limit should be unsafe")
+	}
+}
+
+func TestLargerElectrodeAllowsMoreChargeProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		a1 := 500 + math.Abs(math.Mod(a, 5000))
+		a2 := a1 + math.Abs(math.Mod(b, 5000)) + 1
+		e1 := Electrode{Area: units.SquareMicrometres(a1), AccessOhms: 50e3}
+		e2 := Electrode{Area: units.SquareMicrometres(a2), AccessOhms: 50e3}
+		p := TypicalPulse()
+		i1, err1 := MaxSafeAmplitude(p, e1)
+		i2, err2 := MaxSafeAmplitude(p, e2)
+		return err1 == nil && err2 == nil && i2 > i1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchedulePower(t *testing.T) {
+	s := TypicalSchedule()
+	// Duty = 2 × 200 µs × 100 Hz = 4%; per electrode 5 V × 50 µA × 0.04
+	// = 10 µW; ×16 = 160 µW.
+	p, err := s.AveragePower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Microwatts(); math.Abs(got-160) > 1e-9 {
+		t.Errorf("schedule power = %v µW, want 160", got)
+	}
+	if got := s.DutyCycle(); math.Abs(got-0.04) > 1e-12 {
+		t.Errorf("duty = %v", got)
+	}
+	// Against a Neuralink-sized budget (8 mW): a 2% share.
+	share, err := s.BudgetShare(thermal.Budget(units.SquareMillimetres(20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if share < 0.01 || share > 0.05 {
+		t.Errorf("budget share = %v, want ≈2%%", share)
+	}
+	if _, err := s.BudgetShare(0); err == nil {
+		t.Errorf("zero budget should fail")
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	s := TypicalSchedule()
+	s.RateHz = 0
+	if _, err := s.AveragePower(); err == nil {
+		t.Errorf("zero rate should fail")
+	}
+	s = TypicalSchedule()
+	s.RateHz = 5000 // 450 µs pulses at 5 kHz overlap
+	if _, err := s.AveragePower(); err == nil {
+		t.Errorf("overlapping pulses should fail")
+	}
+	s = TypicalSchedule()
+	s.Electrodes = 0
+	if _, err := s.AveragePower(); err == nil {
+		t.Errorf("zero electrodes should fail")
+	}
+	s = TypicalSchedule()
+	s.ComplianceV = 0
+	if _, err := s.AveragePower(); err == nil {
+		t.Errorf("zero compliance should fail")
+	}
+	e := TypicalMicroelectrode()
+	e.Area = 0
+	if _, err := CheckShannon(TypicalPulse(), e); err == nil {
+		t.Errorf("zero-area electrode should fail")
+	}
+	e = TypicalMicroelectrode()
+	e.AccessOhms = 0
+	if _, err := CheckShannon(TypicalPulse(), e); err == nil {
+		t.Errorf("zero resistance should fail")
+	}
+	if _, err := MaxSafeAmplitude(Pulse{}, TypicalMicroelectrode()); err == nil {
+		t.Errorf("invalid pulse should fail")
+	}
+}

@@ -1,0 +1,304 @@
+// Package thermal implements the safety side of the MINDFUL framework.
+//
+// The paper adopts P_d = 40 mW/cm² as the maximum safe power density for an
+// implant in contact with brain tissue (Eq. 3): the power budget of a design
+// is P_budget(n) = A_SoC(n) · 40 mW/cm². This package provides that budget
+// model, and — because the constant is ultimately a thermal statement — a
+// one-dimensional Pennes bio-heat finite-difference solver that recovers the
+// ≈1–2 °C tissue temperature rise the limit is derived from. The solver is
+// the substitute for in-vivo thermal measurements: it exercises the same
+// safety reasoning on a first-principles tissue model.
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"mindful/internal/units"
+)
+
+// SafeDensity is the paper's maximum safe implant power density,
+// 40 mW/cm² (Wolf & Reichert 2008, as cited).
+var SafeDensity = units.MilliwattsPerCM2(40)
+
+// MaxTempRise is the maximum allowed tissue temperature increase in kelvin
+// (the paper cites 1–2 °C; 2 °C is the upper limit used for checks).
+const MaxTempRise = 2.0
+
+// Budget returns the total power an implant of the given contact area may
+// dissipate while respecting SafeDensity (Eq. 3).
+func Budget(a units.Area) units.Power { return SafeDensity.Over(a) }
+
+// Check is the result of a safety evaluation for one design point.
+type Check struct {
+	Power   units.Power
+	Area    units.Area
+	Density units.PowerDensity
+	Budget  units.Power
+	// Utilization is Power / Budget; ≤ 1 means safe.
+	Utilization float64
+}
+
+// Safe reports whether the design respects the power budget.
+func (c Check) Safe() bool { return c.Utilization <= 1 }
+
+// Headroom returns the unused budget (negative when over budget).
+func (c Check) Headroom() units.Power { return c.Budget - c.Power }
+
+// String summarizes the check.
+func (c Check) String() string {
+	verdict := "SAFE"
+	if !c.Safe() {
+		verdict = "UNSAFE"
+	}
+	return fmt.Sprintf("%s: %v over %v = %v (budget %v, %.0f%%)",
+		verdict, c.Power, c.Area, c.Density, c.Budget, c.Utilization*100)
+}
+
+// Evaluate checks power p dissipated over contact area a against the
+// safety budget.
+func Evaluate(p units.Power, a units.Area) Check {
+	b := Budget(a)
+	util := math.Inf(1)
+	if b > 0 {
+		util = p.Watts() / b.Watts()
+	}
+	return Check{
+		Power:       p,
+		Area:        a,
+		Density:     units.DensityOf(p, a),
+		Budget:      b,
+		Utilization: util,
+	}
+}
+
+// Tissue holds the thermophysical parameters of perfused brain tissue used
+// by the Pennes bio-heat model.
+type Tissue struct {
+	Conductivity  float64 // k, W/(m·K)
+	Density       float64 // ρ, kg/m³
+	SpecificHeat  float64 // c, J/(kg·K)
+	BloodDensity  float64 // ρ_b, kg/m³
+	BloodHeat     float64 // c_b, J/(kg·K)
+	PerfusionRate float64 // ω_b, 1/s (volumetric blood flow per tissue volume)
+	ArterialTempC float64 // T_a, °C
+}
+
+// Brain is grey-matter tissue with the high cerebral blood flow the paper
+// notes ("one of the highest blood-flow rates in the body"): ≈50 ml per
+// 100 g per minute.
+var Brain = Tissue{
+	Conductivity:  0.5,
+	Density:       1040,
+	SpecificHeat:  3650,
+	BloodDensity:  1060,
+	BloodHeat:     3600,
+	PerfusionRate: 0.0087,
+	ArterialTempC: 37.0,
+}
+
+// PenetrationDepth returns the characteristic length L = √(k / (ρ_b·c_b·ω_b))
+// over which perfusion absorbs an excess heat flux.
+func (ts Tissue) PenetrationDepth() float64 {
+	return math.Sqrt(ts.Conductivity / (ts.BloodDensity * ts.BloodHeat * ts.PerfusionRate))
+}
+
+// Model is a 1-D Pennes bio-heat model of tissue under an implant that
+// injects a uniform heat flux at x = 0. Because heat spreads laterally in
+// silicon much faster than into tissue (the paper's uniform-dissipation
+// argument), the 1-D depth profile is the governing geometry.
+type Model struct {
+	Tissue Tissue
+	// Depth is the modeled tissue depth in metres; the far boundary is
+	// clamped at arterial temperature.
+	Depth float64
+	// Nodes is the number of finite-difference nodes (≥ 3).
+	Nodes int
+	// FluxSplit is the fraction of implant power that enters brain tissue;
+	// the remainder leaves through the dura/CSF side. A subdural implant
+	// dissipating symmetrically has FluxSplit = 0.5.
+	FluxSplit float64
+}
+
+// DefaultModel returns the model configuration used by the framework:
+// 30 mm of brain tissue, 600 nodes, symmetric flux split.
+func DefaultModel() Model {
+	return Model{Tissue: Brain, Depth: 0.030, Nodes: 600, FluxSplit: 0.5}
+}
+
+func (m Model) validate() error {
+	if m.Nodes < 3 {
+		return fmt.Errorf("thermal: need at least 3 nodes, have %d", m.Nodes)
+	}
+	if m.Depth <= 0 {
+		return fmt.Errorf("thermal: non-positive depth %g", m.Depth)
+	}
+	if m.FluxSplit < 0 || m.FluxSplit > 1 {
+		return fmt.Errorf("thermal: flux split %g outside [0,1]", m.FluxSplit)
+	}
+	return nil
+}
+
+// Profile is a steady-state temperature-rise profile: Rise[i] is the excess
+// temperature (K above arterial) at depth X[i] metres.
+type Profile struct {
+	X    []float64
+	Rise []float64
+}
+
+// SurfaceRise returns the temperature rise at the implant-tissue interface.
+func (p Profile) SurfaceRise() float64 {
+	if len(p.Rise) == 0 {
+		return 0
+	}
+	return p.Rise[0]
+}
+
+// SteadyState solves the steady Pennes equation
+//
+//	k·T'' − ρ_b·c_b·ω_b·T = 0,  −k·T'(0) = q″,  T(Depth) = 0
+//
+// for the excess temperature T (above arterial) under an implant flux
+// density q″ (the implant's power density scaled by FluxSplit). The
+// tridiagonal system is solved directly with the Thomas algorithm.
+func (m Model) SteadyState(d units.PowerDensity) (Profile, error) {
+	if err := m.validate(); err != nil {
+		return Profile{}, err
+	}
+	n := m.Nodes
+	h := m.Depth / float64(n-1)
+	k := m.Tissue.Conductivity
+	beta := m.Tissue.BloodDensity * m.Tissue.BloodHeat * m.Tissue.PerfusionRate
+	flux := d.WattsPerM2() * m.FluxSplit
+
+	// Tridiagonal coefficients: a (sub), b (diag), c (super), r (rhs).
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	r := make([]float64, n)
+
+	// Interior nodes: k·(T[i-1] − 2T[i] + T[i+1])/h² − β·T[i] = 0.
+	for i := 1; i < n-1; i++ {
+		a[i] = k / (h * h)
+		b[i] = -2*k/(h*h) - beta
+		c[i] = k / (h * h)
+	}
+	// Flux boundary at node 0 via a ghost node: T[-1] = T[1] + 2h·q″/k,
+	// substituted into the interior stencil at i = 0.
+	b[0] = -2*k/(h*h) - beta
+	c[0] = 2 * k / (h * h)
+	r[0] = -2 * flux / h
+	// Dirichlet at the far end.
+	b[n-1] = 1
+	r[n-1] = 0
+
+	rise, err := solveTridiag(a, b, c, r)
+	if err != nil {
+		return Profile{}, err
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i) * h
+	}
+	return Profile{X: xs, Rise: rise}, nil
+}
+
+// solveTridiag solves a tridiagonal system with the Thomas algorithm.
+func solveTridiag(a, b, c, r []float64) ([]float64, error) {
+	n := len(b)
+	cp := make([]float64, n)
+	rp := make([]float64, n)
+	if b[0] == 0 {
+		return nil, fmt.Errorf("thermal: singular system")
+	}
+	cp[0] = c[0] / b[0]
+	rp[0] = r[0] / b[0]
+	for i := 1; i < n; i++ {
+		den := b[i] - a[i]*cp[i-1]
+		if den == 0 {
+			return nil, fmt.Errorf("thermal: singular system at row %d", i)
+		}
+		cp[i] = c[i] / den
+		rp[i] = (r[i] - a[i]*rp[i-1]) / den
+	}
+	x := make([]float64, n)
+	x[n-1] = rp[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = rp[i] - cp[i]*x[i+1]
+	}
+	return x, nil
+}
+
+// AnalyticSurfaceRise returns the closed-form steady surface rise for a
+// semi-infinite perfused medium: ΔT(0) = q″·L/k with L the penetration
+// depth. Used to validate the numerical solver.
+func (m Model) AnalyticSurfaceRise(d units.PowerDensity) float64 {
+	l := m.Tissue.PenetrationDepth()
+	return d.WattsPerM2() * m.FluxSplit * l / m.Tissue.Conductivity
+}
+
+// Transient integrates the time-dependent Pennes equation with explicit
+// finite differences from a uniform arterial start, returning the surface
+// rise trajectory sampled every sampleEvery seconds for a total duration.
+// It is used to study warm-up behaviour after implant power-on.
+func (m Model) Transient(d units.PowerDensity, duration, sampleEvery float64) ([]float64, error) {
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	if duration <= 0 || sampleEvery <= 0 {
+		return nil, fmt.Errorf("thermal: non-positive duration or sample interval")
+	}
+	n := m.Nodes
+	h := m.Depth / float64(n-1)
+	k := m.Tissue.Conductivity
+	rhoC := m.Tissue.Density * m.Tissue.SpecificHeat
+	beta := m.Tissue.BloodDensity * m.Tissue.BloodHeat * m.Tissue.PerfusionRate
+	flux := d.WattsPerM2() * m.FluxSplit
+
+	alpha := k / rhoC
+	// CFL stability: dt ≤ h²/(2α); keep a 20% margin.
+	dt := 0.4 * h * h / alpha
+	if dt > sampleEvery {
+		dt = sampleEvery
+	}
+
+	tcur := make([]float64, n)
+	tnext := make([]float64, n)
+	var out []float64
+	elapsed, nextSample := 0.0, sampleEvery
+	for elapsed < duration {
+		// Ghost-node flux boundary at 0.
+		tm1 := tcur[1] + 2*h*flux/k
+		tnext[0] = tcur[0] + dt*(k*(tm1-2*tcur[0]+tcur[1])/(h*h)-beta*tcur[0])/rhoC
+		for i := 1; i < n-1; i++ {
+			tnext[i] = tcur[i] + dt*(k*(tcur[i-1]-2*tcur[i]+tcur[i+1])/(h*h)-beta*tcur[i])/rhoC
+		}
+		tnext[n-1] = 0
+		tcur, tnext = tnext, tcur
+		elapsed += dt
+		if elapsed >= nextSample {
+			out = append(out, tcur[0])
+			nextSample += sampleEvery
+		}
+	}
+	return out, nil
+}
+
+// MaxSafeFlux returns the largest implant power density whose steady-state
+// surface rise stays within maxRise kelvin, found by bisection on the
+// (linear) steady-state solution.
+func (m Model) MaxSafeFlux(maxRise float64) (units.PowerDensity, error) {
+	if err := m.validate(); err != nil {
+		return 0, err
+	}
+	// The steady solution is linear in flux: rise(q) = q · rise(1 W/m²).
+	p, err := m.SteadyState(units.PowerDensity(1))
+	if err != nil {
+		return 0, err
+	}
+	per := p.SurfaceRise()
+	if per <= 0 {
+		return 0, fmt.Errorf("thermal: degenerate model response")
+	}
+	return units.PowerDensity(maxRise / per), nil
+}

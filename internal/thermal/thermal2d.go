@@ -1,0 +1,256 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"mindful/internal/units"
+)
+
+// Model2D is a two-dimensional (lateral × depth) steady-state Pennes model
+// of tissue under a finite implant. It exists to test the paper's
+// uniform-dissipation argument (Section 3.2): because silicon conducts
+// heat two orders of magnitude better than tissue, on-chip hotspots wash
+// out before reaching the tissue — so the 1-D uniform-flux model is the
+// right safety abstraction. This solver lets that argument be *checked*:
+// inject a concentrated flux, toggle the silicon spreader, and compare the
+// tissue's peak temperature rise.
+type Model2D struct {
+	Tissue Tissue
+	// WidthM and DepthM bound the simulated tissue slab.
+	WidthM, DepthM float64
+	// NX and NY are the lateral and depth node counts (≥ 3 each).
+	NX, NY int
+	// ImplantWidthM is the implant footprint centered on the surface.
+	ImplantWidthM float64
+	// FluxSplit is as in Model.
+	FluxSplit float64
+	// SpreaderConductivity is the effective lateral conductivity of the
+	// implant substrate (W/(m·K)); silicon ≈ 150. Zero disables the
+	// spreader (flux enters tissue exactly where it is generated).
+	SpreaderConductivity float64
+	// SpreaderThicknessM is the substrate thickness (≈ 25–300 µm).
+	SpreaderThicknessM float64
+}
+
+// DefaultModel2D returns a 20 mm × 15 mm slab under a 8 mm implant with a
+// 25 µm silicon substrate (the paper's flexible-implant thickness).
+func DefaultModel2D() Model2D {
+	return Model2D{
+		Tissue:               Brain,
+		WidthM:               0.020,
+		DepthM:               0.015,
+		NX:                   80,
+		NY:                   60,
+		ImplantWidthM:        0.008,
+		FluxSplit:            0.5,
+		SpreaderConductivity: 150,
+		SpreaderThicknessM:   25e-6,
+	}
+}
+
+func (m Model2D) validate() error {
+	if m.NX < 3 || m.NY < 3 {
+		return fmt.Errorf("thermal: 2-D grid %d×%d too small", m.NX, m.NY)
+	}
+	if m.WidthM <= 0 || m.DepthM <= 0 {
+		return fmt.Errorf("thermal: non-positive 2-D extent")
+	}
+	if m.ImplantWidthM <= 0 || m.ImplantWidthM > m.WidthM {
+		return fmt.Errorf("thermal: implant width %g outside (0, %g]", m.ImplantWidthM, m.WidthM)
+	}
+	if m.FluxSplit < 0 || m.FluxSplit > 1 {
+		return fmt.Errorf("thermal: flux split %g outside [0,1]", m.FluxSplit)
+	}
+	if m.SpreaderConductivity < 0 || m.SpreaderThicknessM < 0 {
+		return fmt.Errorf("thermal: negative spreader parameter")
+	}
+	return nil
+}
+
+// FluxProfile describes the heat flux density entering the tissue along
+// the implant footprint: Density[i] is W/m² at footprint node i.
+type FluxProfile struct {
+	Density []float64
+}
+
+// UniformFlux returns a footprint profile with the given density
+// everywhere.
+func UniformFlux(d units.PowerDensity, nodes int) FluxProfile {
+	p := FluxProfile{Density: make([]float64, nodes)}
+	for i := range p.Density {
+		p.Density[i] = d.WattsPerM2()
+	}
+	return p
+}
+
+// HotspotFlux concentrates the total power of a uniform profile into the
+// central fraction of the footprint (e.g. 0.1 → a 10×-density stripe), the
+// worst-case non-uniform on-chip activity.
+func HotspotFlux(d units.PowerDensity, nodes int, fraction float64) FluxProfile {
+	p := FluxProfile{Density: make([]float64, nodes)}
+	hot := int(math.Max(1, math.Round(fraction*float64(nodes))))
+	start := (nodes - hot) / 2
+	boost := d.WattsPerM2() * float64(nodes) / float64(hot)
+	for i := start; i < start+hot && i < nodes; i++ {
+		p.Density[i] = boost
+	}
+	return p
+}
+
+// Result2D is a steady 2-D temperature-rise field: Rise[j][i] is the
+// excess temperature at depth row j, lateral column i.
+type Result2D struct {
+	Rise [][]float64
+	// FootprintStart and FootprintEnd are the implant's column range.
+	FootprintStart, FootprintEnd int
+}
+
+// SurfacePeak returns the hottest tissue-surface node.
+func (r Result2D) SurfacePeak() float64 {
+	peak := 0.0
+	for _, v := range r.Rise[0] {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak
+}
+
+// SurfaceUnderImplant returns the rise profile along the footprint.
+func (r Result2D) SurfaceUnderImplant() []float64 {
+	return r.Rise[0][r.FootprintStart:r.FootprintEnd]
+}
+
+// footprintNodes returns the column range covered by the implant.
+func (m Model2D) footprintNodes() (start, end int) {
+	dx := m.WidthM / float64(m.NX-1)
+	n := int(math.Round(m.ImplantWidthM / dx))
+	if n < 1 {
+		n = 1
+	}
+	start = (m.NX - n) / 2
+	return start, start + n
+}
+
+// FootprintWidthNodes returns how many columns the implant covers.
+func (m Model2D) FootprintWidthNodes() int {
+	s, e := m.footprintNodes()
+	return e - s
+}
+
+// SteadyState solves the 2-D Pennes equation by Gauss–Seidel iteration
+// with the given footprint flux profile (len must equal
+// FootprintWidthNodes). When a spreader is configured, the implant
+// substrate first diffuses the injected flux laterally (a 1-D fin
+// equation across the footprint) before it enters the tissue.
+func (m Model2D) SteadyState(flux FluxProfile) (Result2D, error) {
+	if err := m.validate(); err != nil {
+		return Result2D{}, err
+	}
+	start, end := m.footprintNodes()
+	if len(flux.Density) != end-start {
+		return Result2D{}, fmt.Errorf("thermal: flux profile %d nodes, footprint needs %d",
+			len(flux.Density), end-start)
+	}
+	applied := make([]float64, len(flux.Density))
+	copy(applied, flux.Density)
+	if m.SpreaderConductivity > 0 && m.SpreaderThicknessM > 0 {
+		applied = m.spreadFlux(applied)
+	}
+	for i := range applied {
+		applied[i] *= m.FluxSplit
+	}
+
+	dx := m.WidthM / float64(m.NX-1)
+	dy := m.DepthM / float64(m.NY-1)
+	k := m.Tissue.Conductivity
+	beta := m.Tissue.BloodDensity * m.Tissue.BloodHeat * m.Tissue.PerfusionRate
+
+	t := make([][]float64, m.NY)
+	for j := range t {
+		t[j] = make([]float64, m.NX)
+	}
+	// Gauss–Seidel sweeps; the perfusion term makes the operator strongly
+	// diagonally dominant so convergence is fast.
+	cx := k / (dx * dx)
+	cy := k / (dy * dy)
+	for iter := 0; iter < 4000; iter++ {
+		var maxDelta float64
+		for j := 0; j < m.NY-1; j++ { // far depth row stays clamped at 0
+			for i := 0; i < m.NX; i++ {
+				var sum, diag float64
+				// Lateral neighbours (insulated side walls via mirror).
+				left, right := i-1, i+1
+				if left < 0 {
+					left = 1
+				}
+				if right >= m.NX {
+					right = m.NX - 2
+				}
+				sum += cx * (t[j][left] + t[j][right])
+				diag += 2 * cx
+				// Depth neighbours.
+				if j == 0 {
+					// Surface: ghost node carries the flux where the
+					// implant sits, insulated elsewhere.
+					q := 0.0
+					if i >= start && i < end {
+						q = applied[i-start]
+					}
+					sum += cy*(2*t[j+1][i]) + 2*q/dy
+					diag += 2 * cy
+				} else {
+					sum += cy * (t[j-1][i] + t[j+1][i])
+					diag += 2 * cy
+				}
+				diag += beta
+				next := sum / diag
+				if d := math.Abs(next - t[j][i]); d > maxDelta {
+					maxDelta = d
+				}
+				t[j][i] = next
+			}
+		}
+		if maxDelta < 1e-7 {
+			break
+		}
+	}
+	return Result2D{Rise: t, FootprintStart: start, FootprintEnd: end}, nil
+}
+
+// spreadFlux diffuses the footprint flux through the substrate: a 1-D fin
+// equation k_s·t_s·T” = q_in − q_out with the tissue acting as the sink.
+// Implemented as repeated lateral smoothing whose extent matches the
+// spreader's healing length √(k_s·t_s·L_t/k_t), where L_t is the tissue
+// penetration depth.
+func (m Model2D) spreadFlux(flux []float64) []float64 {
+	lt := m.Tissue.PenetrationDepth()
+	healing := math.Sqrt(m.SpreaderConductivity * m.SpreaderThicknessM * lt / m.Tissue.Conductivity)
+	dx := m.WidthM / float64(m.NX-1)
+	// Number of three-point smoothing passes whose diffusion radius
+	// ≈ healing length: radius ≈ √(passes/2)·dx.
+	passes := int(2 * (healing / dx) * (healing / dx))
+	if passes < 1 {
+		passes = 1
+	}
+	if passes > 20000 {
+		passes = 20000
+	}
+	cur := append([]float64(nil), flux...)
+	next := make([]float64, len(cur))
+	for p := 0; p < passes; p++ {
+		for i := range cur {
+			l, r := i-1, i+1
+			if l < 0 {
+				l = 0
+			}
+			if r >= len(cur) {
+				r = len(cur) - 1
+			}
+			next[i] = 0.25*cur[l] + 0.5*cur[i] + 0.25*cur[r]
+		}
+		cur, next = next, cur
+	}
+	return cur
+}

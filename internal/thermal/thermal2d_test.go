@@ -1,0 +1,151 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"mindful/internal/units"
+)
+
+func TestModel2DUniformMatches1D(t *testing.T) {
+	// A wide implant with uniform flux should reproduce the 1-D surface
+	// rise under its center (edge effects aside).
+	m := DefaultModel2D()
+	m.ImplantWidthM = 0.016 // near-slab geometry
+	d := units.MilliwattsPerCM2(40)
+	res, err := m.SteadyState(UniformFlux(d, m.FootprintWidthNodes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	center := res.Rise[0][m.NX/2]
+	oneD := Model{Tissue: m.Tissue, Depth: m.DepthM, Nodes: m.NY, FluxSplit: m.FluxSplit}
+	p, err := oneD.SteadyState(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.SurfaceRise()
+	if math.Abs(center-want) > 0.15*want {
+		t.Errorf("2-D center rise %v vs 1-D %v (>15%% off)", center, want)
+	}
+}
+
+func TestModel2DDecaysLaterally(t *testing.T) {
+	m := DefaultModel2D()
+	res, err := m.SteadyState(UniformFlux(units.MilliwattsPerCM2(40), m.FootprintWidthNodes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	center := res.Rise[0][m.NX/2]
+	edge := res.Rise[0][0]
+	if edge >= center/2 {
+		t.Errorf("rise should decay away from the implant: center %v, slab edge %v", center, edge)
+	}
+	if center <= 0 {
+		t.Fatalf("degenerate field")
+	}
+	// Field decays with depth too.
+	if res.Rise[m.NY/2][m.NX/2] >= center {
+		t.Errorf("rise should decay with depth")
+	}
+}
+
+func TestHotspotWashedOutBySpreader(t *testing.T) {
+	// The Section 3.2 argument, quantified: concentrating the same power
+	// into 10% of the footprint raises the tissue peak sharply WITHOUT a
+	// spreader, but a 25 µm silicon substrate brings the peak back near
+	// the uniform case.
+	base := units.MilliwattsPerCM2(40)
+
+	noSpreader := DefaultModel2D()
+	noSpreader.SpreaderConductivity = 0
+	nodes := noSpreader.FootprintWidthNodes()
+
+	uniform, err := noSpreader.SteadyState(UniformFlux(base, nodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotBare, err := noSpreader.SteadyState(HotspotFlux(base, nodes, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withSpreader := DefaultModel2D()
+	hotSpread, err := withSpreader.SteadyState(HotspotFlux(base, nodes, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	uni := uniform.SurfacePeak()
+	bare := hotBare.SurfacePeak()
+	spread := hotSpread.SurfacePeak()
+	if bare < 1.5*uni {
+		t.Errorf("bare hotspot peak %v should clearly exceed uniform %v", bare, uni)
+	}
+	if spread > 1.25*uni {
+		t.Errorf("spreader should wash the hotspot out: %v vs uniform %v", spread, uni)
+	}
+	if spread >= bare {
+		t.Errorf("spreader must reduce the peak: %v vs %v", spread, bare)
+	}
+}
+
+func TestEnergyBalanceUnderSpreading(t *testing.T) {
+	// Spreading must conserve total flux.
+	m := DefaultModel2D()
+	nodes := m.FootprintWidthNodes()
+	in := HotspotFlux(units.MilliwattsPerCM2(40), nodes, 0.2)
+	out := m.spreadFlux(in.Density)
+	sumIn, sumOut := 0.0, 0.0
+	for i := range in.Density {
+		sumIn += in.Density[i]
+		sumOut += out[i]
+	}
+	if math.Abs(sumIn-sumOut) > 1e-6*sumIn {
+		t.Errorf("spreading lost energy: %v vs %v", sumIn, sumOut)
+	}
+}
+
+func TestModel2DValidation(t *testing.T) {
+	bad := []Model2D{
+		func() Model2D { m := DefaultModel2D(); m.NX = 2; return m }(),
+		func() Model2D { m := DefaultModel2D(); m.WidthM = 0; return m }(),
+		func() Model2D { m := DefaultModel2D(); m.ImplantWidthM = 1; return m }(),
+		func() Model2D { m := DefaultModel2D(); m.FluxSplit = 2; return m }(),
+		func() Model2D { m := DefaultModel2D(); m.SpreaderThicknessM = -1; return m }(),
+	}
+	for i, m := range bad {
+		if _, err := m.SteadyState(UniformFlux(units.MilliwattsPerCM2(10), 4)); err == nil {
+			t.Errorf("model %d should fail validation", i)
+		}
+	}
+	// Wrong flux length.
+	m := DefaultModel2D()
+	if _, err := m.SteadyState(UniformFlux(units.MilliwattsPerCM2(10), 3)); err == nil {
+		t.Errorf("mismatched flux profile should fail")
+	}
+}
+
+func TestHotspotFluxConservesTotal(t *testing.T) {
+	d := units.MilliwattsPerCM2(40)
+	uni := UniformFlux(d, 32)
+	hot := HotspotFlux(d, 32, 0.25)
+	sum := func(p FluxProfile) float64 {
+		s := 0.0
+		for _, v := range p.Density {
+			s += v
+		}
+		return s
+	}
+	if math.Abs(sum(uni)-sum(hot)) > 1e-9*sum(uni) {
+		t.Errorf("hotspot redistribution changed total flux: %v vs %v", sum(uni), sum(hot))
+	}
+	// The stripe is genuinely hotter.
+	peak := 0.0
+	for _, v := range hot.Density {
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak < 3.9*d.WattsPerM2() {
+		t.Errorf("hotspot density = %v, want ≈4× uniform", peak)
+	}
+}

@@ -1,0 +1,223 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mindful/internal/units"
+)
+
+func TestBudget(t *testing.T) {
+	// BISC-like implant: 144 mm² at 40 mW/cm² → 57.6 mW.
+	got := Budget(units.SquareMillimetres(144)).Milliwatts()
+	if math.Abs(got-57.6) > 1e-9 {
+		t.Errorf("budget = %v mW, want 57.6", got)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	c := Evaluate(units.Milliwatts(28.8), units.SquareMillimetres(144))
+	if !c.Safe() {
+		t.Errorf("half-budget design should be safe: %v", c)
+	}
+	if math.Abs(c.Utilization-0.5) > 1e-9 {
+		t.Errorf("utilization = %v, want 0.5", c.Utilization)
+	}
+	if got := c.Headroom().Milliwatts(); math.Abs(got-28.8) > 1e-9 {
+		t.Errorf("headroom = %v mW, want 28.8", got)
+	}
+
+	over := Evaluate(units.Milliwatts(100), units.SquareMillimetres(144))
+	if over.Safe() {
+		t.Errorf("over-budget design should be unsafe: %v", over)
+	}
+	if over.Headroom() >= 0 {
+		t.Errorf("over-budget headroom should be negative")
+	}
+
+	zero := Evaluate(units.Milliwatts(1), 0)
+	if zero.Safe() || !math.IsInf(zero.Utilization, 1) {
+		t.Errorf("zero-area design must be unsafe: %v", zero.Utilization)
+	}
+}
+
+func TestEvaluateBoundaryExactlyAtBudget(t *testing.T) {
+	c := Evaluate(Budget(units.SquareMillimetres(20)), units.SquareMillimetres(20))
+	if !c.Safe() {
+		t.Errorf("exactly-at-budget should count as safe")
+	}
+	if math.Abs(c.Density.MWPerCM2()-40) > 1e-9 {
+		t.Errorf("density = %v, want 40 mW/cm²", c.Density.MWPerCM2())
+	}
+}
+
+func TestSafetyMonotoneProperty(t *testing.T) {
+	// More power over the same area can never become safer.
+	f := func(p1, p2, mm2 float64) bool {
+		p1, p2 = math.Abs(p1), math.Abs(p2)
+		mm2 = math.Abs(mm2) + 1
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		c1 := Evaluate(units.Milliwatts(p1), units.SquareMillimetres(mm2))
+		c2 := Evaluate(units.Milliwatts(p2), units.SquareMillimetres(mm2))
+		return c1.Utilization <= c2.Utilization+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPenetrationDepth(t *testing.T) {
+	// For brain parameters the perfusion penetration depth is ≈3–5 mm.
+	l := Brain.PenetrationDepth()
+	if l < 0.002 || l > 0.006 {
+		t.Errorf("penetration depth = %v m, want 2–6 mm", l)
+	}
+}
+
+func TestSteadyStateMatchesAnalytic(t *testing.T) {
+	m := DefaultModel()
+	d := units.MilliwattsPerCM2(40)
+	p, err := m.SteadyState(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.SurfaceRise()
+	want := m.AnalyticSurfaceRise(d)
+	if math.Abs(got-want) > 0.02*want {
+		t.Errorf("numeric surface rise %v vs analytic %v (>2%% off)", got, want)
+	}
+}
+
+func TestSafeDensityGivesOneToTwoDegrees(t *testing.T) {
+	// The headline safety claim: at the paper's 40 mW/cm² limit the tissue
+	// temperature rise must land in the cited 1–2 °C window.
+	m := DefaultModel()
+	p, err := m.SteadyState(SafeDensity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rise := p.SurfaceRise()
+	if rise < 1.0 || rise > 2.0 {
+		t.Errorf("rise at 40 mW/cm² = %v °C, want within [1, 2]", rise)
+	}
+}
+
+func TestProfileDecaysMonotonically(t *testing.T) {
+	m := DefaultModel()
+	p, err := m.SteadyState(units.MilliwattsPerCM2(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(p.Rise); i++ {
+		if p.Rise[i] > p.Rise[i-1]+1e-12 {
+			t.Fatalf("profile not monotone at node %d: %v > %v", i, p.Rise[i], p.Rise[i-1])
+		}
+	}
+	if last := p.Rise[len(p.Rise)-1]; last != 0 {
+		t.Errorf("far boundary rise = %v, want 0", last)
+	}
+}
+
+func TestSteadyStateLinearInFlux(t *testing.T) {
+	m := DefaultModel()
+	f := func(scale float64) bool {
+		s := math.Abs(math.Mod(scale, 10)) + 0.1
+		p1, err1 := m.SteadyState(units.MilliwattsPerCM2(10))
+		p2, err2 := m.SteadyState(units.MilliwattsPerCM2(10 * s))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(p2.SurfaceRise()-s*p1.SurfaceRise()) < 1e-9*(1+s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxSafeFluxConsistency(t *testing.T) {
+	m := DefaultModel()
+	d, err := m.MaxSafeFlux(MaxTempRise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The model should recover a limit in the same regime as the paper's
+	// 40 mW/cm² constant (within a factor of ~2 either way).
+	got := d.MWPerCM2()
+	if got < 20 || got > 120 {
+		t.Errorf("max safe flux = %v mW/cm², want within [20, 120]", got)
+	}
+	// And the rise at that flux must be exactly the limit.
+	p, err := m.SteadyState(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.SurfaceRise()-MaxTempRise) > 1e-6 {
+		t.Errorf("rise at max safe flux = %v, want %v", p.SurfaceRise(), MaxTempRise)
+	}
+}
+
+func TestTransientApproachesSteadyState(t *testing.T) {
+	m := DefaultModel()
+	m.Nodes = 120 // keep the explicit integration cheap
+	d := units.MilliwattsPerCM2(40)
+	traj, err := m.Transient(d, 600, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj) < 5 {
+		t.Fatalf("trajectory too short: %d samples", len(traj))
+	}
+	// Monotone warm-up.
+	for i := 1; i < len(traj); i++ {
+		if traj[i] < traj[i-1]-1e-9 {
+			t.Fatalf("warm-up not monotone at sample %d", i)
+		}
+	}
+	// Final value close to steady state.
+	ss, err := m.SteadyState(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := traj[len(traj)-1]
+	if math.Abs(final-ss.SurfaceRise()) > 0.05*ss.SurfaceRise() {
+		t.Errorf("transient final %v vs steady %v", final, ss.SurfaceRise())
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	bad := []Model{
+		{Tissue: Brain, Depth: 0.03, Nodes: 2, FluxSplit: 0.5},
+		{Tissue: Brain, Depth: -1, Nodes: 100, FluxSplit: 0.5},
+		{Tissue: Brain, Depth: 0.03, Nodes: 100, FluxSplit: 1.5},
+	}
+	for i, m := range bad {
+		if _, err := m.SteadyState(SafeDensity); err == nil {
+			t.Errorf("model %d should fail validation", i)
+		}
+		if _, err := m.Transient(SafeDensity, 10, 1); err == nil {
+			t.Errorf("model %d transient should fail validation", i)
+		}
+		if _, err := m.MaxSafeFlux(2); err == nil {
+			t.Errorf("model %d MaxSafeFlux should fail validation", i)
+		}
+	}
+	m := DefaultModel()
+	if _, err := m.Transient(SafeDensity, -1, 1); err == nil {
+		t.Errorf("negative duration should fail")
+	}
+}
+
+func TestCheckString(t *testing.T) {
+	c := Evaluate(units.Milliwatts(10), units.SquareMillimetres(100))
+	s := c.String()
+	if len(s) == 0 || s[:4] != "SAFE" {
+		t.Errorf("unexpected check string %q", s)
+	}
+	u := Evaluate(units.Milliwatts(100), units.SquareMillimetres(100))
+	if got := u.String(); got[:6] != "UNSAFE" {
+		t.Errorf("unexpected check string %q", got)
+	}
+}

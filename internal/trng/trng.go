@@ -1,0 +1,182 @@
+// Package trng extracts random bits from neural noise — the
+// brain-as-entropy-source application of the authors' MindCrypt line of
+// work (the paper's reference [30]). The sensing front end delivers
+// thermal and biological noise for free; this package turns ADC
+// least-significant bits into a debiased bitstream and provides the
+// lightweight statistical checks an implant can afford to run on-line.
+package trng
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Extractor turns digitized neural samples into candidate entropy bits.
+type Extractor struct {
+	// LSBs is how many low-order ADC bits to harvest per sample (1–4;
+	// higher-order bits carry signal, not noise).
+	LSBs int
+}
+
+// NewExtractor validates the harvest width.
+func NewExtractor(lsbs int) (*Extractor, error) {
+	if lsbs < 1 || lsbs > 4 {
+		return nil, fmt.Errorf("trng: LSB count %d outside 1..4", lsbs)
+	}
+	return &Extractor{LSBs: lsbs}, nil
+}
+
+// Harvest appends the low-order bits of each sample to dst (LSB first).
+func (e *Extractor) Harvest(dst []byte, samples []uint16) []byte {
+	for _, s := range samples {
+		for b := 0; b < e.LSBs; b++ {
+			dst = append(dst, byte(s>>b)&1)
+		}
+	}
+	return dst
+}
+
+// VonNeumann debiases a raw bitstream: non-overlapping pairs 01 → 0,
+// 10 → 1, and 00/11 are discarded. The output is unbiased whenever the
+// input bits are independent, whatever their bias.
+func VonNeumann(bits []byte) []byte {
+	var out []byte
+	for i := 0; i+1 < len(bits); i += 2 {
+		a, b := bits[i]&1, bits[i+1]&1
+		switch {
+		case a == 0 && b == 1:
+			out = append(out, 0)
+		case a == 1 && b == 0:
+			out = append(out, 1)
+		}
+	}
+	return out
+}
+
+// Pack collapses a 0/1-valued bit slice into bytes, MSB first; trailing
+// bits are dropped.
+func Pack(bits []byte) []byte {
+	out := make([]byte, len(bits)/8)
+	for i := range out {
+		var v byte
+		for b := 0; b < 8; b++ {
+			v = v<<1 | bits[i*8+b]&1
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// TestReport carries the on-line health checks (a NIST-SP800-22-flavoured
+// subset sized for an implant).
+type TestReport struct {
+	Bits int
+	// OnesFraction is the monobit statistic (should be ≈0.5).
+	OnesFraction float64
+	// MonobitZ is the normalized deviation |ones − n/2| / (√n/2).
+	MonobitZ float64
+	// Runs is the observed number of runs; ExpectedRuns its expectation
+	// under independence.
+	Runs         int
+	ExpectedRuns float64
+	// SerialCorrelation is the lag-1 autocorrelation (should be ≈0).
+	SerialCorrelation float64
+}
+
+// Healthy applies the standard 3σ-style thresholds.
+func (r TestReport) Healthy() bool {
+	if r.Bits < 128 {
+		return false
+	}
+	if r.MonobitZ > 3 {
+		return false
+	}
+	if math.Abs(float64(r.Runs)-r.ExpectedRuns) > 3*math.Sqrt(float64(r.Bits)) {
+		return false
+	}
+	return math.Abs(r.SerialCorrelation) < 0.1
+}
+
+// Evaluate runs the health checks over a 0/1 bit slice.
+func Evaluate(bits []byte) (TestReport, error) {
+	n := len(bits)
+	if n < 2 {
+		return TestReport{}, errors.New("trng: too few bits to test")
+	}
+	ones := 0
+	runs := 1
+	for i, b := range bits {
+		if b&1 == 1 {
+			ones++
+		}
+		if i > 0 && bits[i]&1 != bits[i-1]&1 {
+			runs++
+		}
+	}
+	p := float64(ones) / float64(n)
+	// Expected runs for independent bits with bias p: 2np(1−p) + 1.
+	expRuns := 2*float64(n)*p*(1-p) + 1
+	// Lag-1 autocorrelation.
+	var num, den float64
+	mean := p
+	for i := 0; i+1 < n; i++ {
+		num += (float64(bits[i]&1) - mean) * (float64(bits[i+1]&1) - mean)
+	}
+	for i := 0; i < n; i++ {
+		den += (float64(bits[i]&1) - mean) * (float64(bits[i]&1) - mean)
+	}
+	corr := 0.0
+	if den > 0 {
+		corr = num / den
+	}
+	z := math.Abs(float64(ones)-float64(n)/2) / (math.Sqrt(float64(n)) / 2)
+	return TestReport{
+		Bits:              n,
+		OnesFraction:      p,
+		MonobitZ:          z,
+		Runs:              runs,
+		ExpectedRuns:      expRuns,
+		SerialCorrelation: corr,
+	}, nil
+}
+
+// Generator chains extraction, debiasing and health checking over a
+// stream of sample vectors.
+type Generator struct {
+	ex  *Extractor
+	raw []byte
+}
+
+// NewGenerator returns a generator harvesting the given LSB count.
+func NewGenerator(lsbs int) (*Generator, error) {
+	ex, err := NewExtractor(lsbs)
+	if err != nil {
+		return nil, err
+	}
+	return &Generator{ex: ex}, nil
+}
+
+// Feed consumes one multichannel sample vector.
+func (g *Generator) Feed(samples []uint16) {
+	g.raw = g.ex.Harvest(g.raw, samples)
+}
+
+// RawBits returns how many raw bits have been harvested.
+func (g *Generator) RawBits() int { return len(g.raw) }
+
+// Emit debiases everything harvested so far, health-checks it, and
+// returns packed random bytes. The raw pool is consumed. An unhealthy
+// pool returns an error and no bytes (fail closed).
+func (g *Generator) Emit() ([]byte, TestReport, error) {
+	debiased := VonNeumann(g.raw)
+	g.raw = g.raw[:0]
+	report, err := Evaluate(debiased)
+	if err != nil {
+		return nil, TestReport{}, err
+	}
+	if !report.Healthy() {
+		return nil, report, errors.New("trng: entropy pool failed health checks")
+	}
+	return Pack(debiased), report, nil
+}

@@ -1,0 +1,197 @@
+package trng
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mindful/internal/neural"
+)
+
+func TestExtractorHarvest(t *testing.T) {
+	ex, err := NewExtractor(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := ex.Harvest(nil, []uint16{0b1011, 0b0100})
+	want := []byte{1, 1, 0, 0} // LSB-first: 11 from 0b11, 00 from 0b00
+	if len(bits) != 4 {
+		t.Fatalf("harvested %d bits", len(bits))
+	}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Errorf("bit %d = %d, want %d", i, bits[i], want[i])
+		}
+	}
+	if _, err := NewExtractor(0); err == nil {
+		t.Errorf("0 LSBs should fail")
+	}
+	if _, err := NewExtractor(5); err == nil {
+		t.Errorf("5 LSBs should fail")
+	}
+}
+
+func TestVonNeumannDebiasing(t *testing.T) {
+	// 01→0, 10→1, 00/11 dropped.
+	out := VonNeumann([]byte{0, 1, 1, 0, 0, 0, 1, 1, 1, 0})
+	want := []byte{0, 1, 1}
+	if len(out) != len(want) {
+		t.Fatalf("out = %v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("bit %d = %d, want %d", i, out[i], want[i])
+		}
+	}
+	// A heavily biased independent stream becomes unbiased.
+	rng := rand.New(rand.NewSource(3))
+	biased := make([]byte, 200000)
+	for i := range biased {
+		if rng.Float64() < 0.8 {
+			biased[i] = 1
+		}
+	}
+	deb := VonNeumann(biased)
+	ones := 0
+	for _, b := range deb {
+		ones += int(b)
+	}
+	frac := float64(ones) / float64(len(deb))
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("debiased ones fraction = %v, want ≈0.5", frac)
+	}
+}
+
+func TestVonNeumannOutputLengthProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		for i := range raw {
+			raw[i] &= 1
+		}
+		out := VonNeumann(raw)
+		return len(out) <= len(raw)/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPack(t *testing.T) {
+	b := Pack([]byte{1, 0, 1, 0, 1, 0, 1, 0, 1, 1})
+	if len(b) != 1 || b[0] != 0xAA {
+		t.Errorf("packed = %x", b)
+	}
+	if got := Pack([]byte{1, 1}); len(got) != 0 {
+		t.Errorf("short input should pack to nothing")
+	}
+}
+
+func TestEvaluateOnGoodAndBadStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	good := make([]byte, 20000)
+	for i := range good {
+		good[i] = byte(rng.Intn(2))
+	}
+	r, err := Evaluate(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Healthy() {
+		t.Errorf("uniform stream should be healthy: %+v", r)
+	}
+	// A constant stream fails monobit.
+	flat := make([]byte, 20000)
+	r, err = Evaluate(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Healthy() {
+		t.Errorf("constant stream should fail")
+	}
+	// An alternating stream passes monobit but fails runs/correlation.
+	alt := make([]byte, 20000)
+	for i := range alt {
+		alt[i] = byte(i % 2)
+	}
+	r, err = Evaluate(alt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Healthy() {
+		t.Errorf("alternating stream should fail: %+v", r)
+	}
+	if _, err := Evaluate([]byte{1}); err == nil {
+		t.Errorf("tiny stream should error")
+	}
+	// Too-short streams are never healthy.
+	short := make([]byte, 64)
+	r, _ = Evaluate(short)
+	if r.Healthy() {
+		t.Errorf("64-bit pool should be rejected as too small")
+	}
+}
+
+func TestGeneratorOnNeuralNoise(t *testing.T) {
+	// The headline claim: ADC noise bits from the synthetic cortex pass
+	// the health checks after debiasing.
+	cfg := neural.DefaultConfig()
+	cfg.Channels = 64
+	g, err := neural.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adc := neural.DefaultADC()
+	gen, err := NewGenerator(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := 0; tick < 2000; tick++ {
+		gen.Feed(adc.QuantizeBlock(g.Next()))
+	}
+	if gen.RawBits() != 2000*64 {
+		t.Fatalf("raw bits = %d", gen.RawBits())
+	}
+	bytes, report, err := gen.Emit()
+	if err != nil {
+		t.Fatalf("neural entropy failed health checks: %v (%+v)", err, report)
+	}
+	if len(bytes) < 1000 {
+		t.Errorf("only %d random bytes from 128k raw bits", len(bytes))
+	}
+	if gen.RawBits() != 0 {
+		t.Errorf("pool not consumed")
+	}
+	// The packed bytes themselves look uniform at byte level.
+	var hist [256]int
+	for _, b := range bytes {
+		hist[b]++
+	}
+	exp := float64(len(bytes)) / 256
+	chi2 := 0.0
+	for _, c := range hist {
+		d := float64(c) - exp
+		chi2 += d * d / exp
+	}
+	// χ²(255) mean 255, σ≈22.6; allow 4σ.
+	if chi2 > 255+4*22.6 {
+		t.Errorf("byte histogram χ² = %v, too non-uniform", chi2)
+	}
+}
+
+func TestGeneratorFailsClosed(t *testing.T) {
+	gen, err := NewGenerator(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A stuck ADC (constant samples) must yield an error, not bytes.
+	stuck := make([]uint16, 64)
+	for i := 0; i < 1000; i++ {
+		gen.Feed(stuck)
+	}
+	if bytes, _, err := gen.Emit(); err == nil || bytes != nil {
+		t.Errorf("stuck input should fail closed, got %d bytes", len(bytes))
+	}
+	if _, err := NewGenerator(9); err == nil {
+		t.Errorf("invalid LSB count should fail")
+	}
+}

@@ -1,0 +1,222 @@
+// Package units provides the physical quantities used throughout the
+// MINDFUL framework: power, area, power density, energy, data rate and
+// frequency, together with decibel conversions.
+//
+// All quantities are represented in SI base units (watts, square metres,
+// joules, bits per second, hertz) as named float64 types. Constructors and
+// accessors convert to the units the BCI literature uses (mW, mm², cm²,
+// mW/cm², pJ/bit, Mbps, kHz) so that call sites read like the paper.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Power is an electrical power in watts.
+type Power float64
+
+// Power constructors.
+func Watts(w float64) Power       { return Power(w) }
+func Milliwatts(mw float64) Power { return Power(mw * 1e-3) }
+func Microwatts(uw float64) Power { return Power(uw * 1e-6) }
+
+// Watts returns the power in watts.
+func (p Power) Watts() float64 { return float64(p) }
+
+// Milliwatts returns the power in milliwatts.
+func (p Power) Milliwatts() float64 { return float64(p) * 1e3 }
+
+// Microwatts returns the power in microwatts.
+func (p Power) Microwatts() float64 { return float64(p) * 1e6 }
+
+// String formats the power with an auto-selected scale.
+func (p Power) String() string {
+	w := float64(p)
+	switch abs := math.Abs(w); {
+	case abs >= 1:
+		return fmt.Sprintf("%.3g W", w)
+	case abs >= 1e-3:
+		return fmt.Sprintf("%.3g mW", w*1e3)
+	case abs >= 1e-6:
+		return fmt.Sprintf("%.3g µW", w*1e6)
+	case abs == 0:
+		return "0 W"
+	default:
+		return fmt.Sprintf("%.3g nW", w*1e9)
+	}
+}
+
+// Area is a surface area in square metres.
+type Area float64
+
+// Area constructors.
+func SquareMillimetres(mm2 float64) Area { return Area(mm2 * 1e-6) }
+func SquareCentimetres(cm2 float64) Area { return Area(cm2 * 1e-4) }
+func SquareMicrometres(um2 float64) Area { return Area(um2 * 1e-12) }
+
+// MM2 returns the area in square millimetres.
+func (a Area) MM2() float64 { return float64(a) * 1e6 }
+
+// CM2 returns the area in square centimetres.
+func (a Area) CM2() float64 { return float64(a) * 1e4 }
+
+// M2 returns the area in square metres.
+func (a Area) M2() float64 { return float64(a) }
+
+// String formats the area in mm², the unit used by Table 1.
+func (a Area) String() string { return fmt.Sprintf("%.3g mm²", a.MM2()) }
+
+// PowerDensity is a power per unit area in watts per square metre.
+type PowerDensity float64
+
+// MilliwattsPerCM2 constructs a power density from the mW/cm² figure used by
+// the implant-safety literature.
+func MilliwattsPerCM2(v float64) PowerDensity { return PowerDensity(v * 1e-3 / 1e-4) }
+
+// MWPerCM2 returns the density in mW/cm².
+func (d PowerDensity) MWPerCM2() float64 { return float64(d) * 1e3 / 1e4 }
+
+// WattsPerM2 returns the density in W/m².
+func (d PowerDensity) WattsPerM2() float64 { return float64(d) }
+
+// String formats the density in mW/cm².
+func (d PowerDensity) String() string { return fmt.Sprintf("%.3g mW/cm²", d.MWPerCM2()) }
+
+// Over returns the total power dissipated by an area at this density.
+func (d PowerDensity) Over(a Area) Power { return Power(float64(d) * float64(a)) }
+
+// DensityOf returns the power density of p spread uniformly over a.
+// It returns +Inf for a zero area.
+func DensityOf(p Power, a Area) PowerDensity {
+	if a == 0 {
+		return PowerDensity(math.Inf(1))
+	}
+	return PowerDensity(float64(p) / float64(a))
+}
+
+// Energy is an amount of energy in joules.
+type Energy float64
+
+// Energy constructors.
+func Joules(j float64) Energy            { return Energy(j) }
+func PicojoulesPerBit(pj float64) Energy { return Energy(pj * 1e-12) }
+func Nanojoules(nj float64) Energy       { return Energy(nj * 1e-9) }
+
+// Joules returns the energy in joules.
+func (e Energy) Joules() float64 { return float64(e) }
+
+// Picojoules returns the energy in picojoules.
+func (e Energy) Picojoules() float64 { return float64(e) * 1e12 }
+
+// String formats the energy with an auto-selected scale.
+func (e Energy) String() string {
+	j := float64(e)
+	switch abs := math.Abs(j); {
+	case abs >= 1e-3:
+		return fmt.Sprintf("%.3g mJ", j*1e3)
+	case abs >= 1e-6:
+		return fmt.Sprintf("%.3g µJ", j*1e6)
+	case abs >= 1e-9:
+		return fmt.Sprintf("%.3g nJ", j*1e9)
+	case abs == 0:
+		return "0 J"
+	default:
+		return fmt.Sprintf("%.3g pJ", j*1e12)
+	}
+}
+
+// DataRate is a data throughput in bits per second.
+type DataRate float64
+
+// DataRate constructors.
+func BitsPerSecond(bps float64) DataRate   { return DataRate(bps) }
+func KilobitsPerSecond(k float64) DataRate { return DataRate(k * 1e3) }
+func MegabitsPerSecond(m float64) DataRate { return DataRate(m * 1e6) }
+
+// BPS returns the rate in bits per second.
+func (r DataRate) BPS() float64 { return float64(r) }
+
+// Mbps returns the rate in megabits per second.
+func (r DataRate) Mbps() float64 { return float64(r) * 1e-6 }
+
+// String formats the rate with an auto-selected scale.
+func (r DataRate) String() string {
+	b := float64(r)
+	switch abs := math.Abs(b); {
+	case abs >= 1e9:
+		return fmt.Sprintf("%.3g Gbps", b*1e-9)
+	case abs >= 1e6:
+		return fmt.Sprintf("%.3g Mbps", b*1e-6)
+	case abs >= 1e3:
+		return fmt.Sprintf("%.3g kbps", b*1e-3)
+	default:
+		return fmt.Sprintf("%.3g bps", b)
+	}
+}
+
+// TimesEnergyPerBit returns the power required to sustain this rate at a
+// given per-bit energy: P = T · E_b (Equation 9 of the paper).
+func (r DataRate) TimesEnergyPerBit(eb Energy) Power {
+	return Power(float64(r) * float64(eb))
+}
+
+// Frequency is a rate of events in hertz.
+type Frequency float64
+
+// Frequency constructors.
+func Hertz(hz float64) Frequency      { return Frequency(hz) }
+func Kilohertz(khz float64) Frequency { return Frequency(khz * 1e3) }
+func Megahertz(mhz float64) Frequency { return Frequency(mhz * 1e6) }
+
+// Hz returns the frequency in hertz.
+func (f Frequency) Hz() float64 { return float64(f) }
+
+// KHz returns the frequency in kilohertz.
+func (f Frequency) KHz() float64 { return float64(f) * 1e-3 }
+
+// Period returns 1/f in seconds; it returns +Inf for a zero frequency.
+func (f Frequency) Period() float64 {
+	if f == 0 {
+		return math.Inf(1)
+	}
+	return 1 / float64(f)
+}
+
+// String formats the frequency with an auto-selected scale.
+func (f Frequency) String() string {
+	hz := float64(f)
+	switch abs := math.Abs(hz); {
+	case abs >= 1e6:
+		return fmt.Sprintf("%.3g MHz", hz*1e-6)
+	case abs >= 1e3:
+		return fmt.Sprintf("%.3g kHz", hz*1e-3)
+	default:
+		return fmt.Sprintf("%.3g Hz", hz)
+	}
+}
+
+// Decibel conversions.
+
+// FromDB converts a decibel value to a linear power ratio.
+func FromDB(db float64) float64 { return math.Pow(10, db/10) }
+
+// ToDB converts a linear power ratio to decibels.
+// It returns -Inf for a non-positive ratio.
+func ToDB(ratio float64) float64 {
+	if ratio <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(ratio)
+}
+
+// Boltzmann is the Boltzmann constant in J/K.
+const Boltzmann = 1.380649e-23
+
+// ThermalNoiseDensity returns the one-sided thermal noise power spectral
+// density N0 = kT (W/Hz) at the given absolute temperature.
+func ThermalNoiseDensity(kelvin float64) float64 { return Boltzmann * kelvin }
+
+// BodyTemperature is normal human body temperature in kelvin, used as the
+// noise reference for an implanted receiver chain.
+const BodyTemperature = 310.15

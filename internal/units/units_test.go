@@ -1,0 +1,190 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPowerConversions(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Power
+		want float64 // watts
+	}{
+		{"watts", Watts(2.5), 2.5},
+		{"milliwatts", Milliwatts(40), 0.04},
+		{"microwatts", Microwatts(225), 225e-6},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Watts(); math.Abs(got-tt.want) > 1e-15 {
+				t.Errorf("Watts() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+	if got := Milliwatts(1500).Milliwatts(); math.Abs(got-1500) > 1e-9 {
+		t.Errorf("round trip mW = %v, want 1500", got)
+	}
+	if got := Microwatts(268).Microwatts(); math.Abs(got-268) > 1e-9 {
+		t.Errorf("round trip µW = %v, want 268", got)
+	}
+}
+
+func TestPowerString(t *testing.T) {
+	tests := []struct {
+		p    Power
+		want string
+	}{
+		{Watts(1.5), "1.5 W"},
+		{Milliwatts(40), "40 mW"},
+		{Microwatts(225), "225 µW"},
+		{Watts(0), "0 W"},
+		{Watts(3e-10), "0.3 nW"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("String(%v W) = %q, want %q", float64(tt.p), got, tt.want)
+		}
+	}
+}
+
+func TestAreaConversions(t *testing.T) {
+	a := SquareMillimetres(144)
+	if got := a.CM2(); math.Abs(got-1.44) > 1e-12 {
+		t.Errorf("144 mm² = %v cm², want 1.44", got)
+	}
+	if got := SquareCentimetres(1.44).MM2(); math.Abs(got-144) > 1e-9 {
+		t.Errorf("1.44 cm² = %v mm², want 144", got)
+	}
+	if got := SquareMicrometres(1e6).MM2(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("1e6 µm² = %v mm², want 1", got)
+	}
+	if got := a.String(); got != "144 mm²" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestPowerDensity(t *testing.T) {
+	// The safety limit: 40 mW/cm² over 144 mm² (1.44 cm²) permits 57.6 mW.
+	limit := MilliwattsPerCM2(40)
+	if got := limit.MWPerCM2(); math.Abs(got-40) > 1e-9 {
+		t.Fatalf("round trip mW/cm² = %v, want 40", got)
+	}
+	budget := limit.Over(SquareMillimetres(144))
+	if got := budget.Milliwatts(); math.Abs(got-57.6) > 1e-9 {
+		t.Errorf("budget = %v mW, want 57.6", got)
+	}
+	d := DensityOf(Milliwatts(57.6), SquareMillimetres(144))
+	if got := d.MWPerCM2(); math.Abs(got-40) > 1e-9 {
+		t.Errorf("DensityOf = %v, want 40", got)
+	}
+	if !math.IsInf(float64(DensityOf(Milliwatts(1), 0)), 1) {
+		t.Errorf("DensityOf zero area should be +Inf")
+	}
+}
+
+func TestDensityRoundTripProperty(t *testing.T) {
+	f := func(mw, mm2 float64) bool {
+		mw = math.Abs(mw)
+		mm2 = math.Abs(mm2) + 1e-6
+		if mw > 1e6 || mm2 > 1e9 {
+			return true // outside physical range
+		}
+		d := DensityOf(Milliwatts(mw), SquareMillimetres(mm2))
+		back := d.Over(SquareMillimetres(mm2))
+		return math.Abs(back.Milliwatts()-mw) <= 1e-9*(1+mw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnergyAndDataRate(t *testing.T) {
+	eb := PicojoulesPerBit(50)
+	if got := eb.Picojoules(); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("Eb = %v pJ, want 50", got)
+	}
+	// The paper's worked example: 1024 ch × 10 b × 8 kHz = 81.92 Mbps.
+	rate := BitsPerSecond(1024 * 10 * 8000)
+	if got := rate.Mbps(); math.Abs(got-81.92) > 1e-9 {
+		t.Errorf("rate = %v Mbps, want 81.92", got)
+	}
+	// P = T · Eb: 81.92 Mbps at 50 pJ/b is 4.096 mW.
+	p := rate.TimesEnergyPerBit(eb)
+	if got := p.Milliwatts(); math.Abs(got-4.096) > 1e-9 {
+		t.Errorf("P = %v mW, want 4.096", got)
+	}
+}
+
+func TestFrequency(t *testing.T) {
+	f := Kilohertz(8)
+	if got := f.Hz(); got != 8000 {
+		t.Errorf("Hz = %v, want 8000", got)
+	}
+	if got := f.Period(); math.Abs(got-125e-6) > 1e-12 {
+		t.Errorf("Period = %v, want 125 µs", got)
+	}
+	if !math.IsInf(Frequency(0).Period(), 1) {
+		t.Errorf("zero frequency period should be +Inf")
+	}
+	if got := Megahertz(100).String(); got != "100 MHz" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestDecibels(t *testing.T) {
+	tests := []struct {
+		db  float64
+		lin float64
+	}{
+		{0, 1}, {10, 10}, {20, 100}, {60, 1e6}, {-3, 0.5011872336272722},
+	}
+	for _, tt := range tests {
+		if got := FromDB(tt.db); math.Abs(got-tt.lin) > 1e-9*tt.lin {
+			t.Errorf("FromDB(%v) = %v, want %v", tt.db, got, tt.lin)
+		}
+		if got := ToDB(tt.lin); math.Abs(got-tt.db) > 1e-9 {
+			t.Errorf("ToDB(%v) = %v, want %v", tt.lin, got, tt.db)
+		}
+	}
+	if !math.IsInf(ToDB(0), -1) {
+		t.Errorf("ToDB(0) should be -Inf")
+	}
+}
+
+func TestDBRoundTripProperty(t *testing.T) {
+	f := func(db float64) bool {
+		db = math.Mod(db, 200) // keep within float range
+		return math.Abs(ToDB(FromDB(db))-db) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThermalNoise(t *testing.T) {
+	n0 := ThermalNoiseDensity(BodyTemperature)
+	// kT at 310 K ≈ 4.28e-21 W/Hz.
+	if n0 < 4.2e-21 || n0 > 4.4e-21 {
+		t.Errorf("N0 at body temperature = %v, want ≈4.28e-21", n0)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if got := BitsPerSecond(81.92e6).String(); got != "81.9 Mbps" {
+		t.Errorf("rate string = %q", got)
+	}
+	if got := MegabitsPerSecond(0.5).String(); got != "500 kbps" {
+		t.Errorf("rate string = %q", got)
+	}
+	if got := PicojoulesPerBit(50).String(); got != "50 pJ" {
+		t.Errorf("energy string = %q", got)
+	}
+	if got := Nanojoules(3).String(); got != "3 nJ" {
+		t.Errorf("energy string = %q", got)
+	}
+	if got := MilliwattsPerCM2(40).String(); got != "40 mW/cm²" {
+		t.Errorf("density string = %q", got)
+	}
+}

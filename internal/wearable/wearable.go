@@ -1,0 +1,150 @@
+// Package wearable is the receiving half of Fig. 1: the external SoC that
+// collects the implant's uplink frames. It validates framing, tracks
+// sequence continuity and frame error rates, and reassembles per-channel
+// sample streams — plus a lossy-link injector so the whole implant →
+// wearable path can be exercised under realistic bit error rates.
+package wearable
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mindful/internal/comm"
+)
+
+// Receiver consumes uplink frames and accounts for link quality.
+type Receiver struct {
+	// KeepSamples bounds the per-channel history retained (0 = none).
+	KeepSamples int
+
+	started  bool
+	nextSeq  uint32
+	accepted int64
+	corrupt  int64
+	lost     int64
+	history  [][]uint16
+}
+
+// NewReceiver returns a receiver retaining up to keepSamples per channel.
+func NewReceiver(keepSamples int) (*Receiver, error) {
+	if keepSamples < 0 {
+		return nil, errors.New("wearable: negative history length")
+	}
+	return &Receiver{KeepSamples: keepSamples}, nil
+}
+
+// Receive consumes one (possibly corrupted) frame. It returns the decoded
+// frame when accepted; rejected frames are counted and return an error.
+func (r *Receiver) Receive(buf []byte) (comm.Frame, error) {
+	f, err := comm.Decode(buf)
+	if err != nil {
+		r.corrupt++
+		return comm.Frame{}, fmt.Errorf("wearable: frame rejected: %w", err)
+	}
+	if r.started {
+		if f.Seq != r.nextSeq {
+			// Count the gap; a wrapped or reordered sequence counts as
+			// the absolute distance forward.
+			gap := int64(f.Seq - r.nextSeq)
+			if gap > 0 {
+				r.lost += gap
+			}
+		}
+	}
+	r.started = true
+	r.nextSeq = f.Seq + 1
+	r.accepted++
+	r.record(f.Samples)
+	return f, nil
+}
+
+func (r *Receiver) record(samples []uint16) {
+	if r.KeepSamples == 0 {
+		return
+	}
+	if len(r.history) < len(samples) {
+		grown := make([][]uint16, len(samples))
+		copy(grown, r.history)
+		r.history = grown
+	}
+	for c, s := range samples {
+		h := append(r.history[c], s)
+		if len(h) > r.KeepSamples {
+			h = h[len(h)-r.KeepSamples:]
+		}
+		r.history[c] = h
+	}
+}
+
+// History returns the retained samples of one channel (nil if none).
+func (r *Receiver) History(channel int) []uint16 {
+	if channel < 0 || channel >= len(r.history) {
+		return nil
+	}
+	return r.history[channel]
+}
+
+// Stats summarizes link quality at the receiver.
+type Stats struct {
+	Accepted  int64
+	Corrupted int64
+	LostSeq   int64
+}
+
+// FrameErrorRate returns corrupted / (accepted + corrupted).
+func (s Stats) FrameErrorRate() float64 {
+	total := s.Accepted + s.Corrupted
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Corrupted) / float64(total)
+}
+
+// Stats returns the current accounting.
+func (r *Receiver) Stats() Stats {
+	return Stats{Accepted: r.accepted, Corrupted: r.corrupt, LostSeq: r.lost}
+}
+
+// LossyLink flips each transported bit independently with probability BER
+// — the failure-injection model for the implant → wearable path.
+type LossyLink struct {
+	BER float64
+	rng *rand.Rand
+}
+
+// NewLossyLink returns a seeded link at the given bit error rate.
+func NewLossyLink(ber float64, seed int64) (*LossyLink, error) {
+	if ber < 0 || ber >= 1 {
+		return nil, fmt.Errorf("wearable: BER %g outside [0, 1)", ber)
+	}
+	return &LossyLink{BER: ber, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Transport returns a possibly-corrupted copy of the frame.
+func (l *LossyLink) Transport(buf []byte) []byte {
+	out := make([]byte, len(buf))
+	copy(out, buf)
+	if l.BER == 0 {
+		return out
+	}
+	// Geometric skipping between flips: efficient at low BER.
+	pos := 0
+	nBits := len(out) * 8
+	for {
+		skip := int(math.Floor(math.Log(1-l.rng.Float64()) / math.Log(1-l.BER)))
+		pos += skip
+		if pos >= nBits {
+			return out
+		}
+		out[pos/8] ^= 1 << (7 - pos%8)
+		pos++
+	}
+}
+
+// ExpectedFrameErrorRate returns the analytic FER for a frame of the given
+// byte length at this BER: 1 − (1−BER)^bits.
+func (l *LossyLink) ExpectedFrameErrorRate(frameBytes int) float64 {
+	return 1 - math.Pow(1-l.BER, float64(frameBytes*8))
+}

@@ -1,0 +1,211 @@
+package wearable
+
+import (
+	"math"
+	"testing"
+
+	"mindful/internal/comm"
+	"mindful/internal/implant"
+)
+
+func cleanImplant(t *testing.T, channels int) *implant.Implant {
+	t.Helper()
+	cfg := implant.DefaultConfig()
+	cfg.Neural.Channels = channels
+	im, err := implant.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func TestCleanLinkEndToEnd(t *testing.T) {
+	im := cleanImplant(t, 32)
+	rx, err := NewReceiver(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im.OnFrame(func(buf []byte) {
+		if _, err := rx.Receive(buf); err != nil {
+			t.Fatalf("clean link rejected a frame: %v", err)
+		}
+	})
+	const ticks = 200
+	if err := im.Run(ticks); err != nil {
+		t.Fatal(err)
+	}
+	st := rx.Stats()
+	if st.Accepted != ticks || st.Corrupted != 0 || st.LostSeq != 0 {
+		t.Errorf("clean link stats: %+v", st)
+	}
+	if st.FrameErrorRate() != 0 {
+		t.Errorf("clean FER = %v", st.FrameErrorRate())
+	}
+	// History bounded and populated.
+	h := rx.History(0)
+	if len(h) != 64 {
+		t.Errorf("history length = %d, want 64 (bounded)", len(h))
+	}
+	if rx.History(99) != nil {
+		t.Errorf("out-of-range history should be nil")
+	}
+}
+
+func TestLossyLinkFrameErrorRate(t *testing.T) {
+	// At BER 1e-4 over ~500-bit frames, FER ≈ 5%: measured must match the
+	// analytic expectation, and every accepted frame must be intact (CRC
+	// guarantees it at these error rates).
+	im := cleanImplant(t, 32)
+	link, err := NewLossyLink(1e-4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewReceiver(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frameBytes int
+	im.OnFrame(func(buf []byte) {
+		frameBytes = len(buf)
+		rx.Receive(link.Transport(buf)) //nolint:errcheck — rejects are the point
+	})
+	const ticks = 4000
+	if err := im.Run(ticks); err != nil {
+		t.Fatal(err)
+	}
+	st := rx.Stats()
+	if st.Accepted+st.Corrupted != ticks {
+		t.Fatalf("frames unaccounted: %+v", st)
+	}
+	want := link.ExpectedFrameErrorRate(frameBytes)
+	got := st.FrameErrorRate()
+	if math.Abs(got-want) > 0.35*want {
+		t.Errorf("FER = %v, analytic %v", got, want)
+	}
+	// Lost sequence numbers equal the corrupted count (each rejected
+	// frame shows up as a gap).
+	if st.LostSeq != st.Corrupted {
+		t.Errorf("lost %d != corrupted %d", st.LostSeq, st.Corrupted)
+	}
+}
+
+func TestSequenceGapDetection(t *testing.T) {
+	p, err := comm.NewPacketizer(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewReceiver(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := []uint16{1, 2, 3}
+	for i := 0; i < 5; i++ {
+		buf, err := p.Encode(samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 2 || i == 3 {
+			continue // drop two frames silently
+		}
+		if _, err := rx.Receive(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := rx.Stats()
+	if st.Accepted != 3 || st.LostSeq != 2 {
+		t.Errorf("gap stats: %+v", st)
+	}
+}
+
+func TestReceiverRejectsGarbage(t *testing.T) {
+	rx, err := NewReceiver(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rx.Receive([]byte{1, 2, 3}); err == nil {
+		t.Errorf("garbage should be rejected")
+	}
+	if rx.Stats().Corrupted != 1 {
+		t.Errorf("corrupt count = %d", rx.Stats().Corrupted)
+	}
+}
+
+func TestLossyLinkValidation(t *testing.T) {
+	if _, err := NewLossyLink(-0.1, 1); err == nil {
+		t.Errorf("negative BER should fail")
+	}
+	if _, err := NewLossyLink(1, 1); err == nil {
+		t.Errorf("BER=1 should fail")
+	}
+	if _, err := NewReceiver(-1); err == nil {
+		t.Errorf("negative history should fail")
+	}
+	// Zero-BER transport is the identity.
+	link, err := NewLossyLink(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []byte{0xAB, 0xCD}
+	out := link.Transport(in)
+	if out[0] != 0xAB || out[1] != 0xCD {
+		t.Errorf("zero-BER transport mutated data")
+	}
+	// And must not alias the input.
+	out[0] = 0
+	if in[0] != 0xAB {
+		t.Errorf("transport aliases its input")
+	}
+}
+
+func TestAcceptedFramesAreIntact(t *testing.T) {
+	// Under heavy noise, whatever survives the CRC must decode to exactly
+	// the samples sent.
+	p, err := comm.NewPacketizer(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := NewLossyLink(2e-3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewReceiver(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := [][]uint16{}
+	for i := 0; i < 500; i++ {
+		samples := []uint16{uint16(i % 1024), uint16((i * 7) % 1024)}
+		sent = append(sent, samples)
+		buf, err := p.Encode(samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := rx.Receive(link.Transport(buf))
+		if err != nil {
+			continue
+		}
+		want := sent[f.Seq]
+		for c := range want {
+			if f.Samples[c] != want[c] {
+				t.Fatalf("accepted frame %d corrupted silently", f.Seq)
+			}
+		}
+	}
+	if rx.Stats().Corrupted == 0 {
+		t.Fatalf("test needs some corruption to be meaningful")
+	}
+	if rx.Stats().Accepted == 0 {
+		t.Fatalf("test needs some accepted frames")
+	}
+}
+
+func TestExpectedFERMonotone(t *testing.T) {
+	l1, _ := NewLossyLink(1e-5, 1)
+	l2, _ := NewLossyLink(1e-3, 1)
+	if l1.ExpectedFrameErrorRate(100) >= l2.ExpectedFrameErrorRate(100) {
+		t.Errorf("FER should grow with BER")
+	}
+	if l1.ExpectedFrameErrorRate(10) >= l1.ExpectedFrameErrorRate(1000) {
+		t.Errorf("FER should grow with frame size")
+	}
+}

@@ -1,0 +1,181 @@
+// Package wpt models inductive wireless power transfer to the implant,
+// the powering scheme the paper's Section 8 flags as raising "questions
+// about power efficiency and heat generation". The model captures exactly
+// that interaction: a two-coil resonant link whose efficiency follows the
+// standard k²Q₁Q₂ expression, a rectifier with finite efficiency, and the
+// resulting *on-implant dissipation* — which spends part of the thermal
+// budget before a single channel is sensed.
+package wpt
+
+import (
+	"fmt"
+	"math"
+
+	"mindful/internal/thermal"
+	"mindful/internal/units"
+)
+
+// Link is a two-coil inductive power link.
+type Link struct {
+	// Coupling is the coil coupling coefficient k at the nominal
+	// separation, in (0, 1).
+	Coupling float64
+	// QTx and QRx are the transmitter and receiver coil quality factors.
+	QTx, QRx float64
+	// RectifierEff is the implant-side AC→DC conversion efficiency (0,1].
+	RectifierEff float64
+	// NominalGapM is the coil separation at which Coupling applies
+	// (scalp–implant distance through skin and skull, ≈10 mm).
+	NominalGapM float64
+}
+
+// TypicalLink returns a representative transcutaneous link: k = 0.05 at a
+// 10 mm gap, Q = 100/30 (external/implanted coil), 80% rectifier.
+func TypicalLink() Link {
+	return Link{Coupling: 0.05, QTx: 100, QRx: 30, RectifierEff: 0.8, NominalGapM: 0.010}
+}
+
+// Validate checks physical plausibility.
+func (l Link) Validate() error {
+	if l.Coupling <= 0 || l.Coupling >= 1 {
+		return fmt.Errorf("wpt: coupling %g outside (0, 1)", l.Coupling)
+	}
+	if l.QTx <= 0 || l.QRx <= 0 {
+		return fmt.Errorf("wpt: non-positive quality factor")
+	}
+	if l.RectifierEff <= 0 || l.RectifierEff > 1 {
+		return fmt.Errorf("wpt: rectifier efficiency %g outside (0, 1]", l.RectifierEff)
+	}
+	if l.NominalGapM <= 0 {
+		return fmt.Errorf("wpt: non-positive nominal gap")
+	}
+	return nil
+}
+
+// LinkEfficiency returns the optimal coil-to-coil power transfer
+// efficiency for a figure of merit u² = k²·Q₁·Q₂:
+//
+//	η = u² / (1 + √(1+u²))²
+func (l Link) LinkEfficiency() (float64, error) {
+	if err := l.Validate(); err != nil {
+		return 0, err
+	}
+	u2 := l.Coupling * l.Coupling * l.QTx * l.QRx
+	root := 1 + math.Sqrt(1+u2)
+	return u2 / (root * root), nil
+}
+
+// EndToEndEfficiency returns coil link × rectifier efficiency.
+func (l Link) EndToEndEfficiency() (float64, error) {
+	eta, err := l.LinkEfficiency()
+	if err != nil {
+		return 0, err
+	}
+	return eta * l.RectifierEff, nil
+}
+
+// CouplingAt returns the coupling coefficient at a different gap, using
+// the near-field cube rolloff k(d) = k₀ / (1 + (d/d₀)³ − 1)... normalized
+// so k(NominalGap) = Coupling and k falls with the cube of distance beyond
+// the coil scale.
+func (l Link) CouplingAt(gapM float64) (float64, error) {
+	if err := l.Validate(); err != nil {
+		return 0, err
+	}
+	if gapM <= 0 {
+		return 0, fmt.Errorf("wpt: non-positive gap")
+	}
+	ratio := gapM / l.NominalGapM
+	return l.Coupling / (ratio * ratio * ratio), nil
+}
+
+// AtGap returns a copy of the link re-evaluated at a different separation.
+func (l Link) AtGap(gapM float64) (Link, error) {
+	k, err := l.CouplingAt(gapM)
+	if err != nil {
+		return Link{}, err
+	}
+	if k >= 1 {
+		k = 0.999 // gap inside the coil scale; clamp to physical range
+	}
+	out := l
+	out.Coupling = k
+	return out, nil
+}
+
+// Delivery describes one power-transfer operating point.
+type Delivery struct {
+	// TxPower is the external transmit power.
+	TxPower units.Power
+	// Delivered is the DC power available to the implant's circuits.
+	Delivered units.Power
+	// ImplantHeat is the power dissipated *on the implant* by the
+	// receive coil and rectifier — it heats the tissue exactly like
+	// circuit power does.
+	ImplantHeat units.Power
+}
+
+// Deliver computes the operating point for a given transmit power.
+// Implant-side dissipation is modeled as half the coil-link loss (the
+// other half is in the external coil) plus the full rectifier loss.
+func (l Link) Deliver(tx units.Power) (Delivery, error) {
+	eta, err := l.LinkEfficiency()
+	if err != nil {
+		return Delivery{}, err
+	}
+	if tx < 0 {
+		return Delivery{}, fmt.Errorf("wpt: negative transmit power")
+	}
+	atCoil := units.Power(tx.Watts() * eta)
+	delivered := units.Power(atCoil.Watts() * l.RectifierEff)
+	coilLossOnImplant := units.Power(tx.Watts() * (1 - eta) / 2)
+	rectLoss := atCoil - delivered
+	return Delivery{
+		TxPower:     tx,
+		Delivered:   delivered,
+		ImplantHeat: coilLossOnImplant + rectLoss,
+	}, nil
+}
+
+// TxForDelivered inverts Deliver: the transmit power needed to put the
+// given DC power on the implant rails.
+func (l Link) TxForDelivered(dc units.Power) (units.Power, error) {
+	eta, err := l.EndToEndEfficiency()
+	if err != nil {
+		return 0, err
+	}
+	if dc < 0 {
+		return 0, fmt.Errorf("wpt: negative DC power")
+	}
+	return units.Power(dc.Watts() / eta), nil
+}
+
+// EffectiveBudget returns the circuit power actually available on an
+// implant of the given area when powered through this link: the thermal
+// budget must cover both the circuits *and* the WPT losses dissipated on
+// the implant. Solving budget = P_dc + heat(P_dc):
+//
+//	heat = P_dc · h,  h = ImplantHeat/Delivered at any operating point
+//	P_dc = budget / (1 + h)
+func (l Link) EffectiveBudget(area units.Area) (units.Power, error) {
+	d, err := l.Deliver(units.Watts(1))
+	if err != nil {
+		return 0, err
+	}
+	if d.Delivered <= 0 {
+		return 0, fmt.Errorf("wpt: link delivers no power")
+	}
+	h := d.ImplantHeat.Watts() / d.Delivered.Watts()
+	budget := thermal.Budget(area)
+	return units.Power(budget.Watts() / (1 + h)), nil
+}
+
+// BudgetPenalty returns the fraction of the thermal budget consumed by
+// WPT losses: 1 − EffectiveBudget/Budget.
+func (l Link) BudgetPenalty() (float64, error) {
+	eff, err := l.EffectiveBudget(units.SquareMillimetres(100))
+	if err != nil {
+		return 0, err
+	}
+	return 1 - eff.Watts()/thermal.Budget(units.SquareMillimetres(100)).Watts(), nil
+}

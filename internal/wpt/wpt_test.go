@@ -1,0 +1,183 @@
+package wpt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mindful/internal/thermal"
+	"mindful/internal/units"
+)
+
+func TestLinkEfficiencyKnownValues(t *testing.T) {
+	// u² = k²Q₁Q₂; for k=0.05, Q=100/30: u² = 7.5 →
+	// η = 7.5/(1+√8.5)² ≈ 0.487.
+	eta, err := TypicalLink().LinkEfficiency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 7.5 / math.Pow(1+math.Sqrt(8.5), 2)
+	if math.Abs(eta-want) > 1e-12 {
+		t.Errorf("link efficiency = %v, want %v", eta, want)
+	}
+	if eta < 0.4 || eta > 0.6 {
+		t.Errorf("typical link efficiency = %v, want ≈0.49", eta)
+	}
+}
+
+func TestEfficiencyMonotoneInCouplingProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		k1 := 0.01 + math.Abs(math.Mod(a, 0.4))
+		k2 := k1 + math.Abs(math.Mod(b, 0.4))
+		if k2 >= 1 {
+			return true
+		}
+		l1, l2 := TypicalLink(), TypicalLink()
+		l1.Coupling, l2.Coupling = k1, k2
+		e1, err1 := l1.LinkEfficiency()
+		e2, err2 := l2.LinkEfficiency()
+		return err1 == nil && err2 == nil && e2 >= e1 && e1 > 0 && e2 < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeliveryEnergyConservation(t *testing.T) {
+	l := TypicalLink()
+	d, err := l.Deliver(units.Milliwatts(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delivered + implant heat + external-coil heat = transmit power.
+	eta, _ := l.LinkEfficiency()
+	externalHeat := 100 * (1 - eta) / 2
+	total := d.Delivered.Milliwatts() + d.ImplantHeat.Milliwatts() + externalHeat
+	if math.Abs(total-100) > 1e-9 {
+		t.Errorf("energy not conserved: %v mW of 100", total)
+	}
+	if d.Delivered <= 0 || d.ImplantHeat <= 0 {
+		t.Errorf("degenerate delivery: %+v", d)
+	}
+	if _, err := l.Deliver(units.Milliwatts(-1)); err == nil {
+		t.Errorf("negative transmit power should fail")
+	}
+}
+
+func TestTxForDeliveredInverse(t *testing.T) {
+	l := TypicalLink()
+	tx, err := l.TxForDelivered(units.Milliwatts(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := l.Deliver(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Delivered.Milliwatts()-10) > 1e-9 {
+		t.Errorf("round trip delivered = %v mW, want 10", d.Delivered.Milliwatts())
+	}
+	if _, err := l.TxForDelivered(units.Milliwatts(-1)); err == nil {
+		t.Errorf("negative DC should fail")
+	}
+}
+
+func TestCouplingDistanceRolloff(t *testing.T) {
+	l := TypicalLink()
+	// Doubling the gap cuts coupling 8× (cube law).
+	k2, err := l.CouplingAt(2 * l.NominalGapM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k2-l.Coupling/8) > 1e-12 {
+		t.Errorf("coupling at 2× gap = %v, want %v", k2, l.Coupling/8)
+	}
+	far, err := l.AtGap(3 * l.NominalGapM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eNear, _ := l.EndToEndEfficiency()
+	eFar, err := far.EndToEndEfficiency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eFar >= eNear {
+		t.Errorf("efficiency should collapse with distance: %v vs %v", eFar, eNear)
+	}
+	// A gap inside the coil scale clamps to a physical coupling.
+	close, err := l.AtGap(l.NominalGapM / 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if close.Coupling >= 1 {
+		t.Errorf("coupling must stay below 1, got %v", close.Coupling)
+	}
+	if _, err := l.CouplingAt(0); err == nil {
+		t.Errorf("zero gap should fail")
+	}
+}
+
+func TestEffectiveBudgetPenalty(t *testing.T) {
+	// The Section 8 point quantified: WPT losses on the implant eat a
+	// substantial slice of the thermal budget.
+	l := TypicalLink()
+	area := units.SquareMillimetres(144)
+	eff, err := l.EffectiveBudget(area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := thermal.Budget(area)
+	if eff >= full {
+		t.Errorf("effective budget %v not below full %v", eff, full)
+	}
+	penalty, err := l.BudgetPenalty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if penalty < 0.1 || penalty > 0.8 {
+		t.Errorf("budget penalty = %.0f%%, want a substantial fraction", penalty*100)
+	}
+	// Self-consistency: circuits at the effective budget plus the implied
+	// heat hit the full budget exactly.
+	d, err := l.Deliver(units.Watts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := d.ImplantHeat.Watts() / d.Delivered.Watts()
+	if math.Abs(eff.Watts()*(1+h)-full.Watts()) > 1e-12 {
+		t.Errorf("budget identity violated")
+	}
+}
+
+func TestBetterLinkSmallerPenalty(t *testing.T) {
+	good := TypicalLink()
+	good.Coupling = 0.2
+	good.RectifierEff = 0.95
+	pGood, err := good.BudgetPenalty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pTypical, err := TypicalLink().BudgetPenalty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pGood >= pTypical {
+		t.Errorf("better link should waste less budget: %v vs %v", pGood, pTypical)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Link{
+		{Coupling: 0, QTx: 100, QRx: 30, RectifierEff: 0.8, NominalGapM: 0.01},
+		{Coupling: 1.0, QTx: 100, QRx: 30, RectifierEff: 0.8, NominalGapM: 0.01},
+		{Coupling: 0.05, QTx: 0, QRx: 30, RectifierEff: 0.8, NominalGapM: 0.01},
+		{Coupling: 0.05, QTx: 100, QRx: 30, RectifierEff: 0, NominalGapM: 0.01},
+		{Coupling: 0.05, QTx: 100, QRx: 30, RectifierEff: 1.2, NominalGapM: 0.01},
+		{Coupling: 0.05, QTx: 100, QRx: 30, RectifierEff: 0.8, NominalGapM: 0},
+	}
+	for i, l := range bad {
+		if _, err := l.LinkEfficiency(); err == nil {
+			t.Errorf("link %d should fail validation", i)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package mindful_test
+
+import (
+	"math"
+	"testing"
+
+	"mindful"
+)
+
+func TestFacadeDesignFlow(t *testing.T) {
+	designs := mindful.Table1()
+	if len(designs) != 11 {
+		t.Fatalf("Table1 = %d designs", len(designs))
+	}
+	if len(mindful.WirelessDesigns()) != 8 {
+		t.Fatalf("wireless designs wrong")
+	}
+	bisc, ok := mindful.DesignByNum(1)
+	if !ok {
+		t.Fatal("BISC missing")
+	}
+	b := bisc.Baseline()
+	if b.At1024.Channels != mindful.StandardChannels {
+		t.Errorf("baseline channels = %d", b.At1024.Channels)
+	}
+	check := mindful.CheckSafety(b.At1024.Power, b.At1024.Area)
+	if !check.Safe() {
+		t.Errorf("BISC baseline should be safe: %v", check)
+	}
+	if got := mindful.PowerBudget(mindful.SquareMillimetres(144)).Milliwatts(); math.Abs(got-57.6) > 1e-9 {
+		t.Errorf("budget = %v", got)
+	}
+}
+
+func TestFacadeThermal(t *testing.T) {
+	m := mindful.DefaultThermalModel()
+	p, err := m.SteadyState(mindful.SafePowerDensity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rise := p.SurfaceRise(); rise < 1 || rise > 2 {
+		t.Errorf("rise at the safety limit = %v, want 1–2 °C", rise)
+	}
+}
+
+func TestFacadeComputationFlow(t *testing.T) {
+	bisc, _ := mindful.DesignByNum(1)
+	ev := mindful.NewEvaluator(bisc.Baseline(), mindful.MLPTemplate())
+	a, err := ev.Assess(1024, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Feasible() {
+		t.Errorf("BISC MLP@1024 should be feasible")
+	}
+	m, err := mindful.MLPTemplate().Scale(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := mindful.ScheduleLowerBound(m, mindful.DeadlineFor(mindful.Kilohertz(2)), mindful.NanGate45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible || r.MACHW <= 0 {
+		t.Errorf("schedule = %+v", r)
+	}
+	if len(mindful.OptimizationSteps()) != 4 {
+		t.Errorf("steps wrong")
+	}
+}
+
+func TestFacadeCommFlow(t *testing.T) {
+	lb := mindful.NominalLinkBudget(0.15)
+	p, err := lb.TxPower(mindful.NewQAM(2), 1e-6, mindful.MegabitsPerSecond(82))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Milliwatts() <= 0 {
+		t.Errorf("tx power = %v", p)
+	}
+	modem, err := mindful.NewModem(mindful.OOK())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := []byte{1, 0, 1, 1}
+	syms, err := modem.Modulate(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := modem.Demodulate(syms)
+	for i := range bits {
+		if back[i] != bits[i] {
+			t.Fatalf("modem round trip failed")
+		}
+	}
+}
+
+func TestFacadeImplantFlow(t *testing.T) {
+	cfg := mindful.DefaultImplantConfig()
+	cfg.Neural.Channels = 16
+	im, err := mindful.NewImplant(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := im.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	st := im.Stats()
+	if st.Ticks != 50 || st.Frames != 50 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Flow != mindful.CommCentric {
+		t.Errorf("default flow should be comm-centric")
+	}
+}
+
+func TestFacadeNeuralAndDecode(t *testing.T) {
+	cfg := mindful.DefaultNeuralConfig()
+	cfg.Channels = 8
+	g, err := mindful.NewNeuralGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Next()); got != 8 {
+		t.Errorf("sample width = %d", got)
+	}
+	adc := mindful.DefaultADC()
+	if adc.Levels() != 1024 {
+		t.Errorf("ADC levels = %d", adc.Levels())
+	}
+	// Tiny decode round trip through the facade.
+	states := [][]float64{{0, 1}, {0.1, 0.9}, {0.2, 0.8}, {0.3, 0.7}, {0.4, 0.6}}
+	obs := [][]float64{{0, 2}, {0.2, 1.8}, {0.4, 1.6}, {0.6, 1.4}, {0.8, 1.2}}
+	k, err := mindful.FitKalman(states, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Step(obs[0]); err != nil {
+		t.Fatal(err)
+	}
+	bins, err := mindful.BinSpikeCounts([][]int{{1, 5}}, 10, 5)
+	if err != nil || len(bins) != 2 {
+		t.Fatalf("bins = %v, %v", bins, err)
+	}
+}
