@@ -1,0 +1,36 @@
+# MINDFUL-Go developer targets.
+#
+# `make check` is the tier-1.5 gate: everything tier-1 runs
+# (build + tests) plus vet, gofmt drift, and the race detector.
+
+GO ?= go
+
+.PHONY: all build test check fmt vet race bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+race:
+	$(GO) test -race ./...
+
+check: build vet fmt race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	$(GO) clean ./...

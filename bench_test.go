@@ -284,6 +284,21 @@ func BenchmarkImplantTickCommCentric(b *testing.B) {
 	}
 }
 
+func BenchmarkImplantTickCommCentricObserved(b *testing.B) {
+	cfg := mindful.DefaultImplantConfig()
+	im, err := mindful.NewImplant(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	im.SetObserver(mindful.NewObserver())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := im.Tick(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkImplantTickComputeCentric(b *testing.B) {
 	cfg := mindful.DefaultImplantConfig()
 	cfg.Flow = mindful.ComputeCentric

@@ -5,22 +5,28 @@
 // Usage:
 //
 //	bcisim [-channels N] [-flow comm|compute] [-seconds S] [-labels L]
+//	       [-metrics FILE] [-trace FILE] [-debug-addr ADDR]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"mindful"
 )
 
 var (
-	channels = flag.Int("channels", 128, "neural interface channel count")
-	flowName = flag.String("flow", "comm", "dataflow: comm (stream raw), compute (on-implant DNN), feature (band power), or spike (event streaming)")
-	seconds  = flag.Float64("seconds", 1, "simulated duration")
-	labels   = flag.Int("labels", 40, "DNN output labels (compute flow)")
-	areaMM2  = flag.Float64("area", 18, "implant contact area in mm²")
+	channels    = flag.Int("channels", 128, "neural interface channel count")
+	flowName    = flag.String("flow", "comm", "dataflow: comm (stream raw), compute (on-implant DNN), feature (band power), or spike (event streaming)")
+	seconds     = flag.Float64("seconds", 1, "simulated duration")
+	labels      = flag.Int("labels", 40, "DNN output labels (compute flow)")
+	areaMM2     = flag.Float64("area", 18, "implant contact area in mm²")
+	metricsPath = flag.String("metrics", "", "write a Prometheus-text metrics snapshot to this file at exit")
+	tracePath   = flag.String("trace", "", "write the span trace as JSON lines to this file at exit")
+	debugAddr   = flag.String("debug-addr", "", "serve /metrics, /trace, expvar and pprof on this address while running")
 )
 
 func main() {
@@ -52,6 +58,16 @@ func main() {
 	im, err := mindful.NewImplant(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	obs := mindful.NewObserver()
+	im.SetObserver(obs)
+	if *debugAddr != "" {
+		bound, stop, err := mindful.ServeDebug(*debugAddr, obs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop() //nolint:errcheck — best-effort teardown at exit
+		fmt.Fprintf(os.Stderr, "debug listener on http://%s/metrics\n", bound)
 	}
 	ticks := int(*seconds * cfg.Neural.SampleRate.Hz())
 	fmt.Printf("Simulating a %d-channel %v implant for %.2g s (%d ticks at %v)…\n",
@@ -89,4 +105,31 @@ func main() {
 	if st.SpikeEvents > 0 {
 		fmt.Printf("Spike events:       %d\n", st.SpikeEvents)
 	}
+	if *metricsPath != "" {
+		if err := writeSnapshot(*metricsPath, obs.Metrics.WritePrometheus); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *tracePath != "" {
+		if err := writeSnapshot(*tracePath, obs.Tracer.WriteJSONL); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeSnapshot streams one exporter into a freshly created file.
+func writeSnapshot(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
 }

@@ -4,12 +4,19 @@
 //
 // Usage:
 //
-//	mindful [flags] <table1|fig4|fig5|fig6|fig7|fig9|fig10|fig11|fig12|all|validate>
+//	mindful [flags] <table1|fig4|fig5|fig6|fig7|fig9|fig10|fig11|fig12|observe|all|validate>
 //
 // Flags:
 //
-//	-csv DIR   also write <name>.csv into DIR
-//	-svg DIR   also write <name>.svg into DIR
+//	-csv DIR          also write <name>.csv into DIR
+//	-svg DIR          also write <name>.svg into DIR
+//	-metrics FILE     write a Prometheus-text metrics snapshot at exit
+//	-trace FILE       write the span trace as JSON lines at exit
+//	-debug-addr ADDR  serve /metrics, /trace, expvar and pprof while running
+//
+// The observe subcommand runs the instrumented implant → modem → wearable
+// chain plus the thermal and scheduling solvers, so -metrics captures a
+// snapshot that spans every layer.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"mindful/internal/experiments"
 	"mindful/internal/optimize"
 	"mindful/internal/report"
+	"mindful/internal/sched"
 	"mindful/internal/thermal"
 	"mindful/internal/units"
 	"mindful/internal/wpt"
@@ -54,8 +62,25 @@ func main() {
 		"fig12":    runFig12,
 		"ablate":   runAblate,
 		"ext":      runExt,
+		"observe":  runObserve,
 		"validate": runValidate,
 	}
+	// The scheduler backs most figure runners; wiring its package-level
+	// hook here means any subcommand's -metrics snapshot carries the
+	// solves it triggered.
+	sched.SetObserver(observer)
+	stopDebug, err := startDebug()
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := writeObsOutputs(); err != nil {
+			fail(err)
+		}
+		if err := stopDebug(); err != nil {
+			fail(err)
+		}
+	}()
 	if cmd == "all" {
 		for _, name := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10", "fig11", "fig12"} {
 			if err := runners[name](); err != nil {
@@ -77,7 +102,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mindful [-csv DIR] [-svg DIR] <table1|fig4|fig5|fig6|fig7|fig9|fig10|fig11|fig12|ablate|ext|all|validate>")
+	fmt.Fprintln(os.Stderr, "usage: mindful [-csv DIR] [-svg DIR] [-metrics FILE] [-trace FILE] [-debug-addr ADDR] <table1|fig4|fig5|fig6|fig7|fig9|fig10|fig11|fig12|ablate|ext|observe|all|validate>")
 	flag.PrintDefaults()
 }
 

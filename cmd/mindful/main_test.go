@@ -48,6 +48,7 @@ func TestRunnersProduceOutput(t *testing.T) {
 		{"fig11", runFig11, []string{"partitioning", "Average gain"}},
 		{"fig12", runFig12, []string{"ChDr", "La+ChDr+Tech+Dense"}},
 		{"ablate", runAblate, []string{"depth-scaling", "flux split", "break-even"}},
+		{"observe", runObserve, []string{"instrumented", "accepted", "MAC units"}},
 		{"ext", runExt, []string{"Wireless power", "density wall", "stimulation"}},
 		{"validate", runValidate, []string{"Pennes", "within the budget"}},
 	}
@@ -60,6 +61,44 @@ func TestRunnersProduceOutput(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestObserveMetricsSnapshot checks the acceptance path: an observe run
+// exported with -metrics yields Prometheus text naming the implant frame
+// and bit counters, the modem error counter, and the thermal max-ΔT gauge.
+func TestObserveMetricsSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	*metricsPath = filepath.Join(dir, "obs.prom")
+	*tracePath = filepath.Join(dir, "obs.jsonl")
+	defer func() { *metricsPath, *tracePath = "", "" }()
+	capture(t, runObserve)
+	if err := writeObsOutputs(); err != nil {
+		t.Fatal(err)
+	}
+	prom, err := os.ReadFile(*metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE implant_frames_total counter",
+		`implant_frames_total{flow="communication-centric"}`,
+		`implant_bits_sent_total{flow="communication-centric"}`,
+		`comm_modem_bit_errors_total{modulation="16-QAM"}`,
+		"# TYPE thermal_max_rise_celsius gauge",
+		`thermal_max_rise_celsius{solver="steady1d"}`,
+		"wearable_frames_accepted_total",
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("metrics snapshot missing %q", want)
+		}
+	}
+	trace, err := os.ReadFile(*tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(trace), `"name":"implant.tick"`) {
+		t.Errorf("trace snapshot missing implant.tick spans")
 	}
 }
 

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"mindful/internal/comm"
+	"mindful/internal/dnnmodel"
+	"mindful/internal/implant"
+	"mindful/internal/mac"
+	"mindful/internal/obs"
+	"mindful/internal/report"
+	"mindful/internal/sched"
+	"mindful/internal/thermal"
+	"mindful/internal/wearable"
+)
+
+// Observability flags, honored by every subcommand: any run can snapshot
+// the process-wide registry and trace at exit, and -debug-addr serves them
+// live alongside net/http/pprof.
+var (
+	metricsPath = flag.String("metrics", "", "write a Prometheus-text metrics snapshot to this file at exit")
+	tracePath   = flag.String("trace", "", "write the span trace as JSON lines to this file at exit")
+	debugAddr   = flag.String("debug-addr", "", "serve /metrics, /trace, expvar and pprof on this address while running")
+)
+
+// observer is the process-wide sink behind the observability flags.
+var observer = obs.New()
+
+// startDebug starts the -debug-addr listener if requested; the returned
+// stop function is safe to call either way.
+func startDebug() (func() error, error) {
+	if *debugAddr == "" {
+		return func() error { return nil }, nil
+	}
+	bound, stop, err := obs.ServeDebug(*debugAddr, observer)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "debug listener on http://%s/metrics\n", bound)
+	return stop, nil
+}
+
+// writeObsOutputs flushes the -metrics and -trace files.
+func writeObsOutputs() error {
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := observer.Metrics.WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsPath)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := observer.Tracer.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *tracePath)
+	}
+	return nil
+}
+
+// runObserve drives every obs-wired subsystem into one registry: the
+// default implant streams frames through an instrumented QAM modem and an
+// AWGN channel into the wearable receiver, then the thermal solver checks
+// the safety limit and the scheduler prices the matching DNN — so the
+// snapshot spans the implant, the link, and both solvers.
+func runObserve() error {
+	const ticks = 2000
+	cfg := implant.DefaultConfig()
+	im, err := implant.New(cfg)
+	if err != nil {
+		return err
+	}
+	im.SetObserver(observer)
+
+	modem, err := comm.NewModem(comm.NewQAM(4))
+	if err != nil {
+		return err
+	}
+	om := comm.ObserveModem(modem, observer)
+	// 13 dB Eb/N0 sits on the 16-QAM waterfall: most frames survive, a
+	// visible fraction carries bit errors the receiver's CRC rejects.
+	ch := comm.NewAWGNChannel(math.Pow(10, 13.0/10), 1)
+
+	rx, err := wearable.NewReceiver(0)
+	if err != nil {
+		return err
+	}
+	rx.SetObserver(observer)
+
+	var rejected int64
+	im.OnFrame(func(buf []byte) {
+		sent := bytesToBits(buf)
+		syms, merr := om.Modulate(sent)
+		if merr != nil {
+			err = merr
+			return
+		}
+		got := om.Demodulate(ch.Transmit(syms))
+		om.CountErrors(sent, got)
+		if _, rerr := rx.Receive(bitsToBytes(got)); rerr != nil {
+			rejected++
+		}
+	})
+	if rerr := im.Run(ticks); rerr != nil {
+		return rerr
+	}
+	if err != nil {
+		return err
+	}
+
+	// Thermal: a steady-state solve at the 40 mW/cm² safety limit records
+	// solver timing and the max tissue-temperature rise.
+	tm := thermal.DefaultModel()
+	tm.Obs = observer
+	profile, err := tm.SteadyState(thermal.SafeDensity)
+	if err != nil {
+		return err
+	}
+
+	// Scheduling: one lower-bound solve for the matching MLP workload.
+	// (main wires sched's package-level observer; do it here too so the
+	// runner works standalone, e.g. under test.)
+	sched.SetObserver(observer)
+	model, err := dnnmodel.MLP().Scale(cfg.Neural.Channels)
+	if err != nil {
+		return err
+	}
+	bound, err := sched.Best(model, sched.DeadlineFor(cfg.Neural.SampleRate), mac.NanGate45)
+	if err != nil {
+		return err
+	}
+
+	st := im.Stats()
+	rs := rx.Stats()
+	tb := report.NewTable("Observability: instrumented end-to-end run",
+		"Stage", "Result")
+	tb.AddRow("implant", fmt.Sprintf("%d ticks, %d frames, %d bits", st.Ticks, st.Frames, st.BitsSent))
+	tb.AddRow("modem", fmt.Sprintf("%s over AWGN, %d frames rejected downstream", modem.Name(), rejected))
+	tb.AddRow("wearable", fmt.Sprintf("%d accepted, %d corrupt, %d lost (FER %.4f)",
+		rs.Accepted, rs.Corrupted, rs.LostSeq, rs.FrameErrorRate()))
+	tb.AddRow("thermal", fmt.Sprintf("rise %.2f °C at the 40 mW/cm² limit", profile.SurfaceRise()))
+	tb.AddRow("sched", fmt.Sprintf("%d MAC units lower bound (%s)", bound.MACHW, model.Name))
+	fmt.Print(tb.String())
+	fmt.Println()
+	fmt.Printf("Registry holds the snapshot; rerun with -metrics/-trace to export it,\n")
+	fmt.Printf("or -debug-addr to serve /metrics, /trace and pprof live.\n")
+	return nil
+}
+
+// bytesToBits unpacks bytes MSB-first into the modem's 0/1-per-element
+// bit representation.
+func bytesToBits(buf []byte) []byte {
+	bits := make([]byte, 0, len(buf)*8)
+	for _, b := range buf {
+		for i := 7; i >= 0; i-- {
+			bits = append(bits, (b>>i)&1)
+		}
+	}
+	return bits
+}
+
+// bitsToBytes packs 0/1 elements back into bytes MSB-first.
+func bitsToBytes(bits []byte) []byte {
+	out := make([]byte, len(bits)/8)
+	for i, b := range bits {
+		if b != 0 {
+			out[i/8] |= 1 << (7 - i%8)
+		}
+	}
+	return out
+}

@@ -2,12 +2,14 @@
 // wearable receiver — under increasing bit error rates. The example shows
 // what the paper's BER = 1e-6 design target buys: below it the link is
 // effectively lossless; a few orders of magnitude worse and the frame
-// error rate collapses the stream.
+// error rate collapses the stream. The whole sweep runs under one
+// observer, so it ends with the aggregated Prometheus-text snapshot.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"mindful"
 )
@@ -16,6 +18,7 @@ func main() {
 	const channels = 64
 	const ticks = 2000
 
+	obs := mindful.NewObserver()
 	fmt.Printf("%-10s %-10s %-10s %-12s %-12s %s\n",
 		"BER", "accepted", "rejected", "lost seq", "FER", "analytic FER")
 	for _, ber := range []float64{0, 1e-6, 1e-5, 1e-4, 1e-3} {
@@ -29,19 +32,29 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		link.SetObserver(obs)
 		rx, err := mindful.NewWearableReceiver(0)
 		if err != nil {
 			log.Fatal(err)
 		}
+		rx.SetObserver(obs)
+		// Rejections surface both as Receive errors (counted here) and in
+		// the receiver's own stats; the two tallies must agree.
 		var frameBytes int
+		var rejected int64
 		im.OnFrame(func(buf []byte) {
 			frameBytes = len(buf)
-			rx.Receive(link.Transport(buf)) //nolint:errcheck — rejects counted in stats
+			if _, err := rx.Receive(link.Transport(buf)); err != nil {
+				rejected++
+			}
 		})
 		if err := im.Run(ticks); err != nil {
 			log.Fatal(err)
 		}
 		st := rx.Stats()
+		if rejected != st.Corrupted {
+			log.Fatalf("telemetry: %d Receive errors but %d frames counted corrupt", rejected, st.Corrupted)
+		}
 		fmt.Printf("%-10.0e %-10d %-10d %-12d %-12.4f %.4f\n",
 			ber, st.Accepted, st.Corrupted, st.LostSeq,
 			st.FrameErrorRate(), link.ExpectedFrameErrorRate(frameBytes))
@@ -49,4 +62,9 @@ func main() {
 
 	fmt.Println("\nThe CRC-framed packetizer turns bit errors into clean frame drops;")
 	fmt.Println("at the paper's BER = 1e-6 design point the stream is effectively lossless.")
+
+	fmt.Println("\nAggregated metrics over the whole sweep (Prometheus text):")
+	if err := obs.Metrics.WritePrometheus(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

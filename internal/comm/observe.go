@@ -1,0 +1,86 @@
+package comm
+
+import (
+	"time"
+
+	"mindful/internal/obs"
+)
+
+// ObservedModem wraps a Modem with obs instrumentation: bit and symbol
+// counters, per-call latency histograms, and an error counter fed by
+// CountErrors when the harness knows the ground-truth bit stream. The
+// wrapper satisfies Modem, so it drops into any path a bare modem serves.
+type ObservedModem struct {
+	Modem
+
+	bitsModulated   *obs.Counter
+	bitsDemodulated *obs.Counter
+	symbols         *obs.Counter
+	bitErrors       *obs.Counter
+	latency         *obs.Histogram
+}
+
+// ObserveModem wraps m so its traffic is accounted in o's registry,
+// labeled by modulation name. A nil observer returns a transparent
+// wrapper whose instruments short-circuit.
+func ObserveModem(m Modem, o *obs.Observer) *ObservedModem {
+	om := &ObservedModem{Modem: m}
+	if o == nil {
+		return om
+	}
+	reg := o.Metrics
+	lbl := obs.Label{Key: "modulation", Value: m.Name()}
+	om.bitsModulated = reg.Counter("comm_modem_bits_modulated_total", lbl)
+	om.bitsDemodulated = reg.Counter("comm_modem_bits_demodulated_total", lbl)
+	om.symbols = reg.Counter("comm_modem_symbols_total", lbl)
+	om.bitErrors = reg.Counter("comm_modem_bit_errors_total", lbl)
+	om.latency = reg.Histogram("comm_modem_latency_seconds", obs.ExpBuckets(1e-7, 4, 12), lbl)
+	reg.Help("comm_modem_bits_modulated_total", "Bits mapped to symbols.")
+	reg.Help("comm_modem_bits_demodulated_total", "Bits recovered from symbols.")
+	reg.Help("comm_modem_symbols_total", "Baseband symbols produced.")
+	reg.Help("comm_modem_bit_errors_total", "Demodulated bits differing from the known transmitted stream.")
+	reg.Help("comm_modem_latency_seconds", "Per-call modulate/demodulate latency.")
+	return om
+}
+
+// Modulate maps bits to symbols, counting bits, symbols and latency.
+func (om *ObservedModem) Modulate(bits []byte) ([]Symbol, error) {
+	start := time.Now()
+	syms, err := om.Modem.Modulate(bits)
+	if err != nil {
+		return nil, err
+	}
+	om.bitsModulated.Add(int64(len(bits)))
+	om.symbols.Add(int64(len(syms)))
+	om.latency.Observe(time.Since(start).Seconds())
+	return syms, nil
+}
+
+// Demodulate maps symbols back to bits, counting bits and latency.
+func (om *ObservedModem) Demodulate(syms []Symbol) []byte {
+	start := time.Now()
+	bits := om.Modem.Demodulate(syms)
+	om.bitsDemodulated.Add(int64(len(bits)))
+	om.latency.Observe(time.Since(start).Seconds())
+	return bits
+}
+
+// CountErrors compares a demodulated stream against the known transmitted
+// bits, adds the mismatches to the modem's bit-error counter, and returns
+// the mismatch count. Streams of unequal length compare up to the shorter
+// one, with the length difference counted as errors.
+func (om *ObservedModem) CountErrors(sent, got []byte) int64 {
+	n := len(sent)
+	if len(got) < n {
+		n = len(got)
+	}
+	var errs int64
+	for i := 0; i < n; i++ {
+		if sent[i] != got[i] {
+			errs++
+		}
+	}
+	errs += int64(len(sent) - n + len(got) - n)
+	om.bitErrors.Add(errs)
+	return errs
+}

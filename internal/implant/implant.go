@@ -14,6 +14,7 @@ import (
 	"mindful/internal/mac"
 	"mindful/internal/neural"
 	"mindful/internal/nn"
+	"mindful/internal/obs"
 	"mindful/internal/thermal"
 	"mindful/internal/units"
 )
@@ -111,6 +112,66 @@ type Implant struct {
 	lastOutput []float64
 	// onFrame receives every encoded frame when set (the "wearable").
 	onFrame func([]byte)
+	// o holds pre-resolved observability handles; its zero value (and nil
+	// instruments) short-circuits every hook, keeping the unobserved tick
+	// loop within a few nil checks of the bare pipeline.
+	o implantObs
+}
+
+// implantObs is the implant's bundle of pre-resolved metric handles and
+// tracer. All obs instruments are nil-receiver-safe, so the zero value is
+// a complete no-op observer.
+type implantObs struct {
+	attached bool
+	tracer   *obs.Tracer
+
+	ticks, frames, bits        *obs.Counter
+	inferences, macSteps       *obs.Counter
+	features, spikes           *obs.Counter
+	droppedChannelSamples      *obs.Counter
+	computeEnergy, radioEnergy *obs.Gauge
+
+	// Cached per-unit energies so per-tick gauge updates stay mul+store.
+	stepJoules, bitJoules float64
+}
+
+// SetObserver wires the implant's hot path to an observability sink:
+// per-tick stage spans (sense → adc → process → transmit), frame/bit/drop
+// counters and cumulative energy gauges. Pass nil to detach; without an
+// observer the instrumentation short-circuits to nil checks.
+func (im *Implant) SetObserver(o *obs.Observer) {
+	if o == nil {
+		im.o = implantObs{}
+		return
+	}
+	m := o.Metrics
+	flow := obs.Label{Key: "flow", Value: im.cfg.Flow.String()}
+	im.o = implantObs{
+		attached:              true,
+		tracer:                o.Tracer,
+		ticks:                 m.Counter("implant_ticks_total", flow),
+		frames:                m.Counter("implant_frames_total", flow),
+		bits:                  m.Counter("implant_bits_sent_total", flow),
+		inferences:            m.Counter("implant_inferences_total", flow),
+		macSteps:              m.Counter("implant_mac_steps_total", flow),
+		features:              m.Counter("implant_feature_vectors_total", flow),
+		spikes:                m.Counter("implant_spike_events_total", flow),
+		droppedChannelSamples: m.Counter("implant_dropped_channel_samples_total", flow),
+		computeEnergy:         m.Gauge("implant_compute_energy_joules", flow),
+		radioEnergy:           m.Gauge("implant_radio_energy_joules", flow),
+		stepJoules:            im.cfg.ComputeNode.EnergyPerStep().Joules(),
+		bitJoules:             im.cfg.Radio.Eb.Joules(),
+	}
+	m.Help("implant_ticks_total", "Pipeline ticks executed.")
+	m.Help("implant_frames_total", "Uplink frames emitted.")
+	m.Help("implant_bits_sent_total", "Bits handed to the radio.")
+	m.Help("implant_inferences_total", "On-implant DNN inferences.")
+	m.Help("implant_mac_steps_total", "MAC steps executed on-implant.")
+	m.Help("implant_feature_vectors_total", "Band-power feature vectors emitted.")
+	m.Help("implant_spike_events_total", "Detected spike events.")
+	m.Help("implant_dropped_channel_samples_total", "Samples suppressed by channel dropout.")
+	m.Help("implant_compute_energy_joules", "Cumulative on-implant compute energy.")
+	m.Help("implant_radio_energy_joules", "Cumulative radio transmit energy.")
 }
 
 // New validates the configuration and builds the pipeline.
@@ -186,8 +247,11 @@ func (im *Implant) emit(codes []uint16) error {
 	if err != nil {
 		return err
 	}
-	im.bitsSent += int64(len(frame) * 8)
+	bits := int64(len(frame) * 8)
+	im.bitsSent += bits
 	im.frames++
+	im.o.frames.Inc()
+	im.o.bits.Add(bits)
 	if im.onFrame != nil {
 		im.onFrame(frame)
 	}
@@ -196,79 +260,111 @@ func (im *Implant) emit(codes []uint16) error {
 
 // Tick advances the pipeline by one sample period.
 func (im *Implant) Tick() error {
+	tr := im.o.tracer
+	tick := tr.Start("implant.tick", 0)
+	sp := tr.Start("implant.sense", tick)
 	samples := im.gen.Next()
 	if sel := im.drop.observe(samples, im.cfg.Neural.SampleRate.Hz()); sel != nil {
 		// Post-calibration: digitize and ship only the active subset.
+		im.o.droppedChannelSamples.Add(int64(im.cfg.Neural.Channels - len(sel)))
 		sub := make([]float64, len(sel))
 		for i, c := range sel {
 			sub[i] = samples[c]
 		}
 		samples = sub
 	}
+	tr.End(sp)
+	sp = tr.Start("implant.adc", tick)
 	codes := im.cfg.ADC.QuantizeBlock(samples)
+	tr.End(sp)
 	switch im.cfg.Flow {
 	case CommCentric:
-		frame, err := im.pkt.Encode(codes)
+		sp = tr.Start("implant.transmit", tick)
+		err := im.emit(codes)
+		tr.End(sp)
 		if err != nil {
+			tr.End(tick)
 			return err
 		}
-		im.bitsSent += int64(len(frame) * 8)
-		im.frames++
-		if im.onFrame != nil {
-			im.onFrame(frame)
-		}
 	case ComputeCentric:
+		sp = tr.Start("implant.nn", tick)
 		in := make([]float64, len(codes))
 		for i, c := range codes {
 			in[i] = im.cfg.ADC.Dequantize(c)
 		}
 		out, err := im.cfg.Network.Forward(nn.FromVector(in))
 		if err != nil {
+			tr.End(sp)
+			tr.End(tick)
 			return err
 		}
 		im.lastOutput = out.Data
 		im.inferences++
+		im.o.inferences.Inc()
 		macs, err := im.cfg.Network.TotalMACs()
 		if err != nil {
+			tr.End(sp)
+			tr.End(tick)
 			return err
 		}
 		im.macSteps += int64(macs)
+		im.o.macSteps.Add(int64(macs))
+		tr.End(sp)
 		// Transmit the output values at the ADC width in a frame.
 		outCodes := make([]uint16, len(out.Data))
 		for i, v := range out.Data {
 			outCodes[i] = im.cfg.ADC.Quantize(v)
 		}
-		frame, err := im.pkt.Encode(outCodes)
+		sp = tr.Start("implant.transmit", tick)
+		err = im.emit(outCodes)
+		tr.End(sp)
 		if err != nil {
+			tr.End(tick)
 			return err
 		}
-		im.bitsSent += int64(len(frame) * 8)
-		im.frames++
-		if im.onFrame != nil {
-			im.onFrame(frame)
-		}
 	case FeatureCentric:
+		sp = tr.Start("implant.dsp", tick)
 		features, ok := im.feat.process(samples)
+		tr.End(sp)
 		if !ok {
 			break // decimator has not fired this tick
 		}
 		im.featureVectors++
-		if err := im.emit(im.cfg.ADC.QuantizeBlock(features)); err != nil {
+		im.o.features.Inc()
+		sp = tr.Start("implant.transmit", tick)
+		err := im.emit(im.cfg.ADC.QuantizeBlock(features))
+		tr.End(sp)
+		if err != nil {
+			tr.End(tick)
 			return err
 		}
 	case SpikeCentric:
+		sp = tr.Start("implant.dsp", tick)
 		events := im.spk.process(samples)
+		tr.End(sp)
 		im.spikeEvents += int64(len(events))
+		im.o.spikes.Add(int64(len(events)))
 		if len(events) == 0 {
 			break // nothing to transmit this tick
 		}
-		if err := im.emit(events); err != nil {
+		sp = tr.Start("implant.transmit", tick)
+		err := im.emit(events)
+		tr.End(sp)
+		if err != nil {
+			tr.End(tick)
 			return err
 		}
 	default:
+		tr.End(tick)
 		return fmt.Errorf("implant: unknown dataflow %d", im.cfg.Flow)
 	}
 	im.ticks++
+	if im.o.attached {
+		im.o.ticks.Inc()
+		im.o.computeEnergy.Set(float64(im.macSteps) * im.o.stepJoules)
+		im.o.radioEnergy.Set(float64(im.bitsSent) * im.o.bitJoules)
+	}
+	tr.End(tick)
 	return nil
 }
 

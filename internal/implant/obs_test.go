@@ -1,0 +1,120 @@
+package implant
+
+import (
+	"strings"
+	"testing"
+
+	"mindful/internal/obs"
+)
+
+// TestObserverCountsMatchStats runs an observed implant and checks that
+// the registry's counters agree exactly with the implant's own Stats.
+func TestObserverCountsMatchStats(t *testing.T) {
+	o := obs.New()
+	im, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	im.SetObserver(o)
+	if err := im.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	st := im.Stats()
+	flow := obs.Label{Key: "flow", Value: st.Flow.String()}
+	m := o.Metrics
+	if got := m.Counter("implant_ticks_total", flow).Value(); got != st.Ticks {
+		t.Errorf("ticks counter = %d, stats = %d", got, st.Ticks)
+	}
+	if got := m.Counter("implant_frames_total", flow).Value(); got != st.Frames {
+		t.Errorf("frames counter = %d, stats = %d", got, st.Frames)
+	}
+	if got := m.Counter("implant_bits_sent_total", flow).Value(); got != st.BitsSent {
+		t.Errorf("bits counter = %d, stats = %d", got, st.BitsSent)
+	}
+}
+
+// TestObserverSpansPerTick checks the tracer records the comm-centric
+// stage chain sense → adc → transmit under each tick root.
+func TestObserverSpansPerTick(t *testing.T) {
+	o := obs.New()
+	im, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	im.SetObserver(o)
+	if err := im.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	spans := o.Tracer.Snapshot()
+	if len(spans) != 3*4 {
+		t.Fatalf("got %d spans, want 12 (4 per tick)", len(spans))
+	}
+	wantOrder := []string{"implant.tick", "implant.sense", "implant.adc", "implant.transmit"}
+	for i, s := range spans {
+		want := wantOrder[i%4]
+		if s.Name != want {
+			t.Errorf("span %d = %q, want %q", i, s.Name, want)
+		}
+		if s.End == 0 {
+			t.Errorf("span %d (%s) never ended", i, s.Name)
+		}
+		if s.Name != "implant.tick" {
+			root := spans[i-i%4]
+			if s.Parent != root.ID {
+				t.Errorf("span %d (%s) parent = %d, want %d", i, s.Name, s.Parent, root.ID)
+			}
+		}
+	}
+}
+
+// TestObserverDetach checks SetObserver(nil) stops all accounting.
+func TestObserverDetach(t *testing.T) {
+	o := obs.New()
+	im, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	im.SetObserver(o)
+	if err := im.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	im.SetObserver(nil)
+	if err := im.Run(8); err != nil {
+		t.Fatal(err)
+	}
+	flow := obs.Label{Key: "flow", Value: CommCentric.String()}
+	if got := o.Metrics.Counter("implant_ticks_total", flow).Value(); got != 2 {
+		t.Errorf("ticks after detach = %d, want 2", got)
+	}
+}
+
+// TestObservedFlows runs every dataflow observed and checks the exported
+// snapshot names the flow-specific counters.
+func TestObservedFlows(t *testing.T) {
+	o := obs.New()
+	for _, flow := range []Dataflow{FeatureCentric, SpikeCentric} {
+		cfg := DefaultConfig()
+		cfg.Flow = flow
+		im, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		im.SetObserver(o)
+		if err := im.Run(300); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var b strings.Builder
+	if err := o.Metrics.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`implant_feature_vectors_total{flow="feature-centric"}`,
+		`implant_spike_events_total{flow="spike-centric"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("snapshot missing %s", want)
+		}
+	}
+}

@@ -183,3 +183,20 @@ func (u *Unit) Energy() units.Energy {
 
 // ResetStats zeroes the step counter (the accumulator is reset per-op).
 func (u *Unit) ResetStats() { u.steps = 0 }
+
+// UnitStats is a point-in-time summary of a unit's executed work — the
+// readable counterpart of ResetStats.
+type UnitStats struct {
+	// Steps is the number of MAC steps executed.
+	Steps uint64
+	// Elapsed is the wall-clock time those steps consume at the node's
+	// t_MAC.
+	Elapsed time.Duration
+	// Energy is the energy those steps consume at the node's per-step cost.
+	Energy units.Energy
+}
+
+// Stats returns the unit's current counters (steps, elapsed, energy).
+func (u *Unit) Stats() UnitStats {
+	return UnitStats{Steps: u.steps, Elapsed: u.Elapsed(), Energy: u.Energy()}
+}

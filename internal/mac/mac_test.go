@@ -110,6 +110,23 @@ func TestUnitAccumulatorResetsBetweenOps(t *testing.T) {
 	}
 }
 
+func TestUnitStats(t *testing.T) {
+	u := NewUnit(NanGate45, fixed.Q15)
+	xs := fixed.QuantizeSlice([]float64{0.1, 0.2, 0.3}, fixed.Q15)
+	u.RunOp(xs, xs)
+	st := u.Stats()
+	if st.Steps != 3 {
+		t.Errorf("Stats.Steps = %d, want 3", st.Steps)
+	}
+	if st.Elapsed != u.Elapsed() || st.Energy != u.Energy() {
+		t.Errorf("Stats = %+v, want Elapsed %v, Energy %v", st, u.Elapsed(), u.Energy())
+	}
+	u.ResetStats()
+	if st := u.Stats(); st != (UnitStats{}) {
+		t.Errorf("Stats after ResetStats = %+v, want zero", st)
+	}
+}
+
 func TestUnitRunOpMismatchPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

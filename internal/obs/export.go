@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BucketCount is one cumulative histogram bucket in a snapshot.
+type BucketCount struct {
+	// UpperBound is the bucket's inclusive upper bound (+Inf for the last).
+	UpperBound float64
+	// Count is the cumulative number of observations ≤ UpperBound.
+	Count int64
+}
+
+// Sample is one exported metric instrument.
+type Sample struct {
+	Name   string
+	Type   string // "counter", "gauge" or "histogram"
+	Help   string
+	Labels []Label
+	// Value holds the counter or gauge reading.
+	Value float64
+	// Buckets, Sum and Count hold the histogram reading.
+	Buckets []BucketCount
+	Sum     float64
+	Count   int64
+}
+
+// Snapshot returns every instrument's current reading, sorted by family
+// name then label key. Safe on a nil receiver (returns nil).
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []Sample
+	for _, name := range names {
+		f := r.families[name]
+		keys := make([]string, 0, len(f.byLabel))
+		for k := range f.byLabel {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := Sample{Name: name, Type: f.kind.String(), Help: f.help}
+			switch inst := f.byLabel[k].(type) {
+			case *Counter:
+				s.Labels = inst.labels
+				s.Value = float64(inst.Value())
+			case *Gauge:
+				s.Labels = inst.labels
+				s.Value = inst.Value()
+			case *Histogram:
+				s.Labels = inst.labels
+				s.Sum = inst.Sum()
+				s.Count = inst.Count()
+				cum := int64(0)
+				s.Buckets = make([]BucketCount, 0, len(inst.bounds)+1)
+				for i, ub := range inst.bounds {
+					cum += inst.counts[i].Load()
+					s.Buckets = append(s.Buckets, BucketCount{UpperBound: ub, Count: cum})
+				}
+				cum += inst.counts[len(inst.bounds)].Load()
+				s.Buckets = append(s.Buckets, BucketCount{UpperBound: math.Inf(1), Count: cum})
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// escapeLabel escapes a label value for the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// promLabels renders {k="v",…} with an optional extra label appended.
+func promLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Key, escapeLabel(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promFloat formats a value for the text exposition (integers stay
+// integral; +Inf becomes "+Inf").
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the registry's current state in the Prometheus
+// text exposition format (version 0.0.4). Safe on a nil receiver.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	lastName := ""
+	for _, s := range r.Snapshot() {
+		if s.Name != lastName {
+			if s.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Type); err != nil {
+				return err
+			}
+			lastName = s.Name
+		}
+		var err error
+		switch s.Type {
+		case "histogram":
+			for _, b := range s.Buckets {
+				if _, err = fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name,
+					promLabels(s.Labels, Label{Key: "le", Value: promFloat(b.UpperBound)}), b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err = fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, promLabels(s.Labels), promFloat(s.Sum)); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s_count%s %d\n", s.Name, promLabels(s.Labels), s.Count)
+		default:
+			_, err = fmt.Fprintf(w, "%s%s %s\n", s.Name, promLabels(s.Labels), promFloat(s.Value))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonSample is the JSONL wire form of one Sample.
+type jsonSample struct {
+	Name    string            `json:"name"`
+	Type    string            `json:"type"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   *float64          `json:"value,omitempty"`
+	Buckets []jsonBucket      `json:"buckets,omitempty"`
+	Sum     *float64          `json:"sum,omitempty"`
+	Count   *int64            `json:"count,omitempty"`
+}
+
+type jsonBucket struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// WriteJSONL writes one JSON object per instrument, one per line. Safe on
+// a nil receiver.
+func (r *Registry) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, s := range r.Snapshot() {
+		js := jsonSample{Name: s.Name, Type: s.Type}
+		if len(s.Labels) > 0 {
+			js.Labels = make(map[string]string, len(s.Labels))
+			for _, l := range s.Labels {
+				js.Labels[l.Key] = l.Value
+			}
+		}
+		if s.Type == "histogram" {
+			sum, count := s.Sum, s.Count
+			js.Sum, js.Count = &sum, &count
+			for _, b := range s.Buckets {
+				js.Buckets = append(js.Buckets, jsonBucket{LE: promFloat(b.UpperBound), Count: b.Count})
+			}
+		} else {
+			v := s.Value
+			js.Value = &v
+		}
+		if err := enc.Encode(js); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonSpan is the JSONL wire form of one Span.
+type jsonSpan struct {
+	ID      uint64             `json:"id"`
+	Parent  uint64             `json:"parent,omitempty"`
+	Name    string             `json:"name"`
+	StartNS int64              `json:"start_ns"`
+	EndNS   int64              `json:"end_ns,omitempty"`
+	DurNS   int64              `json:"dur_ns,omitempty"`
+	Attrs   map[string]float64 `json:"attrs,omitempty"`
+}
+
+// WriteJSONL writes the retained spans as JSON lines, oldest first. Safe
+// on a nil receiver.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, s := range t.Snapshot() {
+		js := jsonSpan{ID: s.ID, Parent: s.Parent, Name: s.Name, StartNS: s.Start, EndNS: s.End}
+		if s.End != 0 {
+			js.DurNS = s.End - s.Start
+		}
+		if s.NAttrs > 0 {
+			js.Attrs = make(map[string]float64, s.NAttrs)
+			for i := 0; i < s.NAttrs; i++ {
+				js.Attrs[s.Attrs[i].Key] = s.Attrs[i].Val
+			}
+		}
+		if err := enc.Encode(js); err != nil {
+			return err
+		}
+	}
+	return nil
+}

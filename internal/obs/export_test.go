@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// buildGoldenRegistry populates a registry with one of each instrument
+// kind, deterministically.
+func buildGoldenRegistry() *Registry {
+	r := NewRegistry()
+	f := r.Counter("implant_frames_total", Label{Key: "flow", Value: "communication-centric"})
+	f.Add(42)
+	r.Help("implant_frames_total", "Uplink frames emitted.")
+	r.Gauge("thermal_max_rise_celsius").Set(1.25)
+	r.Help("thermal_max_rise_celsius", "Peak tissue temperature rise.")
+	h := r.Histogram("rx_latency_seconds", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.002)
+	h.Observe(5)
+	return r
+}
+
+const goldenProm = `# HELP implant_frames_total Uplink frames emitted.
+# TYPE implant_frames_total counter
+implant_frames_total{flow="communication-centric"} 42
+# TYPE rx_latency_seconds histogram
+rx_latency_seconds_bucket{le="0.001"} 1
+rx_latency_seconds_bucket{le="0.01"} 2
+rx_latency_seconds_bucket{le="+Inf"} 3
+rx_latency_seconds_sum 5.0025
+rx_latency_seconds_count 3
+# HELP thermal_max_rise_celsius Peak tissue temperature rise.
+# TYPE thermal_max_rise_celsius gauge
+thermal_max_rise_celsius 1.25
+`
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := buildGoldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != goldenProm {
+		t.Errorf("prometheus exposition mismatch:\n got:\n%s\nwant:\n%s", b.String(), goldenProm)
+	}
+}
+
+const goldenJSONL = `{"name":"implant_frames_total","type":"counter","labels":{"flow":"communication-centric"},"value":42}
+{"name":"rx_latency_seconds","type":"histogram","buckets":[{"le":"0.001","count":1},{"le":"0.01","count":2},{"le":"+Inf","count":3}],"sum":5.0025,"count":3}
+{"name":"thermal_max_rise_celsius","type":"gauge","value":1.25}
+`
+
+func TestWriteJSONLGolden(t *testing.T) {
+	var b strings.Builder
+	if err := buildGoldenRegistry().WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != goldenJSONL {
+		t.Errorf("jsonl mismatch:\n got:\n%s\nwant:\n%s", b.String(), goldenJSONL)
+	}
+	// Every line must round-trip as standalone JSON.
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Errorf("line %q is not valid JSON: %v", sc.Text(), err)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", Label{Key: "v", Value: "a\"b\\c\nd"}).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{v="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("escaped output %q missing %q", b.String(), want)
+	}
+}
+
+func TestTraceJSONL(t *testing.T) {
+	tr := NewTracer(8)
+	now := int64(0)
+	tr.SetClock(func() int64 { now += 100; return now })
+	root := tr.Start("tick", 0)
+	child := tr.Start("sense", root)
+	tr.Attr(child, "channels", 128)
+	tr.End(child)
+	tr.End(root)
+	var b strings.Builder
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"id":1,"name":"tick","start_ns":100,"end_ns":400,"dur_ns":300}
+{"id":2,"parent":1,"name":"sense","start_ns":200,"end_ns":300,"dur_ns":100,"attrs":{"channels":128}}
+`
+	if b.String() != want {
+		t.Errorf("trace jsonl mismatch:\n got: %s\nwant: %s", b.String(), want)
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(4)
+	var last SpanID
+	for i := 0; i < 10; i++ {
+		last = tr.Start("s", 0)
+		tr.End(last)
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	if spans[len(spans)-1].ID != uint64(last) {
+		t.Errorf("newest span ID = %d, want %d", spans[len(spans)-1].ID, last)
+	}
+	if spans[0].ID != uint64(last)-3 {
+		t.Errorf("oldest span ID = %d, want %d", spans[0].ID, uint64(last)-3)
+	}
+	// Ending an overwritten span must be a harmless no-op.
+	tr.End(SpanID(1))
+	if tr.Started() != 10 {
+		t.Errorf("started = %d, want 10", tr.Started())
+	}
+}
+
+func TestTracerLostOpen(t *testing.T) {
+	tr := NewTracer(2)
+	a := tr.Start("open-never-ended", 0)
+	_ = a
+	tr.Start("b", 0)
+	tr.Start("c", 0) // overwrites a, which is still open
+	if got := tr.LostOpen(); got != 1 {
+		t.Errorf("LostOpen = %d, want 1", got)
+	}
+}
+
+func TestDebugMux(t *testing.T) {
+	o := New()
+	o.Metrics.Counter("hits_total").Inc()
+	o.Tracer.End(o.Tracer.Start("span", 0))
+	srv := httptest.NewServer(NewDebugMux(o))
+	defer srv.Close()
+	for path, want := range map[string]string{
+		"/metrics":      "hits_total 1",
+		"/metrics.json": `"name":"hits_total"`,
+		"/trace":        `"name":"span"`,
+		"/debug/vars":   "cmdline",
+		"/debug/pprof/": "goroutine",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		body := make([]byte, 1<<16)
+		n, _ := resp.Body.Read(body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body[:n]), want) {
+			t.Errorf("%s: body missing %q", path, want)
+		}
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	o := New()
+	o.Metrics.Counter("served_total").Add(3)
+	addr, stop, err := ServeDebug("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = stop() }()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "served_total 3") {
+		t.Errorf("metrics body = %q", string(buf[:n]))
+	}
+}

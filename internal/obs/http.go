@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugMux returns an http.ServeMux exposing the observer:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  JSON-lines metrics snapshot
+//	/trace         JSON-lines span dump
+//	/debug/vars    expvar (cmdline, memstats, …)
+//	/debug/pprof/  runtime profiling endpoints
+func NewDebugMux(o *Observer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if o != nil {
+			_ = o.Metrics.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if o != nil {
+			_ = o.Metrics.WriteJSONL(w)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if o != nil {
+			_ = o.Tracer.WriteJSONL(w)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts the debug listener on addr (e.g. "localhost:6060" or
+// ":0" for an ephemeral port) and serves NewDebugMux in a goroutine. It
+// returns the bound address and a function that stops the listener.
+func ServeDebug(addr string, o *Observer) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: NewDebugMux(o)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrency hammers one counter family, one gauge and one
+// histogram from N goroutines and checks the exact final counts — the
+// -race gate for the lock-cheap registry.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const perG = 5001 // multiple of 3 so the histogram sum is exact
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Resolve handles inside the goroutine: registration itself
+			// must be concurrency-safe too.
+			c := r.Counter("events_total", Label{Key: "src", Value: "shared"})
+			own := r.Counter("events_total", Label{Key: "src", Value: string(rune('a' + g))})
+			ga := r.Gauge("level")
+			h := r.Histogram("lat_seconds", []float64{0.5, 1.5, 2.5})
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				own.Add(2)
+				ga.Add(1)
+				h.Observe(float64(i % 3)) // 0, 1, 2 → buckets 0.5, 1.5, 2.5
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := r.Counter("events_total", Label{Key: "src", Value: "shared"}).Value(); got != goroutines*perG {
+		t.Errorf("shared counter = %d, want %d", got, goroutines*perG)
+	}
+	for g := 0; g < goroutines; g++ {
+		lbl := Label{Key: "src", Value: string(rune('a' + g))}
+		if got := r.Counter("events_total", lbl).Value(); got != 2*perG {
+			t.Errorf("counter %v = %d, want %d", lbl, got, 2*perG)
+		}
+	}
+	if got := r.Gauge("level").Value(); got != goroutines*perG {
+		t.Errorf("gauge = %g, want %d", got, goroutines*perG)
+	}
+	h := r.Histogram("lat_seconds", []float64{0.5, 1.5, 2.5})
+	if got := h.Count(); got != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+	wantSum := float64(goroutines * perG) // each triple of observations sums to 3
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("histogram sum = %g, want %g", got, wantSum)
+	}
+}
+
+func TestCounterSemantics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if c2 := r.Counter("c_total"); c2 != c {
+		t.Error("same family+labels should return the same instrument")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering x_total as a gauge should panic")
+		}
+	}()
+	r.Gauge("x_total")
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	var tr *Tracer
+	var o *Observer
+	_ = o
+	r.Counter("a").Inc()
+	r.Gauge("b").Set(1)
+	r.Histogram("c", []float64{1}).Observe(1)
+	r.Help("a", "help")
+	if s := r.Snapshot(); s != nil {
+		t.Error("nil registry snapshot should be nil")
+	}
+	id := tr.Start("x", 0)
+	if id != 0 {
+		t.Error("nil tracer Start should return 0")
+	}
+	tr.End(id)
+	tr.Attr(id, "k", 1)
+	if tr.Snapshot() != nil {
+		t.Error("nil tracer snapshot should be nil")
+	}
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(1)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments should read zero")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	var s Sample
+	for _, smp := range r.Snapshot() {
+		if smp.Name == "h" {
+			s = smp
+		}
+	}
+	wantCum := []int64{2, 3, 4, 5} // ≤1: {0.5, 1}; ≤10: +5; ≤100: +50; +Inf: +500
+	if len(s.Buckets) != len(wantCum) {
+		t.Fatalf("bucket count = %d, want %d", len(s.Buckets), len(wantCum))
+	}
+	for i, want := range wantCum {
+		if s.Buckets[i].Count != want {
+			t.Errorf("bucket %d = %d, want %d", i, s.Buckets[i].Count, want)
+		}
+	}
+	if s.Sum != 556.5 || s.Count != 5 {
+		t.Errorf("sum/count = %g/%d, want 556.5/5", s.Sum, s.Count)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExpBuckets(1e-6, 10, 4)
+	want := []float64{1e-6, 1e-5, 1e-4, 1e-3}
+	for i := range want {
+		if diff := exp[i]/want[i] - 1; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("ExpBuckets[%d] = %g, want %g", i, exp[i], want[i])
+		}
+	}
+	lin := LinearBuckets(0, 2.5, 3)
+	if lin[0] != 0 || lin[1] != 2.5 || lin[2] != 5 {
+		t.Errorf("LinearBuckets = %v", lin)
+	}
+}

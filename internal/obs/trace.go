@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SpanID identifies one started span; the zero value means "no span" and
+// is accepted everywhere (as a parent, in End, in Attr) as a no-op.
+type SpanID uint64
+
+// Attr is one numeric span attribute.
+type Attr struct {
+	Key string
+	Val float64
+}
+
+// maxSpanAttrs bounds per-span attributes so the ring stays allocation
+// free; attributes past the limit are dropped (and counted).
+const maxSpanAttrs = 4
+
+// Span is one recorded interval. End == 0 means still open (or dropped by
+// ring wrap-around before it ended).
+type Span struct {
+	ID     uint64
+	Parent uint64
+	Name   string
+	Start  int64 // ns since the tracer's epoch
+	End    int64
+	Attrs  [maxSpanAttrs]Attr
+	NAttrs int
+}
+
+// Duration returns the span's length (0 when still open).
+func (s Span) Duration() time.Duration {
+	if s.End == 0 {
+		return 0
+	}
+	return time.Duration(s.End - s.Start)
+}
+
+// Tracer records spans into a bounded ring buffer: starting a span claims
+// the next slot, wrapping over the oldest entries, so tick-loop tracing is
+// allocation-free in steady state. The guarding mutex is held only for the
+// few stores of a slot update.
+type Tracer struct {
+	mu      sync.Mutex
+	ring    []Span
+	next    uint64 // spans started; span IDs are 1-based
+	lost    uint64 // spans overwritten while still open
+	clock   func() int64
+	epoch   time.Time
+	dropped uint64 // attributes dropped past maxSpanAttrs
+}
+
+// NewTracer returns a tracer holding the most recent capacity spans.
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	t := &Tracer{ring: make([]Span, capacity), epoch: time.Now()}
+	t.clock = func() int64 { return int64(time.Since(t.epoch)) }
+	return t
+}
+
+// SetClock replaces the tracer's clock (ns since an arbitrary epoch) —
+// used by tests for deterministic timestamps.
+func (t *Tracer) SetClock(clock func() int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.clock = clock
+	t.mu.Unlock()
+}
+
+// Start opens a span under parent (0 for a root) and returns its ID. Safe
+// on a nil receiver (returns 0).
+func (t *Tracer) Start(name string, parent SpanID) SpanID {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	t.next++
+	id := t.next
+	s := &t.ring[(id-1)%uint64(len(t.ring))]
+	if s.ID != 0 && s.End == 0 {
+		t.lost++
+	}
+	*s = Span{ID: id, Parent: uint64(parent), Name: name, Start: t.clock()}
+	t.mu.Unlock()
+	return SpanID(id)
+}
+
+// End closes the span. Ending a span that has already been overwritten by
+// ring wrap-around (or ID 0) is a no-op. Safe on a nil receiver.
+func (t *Tracer) End(id SpanID) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.mu.Lock()
+	s := &t.ring[(uint64(id)-1)%uint64(len(t.ring))]
+	if s.ID == uint64(id) && s.End == 0 {
+		s.End = t.clock()
+	}
+	t.mu.Unlock()
+}
+
+// Attr attaches a numeric attribute to an open or closed span still in the
+// ring. At most maxSpanAttrs attributes are kept per span; the rest are
+// dropped and counted. Safe on a nil receiver.
+func (t *Tracer) Attr(id SpanID, key string, val float64) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.mu.Lock()
+	s := &t.ring[(uint64(id)-1)%uint64(len(t.ring))]
+	if s.ID == uint64(id) {
+		if s.NAttrs < maxSpanAttrs {
+			s.Attrs[s.NAttrs] = Attr{Key: key, Val: val}
+			s.NAttrs++
+		} else {
+			t.dropped++
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Started returns the total number of spans started (including ones that
+// have since been overwritten). Safe on a nil receiver.
+func (t *Tracer) Started() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// LostOpen returns how many spans were overwritten by wrap-around while
+// still open — a sizing signal for the ring. Safe on a nil receiver.
+func (t *Tracer) LostOpen() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lost
+}
+
+// Snapshot returns the retained spans in start order (oldest first). Safe
+// on a nil receiver (returns nil).
+func (t *Tracer) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.next
+	cap64 := uint64(len(t.ring))
+	start := uint64(1)
+	if n > cap64 {
+		start = n - cap64 + 1
+	}
+	out := make([]Span, 0, n-start+1)
+	for id := start; id <= n; id++ {
+		s := t.ring[(id-1)%cap64]
+		if s.ID == id {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -18,13 +18,54 @@ package sched
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"mindful/internal/dnnmodel"
 	"mindful/internal/mac"
 	"mindful/internal/mathx"
+	"mindful/internal/obs"
 	"mindful/internal/units"
 )
+
+// observer is the package-wide observability sink (the scheduler's entry
+// points are free functions, so the hook is package-scoped). Set with
+// SetObserver; nil disables accounting.
+var observer atomic.Pointer[obs.Observer]
+
+// SetObserver wires the scheduler to an observability sink: per-solve
+// counters, solve-time histograms and a MAC-unit gauge, labeled by model
+// and discipline. Pass nil to detach.
+func SetObserver(o *obs.Observer) { observer.Store(o) }
+
+var solveBuckets = obs.ExpBuckets(1e-6, 4, 10)
+
+// recordSolve accounts one Best solve.
+func recordSolve(m dnnmodel.Model, node mac.TechNode, r Result, elapsed time.Duration) {
+	o := observer.Load()
+	if o == nil {
+		return
+	}
+	discipline := "non-pipelined"
+	if r.Pipelined {
+		discipline = "pipelined"
+	}
+	if !r.Feasible {
+		discipline = "infeasible"
+	}
+	lbls := []obs.Label{
+		{Key: "model", Value: m.Name},
+		{Key: "node", Value: node.Name},
+		{Key: "discipline", Value: discipline},
+	}
+	reg := o.Metrics
+	reg.Counter("sched_solves_total", lbls...).Inc()
+	reg.Histogram("sched_solve_seconds", solveBuckets, lbls...).Observe(elapsed.Seconds())
+	reg.Gauge("sched_mac_units", lbls...).Set(float64(r.MACHW))
+	reg.Help("sched_solves_total", "Lower-bound scheduling solves.")
+	reg.Help("sched_solve_seconds", "Wall-clock time per scheduling solve.")
+	reg.Help("sched_mac_units", "MAC units of the latest solve (Eq. 13 lower bound).")
+}
 
 // Result is the outcome of a lower-bound scheduling problem.
 type Result struct {
@@ -126,6 +167,7 @@ func Pipelined(m dnnmodel.Model, deadline time.Duration, node mac.TechNode) (Res
 // non-pipelined design". If neither is feasible the returned result has
 // Feasible == false.
 func Best(m dnnmodel.Model, deadline time.Duration, node mac.TechNode) (Result, error) {
+	start := time.Now()
 	np, err := NonPipelined(m, deadline, node)
 	if err != nil {
 		return Result{}, err
@@ -134,19 +176,22 @@ func Best(m dnnmodel.Model, deadline time.Duration, node mac.TechNode) (Result, 
 	if err != nil {
 		return Result{}, err
 	}
+	var best Result
 	switch {
 	case np.Feasible && pl.Feasible:
+		best = np
 		if pl.MACHW < np.MACHW {
-			return pl, nil
+			best = pl
 		}
-		return np, nil
 	case np.Feasible:
-		return np, nil
+		best = np
 	case pl.Feasible:
-		return pl, nil
+		best = pl
 	default:
-		return Result{Feasible: false}, nil
+		best = Result{Feasible: false}
 	}
+	recordSolve(m, node, best, time.Since(start))
+	return best, nil
 }
 
 // DeadlineFor returns the real-time budget for a sampling frequency: the

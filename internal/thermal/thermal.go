@@ -13,7 +13,9 @@ package thermal
 import (
 	"fmt"
 	"math"
+	"time"
 
+	"mindful/internal/obs"
 	"mindful/internal/units"
 )
 
@@ -118,6 +120,40 @@ type Model struct {
 	// the remainder leaves through the dura/CSF side. A subdural implant
 	// dissipating symmetrically has FluxSplit = 0.5.
 	FluxSplit float64
+	// Obs, when set, accounts solver runs: solve-time histograms, step
+	// counters and a max-ΔT gauge. Nil (the zero value) disables it.
+	Obs *obs.Observer
+}
+
+// solverBuckets spans µs-to-second solver runtimes.
+var solverBuckets = obs.ExpBuckets(1e-6, 4, 12)
+
+// recordSolve accounts one solver run and its peak temperature rise.
+func recordSolve(o *obs.Observer, solver string, steps int64, elapsed time.Duration, maxRise float64) {
+	if o == nil {
+		return
+	}
+	lbl := obs.Label{Key: "solver", Value: solver}
+	m := o.Metrics
+	m.Counter("thermal_solves_total", lbl).Inc()
+	m.Counter("thermal_solver_steps_total", lbl).Add(steps)
+	m.Histogram("thermal_solve_seconds", solverBuckets, lbl).Observe(elapsed.Seconds())
+	m.Gauge("thermal_max_rise_celsius", lbl).Set(maxRise)
+	m.Help("thermal_solves_total", "Thermal solver invocations.")
+	m.Help("thermal_solver_steps_total", "Solver rows, timesteps or sweeps executed.")
+	m.Help("thermal_solve_seconds", "Wall-clock time per solver run.")
+	m.Help("thermal_max_rise_celsius", "Peak tissue temperature rise of the latest solve.")
+}
+
+// maxOf returns the maximum of a slice (0 when empty).
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
 }
 
 // DefaultModel returns the model configuration used by the framework:
@@ -165,6 +201,10 @@ func (m Model) SteadyState(d units.PowerDensity) (Profile, error) {
 	if err := m.validate(); err != nil {
 		return Profile{}, err
 	}
+	var start time.Time
+	if m.Obs != nil {
+		start = time.Now()
+	}
 	n := m.Nodes
 	h := m.Depth / float64(n-1)
 	k := m.Tissue.Conductivity
@@ -199,6 +239,9 @@ func (m Model) SteadyState(d units.PowerDensity) (Profile, error) {
 	xs := make([]float64, n)
 	for i := range xs {
 		xs[i] = float64(i) * h
+	}
+	if m.Obs != nil {
+		recordSolve(m.Obs, "steady1d", int64(n), time.Since(start), maxOf(rise))
 	}
 	return Profile{X: xs, Rise: rise}, nil
 }
@@ -248,6 +291,10 @@ func (m Model) Transient(d units.PowerDensity, duration, sampleEvery float64) ([
 	if duration <= 0 || sampleEvery <= 0 {
 		return nil, fmt.Errorf("thermal: non-positive duration or sample interval")
 	}
+	var start time.Time
+	if m.Obs != nil {
+		start = time.Now()
+	}
 	n := m.Nodes
 	h := m.Depth / float64(n-1)
 	k := m.Tissue.Conductivity
@@ -265,8 +312,10 @@ func (m Model) Transient(d units.PowerDensity, duration, sampleEvery float64) ([
 	tcur := make([]float64, n)
 	tnext := make([]float64, n)
 	var out []float64
+	var steps int64
 	elapsed, nextSample := 0.0, sampleEvery
 	for elapsed < duration {
+		steps++
 		// Ghost-node flux boundary at 0.
 		tm1 := tcur[1] + 2*h*flux/k
 		tnext[0] = tcur[0] + dt*(k*(tm1-2*tcur[0]+tcur[1])/(h*h)-beta*tcur[0])/rhoC
@@ -280,6 +329,9 @@ func (m Model) Transient(d units.PowerDensity, duration, sampleEvery float64) ([
 			out = append(out, tcur[0])
 			nextSample += sampleEvery
 		}
+	}
+	if m.Obs != nil {
+		recordSolve(m.Obs, "transient1d", steps, time.Since(start), maxOf(tcur))
 	}
 	return out, nil
 }

@@ -3,7 +3,9 @@ package thermal
 import (
 	"fmt"
 	"math"
+	"time"
 
+	"mindful/internal/obs"
 	"mindful/internal/units"
 )
 
@@ -31,6 +33,8 @@ type Model2D struct {
 	SpreaderConductivity float64
 	// SpreaderThicknessM is the substrate thickness (≈ 25–300 µm).
 	SpreaderThicknessM float64
+	// Obs, when set, accounts solver runs as in Model.Obs.
+	Obs *obs.Observer
 }
 
 // DefaultModel2D returns a 20 mm × 15 mm slab under a 8 mm implant with a
@@ -173,9 +177,15 @@ func (m Model2D) SteadyState(flux FluxProfile) (Result2D, error) {
 	}
 	// Gauss–Seidel sweeps; the perfusion term makes the operator strongly
 	// diagonally dominant so convergence is fast.
+	var solveStart time.Time
+	if m.Obs != nil {
+		solveStart = time.Now()
+	}
+	var sweeps int64
 	cx := k / (dx * dx)
 	cy := k / (dy * dy)
 	for iter := 0; iter < 4000; iter++ {
+		sweeps++
 		var maxDelta float64
 		for j := 0; j < m.NY-1; j++ { // far depth row stays clamped at 0
 			for i := 0; i < m.NX; i++ {
@@ -216,7 +226,11 @@ func (m Model2D) SteadyState(flux FluxProfile) (Result2D, error) {
 			break
 		}
 	}
-	return Result2D{Rise: t, FootprintStart: start, FootprintEnd: end}, nil
+	res := Result2D{Rise: t, FootprintStart: start, FootprintEnd: end}
+	if m.Obs != nil {
+		recordSolve(m.Obs, "steady2d", sweeps, time.Since(solveStart), res.SurfacePeak())
+	}
+	return res, nil
 }
 
 // spreadFlux diffuses the footprint flux through the substrate: a 1-D fin

@@ -10,8 +10,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"mindful/internal/comm"
+	"mindful/internal/obs"
 )
 
 // Receiver consumes uplink frames and accounts for link quality.
@@ -25,6 +27,39 @@ type Receiver struct {
 	corrupt  int64
 	lost     int64
 	history  [][]uint16
+	o        receiverObs
+}
+
+// receiverObs holds the receiver's pre-resolved metric handles; the zero
+// value short-circuits all hooks.
+type receiverObs struct {
+	attached bool
+	accepted *obs.Counter
+	corrupt  *obs.Counter
+	lostSeq  *obs.Counter
+	latency  *obs.Histogram
+}
+
+// SetObserver wires the receiver to an observability sink: frame
+// accepted/corrupt counters, a lost-sequence counter and a per-frame
+// processing-latency histogram. Pass nil to detach.
+func (r *Receiver) SetObserver(o *obs.Observer) {
+	if o == nil {
+		r.o = receiverObs{}
+		return
+	}
+	m := o.Metrics
+	r.o = receiverObs{
+		attached: true,
+		accepted: m.Counter("wearable_frames_accepted_total"),
+		corrupt:  m.Counter("wearable_frames_corrupt_total"),
+		lostSeq:  m.Counter("wearable_frames_lost_total"),
+		latency:  m.Histogram("wearable_frame_latency_seconds", obs.ExpBuckets(1e-7, 4, 12)),
+	}
+	m.Help("wearable_frames_accepted_total", "Frames accepted by the receiver.")
+	m.Help("wearable_frames_corrupt_total", "Frames rejected as corrupt.")
+	m.Help("wearable_frames_lost_total", "Frames inferred lost from sequence gaps.")
+	m.Help("wearable_frame_latency_seconds", "Per-frame decode+record latency.")
 }
 
 // NewReceiver returns a receiver retaining up to keepSamples per channel.
@@ -38,9 +73,14 @@ func NewReceiver(keepSamples int) (*Receiver, error) {
 // Receive consumes one (possibly corrupted) frame. It returns the decoded
 // frame when accepted; rejected frames are counted and return an error.
 func (r *Receiver) Receive(buf []byte) (comm.Frame, error) {
+	var start time.Time
+	if r.o.attached {
+		start = time.Now()
+	}
 	f, err := comm.Decode(buf)
 	if err != nil {
 		r.corrupt++
+		r.o.corrupt.Inc()
 		return comm.Frame{}, fmt.Errorf("wearable: frame rejected: %w", err)
 	}
 	if r.started {
@@ -50,6 +90,7 @@ func (r *Receiver) Receive(buf []byte) (comm.Frame, error) {
 			gap := int64(f.Seq - r.nextSeq)
 			if gap > 0 {
 				r.lost += gap
+				r.o.lostSeq.Add(gap)
 			}
 		}
 	}
@@ -57,6 +98,10 @@ func (r *Receiver) Receive(buf []byte) (comm.Frame, error) {
 	r.nextSeq = f.Seq + 1
 	r.accepted++
 	r.record(f.Samples)
+	if r.o.attached {
+		r.o.accepted.Inc()
+		r.o.latency.Observe(time.Since(start).Seconds())
+	}
 	return f, nil
 }
 
@@ -112,6 +157,22 @@ func (r *Receiver) Stats() Stats {
 type LossyLink struct {
 	BER float64
 	rng *rand.Rand
+
+	frames   *obs.Counter
+	bitFlips *obs.Counter
+}
+
+// SetObserver wires the link to an observability sink: transported-frame
+// and injected-bit-flip counters. Pass nil to detach.
+func (l *LossyLink) SetObserver(o *obs.Observer) {
+	if o == nil {
+		l.frames, l.bitFlips = nil, nil
+		return
+	}
+	l.frames = o.Metrics.Counter("link_frames_transported_total")
+	l.bitFlips = o.Metrics.Counter("link_bit_flips_total")
+	o.Metrics.Help("link_frames_transported_total", "Frames passed through the lossy link.")
+	o.Metrics.Help("link_bit_flips_total", "Bit errors injected by the lossy link.")
 }
 
 // NewLossyLink returns a seeded link at the given bit error rate.
@@ -124,6 +185,7 @@ func NewLossyLink(ber float64, seed int64) (*LossyLink, error) {
 
 // Transport returns a possibly-corrupted copy of the frame.
 func (l *LossyLink) Transport(buf []byte) []byte {
+	l.frames.Inc()
 	out := make([]byte, len(buf))
 	copy(out, buf)
 	if l.BER == 0 {
@@ -139,6 +201,7 @@ func (l *LossyLink) Transport(buf []byte) []byte {
 			return out
 		}
 		out[pos/8] ^= 1 << (7 - pos%8)
+		l.bitFlips.Inc()
 		pos++
 	}
 }

@@ -41,6 +41,7 @@ import (
 	"mindful/internal/mac"
 	"mindful/internal/neural"
 	"mindful/internal/nn"
+	"mindful/internal/obs"
 	"mindful/internal/optimize"
 	"mindful/internal/sched"
 	"mindful/internal/snn"
@@ -314,6 +315,46 @@ func NewWearableReceiver(keepSamples int) (*WearableReceiver, error) {
 // NewLossyLink returns a seeded link at the given bit error rate.
 func NewLossyLink(ber float64, seed int64) (*LossyLink, error) {
 	return wearable.NewLossyLink(ber, seed)
+}
+
+// Observability: the cross-cutting metrics and tracing layer. Stateful
+// components (Implant, WearableReceiver, LossyLink) accept an observer via
+// SetObserver; the scheduler's free functions use SetSchedulerObserver;
+// modems are wrapped with ObserveModem. All instruments are nil-safe, so
+// unobserved components pay only inlined nil checks.
+type (
+	// Observer bundles a metrics registry and a span tracer.
+	Observer = obs.Observer
+	// MetricsRegistry is the lock-cheap labeled metrics registry, with
+	// Prometheus-text and JSON-lines exporters.
+	MetricsRegistry = obs.Registry
+	// MetricLabel is one key/value metric label.
+	MetricLabel = obs.Label
+	// Tracer records spans into a bounded ring buffer.
+	Tracer = obs.Tracer
+	// TraceSpan is one recorded span.
+	TraceSpan = obs.Span
+	// ObservedModem wraps a Modem with link-quality accounting.
+	ObservedModem = comm.ObservedModem
+)
+
+// NewObserver returns an observer with a fresh registry and a tracer of
+// the default capacity.
+func NewObserver() *Observer { return obs.New() }
+
+// ObserveModem wraps a modem so its traffic is accounted in o's registry,
+// labeled by modulation name.
+func ObserveModem(m Modem, o *Observer) *ObservedModem { return comm.ObserveModem(m, o) }
+
+// SetSchedulerObserver wires the scheduling lower-bound solver to an
+// observability sink; pass nil to detach.
+func SetSchedulerObserver(o *Observer) { sched.SetObserver(o) }
+
+// ServeDebug serves /metrics, /metrics.json, /trace, expvar and
+// net/http/pprof for o on addr ("host:port"; port 0 picks one). It returns
+// the bound address and a stop function.
+func ServeDebug(addr string, o *Observer) (string, func() error, error) {
+	return obs.ServeDebug(addr, o)
 }
 
 // Analog front end (the physical basis of linear sensing-power scaling).
