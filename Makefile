@@ -1,11 +1,14 @@
 # MINDFUL-Go developer targets.
 #
 # `make check` is the tier-1.5 gate: everything tier-1 runs
-# (build + tests) plus vet, gofmt drift, and the race detector.
+# (build + tests) plus vet, gofmt drift, the race detector (which covers
+# the fleet determinism wall), and a short fuzz smoke of the frame parser
+# and Rice codec.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build test check fmt vet race bench clean
+.PHONY: all build test check fmt vet race bench fuzz-smoke determinism clean
 
 all: build
 
@@ -27,7 +30,21 @@ fmt:
 race:
 	$(GO) test -race ./...
 
-check: build vet fmt race
+# The fleet determinism wall on its own (also part of `race`): the same
+# seed must be byte-identical for every worker count.
+determinism:
+	$(GO) test -race -run 'TestFleet(DeterminismWall|Modulations|SeedSensitivity)' -v ./internal/fleet/
+
+# Native Go fuzzing, ~$(FUZZTIME) per target: the comm frame parser and
+# packing round trips, and the dsp Delta–Rice codec.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzParsePacket -fuzztime $(FUZZTIME) ./internal/comm/
+	$(GO) test -run '^$$' -fuzz FuzzPackSamples -fuzztime $(FUZZTIME) ./internal/comm/
+	$(GO) test -run '^$$' -fuzz FuzzBitsBytes -fuzztime $(FUZZTIME) ./internal/comm/
+	$(GO) test -run '^$$' -fuzz FuzzDeltaRiceDecode -fuzztime $(FUZZTIME) ./internal/dsp/
+	$(GO) test -run '^$$' -fuzz FuzzDeltaRiceRoundTrip -fuzztime $(FUZZTIME) ./internal/dsp/
+
+check: build vet fmt race fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"time"
+
+	"mindful/internal/comm"
+	"mindful/internal/fleet"
+	"mindful/internal/report"
+	"mindful/internal/units"
+)
+
+// runFleet executes the parallel fleet simulator:
+//
+//	mindful fleet [-n N] [-workers K] [-ticks T] [-channels C] [-qam B]
+//	              [-ebn0 DB] [-seed S] [-scaling FILE]
+//
+// With -scaling FILE it additionally measures the 1/2/4/8-worker
+// throughput curve on the same configuration and writes it as JSON
+// (the BENCH_fleet.json schema).
+func runFleet() error {
+	fs := flag.NewFlagSet("fleet", flag.ContinueOnError)
+	n := fs.Int("n", 64, "number of implants")
+	workers := fs.Int("workers", 4, "worker goroutines")
+	ticks := fs.Int("ticks", 128, "frames per implant")
+	channels := fs.Int("channels", 32, "channels per implant")
+	qam := fs.Int("qam", 4, "QAM bits per symbol (0 = OOK)")
+	ebn0 := fs.Float64("ebn0", 12, "AWGN operating point Eb/N0 [dB]")
+	seed := fs.Int64("seed", 1, "base seed for the sharded RNG streams")
+	scaling := fs.String("scaling", "", "measure the 1/2/4/8-worker scaling curve and write it to FILE")
+	if err := fs.Parse(flag.Args()[1:]); err != nil {
+		return err
+	}
+
+	cfg := fleet.DefaultConfig()
+	cfg.Implants = *n
+	cfg.Workers = *workers
+	cfg.Ticks = *ticks
+	cfg.Channels = *channels
+	cfg.SampleRate = units.Kilohertz(2)
+	if *qam == 0 {
+		cfg.Modulation = comm.OOK{}
+	} else {
+		cfg.Modulation = comm.NewQAM(*qam)
+	}
+	cfg.EbN0dB = *ebn0
+	cfg.Seed = *seed
+	cfg.Observer = observer
+
+	agg, err := fleet.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	tb := report.NewTable(fmt.Sprintf("Fleet: %d implants × %d ticks over %d workers (%s @ %g dB)",
+		agg.Implants, agg.Ticks, agg.Workers, cfg.Modulation.Name(), cfg.EbN0dB),
+		"Shard", "Implants", "Frames", "Accepted", "Corrupt", "Bit errors")
+	type shardAcc struct{ implants, frames, accepted, corrupt, bitErrs int64 }
+	shards := make([]shardAcc, agg.Workers)
+	for _, r := range agg.PerImplant {
+		s := &shards[r.Worker]
+		s.implants++
+		s.frames += r.Frames
+		s.accepted += r.Accepted
+		s.corrupt += r.Corrupt
+		s.bitErrs += r.BitErrors
+	}
+	for w, s := range shards {
+		tb.AddRow(strconv.Itoa(w), strconv.FormatInt(s.implants, 10),
+			strconv.FormatInt(s.frames, 10), strconv.FormatInt(s.accepted, 10),
+			strconv.FormatInt(s.corrupt, 10), strconv.FormatInt(s.bitErrs, 10))
+	}
+	fmt.Print(tb.String())
+	fmt.Printf("\nBER %.3g  FER %.3g  lost-seq %d  digest %#016x\n",
+		agg.BER, agg.FER, agg.LostSeq, agg.Digest)
+	fmt.Printf("%.0f frames/s over %s (GOMAXPROCS %d)\n",
+		agg.FramesPerSecond, agg.Elapsed.Round(time.Microsecond), runtime.GOMAXPROCS(0))
+	if *csvDir != "" {
+		if err := writeFile(*csvDir, "fleet.csv", tb.CSV()); err != nil {
+			return err
+		}
+	}
+
+	if *scaling != "" {
+		points, err := fleet.MeasureScaling(cfg, []int{1, 2, 4, 8})
+		if err != nil {
+			return err
+		}
+		curve := struct {
+			Benchmark  string               `json:"benchmark"`
+			Implants   int                  `json:"implants"`
+			Ticks      int                  `json:"ticks"`
+			Channels   int                  `json:"channels"`
+			GOMAXPROCS int                  `json:"gomaxprocs"`
+			NumCPU     int                  `json:"num_cpu"`
+			Points     []fleet.ScalingPoint `json:"points"`
+		}{"fleet_worker_scaling", cfg.Implants, cfg.Ticks, cfg.Channels,
+			runtime.GOMAXPROCS(0), runtime.NumCPU(), points}
+		out, err := json.MarshalIndent(curve, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*scaling, append(out, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *scaling)
+		for _, p := range points {
+			fmt.Printf("workers=%d: %.0f frames/s (%.2fx)\n", p.Workers, p.FramesPerSecond, p.Speedup)
+		}
+	}
+	return nil
+}

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	mindful [flags] <table1|fig4|fig5|fig6|fig7|fig9|fig10|fig11|fig12|observe|all|validate>
+//	mindful [flags] <table1|fig4|fig5|fig6|fig7|fig9|fig10|fig11|fig12|fleet|observe|all|validate>
+//	mindful [flags] fleet [-n N] [-workers K] [-ticks T] [-scaling FILE]
 //
 // Flags:
 //
@@ -45,7 +46,9 @@ var (
 func main() {
 	flag.Usage = usage
 	flag.Parse()
-	if flag.NArg() != 1 {
+	// Every subcommand takes exactly one positional argument except
+	// fleet, which parses its own flags from the remainder.
+	if flag.NArg() < 1 || (flag.NArg() > 1 && flag.Arg(0) != "fleet") {
 		usage()
 		os.Exit(2)
 	}
@@ -62,6 +65,7 @@ func main() {
 		"fig12":    runFig12,
 		"ablate":   runAblate,
 		"ext":      runExt,
+		"fleet":    runFleet,
 		"observe":  runObserve,
 		"validate": runValidate,
 	}
@@ -102,7 +106,8 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mindful [-csv DIR] [-svg DIR] [-metrics FILE] [-trace FILE] [-debug-addr ADDR] <table1|fig4|fig5|fig6|fig7|fig9|fig10|fig11|fig12|ablate|ext|observe|all|validate>")
+	fmt.Fprintln(os.Stderr, "usage: mindful [-csv DIR] [-svg DIR] [-metrics FILE] [-trace FILE] [-debug-addr ADDR] <table1|fig4|fig5|fig6|fig7|fig9|fig10|fig11|fig12|ablate|ext|fleet|observe|all|validate>")
+	fmt.Fprintln(os.Stderr, "       mindful fleet [-n N] [-workers K] [-ticks T] [-channels C] [-qam B] [-ebn0 DB] [-seed S] [-scaling FILE]")
 	flag.PrintDefaults()
 }
 

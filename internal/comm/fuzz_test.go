@@ -1,0 +1,98 @@
+package comm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParsePacket throws arbitrary bytes at the frame parser. Invariants:
+// Decode never panics, and every frame it accepts re-encodes canonically
+// to the exact input bytes (the parser accepts nothing it cannot
+// round-trip).
+func FuzzParsePacket(f *testing.F) {
+	p, err := NewPacketizer(10)
+	if err != nil {
+		f.Fatal(err)
+	}
+	good, err := p.Encode([]uint16{1, 2, 3, 1023})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0xBC, 0x1F})
+	truncated := append([]byte(nil), good[:len(good)-1]...)
+	f.Add(truncated)
+	corrupted := append([]byte(nil), good...)
+	corrupted[len(corrupted)/2] ^= 0x40
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeFrame(fr)
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("round-trip mismatch:\n in  %x\n out %x", data, re)
+		}
+	})
+}
+
+// FuzzPackSamples checks the bit-packing round trip for every sample
+// width: pack → unpack must be the identity on in-range samples, and the
+// Append variant must agree with the allocating one.
+func FuzzPackSamples(f *testing.F) {
+	f.Add([]byte{0x12, 0x34, 0xFF, 0x00}, uint8(10))
+	f.Add([]byte{1}, uint8(1))
+	f.Add([]byte{0xAB, 0xCD, 0xEF}, uint8(16))
+
+	f.Fuzz(func(t *testing.T, raw []byte, bitsRaw uint8) {
+		bits := int(bitsRaw)%16 + 1
+		// Interpret pairs of fuzz bytes as samples, masked into range.
+		var samples []uint16
+		for i := 0; i+1 < len(raw); i += 2 {
+			s := uint16(raw[i])<<8 | uint16(raw[i+1])
+			if bits < 16 {
+				s &= 1<<bits - 1
+			}
+			samples = append(samples, s)
+		}
+		if len(samples) == 0 {
+			return
+		}
+		packed := PackSamples(samples, bits)
+		if got := AppendPackSamples(nil, samples, bits); !bytes.Equal(got, packed) {
+			t.Fatalf("AppendPackSamples disagrees with PackSamples")
+		}
+		back, err := UnpackSamples(packed, len(samples), bits)
+		if err != nil {
+			t.Fatalf("unpack failed: %v", err)
+		}
+		for i := range samples {
+			if back[i] != samples[i] {
+				t.Fatalf("sample %d: packed %d, unpacked %d at %d bits", i, samples[i], back[i], bits)
+			}
+		}
+	})
+}
+
+// FuzzBitsBytes checks the modem bit/byte conversions: unpacking bytes to
+// bits and packing back is the identity.
+func FuzzBitsBytes(f *testing.F) {
+	f.Add([]byte{0xBC, 0x1F, 0x00, 0xFF})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		bits := AppendBytesAsBits(nil, data)
+		if len(bits) != len(data)*8 {
+			t.Fatalf("%d bytes unpacked to %d bits", len(data), len(bits))
+		}
+		back := AppendBitsAsBytes(nil, bits)
+		if !bytes.Equal(back, data) {
+			t.Fatalf("bit round-trip mismatch: %x -> %x", data, back)
+		}
+	})
+}

@@ -16,13 +16,24 @@ type Symbol struct {
 // with noise density N0 = 1/(Eb/N0) reproduces a chosen operating point.
 //
 // Bits are represented as byte slices whose elements are 0 or 1.
+//
+// The Append variants write into a caller-supplied buffer and are the
+// zero-allocation hot path: pass a recycled slice (e.g. from GetSymbolBuf
+// / GetBitBuf) re-sliced to [:0] and no per-call allocation occurs once
+// the buffer has grown to steady-state capacity.
 type Modem interface {
 	Modulation
 	// Modulate maps bits to symbols. len(bits) must be a multiple of
 	// BitsPerSymbol.
 	Modulate(bits []byte) ([]Symbol, error)
+	// AppendModulate appends the symbols for bits to dst and returns the
+	// extended slice.
+	AppendModulate(dst []Symbol, bits []byte) ([]Symbol, error)
 	// Demodulate maps received symbols back to the most likely bits.
 	Demodulate(syms []Symbol) []byte
+	// AppendDemodulate appends the most likely bits for syms to dst and
+	// returns the extended slice.
+	AppendDemodulate(dst []byte, syms []Symbol) []byte
 }
 
 // NewModem returns a bit-accurate modem for the given modulation. OOK and
@@ -47,59 +58,77 @@ func NewModem(m Modulation) (Modem, error) {
 
 type ookModem struct{ OOK }
 
-func (ookModem) Modulate(bits []byte) ([]Symbol, error) {
+func (m ookModem) Modulate(bits []byte) ([]Symbol, error) {
+	return m.AppendModulate(make([]Symbol, 0, len(bits)), bits)
+}
+
+func (ookModem) AppendModulate(dst []Symbol, bits []byte) ([]Symbol, error) {
 	if err := checkBits(bits, 1); err != nil {
 		return nil, err
 	}
 	// Amplitudes {0, √2}: average symbol energy (0 + 2)/2 = 1 = Eb.
 	amp := math.Sqrt2
-	out := make([]Symbol, len(bits))
-	for i, b := range bits {
+	for _, b := range bits {
 		if b != 0 {
-			out[i] = Symbol{I: amp}
+			dst = append(dst, Symbol{I: amp})
+		} else {
+			dst = append(dst, Symbol{})
 		}
 	}
-	return out, nil
+	return dst, nil
 }
 
-func (ookModem) Demodulate(syms []Symbol) []byte {
-	out := make([]byte, len(syms))
+func (m ookModem) Demodulate(syms []Symbol) []byte {
+	return m.AppendDemodulate(make([]byte, 0, len(syms)), syms)
+}
+
+func (ookModem) AppendDemodulate(dst []byte, syms []Symbol) []byte {
 	thr := math.Sqrt2 / 2
-	for i, s := range syms {
+	for _, s := range syms {
 		if s.I > thr {
-			out[i] = 1
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
 		}
 	}
-	return out
+	return dst
 }
 
 type bpskModem struct{ QAM }
 
 func newBPSK() bpskModem { return bpskModem{QAM{Bits: 1}} }
 
-func (bpskModem) Modulate(bits []byte) ([]Symbol, error) {
+func (m bpskModem) Modulate(bits []byte) ([]Symbol, error) {
+	return m.AppendModulate(make([]Symbol, 0, len(bits)), bits)
+}
+
+func (bpskModem) AppendModulate(dst []Symbol, bits []byte) ([]Symbol, error) {
 	if err := checkBits(bits, 1); err != nil {
 		return nil, err
 	}
-	out := make([]Symbol, len(bits))
-	for i, b := range bits {
+	for _, b := range bits {
 		if b != 0 {
-			out[i] = Symbol{I: 1}
+			dst = append(dst, Symbol{I: 1})
 		} else {
-			out[i] = Symbol{I: -1}
+			dst = append(dst, Symbol{I: -1})
 		}
 	}
-	return out, nil
+	return dst, nil
 }
 
-func (bpskModem) Demodulate(syms []Symbol) []byte {
-	out := make([]byte, len(syms))
-	for i, s := range syms {
+func (m bpskModem) Demodulate(syms []Symbol) []byte {
+	return m.AppendDemodulate(make([]byte, 0, len(syms)), syms)
+}
+
+func (bpskModem) AppendDemodulate(dst []byte, syms []Symbol) []byte {
+	for _, s := range syms {
 		if s.I > 0 {
-			out[i] = 1
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
 		}
 	}
-	return out
+	return dst
 }
 
 // qamModem is a square M-QAM modem with independent Gray-coded PAM on each
@@ -137,30 +166,36 @@ func newQAMModem(bits int) *qamModem {
 }
 
 func (m *qamModem) Modulate(bits []byte) ([]Symbol, error) {
+	return m.AppendModulate(make([]Symbol, 0, len(bits)/m.Bits), bits)
+}
+
+func (m *qamModem) AppendModulate(dst []Symbol, bits []byte) ([]Symbol, error) {
 	if err := checkBits(bits, m.Bits); err != nil {
 		return nil, err
 	}
 	half := m.Bits / 2
 	nSym := len(bits) / m.Bits
-	out := make([]Symbol, nSym)
 	for s := 0; s < nSym; s++ {
 		chunk := bits[s*m.Bits:]
-		out[s] = Symbol{
+		dst = append(dst, Symbol{
 			I: m.amps[m.grayToIdx[bitsToInt(chunk[:half])]],
 			Q: m.amps[m.grayToIdx[bitsToInt(chunk[half:m.Bits])]],
-		}
+		})
 	}
-	return out, nil
+	return dst, nil
 }
 
 func (m *qamModem) Demodulate(syms []Symbol) []byte {
+	return m.AppendDemodulate(make([]byte, 0, len(syms)*m.Bits), syms)
+}
+
+func (m *qamModem) AppendDemodulate(dst []byte, syms []Symbol) []byte {
 	half := m.Bits / 2
-	out := make([]byte, 0, len(syms)*m.Bits)
 	for _, s := range syms {
-		out = appendIntBits(out, m.idxToGray[m.nearestLevel(s.I)], half)
-		out = appendIntBits(out, m.idxToGray[m.nearestLevel(s.Q)], half)
+		dst = appendIntBits(dst, m.idxToGray[m.nearestLevel(s.I)], half)
+		dst = appendIntBits(dst, m.idxToGray[m.nearestLevel(s.Q)], half)
 	}
-	return out
+	return dst
 }
 
 func (m *qamModem) nearestLevel(x float64) int {
@@ -226,13 +261,19 @@ func NewAWGNChannel(ebN0 float64, seed int64) *AWGNChannel {
 // Transmit returns a noisy copy of the symbols.
 func (c *AWGNChannel) Transmit(syms []Symbol) []Symbol {
 	out := make([]Symbol, len(syms))
-	for i, s := range syms {
-		out[i] = Symbol{
-			I: s.I + c.rng.NormFloat64()*c.sigma,
-			Q: s.Q + c.rng.NormFloat64()*c.sigma,
-		}
-	}
+	copy(out, syms)
+	c.TransmitInPlace(out)
 	return out
+}
+
+// TransmitInPlace adds noise to the symbols in place — the allocation-free
+// variant for pooled pipelines. The noise sequence is identical to
+// Transmit's for the same channel state.
+func (c *AWGNChannel) TransmitInPlace(syms []Symbol) {
+	for i := range syms {
+		syms[i].I += c.rng.NormFloat64() * c.sigma
+		syms[i].Q += c.rng.NormFloat64() * c.sigma
+	}
 }
 
 // MeasureBER runs nbits random bits through the modem and an AWGN channel

@@ -106,6 +106,46 @@ func TestMeasuredBERMatchesAnalytic(t *testing.T) {
 	}
 }
 
+func TestBERMatchesAnalyticAllOrders(t *testing.T) {
+	// Property over every constellation the bit-level modem supports —
+	// OOK, BPSK and all square QAM orders through 256-QAM: at the Eb/N0
+	// where the analytic curve predicts BER = 1e-2, the measured rate must
+	// sit inside a tolerance band derived from the trial count.
+	//
+	// With p = 1e-2 over n trials the binomial standard deviation of the
+	// measured rate is σ = √(p(1−p)/n); the band is ±4σ for sampling
+	// noise plus a fixed model term, because the analytic M-QAM expression
+	// is a nearest-neighbour Gray-coding approximation whose error is a
+	// few percent at BER this high.
+	const (
+		targetBER  = 1e-2
+		nbits      = 240000
+		modelSlack = 0.15
+	)
+	mods := []Modulation{OOK{}, NewQAM(1), NewQAM(2), NewQAM(4), NewQAM(6), NewQAM(8)}
+	sigma := math.Sqrt(targetBER * (1 - targetBER) / float64(nbits))
+	tol := 4*sigma/targetBER + modelSlack
+	for _, mod := range mods {
+		modem, err := NewModem(mod)
+		if err != nil {
+			t.Fatalf("NewModem(%s): %v", mod.Name(), err)
+		}
+		ebn0 := mod.RequiredEbN0(targetBER)
+		want := mod.BER(ebn0)
+		if rel := math.Abs(want-targetBER) / targetBER; rel > 1e-6 {
+			t.Fatalf("%s: RequiredEbN0 and BER disagree: %v vs %v", mod.Name(), want, targetBER)
+		}
+		got, err := MeasureBER(modem, ebn0, nbits, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(got-want) / want; rel > tol {
+			t.Errorf("%s @Eb/N0=%.2f: measured BER %v vs analytic %v (%.1f%% off, tolerance %.1f%%)",
+				mod.Name(), ebn0, got, want, rel*100, tol*100)
+		}
+	}
+}
+
 func TestMeasuredBERNeverBeatsShannonProperty(t *testing.T) {
 	// Property: at any Eb/N0 below the scheme's requirement for 1e-3, the
 	// measured BER stays above 1e-3 (no free lunch from the simulator).

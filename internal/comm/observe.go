@@ -56,6 +56,21 @@ func (om *ObservedModem) Modulate(bits []byte) ([]Symbol, error) {
 	return syms, nil
 }
 
+// AppendModulate is the counted pass-through of the allocation-free
+// modulate path.
+func (om *ObservedModem) AppendModulate(dst []Symbol, bits []byte) ([]Symbol, error) {
+	start := time.Now()
+	n := len(dst)
+	dst, err := om.Modem.AppendModulate(dst, bits)
+	if err != nil {
+		return dst, err
+	}
+	om.bitsModulated.Add(int64(len(bits)))
+	om.symbols.Add(int64(len(dst) - n))
+	om.latency.Observe(time.Since(start).Seconds())
+	return dst, nil
+}
+
 // Demodulate maps symbols back to bits, counting bits and latency.
 func (om *ObservedModem) Demodulate(syms []Symbol) []byte {
 	start := time.Now()
@@ -63,6 +78,17 @@ func (om *ObservedModem) Demodulate(syms []Symbol) []byte {
 	om.bitsDemodulated.Add(int64(len(bits)))
 	om.latency.Observe(time.Since(start).Seconds())
 	return bits
+}
+
+// AppendDemodulate is the counted pass-through of the allocation-free
+// demodulate path.
+func (om *ObservedModem) AppendDemodulate(dst []byte, syms []Symbol) []byte {
+	start := time.Now()
+	n := len(dst)
+	dst = om.Modem.AppendDemodulate(dst, syms)
+	om.bitsDemodulated.Add(int64(len(dst) - n))
+	om.latency.Observe(time.Since(start).Seconds())
+	return dst
 }
 
 // CountErrors compares a demodulated stream against the known transmitted

@@ -53,28 +53,66 @@ func (p *Packetizer) Encode(samples []uint16) ([]byte, error) {
 	if len(samples) == 0 {
 		return nil, errors.New("comm: empty sample vector")
 	}
-	if len(samples) > 0xFFFF {
-		return nil, fmt.Errorf("comm: %d channels exceeds frame limit", len(samples))
+	return p.AppendEncode(make([]byte, 0, frameHeaderLen+(len(samples)*p.SampleBits+7)/8+4), samples)
+}
+
+// AppendEncode frames one sample vector, appending the encoded frame to
+// dst, and advances the sequence counter. Passing a recycled buffer
+// re-sliced to [:0] makes the steady-state encode path allocation-free.
+func (p *Packetizer) AppendEncode(dst []byte, samples []uint16) ([]byte, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("comm: empty sample vector")
 	}
-	max := uint16(1)<<p.SampleBits - 1
-	if p.SampleBits == 16 {
+	if err := checkSamples(samples, p.SampleBits); err != nil {
+		return nil, err
+	}
+	dst = appendFrame(dst, p.seq, p.SampleBits, 0, samples)
+	p.seq++
+	return dst, nil
+}
+
+// EncodeFrame canonically serializes a frame with an explicit sequence
+// number and flags — the stateless counterpart of Packetizer.Encode.
+// Unlike the packetizer it accepts an empty sample vector, so every frame
+// Decode accepts re-encodes (the fuzzing round-trip invariant).
+func EncodeFrame(fr Frame) ([]byte, error) {
+	if fr.SampleBits < 1 || fr.SampleBits > 16 {
+		return nil, fmt.Errorf("comm: sample bits %d outside 1..16", fr.SampleBits)
+	}
+	if err := checkSamples(fr.Samples, fr.SampleBits); err != nil {
+		return nil, err
+	}
+	return appendFrame(nil, fr.Seq, fr.SampleBits, fr.Flags, fr.Samples), nil
+}
+
+// checkSamples verifies the channel count and per-sample range for a
+// d-bit frame.
+func checkSamples(samples []uint16, sampleBits int) error {
+	if len(samples) > 0xFFFF {
+		return fmt.Errorf("comm: %d channels exceeds frame limit", len(samples))
+	}
+	max := uint16(1)<<sampleBits - 1
+	if sampleBits == 16 {
 		max = 0xFFFF
 	}
 	for i, s := range samples {
 		if s > max {
-			return nil, fmt.Errorf("comm: sample %d value %d exceeds %d bits", i, s, p.SampleBits)
+			return fmt.Errorf("comm: sample %d value %d exceeds %d bits", i, s, sampleBits)
 		}
 	}
-	payload := PackSamples(samples, p.SampleBits)
-	buf := make([]byte, 0, frameHeaderLen+len(payload)+4)
-	buf = binary.BigEndian.AppendUint16(buf, FrameMagic)
-	buf = binary.BigEndian.AppendUint32(buf, p.seq)
-	buf = binary.BigEndian.AppendUint16(buf, uint16(len(samples)))
-	buf = append(buf, byte(p.SampleBits), 0)
-	buf = append(buf, payload...)
-	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
-	p.seq++
-	return buf, nil
+	return nil
+}
+
+// appendFrame appends one wire-format frame to dst without intermediate
+// buffers.
+func appendFrame(dst []byte, seq uint32, sampleBits int, flags byte, samples []uint16) []byte {
+	start := len(dst)
+	dst = binary.BigEndian.AppendUint16(dst, FrameMagic)
+	dst = binary.BigEndian.AppendUint32(dst, seq)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(samples)))
+	dst = append(dst, byte(sampleBits), flags)
+	dst = AppendPackSamples(dst, samples, sampleBits)
+	return binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:]))
 }
 
 // FrameSizeBits returns the on-air size in bits of a frame carrying the
@@ -115,6 +153,11 @@ func Decode(buf []byte) (Frame, error) {
 	if want := (chans*bits + 7) / 8; len(payload) != want {
 		return Frame{}, fmt.Errorf("comm: payload %d bytes, want %d", len(payload), want)
 	}
+	// Enforce canonical encoding: the final byte's padding bits must be
+	// zero, so every accepted frame re-encodes to the same bytes.
+	if pad := len(payload)*8 - chans*bits; pad > 0 && payload[len(payload)-1]&(1<<pad-1) != 0 {
+		return Frame{}, fmt.Errorf("comm: nonzero payload padding bits")
+	}
 	samples, err := UnpackSamples(payload, chans, bits)
 	if err != nil {
 		return Frame{}, err
@@ -125,17 +168,25 @@ func Decode(buf []byte) (Frame, error) {
 // PackSamples packs values at the given bit width, MSB first, padding the
 // final byte with zeros.
 func PackSamples(samples []uint16, bits int) []byte {
-	out := make([]byte, (len(samples)*bits+7)/8)
+	return AppendPackSamples(make([]byte, 0, (len(samples)*bits+7)/8), samples, bits)
+}
+
+// AppendPackSamples appends the packed representation of samples to dst.
+func AppendPackSamples(dst []byte, samples []uint16, bits int) []byte {
+	base := len(dst)
+	for n := (len(samples)*bits + 7) / 8; n > 0; n-- {
+		dst = append(dst, 0)
+	}
 	pos := 0
 	for _, s := range samples {
 		for b := bits - 1; b >= 0; b-- {
 			if s>>b&1 != 0 {
-				out[pos/8] |= 1 << (7 - pos%8)
+				dst[base+pos/8] |= 1 << (7 - pos%8)
 			}
 			pos++
 		}
 	}
-	return out
+	return dst
 }
 
 // UnpackSamples reverses PackSamples for a known sample count.

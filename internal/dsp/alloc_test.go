@@ -1,0 +1,58 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+// Zero-allocation pins for the DSP hot paths the fleet simulator and the
+// implant compression flow reuse buffers through.
+
+func assertZeroAlloc(t *testing.T, name string, fn func()) {
+	t.Helper()
+	fn() // warm-up: grow buffers to steady state
+	if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+		t.Errorf("%s: %.1f allocs/op at steady state, want 0", name, allocs)
+	}
+}
+
+func TestAppendDeltaRiceEncodeZeroAlloc(t *testing.T) {
+	samples := make([]uint16, 512)
+	for i := range samples {
+		samples[i] = uint16(512 + 80*math.Sin(float64(i)/9))
+	}
+	var enc []byte
+	assertZeroAlloc(t, "AppendDeltaRiceEncode", func() {
+		var err error
+		enc, err = AppendDeltaRiceEncode(enc[:0], samples, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestAppendNEOZeroAlloc(t *testing.T) {
+	xs := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = math.Sin(float64(i) / 5)
+	}
+	var psi []float64
+	assertZeroAlloc(t, "AppendNEO", func() {
+		psi = AppendNEO(psi[:0], xs)
+	})
+}
+
+func TestAppendProcessBlockZeroAlloc(t *testing.T) {
+	ma, err := NewMovingAverage(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = math.Cos(float64(i) / 3)
+	}
+	var out []float64
+	assertZeroAlloc(t, "AppendProcessBlock", func() {
+		out = AppendProcessBlock(out[:0], ma, xs)
+	})
+}

@@ -11,11 +11,21 @@ import (
 // on-chip detectors as an alternative to plain thresholding. Edge samples
 // are zero.
 func NEO(xs []float64) []float64 {
-	out := make([]float64, len(xs))
+	return AppendNEO(make([]float64, 0, len(xs)), xs)
+}
+
+// AppendNEO appends ψ of xs to dst — the allocation-free variant for
+// buffer-reusing pipelines.
+func AppendNEO(dst []float64, xs []float64) []float64 {
+	n := len(dst)
+	for range xs {
+		dst = append(dst, 0)
+	}
+	out := dst[n:]
 	for i := 1; i+1 < len(xs); i++ {
 		out[i] = xs[i]*xs[i] - xs[i-1]*xs[i+1]
 	}
-	return out
+	return dst
 }
 
 // NEODetector finds spikes by thresholding the smoothed NEO at a multiple
@@ -49,12 +59,16 @@ func (d NEODetector) Detect(xs []float64) ([]int, error) {
 	if d.ThresholdFactor <= 0 || d.SmoothSamples < 1 {
 		return nil, errors.New("dsp: invalid NEO detector parameters")
 	}
-	psi := NEO(xs)
+	scratch := getF64Buf()
+	defer putF64Buf(scratch)
+	psi := AppendNEO((*scratch)[:0], xs)
 	ma, err := NewMovingAverage(d.SmoothSamples)
 	if err != nil {
 		return nil, err
 	}
-	smooth := ProcessBlock(ma, psi)
+	psi = AppendProcessBlock(psi, ma, psi[:len(xs)])
+	*scratch = psi
+	smooth := psi[len(xs):]
 	mean := 0.0
 	for _, v := range smooth {
 		mean += v
@@ -153,7 +167,11 @@ func RiceK(deltas []int32) int {
 	for _, d := range deltas {
 		mean += math.Abs(float64(d))
 	}
-	mean /= float64(len(deltas))
+	return riceKFromMean(mean / float64(len(deltas)))
+}
+
+// riceKFromMean maps a mean absolute delta to a Rice parameter.
+func riceKFromMean(mean float64) int {
 	k := 0
 	for threshold := 1.0; mean > threshold && k < 15; threshold *= 2 {
 		k++
@@ -165,27 +183,41 @@ func RiceK(deltas []int32) int {
 // the first sample verbatim at the given bit width, then zigzagged
 // first-order deltas Rice-coded with a per-block parameter.
 func DeltaRiceEncode(samples []uint16, sampleBits int) ([]byte, error) {
+	return AppendDeltaRiceEncode(nil, samples, sampleBits)
+}
+
+// AppendDeltaRiceEncode appends the Delta–Rice encoding of samples to dst
+// — the allocation-free variant for buffer-reusing pipelines. dst must end
+// on a byte boundary (any []byte does); the encoded block starts at
+// dst[len(dst)]. The deltas are computed in two passes instead of being
+// materialized, so no scratch buffer is needed.
+func AppendDeltaRiceEncode(dst []byte, samples []uint16, sampleBits int) ([]byte, error) {
 	if len(samples) == 0 {
-		return nil, errors.New("dsp: empty trace")
+		return dst, errors.New("dsp: empty trace")
 	}
 	if sampleBits < 1 || sampleBits > 16 {
-		return nil, fmt.Errorf("dsp: sample bits %d outside 1..16", sampleBits)
+		return dst, fmt.Errorf("dsp: sample bits %d outside 1..16", sampleBits)
 	}
-	deltas := make([]int32, len(samples)-1)
-	for i := 1; i < len(samples); i++ {
-		deltas[i-1] = int32(samples[i]) - int32(samples[i-1])
+	// Pass 1: mean absolute delta → Rice parameter.
+	k := 0
+	if len(samples) > 1 {
+		mean := 0.0
+		for i := 1; i < len(samples); i++ {
+			mean += math.Abs(float64(int32(samples[i]) - int32(samples[i-1])))
+		}
+		k = riceKFromMean(mean / float64(len(samples)-1))
 	}
-	k := RiceK(deltas)
-	w := &bitWriter{}
+	// Pass 2: encode.
+	w := &bitWriter{buf: dst, n: len(dst) * 8}
 	w.writeBits(uint32(k), 4)
 	w.writeBits(uint32(samples[0]), sampleBits)
-	for _, d := range deltas {
-		u := zigzag(d)
+	for i := 1; i < len(samples); i++ {
+		u := zigzag(int32(samples[i]) - int32(samples[i-1]))
 		q := u >> k
 		// Guard against pathological blocks: a quotient longer than the
 		// raw width would balloon; escape-code it as unary 2^sampleBits
 		// won't occur for k chosen from the block, but cap defensively.
-		for i := uint32(0); i < q; i++ {
+		for j := uint32(0); j < q; j++ {
 			w.writeBit(1)
 		}
 		w.writeBit(0)

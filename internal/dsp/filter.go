@@ -186,11 +186,18 @@ func (f *FIR) Reset() {
 // ProcessBlock applies a streaming filter to a block, returning a new
 // slice.
 func ProcessBlock(f Filter, xs []float64) []float64 {
-	out := make([]float64, len(xs))
-	for i, x := range xs {
-		out[i] = f.Process(x)
+	return AppendProcessBlock(make([]float64, 0, len(xs)), f, xs)
+}
+
+// AppendProcessBlock applies a streaming filter to a block, appending the
+// outputs to dst — the allocation-free variant for buffer-reusing
+// pipelines. xs may alias dst's backing array as long as the read region
+// precedes the append region.
+func AppendProcessBlock(dst []float64, f Filter, xs []float64) []float64 {
+	for _, x := range xs {
+		dst = append(dst, f.Process(x))
 	}
-	return out
+	return dst
 }
 
 // FrequencyResponse returns the magnitude response |H(e^{jω})| of a biquad

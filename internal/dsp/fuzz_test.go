@@ -1,0 +1,80 @@
+package dsp
+
+import "testing"
+
+// FuzzDeltaRiceDecode throws arbitrary bitstreams at the Rice decoder.
+// Invariants: never panics, and every trace it accepts re-encodes and
+// decodes back to itself (the codec is self-consistent on its accepted
+// language).
+func FuzzDeltaRiceDecode(f *testing.F) {
+	enc, err := DeltaRiceEncode([]uint16{100, 101, 99, 120, 100}, 10)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(enc, 5, 10)
+	f.Add([]byte{}, 1, 1)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}, 8, 8)
+
+	f.Fuzz(func(t *testing.T, data []byte, count, sampleBits int) {
+		if count < 0 || count > 1<<12 {
+			return // bound work, not validity: the decoder must reject on its own
+		}
+		samples, err := DeltaRiceDecode(data, count, sampleBits)
+		if err != nil {
+			return
+		}
+		if len(samples) != count {
+			t.Fatalf("decoded %d samples, want %d", len(samples), count)
+		}
+		re, err := DeltaRiceEncode(samples, sampleBits)
+		if err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		back, err := DeltaRiceDecode(re, count, sampleBits)
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		for i := range samples {
+			if back[i] != samples[i] {
+				t.Fatalf("sample %d: %d after round trip, want %d", i, back[i], samples[i])
+			}
+		}
+	})
+}
+
+// FuzzDeltaRiceRoundTrip drives the encoder with arbitrary in-range
+// traces: encode → decode must be the identity, and the Append variant
+// must agree with the allocating API.
+func FuzzDeltaRiceRoundTrip(f *testing.F) {
+	f.Add([]byte{10, 20, 30, 25, 15}, uint8(10))
+	f.Add([]byte{0}, uint8(1))
+	f.Fuzz(func(t *testing.T, raw []byte, bitsRaw uint8) {
+		sampleBits := int(bitsRaw)%16 + 1
+		if len(raw) == 0 || len(raw) > 1<<12 {
+			return
+		}
+		samples := make([]uint16, len(raw))
+		for i, b := range raw {
+			samples[i] = uint16(b) & (1<<sampleBits - 1)
+			if sampleBits >= 8 {
+				samples[i] = uint16(b) << (sampleBits - 8)
+			}
+		}
+		enc, err := DeltaRiceEncode(samples, sampleBits)
+		if err != nil {
+			t.Fatalf("encode rejected in-range trace: %v", err)
+		}
+		if got, err := AppendDeltaRiceEncode(nil, samples, sampleBits); err != nil || string(got) != string(enc) {
+			t.Fatalf("AppendDeltaRiceEncode disagrees with DeltaRiceEncode (err %v)", err)
+		}
+		dec, err := DeltaRiceDecode(enc, len(samples), sampleBits)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		for i := range samples {
+			if dec[i] != samples[i] {
+				t.Fatalf("sample %d: %d, want %d", i, dec[i], samples[i])
+			}
+		}
+	})
+}

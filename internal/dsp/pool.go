@@ -1,0 +1,22 @@
+package dsp
+
+import "sync"
+
+// Scratch-buffer pool for the block-processing hot paths. Spike
+// detection over a fleet of simulated channels runs NEO + smoothing per
+// block; recycling the intermediate float64 buffers keeps those passes
+// allocation-free at steady state.
+
+var f64Pool = sync.Pool{New: func() any {
+	buf := make([]float64, 0, 4096)
+	return &buf
+}}
+
+// getF64Buf returns a recycled length-0 float64 scratch buffer.
+func getF64Buf() *[]float64 { return f64Pool.Get().(*[]float64) }
+
+// putF64Buf recycles a buffer obtained from getF64Buf.
+func putF64Buf(buf *[]float64) {
+	*buf = (*buf)[:0]
+	f64Pool.Put(buf)
+}

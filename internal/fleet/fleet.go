@@ -1,0 +1,338 @@
+// Package fleet runs many independent implant → modem → AWGN → wearable
+// pipelines concurrently — the system-level scaling experiment behind the
+// paper's Fig. 1 deployment picture, where one wearable serves a fleet of
+// implanted sensors.
+//
+// Determinism is the design center: every implant pipeline is fully
+// self-seeded through SplitMix64-derived streams (DeriveSeed), implants
+// are assigned to workers by static round-robin, each result lands in a
+// disjoint slice slot, and aggregation walks the slots in index order.
+// The aggregate is therefore bit-identical for any worker count or
+// GOMAXPROCS — the property the determinism test wall pins down.
+//
+// The per-tick hot path is allocation-free at steady state: sample, code,
+// bit, symbol and frame buffers come from the comm package's sync.Pools
+// and are recycled through the Append* APIs.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+	"time"
+
+	"mindful/internal/comm"
+	"mindful/internal/neural"
+	"mindful/internal/obs"
+	"mindful/internal/units"
+	"mindful/internal/wearable"
+)
+
+// FNV-1a 64-bit parameters for the result digests.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// Config describes one fleet run.
+type Config struct {
+	// Implants is the number of independent implant pipelines.
+	Implants int
+	// Workers is the number of concurrent worker goroutines; values < 1
+	// run single-threaded. The result is identical for every value.
+	Workers int
+	// Ticks is the number of frames each implant transmits.
+	Ticks int
+	// Channels is the per-implant electrode count.
+	Channels int
+	// SampleRate is the per-channel sampling frequency.
+	SampleRate units.Frequency
+	// SampleBits is the ADC width d (1..16).
+	SampleBits int
+	// Modulation selects the uplink modem (OOK, BPSK or square QAM).
+	Modulation comm.Modulation
+	// EbN0dB is the AWGN operating point in dB.
+	EbN0dB float64
+	// Seed is the base seed all per-implant streams derive from.
+	Seed int64
+	// Observer optionally collects shard-labeled fleet metrics.
+	Observer *obs.Observer
+}
+
+// DefaultConfig returns a small fleet at a noisy but workable operating
+// point: 8 implants of 32 channels under 16-QAM at 12 dB Eb/N0.
+func DefaultConfig() Config {
+	return Config{
+		Implants:   8,
+		Workers:    4,
+		Ticks:      128,
+		Channels:   32,
+		SampleRate: units.Kilohertz(2),
+		SampleBits: 10,
+		Modulation: comm.NewQAM(4),
+		EbN0dB:     12,
+		Seed:       1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Implants < 1 {
+		return errors.New("fleet: need at least one implant")
+	}
+	if c.Ticks < 1 {
+		return errors.New("fleet: need at least one tick")
+	}
+	if c.Channels < 1 {
+		return errors.New("fleet: need at least one channel")
+	}
+	if c.SampleRate.Hz() <= 0 {
+		return errors.New("fleet: sample rate must be positive")
+	}
+	if c.SampleBits < 1 || c.SampleBits > 16 {
+		return fmt.Errorf("fleet: sample bits %d outside 1..16", c.SampleBits)
+	}
+	if c.Modulation == nil {
+		return errors.New("fleet: no modulation configured")
+	}
+	if _, err := comm.NewModem(c.Modulation); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ImplantResult is the outcome of one implant's pipeline.
+type ImplantResult struct {
+	// Index is the implant's position in the fleet.
+	Index int
+	// Worker is the shard (worker goroutine) that ran the pipeline.
+	Worker int
+	// Frames is the number of frames transmitted.
+	Frames int64
+	// Accepted, Corrupt and LostSeq are the wearable receiver's frame
+	// accounting after the noisy link.
+	Accepted int64
+	Corrupt  int64
+	LostSeq  int64
+	// BitsSent and BitErrors count the on-air bits and the demodulation
+	// errors against the known transmitted stream.
+	BitsSent  int64
+	BitErrors int64
+	// Digest is an FNV-1a hash over every received frame byte, in tick
+	// order — the byte-identity witness of the determinism tests.
+	Digest uint64
+	// Err is the first pipeline error, if any.
+	Err error
+}
+
+// Aggregate is the fleet-wide summary, reduced in implant-index order.
+type Aggregate struct {
+	Implants int
+	Workers  int
+	Ticks    int
+
+	Frames    int64
+	Accepted  int64
+	Corrupt   int64
+	LostSeq   int64
+	BitsSent  int64
+	BitErrors int64
+
+	// BER is the measured uplink bit error rate; FER the frame error rate
+	// at the receiver.
+	BER float64
+	FER float64
+
+	// Digest chains the per-implant digests in index order — equal
+	// digests mean byte-identical fleet output.
+	Digest uint64
+
+	// Elapsed and FramesPerSecond describe this run's wall-clock
+	// performance; they are the only non-deterministic fields.
+	Elapsed         time.Duration
+	FramesPerSecond float64
+
+	// PerImplant holds the individual results, ordered by Index.
+	PerImplant []ImplantResult
+}
+
+// Run executes the fleet and reduces the per-implant results. The
+// deterministic fields of the aggregate depend only on the Config's
+// simulation parameters, never on Workers or scheduling.
+func Run(cfg Config) (*Aggregate, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > cfg.Implants {
+		workers = cfg.Implants
+	}
+
+	results := make([]ImplantResult, cfg.Implants)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Static round-robin sharding: implant i always belongs to
+			// shard i mod workers, and each slot is written exactly once.
+			for i := w; i < cfg.Implants; i += workers {
+				results[i] = runImplant(cfg, i, w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	agg := &Aggregate{
+		Implants:   cfg.Implants,
+		Workers:    workers,
+		Ticks:      cfg.Ticks,
+		Digest:     fnvOffset,
+		Elapsed:    elapsed,
+		PerImplant: results,
+	}
+	for i := range results {
+		r := &results[i]
+		if r.Err != nil {
+			return nil, fmt.Errorf("fleet: implant %d: %w", r.Index, r.Err)
+		}
+		agg.Frames += r.Frames
+		agg.Accepted += r.Accepted
+		agg.Corrupt += r.Corrupt
+		agg.LostSeq += r.LostSeq
+		agg.BitsSent += r.BitsSent
+		agg.BitErrors += r.BitErrors
+		for shift := 56; shift >= 0; shift -= 8 {
+			agg.Digest = (agg.Digest ^ (r.Digest >> shift & 0xFF)) * fnvPrime
+		}
+	}
+	if agg.BitsSent > 0 {
+		agg.BER = float64(agg.BitErrors) / float64(agg.BitsSent)
+	}
+	if total := agg.Accepted + agg.Corrupt; total > 0 {
+		agg.FER = float64(agg.Corrupt) / float64(total)
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		agg.FramesPerSecond = float64(agg.Frames) / s
+	}
+	return agg, nil
+}
+
+// runImplant executes one implant's full pipeline: synthetic cortex →
+// ADC → frame → bits → symbols → AWGN → bits → frame → wearable.
+func runImplant(cfg Config, idx, worker int) ImplantResult {
+	res := ImplantResult{Index: idx, Worker: worker, Digest: fnvOffset}
+	fail := func(err error) ImplantResult {
+		res.Err = err
+		return res
+	}
+
+	ncfg := neural.DefaultConfig()
+	ncfg.Channels = cfg.Channels
+	ncfg.SampleRate = cfg.SampleRate
+	ncfg.Seed = DeriveSeed(cfg.Seed, uint64(idx), StreamNeural)
+	gen, err := neural.New(ncfg)
+	if err != nil {
+		return fail(err)
+	}
+	adc := neural.ADC{Bits: cfg.SampleBits, FullScale: 2.0}
+	pkt, err := comm.NewPacketizer(cfg.SampleBits)
+	if err != nil {
+		return fail(err)
+	}
+	modem, err := comm.NewModem(cfg.Modulation)
+	if err != nil {
+		return fail(err)
+	}
+	channel := comm.NewAWGNChannel(math.Pow(10, cfg.EbN0dB/10),
+		DeriveSeed(cfg.Seed, uint64(idx), StreamChannel))
+	rx, err := wearable.NewReceiver(0)
+	if err != nil {
+		return fail(err)
+	}
+
+	// Pooled buffers: the whole tick loop below is allocation-free once
+	// these have grown to steady-state capacity.
+	framePtr := comm.GetByteBuf()
+	defer comm.PutByteBuf(framePtr)
+	rxFramePtr := comm.GetByteBuf()
+	defer comm.PutByteBuf(rxFramePtr)
+	bitPtr := comm.GetBitBuf()
+	defer comm.PutBitBuf(bitPtr)
+	rxBitPtr := comm.GetBitBuf()
+	defer comm.PutBitBuf(rxBitPtr)
+	symPtr := comm.GetSymbolBuf()
+	defer comm.PutSymbolBuf(symPtr)
+	var sampleBuf []float64
+	var codeBuf []uint16
+
+	k := modem.BitsPerSymbol()
+	// Golden-angle phase offset decorrelates the implants' intent
+	// trajectories without extra randomness.
+	phase := 2 * math.Pi * 0.381966 * float64(idx)
+	for t := 0; t < cfg.Ticks; t++ {
+		theta := phase + 2*math.Pi*float64(t)/200
+		gen.SetIntent(math.Cos(theta), math.Sin(theta))
+		sampleBuf = gen.NextInto(sampleBuf)
+		codeBuf = adc.AppendQuantize(codeBuf[:0], sampleBuf)
+		frame, err := pkt.AppendEncode((*framePtr)[:0], codeBuf)
+		if err != nil {
+			return fail(err)
+		}
+		*framePtr = frame
+
+		bits := comm.AppendBytesAsBits((*bitPtr)[:0], frame)
+		// Pad to a symbol boundary; the pad is dropped after demodulation.
+		for len(bits)%k != 0 {
+			bits = append(bits, 0)
+		}
+		*bitPtr = bits
+		syms, err := modem.AppendModulate((*symPtr)[:0], bits)
+		if err != nil {
+			return fail(err)
+		}
+		*symPtr = syms
+		channel.TransmitInPlace(syms)
+		rxBits := modem.AppendDemodulate((*rxBitPtr)[:0], syms)
+		*rxBitPtr = rxBits
+		for i := range bits {
+			if bits[i] != rxBits[i] {
+				res.BitErrors++
+			}
+		}
+		res.BitsSent += int64(len(bits))
+
+		rxFrame := comm.AppendBitsAsBytes((*rxFramePtr)[:0], rxBits[:len(frame)*8])
+		*rxFramePtr = rxFrame
+		res.Frames++
+		rx.Receive(rxFrame) // CRC-rejected frames are counted as corrupt
+		for _, b := range rxFrame {
+			res.Digest = (res.Digest ^ uint64(b)) * fnvPrime
+		}
+	}
+	st := rx.Stats()
+	res.Accepted, res.Corrupt, res.LostSeq = st.Accepted, st.Corrupted, st.LostSeq
+
+	if cfg.Observer != nil {
+		reg := cfg.Observer.Metrics
+		lbl := obs.Label{Key: "shard", Value: strconv.Itoa(worker)}
+		reg.Counter("fleet_frames_total", lbl).Add(res.Frames)
+		reg.Counter("fleet_frames_accepted_total", lbl).Add(res.Accepted)
+		reg.Counter("fleet_frames_corrupt_total", lbl).Add(res.Corrupt)
+		reg.Counter("fleet_bits_sent_total", lbl).Add(res.BitsSent)
+		reg.Counter("fleet_bit_errors_total", lbl).Add(res.BitErrors)
+		reg.Help("fleet_frames_total", "Frames transmitted by the shard's implants.")
+		reg.Help("fleet_frames_accepted_total", "Frames accepted by the wearable receiver.")
+		reg.Help("fleet_frames_corrupt_total", "Frames rejected as corrupt after the noisy link.")
+		reg.Help("fleet_bits_sent_total", "On-air bits transmitted (including symbol padding).")
+		reg.Help("fleet_bit_errors_total", "Demodulated bits differing from the transmitted stream.")
+	}
+	return res
+}

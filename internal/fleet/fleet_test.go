@@ -1,0 +1,177 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mindful/internal/comm"
+	"mindful/internal/obs"
+	"mindful/internal/units"
+)
+
+// testConfig returns a small fleet that still exercises frame corruption
+// (12 dB 16-QAM leaves a measurable BER).
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Implants = 6
+	cfg.Ticks = 32
+	cfg.Channels = 16
+	return cfg
+}
+
+// deterministicFields strips the wall-clock fields so aggregates can be
+// compared for byte identity.
+func deterministicFields(a *Aggregate) Aggregate {
+	out := *a
+	out.Workers = 0
+	out.Elapsed = 0
+	out.FramesPerSecond = 0
+	out.PerImplant = nil
+	return out
+}
+
+// TestFleetDeterminismWall is the determinism wall: the same seed must
+// produce byte-identical aggregates for every worker count, including
+// under -race (the tier-1.5 gate runs this file with the race detector).
+func TestFleetDeterminismWall(t *testing.T) {
+	cfg := testConfig()
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Frames != int64(cfg.Implants*cfg.Ticks) {
+		t.Fatalf("frames = %d, want %d", ref.Frames, cfg.Implants*cfg.Ticks)
+	}
+	if ref.BitErrors == 0 {
+		t.Fatal("operating point produced zero bit errors; the wall would not exercise the noisy path")
+	}
+	want := deterministicFields(ref)
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			t.Parallel()
+			c := cfg
+			c.Workers = workers
+			got, err := Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g := deterministicFields(got); !reflect.DeepEqual(g, want) {
+				t.Errorf("workers=%d aggregate diverged:\n got %+v\nwant %+v", workers, g, want)
+			}
+			// Per-implant results must match field-for-field too (modulo
+			// the worker assignment, which legitimately changes).
+			for i := range got.PerImplant {
+				g, w := got.PerImplant[i], ref.PerImplant[i]
+				g.Worker, w.Worker = 0, 0
+				if g != w {
+					t.Errorf("workers=%d implant %d diverged:\n got %+v\nwant %+v", workers, i, g, w)
+				}
+			}
+		})
+	}
+}
+
+// TestFleetSeedSensitivity checks that different base seeds actually
+// change the output (the digest is not vacuous).
+func TestFleetSeedSensitivity(t *testing.T) {
+	cfg := testConfig()
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 2
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest == b.Digest {
+		t.Fatalf("digest %#x identical across seeds", a.Digest)
+	}
+}
+
+// TestFleetModulations runs the wall's core identity check across every
+// supported modem family.
+func TestFleetModulations(t *testing.T) {
+	for _, m := range []comm.Modulation{comm.OOK{}, comm.NewQAM(1), comm.NewQAM(2), comm.NewQAM(6)} {
+		cfg := testConfig()
+		cfg.Implants = 3
+		cfg.Ticks = 8
+		cfg.Modulation = m
+		cfg.Workers = 1
+		a, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		cfg.Workers = 3
+		b, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if a.Digest != b.Digest {
+			t.Errorf("%s: digest %#x (1 worker) != %#x (3 workers)", m.Name(), a.Digest, b.Digest)
+		}
+	}
+}
+
+// TestFleetObserverShards checks the shard-labeled metrics reduce to the
+// same totals as the aggregate.
+func TestFleetObserverShards(t *testing.T) {
+	cfg := testConfig()
+	cfg.Observer = obs.New()
+	cfg.Workers = 3
+	agg, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames int64
+	for w := 0; w < cfg.Workers; w++ {
+		lbl := obs.Label{Key: "shard", Value: string(rune('0' + w))}
+		frames += cfg.Observer.Metrics.Counter("fleet_frames_total", lbl).Value()
+	}
+	if frames != agg.Frames {
+		t.Errorf("shard frame counters sum to %d, aggregate has %d", frames, agg.Frames)
+	}
+}
+
+func TestDeriveSeedIndependence(t *testing.T) {
+	seen := map[int64]string{}
+	for base := int64(0); base < 3; base++ {
+		for idx := uint64(0); idx < 64; idx++ {
+			for stream := uint64(0); stream < 3; stream++ {
+				s := DeriveSeed(base, idx, stream)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("seed collision: (%d,%d,%d) and %s both map to %d", base, idx, stream, prev, s)
+				}
+				seen[s] = string(rune('a'))
+				if s2 := DeriveSeed(base, idx, stream); s2 != s {
+					t.Fatalf("DeriveSeed not pure: %d vs %d", s, s2)
+				}
+			}
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Implants = 0 },
+		func(c *Config) { c.Ticks = 0 },
+		func(c *Config) { c.Channels = 0 },
+		func(c *Config) { c.SampleRate = units.Hertz(0) },
+		func(c *Config) { c.SampleBits = 0 },
+		func(c *Config) { c.SampleBits = 17 },
+		func(c *Config) { c.Modulation = nil },
+		func(c *Config) { c.Modulation = comm.NewQAM(3) }, // non-square QAM has no modem
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config passed validation", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}

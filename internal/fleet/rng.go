@@ -1,0 +1,41 @@
+package fleet
+
+// Sharded seed derivation. A fleet run needs one independent random
+// stream per (implant, purpose) pair, bit-identical no matter how the
+// implants are later distributed over workers. SplitMix64 gives exactly
+// that: a single base seed is mixed with the implant index and a stream
+// tag through an avalanche-quality finalizer, so neighbouring indices
+// land on decorrelated 64-bit states and the derivation itself is pure
+// arithmetic — no shared RNG whose draw order could depend on
+// scheduling.
+
+// Stream tags for DeriveSeed: every randomized stage of one implant's
+// pipeline draws from its own derived stream.
+const (
+	// StreamNeural seeds the synthetic cortical signal generator.
+	StreamNeural uint64 = 0
+	// StreamChannel seeds the AWGN channel noise.
+	StreamChannel uint64 = 1
+	// StreamLink seeds auxiliary link impairments (reserved).
+	StreamLink uint64 = 2
+)
+
+// splitmix64 is the SplitMix64 state-advance + finalizer: increment by
+// the golden-ratio constant, then avalanche.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// DeriveSeed maps (base seed, implant index, stream tag) to an
+// independent RNG seed. The derivation is a pure function of its
+// arguments, so per-implant pipelines are reproducible regardless of
+// worker count, GOMAXPROCS or execution order.
+func DeriveSeed(base int64, index, stream uint64) int64 {
+	h := splitmix64(uint64(base))
+	h = splitmix64(h ^ (index+1)*0xD1B54A32D192ED03)
+	h = splitmix64(h ^ (stream+1)*0x8CB92BA72F3D8DD7)
+	return int64(h)
+}

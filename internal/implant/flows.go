@@ -18,6 +18,8 @@ type featureState struct {
 	extractors []*dsp.BandPowerExtractor
 	// scale maps envelope power to the ADC's input range.
 	scale float64
+	// buf is the reused output vector (valid until the next process call).
+	buf []float64
 }
 
 func newFeatureState(channels int, fsHz float64, fullScale float64) (*featureState, error) {
@@ -41,7 +43,8 @@ func newFeatureState(channels int, fsHz float64, fullScale float64) (*featureSta
 }
 
 // process consumes one sample vector; when the decimator fires it returns
-// the feature vector mapped into [−fullScale, fullScale] for the ADC.
+// the feature vector mapped into [−fullScale, fullScale] for the ADC. The
+// returned slice is reused by the next call.
 func (st *featureState) process(samples []float64) ([]float64, bool) {
 	var out []float64
 	emitted := false
@@ -49,7 +52,13 @@ func (st *featureState) process(samples []float64) ([]float64, bool) {
 		v, ok := st.extractors[c].Process(x)
 		if ok {
 			if out == nil {
-				out = make([]float64, len(samples))
+				if cap(st.buf) < len(samples) {
+					st.buf = make([]float64, len(samples))
+				}
+				out = st.buf[:len(samples)]
+				for i := range out {
+					out[i] = 0
+				}
 			}
 			// Envelope power is non-negative; clamp into the ADC range.
 			if v > st.scale {
@@ -65,6 +74,8 @@ func (st *featureState) process(samples []float64) ([]float64, bool) {
 // spikeState holds the per-channel streaming detectors of the spike flow.
 type spikeState struct {
 	detectors []*dsp.StreamingDetector
+	// events is the reused event vector (valid until the next process call).
+	events []uint16
 }
 
 func newSpikeState(channels int, fsHz float64, calibration int) (*spikeState, error) {
@@ -82,13 +93,15 @@ func newSpikeState(channels int, fsHz float64, calibration int) (*spikeState, er
 	return st, nil
 }
 
-// process returns the indices of channels that spiked this tick.
+// process returns the indices of channels that spiked this tick. The
+// returned slice is reused by the next call.
 func (st *spikeState) process(samples []float64) []uint16 {
-	var events []uint16
+	events := st.events[:0]
 	for c, x := range samples {
 		if st.detectors[c].Process(x) {
 			events = append(events, uint16(c))
 		}
 	}
+	st.events = events
 	return events
 }

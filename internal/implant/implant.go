@@ -112,6 +112,14 @@ type Implant struct {
 	lastOutput []float64
 	// onFrame receives every encoded frame when set (the "wearable").
 	onFrame func([]byte)
+	// Scratch buffers reused across ticks so the steady-state tick loop
+	// stays allocation-free (see OnFrame for the aliasing contract).
+	sampleBuf  []float64
+	subBuf     []float64
+	inBuf      []float64
+	codeBuf    []uint16
+	outCodeBuf []uint16
+	frameBuf   []byte
 	// o holds pre-resolved observability handles; its zero value (and nil
 	// instruments) short-circuits every hook, keeping the unobserved tick
 	// loop within a few nil checks of the bare pipeline.
@@ -230,7 +238,9 @@ func (im *Implant) ActiveChannels() []int {
 }
 
 // OnFrame registers a sink for encoded uplink frames (e.g. a simulated
-// wearable receiver). Pass nil to detach.
+// wearable receiver). Pass nil to detach. The frame buffer is reused by
+// the next tick, so a sink that needs the bytes beyond the call must copy
+// them.
 func (im *Implant) OnFrame(f func([]byte)) { im.onFrame = f }
 
 // SetIntent forwards a latent intent to the neural substrate.
@@ -241,12 +251,15 @@ func (im *Implant) LastOutput() []float64 { return im.lastOutput }
 
 // emit frames one value vector and feeds the wearable sink. Values must
 // fit the ADC bit width (spike-centric channel indices do whenever the
-// channel count stays within the code range).
+// channel count stays within the code range). The frame is built in a
+// scratch buffer owned by the implant and is only valid for the duration
+// of the onFrame callback.
 func (im *Implant) emit(codes []uint16) error {
-	frame, err := im.pkt.Encode(codes)
+	frame, err := im.pkt.AppendEncode(im.frameBuf[:0], codes)
 	if err != nil {
 		return err
 	}
+	im.frameBuf = frame
 	bits := int64(len(frame) * 8)
 	im.bitsSent += bits
 	im.frames++
@@ -263,19 +276,22 @@ func (im *Implant) Tick() error {
 	tr := im.o.tracer
 	tick := tr.Start("implant.tick", 0)
 	sp := tr.Start("implant.sense", tick)
-	samples := im.gen.Next()
+	samples := im.gen.NextInto(im.sampleBuf)
+	im.sampleBuf = samples
 	if sel := im.drop.observe(samples, im.cfg.Neural.SampleRate.Hz()); sel != nil {
 		// Post-calibration: digitize and ship only the active subset.
 		im.o.droppedChannelSamples.Add(int64(im.cfg.Neural.Channels - len(sel)))
-		sub := make([]float64, len(sel))
-		for i, c := range sel {
-			sub[i] = samples[c]
+		sub := im.subBuf[:0]
+		for _, c := range sel {
+			sub = append(sub, samples[c])
 		}
+		im.subBuf = sub
 		samples = sub
 	}
 	tr.End(sp)
 	sp = tr.Start("implant.adc", tick)
-	codes := im.cfg.ADC.QuantizeBlock(samples)
+	codes := im.cfg.ADC.AppendQuantize(im.codeBuf[:0], samples)
+	im.codeBuf = codes
 	tr.End(sp)
 	switch im.cfg.Flow {
 	case CommCentric:
@@ -288,10 +304,11 @@ func (im *Implant) Tick() error {
 		}
 	case ComputeCentric:
 		sp = tr.Start("implant.nn", tick)
-		in := make([]float64, len(codes))
-		for i, c := range codes {
-			in[i] = im.cfg.ADC.Dequantize(c)
+		in := im.inBuf[:0]
+		for _, c := range codes {
+			in = append(in, im.cfg.ADC.Dequantize(c))
 		}
+		im.inBuf = in
 		out, err := im.cfg.Network.Forward(nn.FromVector(in))
 		if err != nil {
 			tr.End(sp)
@@ -311,10 +328,8 @@ func (im *Implant) Tick() error {
 		im.o.macSteps.Add(int64(macs))
 		tr.End(sp)
 		// Transmit the output values at the ADC width in a frame.
-		outCodes := make([]uint16, len(out.Data))
-		for i, v := range out.Data {
-			outCodes[i] = im.cfg.ADC.Quantize(v)
-		}
+		outCodes := im.cfg.ADC.AppendQuantize(im.outCodeBuf[:0], out.Data)
+		im.outCodeBuf = outCodes
 		sp = tr.Start("implant.transmit", tick)
 		err = im.emit(outCodes)
 		tr.End(sp)
@@ -332,7 +347,9 @@ func (im *Implant) Tick() error {
 		im.featureVectors++
 		im.o.features.Inc()
 		sp = tr.Start("implant.transmit", tick)
-		err := im.emit(im.cfg.ADC.QuantizeBlock(features))
+		featCodes := im.cfg.ADC.AppendQuantize(im.outCodeBuf[:0], features)
+		im.outCodeBuf = featCodes
+		err := im.emit(featCodes)
 		tr.End(sp)
 		if err != nil {
 			tr.End(tick)

@@ -66,9 +66,13 @@ type Generator struct {
 	active   []bool       // channel has a unit
 	tuning   [][2]float64 // unit preferred direction (unit vector)
 	template []float64    // AP waveform
-	// pending[c] holds the remaining waveform to mix into channel c.
-	pending [][]float64
-	intent  [2]float64
+	// pending is a per-channel ring of upcoming additive waveform values:
+	// channel c's ring is pending[c*len(template) : (c+1)*len(template)],
+	// read at pendHead[c]. Fixed-size rings keep the spike mixing free of
+	// per-spike allocations (overlapping spikes sum in place).
+	pending  []float64
+	pendHead []int
+	intent   [2]float64
 	// lfp state: second-order resonator excited by noise, normalized to
 	// unit stationary RMS via lfpNorm.
 	lfpY1, lfpY2 float64
@@ -101,10 +105,11 @@ func New(cfg Config) (*Generator, error) {
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		active:   make([]bool, cfg.Channels),
 		tuning:   make([][2]float64, cfg.Channels),
-		pending:  make([][]float64, cfg.Channels),
+		pendHead: make([]int, cfg.Channels),
 		spikeLog: make([][]int, cfg.Channels),
 		template: apTemplate(cfg.SampleRate),
 	}
+	g.pending = make([]float64, cfg.Channels*len(g.template))
 	for c := 0; c < cfg.Channels; c++ {
 		g.active[c] = g.rng.Float64() < cfg.ActiveFraction
 		theta := g.rng.Float64() * 2 * math.Pi
@@ -183,9 +188,19 @@ func (g *Generator) SpikeLog() [][]int { return g.spikeLog }
 
 // Next produces one sample for every channel and advances time.
 func (g *Generator) Next() []float64 {
-	out := make([]float64, g.cfg.Channels)
-	g.fill(out)
-	return out
+	return g.NextInto(nil)
+}
+
+// NextInto produces one sample for every channel into dst (grown when too
+// small) and advances time. Reusing the returned slice across ticks makes
+// the sensing path allocation-free.
+func (g *Generator) NextInto(dst []float64) []float64 {
+	if cap(dst) < g.cfg.Channels {
+		dst = make([]float64, g.cfg.Channels)
+	}
+	dst = dst[:g.cfg.Channels]
+	g.fill(dst)
+	return dst
 }
 
 // fill writes one sample per channel into dst (len = Channels).
@@ -195,8 +210,11 @@ func (g *Generator) fill(dst []float64) {
 	g.lfpY2, g.lfpY1 = g.lfpY1, raw
 	lfp := raw * g.lfpNorm
 
+	tlen := len(g.template)
 	for c := 0; c < g.cfg.Channels; c++ {
 		v := g.cfg.LFPAmplitude*lfp + g.cfg.NoiseRMS*g.rng.NormFloat64()
+		ring := g.pending[c*tlen : (c+1)*tlen]
+		head := g.pendHead[c]
 		if g.active[c] {
 			rate := g.cfg.MeanRateHz * (1 + g.cfg.ModulationDepth*(g.tuning[c][0]*g.intent[0]+g.tuning[c][1]*g.intent[1]))
 			if rate < 0 {
@@ -204,22 +222,18 @@ func (g *Generator) fill(dst []float64) {
 			}
 			if g.rng.Float64() < rate*dt {
 				// Emit a spike: mix the template additively into the
-				// channel's pending buffer (overlapping spikes sum).
-				if short := len(g.template) - len(g.pending[c]); short > 0 {
-					g.pending[c] = append(g.pending[c], make([]float64, short)...)
-				}
-				for k, v := range g.template {
-					g.pending[c][k] += v
+				// channel's pending ring (overlapping spikes sum).
+				for k, tv := range g.template {
+					ring[(head+k)%tlen] += tv
 				}
 				if g.logSpikes {
 					g.spikeLog[c] = append(g.spikeLog[c], g.t)
 				}
 			}
 		}
-		if len(g.pending[c]) > 0 {
-			v += g.pending[c][0]
-			g.pending[c] = g.pending[c][1:]
-		}
+		v += ring[head]
+		ring[head] = 0
+		g.pendHead[c] = (head + 1) % tlen
 		dst[c] = v
 	}
 	g.t++
@@ -276,11 +290,16 @@ func (a ADC) Dequantize(q uint16) float64 {
 
 // QuantizeBlock digitizes one multichannel sample vector.
 func (a ADC) QuantizeBlock(xs []float64) []uint16 {
-	out := make([]uint16, len(xs))
-	for i, x := range xs {
-		out[i] = a.Quantize(x)
+	return a.AppendQuantize(make([]uint16, 0, len(xs)), xs)
+}
+
+// AppendQuantize digitizes xs, appending the codes to dst — the
+// allocation-free variant for buffer-reusing pipelines.
+func (a ADC) AppendQuantize(dst []uint16, xs []float64) []uint16 {
+	for _, x := range xs {
+		dst = append(dst, a.Quantize(x))
 	}
-	return out
+	return dst
 }
 
 // SensingThroughput returns Eq. (6): T_sensing(n) = d·n·f.

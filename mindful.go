@@ -37,6 +37,7 @@ import (
 	"mindful/internal/decode"
 	"mindful/internal/dnnmodel"
 	"mindful/internal/dsp"
+	"mindful/internal/fleet"
 	"mindful/internal/implant"
 	"mindful/internal/mac"
 	"mindful/internal/neural"
@@ -315,6 +316,32 @@ func NewWearableReceiver(keepSamples int) (*WearableReceiver, error) {
 // NewLossyLink returns a seeded link at the given bit error rate.
 func NewLossyLink(ber float64, seed int64) (*LossyLink, error) {
 	return wearable.NewLossyLink(ber, seed)
+}
+
+// Fleet simulation: many independent implant → modem → AWGN → wearable
+// pipelines run concurrently over a worker pool, with SplitMix64-sharded
+// seeds so the aggregate is bit-identical for any worker count.
+type (
+	// FleetConfig describes one fleet run.
+	FleetConfig = fleet.Config
+	// FleetAggregate is the fleet-wide summary.
+	FleetAggregate = fleet.Aggregate
+	// FleetImplantResult is one implant pipeline's outcome.
+	FleetImplantResult = fleet.ImplantResult
+)
+
+// DefaultFleetConfig returns a small 8-implant fleet under 16-QAM at a
+// noisy operating point.
+func DefaultFleetConfig() FleetConfig { return fleet.DefaultConfig() }
+
+// RunFleet executes a fleet and reduces the per-implant results in index
+// order; the deterministic fields never depend on Workers.
+func RunFleet(cfg FleetConfig) (*FleetAggregate, error) { return fleet.Run(cfg) }
+
+// DeriveSeed maps (base seed, implant index, stream tag) to an
+// independent RNG seed via SplitMix64 splitting.
+func DeriveSeed(base int64, index, stream uint64) int64 {
+	return fleet.DeriveSeed(base, index, stream)
 }
 
 // Observability: the cross-cutting metrics and tracing layer. Stateful
