@@ -8,7 +8,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test check fmt vet race bench fuzz-smoke determinism clean
+.PHONY: all build test check fmt vet race bench fuzz-smoke fault-smoke determinism clean
 
 all: build
 
@@ -41,10 +41,19 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParsePacket -fuzztime $(FUZZTIME) ./internal/comm/
 	$(GO) test -run '^$$' -fuzz FuzzPackSamples -fuzztime $(FUZZTIME) ./internal/comm/
 	$(GO) test -run '^$$' -fuzz FuzzBitsBytes -fuzztime $(FUZZTIME) ./internal/comm/
+	$(GO) test -run '^$$' -fuzz FuzzFECDecode -fuzztime $(FUZZTIME) ./internal/comm/
+	$(GO) test -run '^$$' -fuzz FuzzARQReorder -fuzztime $(FUZZTIME) ./internal/comm/
 	$(GO) test -run '^$$' -fuzz FuzzDeltaRiceDecode -fuzztime $(FUZZTIME) ./internal/dsp/
 	$(GO) test -run '^$$' -fuzz FuzzDeltaRiceRoundTrip -fuzztime $(FUZZTIME) ./internal/dsp/
 
-check: build vet fmt race fuzz-smoke
+# Fault-injection smoke: the fault package's unit tests, the clean-path
+# digest pin (fault machinery disabled must stay byte-identical to the
+# recorded pre-fault baseline) and the degradation-sweep invariants.
+fault-smoke:
+	$(GO) test ./internal/fault/
+	$(GO) test -run 'TestCleanPathDigestPin|TestFaultSweep|TestRecoveryImprovesDelivery' ./internal/fleet/
+
+check: build vet fmt race fault-smoke fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

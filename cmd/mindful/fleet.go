@@ -10,19 +10,27 @@ import (
 	"time"
 
 	"mindful/internal/comm"
+	"mindful/internal/fault"
 	"mindful/internal/fleet"
 	"mindful/internal/report"
 	"mindful/internal/units"
+	"mindful/internal/wearable"
 )
 
 // runFleet executes the parallel fleet simulator:
 //
 //	mindful fleet [-n N] [-workers K] [-ticks T] [-channels C] [-qam B]
 //	              [-ebn0 DB] [-seed S] [-scaling FILE]
+//	              [-faults I] [-arq N] [-fec D] [-conceal MODE]
+//	              [-fault-sweep FILE]
 //
 // With -scaling FILE it additionally measures the 1/2/4/8-worker
 // throughput curve on the same configuration and writes it as JSON
-// (the BENCH_fleet.json schema).
+// (the BENCH_fleet.json schema). -faults I injects the default fault
+// profile scaled to intensity I; -arq/-fec/-conceal enable the recovery
+// stack. -fault-sweep FILE runs the degradation sweep over the default
+// intensity grid and writes the curve as JSON (the BENCH_fault.json
+// schema).
 func runFleet() error {
 	fs := flag.NewFlagSet("fleet", flag.ContinueOnError)
 	n := fs.Int("n", 64, "number of implants")
@@ -33,6 +41,11 @@ func runFleet() error {
 	ebn0 := fs.Float64("ebn0", 12, "AWGN operating point Eb/N0 [dB]")
 	seed := fs.Int64("seed", 1, "base seed for the sharded RNG streams")
 	scaling := fs.String("scaling", "", "measure the 1/2/4/8-worker scaling curve and write it to FILE")
+	faults := fs.Float64("faults", 0, "fault intensity: default profile scaled by this factor (0 = off)")
+	arqRetries := fs.Int("arq", 0, "ARQ retransmission budget per frame (0 = off)")
+	fecDepth := fs.Int("fec", 0, "Hamming(7,4) FEC interleaver depth (0 = off)")
+	conceal := fs.String("conceal", "none", "gap concealment: none, hold or interp")
+	faultSweep := fs.String("fault-sweep", "", "run the degradation sweep and write the curve to FILE")
 	if err := fs.Parse(flag.Args()[1:]); err != nil {
 		return err
 	}
@@ -51,6 +64,28 @@ func runFleet() error {
 	cfg.EbN0dB = *ebn0
 	cfg.Seed = *seed
 	cfg.Observer = observer
+	if *arqRetries > 0 {
+		cfg.ARQ = comm.ARQConfig{MaxRetries: *arqRetries}
+	}
+	cfg.FECDepth = *fecDepth
+	switch *conceal {
+	case "none":
+		cfg.Concealment = wearable.ConcealNone
+	case "hold":
+		cfg.Concealment = wearable.ConcealHold
+	case "interp":
+		cfg.Concealment = wearable.ConcealInterp
+	default:
+		return fmt.Errorf("unknown concealment %q (none, hold or interp)", *conceal)
+	}
+	if *faults > 0 {
+		p := fault.DefaultProfile().Scale(*faults)
+		cfg.Faults = &p
+	}
+
+	if *faultSweep != "" {
+		return runFaultSweep(cfg, *faultSweep)
+	}
 
 	agg, err := fleet.Run(cfg)
 	if err != nil {
@@ -78,6 +113,12 @@ func runFleet() error {
 	fmt.Print(tb.String())
 	fmt.Printf("\nBER %.3g  FER %.3g  lost-seq %d  digest %#016x\n",
 		agg.BER, agg.FER, agg.LostSeq, agg.Digest)
+	if cfg.Faults != nil || cfg.ARQ.Enabled() || cfg.FECDepth > 0 || cfg.Concealment != wearable.ConcealNone {
+		fmt.Printf("delivery %.4f  concealed %.4f  effective-BER %.3g\n",
+			agg.DeliveryRate(), agg.ConcealedFraction(), agg.EffectiveBER())
+		fmt.Printf("blanked %d  link-dropped %d  retransmits %d  recovered %d  arq-failed %d  fec-fixed %d  stale %d\n",
+			agg.Blanked, agg.LinkDropped, agg.Retransmits, agg.Recovered, agg.ARQFailed, agg.FECCorrected, agg.Stale)
+	}
 	fmt.Printf("%.0f frames/s over %s (GOMAXPROCS %d)\n",
 		agg.FramesPerSecond, agg.Elapsed.Round(time.Microsecond), runtime.GOMAXPROCS(0))
 	if *csvDir != "" {
@@ -114,4 +155,90 @@ func runFleet() error {
 		}
 	}
 	return nil
+}
+
+// runFaultSweep executes the degradation sweep over the default intensity
+// grid and writes the curve as JSON (the BENCH_fault.json schema). The
+// config's ARQ/FEC/concealment settings apply to every point, so the
+// intensity-0 point measures the recovery stack's fault-free overhead.
+func runFaultSweep(cfg fleet.Config, path string) error {
+	sw, err := fleet.RunFaultSweep(cfg, fault.DefaultProfile(), nil)
+	if err != nil {
+		return err
+	}
+
+	tb := report.NewTable(fmt.Sprintf("Fault sweep: %d implants × %d ticks (arq %d, fec %d, conceal %s)",
+		cfg.Implants, cfg.Ticks, cfg.ARQ.MaxRetries, cfg.FECDepth, concealName(cfg.Concealment)),
+		"Intensity", "Delivery", "Concealed", "Eff. BER", "Dropped", "Retransmits", "Recovered", "FEC fixed")
+	for _, p := range sw.Points {
+		tb.AddRow(fmt.Sprintf("%.2f", p.Intensity), fmt.Sprintf("%.4f", p.DeliveryRate),
+			fmt.Sprintf("%.4f", p.ConcealedFraction), fmt.Sprintf("%.3g", p.EffectiveBER),
+			strconv.FormatInt(p.LinkDropped, 10), strconv.FormatInt(p.Retransmits, 10),
+			strconv.FormatInt(p.Recovered, 10), strconv.FormatInt(p.FECCorrected, 10))
+	}
+	fmt.Print(tb.String())
+	fmt.Printf("\nsweep digest %#016x\n", sw.Digest)
+
+	type pointJSON struct {
+		Intensity         float64 `json:"intensity"`
+		DeliveryRate      float64 `json:"delivery_rate"`
+		ConcealedFraction float64 `json:"concealed_fraction"`
+		EffectiveBER      float64 `json:"effective_ber"`
+		FER               float64 `json:"fer"`
+		Accepted          int64   `json:"accepted"`
+		Corrupt           int64   `json:"corrupt"`
+		Blanked           int64   `json:"blanked"`
+		LinkDropped       int64   `json:"link_dropped"`
+		Retransmits       int64   `json:"retransmits"`
+		Recovered         int64   `json:"recovered"`
+		FECCorrected      int64   `json:"fec_corrected"`
+		Concealed         int64   `json:"concealed"`
+		Digest            string  `json:"digest"`
+	}
+	curve := struct {
+		Benchmark   string      `json:"benchmark"`
+		Implants    int         `json:"implants"`
+		Ticks       int         `json:"ticks"`
+		Channels    int         `json:"channels"`
+		ARQRetries  int         `json:"arq_retries"`
+		FECDepth    int         `json:"fec_depth"`
+		Concealment string      `json:"concealment"`
+		Seed        int64       `json:"seed"`
+		SweepDigest string      `json:"sweep_digest"`
+		Points      []pointJSON `json:"points"`
+	}{"fleet_fault_sweep", cfg.Implants, cfg.Ticks, cfg.Channels,
+		cfg.ARQ.MaxRetries, cfg.FECDepth, concealName(cfg.Concealment), cfg.Seed,
+		strconv.FormatUint(sw.Digest, 10), nil}
+	for _, p := range sw.Points {
+		curve.Points = append(curve.Points, pointJSON{
+			Intensity: p.Intensity, DeliveryRate: p.DeliveryRate,
+			ConcealedFraction: p.ConcealedFraction, EffectiveBER: p.EffectiveBER,
+			FER: p.FER, Accepted: p.Accepted, Corrupt: p.Corrupt,
+			Blanked: p.Blanked, LinkDropped: p.LinkDropped,
+			Retransmits: p.Retransmits, Recovered: p.Recovered,
+			FECCorrected: p.FECCorrected, Concealed: p.Concealed,
+			Digest: strconv.FormatUint(p.Digest, 10),
+		})
+	}
+	out, err := json.MarshalIndent(curve, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+// concealName names a concealment mode for reports.
+func concealName(c wearable.Concealment) string {
+	switch c {
+	case wearable.ConcealHold:
+		return "hold"
+	case wearable.ConcealInterp:
+		return "interp"
+	default:
+		return "none"
+	}
 }

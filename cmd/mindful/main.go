@@ -6,6 +6,7 @@
 //
 //	mindful [flags] <table1|fig4|fig5|fig6|fig7|fig9|fig10|fig11|fig12|fleet|observe|all|validate>
 //	mindful [flags] fleet [-n N] [-workers K] [-ticks T] [-scaling FILE]
+//	               [-faults I] [-arq N] [-fec D] [-conceal MODE] [-fault-sweep FILE]
 //
 // Flags:
 //
@@ -108,6 +109,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: mindful [-csv DIR] [-svg DIR] [-metrics FILE] [-trace FILE] [-debug-addr ADDR] <table1|fig4|fig5|fig6|fig7|fig9|fig10|fig11|fig12|ablate|ext|fleet|observe|all|validate>")
 	fmt.Fprintln(os.Stderr, "       mindful fleet [-n N] [-workers K] [-ticks T] [-channels C] [-qam B] [-ebn0 DB] [-seed S] [-scaling FILE]")
+	fmt.Fprintln(os.Stderr, "                     [-faults I] [-arq N] [-fec D] [-conceal none|hold|interp] [-fault-sweep FILE]")
 	flag.PrintDefaults()
 }
 

@@ -1,0 +1,187 @@
+package comm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func randomBits(rng *rand.Rand, n int) []byte {
+	bits := make([]byte, n)
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	return bits
+}
+
+func TestFECCleanRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, depth := range []int{1, 2, 4, 8, 16} {
+		f, err := NewFEC(depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{0, 1, 3, 4, 5, 8, 100, 321} {
+			bits := randomBits(rng, n)
+			coded := f.AppendEncode(nil, bits)
+			if want := f.CodedBits(n); len(coded) != want {
+				t.Fatalf("depth %d: %d data bits coded to %d bits, want %d", depth, n, len(coded), want)
+			}
+			back, fixed, err := f.AppendDecode(nil, coded)
+			if err != nil {
+				t.Fatalf("depth %d: decode: %v", depth, err)
+			}
+			if fixed != 0 {
+				t.Fatalf("depth %d: clean stream reported %d corrections", depth, fixed)
+			}
+			if !bytes.Equal(back[:n], bits) {
+				t.Fatalf("depth %d: %d-bit round trip mismatch", depth, n)
+			}
+			for _, pad := range back[n:] {
+				if pad != 0 {
+					t.Fatalf("depth %d: nonzero padding bit", depth)
+				}
+			}
+		}
+	}
+}
+
+// TestFECSingleErrorPerCodeword: every single-bit error in every codeword
+// position must be corrected, for every depth.
+func TestFECSingleErrorPerCodeword(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, depth := range []int{1, 3, 8} {
+		f, err := NewFEC(depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits := randomBits(rng, 40) // 10 codewords
+		coded := f.AppendEncode(nil, bits)
+		for pos := range coded {
+			corrupt := append([]byte(nil), coded...)
+			corrupt[pos] ^= 1
+			back, fixed, err := f.AppendDecode(nil, corrupt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fixed != 1 {
+				t.Fatalf("depth %d, flip at %d: %d corrections, want 1", depth, pos, fixed)
+			}
+			if !bytes.Equal(back[:len(bits)], bits) {
+				t.Fatalf("depth %d: flip at %d not corrected", depth, pos)
+			}
+		}
+	}
+}
+
+// TestFECBurstCorrection is the interleaver property the satellite task
+// pins: any contiguous burst of up to Depth bit errors inside one
+// interleave block lands at most one error per codeword and is fully
+// corrected.
+func TestFECBurstCorrection(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, depth := range []int{2, 4, 8, 16} {
+		f, err := NewFEC(depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Exactly one full interleave block: depth codewords.
+		bits := randomBits(rng, depth*fecDataBits)
+		coded := f.AppendEncode(nil, bits)
+		for burst := 1; burst <= depth; burst++ {
+			for start := 0; start+burst <= len(coded); start++ {
+				corrupt := append([]byte(nil), coded...)
+				for i := 0; i < burst; i++ {
+					corrupt[start+i] ^= 1
+				}
+				back, fixed, err := f.AppendDecode(nil, corrupt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fixed != burst {
+					t.Fatalf("depth %d: burst %d at %d: %d corrections, want %d",
+						depth, burst, start, fixed, burst)
+				}
+				if !bytes.Equal(back[:len(bits)], bits) {
+					t.Fatalf("depth %d: burst %d at %d not corrected", depth, burst, start)
+				}
+			}
+		}
+		// A burst of depth+1 must defeat some placement — the guarantee
+		// is tight, not vacuous.
+		defeated := false
+		for start := 0; start+depth+1 <= len(coded) && !defeated; start++ {
+			corrupt := append([]byte(nil), coded...)
+			for i := 0; i <= depth; i++ {
+				corrupt[start+i] ^= 1
+			}
+			back, _, err := f.AppendDecode(nil, corrupt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(back[:len(bits)], bits) {
+				defeated = true
+			}
+		}
+		if !defeated {
+			t.Errorf("depth %d: burst of depth+1 never defeated the code", depth)
+		}
+	}
+}
+
+func TestFECRejectsBadLength(t *testing.T) {
+	f, err := NewFEC(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.AppendDecode(nil, make([]byte, 13)); err == nil {
+		t.Fatal("decode accepted a length not divisible by 7")
+	}
+	if _, err := NewFEC(0); err == nil {
+		t.Fatal("NewFEC accepted depth 0")
+	}
+}
+
+func TestFECOverheadAndEnergy(t *testing.T) {
+	f, err := NewFEC(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Overhead() != 1.75 || f.Rate() != 4.0/7.0 {
+		t.Fatalf("overhead %g rate %g", f.Overhead(), f.Rate())
+	}
+	lb := NominalBudget(0.15)
+	plain, err := lb.TxEnergyPerBit(NewQAM(4), NominalBER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coded, err := lb.TxEnergyPerInfoBit(NewQAM(4), NominalBER, f.Rate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := coded.Joules()/plain.Joules(), f.Overhead(); got < want*0.999 || got > want*1.001 {
+		t.Errorf("coded energy ratio %g, want %g", got, want)
+	}
+	if _, err := lb.TxEnergyPerInfoBit(NewQAM(4), NominalBER, 0); err == nil {
+		t.Error("code rate 0 accepted")
+	}
+	if _, err := lb.TxEnergyPerInfoBit(NewQAM(4), NominalBER, 1.5); err == nil {
+		t.Error("code rate > 1 accepted")
+	}
+}
+
+func TestFECCorrectedCounter(t *testing.T) {
+	f, err := NewFEC(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := []byte{1, 0, 1, 1, 0, 0, 1, 0}
+	coded := f.AppendEncode(nil, bits)
+	coded[3] ^= 1
+	if _, _, err := f.AppendDecode(nil, coded); err != nil {
+		t.Fatal(err)
+	}
+	if f.Corrected() != 1 {
+		t.Errorf("Corrected() = %d, want 1", f.Corrected())
+	}
+}

@@ -74,6 +74,25 @@ func (lb LinkBudget) TxEnergyPerBit(m Modulation, ber float64) (units.Energy, er
 	return units.Joules(eb), nil
 }
 
+// TxEnergyPerInfoBit returns the DC energy per information bit when the
+// payload is protected by a rate-R code (R in (0, 1], e.g. 4/7 for the
+// Hamming(7,4) FEC): the transmitter radiates 1/R coded bits per data
+// bit, so the per-information-bit energy inflates by the code overhead.
+// This is how the FEC option's power cost enters the Section 3.2
+// envelope; ARQ retransmissions are accounted separately through
+// ARQStats.EnergyOverhead because their cost depends on the realized
+// loss, not the configuration.
+func (lb LinkBudget) TxEnergyPerInfoBit(m Modulation, ber, codeRate float64) (units.Energy, error) {
+	if codeRate <= 0 || codeRate > 1 {
+		return 0, fmt.Errorf("comm: code rate %g outside (0, 1]", codeRate)
+	}
+	eb, err := lb.TxEnergyPerBit(m, ber)
+	if err != nil {
+		return 0, err
+	}
+	return units.Joules(eb.Joules() / codeRate), nil
+}
+
 // TxPower returns the DC transmit power to sustain rate r with modulation m
 // at the target BER: P = T · Eb (Eq. 9).
 func (lb LinkBudget) TxPower(m Modulation, ber float64, r units.DataRate) (units.Power, error) {

@@ -21,6 +21,14 @@ import (
 // FrameMagic identifies a MINDFUL uplink frame.
 const FrameMagic uint16 = 0xBC1F
 
+// Frame flag bits.
+const (
+	// FlagConcealed marks a frame synthesized by the receiver's gap
+	// concealment rather than received over the air; decoders should
+	// discount its samples accordingly. It never appears on the wire.
+	FlagConcealed byte = 0x01
+)
+
 const frameHeaderLen = 2 + 4 + 2 + 1 + 1
 
 // Frame is one uplink packet of digitized neural samples.

@@ -1,0 +1,125 @@
+package fleet
+
+// Fault sweeps: run the same fleet at increasing fault intensity and
+// report the degradation curve — frame-delivery rate, concealed-sample
+// fraction and residual (post-FEC) bit error rate versus intensity. All
+// points share the base seed (common random numbers), so the curve
+// isolates the intensity effect, and every point inherits Run's
+// worker-count invariance: the sweep digest is bit-identical for any
+// Workers value.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mindful/internal/fault"
+)
+
+// SweepPoint is one intensity sample of a degradation sweep.
+type SweepPoint struct {
+	// Intensity is the Profile.Scale factor of this point.
+	Intensity float64
+
+	// DeliveryRate is accepted frames over frames framed (the headline
+	// degradation figure); ConcealedFraction the share of decoder-visible
+	// frames that were synthesized; EffectiveBER the residual payload bit
+	// error rate after FEC; FER the receiver's frame error rate.
+	DeliveryRate      float64
+	ConcealedFraction float64
+	EffectiveBER      float64
+	FER               float64
+
+	// Raw counters, summed over the fleet.
+	Accepted     int64
+	Corrupt      int64
+	LostSeq      int64
+	Blanked      int64
+	LinkDropped  int64
+	Retransmits  int64
+	Recovered    int64
+	FECCorrected int64
+	Concealed    int64
+
+	// Digest is the underlying fleet run's aggregate digest.
+	Digest uint64
+}
+
+// Sweep is a full degradation curve.
+type Sweep struct {
+	// Profile is the unit-intensity environment the points scale.
+	Profile fault.Profile
+	// Points holds one sample per intensity, in input order.
+	Points []SweepPoint
+	// Digest chains every point's intensity, run digest and counters —
+	// equal digests mean the whole sweep was bit-identical.
+	Digest uint64
+}
+
+// DefaultIntensities returns the standard sweep grid from fault-free to
+// the full profile.
+func DefaultIntensities() []float64 { return []float64{0, 0.25, 0.5, 0.75, 1} }
+
+// fnvMix folds one 64-bit value into an FNV-1a digest, big-endian.
+func fnvMix(d, v uint64) uint64 {
+	for shift := 56; shift >= 0; shift -= 8 {
+		d = (d ^ (v >> uint(shift) & 0xFF)) * fnvPrime
+	}
+	return d
+}
+
+// RunFaultSweep executes one fleet run per intensity, scaling the base
+// profile, and reduces the degradation curve. The config's own Faults
+// field is ignored; ARQ, FEC and concealment settings apply to every
+// point (intensity 0 then measures their fault-free overhead).
+func RunFaultSweep(cfg Config, base fault.Profile, intensities []float64) (*Sweep, error) {
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	if len(intensities) == 0 {
+		intensities = DefaultIntensities()
+	}
+	sw := &Sweep{Profile: base, Digest: fnvOffset}
+	for _, intensity := range intensities {
+		if intensity < 0 || math.IsNaN(intensity) {
+			return nil, fmt.Errorf("fleet: invalid sweep intensity %g", intensity)
+		}
+		scaled := base.Scale(intensity)
+		ptCfg := cfg
+		ptCfg.Faults = &scaled
+		agg, err := Run(ptCfg)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: sweep intensity %g: %w", intensity, err)
+		}
+		pt := SweepPoint{
+			Intensity:         intensity,
+			DeliveryRate:      agg.DeliveryRate(),
+			ConcealedFraction: agg.ConcealedFraction(),
+			EffectiveBER:      agg.EffectiveBER(),
+			FER:               agg.FER,
+			Accepted:          agg.Accepted,
+			Corrupt:           agg.Corrupt,
+			LostSeq:           agg.LostSeq,
+			Blanked:           agg.Blanked,
+			LinkDropped:       agg.LinkDropped,
+			Retransmits:       agg.Retransmits,
+			Recovered:         agg.Recovered,
+			FECCorrected:      agg.FECCorrected,
+			Concealed:         agg.Concealed,
+		}
+		pt.Digest = agg.Digest
+		sw.Points = append(sw.Points, pt)
+		sw.Digest = fnvMix(sw.Digest, math.Float64bits(intensity))
+		sw.Digest = fnvMix(sw.Digest, pt.Digest)
+		for _, v := range []int64{
+			pt.Accepted, pt.Corrupt, pt.LostSeq, pt.Blanked, pt.LinkDropped,
+			pt.Retransmits, pt.Recovered, pt.FECCorrected, pt.Concealed,
+		} {
+			sw.Digest = fnvMix(sw.Digest, uint64(v))
+		}
+	}
+	if len(sw.Points) == 0 {
+		return nil, errors.New("fleet: empty fault sweep")
+	}
+	return sw, nil
+}

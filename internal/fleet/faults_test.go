@@ -1,0 +1,199 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"mindful/internal/comm"
+	"mindful/internal/fault"
+	"mindful/internal/wearable"
+)
+
+// benchPinDigest is the aggregate digest of the BENCH_fleet.json baseline
+// configuration (64 implants × 48 ticks × 32 channels, 16-QAM @ 12 dB,
+// seed 1). The fault machinery must not move it while disabled: this pin
+// is the clean-path byte-identity contract with the pre-fault simulator.
+const benchPinDigest uint64 = 6453660145860964667
+
+func benchPinConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Implants = 64
+	cfg.Ticks = 48
+	cfg.Channels = 32
+	return cfg
+}
+
+// TestCleanPathDigestPin: with faults, ARQ, FEC and concealment all
+// disabled the fleet must reproduce the recorded pre-fault digest bit for
+// bit. A zero-valued (disabled) profile must behave identically to nil.
+func TestCleanPathDigestPin(t *testing.T) {
+	agg, err := Run(benchPinConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Digest != benchPinDigest {
+		t.Fatalf("clean digest %d, want pinned %d — the fault changes moved the disabled path", agg.Digest, benchPinDigest)
+	}
+	cfg := benchPinConfig()
+	cfg.Faults = &fault.Profile{} // nothing enabled
+	cfg.Concealment = wearable.ConcealHold
+	agg2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg2.Digest != benchPinDigest {
+		t.Fatalf("disabled-profile digest %d, want pinned %d", agg2.Digest, benchPinDigest)
+	}
+	// No injection may occur; concealment still reacts to ordinary AWGN
+	// corruption (CRC losses), which is its job, without moving the digest.
+	if agg2.Blanked != 0 || agg2.LinkDropped != 0 || agg2.Retransmits != 0 || agg2.FECCorrected != 0 {
+		t.Fatalf("disabled profile injected: blanked %d dropped %d retransmits %d corrected %d",
+			agg2.Blanked, agg2.LinkDropped, agg2.Retransmits, agg2.FECCorrected)
+	}
+	if agg2.Concealed == 0 {
+		t.Fatal("ConcealHold hid no AWGN losses at this operating point")
+	}
+}
+
+// sweepConfig is the shared sweep scenario: small fleet, full recovery
+// stack enabled.
+func sweepConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Implants = 8
+	cfg.Ticks = 64
+	cfg.Channels = 16
+	cfg.ARQ = comm.ARQConfig{MaxRetries: 2, SlotTime: time.Millisecond, LatencyBudget: 8 * time.Millisecond}
+	cfg.FECDepth = 4
+	cfg.Concealment = wearable.ConcealHold
+	return cfg
+}
+
+// TestFaultSweepWorkerInvariance: the sweep digest (and every point) must
+// be bit-identical for any worker count — the acceptance criterion of the
+// fault-sweep mode.
+func TestFaultSweepWorkerInvariance(t *testing.T) {
+	cfg := sweepConfig()
+	ref, err := RunFaultSweep(cfg, fault.DefaultProfile(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		c := cfg
+		c.Workers = workers
+		got, err := RunFaultSweep(c, fault.DefaultProfile(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Digest != ref.Digest {
+			t.Errorf("workers=%d sweep digest %d != reference %d", workers, got.Digest, ref.Digest)
+		}
+		for i := range got.Points {
+			if got.Points[i] != ref.Points[i] {
+				t.Errorf("workers=%d point %d diverged:\n got %+v\nwant %+v",
+					workers, i, got.Points[i], ref.Points[i])
+			}
+		}
+	}
+}
+
+// TestFaultSweepDegradesMonotonically: with common random numbers across
+// intensities the delivery rate must fall (weakly) as the environment
+// worsens, starting from a healthy link and ending visibly degraded.
+func TestFaultSweepDegradesMonotonically(t *testing.T) {
+	sw, err := RunFaultSweep(sweepConfig(), fault.DefaultProfile(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := sw.Points[0], sw.Points[len(sw.Points)-1]
+	if first.DeliveryRate < 0.99 {
+		t.Fatalf("fault-free point delivers %.3f, want ≈1 (ARQ+FEC should carry 12 dB cleanly)", first.DeliveryRate)
+	}
+	for i := 1; i < len(sw.Points); i++ {
+		prev, cur := sw.Points[i-1], sw.Points[i]
+		if cur.DeliveryRate > prev.DeliveryRate {
+			t.Errorf("delivery rate rose %.4f → %.4f between intensity %g and %g",
+				prev.DeliveryRate, cur.DeliveryRate, prev.Intensity, cur.Intensity)
+		}
+	}
+	if last.DeliveryRate >= first.DeliveryRate {
+		t.Fatalf("sweep shows no degradation: %.4f → %.4f", first.DeliveryRate, last.DeliveryRate)
+	}
+	if last.Concealed == 0 {
+		t.Fatal("harsh point concealed nothing despite ConcealHold")
+	}
+	if last.Recovered == 0 {
+		t.Fatal("harsh point recovered nothing despite ARQ")
+	}
+	if last.FECCorrected == 0 {
+		t.Fatal("harsh point corrected nothing despite FEC")
+	}
+}
+
+// TestFaultSweepSeedSensitivity: different base seeds must change the
+// sweep digest (it is not vacuous).
+func TestFaultSweepSeedSensitivity(t *testing.T) {
+	cfg := sweepConfig()
+	a, err := RunFaultSweep(cfg, fault.DefaultProfile(), []float64{0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 99
+	b, err := RunFaultSweep(cfg, fault.DefaultProfile(), []float64{0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest == b.Digest {
+		t.Fatalf("sweep digest %d identical across seeds", a.Digest)
+	}
+}
+
+// TestRecoveryImprovesDelivery: at a fixed mid intensity, ARQ + FEC +
+// concealment must deliver strictly more frames than the bare pipeline —
+// the whole point of the recovery stack.
+func TestRecoveryImprovesDelivery(t *testing.T) {
+	p := fault.DefaultProfile().Scale(0.5)
+
+	bare := DefaultConfig()
+	bare.Implants = 8
+	bare.Ticks = 64
+	bare.Channels = 16
+	bare.Faults = &p
+	aggBare, err := Run(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	protected := bare
+	protected.ARQ = comm.ARQConfig{MaxRetries: 3}
+	protected.FECDepth = 4
+	protected.Concealment = wearable.ConcealInterp
+	aggProt, err := Run(protected)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if aggProt.DeliveryRate() <= aggBare.DeliveryRate() {
+		t.Fatalf("recovery stack did not help: protected %.4f <= bare %.4f",
+			aggProt.DeliveryRate(), aggBare.DeliveryRate())
+	}
+	if aggProt.Recovered == 0 {
+		t.Fatal("ARQ recovered nothing at 50% intensity")
+	}
+	if aggProt.Concealed == 0 {
+		t.Fatal("concealment synthesized nothing at 50% intensity")
+	}
+	if aggBare.Retransmits != 0 || aggBare.FECCorrected != 0 {
+		t.Fatalf("bare run shows recovery activity: %+v", aggBare)
+	}
+}
+
+// TestSweepRejectsBadInput covers the sweep's validation paths.
+func TestSweepRejectsBadInput(t *testing.T) {
+	cfg := sweepConfig()
+	if _, err := RunFaultSweep(cfg, fault.Profile{DeadFrac: 2}, nil); err == nil {
+		t.Error("invalid profile accepted")
+	}
+	if _, err := RunFaultSweep(cfg, fault.DefaultProfile(), []float64{-1}); err == nil {
+		t.Error("negative intensity accepted")
+	}
+}

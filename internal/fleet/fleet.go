@@ -19,11 +19,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	mathbits "math/bits"
 	"strconv"
 	"sync"
 	"time"
 
 	"mindful/internal/comm"
+	"mindful/internal/fault"
 	"mindful/internal/neural"
 	"mindful/internal/obs"
 	"mindful/internal/units"
@@ -59,6 +61,21 @@ type Config struct {
 	Seed int64
 	// Observer optionally collects shard-labeled fleet metrics.
 	Observer *obs.Observer
+
+	// Faults optionally injects the profile's deterministic failure modes
+	// (electrode faults, brownouts, burst link) into every implant, each
+	// seeded from its own derived stream. Nil, or a profile with nothing
+	// enabled, leaves the pipeline byte-identical to the fault-free run.
+	Faults *fault.Profile
+	// ARQ bounds the link-layer retransmission loop; the zero value
+	// disables recovery (each frame is transmitted exactly once).
+	ARQ comm.ARQConfig
+	// FECDepth enables Hamming(7,4) coding with the given interleaver
+	// depth when > 0; zero transmits uncoded frames.
+	FECDepth int
+	// Concealment selects the wearable's gap-concealment strategy for
+	// frames lost to drops, brownouts or exhausted retries.
+	Concealment wearable.Concealment
 }
 
 // DefaultConfig returns a small fleet at a noisy but workable operating
@@ -100,6 +117,17 @@ func (c Config) Validate() error {
 	if _, err := comm.NewModem(c.Modulation); err != nil {
 		return err
 	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+	}
+	if err := c.ARQ.Validate(); err != nil {
+		return err
+	}
+	if c.FECDepth < 0 {
+		return fmt.Errorf("fleet: negative FEC depth %d", c.FECDepth)
+	}
 	return nil
 }
 
@@ -120,6 +148,29 @@ type ImplantResult struct {
 	// errors against the known transmitted stream.
 	BitsSent  int64
 	BitErrors int64
+	// Blanked counts frames framed but never radiated (brownouts);
+	// LinkDropped frames lost whole by the burst link across all attempts.
+	Blanked     int64
+	LinkDropped int64
+	// Retransmits, Recovered and ARQFailed are the implant's link-layer
+	// recovery accounting; RetransmitBits the on-air bits retries burned.
+	Retransmits    int64
+	Recovered      int64
+	ARQFailed      int64
+	RetransmitBits int64
+	// FECCorrected counts bit errors fixed by the Hamming decoder.
+	FECCorrected int64
+	// Stale, Concealed and ConcealedSamples are the wearable's degradation
+	// accounting: late duplicates discarded and gaps filled synthetically.
+	Stale            int64
+	Concealed        int64
+	ConcealedSamples int64
+	// FaultyChannels is the electrode count with an injected fault.
+	FaultyChannels int
+	// DataBits and DataBitErrors measure the post-FEC payload stream of
+	// delivered frames — the residual (effective) error rate after coding.
+	DataBits      int64
+	DataBitErrors int64
 	// Digest is an FNV-1a hash over every received frame byte, in tick
 	// order — the byte-identity witness of the determinism tests.
 	Digest uint64
@@ -140,6 +191,21 @@ type Aggregate struct {
 	BitsSent  int64
 	BitErrors int64
 
+	// Fault, recovery and degradation accounting, summed over implants.
+	Blanked          int64
+	LinkDropped      int64
+	Retransmits      int64
+	Recovered        int64
+	ARQFailed        int64
+	RetransmitBits   int64
+	FECCorrected     int64
+	Stale            int64
+	Concealed        int64
+	ConcealedSamples int64
+	FaultyChannels   int
+	DataBits         int64
+	DataBitErrors    int64
+
 	// BER is the measured uplink bit error rate; FER the frame error rate
 	// at the receiver.
 	BER float64
@@ -156,6 +222,39 @@ type Aggregate struct {
 
 	// PerImplant holds the individual results, ordered by Index.
 	PerImplant []ImplantResult
+}
+
+// ExpectedFrames returns the frames the fleet framed (radiated or not).
+func (a *Aggregate) ExpectedFrames() int64 {
+	return int64(a.Implants) * int64(a.Ticks)
+}
+
+// DeliveryRate returns the fraction of framed payloads the wearable
+// accepted intact — the degradation curve's headline figure (0 when no
+// frames were expected).
+func (a *Aggregate) DeliveryRate() float64 {
+	if a.ExpectedFrames() == 0 {
+		return 0
+	}
+	return float64(a.Accepted) / float64(a.ExpectedFrames())
+}
+
+// ConcealedFraction returns concealed frames over frames presented to the
+// decoder (accepted + concealed), 0 when nothing was presented.
+func (a *Aggregate) ConcealedFraction() float64 {
+	if total := a.Accepted + a.Concealed; total > 0 {
+		return float64(a.Concealed) / float64(total)
+	}
+	return 0
+}
+
+// EffectiveBER returns the residual payload bit error rate after FEC, over
+// delivered frames (0 when nothing was delivered).
+func (a *Aggregate) EffectiveBER() float64 {
+	if a.DataBits == 0 {
+		return 0
+	}
+	return float64(a.DataBitErrors) / float64(a.DataBits)
 }
 
 // Run executes the fleet and reduces the per-implant results. The
@@ -209,6 +308,19 @@ func Run(cfg Config) (*Aggregate, error) {
 		agg.LostSeq += r.LostSeq
 		agg.BitsSent += r.BitsSent
 		agg.BitErrors += r.BitErrors
+		agg.Blanked += r.Blanked
+		agg.LinkDropped += r.LinkDropped
+		agg.Retransmits += r.Retransmits
+		agg.Recovered += r.Recovered
+		agg.ARQFailed += r.ARQFailed
+		agg.RetransmitBits += r.RetransmitBits
+		agg.FECCorrected += r.FECCorrected
+		agg.Stale += r.Stale
+		agg.Concealed += r.Concealed
+		agg.ConcealedSamples += r.ConcealedSamples
+		agg.FaultyChannels += r.FaultyChannels
+		agg.DataBits += r.DataBits
+		agg.DataBitErrors += r.DataBitErrors
 		for shift := 56; shift >= 0; shift -= 8 {
 			agg.Digest = (agg.Digest ^ (r.Digest >> shift & 0xFF)) * fnvPrime
 		}
@@ -257,6 +369,39 @@ func runImplant(cfg Config, idx, worker int) ImplantResult {
 	if err != nil {
 		return fail(err)
 	}
+	rx.Concealment = cfg.Concealment
+
+	// Fault processes, each on its own derived stream so the injected
+	// history is a pure function of (seed, index) — never of scheduling.
+	var inj *fault.Injector
+	if cfg.Faults != nil {
+		inj, err = fault.NewInjector(*cfg.Faults, cfg.Channels,
+			DeriveSeed(cfg.Seed, uint64(idx), StreamLink),
+			DeriveSeed(cfg.Seed, uint64(idx), StreamElectrode),
+			DeriveSeed(cfg.Seed, uint64(idx), StreamBrownout))
+		if err != nil {
+			return fail(err)
+		}
+	}
+	var link *fault.BurstLink
+	var elec *fault.ElectrodeBank
+	var brown *fault.Brownout
+	if inj != nil {
+		link, elec, brown = inj.Link, inj.Electrodes, inj.Brownout
+		res.FaultyChannels = elec.FaultyChannels()
+	}
+	var fec *comm.FEC
+	if cfg.FECDepth > 0 {
+		if fec, err = comm.NewFEC(cfg.FECDepth); err != nil {
+			return fail(err)
+		}
+	}
+	var arq *comm.ARQ
+	if cfg.ARQ.Enabled() {
+		if arq, err = comm.NewARQ(cfg.ARQ); err != nil {
+			return fail(err)
+		}
+	}
 
 	// Pooled buffers: the whole tick loop below is allocation-free once
 	// these have grown to steady-state capacity.
@@ -272,53 +417,180 @@ func runImplant(cfg Config, idx, worker int) ImplantResult {
 	defer comm.PutSymbolBuf(symPtr)
 	var sampleBuf []float64
 	var codeBuf []uint16
+	var codedPtr, decPtr *[]byte
+	if fec != nil {
+		codedPtr = comm.GetBitBuf()
+		defer comm.PutBitBuf(codedPtr)
+		decPtr = comm.GetBitBuf()
+		defer comm.PutBitBuf(decPtr)
+	}
+	var linkPtr *[]byte
+	if link != nil {
+		linkPtr = comm.GetByteBuf()
+		defer comm.PutByteBuf(linkPtr)
+	}
+	var finalBuf []byte
 
 	k := modem.BitsPerSymbol()
+
+	// attempt runs one full transmission: frame bits → (FEC) → symbols →
+	// AWGN → demodulation → (FEC decode) → bytes → (burst link). It
+	// returns the bytes that arrived at the wearable, or nil when the
+	// burst link swallowed the frame whole. With every fault and coding
+	// stage disabled it performs exactly the draws, in exactly the order,
+	// of the original fault-free pipeline — the clean-path byte-identity
+	// invariant the determinism wall pins.
+	var attemptErr error
+	attempt := func() []byte {
+		frame := *framePtr
+		raw := comm.AppendBytesAsBits((*bitPtr)[:0], frame)
+		*bitPtr = raw
+		tx := raw
+		codedLen := len(raw)
+		if fec != nil {
+			coded := fec.AppendEncode((*codedPtr)[:0], raw)
+			tx = coded
+			codedLen = len(coded)
+		}
+		// Pad to a symbol boundary; the pad is dropped after demodulation.
+		for len(tx)%k != 0 {
+			tx = append(tx, 0)
+		}
+		if fec != nil {
+			*codedPtr = tx
+		} else {
+			*bitPtr = tx
+		}
+		syms, merr := modem.AppendModulate((*symPtr)[:0], tx)
+		if merr != nil {
+			attemptErr = merr
+			return nil
+		}
+		*symPtr = syms
+		channel.TransmitInPlace(syms)
+		rxBits := modem.AppendDemodulate((*rxBitPtr)[:0], syms)
+		*rxBitPtr = rxBits
+		for i := range tx {
+			if tx[i] != rxBits[i] {
+				res.BitErrors++
+			}
+		}
+		res.BitsSent += int64(len(tx))
+
+		data := rxBits[:codedLen]
+		if fec != nil {
+			dec, fixed, derr := fec.AppendDecode((*decPtr)[:0], data)
+			if derr != nil {
+				attemptErr = derr
+				return nil
+			}
+			*decPtr = dec
+			res.FECCorrected += int64(fixed)
+			data = dec
+		}
+		rxFrame := comm.AppendBitsAsBytes((*rxFramePtr)[:0], data[:len(frame)*8])
+		*rxFramePtr = rxFrame
+		if link != nil {
+			out := link.AppendTransport((*linkPtr)[:0], rxFrame)
+			if out == nil {
+				res.LinkDropped++
+				return nil
+			}
+			*linkPtr = out
+			rxFrame = out
+		}
+		return rxFrame
+	}
+	// deliver hands the received bytes to the wearable, measures the
+	// residual (post-FEC) payload errors and folds the bytes into the
+	// determinism digest.
+	deliver := func(got []byte) {
+		rx.Receive(got) // CRC-rejected frames are counted as corrupt
+		frame := *framePtr
+		res.DataBits += int64(len(frame) * 8)
+		for i, b := range frame {
+			if i < len(got) {
+				res.DataBitErrors += int64(mathbits.OnesCount8(b ^ got[i]))
+			} else {
+				res.DataBitErrors += 8
+			}
+		}
+		for _, b := range got {
+			res.Digest = (res.Digest ^ uint64(b)) * fnvPrime
+		}
+	}
+
 	// Golden-angle phase offset decorrelates the implants' intent
 	// trajectories without extra randomness.
 	phase := 2 * math.Pi * 0.381966 * float64(idx)
 	for t := 0; t < cfg.Ticks; t++ {
 		theta := phase + 2*math.Pi*float64(t)/200
 		gen.SetIntent(math.Cos(theta), math.Sin(theta))
+		blanked := brown.Tick()
 		sampleBuf = gen.NextInto(sampleBuf)
+		elec.Apply(sampleBuf) // nil-safe: no-op without electrode faults
 		codeBuf = adc.AppendQuantize(codeBuf[:0], sampleBuf)
 		frame, err := pkt.AppendEncode((*framePtr)[:0], codeBuf)
 		if err != nil {
 			return fail(err)
 		}
 		*framePtr = frame
-
-		bits := comm.AppendBytesAsBits((*bitPtr)[:0], frame)
-		// Pad to a symbol boundary; the pad is dropped after demodulation.
-		for len(bits)%k != 0 {
-			bits = append(bits, 0)
+		if blanked {
+			// Brownout: the frame was built (the sequence counter
+			// advanced) but the radio is dark; the wearable will see a
+			// sequence gap and conceal it if configured.
+			res.Blanked++
+			continue
 		}
-		*bitPtr = bits
-		syms, err := modem.AppendModulate((*symPtr)[:0], bits)
-		if err != nil {
-			return fail(err)
-		}
-		*symPtr = syms
-		channel.TransmitInPlace(syms)
-		rxBits := modem.AppendDemodulate((*rxBitPtr)[:0], syms)
-		*rxBitPtr = rxBits
-		for i := range bits {
-			if bits[i] != rxBits[i] {
-				res.BitErrors++
-			}
-		}
-		res.BitsSent += int64(len(bits))
-
-		rxFrame := comm.AppendBitsAsBytes((*rxFramePtr)[:0], rxBits[:len(frame)*8])
-		*rxFramePtr = rxFrame
 		res.Frames++
-		rx.Receive(rxFrame) // CRC-rejected frames are counted as corrupt
-		for _, b := range rxFrame {
-			res.Digest = (res.Digest ^ uint64(b)) * fnvPrime
+
+		if arq == nil {
+			if got := attempt(); got != nil {
+				deliver(got)
+			} else if attemptErr != nil {
+				return fail(attemptErr)
+			}
+			continue
 		}
+		// ARQ: retry until the frame decodes cleanly or the budget runs
+		// out. The wearable keeps the last bytes it heard, so an
+		// exhausted budget still surfaces the corrupt frame (counted as
+		// such) rather than silently vanishing.
+		air := len(frame) * 8
+		if fec != nil {
+			air = fec.CodedBits(air)
+		}
+		if rem := air % k; rem != 0 {
+			air += k - rem
+		}
+		haveFinal := false
+		arq.Send(frame, air, func([]byte) bool {
+			got := attempt()
+			if got == nil {
+				return false
+			}
+			finalBuf = append(finalBuf[:0], got...)
+			haveFinal = true
+			_, derr := comm.Decode(got)
+			return derr == nil
+		})
+		if attemptErr != nil {
+			return fail(attemptErr)
+		}
+		if haveFinal {
+			deliver(finalBuf)
+		}
+	}
+	if arq != nil {
+		ast := arq.Stats()
+		res.Retransmits = ast.Retransmits
+		res.Recovered = ast.Recovered
+		res.ARQFailed = ast.Failed
+		res.RetransmitBits = ast.RetransmitBits
 	}
 	st := rx.Stats()
 	res.Accepted, res.Corrupt, res.LostSeq = st.Accepted, st.Corrupted, st.LostSeq
+	res.Stale, res.Concealed, res.ConcealedSamples = st.Stale, st.Concealed, st.ConcealedSamples
 
 	if cfg.Observer != nil {
 		reg := cfg.Observer.Metrics
@@ -328,11 +600,23 @@ func runImplant(cfg Config, idx, worker int) ImplantResult {
 		reg.Counter("fleet_frames_corrupt_total", lbl).Add(res.Corrupt)
 		reg.Counter("fleet_bits_sent_total", lbl).Add(res.BitsSent)
 		reg.Counter("fleet_bit_errors_total", lbl).Add(res.BitErrors)
+		reg.Counter("fleet_frames_blanked_total", lbl).Add(res.Blanked)
+		reg.Counter("fleet_frames_link_dropped_total", lbl).Add(res.LinkDropped)
+		reg.Counter("fleet_arq_retransmits_total", lbl).Add(res.Retransmits)
+		reg.Counter("fleet_arq_recovered_total", lbl).Add(res.Recovered)
+		reg.Counter("fleet_fec_corrected_bits_total", lbl).Add(res.FECCorrected)
+		reg.Counter("fleet_frames_concealed_total", lbl).Add(res.Concealed)
 		reg.Help("fleet_frames_total", "Frames transmitted by the shard's implants.")
 		reg.Help("fleet_frames_accepted_total", "Frames accepted by the wearable receiver.")
 		reg.Help("fleet_frames_corrupt_total", "Frames rejected as corrupt after the noisy link.")
 		reg.Help("fleet_bits_sent_total", "On-air bits transmitted (including symbol padding).")
 		reg.Help("fleet_bit_errors_total", "Demodulated bits differing from the transmitted stream.")
+		reg.Help("fleet_frames_blanked_total", "Frames framed but never radiated (brownouts).")
+		reg.Help("fleet_frames_link_dropped_total", "Frames lost whole by the burst link.")
+		reg.Help("fleet_arq_retransmits_total", "Link-layer retransmission attempts.")
+		reg.Help("fleet_arq_recovered_total", "Frames delivered only via retransmission.")
+		reg.Help("fleet_fec_corrected_bits_total", "Bit errors fixed by the Hamming decoder.")
+		reg.Help("fleet_frames_concealed_total", "Gap frames synthesized by the wearable.")
 	}
 	return res
 }

@@ -4,10 +4,13 @@ import (
 	"fmt"
 	"reflect"
 	"testing"
+	"time"
 
 	"mindful/internal/comm"
+	"mindful/internal/fault"
 	"mindful/internal/obs"
 	"mindful/internal/units"
+	"mindful/internal/wearable"
 )
 
 // testConfig returns a small fleet that still exercises frame corruption
@@ -31,43 +34,74 @@ func deterministicFields(a *Aggregate) Aggregate {
 	return out
 }
 
+// faultConfig returns the wall's fault-enabled scenario: the full harsh
+// profile with ARQ, FEC and concealment all active, so every recovery
+// path runs under the race detector.
+func faultConfig() Config {
+	cfg := testConfig()
+	p := fault.DefaultProfile()
+	cfg.Faults = &p
+	cfg.ARQ = comm.ARQConfig{MaxRetries: 2, SlotTime: time.Millisecond, LatencyBudget: 8 * time.Millisecond}
+	cfg.FECDepth = 4
+	cfg.Concealment = wearable.ConcealHold
+	return cfg
+}
+
 // TestFleetDeterminismWall is the determinism wall: the same seed must
 // produce byte-identical aggregates for every worker count, including
 // under -race (the tier-1.5 gate runs this file with the race detector).
+// The wall covers both the clean pipeline and the fully fault-enabled
+// one (burst link + brownouts + electrode faults + ARQ + FEC +
+// concealment).
 func TestFleetDeterminismWall(t *testing.T) {
-	cfg := testConfig()
-	ref, err := Run(cfg)
-	if err != nil {
-		t.Fatal(err)
+	scenarios := []struct {
+		name string
+		cfg  Config
+	}{
+		{"clean", testConfig()},
+		{"faults", faultConfig()},
 	}
-	if ref.Frames != int64(cfg.Implants*cfg.Ticks) {
-		t.Fatalf("frames = %d, want %d", ref.Frames, cfg.Implants*cfg.Ticks)
-	}
-	if ref.BitErrors == 0 {
-		t.Fatal("operating point produced zero bit errors; the wall would not exercise the noisy path")
-	}
-	want := deterministicFields(ref)
-	for _, workers := range []int{1, 2, 4, 8} {
-		workers := workers
-		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
-			t.Parallel()
-			c := cfg
-			c.Workers = workers
-			got, err := Run(c)
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			cfg := sc.cfg
+			ref, err := Run(cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if g := deterministicFields(got); !reflect.DeepEqual(g, want) {
-				t.Errorf("workers=%d aggregate diverged:\n got %+v\nwant %+v", workers, g, want)
+			if ref.Frames+ref.Blanked != int64(cfg.Implants*cfg.Ticks) {
+				t.Fatalf("frames %d + blanked %d, want %d", ref.Frames, ref.Blanked, cfg.Implants*cfg.Ticks)
 			}
-			// Per-implant results must match field-for-field too (modulo
-			// the worker assignment, which legitimately changes).
-			for i := range got.PerImplant {
-				g, w := got.PerImplant[i], ref.PerImplant[i]
-				g.Worker, w.Worker = 0, 0
-				if g != w {
-					t.Errorf("workers=%d implant %d diverged:\n got %+v\nwant %+v", workers, i, g, w)
-				}
+			if ref.BitErrors == 0 {
+				t.Fatal("operating point produced zero bit errors; the wall would not exercise the noisy path")
+			}
+			if cfg.Faults != nil && ref.LinkDropped == 0 && ref.Blanked == 0 {
+				t.Fatal("fault scenario injected nothing; the wall would not exercise the recovery path")
+			}
+			want := deterministicFields(ref)
+			for _, workers := range []int{1, 2, 4, 8} {
+				workers := workers
+				t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+					t.Parallel()
+					c := cfg
+					c.Workers = workers
+					got, err := Run(c)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if g := deterministicFields(got); !reflect.DeepEqual(g, want) {
+						t.Errorf("workers=%d aggregate diverged:\n got %+v\nwant %+v", workers, g, want)
+					}
+					// Per-implant results must match field-for-field too (modulo
+					// the worker assignment, which legitimately changes).
+					for i := range got.PerImplant {
+						g, w := got.PerImplant[i], ref.PerImplant[i]
+						g.Worker, w.Worker = 0, 0
+						if g != w {
+							t.Errorf("workers=%d implant %d diverged:\n got %+v\nwant %+v", workers, i, g, w)
+						}
+					}
+				})
 			}
 		})
 	}

@@ -16,8 +16,12 @@ const (
 	StreamNeural uint64 = 0
 	// StreamChannel seeds the AWGN channel noise.
 	StreamChannel uint64 = 1
-	// StreamLink seeds auxiliary link impairments (reserved).
+	// StreamLink seeds the burst-loss link impairments (fault.BurstLink).
 	StreamLink uint64 = 2
+	// StreamElectrode seeds the per-channel electrode fault assignment.
+	StreamElectrode uint64 = 3
+	// StreamBrownout seeds the transmitter brownout process.
+	StreamBrownout uint64 = 4
 )
 
 // splitmix64 is the SplitMix64 state-advance + finalizer: increment by

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"mindful/internal/comm"
+	"mindful/internal/fault"
 	"mindful/internal/mac"
 	"mindful/internal/neural"
 	"mindful/internal/nn"
@@ -74,6 +75,15 @@ type Config struct {
 	// SpikeCalibrationTicks is the noise-calibration window of the
 	// spike-centric flow (default 256 samples when zero).
 	SpikeCalibrationTicks int
+	// Electrodes optionally injects per-channel front-end faults
+	// (dead / stuck-at / gain drift) into the raw samples before
+	// digitization. Nil disables injection.
+	Electrodes *fault.ElectrodeBank
+	// Brownout optionally blanks the transmitter for tick windows: the
+	// pipeline keeps sampling and framing (the sequence counter
+	// advances), but blanked frames are never radiated, so the wearable
+	// sees a sequence gap. Nil keeps the radio always powered.
+	Brownout *fault.Brownout
 }
 
 // DefaultConfig returns a 128-channel communication-centric implant
@@ -102,6 +112,11 @@ type Implant struct {
 
 	spikeEvents    int64
 	featureVectors int64
+
+	// blanked counts frames framed but never radiated (brownout);
+	// blankedNow is the current tick's brownout state.
+	blanked    int64
+	blankedNow bool
 
 	ticks      int64
 	frames     int64
@@ -137,6 +152,8 @@ type implantObs struct {
 	inferences, macSteps       *obs.Counter
 	features, spikes           *obs.Counter
 	droppedChannelSamples      *obs.Counter
+	blankedFrames              *obs.Counter
+	faultyChannels             *obs.Gauge
 	computeEnergy, radioEnergy *obs.Gauge
 
 	// Cached per-unit energies so per-tick gauge updates stay mul+store.
@@ -165,11 +182,14 @@ func (im *Implant) SetObserver(o *obs.Observer) {
 		features:              m.Counter("implant_feature_vectors_total", flow),
 		spikes:                m.Counter("implant_spike_events_total", flow),
 		droppedChannelSamples: m.Counter("implant_dropped_channel_samples_total", flow),
+		blankedFrames:         m.Counter("implant_frames_blanked_total", flow),
+		faultyChannels:        m.Gauge("implant_faulty_channels", flow),
 		computeEnergy:         m.Gauge("implant_compute_energy_joules", flow),
 		radioEnergy:           m.Gauge("implant_radio_energy_joules", flow),
 		stepJoules:            im.cfg.ComputeNode.EnergyPerStep().Joules(),
 		bitJoules:             im.cfg.Radio.Eb.Joules(),
 	}
+	im.o.faultyChannels.Set(float64(im.cfg.Electrodes.FaultyChannels()))
 	m.Help("implant_ticks_total", "Pipeline ticks executed.")
 	m.Help("implant_frames_total", "Uplink frames emitted.")
 	m.Help("implant_bits_sent_total", "Bits handed to the radio.")
@@ -178,6 +198,8 @@ func (im *Implant) SetObserver(o *obs.Observer) {
 	m.Help("implant_feature_vectors_total", "Band-power feature vectors emitted.")
 	m.Help("implant_spike_events_total", "Detected spike events.")
 	m.Help("implant_dropped_channel_samples_total", "Samples suppressed by channel dropout.")
+	m.Help("implant_frames_blanked_total", "Frames framed but not radiated during brownouts.")
+	m.Help("implant_faulty_channels", "Electrode channels with an injected front-end fault.")
 	m.Help("implant_compute_energy_joules", "Cumulative on-implant compute energy.")
 	m.Help("implant_radio_energy_joules", "Cumulative radio transmit energy.")
 }
@@ -260,6 +282,14 @@ func (im *Implant) emit(codes []uint16) error {
 		return err
 	}
 	im.frameBuf = frame
+	if im.blankedNow {
+		// Brownout: the frame was built (the sequence counter advanced)
+		// but the radio is dark — nothing is counted as sent, and the
+		// wearable will see this frame as a sequence gap.
+		im.blanked++
+		im.o.blankedFrames.Inc()
+		return nil
+	}
 	bits := int64(len(frame) * 8)
 	im.bitsSent += bits
 	im.frames++
@@ -275,9 +305,13 @@ func (im *Implant) emit(codes []uint16) error {
 func (im *Implant) Tick() error {
 	tr := im.o.tracer
 	tick := tr.Start("implant.tick", 0)
+	im.blankedNow = im.cfg.Brownout.Tick()
 	sp := tr.Start("implant.sense", tick)
 	samples := im.gen.NextInto(im.sampleBuf)
 	im.sampleBuf = samples
+	// Electrode faults act at the analog front end: before dropout
+	// calibration and digitization, like the physics they model.
+	im.cfg.Electrodes.Apply(samples)
 	if sel := im.drop.observe(samples, im.cfg.Neural.SampleRate.Hz()); sel != nil {
 		// Post-calibration: digitize and ship only the active subset.
 		im.o.droppedChannelSamples.Add(int64(im.cfg.Neural.Channels - len(sel)))
@@ -405,6 +439,10 @@ type Stats struct {
 	// FeatureVectors and SpikeEvents count the reduced-rate flows' output.
 	FeatureVectors int64
 	SpikeEvents    int64
+	// BlankedFrames counts frames framed but never radiated (brownouts);
+	// FaultyChannels the electrodes with an injected front-end fault.
+	BlankedFrames  int64
+	FaultyChannels int
 	// Channels and SampleBits echo the configuration for derived metrics.
 	Channels   int
 	SampleBits int
@@ -452,6 +490,8 @@ func (im *Implant) Stats() Stats {
 		BitsSent:       im.bitsSent,
 		FeatureVectors: im.featureVectors,
 		SpikeEvents:    im.spikeEvents,
+		BlankedFrames:  im.blanked,
+		FaultyChannels: im.cfg.Electrodes.FaultyChannels(),
 		Channels:       im.cfg.Neural.Channels,
 		SampleBits:     im.cfg.ADC.Bits,
 		SensingRate:    neural.SensingThroughput(im.cfg.Neural.Channels, im.cfg.ADC.Bits, f),

@@ -199,6 +199,248 @@ func TestAcceptedFramesAreIntact(t *testing.T) {
 	}
 }
 
+// encodeSeq builds one valid frame per call from a shared packetizer.
+func encodeSeq(t *testing.T, p *comm.Packetizer, samples []uint16) []byte {
+	t.Helper()
+	buf, err := p.Encode(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// TestConcealmentHold: a gap under hold-last concealment records copies
+// of the last accepted vector, flagged via OnConcealed.
+func TestConcealmentHold(t *testing.T) {
+	p, err := comm.NewPacketizer(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewReceiver(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx.Concealment = ConcealHold
+	var flagged []comm.Frame
+	rx.OnConcealed = func(f comm.Frame) {
+		cp := f
+		cp.Samples = append([]uint16(nil), f.Samples...)
+		flagged = append(flagged, cp)
+	}
+	frames := [][]uint16{{100, 200}, {110, 210}, {120, 220}, {130, 230}, {140, 240}}
+	for i, s := range frames {
+		buf := encodeSeq(t, p, s)
+		if i == 2 || i == 3 {
+			continue // two lost frames
+		}
+		if _, err := rx.Receive(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := rx.Stats()
+	if st.LostSeq != 2 || st.Concealed != 2 || st.ConcealedSamples != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+	if len(flagged) != 2 {
+		t.Fatalf("%d concealed callbacks, want 2", len(flagged))
+	}
+	for i, f := range flagged {
+		if f.Flags&comm.FlagConcealed == 0 {
+			t.Errorf("concealed frame %d not flagged", i)
+		}
+		if f.Seq != uint32(2+i) {
+			t.Errorf("concealed frame %d has seq %d, want %d", i, f.Seq, 2+i)
+		}
+		if f.Samples[0] != 110 || f.Samples[1] != 210 {
+			t.Errorf("hold-last frame %d = %v, want the last accepted vector", i, f.Samples)
+		}
+	}
+	// History carries accepted + concealed in order: 100,110,110,110,140.
+	want := []uint16{100, 110, 110, 110, 140}
+	h := rx.History(0)
+	if len(h) != len(want) {
+		t.Fatalf("history %v", h)
+	}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("history %v, want %v", h, want)
+		}
+	}
+}
+
+// TestConcealmentInterp: linear interpolation bridges the gap between the
+// last accepted and the revealing frame.
+func TestConcealmentInterp(t *testing.T) {
+	p, err := comm.NewPacketizer(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewReceiver(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx.Concealment = ConcealInterp
+	for i, s := range [][]uint16{{100}, {0}, {0}, {400}} {
+		buf := encodeSeq(t, p, s)
+		if i == 1 || i == 2 {
+			continue
+		}
+		if _, err := rx.Receive(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Gap of 2 between 100 and 400 → concealed values 200, 300.
+	want := []uint16{100, 200, 300, 400}
+	h := rx.History(0)
+	if len(h) != len(want) {
+		t.Fatalf("history %v, want %v", h, want)
+	}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("history %v, want %v", h, want)
+		}
+	}
+	if frac := rx.Stats().ConcealedFraction(); math.Abs(frac-0.5) > 1e-12 {
+		t.Errorf("concealed fraction %g, want 0.5", frac)
+	}
+}
+
+// TestConcealmentBounded: a wild sequence jump must not synthesize an
+// unbounded fill.
+func TestConcealmentBounded(t *testing.T) {
+	rx, err := NewReceiver(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx.Concealment = ConcealHold
+	rx.MaxConcealGap = 8
+	first, err := comm.EncodeFrame(comm.Frame{Seq: 0, SampleBits: 10, Samples: []uint16{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := comm.EncodeFrame(comm.Frame{Seq: 1 << 20, SampleBits: 10, Samples: []uint16{6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rx.Receive(first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rx.Receive(far); err != nil {
+		t.Fatal(err)
+	}
+	st := rx.Stats()
+	if st.Concealed != 8 {
+		t.Errorf("concealed %d frames, cap is 8", st.Concealed)
+	}
+	if st.LostSeq != 1<<20-1 {
+		t.Errorf("lost %d, want %d", st.LostSeq, 1<<20-1)
+	}
+}
+
+// TestStaleFrameDiscarded: a duplicate or late retransmission must be
+// counted as stale, not as a ~2^32 forward gap (the pre-ARQ bug this
+// guards against).
+func TestStaleFrameDiscarded(t *testing.T) {
+	rx, err := NewReceiver(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx.Concealment = ConcealHold
+	mk := func(seq uint32, v uint16) []byte {
+		buf, err := comm.EncodeFrame(comm.Frame{Seq: seq, SampleBits: 10, Samples: []uint16{v}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	for seq := uint32(0); seq < 3; seq++ {
+		if _, err := rx.Receive(mk(seq, uint16(seq))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := rx.Receive(mk(1, 1)) // duplicate of an old frame
+	if err != ErrStaleFrame {
+		t.Fatalf("duplicate returned %v, want ErrStaleFrame", err)
+	}
+	if f.Seq != 1 {
+		t.Errorf("stale frame not returned for inspection")
+	}
+	st := rx.Stats()
+	if st.Stale != 1 || st.LostSeq != 0 || st.Concealed != 0 {
+		t.Fatalf("stats %+v after duplicate", st)
+	}
+	if len(rx.History(0)) != 3 {
+		t.Errorf("stale frame was recorded")
+	}
+	// The stream continues normally afterwards.
+	if _, err := rx.Receive(mk(3, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if rx.Stats().Accepted != 4 {
+		t.Errorf("accepted %d, want 4", rx.Stats().Accepted)
+	}
+}
+
+// TestStatsZeroGuards is the satellite task: every ratio must return 0 on
+// a zero-frame receiver instead of NaN.
+func TestStatsZeroGuards(t *testing.T) {
+	var s Stats
+	if v := s.FrameErrorRate(); v != 0 {
+		t.Errorf("FrameErrorRate() = %v on zero stats", v)
+	}
+	if v := s.DeliveryRate(); v != 0 {
+		t.Errorf("DeliveryRate() = %v on zero stats", v)
+	}
+	if v := s.ConcealedFraction(); v != 0 {
+		t.Errorf("ConcealedFraction() = %v on zero stats", v)
+	}
+	s = Stats{Accepted: 3, Corrupted: 1, LostSeq: 4, Concealed: 1}
+	if v := s.FrameErrorRate(); v != 0.25 {
+		t.Errorf("FrameErrorRate() = %v, want 0.25", v)
+	}
+	if v := s.DeliveryRate(); v != 0.375 {
+		t.Errorf("DeliveryRate() = %v, want 0.375", v)
+	}
+	if v := s.ConcealedFraction(); v != 0.25 {
+		t.Errorf("ConcealedFraction() = %v, want 0.25", v)
+	}
+}
+
+// TestLossyLinkNeverMutatesInput is the aliasing audit regression: the
+// link corrupts only its own copy, never the caller's (pooled) frame
+// buffer, for both the allocating and the appending API.
+func TestLossyLinkNeverMutatesInput(t *testing.T) {
+	link, err := NewLossyLink(0.2, 3) // heavy corruption: ~every frame flips bits
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0xFF, 0x55, 0xAA}
+	orig := append([]byte(nil), frame...)
+	scratch := make([]byte, 0, 64)
+	mutated := false
+	for i := 0; i < 200; i++ {
+		var out []byte
+		if i%2 == 0 {
+			out = link.Transport(frame)
+		} else {
+			out = link.AppendTransport(scratch[:0], frame)
+		}
+		for j := range frame {
+			if frame[j] != orig[j] {
+				t.Fatalf("iteration %d: Transport mutated the caller's buffer", i)
+			}
+		}
+		for j := range out {
+			if out[j] != orig[j] {
+				mutated = true
+			}
+		}
+	}
+	if !mutated {
+		t.Fatal("link never corrupted anything; the aliasing check proved nothing")
+	}
+}
+
 func TestExpectedFERMonotone(t *testing.T) {
 	l1, _ := NewLossyLink(1e-5, 1)
 	l2, _ := NewLossyLink(1e-3, 1)

@@ -37,6 +37,7 @@ import (
 	"mindful/internal/decode"
 	"mindful/internal/dnnmodel"
 	"mindful/internal/dsp"
+	"mindful/internal/fault"
 	"mindful/internal/fleet"
 	"mindful/internal/implant"
 	"mindful/internal/mac"
@@ -318,6 +319,64 @@ func NewLossyLink(ber float64, seed int64) (*LossyLink, error) {
 	return wearable.NewLossyLink(ber, seed)
 }
 
+// Concealment strategies for gaps in the received frame stream.
+type Concealment = wearable.Concealment
+
+// The gap-concealment strategies. Concealed frames carry FrameFlagConcealed.
+const (
+	ConcealNone   = wearable.ConcealNone
+	ConcealHold   = wearable.ConcealHold
+	ConcealInterp = wearable.ConcealInterp
+)
+
+// FrameFlagConcealed marks a receiver-synthesized frame.
+const FrameFlagConcealed = comm.FlagConcealed
+
+// Fault injection and link-layer recovery (the robustness layer).
+type (
+	// FaultProfile describes a deterministic fault environment (burst
+	// link, whole-frame loss, electrode faults, brownouts).
+	FaultProfile = fault.Profile
+	// FaultInjector bundles one pipeline's seeded fault processes.
+	FaultInjector = fault.Injector
+	// BurstLink is a seeded Gilbert–Elliott burst channel.
+	BurstLink = fault.BurstLink
+	// ElectrodeBank applies per-channel front-end faults.
+	ElectrodeBank = fault.ElectrodeBank
+	// Brownout blanks the transmitter for tick windows.
+	Brownout = fault.Brownout
+	// ARQConfig bounds the link-layer retransmission loop.
+	ARQConfig = comm.ARQConfig
+	// ARQ is one sender's bounded recovery loop.
+	ARQ = comm.ARQ
+	// ARQStats accounts retransmissions and their energy cost.
+	ARQStats = comm.ARQStats
+	// FEC is the Hamming(7,4) + block-interleaving codec.
+	FEC = comm.FEC
+)
+
+// DefaultFaultProfile returns the harsh unit-intensity environment fault
+// sweeps scale down from.
+func DefaultFaultProfile() FaultProfile { return fault.DefaultProfile() }
+
+// NewFaultInjector builds the fault processes for one pipeline from
+// independent seeds (e.g. via DeriveSeed streams 2–4).
+func NewFaultInjector(p FaultProfile, channels int, linkSeed, electrodeSeed, brownoutSeed int64) (*FaultInjector, error) {
+	return fault.NewInjector(p, channels, linkSeed, electrodeSeed, brownoutSeed)
+}
+
+// NewBurstLink returns a seeded Gilbert–Elliott link for the profile's
+// channel parameters.
+func NewBurstLink(p FaultProfile, seed int64) (*BurstLink, error) {
+	return fault.NewBurstLink(p, seed)
+}
+
+// NewARQ returns a bounded link-layer recovery loop.
+func NewARQ(cfg ARQConfig) (*ARQ, error) { return comm.NewARQ(cfg) }
+
+// NewFEC returns a Hamming(7,4) codec at the given interleaver depth.
+func NewFEC(depth int) (*FEC, error) { return comm.NewFEC(depth) }
+
 // Fleet simulation: many independent implant → modem → AWGN → wearable
 // pipelines run concurrently over a worker pool, with SplitMix64-sharded
 // seeds so the aggregate is bit-identical for any worker count.
@@ -328,6 +387,10 @@ type (
 	FleetAggregate = fleet.Aggregate
 	// FleetImplantResult is one implant pipeline's outcome.
 	FleetImplantResult = fleet.ImplantResult
+	// FleetSweep is a degradation curve over fault intensities.
+	FleetSweep = fleet.Sweep
+	// FleetSweepPoint is one intensity sample of a degradation curve.
+	FleetSweepPoint = fleet.SweepPoint
 )
 
 // DefaultFleetConfig returns a small 8-implant fleet under 16-QAM at a
@@ -337,6 +400,14 @@ func DefaultFleetConfig() FleetConfig { return fleet.DefaultConfig() }
 // RunFleet executes a fleet and reduces the per-implant results in index
 // order; the deterministic fields never depend on Workers.
 func RunFleet(cfg FleetConfig) (*FleetAggregate, error) { return fleet.Run(cfg) }
+
+// RunFleetFaultSweep runs one fleet per intensity, scaling the base fault
+// profile, and reduces the degradation curve (delivery rate, concealed
+// fraction, effective BER vs intensity). The curve is bit-identical for
+// any worker count.
+func RunFleetFaultSweep(cfg FleetConfig, base FaultProfile, intensities []float64) (*FleetSweep, error) {
+	return fleet.RunFaultSweep(cfg, base, intensities)
+}
 
 // DeriveSeed maps (base seed, implant index, stream tag) to an
 // independent RNG seed via SplitMix64 splitting.
