@@ -8,7 +8,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test check fmt vet race bench fuzz-smoke fault-smoke determinism clean
+.PHONY: all build test check fmt vet race bench fuzz-smoke fault-smoke serve-smoke determinism clean
 
 all: build
 
@@ -45,6 +45,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzARQReorder -fuzztime $(FUZZTIME) ./internal/comm/
 	$(GO) test -run '^$$' -fuzz FuzzDeltaRiceDecode -fuzztime $(FUZZTIME) ./internal/dsp/
 	$(GO) test -run '^$$' -fuzz FuzzDeltaRiceRoundTrip -fuzztime $(FUZZTIME) ./internal/dsp/
+	$(GO) test -run '^$$' -fuzz FuzzCheckpointDecode -fuzztime $(FUZZTIME) ./internal/serve/checkpoint/
 
 # Fault-injection smoke: the fault package's unit tests, the clean-path
 # digest pin (fault machinery disabled must stay byte-identical to the
@@ -53,7 +54,16 @@ fault-smoke:
 	$(GO) test ./internal/fault/
 	$(GO) test -run 'TestCleanPathDigestPin|TestFaultSweep|TestRecoveryImprovesDelivery' ./internal/fleet/
 
-check: build vet fmt race fault-smoke fuzz-smoke
+# Serving smoke: boot a gateway, create a session over the control plane,
+# stream its frames over the data plane, snapshot, restore with an
+# extended tick target and assert the continued digest is bit-identical
+# to an uninterrupted run — plus the checkpoint determinism wall, all
+# under the race detector.
+serve-smoke:
+	$(GO) test -race -run 'TestServeSmoke|TestPauseResumeSnapshot|TestShutdownDrainsSnapshots' ./internal/serve/
+	$(GO) test -race -run 'TestCheckpointResume|TestRestoreContinuesBitIdentically' ./internal/fleet/ ./internal/serve/checkpoint/
+
+check: build vet fmt race fault-smoke serve-smoke fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

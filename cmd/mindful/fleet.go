@@ -47,7 +47,7 @@ func runFleet() error {
 	conceal := fs.String("conceal", "none", "gap concealment: none, hold or interp")
 	faultSweep := fs.String("fault-sweep", "", "run the degradation sweep and write the curve to FILE")
 	if err := fs.Parse(flag.Args()[1:]); err != nil {
-		return err
+		return fmt.Errorf("%w: %v", errUsage, err)
 	}
 
 	cfg := fleet.DefaultConfig()

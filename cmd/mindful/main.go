@@ -22,6 +22,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -44,12 +45,21 @@ var (
 	svgDir = flag.String("svg", "", "directory for SVG output (optional)")
 )
 
+// errUsage marks a subcommand flag-parsing failure: the flag package has
+// already written the message (or help text) to stderr, so main only
+// needs the usage exit code.
+var errUsage = errors.New("usage error")
+
+// hasOwnFlags lists the subcommands that parse their own flags from the
+// remaining arguments.
+var hasOwnFlags = map[string]bool{"fleet": true, "serve": true, "loadgen": true}
+
 func main() {
 	flag.Usage = usage
 	flag.Parse()
-	// Every subcommand takes exactly one positional argument except
-	// fleet, which parses its own flags from the remainder.
-	if flag.NArg() < 1 || (flag.NArg() > 1 && flag.Arg(0) != "fleet") {
+	// Every subcommand takes exactly one positional argument except the
+	// ones that parse their own flags from the remainder.
+	if flag.NArg() < 1 || (flag.NArg() > 1 && !hasOwnFlags[flag.Arg(0)]) {
 		usage()
 		os.Exit(2)
 	}
@@ -67,6 +77,8 @@ func main() {
 		"ablate":   runAblate,
 		"ext":      runExt,
 		"fleet":    runFleet,
+		"serve":    runServe,
+		"loadgen":  runLoadgen,
 		"observe":  runObserve,
 		"validate": runValidate,
 	}
@@ -107,13 +119,19 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mindful [-csv DIR] [-svg DIR] [-metrics FILE] [-trace FILE] [-debug-addr ADDR] <table1|fig4|fig5|fig6|fig7|fig9|fig10|fig11|fig12|ablate|ext|fleet|observe|all|validate>")
+	fmt.Fprintln(os.Stderr, "usage: mindful [-csv DIR] [-svg DIR] [-metrics FILE] [-trace FILE] [-debug-addr ADDR] <table1|fig4|fig5|fig6|fig7|fig9|fig10|fig11|fig12|ablate|ext|fleet|serve|loadgen|observe|all|validate>")
 	fmt.Fprintln(os.Stderr, "       mindful fleet [-n N] [-workers K] [-ticks T] [-channels C] [-qam B] [-ebn0 DB] [-seed S] [-scaling FILE]")
 	fmt.Fprintln(os.Stderr, "                     [-faults I] [-arq N] [-fec D] [-conceal none|hold|interp] [-fault-sweep FILE]")
+	fmt.Fprintln(os.Stderr, "       mindful serve [-ctl ADDR] [-stream ADDR] [-snapshot-dir DIR] [-max-sessions N] [-queue N] [-stall D] [-tick-interval D]")
+	fmt.Fprintln(os.Stderr, "       mindful loadgen [-sessions N] [-subs N] [-ticks T] [-channels C] [-qam B] [-ebn0 DB] [-seed S] [-out FILE]")
 	flag.PrintDefaults()
 }
 
 func fail(err error) {
+	if errors.Is(err, errUsage) {
+		// The flag package already reported the details on stderr.
+		os.Exit(2)
+	}
 	fmt.Fprintln(os.Stderr, "mindful:", err)
 	os.Exit(1)
 }

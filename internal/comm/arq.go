@@ -140,6 +140,10 @@ func (a *ARQ) Config() ARQConfig { return a.cfg }
 // Stats returns the accounting so far.
 func (a *ARQ) Stats() ARQStats { return a.stats }
 
+// RestoreStats overwrites the accounting — used when a checkpointed
+// sender is rebuilt so cumulative counters continue rather than reset.
+func (a *ARQ) RestoreStats(st ARQStats) { a.stats = st }
+
 // Send pushes one encoded frame through try until the receiver accepts it
 // or the retry budget runs out. It returns the number of transmissions
 // used and whether the frame was delivered. airBits is the on-air cost of

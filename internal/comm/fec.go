@@ -50,6 +50,11 @@ func (f *FEC) CodedBits(dataBits int) int {
 // corrected while decoding.
 func (f *FEC) Corrected() int64 { return f.corrected }
 
+// RestoreCorrected overwrites the cumulative correction counter — used
+// when a checkpointed codec is rebuilt. The codec is otherwise stateless
+// between calls (scratch is transient).
+func (f *FEC) RestoreCorrected(n int64) { f.corrected = n }
+
 // hammingEncode maps 4 data bits to the codeword [p1 p2 d1 p3 d2 d3 d4].
 func hammingEncode(d1, d2, d3, d4 byte) [fecCodeBits]byte {
 	p1 := d1 ^ d2 ^ d4

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"mindful/internal/detrand"
 )
 
 // Symbol is one complex baseband symbol.
@@ -240,7 +242,7 @@ func appendIntBits(dst []byte, v, n int) []byte {
 // AWGNChannel adds white Gaussian noise to symbols at a configured Eb/N0
 // for a modem normalized to Eb = 1.
 type AWGNChannel struct {
-	rng *rand.Rand
+	rng *detrand.Rand
 	// sigma is the per-dimension noise standard deviation √(N0/2).
 	sigma float64
 }
@@ -253,9 +255,25 @@ func NewAWGNChannel(ebN0 float64, seed int64) *AWGNChannel {
 	}
 	n0 := 1 / ebN0 // Eb = 1 by modem normalization
 	return &AWGNChannel{
-		rng:   rand.New(rand.NewSource(seed)),
+		rng:   detrand.New(seed),
 		sigma: math.Sqrt(n0 / 2),
 	}
+}
+
+// AWGNState is a channel's serializable noise-stream position.
+type AWGNState struct {
+	RNG detrand.State
+}
+
+// Snapshot captures the channel's noise-stream position.
+func (c *AWGNChannel) Snapshot() AWGNState { return AWGNState{RNG: c.rng.State()} }
+
+// RestoreAWGNChannel rebuilds a channel mid-stream: same operating point,
+// noise sequence fast-forwarded to the recorded position.
+func RestoreAWGNChannel(ebN0 float64, st AWGNState) *AWGNChannel {
+	c := NewAWGNChannel(ebN0, st.RNG.Seed)
+	c.rng = detrand.Restore(st.RNG)
+	return c
 }
 
 // Transmit returns a noisy copy of the symbols.

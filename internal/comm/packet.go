@@ -55,6 +55,14 @@ func NewPacketizer(sampleBits int) (*Packetizer, error) {
 	return &Packetizer{SampleBits: sampleBits}, nil
 }
 
+// Seq returns the next sequence number the packetizer will assign — its
+// only mutable state, exposed for checkpointing.
+func (p *Packetizer) Seq() uint32 { return p.seq }
+
+// SetSeq positions the sequence counter, so a restored packetizer
+// continues exactly where the snapshotted one stopped.
+func (p *Packetizer) SetSeq(seq uint32) { p.seq = seq }
+
 // Encode frames one sample vector (one sample per channel) and advances the
 // sequence counter.
 func (p *Packetizer) Encode(samples []uint16) ([]byte, error) {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"mindful/internal/detrand"
 	"mindful/internal/obs"
 )
 
@@ -162,7 +163,7 @@ type LinkStats struct {
 type BurstLink struct {
 	p     Profile
 	bad   bool
-	rng   *rand.Rand
+	rng   *detrand.Rand
 	stats LinkStats
 
 	frames, drops, flips *obs.Counter
@@ -174,7 +175,32 @@ func NewBurstLink(p Profile, seed int64) (*BurstLink, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &BurstLink{p: p, rng: rand.New(rand.NewSource(seed))}, nil
+	return &BurstLink{p: p, rng: detrand.New(seed)}, nil
+}
+
+// BurstLinkState is a link's serializable mid-run state.
+type BurstLinkState struct {
+	RNG   detrand.State
+	Bad   bool
+	Stats LinkStats
+}
+
+// Snapshot captures the link's RNG position, Gilbert–Elliott state and
+// accounting.
+func (l *BurstLink) Snapshot() BurstLinkState {
+	return BurstLinkState{RNG: l.rng.State(), Bad: l.bad, Stats: l.stats}
+}
+
+// RestoreBurstLink rebuilds a link mid-stream under the same profile.
+func RestoreBurstLink(p Profile, st BurstLinkState) (*BurstLink, error) {
+	l, err := NewBurstLink(p, st.RNG.Seed)
+	if err != nil {
+		return nil, err
+	}
+	l.rng = detrand.Restore(st.RNG)
+	l.bad = st.Bad
+	l.stats = st.Stats
+	return l, nil
 }
 
 // SetObserver wires the link to an observability sink: transported and
@@ -344,6 +370,32 @@ func (b *ElectrodeBank) Apply(samples []float64) {
 	}
 }
 
+// Gains returns a copy of the per-channel drift gains — the bank's only
+// mutable state (assignment is a pure function of profile, channels and
+// seed).
+func (b *ElectrodeBank) Gains() []float64 {
+	if b == nil {
+		return nil
+	}
+	return append([]float64(nil), b.gain...)
+}
+
+// RestoreGains overwrites the per-channel drift gains of a bank rebuilt
+// from the same (profile, channels, seed) triple.
+func (b *ElectrodeBank) RestoreGains(gains []float64) error {
+	if b == nil {
+		if len(gains) == 0 {
+			return nil
+		}
+		return fmt.Errorf("fault: %d gains for a nil electrode bank", len(gains))
+	}
+	if len(gains) != len(b.gain) {
+		return fmt.Errorf("fault: %d gains for a %d-channel bank", len(gains), len(b.gain))
+	}
+	copy(b.gain, gains)
+	return nil
+}
+
 // FaultyChannels returns the number of channels with any fault assigned.
 func (b *ElectrodeBank) FaultyChannels() int {
 	if b == nil {
@@ -367,7 +419,7 @@ type Brownout struct {
 	prob      float64
 	window    int
 	remaining int
-	rng       *rand.Rand
+	rng       *detrand.Rand
 	events    int64
 	blanked   int64
 }
@@ -382,7 +434,38 @@ func NewBrownout(p Profile, seed int64) (*Brownout, error) {
 	if window < 1 {
 		window = 1
 	}
-	return &Brownout{prob: p.BrownoutProb, window: window, rng: rand.New(rand.NewSource(seed))}, nil
+	return &Brownout{prob: p.BrownoutProb, window: window, rng: detrand.New(seed)}, nil
+}
+
+// BrownoutState is a brownout process's serializable mid-run state.
+type BrownoutState struct {
+	RNG       detrand.State
+	Remaining int
+	Events    int64
+	Blanked   int64
+}
+
+// Snapshot captures the process's RNG position, open sag window and
+// accounting.
+func (b *Brownout) Snapshot() BrownoutState {
+	return BrownoutState{RNG: b.rng.State(), Remaining: b.remaining, Events: b.events, Blanked: b.blanked}
+}
+
+// RestoreBrownout rebuilds a brownout process mid-stream under the same
+// profile.
+func RestoreBrownout(p Profile, st BrownoutState) (*Brownout, error) {
+	b, err := NewBrownout(p, st.RNG.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if st.Remaining < 0 || st.Remaining >= b.window {
+		return nil, fmt.Errorf("fault: brownout remaining %d outside window %d", st.Remaining, b.window)
+	}
+	b.rng = detrand.Restore(st.RNG)
+	b.remaining = st.Remaining
+	b.events = st.Events
+	b.blanked = st.Blanked
+	return b, nil
 }
 
 // Tick advances one tick and reports whether the transmitter is blanked.

@@ -18,15 +18,12 @@ package fleet
 import (
 	"errors"
 	"fmt"
-	"math"
-	mathbits "math/bits"
 	"strconv"
 	"sync"
 	"time"
 
 	"mindful/internal/comm"
 	"mindful/internal/fault"
-	"mindful/internal/neural"
 	"mindful/internal/obs"
 	"mindful/internal/units"
 	"mindful/internal/wearable"
@@ -337,260 +334,23 @@ func Run(cfg Config) (*Aggregate, error) {
 	return agg, nil
 }
 
-// runImplant executes one implant's full pipeline: synthetic cortex →
-// ADC → frame → bits → symbols → AWGN → bits → frame → wearable.
+// runImplant executes one implant's full pipeline to Config.Ticks by
+// stepping a Pipeline — the same dataflow the serve gateway drives
+// incrementally — and flushes the shard-labeled metrics.
 func runImplant(cfg Config, idx, worker int) ImplantResult {
-	res := ImplantResult{Index: idx, Worker: worker, Digest: fnvOffset}
-	fail := func(err error) ImplantResult {
-		res.Err = err
-		return res
-	}
-
-	ncfg := neural.DefaultConfig()
-	ncfg.Channels = cfg.Channels
-	ncfg.SampleRate = cfg.SampleRate
-	ncfg.Seed = DeriveSeed(cfg.Seed, uint64(idx), StreamNeural)
-	gen, err := neural.New(ncfg)
+	p, err := NewPipeline(cfg, idx, worker)
 	if err != nil {
-		return fail(err)
+		return ImplantResult{Index: idx, Worker: worker, Digest: fnvOffset, Err: err}
 	}
-	adc := neural.ADC{Bits: cfg.SampleBits, FullScale: 2.0}
-	pkt, err := comm.NewPacketizer(cfg.SampleBits)
-	if err != nil {
-		return fail(err)
-	}
-	modem, err := comm.NewModem(cfg.Modulation)
-	if err != nil {
-		return fail(err)
-	}
-	channel := comm.NewAWGNChannel(math.Pow(10, cfg.EbN0dB/10),
-		DeriveSeed(cfg.Seed, uint64(idx), StreamChannel))
-	rx, err := wearable.NewReceiver(0)
-	if err != nil {
-		return fail(err)
-	}
-	rx.Concealment = cfg.Concealment
-
-	// Fault processes, each on its own derived stream so the injected
-	// history is a pure function of (seed, index) — never of scheduling.
-	var inj *fault.Injector
-	if cfg.Faults != nil {
-		inj, err = fault.NewInjector(*cfg.Faults, cfg.Channels,
-			DeriveSeed(cfg.Seed, uint64(idx), StreamLink),
-			DeriveSeed(cfg.Seed, uint64(idx), StreamElectrode),
-			DeriveSeed(cfg.Seed, uint64(idx), StreamBrownout))
-		if err != nil {
-			return fail(err)
-		}
-	}
-	var link *fault.BurstLink
-	var elec *fault.ElectrodeBank
-	var brown *fault.Brownout
-	if inj != nil {
-		link, elec, brown = inj.Link, inj.Electrodes, inj.Brownout
-		res.FaultyChannels = elec.FaultyChannels()
-	}
-	var fec *comm.FEC
-	if cfg.FECDepth > 0 {
-		if fec, err = comm.NewFEC(cfg.FECDepth); err != nil {
-			return fail(err)
-		}
-	}
-	var arq *comm.ARQ
-	if cfg.ARQ.Enabled() {
-		if arq, err = comm.NewARQ(cfg.ARQ); err != nil {
-			return fail(err)
-		}
-	}
-
-	// Pooled buffers: the whole tick loop below is allocation-free once
-	// these have grown to steady-state capacity.
-	framePtr := comm.GetByteBuf()
-	defer comm.PutByteBuf(framePtr)
-	rxFramePtr := comm.GetByteBuf()
-	defer comm.PutByteBuf(rxFramePtr)
-	bitPtr := comm.GetBitBuf()
-	defer comm.PutBitBuf(bitPtr)
-	rxBitPtr := comm.GetBitBuf()
-	defer comm.PutBitBuf(rxBitPtr)
-	symPtr := comm.GetSymbolBuf()
-	defer comm.PutSymbolBuf(symPtr)
-	var sampleBuf []float64
-	var codeBuf []uint16
-	var codedPtr, decPtr *[]byte
-	if fec != nil {
-		codedPtr = comm.GetBitBuf()
-		defer comm.PutBitBuf(codedPtr)
-		decPtr = comm.GetBitBuf()
-		defer comm.PutBitBuf(decPtr)
-	}
-	var linkPtr *[]byte
-	if link != nil {
-		linkPtr = comm.GetByteBuf()
-		defer comm.PutByteBuf(linkPtr)
-	}
-	var finalBuf []byte
-
-	k := modem.BitsPerSymbol()
-
-	// attempt runs one full transmission: frame bits → (FEC) → symbols →
-	// AWGN → demodulation → (FEC decode) → bytes → (burst link). It
-	// returns the bytes that arrived at the wearable, or nil when the
-	// burst link swallowed the frame whole. With every fault and coding
-	// stage disabled it performs exactly the draws, in exactly the order,
-	// of the original fault-free pipeline — the clean-path byte-identity
-	// invariant the determinism wall pins.
-	var attemptErr error
-	attempt := func() []byte {
-		frame := *framePtr
-		raw := comm.AppendBytesAsBits((*bitPtr)[:0], frame)
-		*bitPtr = raw
-		tx := raw
-		codedLen := len(raw)
-		if fec != nil {
-			coded := fec.AppendEncode((*codedPtr)[:0], raw)
-			tx = coded
-			codedLen = len(coded)
-		}
-		// Pad to a symbol boundary; the pad is dropped after demodulation.
-		for len(tx)%k != 0 {
-			tx = append(tx, 0)
-		}
-		if fec != nil {
-			*codedPtr = tx
-		} else {
-			*bitPtr = tx
-		}
-		syms, merr := modem.AppendModulate((*symPtr)[:0], tx)
-		if merr != nil {
-			attemptErr = merr
-			return nil
-		}
-		*symPtr = syms
-		channel.TransmitInPlace(syms)
-		rxBits := modem.AppendDemodulate((*rxBitPtr)[:0], syms)
-		*rxBitPtr = rxBits
-		for i := range tx {
-			if tx[i] != rxBits[i] {
-				res.BitErrors++
-			}
-		}
-		res.BitsSent += int64(len(tx))
-
-		data := rxBits[:codedLen]
-		if fec != nil {
-			dec, fixed, derr := fec.AppendDecode((*decPtr)[:0], data)
-			if derr != nil {
-				attemptErr = derr
-				return nil
-			}
-			*decPtr = dec
-			res.FECCorrected += int64(fixed)
-			data = dec
-		}
-		rxFrame := comm.AppendBitsAsBytes((*rxFramePtr)[:0], data[:len(frame)*8])
-		*rxFramePtr = rxFrame
-		if link != nil {
-			out := link.AppendTransport((*linkPtr)[:0], rxFrame)
-			if out == nil {
-				res.LinkDropped++
-				return nil
-			}
-			*linkPtr = out
-			rxFrame = out
-		}
-		return rxFrame
-	}
-	// deliver hands the received bytes to the wearable, measures the
-	// residual (post-FEC) payload errors and folds the bytes into the
-	// determinism digest.
-	deliver := func(got []byte) {
-		rx.Receive(got) // CRC-rejected frames are counted as corrupt
-		frame := *framePtr
-		res.DataBits += int64(len(frame) * 8)
-		for i, b := range frame {
-			if i < len(got) {
-				res.DataBitErrors += int64(mathbits.OnesCount8(b ^ got[i]))
-			} else {
-				res.DataBitErrors += 8
-			}
-		}
-		for _, b := range got {
-			res.Digest = (res.Digest ^ uint64(b)) * fnvPrime
-		}
-	}
-
-	// Golden-angle phase offset decorrelates the implants' intent
-	// trajectories without extra randomness.
-	phase := 2 * math.Pi * 0.381966 * float64(idx)
+	defer p.Close()
 	for t := 0; t < cfg.Ticks; t++ {
-		theta := phase + 2*math.Pi*float64(t)/200
-		gen.SetIntent(math.Cos(theta), math.Sin(theta))
-		blanked := brown.Tick()
-		sampleBuf = gen.NextInto(sampleBuf)
-		elec.Apply(sampleBuf) // nil-safe: no-op without electrode faults
-		codeBuf = adc.AppendQuantize(codeBuf[:0], sampleBuf)
-		frame, err := pkt.AppendEncode((*framePtr)[:0], codeBuf)
-		if err != nil {
-			return fail(err)
-		}
-		*framePtr = frame
-		if blanked {
-			// Brownout: the frame was built (the sequence counter
-			// advanced) but the radio is dark; the wearable will see a
-			// sequence gap and conceal it if configured.
-			res.Blanked++
-			continue
-		}
-		res.Frames++
-
-		if arq == nil {
-			if got := attempt(); got != nil {
-				deliver(got)
-			} else if attemptErr != nil {
-				return fail(attemptErr)
-			}
-			continue
-		}
-		// ARQ: retry until the frame decodes cleanly or the budget runs
-		// out. The wearable keeps the last bytes it heard, so an
-		// exhausted budget still surfaces the corrupt frame (counted as
-		// such) rather than silently vanishing.
-		air := len(frame) * 8
-		if fec != nil {
-			air = fec.CodedBits(air)
-		}
-		if rem := air % k; rem != 0 {
-			air += k - rem
-		}
-		haveFinal := false
-		arq.Send(frame, air, func([]byte) bool {
-			got := attempt()
-			if got == nil {
-				return false
-			}
-			finalBuf = append(finalBuf[:0], got...)
-			haveFinal = true
-			_, derr := comm.Decode(got)
-			return derr == nil
-		})
-		if attemptErr != nil {
-			return fail(attemptErr)
-		}
-		if haveFinal {
-			deliver(finalBuf)
+		if err := p.Step(); err != nil {
+			res := p.Result()
+			res.Err = err
+			return res
 		}
 	}
-	if arq != nil {
-		ast := arq.Stats()
-		res.Retransmits = ast.Retransmits
-		res.Recovered = ast.Recovered
-		res.ARQFailed = ast.Failed
-		res.RetransmitBits = ast.RetransmitBits
-	}
-	st := rx.Stats()
-	res.Accepted, res.Corrupt, res.LostSeq = st.Accepted, st.Corrupted, st.LostSeq
-	res.Stale, res.Concealed, res.ConcealedSamples = st.Stale, st.Concealed, st.ConcealedSamples
+	res := p.Result()
 
 	if cfg.Observer != nil {
 		reg := cfg.Observer.Metrics

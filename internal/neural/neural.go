@@ -15,8 +15,8 @@ package neural
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
+	"mindful/internal/detrand"
 	"mindful/internal/units"
 )
 
@@ -61,7 +61,7 @@ func DefaultConfig() Config {
 // Generator produces multichannel neural samples.
 type Generator struct {
 	cfg Config
-	rng *rand.Rand
+	rng *detrand.Rand
 
 	active   []bool       // channel has a unit
 	tuning   [][2]float64 // unit preferred direction (unit vector)
@@ -102,7 +102,7 @@ func New(cfg Config) (*Generator, error) {
 	}
 	g := &Generator{
 		cfg:      cfg,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		rng:      detrand.New(cfg.Seed),
 		active:   make([]bool, cfg.Channels),
 		tuning:   make([][2]float64, cfg.Channels),
 		pendHead: make([]int, cfg.Channels),
@@ -249,6 +249,74 @@ func (g *Generator) NextBlock(n int) [][]float64 {
 		g.fill(out[i])
 	}
 	return out
+}
+
+// GeneratorState is a generator's serializable mid-run state: the RNG
+// position plus every mutable field the tick loop touches. Channel
+// activity and tuning are not stored — they are a pure function of the
+// config and are rebuilt by RestoreGenerator. The ground-truth spike log
+// is excluded (checkpointed pipelines do not record spikes).
+type GeneratorState struct {
+	RNG      detrand.State
+	Pending  []float64
+	PendHead []int
+	Intent   [2]float64
+	LFPY1    float64
+	LFPY2    float64
+	T        int
+}
+
+// Snapshot captures the generator's mid-run state. Restoring it with
+// RestoreGenerator under the same Config continues the sample stream
+// bit-identically.
+func (g *Generator) Snapshot() GeneratorState {
+	st := GeneratorState{
+		RNG:      g.rng.State(),
+		Pending:  append([]float64(nil), g.pending...),
+		PendHead: append([]int(nil), g.pendHead...),
+		Intent:   g.intent,
+		LFPY1:    g.lfpY1,
+		LFPY2:    g.lfpY2,
+		T:        g.t,
+	}
+	return st
+}
+
+// RestoreGenerator rebuilds a generator from a snapshot taken under the
+// same config. The static structure (active channels, tuning, template)
+// is regenerated from cfg; the RNG is fast-forwarded to the recorded
+// position; the mutable tick state is overwritten.
+func RestoreGenerator(cfg Config, st GeneratorState) (*Generator, error) {
+	g, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rng, err := detrand.RestoreInto(g.rng, st.RNG)
+	if err != nil {
+		return nil, fmt.Errorf("neural: %w", err)
+	}
+	if len(st.Pending) != len(g.pending) {
+		return nil, fmt.Errorf("neural: pending ring %d entries, config needs %d", len(st.Pending), len(g.pending))
+	}
+	if len(st.PendHead) != len(g.pendHead) {
+		return nil, fmt.Errorf("neural: %d ring heads, config needs %d", len(st.PendHead), len(g.pendHead))
+	}
+	tlen := len(g.template)
+	for c, h := range st.PendHead {
+		if h < 0 || h >= tlen {
+			return nil, fmt.Errorf("neural: ring head %d of channel %d outside [0, %d)", h, c, tlen)
+		}
+	}
+	if st.T < 0 {
+		return nil, fmt.Errorf("neural: negative tick counter %d", st.T)
+	}
+	g.rng = rng
+	copy(g.pending, st.Pending)
+	copy(g.pendHead, st.PendHead)
+	g.intent = st.Intent
+	g.lfpY1, g.lfpY2 = st.LFPY1, st.LFPY2
+	g.t = st.T
+	return g, nil
 }
 
 // ADC digitizes analog samples to unsigned d-bit codes, mid-rise, clipping

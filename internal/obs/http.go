@@ -1,10 +1,12 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // NewDebugMux returns an http.ServeMux exposing the observer:
@@ -45,7 +47,8 @@ func NewDebugMux(o *Observer) *http.ServeMux {
 
 // ServeDebug starts the debug listener on addr (e.g. "localhost:6060" or
 // ":0" for an ephemeral port) and serves NewDebugMux in a goroutine. It
-// returns the bound address and a function that stops the listener.
+// returns the bound address and a function that stops the server
+// gracefully — in-flight scrapes get up to five seconds to finish.
 func ServeDebug(addr string, o *Observer) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -53,5 +56,10 @@ func ServeDebug(addr string, o *Observer) (string, func() error, error) {
 	}
 	srv := &http.Server{Handler: NewDebugMux(o)}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), srv.Close, nil
+	stop := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
+	return ln.Addr().String(), stop, nil
 }

@@ -1,0 +1,527 @@
+// Package checkpoint is the serve gateway's versioned snapshot codec: a
+// session's full configuration and pipeline state serialized to a
+// self-describing binary blob. A blob decoded by the same or a newer
+// binary restores a pipeline that continues bit-identically — the fleet
+// checkpoint tests' guarantee carried across a process boundary.
+//
+// Format (all integers big-endian):
+//
+//	magic    [4]byte  "MFCP"
+//	version  uint16   format version (currently 1)
+//	config   fixed-order session configuration
+//	state    fixed-order pipeline state (see encode/decode below)
+//
+// Versioning rules (documented in DESIGN.md): the version is bumped on
+// any field change; decoders reject versions they do not know rather
+// than guessing; fields are only ever appended within a version's
+// lifetime during development, never reordered after release. Every
+// length field is bounded, and truncated or trailing bytes are errors —
+// malformed input must never panic or allocate unboundedly (the fuzz
+// target FuzzCheckpointDecode pins this).
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"mindful/internal/comm"
+	"mindful/internal/detrand"
+	"mindful/internal/fault"
+	"mindful/internal/fleet"
+	"mindful/internal/units"
+	"mindful/internal/wearable"
+)
+
+// Magic identifies a MINDFUL serve checkpoint blob.
+var Magic = [4]byte{'M', 'F', 'C', 'P'}
+
+// Version is the current format version.
+const Version uint16 = 1
+
+// maxSliceLen bounds every decoded length field: larger values cannot
+// come from a real session (pending buffers, gains and sample vectors
+// are all O(channels)) and would let a forged header force a huge
+// allocation.
+const maxSliceLen = 1 << 20
+
+// Decoding errors.
+var (
+	ErrBadMagic    = errors.New("checkpoint: bad magic")
+	ErrBadVersion  = errors.New("checkpoint: unsupported version")
+	ErrTruncated   = errors.New("checkpoint: truncated")
+	ErrTrailing    = errors.New("checkpoint: trailing bytes")
+	ErrLengthBound = errors.New("checkpoint: length field exceeds bound")
+)
+
+// SessionConfig is the serializable subset of fleet.Config a serve
+// session runs under: everything that determines the simulation, nothing
+// that binds to the process (observers, worker counts).
+type SessionConfig struct {
+	Channels     int     `json:"channels"`
+	SampleRateHz float64 `json:"sample_rate_hz"`
+	SampleBits   int     `json:"sample_bits"`
+	// QAMBits selects the modem: 0 = OOK, 1 = BPSK, an even value n =
+	// square 2^n-QAM.
+	QAMBits int     `json:"qam_bits"`
+	EbN0dB  float64 `json:"ebn0_db"`
+	Seed    int64   `json:"seed"`
+	// Ticks is the session's planned run length; the tick loop stops
+	// there (0 = run until deleted).
+	Ticks int `json:"ticks"`
+
+	ARQMaxRetries    int           `json:"arq_max_retries"`
+	ARQSlotTime      time.Duration `json:"arq_slot_time"`
+	ARQLatencyBudget time.Duration `json:"arq_latency_budget"`
+	FECDepth         int           `json:"fec_depth"`
+	// Concealment is the wearable strategy (0 none, 1 hold, 2 interp).
+	Concealment int `json:"concealment"`
+
+	// Faults optionally enables the deterministic fault profile.
+	Faults *fault.Profile `json:"faults,omitempty"`
+}
+
+// FleetConfig expands the session config into a single-implant fleet
+// config (Implants/Workers/Observer are the caller's business).
+func (c SessionConfig) FleetConfig() (fleet.Config, error) {
+	var mod comm.Modulation
+	switch {
+	case c.QAMBits == 0:
+		mod = comm.OOK{}
+	case c.QAMBits == 1 || c.QAMBits%2 == 0:
+		mod = comm.NewQAM(c.QAMBits)
+	default:
+		return fleet.Config{}, fmt.Errorf("checkpoint: unsupported QAM bits %d", c.QAMBits)
+	}
+	if c.Concealment < 0 || c.Concealment > int(wearable.ConcealInterp) {
+		return fleet.Config{}, fmt.Errorf("checkpoint: unknown concealment %d", c.Concealment)
+	}
+	if c.Ticks < 0 {
+		return fleet.Config{}, fmt.Errorf("checkpoint: negative ticks %d", c.Ticks)
+	}
+	cfg := fleet.Config{
+		Implants:    1,
+		Workers:     1,
+		Ticks:       max(c.Ticks, 1),
+		Channels:    c.Channels,
+		SampleRate:  units.Hertz(c.SampleRateHz),
+		SampleBits:  c.SampleBits,
+		Modulation:  mod,
+		EbN0dB:      c.EbN0dB,
+		Seed:        c.Seed,
+		Faults:      c.Faults,
+		ARQ:         comm.ARQConfig{MaxRetries: c.ARQMaxRetries, SlotTime: c.ARQSlotTime, LatencyBudget: c.ARQLatencyBudget},
+		FECDepth:    c.FECDepth,
+		Concealment: wearable.Concealment(c.Concealment),
+	}
+	if err := cfg.Validate(); err != nil {
+		return fleet.Config{}, err
+	}
+	return cfg, nil
+}
+
+// Checkpoint is one session's frozen state.
+type Checkpoint struct {
+	Config SessionConfig
+	State  fleet.PipelineState
+}
+
+// writer appends fixed-width fields.
+type writer struct{ b []byte }
+
+func (w *writer) u8(v uint8)    { w.b = append(w.b, v) }
+func (w *writer) u16(v uint16)  { w.b = binary.BigEndian.AppendUint16(w.b, v) }
+func (w *writer) u32(v uint32)  { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *writer) u64(v uint64)  { w.b = binary.BigEndian.AppendUint64(w.b, v) }
+func (w *writer) i64(v int64)   { w.u64(uint64(v)) }
+func (w *writer) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *writer) boolean(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+func (w *writer) rng(st detrand.State) {
+	w.i64(st.Seed)
+	w.u64(st.Draws)
+}
+
+// reader consumes fixed-width fields, remembering the first error so
+// call sites stay linear.
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b) < n {
+		r.err = ErrTruncated
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *reader) i64() int64   { return int64(r.u64()) }
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) boolean() bool {
+	switch r.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		if r.err == nil {
+			r.err = errors.New("checkpoint: non-canonical bool")
+		}
+		return false
+	}
+}
+
+// length reads a u32 length field bounded by maxSliceLen.
+func (r *reader) length() int {
+	n := r.u32()
+	if r.err == nil && n > maxSliceLen {
+		r.err = ErrLengthBound
+		return 0
+	}
+	// A length can never exceed the remaining bytes (every element is at
+	// least one byte) — reject early instead of allocating on faith.
+	if r.err == nil && int(n) > len(r.b) {
+		r.err = ErrTruncated
+		return 0
+	}
+	return int(n)
+}
+
+func (r *reader) rng() detrand.State {
+	return detrand.State{Seed: r.i64(), Draws: r.u64()}
+}
+
+// Encode serializes the checkpoint.
+func Encode(cp Checkpoint) []byte {
+	w := &writer{b: make([]byte, 0, 512)}
+	w.b = append(w.b, Magic[:]...)
+	w.u16(Version)
+
+	// Session configuration.
+	c := cp.Config
+	w.u32(uint32(c.Channels))
+	w.f64(c.SampleRateHz)
+	w.u8(uint8(c.SampleBits))
+	w.u8(uint8(c.QAMBits))
+	w.f64(c.EbN0dB)
+	w.i64(c.Seed)
+	w.u64(uint64(c.Ticks))
+	w.u32(uint32(c.ARQMaxRetries))
+	w.i64(int64(c.ARQSlotTime))
+	w.i64(int64(c.ARQLatencyBudget))
+	w.u32(uint32(c.FECDepth))
+	w.u8(uint8(c.Concealment))
+	w.boolean(c.Faults != nil)
+	if c.Faults != nil {
+		p := c.Faults
+		w.f64(p.BurstPGB)
+		w.f64(p.BurstPBG)
+		w.f64(p.BERGood)
+		w.f64(p.BERBad)
+		w.f64(p.FrameLoss)
+		w.f64(p.DeadFrac)
+		w.f64(p.StuckFrac)
+		w.f64(p.DriftFrac)
+		w.f64(p.DriftRate)
+		w.f64(p.BrownoutProb)
+		w.u32(uint32(p.BrownoutTicks))
+	}
+
+	// Pipeline state.
+	st := cp.State
+	w.u64(uint64(st.Tick))
+	res := st.Counters
+	w.u32(uint32(res.Index))
+	w.u32(uint32(res.Worker))
+	for _, v := range []int64{
+		res.Frames, res.Accepted, res.Corrupt, res.LostSeq,
+		res.BitsSent, res.BitErrors, res.Blanked, res.LinkDropped,
+		res.Retransmits, res.Recovered, res.ARQFailed, res.RetransmitBits,
+		res.FECCorrected, res.Stale, res.Concealed, res.ConcealedSamples,
+		res.DataBits, res.DataBitErrors,
+	} {
+		w.i64(v)
+	}
+	w.u32(uint32(res.FaultyChannels))
+	w.u64(res.Digest)
+
+	w.rng(st.Gen.RNG)
+	w.u32(uint32(len(st.Gen.Pending)))
+	for _, v := range st.Gen.Pending {
+		w.f64(v)
+	}
+	w.u32(uint32(len(st.Gen.PendHead)))
+	for _, v := range st.Gen.PendHead {
+		w.u32(uint32(v))
+	}
+	w.f64(st.Gen.Intent[0])
+	w.f64(st.Gen.Intent[1])
+	w.f64(st.Gen.LFPY1)
+	w.f64(st.Gen.LFPY2)
+	w.u64(uint64(st.Gen.T))
+
+	w.rng(st.Channel.RNG)
+	w.u32(st.PktSeq)
+
+	w.boolean(st.Rx.Started)
+	w.u32(st.Rx.NextSeq)
+	rs := st.Rx.Stats
+	for _, v := range []int64{rs.Accepted, rs.Corrupted, rs.LostSeq, rs.Stale, rs.Concealed, rs.ConcealedSamples} {
+		w.i64(v)
+	}
+	w.u32(uint32(len(st.Rx.LastSamples)))
+	for _, v := range st.Rx.LastSamples {
+		w.u16(v)
+	}
+
+	a := st.ARQ
+	for _, v := range []int64{a.Sent, a.Delivered, a.Failed, a.Recovered, a.Retransmits, a.RetransmitBits, a.NACKs} {
+		w.i64(v)
+	}
+	w.i64(st.FECCorrected)
+
+	w.boolean(st.Link != nil)
+	if st.Link != nil {
+		w.rng(st.Link.RNG)
+		w.boolean(st.Link.Bad)
+		ls := st.Link.Stats
+		for _, v := range []int64{ls.Frames, ls.DroppedFrames, ls.BitFlips, ls.BadBits} {
+			w.i64(v)
+		}
+	}
+	w.boolean(st.Brown != nil)
+	if st.Brown != nil {
+		w.rng(st.Brown.RNG)
+		w.u32(uint32(st.Brown.Remaining))
+		w.i64(st.Brown.Events)
+		w.i64(st.Brown.Blanked)
+	}
+	w.u32(uint32(len(st.ElecGains)))
+	for _, v := range st.ElecGains {
+		w.f64(v)
+	}
+	return w.b
+}
+
+// Decode parses a checkpoint blob. Malformed input returns an error —
+// never a panic, never an unbounded allocation.
+func Decode(buf []byte) (Checkpoint, error) {
+	var cp Checkpoint
+	r := &reader{b: buf}
+	if m := r.take(4); r.err != nil || [4]byte(m) != Magic {
+		if r.err == nil {
+			r.err = ErrBadMagic
+		}
+		return cp, r.err
+	}
+	if v := r.u16(); r.err != nil || v != Version {
+		if r.err == nil {
+			r.err = fmt.Errorf("%w: %d (have %d)", ErrBadVersion, v, Version)
+		}
+		return cp, r.err
+	}
+
+	c := &cp.Config
+	c.Channels = int(r.u32())
+	c.SampleRateHz = r.f64()
+	c.SampleBits = int(r.u8())
+	c.QAMBits = int(r.u8())
+	c.EbN0dB = r.f64()
+	c.Seed = r.i64()
+	c.Ticks = int(r.u64())
+	c.ARQMaxRetries = int(r.u32())
+	c.ARQSlotTime = time.Duration(r.i64())
+	c.ARQLatencyBudget = time.Duration(r.i64())
+	c.FECDepth = int(r.u32())
+	c.Concealment = int(r.u8())
+	if r.boolean() {
+		var p fault.Profile
+		p.BurstPGB = r.f64()
+		p.BurstPBG = r.f64()
+		p.BERGood = r.f64()
+		p.BERBad = r.f64()
+		p.FrameLoss = r.f64()
+		p.DeadFrac = r.f64()
+		p.StuckFrac = r.f64()
+		p.DriftFrac = r.f64()
+		p.DriftRate = r.f64()
+		p.BrownoutProb = r.f64()
+		p.BrownoutTicks = int(r.u32())
+		c.Faults = &p
+	}
+
+	st := &cp.State
+	st.Tick = int(r.u64())
+	res := &st.Counters
+	res.Index = int(r.u32())
+	res.Worker = int(r.u32())
+	for _, dst := range []*int64{
+		&res.Frames, &res.Accepted, &res.Corrupt, &res.LostSeq,
+		&res.BitsSent, &res.BitErrors, &res.Blanked, &res.LinkDropped,
+		&res.Retransmits, &res.Recovered, &res.ARQFailed, &res.RetransmitBits,
+		&res.FECCorrected, &res.Stale, &res.Concealed, &res.ConcealedSamples,
+		&res.DataBits, &res.DataBitErrors,
+	} {
+		*dst = r.i64()
+	}
+	res.FaultyChannels = int(r.u32())
+	res.Digest = r.u64()
+
+	st.Gen.RNG = r.rng()
+	if n := r.length(); r.err == nil && n > 0 {
+		st.Gen.Pending = make([]float64, n)
+		for i := range st.Gen.Pending {
+			st.Gen.Pending[i] = r.f64()
+		}
+	}
+	if n := r.length(); r.err == nil && n > 0 {
+		st.Gen.PendHead = make([]int, n)
+		for i := range st.Gen.PendHead {
+			st.Gen.PendHead[i] = int(r.u32())
+		}
+	}
+	st.Gen.Intent[0] = r.f64()
+	st.Gen.Intent[1] = r.f64()
+	st.Gen.LFPY1 = r.f64()
+	st.Gen.LFPY2 = r.f64()
+	st.Gen.T = int(r.u64())
+
+	st.Channel.RNG = r.rng()
+	st.PktSeq = r.u32()
+
+	st.Rx.Started = r.boolean()
+	st.Rx.NextSeq = r.u32()
+	rs := &st.Rx.Stats
+	for _, dst := range []*int64{&rs.Accepted, &rs.Corrupted, &rs.LostSeq, &rs.Stale, &rs.Concealed, &rs.ConcealedSamples} {
+		*dst = r.i64()
+	}
+	if n := r.length(); r.err == nil && n > 0 {
+		st.Rx.LastSamples = make([]uint16, n)
+		for i := range st.Rx.LastSamples {
+			st.Rx.LastSamples[i] = r.u16()
+		}
+	}
+
+	a := &st.ARQ
+	for _, dst := range []*int64{&a.Sent, &a.Delivered, &a.Failed, &a.Recovered, &a.Retransmits, &a.RetransmitBits, &a.NACKs} {
+		*dst = r.i64()
+	}
+	st.FECCorrected = r.i64()
+
+	if r.boolean() {
+		var ls fault.BurstLinkState
+		ls.RNG = r.rng()
+		ls.Bad = r.boolean()
+		for _, dst := range []*int64{&ls.Stats.Frames, &ls.Stats.DroppedFrames, &ls.Stats.BitFlips, &ls.Stats.BadBits} {
+			*dst = r.i64()
+		}
+		st.Link = &ls
+	}
+	if r.boolean() {
+		var bs fault.BrownoutState
+		bs.RNG = r.rng()
+		bs.Remaining = int(r.u32())
+		bs.Events = r.i64()
+		bs.Blanked = r.i64()
+		st.Brown = &bs
+	}
+	if n := r.length(); r.err == nil && n > 0 {
+		st.ElecGains = make([]float64, n)
+		for i := range st.ElecGains {
+			st.ElecGains[i] = r.f64()
+		}
+	}
+
+	if r.err != nil {
+		return Checkpoint{}, r.err
+	}
+	if len(r.b) != 0 {
+		return Checkpoint{}, ErrTrailing
+	}
+	return cp, nil
+}
+
+// Snapshot freezes a pipeline under its session config into a blob.
+func Snapshot(cfg SessionConfig, p *fleet.Pipeline) ([]byte, error) {
+	st, err := p.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return Encode(Checkpoint{Config: cfg, State: st}), nil
+}
+
+// Restore decodes a blob and rebuilds its pipeline mid-stream. The
+// returned config is the session configuration the blob was taken under.
+func Restore(buf []byte) (SessionConfig, *fleet.Pipeline, error) {
+	cp, err := Decode(buf)
+	if err != nil {
+		return SessionConfig{}, nil, err
+	}
+	fcfg, err := cp.Config.FleetConfig()
+	if err != nil {
+		return SessionConfig{}, nil, err
+	}
+	p, err := fleet.RestorePipeline(fcfg, cp.State)
+	if err != nil {
+		return SessionConfig{}, nil, err
+	}
+	return cp.Config, p, nil
+}
+
+// NewPipeline builds a fresh pipeline for the session config at implant
+// index idx.
+func NewPipeline(cfg SessionConfig, idx int) (*fleet.Pipeline, error) {
+	fcfg, err := cfg.FleetConfig()
+	if err != nil {
+		return nil, err
+	}
+	return fleet.NewPipeline(fcfg, idx, 0)
+}

@@ -1,0 +1,46 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCheckpointDecode: arbitrary bytes must never panic the decoder or
+// force unbounded allocation — they either decode to a checkpoint whose
+// re-encoding is canonical, or they return an error.
+func FuzzCheckpointDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Magic[:])
+	f.Add(append(append([]byte(nil), Magic[:]...), 0, 1))
+	// A well-formed seed for each optional-state shape.
+	cleanBlob := func() []byte {
+		p, err := NewPipeline(cleanConfig(), 0)
+		if err != nil {
+			f.Fatal(err)
+		}
+		defer p.Close()
+		for i := 0; i < 4; i++ {
+			if err := p.Step(); err != nil {
+				f.Fatal(err)
+			}
+		}
+		blob, err := Snapshot(cleanConfig(), p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return blob
+	}()
+	f.Add(cleanBlob)
+	f.Add(cleanBlob[:len(cleanBlob)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Accepted blobs must be canonical: Encode(Decode(b)) == b.
+		if again := Encode(cp); !bytes.Equal(again, data) {
+			t.Fatalf("accepted non-canonical blob: %d bytes re-encode to %d", len(data), len(again))
+		}
+	})
+}

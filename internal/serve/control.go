@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"mindful/internal/serve/checkpoint"
+)
+
+// The control plane is plain JSON over HTTP:
+//
+//	POST   /api/sessions                 create (body: CreateRequest)
+//	GET    /api/sessions                 list session infos
+//	GET    /api/sessions/{id}            one session's info
+//	POST   /api/sessions/{id}/pause      suspend the tick loop
+//	POST   /api/sessions/{id}/resume     resume the tick loop
+//	GET    /api/sessions/{id}/checkpoint binary snapshot blob
+//	POST   /api/sessions/restore         new session from a blob
+//	                                     (?ticks=N extends the target,
+//	                                      ?start_paused=1 creates paused)
+//	DELETE /api/sessions/{id}            halt, release, forget
+//	GET    /api/stats                    gateway-wide aggregates
+//	GET    /healthz                      liveness
+//
+// Errors are {"error": "..."} with a meaningful status code.
+
+// maxControlBody bounds request bodies (checkpoint blobs are O(channels)).
+const maxControlBody = 16 << 20
+
+// CreateRequest is the session-creation body: the session configuration
+// plus gateway-level options.
+type CreateRequest struct {
+	checkpoint.SessionConfig
+	// StartPaused creates the session with its tick loop suspended so
+	// subscribers can attach before the first frame.
+	StartPaused bool `json:"start_paused"`
+}
+
+// StatsResponse is the gateway-wide aggregate view.
+type StatsResponse struct {
+	Sessions    int   `json:"sessions"`
+	Subscribers int   `json:"subscribers"`
+	Published   int64 `json:"frames_published"`
+	Dropped     int64 `json:"dropped_frames"`
+	Evicted     int64 `json:"evicted_subscribers"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// statusFor maps lookup failures to 404 and everything else to the
+// given fallback.
+func statusFor(err error, fallback int) int {
+	if strings.Contains(err.Error(), "no session") {
+		return http.StatusNotFound
+	}
+	return fallback
+}
+
+func (s *Server) controlMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /api/stats", s.handleStats)
+	mux.HandleFunc("POST /api/sessions", s.handleCreate)
+	mux.HandleFunc("GET /api/sessions", s.handleList)
+	mux.HandleFunc("POST /api/sessions/restore", s.handleRestore)
+	mux.HandleFunc("GET /api/sessions/{id}", s.handleGet)
+	mux.HandleFunc("POST /api/sessions/{id}/pause", s.handlePause)
+	mux.HandleFunc("POST /api/sessions/{id}/resume", s.handleResume)
+	mux.HandleFunc("GET /api/sessions/{id}/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("DELETE /api/sessions/{id}", s.handleDelete)
+	return mux
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var resp StatsResponse
+	for _, info := range s.Sessions() {
+		resp.Sessions++
+		resp.Subscribers += info.Subscribers
+		resp.Published += info.Published
+		resp.Dropped += info.Dropped
+		resp.Evicted += info.Evicted
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxControlBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	sess, err := s.CreateSession(req.SessionConfig, req.StartPaused)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sess.info())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Sessions())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.info())
+}
+
+func (s *Server) handlePause(w http.ResponseWriter, r *http.Request) {
+	s.handleTransition(w, r, (*Session).pause)
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	s.handleTransition(w, r, (*Session).resume)
+}
+
+func (s *Server) handleTransition(w http.ResponseWriter, r *http.Request, f func(*Session) error) {
+	sess, err := s.session(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	if err := f(sess); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.info())
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	blob, err := sess.snapshot()
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(blob)
+}
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	blob, err := io.ReadAll(io.LimitReader(r.Body, maxControlBody))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ticks := 0
+	if v := r.URL.Query().Get("ticks"); v != "" {
+		ticks, err = strconv.Atoi(v)
+		if err != nil || ticks < 0 {
+			writeErr(w, http.StatusBadRequest, errors.New("ticks must be a non-negative integer"))
+			return
+		}
+	}
+	startPaused := false
+	if v := r.URL.Query().Get("start_paused"); v != "" {
+		startPaused, err = strconv.ParseBool(v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, errors.New("start_paused must be a boolean"))
+			return
+		}
+	}
+	sess, err := s.RestoreSession(blob, ticks, startPaused)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sess.info())
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.DeleteSession(r.PathValue("id")); err != nil {
+		writeErr(w, statusFor(err, http.StatusInternalServerError), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}

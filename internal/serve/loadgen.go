@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"mindful/internal/serve/checkpoint"
+)
+
+// The load generator exercises a gateway end to end: it creates many
+// concurrent sessions paused, attaches subscribers over the real TCP
+// data plane, resumes everything at once and reads every record,
+// measuring client-side delivery latency (read time − publish time).
+// It is the source of BENCH_serve.json.
+
+// LoadConfig describes one load run.
+type LoadConfig struct {
+	// Sessions and SubsPerSession set the fan-out; Ticks the per-session
+	// run length.
+	Sessions       int
+	SubsPerSession int
+	Ticks          int
+
+	// Session is the per-session pipeline configuration; the seed is
+	// offset per session so no two sessions share streams. Ticks is
+	// overridden by the field above.
+	Session checkpoint.SessionConfig
+
+	// Server optionally targets an already-running gateway; nil
+	// self-hosts one on loopback for the duration of the run.
+	Server *Server
+}
+
+// DefaultLoadConfig returns the BENCH_serve baseline: 100 sessions × 2
+// subscribers × 100 frames of a 32-channel 16-QAM implant.
+func DefaultLoadConfig() LoadConfig {
+	return LoadConfig{
+		Sessions:       100,
+		SubsPerSession: 2,
+		Ticks:          100,
+		Session: checkpoint.SessionConfig{
+			Channels:     32,
+			SampleRateHz: 2000,
+			SampleBits:   10,
+			QAMBits:      4,
+			EbN0dB:       12,
+			Seed:         1,
+		},
+	}
+}
+
+// LoadResult summarizes one load run.
+type LoadResult struct {
+	Sessions       int     `json:"sessions"`
+	SubsPerSession int     `json:"subs_per_session"`
+	Ticks          int     `json:"ticks"`
+	Records        int64   `json:"records_received"`
+	Dropped        int64   `json:"dropped_frames"`
+	Evicted        int64   `json:"evicted_subscribers"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	FramesPerSec   float64 `json:"frames_per_sec"`
+	P50LatencyMs   float64 `json:"p50_delivery_latency_ms"`
+	P99LatencyMs   float64 `json:"p99_delivery_latency_ms"`
+}
+
+// RunLoad executes the load scenario and returns its measurements.
+func RunLoad(cfg LoadConfig) (*LoadResult, error) {
+	if cfg.Sessions < 1 || cfg.SubsPerSession < 0 || cfg.Ticks < 1 {
+		return nil, errors.New("serve: load config needs sessions ≥ 1, subs ≥ 0, ticks ≥ 1")
+	}
+	srv := cfg.Server
+	if srv == nil {
+		var err error
+		srv, err = New(Config{})
+		if err != nil {
+			return nil, err
+		}
+		if err := srv.Start(); err != nil {
+			return nil, err
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
+	}
+	ctlURL := "http://" + srv.ControlAddr()
+	streamAddr := srv.StreamAddr()
+
+	start := time.Now()
+
+	// Create every session paused, so subscribers attach before frame 0.
+	ids := make([]string, cfg.Sessions)
+	for i := range ids {
+		scfg := cfg.Session
+		scfg.Seed += int64(i) // independent streams per session
+		scfg.Ticks = cfg.Ticks
+		info, err := createSession(ctlURL, CreateRequest{SessionConfig: scfg, StartPaused: true})
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = info.ID
+	}
+
+	// Attach the subscribers; each records the latency of every record.
+	type subResult struct {
+		records   int64
+		latencies []float64 // milliseconds
+		err       error
+	}
+	nSubs := cfg.Sessions * cfg.SubsPerSession
+	results := make([]subResult, nSubs)
+	var wg sync.WaitGroup
+	ready := make(chan error, nSubs)
+	for i := 0; i < nSubs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, br, err := Subscribe(streamAddr, ids[i%cfg.Sessions])
+			ready <- err
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			defer conn.Close()
+			lat := make([]float64, 0, cfg.Ticks)
+			for {
+				rec, err := ReadRecord(br)
+				if err != nil {
+					if err != io.EOF {
+						results[i].err = err
+					}
+					break
+				}
+				results[i].records++
+				lat = append(lat, float64(time.Now().UnixNano()-rec.PublishNs)/1e6)
+			}
+			results[i].latencies = lat
+		}(i)
+	}
+	for i := 0; i < nSubs; i++ {
+		if err := <-ready; err != nil {
+			return nil, fmt.Errorf("serve: subscribe: %w", err)
+		}
+	}
+
+	// Fire: resume every session.
+	for _, id := range ids {
+		if err := post(ctlURL+"/api/sessions/"+id+"/resume", nil); err != nil {
+			return nil, err
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &LoadResult{
+		Sessions:       cfg.Sessions,
+		SubsPerSession: cfg.SubsPerSession,
+		Ticks:          cfg.Ticks,
+		ElapsedSeconds: elapsed.Seconds(),
+	}
+	var all []float64
+	for i := range results {
+		if err := results[i].err; err != nil {
+			return nil, fmt.Errorf("serve: subscriber %d: %w", i, err)
+		}
+		res.Records += results[i].records
+		all = append(all, results[i].latencies...)
+	}
+	for _, id := range ids {
+		info, err := getSession(ctlURL, id)
+		if err != nil {
+			return nil, err
+		}
+		res.Dropped += info.Dropped
+		res.Evicted += info.Evicted
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		res.SessionsPerSec = float64(cfg.Sessions) / s
+		res.FramesPerSec = float64(res.Records) / s
+	}
+	res.P50LatencyMs = percentile(all, 0.50)
+	res.P99LatencyMs = percentile(all, 0.99)
+	return res, nil
+}
+
+// percentile returns the p-quantile of xs (0 for empty input).
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	idx := int(p * float64(len(xs)-1))
+	return xs[idx]
+}
+
+// Minimal HTTP helpers — the control plane is plain JSON.
+
+func createSession(base string, req CreateRequest) (SessionInfo, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	resp, err := http.Post(base+"/api/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return SessionInfo{}, httpError("create session", resp)
+	}
+	var info SessionInfo
+	return info, json.NewDecoder(resp.Body).Decode(&info)
+}
+
+func getSession(base, id string) (SessionInfo, error) {
+	resp, err := http.Get(base + "/api/sessions/" + id)
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return SessionInfo{}, httpError("get session", resp)
+	}
+	var info SessionInfo
+	return info, json.NewDecoder(resp.Body).Decode(&info)
+}
+
+func post(url string, body []byte) error {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return httpError("post "+url, resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+func httpError(op string, resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return fmt.Errorf("serve: %s: HTTP %d: %s", op, resp.StatusCode, bytes.TrimSpace(msg))
+}

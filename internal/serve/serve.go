@@ -1,0 +1,369 @@
+// Package serve is the streaming session gateway: many concurrent
+// implant → modem → AWGN → wearable pipelines (fleet.Pipeline) hosted
+// behind two planes. The control plane is JSON over HTTP — create,
+// pause, resume, snapshot, restore and delete sessions, list stats. The
+// data plane is a length-prefixed binary stream over TCP — subscribers
+// receive every frame a session's wearable hears, with bounded
+// per-subscriber queues, an explicit drop-oldest backpressure policy
+// and stall-based eviction, so one slow consumer can never stall a tick
+// loop or another session.
+//
+// Checkpoint/restore rides the fleet package's determinism guarantee:
+// a session snapshotted at tick K and restored — in this process or
+// another — continues bit-identically, digest and all.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"mindful/internal/obs"
+	"mindful/internal/serve/checkpoint"
+)
+
+// Defaults for the zero Config values.
+const (
+	DefaultMaxSessions  = 1024
+	DefaultQueueDepth   = 256
+	DefaultStallTimeout = 5 * time.Second
+)
+
+// Config describes one gateway.
+type Config struct {
+	// ControlAddr is the HTTP control-plane listen address
+	// (e.g. "127.0.0.1:0").
+	ControlAddr string
+	// StreamAddr is the TCP data-plane listen address.
+	StreamAddr string
+	// SnapshotDir, when set, receives one checkpoint per live session on
+	// graceful shutdown (<id>.ckpt).
+	SnapshotDir string
+	// MaxSessions bounds concurrently hosted sessions (0 = default).
+	MaxSessions int
+	// QueueDepth is the per-subscriber record queue (0 = default). When
+	// full, the oldest record is dropped and counted.
+	QueueDepth int
+	// StallTimeout evicts a subscriber whose connection blocks a write
+	// longer than this (0 = default; negative disables eviction).
+	StallTimeout time.Duration
+	// TickInterval throttles every session's tick loop (0 = free-run).
+	TickInterval time.Duration
+	// Observer optionally collects gateway metrics and traces.
+	Observer *obs.Observer
+}
+
+// Server is one running gateway.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	nextID   uint64
+	closed   bool
+
+	ctlLn   net.Listener
+	strLn   net.Listener
+	httpSrv *http.Server
+	wg      sync.WaitGroup
+
+	mSessions  *obs.Gauge
+	mSubs      *obs.Gauge
+	mCreated   *obs.Counter
+	mRestored  *obs.Counter
+	mPublished *obs.Counter
+	mDropped   *obs.Counter
+	mEvicted   *obs.Counter
+	mTicks     *obs.Counter
+}
+
+// New returns an unstarted gateway.
+func New(cfg Config) (*Server, error) {
+	if cfg.ControlAddr == "" {
+		cfg.ControlAddr = "127.0.0.1:0"
+	}
+	if cfg.StreamAddr == "" {
+		cfg.StreamAddr = "127.0.0.1:0"
+	}
+	if cfg.MaxSessions == 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	if cfg.MaxSessions < 1 {
+		return nil, errors.New("serve: MaxSessions must be positive")
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.QueueDepth < 1 {
+		return nil, errors.New("serve: QueueDepth must be positive")
+	}
+	if cfg.StallTimeout == 0 {
+		cfg.StallTimeout = DefaultStallTimeout
+	}
+	s := &Server{cfg: cfg, sessions: make(map[string]*Session)}
+	if o := cfg.Observer; o != nil && o.Metrics != nil {
+		m := o.Metrics
+		s.mSessions = m.Gauge("serve_sessions_active")
+		s.mSubs = m.Gauge("serve_subscribers_active")
+		s.mCreated = m.Counter("serve_sessions_created_total")
+		s.mRestored = m.Counter("serve_sessions_restored_total")
+		s.mPublished = m.Counter("serve_frames_published_total")
+		s.mDropped = m.Counter("serve_frames_dropped_total")
+		s.mEvicted = m.Counter("serve_subscribers_evicted_total")
+		s.mTicks = m.Counter("serve_ticks_total")
+		m.Help("serve_sessions_active", "Sessions currently hosted.")
+		m.Help("serve_subscribers_active", "Data-plane subscribers currently attached.")
+		m.Help("serve_sessions_created_total", "Sessions created fresh.")
+		m.Help("serve_sessions_restored_total", "Sessions restored from checkpoints.")
+		m.Help("serve_frames_published_total", "Frames published to the data plane.")
+		m.Help("serve_frames_dropped_total", "Frames dropped by full subscriber queues.")
+		m.Help("serve_subscribers_evicted_total", "Subscribers evicted for stalling.")
+		m.Help("serve_ticks_total", "Pipeline ticks stepped across all sessions.")
+	}
+	return s, nil
+}
+
+// Nil-safe metric hooks.
+func (s *Server) obsPublished() { s.mPublished.Inc() }
+func (s *Server) obsDropped()   { s.mDropped.Inc() }
+func (s *Server) obsEvicted()   { s.mEvicted.Inc() }
+func (s *Server) obsTick()      { s.mTicks.Inc() }
+func (s *Server) obsSubscribers(d float64) {
+	if s.mSubs != nil {
+		s.mSubs.Add(d)
+	}
+}
+
+func (s *Server) queueDepth() int { return s.cfg.QueueDepth }
+func (s *Server) stallTimeout() time.Duration {
+	if s.cfg.StallTimeout < 0 {
+		return 0
+	}
+	return s.cfg.StallTimeout
+}
+
+// Start binds both planes and begins serving. It returns immediately;
+// use ControlAddr/StreamAddr for the bound addresses.
+func (s *Server) Start() error {
+	ctl, err := net.Listen("tcp", s.cfg.ControlAddr)
+	if err != nil {
+		return fmt.Errorf("serve: control plane: %w", err)
+	}
+	str, err := net.Listen("tcp", s.cfg.StreamAddr)
+	if err != nil {
+		ctl.Close()
+		return fmt.Errorf("serve: data plane: %w", err)
+	}
+	s.ctlLn, s.strLn = ctl, str
+	s.httpSrv = &http.Server{Handler: s.controlMux()}
+	s.wg.Add(2)
+	go func() {
+		defer s.wg.Done()
+		s.httpSrv.Serve(ctl) // returns on Shutdown/Close
+	}()
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := str.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go s.serveStream(conn)
+		}
+	}()
+	return nil
+}
+
+// ControlAddr returns the bound control-plane address.
+func (s *Server) ControlAddr() string { return s.ctlLn.Addr().String() }
+
+// StreamAddr returns the bound data-plane address.
+func (s *Server) StreamAddr() string { return s.strLn.Addr().String() }
+
+// session looks a session up by ID.
+func (s *Server) session(id string) (*Session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("serve: no session %q", id)
+	}
+	return sess, nil
+}
+
+// register assigns an ID and inserts the session builder's product
+// under the capacity limit.
+func (s *Server) register(build func(id string) (*Session, error)) (*Session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("serve: server is shutting down")
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		return nil, fmt.Errorf("serve: session limit %d reached", s.cfg.MaxSessions)
+	}
+	s.nextID++
+	id := fmt.Sprintf("s%06d", s.nextID)
+	sess, err := build(id)
+	if err != nil {
+		return nil, err
+	}
+	s.sessions[id] = sess
+	if s.mSessions != nil {
+		s.mSessions.Add(1)
+	}
+	return sess, nil
+}
+
+// CreateSession builds a fresh pipeline session. With startPaused the
+// tick loop waits for an explicit resume — the way to attach
+// subscribers before the first frame.
+func (s *Server) CreateSession(cfg checkpoint.SessionConfig, startPaused bool) (*Session, error) {
+	if _, err := cfg.FleetConfig(); err != nil {
+		return nil, err
+	}
+	return s.register(func(id string) (*Session, error) {
+		p, err := checkpoint.NewPipeline(cfg, 0)
+		if err != nil {
+			return nil, err
+		}
+		s.mCreated.Inc()
+		return newSession(s, id, cfg, p, cfg.Ticks, startPaused), nil
+	})
+}
+
+// RestoreSession rebuilds a session from a checkpoint blob. ticks > 0
+// overrides the session's tick target — the way to extend a finished
+// session's run; 0 keeps the checkpointed target.
+func (s *Server) RestoreSession(blob []byte, ticks int, startPaused bool) (*Session, error) {
+	cfg, p, err := checkpoint.Restore(blob)
+	if err != nil {
+		return nil, err
+	}
+	if ticks > 0 {
+		if ticks < p.Tick() {
+			p.Close()
+			return nil, fmt.Errorf("serve: tick target %d behind checkpoint tick %d", ticks, p.Tick())
+		}
+		cfg.Ticks = ticks
+	}
+	sess, err := s.register(func(id string) (*Session, error) {
+		s.mRestored.Inc()
+		return newSession(s, id, cfg, p, cfg.Ticks, startPaused), nil
+	})
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	return sess, nil
+}
+
+// DeleteSession halts, releases and forgets a session.
+func (s *Server) DeleteSession(id string) error {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("serve: no session %q", id)
+	}
+	sess.halt()
+	sess.release()
+	if s.mSessions != nil {
+		s.mSessions.Add(-1)
+	}
+	return nil
+}
+
+// Sessions lists the hosted sessions' infos, ordered by ID.
+func (s *Server) Sessions() []SessionInfo {
+	s.mu.Lock()
+	list := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		list = append(list, sess)
+	}
+	s.mu.Unlock()
+	infos := make([]SessionInfo, 0, len(list))
+	for _, sess := range list {
+		infos = append(infos, sess.info())
+	}
+	sortInfos(infos)
+	return infos
+}
+
+func sortInfos(infos []SessionInfo) {
+	for i := 1; i < len(infos); i++ {
+		for j := i; j > 0 && infos[j].ID < infos[j-1].ID; j-- {
+			infos[j], infos[j-1] = infos[j-1], infos[j]
+		}
+	}
+}
+
+// Shutdown drains the gateway: stop accepting, halt every tick loop at
+// its next boundary, snapshot live sessions to SnapshotDir (when
+// configured), release everything and wait for the workers, all bounded
+// by ctx.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	sessions := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.sessions = make(map[string]*Session)
+	s.mu.Unlock()
+
+	s.strLn.Close()
+	httpErr := s.httpSrv.Shutdown(ctx)
+
+	var snapErr error
+	for _, sess := range sessions {
+		sess.halt()
+		if s.cfg.SnapshotDir != "" {
+			if blob, err := sess.snapshot(); err == nil {
+				path := filepath.Join(s.cfg.SnapshotDir, sess.ID+".ckpt")
+				if err := os.WriteFile(path, blob, 0o644); err != nil && snapErr == nil {
+					snapErr = err
+				}
+			} else if snapErr == nil && !errors.Is(err, errSessionFailed) {
+				snapErr = err
+			}
+		}
+		sess.release()
+		if s.mSessions != nil {
+			s.mSessions.Add(-1)
+		}
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	if httpErr != nil {
+		return httpErr
+	}
+	return snapErr
+}
+
+// errSessionFailed lets Shutdown skip snapshotting failed sessions
+// without masking real snapshot errors.
+var errSessionFailed = errors.New("serve: session failed")

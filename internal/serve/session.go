@@ -1,0 +1,339 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mindful/internal/fleet"
+	"mindful/internal/serve/checkpoint"
+)
+
+// Session states.
+const (
+	// StateRunning: the tick loop is stepping the pipeline.
+	StateRunning = "running"
+	// StatePaused: the tick loop is blocked on the condition variable;
+	// the pipeline is quiescent and snapshots are instant.
+	StatePaused = "paused"
+	// StateDone: the tick target was reached (or the pipeline failed);
+	// subscribers have been flushed and the session awaits snapshot or
+	// deletion.
+	StateDone = "done"
+	// StateStopped: the session was deleted or drained; the pipeline is
+	// released and only the final result remains readable.
+	StateStopped = "stopped"
+)
+
+// Session hosts one implant pipeline behind the gateway: a dedicated
+// tick-loop goroutine steps it, publishing every delivered frame to the
+// attached subscribers. All pipeline access — stepping, snapshotting,
+// result reads — happens under mu, so a snapshot waits at most one tick.
+type Session struct {
+	// ID is the gateway-assigned session identifier.
+	ID string
+
+	srv *Server
+	cfg checkpoint.SessionConfig
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	state     string
+	p         *fleet.Pipeline
+	target    int // tick target; 0 = run until deleted
+	err       error
+	final     *fleet.ImplantResult // result frozen when the loop exits
+	finalTick int
+
+	published atomic.Int64 // frames published to the fan-out
+	dropped   atomic.Int64 // frames dropped by full subscriber queues
+	evicted   atomic.Int64 // subscribers evicted for stalling
+
+	subMu sync.Mutex
+	subs  map[*subscriber]struct{}
+
+	done chan struct{} // closed when the tick loop exits
+}
+
+// newSession builds a session around an existing pipeline (fresh or
+// restored) and starts its tick loop.
+func newSession(srv *Server, id string, cfg checkpoint.SessionConfig, p *fleet.Pipeline, target int, paused bool) *Session {
+	s := &Session{
+		ID:     id,
+		srv:    srv,
+		cfg:    cfg,
+		state:  StateRunning,
+		p:      p,
+		target: target,
+		subs:   make(map[*subscriber]struct{}),
+		done:   make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if paused {
+		s.state = StatePaused
+	}
+	p.OnDeliver(s.publish)
+	go s.run()
+	return s
+}
+
+// run is the tick loop: step while running, wait while paused, finish at
+// the target. It owns no resources — cleanup happens in stop().
+func (s *Session) run() {
+	defer close(s.done)
+	interval := s.srv.cfg.TickInterval
+	for {
+		s.mu.Lock()
+		for s.state == StatePaused {
+			s.cond.Wait()
+		}
+		if s.state == StateStopped {
+			s.freezeLocked()
+			s.mu.Unlock()
+			return
+		}
+		if s.target > 0 && s.p.Tick() >= s.target {
+			s.state = StateDone
+			s.freezeLocked()
+			s.mu.Unlock()
+			s.finishSubscribers()
+			return
+		}
+		err := s.p.Step()
+		if err != nil {
+			s.err = err
+			s.state = StateDone
+			s.freezeLocked()
+			s.mu.Unlock()
+			s.finishSubscribers()
+			return
+		}
+		s.srv.obsTick()
+		s.mu.Unlock()
+		if interval > 0 {
+			time.Sleep(interval)
+		}
+	}
+}
+
+// freezeLocked records the final result while the pipeline is still
+// open. Callers hold mu.
+func (s *Session) freezeLocked() {
+	if s.final == nil && s.p != nil {
+		res := s.p.Result()
+		s.final = &res
+		s.finalTick = s.p.Tick()
+	}
+}
+
+// publish fans one delivered frame out to every subscriber. It runs
+// inside Pipeline.Step, i.e. under mu; the fan-out itself only takes
+// subMu and the per-subscriber locks, and never blocks on a slow
+// consumer (full queues drop their oldest record).
+func (s *Session) publish(tick int, data []byte, accepted bool) {
+	s.published.Add(1)
+	s.srv.obsPublished()
+	s.subMu.Lock()
+	if len(s.subs) == 0 {
+		s.subMu.Unlock()
+		return
+	}
+	var flags byte
+	if accepted {
+		flags |= RecordFlagAccepted
+	}
+	rec := record{
+		tick:      uint64(tick),
+		publishNs: time.Now().UnixNano(),
+		flags:     flags,
+		data:      append([]byte(nil), data...), // shared, read-only
+	}
+	for sub := range s.subs {
+		sub.push(rec)
+	}
+	s.subMu.Unlock()
+}
+
+// attach registers a subscriber; it fails once the session can publish
+// nothing more.
+func (s *Session) attach(sub *subscriber) error {
+	s.mu.Lock()
+	st := s.state
+	s.mu.Unlock()
+	if st == StateDone || st == StateStopped {
+		return fmt.Errorf("serve: session %s is %s", s.ID, st)
+	}
+	s.subMu.Lock()
+	s.subs[sub] = struct{}{}
+	s.subMu.Unlock()
+	s.srv.obsSubscribers(+1)
+	return nil
+}
+
+// detach unregisters a subscriber (idempotent); evicted marks a
+// stall-policy eviction rather than a clean disconnect.
+func (s *Session) detach(sub *subscriber, evicted bool) {
+	s.subMu.Lock()
+	_, present := s.subs[sub]
+	delete(s.subs, sub)
+	s.subMu.Unlock()
+	if !present {
+		return
+	}
+	s.srv.obsSubscribers(-1)
+	if evicted {
+		s.evicted.Add(1)
+		s.srv.obsEvicted()
+	}
+}
+
+// finishSubscribers lets every subscriber flush its queue and then
+// close — the end-of-session drain.
+func (s *Session) finishSubscribers() {
+	s.subMu.Lock()
+	subs := make([]*subscriber, 0, len(s.subs))
+	for sub := range s.subs {
+		subs = append(subs, sub)
+	}
+	s.subMu.Unlock()
+	for _, sub := range subs {
+		sub.finish()
+	}
+}
+
+// pause suspends the tick loop at the next tick boundary.
+func (s *Session) pause() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case StateRunning:
+		s.state = StatePaused
+		return nil
+	case StatePaused:
+		return nil
+	default:
+		return fmt.Errorf("serve: cannot pause a %s session", s.state)
+	}
+}
+
+// resume restarts a paused tick loop.
+func (s *Session) resume() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case StatePaused:
+		s.state = StateRunning
+		s.cond.Broadcast()
+		return nil
+	case StateRunning:
+		return nil
+	default:
+		return fmt.Errorf("serve: cannot resume a %s session", s.state)
+	}
+}
+
+// snapshot serializes the session's full state. It blocks the tick loop
+// for the duration of one encode.
+func (s *Session) snapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.p == nil {
+		return nil, errors.New("serve: session already released")
+	}
+	if s.err != nil {
+		return nil, fmt.Errorf("%w: %v", errSessionFailed, s.err)
+	}
+	return checkpoint.Snapshot(s.cfg, s.p)
+}
+
+// halt stops the tick loop (if still running) and waits for it to exit.
+// The pipeline stays open so a final snapshot can still be taken.
+func (s *Session) halt() {
+	s.mu.Lock()
+	if s.state == StateRunning || s.state == StatePaused {
+		s.state = StateStopped
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+	<-s.done
+}
+
+// release closes every subscriber and the pipeline. halt must have been
+// called first.
+func (s *Session) release() {
+	s.subMu.Lock()
+	subs := make([]*subscriber, 0, len(s.subs))
+	for sub := range s.subs {
+		subs = append(subs, sub)
+	}
+	s.subMu.Unlock()
+	for _, sub := range subs {
+		sub.close()
+		s.detach(sub, false)
+	}
+	s.mu.Lock()
+	s.freezeLocked()
+	if s.p != nil {
+		s.p.Close()
+		s.p = nil
+	}
+	s.mu.Unlock()
+}
+
+// SessionInfo is the control plane's view of one session.
+type SessionInfo struct {
+	ID          string `json:"id"`
+	State       string `json:"state"`
+	Tick        int    `json:"tick"`
+	Target      int    `json:"ticks"`
+	Subscribers int    `json:"subscribers"`
+	Published   int64  `json:"frames_published"`
+	Dropped     int64  `json:"dropped_frames"`
+	Evicted     int64  `json:"evicted_subscribers"`
+	// Digest is the pipeline's FNV-1a output digest as a decimal string
+	// (JSON numbers lose uint64 precision).
+	Digest string `json:"digest"`
+	// Frames/Accepted/Concealed summarize the pipeline's accounting.
+	Frames    int64  `json:"frames"`
+	Accepted  int64  `json:"frames_accepted"`
+	Concealed int64  `json:"frames_concealed"`
+	Error     string `json:"error,omitempty"`
+}
+
+// info reports the session's current state.
+func (s *Session) info() SessionInfo {
+	s.mu.Lock()
+	var res fleet.ImplantResult
+	var tick int
+	switch {
+	case s.final != nil:
+		res = *s.final
+		tick = s.finalTick
+	case s.p != nil:
+		res = s.p.Result()
+		tick = s.p.Tick()
+	}
+	info := SessionInfo{
+		ID:        s.ID,
+		State:     s.state,
+		Tick:      tick,
+		Target:    s.target,
+		Digest:    fmt.Sprintf("%d", res.Digest),
+		Frames:    res.Frames,
+		Accepted:  res.Accepted,
+		Concealed: res.Concealed,
+	}
+	if s.err != nil {
+		info.Error = s.err.Error()
+	}
+	s.mu.Unlock()
+	info.Published = s.published.Load()
+	info.Dropped = s.dropped.Load()
+	info.Evicted = s.evicted.Load()
+	s.subMu.Lock()
+	info.Subscribers = len(s.subs)
+	s.subMu.Unlock()
+	return info
+}

@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The streaming data plane is a length-prefixed binary protocol over
+// TCP. A client opens a connection, sends one subscription line
+//
+//	SUB <session-id>\n
+//
+// and then reads records until the server closes the stream (session
+// finished or deleted) or evicts it for stalling. Each record is
+//
+//	length    uint32  bytes after this field
+//	tick      uint64  pipeline tick the frame belongs to
+//	publishNs int64   server wall clock at publication (UnixNano)
+//	flags     uint8   RecordFlag bits
+//	frame     []byte  the received frame bytes (may be corrupt)
+//
+// Backpressure is explicit: every subscriber owns a bounded queue.
+// When the queue is full the oldest record is dropped and counted
+// (DroppedFrames); a subscriber whose connection blocks a write longer
+// than the stall timeout is evicted. The publishing tick loop never
+// waits on either.
+
+// RecordFlagAccepted marks a frame the wearable receiver accepted
+// (CRC-clean, in sequence); records without it carry corrupt bytes
+// surfaced after an exhausted retry budget.
+const RecordFlagAccepted byte = 0x01
+
+// maxRecordLen bounds a record a client will accept: far above any real
+// frame (64Ki channels at 16 bits is ~128 KiB) but small enough that a
+// corrupt length field cannot force a huge allocation.
+const maxRecordLen = 1 << 20
+
+// recordHeaderLen is tick + publishNs + flags.
+const recordHeaderLen = 8 + 8 + 1
+
+// record is one queued frame delivery.
+type record struct {
+	tick      uint64
+	publishNs int64
+	flags     byte
+	data      []byte // shared read-only across subscribers
+}
+
+// subscriber is one data-plane consumer: a bounded drop-oldest ring
+// drained by a dedicated writer goroutine. push never blocks; the
+// writer enforces the stall policy with write deadlines.
+type subscriber struct {
+	sess  *Session
+	conn  net.Conn
+	stall time.Duration
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	ring     []record
+	head     int
+	count    int
+	dropped  int64
+	closed   bool // stop immediately, queue abandoned
+	finished bool // flush the queue, then close
+}
+
+func newSubscriber(sess *Session, conn net.Conn, depth int, stall time.Duration) *subscriber {
+	sub := &subscriber{
+		sess:  sess,
+		conn:  conn,
+		stall: stall,
+		ring:  make([]record, depth),
+	}
+	sub.cond = sync.NewCond(&sub.mu)
+	return sub
+}
+
+// push enqueues one record, dropping the oldest when full. Never blocks.
+func (s *subscriber) push(rec record) {
+	s.mu.Lock()
+	if s.closed || s.finished {
+		s.mu.Unlock()
+		return
+	}
+	if s.count == len(s.ring) {
+		s.head = (s.head + 1) % len(s.ring)
+		s.count--
+		s.dropped++
+		s.sess.dropped.Add(1)
+		s.sess.srv.obsDropped()
+	}
+	s.ring[(s.head+s.count)%len(s.ring)] = rec
+	s.count++
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// pop blocks until a record is available or the subscriber is done. The
+// second result is false when the writer should exit; drain reports
+// whether the queue was flushed (clean finish) rather than abandoned.
+func (s *subscriber) pop() (record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return record{}, false
+		}
+		if s.count > 0 {
+			rec := s.ring[s.head]
+			s.ring[s.head] = record{} // release the shared frame bytes
+			s.head = (s.head + 1) % len(s.ring)
+			s.count--
+			return rec, true
+		}
+		if s.finished {
+			return record{}, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// finish asks the writer to flush the queue and close cleanly.
+func (s *subscriber) finish() {
+	s.mu.Lock()
+	s.finished = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// close stops the writer immediately, abandoning queued records.
+func (s *subscriber) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.conn.Close()
+}
+
+// writeLoop drains the queue onto the connection. A write that misses
+// the stall deadline — or any other write error — evicts the
+// subscriber; the publishing side is never slowed either way.
+func (s *subscriber) writeLoop() {
+	defer s.conn.Close()
+	buf := make([]byte, 0, 512)
+	for {
+		rec, ok := s.pop()
+		if !ok {
+			s.sess.detach(s, false)
+			return
+		}
+		buf = appendRecord(buf[:0], rec)
+		if s.stall > 0 {
+			s.conn.SetWriteDeadline(time.Now().Add(s.stall))
+		}
+		if _, err := s.conn.Write(buf); err != nil {
+			// A missed deadline is a stall eviction; any other error is
+			// the client going away on its own.
+			evicted := false
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				evicted = true
+			}
+			s.mu.Lock()
+			s.closed = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			s.sess.detach(s, evicted)
+			return
+		}
+	}
+}
+
+// appendRecord serializes one record onto dst.
+func appendRecord(dst []byte, rec record) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(recordHeaderLen+len(rec.data)))
+	dst = binary.BigEndian.AppendUint64(dst, rec.tick)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(rec.publishNs))
+	dst = append(dst, rec.flags)
+	return append(dst, rec.data...)
+}
+
+// serveStream handles one data-plane connection: parse the SUB line,
+// attach, and stream until done.
+func (srv *Server) serveStream(conn net.Conn) {
+	defer srv.wg.Done()
+	br := bufio.NewReader(conn)
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	line, err := br.ReadString('\n')
+	if err != nil {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	fields := strings.Fields(line)
+	if len(fields) != 2 || fields[0] != "SUB" {
+		fmt.Fprintf(conn, "ERR expected SUB <session-id>\n")
+		conn.Close()
+		return
+	}
+	sess, err := srv.session(fields[1])
+	if err != nil {
+		fmt.Fprintf(conn, "ERR %v\n", err)
+		conn.Close()
+		return
+	}
+	sub := newSubscriber(sess, conn, srv.queueDepth(), srv.stallTimeout())
+	if err := sess.attach(sub); err != nil {
+		fmt.Fprintf(conn, "ERR %v\n", err)
+		conn.Close()
+		return
+	}
+	if _, err := fmt.Fprintf(conn, "OK %s\n", sess.ID); err != nil {
+		sess.detach(sub, false)
+		conn.Close()
+		return
+	}
+	sub.writeLoop()
+}
+
+// Record is one decoded data-plane record, as read by clients.
+type Record struct {
+	Tick      uint64
+	PublishNs int64
+	Flags     byte
+	Data      []byte
+}
+
+// ReadRecord reads one record from a subscribed stream. io.EOF marks a
+// clean end of stream.
+func ReadRecord(r io.Reader) (Record, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return Record{}, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < recordHeaderLen || n > maxRecordLen {
+		return Record{}, fmt.Errorf("serve: record length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Record{}, err
+	}
+	return Record{
+		Tick:      binary.BigEndian.Uint64(body[0:8]),
+		PublishNs: int64(binary.BigEndian.Uint64(body[8:16])),
+		Flags:     body[16],
+		Data:      body[recordHeaderLen:],
+	}, nil
+}
+
+// Subscribe opens a data-plane connection to addr and subscribes to the
+// session, returning the connection and a buffered reader positioned at
+// the first record.
+func Subscribe(addr, sessionID string) (net.Conn, *bufio.Reader, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := fmt.Fprintf(conn, "SUB %s\n", sessionID); err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	br := bufio.NewReader(conn)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	if !strings.HasPrefix(line, "OK ") {
+		conn.Close()
+		return nil, nil, fmt.Errorf("serve: subscribe rejected: %s", strings.TrimSpace(line))
+	}
+	return conn, br, nil
+}

@@ -1,0 +1,134 @@
+package wearable
+
+import (
+	"testing"
+
+	"mindful/internal/comm"
+)
+
+// Edge cases of the gap-concealment state machine: gaps exactly at the
+// concealment bound, stale deliveries arriving after a concealed gap,
+// and interpolation values across a whole concealed run.
+
+// receiverAt builds a concealment-enabled receiver with one accepted
+// frame already in it, so lastSamples is primed.
+func receiverAt(t *testing.T, c Concealment, maxGap int, first []uint16) (*Receiver, *comm.Packetizer) {
+	t.Helper()
+	p, err := comm.NewPacketizer(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewReceiver(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx.Concealment = c
+	rx.MaxConcealGap = maxGap
+	if _, err := rx.Receive(encodeSeq(t, p, first)); err != nil {
+		t.Fatal(err)
+	}
+	return rx, p
+}
+
+// TestConcealGapExactlyAtBound: a gap of exactly MaxConcealGap frames is
+// concealed in full; one more frame of loss and the bound truncates it.
+func TestConcealGapExactlyAtBound(t *testing.T) {
+	const bound = 4
+	for _, gap := range []uint32{bound, bound + 1} {
+		rx, _ := receiverAt(t, ConcealHold, bound, []uint16{50})
+		late, err := comm.EncodeFrame(comm.Frame{Seq: 1 + gap, SampleBits: 10, Samples: []uint16{60}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rx.Receive(late); err != nil {
+			t.Fatal(err)
+		}
+		st := rx.Stats()
+		if st.LostSeq != int64(gap) {
+			t.Errorf("gap %d: lost %d, want %d", gap, st.LostSeq, gap)
+		}
+		want := int64(bound)
+		if st.Concealed != want {
+			t.Errorf("gap %d: concealed %d, want the bound %d", gap, st.Concealed, want)
+		}
+		// The accepted history is first + concealed + late, never more.
+		if h := rx.History(0); len(h) != 2+bound {
+			t.Errorf("gap %d: history %v, want %d entries", gap, h, 2+bound)
+		}
+	}
+}
+
+// TestDuplicateAfterConcealedGap: a stale copy of a frame the receiver
+// already concealed over must be rejected as stale — not accepted, not
+// concealed again, and invisible in the history.
+func TestDuplicateAfterConcealedGap(t *testing.T) {
+	rx, p := receiverAt(t, ConcealHold, 8, []uint16{50})
+	// Frames 1 and 2 are lost; frame 3 arrives and both are concealed.
+	lost1 := encodeSeq(t, p, []uint16{51})
+	_ = encodeSeq(t, p, []uint16{52})
+	if _, err := rx.Receive(encodeSeq(t, p, []uint16{53})); err != nil {
+		t.Fatal(err)
+	}
+	st := rx.Stats()
+	if st.Concealed != 2 || st.LostSeq != 2 {
+		t.Fatalf("setup stats %+v, want 2 lost and 2 concealed", st)
+	}
+	histBefore := append([]uint16(nil), rx.History(0)...)
+	// The first lost frame now shows up late (a duplicate relative to the
+	// concealment cursor).
+	if _, err := rx.Receive(lost1); err != ErrStaleFrame {
+		t.Fatalf("late duplicate returned %v, want ErrStaleFrame", err)
+	}
+	st = rx.Stats()
+	if st.Stale != 1 {
+		t.Errorf("stale %d, want 1", st.Stale)
+	}
+	if st.Concealed != 2 || st.Accepted != 2 {
+		t.Errorf("duplicate changed accounting: %+v", st)
+	}
+	if got := rx.History(0); len(got) != len(histBefore) {
+		t.Errorf("duplicate grew history from %v to %v", histBefore, got)
+	}
+}
+
+// TestInterpAcrossConcealedRun: interpolation across a 3-frame gap must
+// produce the evenly spaced values, each callback frame flagged
+// FlagConcealed and numbered with the missing sequence numbers.
+func TestInterpAcrossConcealedRun(t *testing.T) {
+	rx, _ := receiverAt(t, ConcealInterp, 8, []uint16{100, 1000})
+	var run []comm.Frame
+	rx.OnConcealed = func(f comm.Frame) {
+		cp := f
+		cp.Samples = append([]uint16(nil), f.Samples...)
+		run = append(run, cp)
+	}
+	// Frames 1..3 lost; frame 4 closes the gap at {500, 200}.
+	late, err := comm.EncodeFrame(comm.Frame{Seq: 4, SampleBits: 10, Samples: []uint16{500, 200}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rx.Receive(late); err != nil {
+		t.Fatal(err)
+	}
+	if len(run) != 3 {
+		t.Fatalf("concealed run of %d frames, want 3", len(run))
+	}
+	// Channel 0 climbs 100→500, channel 1 falls 1000→200, in quarters.
+	wantCh0 := []uint16{200, 300, 400}
+	wantCh1 := []uint16{800, 600, 400}
+	for i, f := range run {
+		if f.Flags&comm.FlagConcealed == 0 {
+			t.Errorf("run frame %d not flagged concealed", i)
+		}
+		if f.Seq != uint32(1+i) {
+			t.Errorf("run frame %d has seq %d, want %d", i, f.Seq, 1+i)
+		}
+		if f.Samples[0] != wantCh0[i] || f.Samples[1] != wantCh1[i] {
+			t.Errorf("run frame %d samples %v, want [%d %d]",
+				i, f.Samples, wantCh0[i], wantCh1[i])
+		}
+	}
+	if frac := rx.Stats().ConcealedFraction(); frac <= 0 {
+		t.Errorf("concealed fraction %g, want positive", frac)
+	}
+}

@@ -303,6 +303,49 @@ func (s Stats) ConcealedFraction() float64 {
 	return float64(s.Concealed) / float64(total)
 }
 
+// ReceiverState is a receiver's serializable mid-stream state: the
+// sequence cursor, per-cause accounting and the last accepted sample
+// vector (which concealment interpolates from). Retained history is
+// deliberately excluded — checkpointable pipelines run with
+// KeepSamples = 0, and history is a display convenience, not part of
+// the deterministic dataflow.
+type ReceiverState struct {
+	Started     bool
+	NextSeq     uint32
+	Stats       Stats
+	LastSamples []uint16
+}
+
+// Snapshot captures the receiver's mid-stream state.
+func (r *Receiver) Snapshot() ReceiverState {
+	return ReceiverState{
+		Started:     r.started,
+		NextSeq:     r.nextSeq,
+		Stats:       r.Stats(),
+		LastSamples: append([]uint16(nil), r.lastSamples...),
+	}
+}
+
+// RestoreState overwrites the receiver's mutable state so it continues
+// exactly where the snapshotted one stopped. Configuration fields
+// (KeepSamples, Concealment, MaxConcealGap, OnConcealed) are left as the
+// caller set them.
+func (r *Receiver) RestoreState(st ReceiverState) error {
+	if !st.Started && (st.NextSeq != 0 || len(st.LastSamples) != 0) {
+		return errors.New("wearable: unstarted receiver state carries a cursor")
+	}
+	r.started = st.Started
+	r.nextSeq = st.NextSeq
+	r.accepted = st.Stats.Accepted
+	r.corrupt = st.Stats.Corrupted
+	r.lost = st.Stats.LostSeq
+	r.stale = st.Stats.Stale
+	r.concealed = st.Stats.Concealed
+	r.concealedSm = st.Stats.ConcealedSamples
+	r.lastSamples = append(r.lastSamples[:0], st.LastSamples...)
+	return nil
+}
+
 // Stats returns the current accounting.
 func (r *Receiver) Stats() Stats {
 	return Stats{

@@ -46,6 +46,8 @@ import (
 	"mindful/internal/obs"
 	"mindful/internal/optimize"
 	"mindful/internal/sched"
+	"mindful/internal/serve"
+	"mindful/internal/serve/checkpoint"
 	"mindful/internal/snn"
 	"mindful/internal/soc"
 	"mindful/internal/thermal"
@@ -514,6 +516,72 @@ func NewSpikeEncoder(seed int64, maxRate float64) (*SpikeEncoder, error) {
 
 // SNNEnergyFromMAC derives the synaptic-event energy from a MAC step.
 func SNNEnergyFromMAC(macStep Energy) SNNEnergyModel { return snn.EnergyFromMAC(macStep) }
+
+// Serving: the streaming session gateway. Each session hosts one
+// steppable implant pipeline behind a JSON/HTTP control plane and a
+// length-prefixed binary TCP data plane with bounded subscriber queues
+// (drop-oldest backpressure, stall eviction). Sessions checkpoint to a
+// versioned binary blob and restore bit-identically.
+type (
+	// ServeConfig describes one gateway.
+	ServeConfig = serve.Config
+	// ServeServer is a running gateway.
+	ServeServer = serve.Server
+	// ServeSessionInfo is the control plane's view of one session.
+	ServeSessionInfo = serve.SessionInfo
+	// ServeRecord is one decoded data-plane record.
+	ServeRecord = serve.Record
+	// ServeLoadConfig describes one load-generation run.
+	ServeLoadConfig = serve.LoadConfig
+	// ServeLoadResult summarizes a load run (the BENCH_serve schema).
+	ServeLoadResult = serve.LoadResult
+	// SessionConfig configures one hosted pipeline session.
+	SessionConfig = checkpoint.SessionConfig
+	// Checkpoint is a decoded session snapshot.
+	Checkpoint = checkpoint.Checkpoint
+	// Pipeline is one steppable implant → modem → AWGN → wearable chain.
+	Pipeline = fleet.Pipeline
+	// PipelineState is a pipeline's full serializable state.
+	PipelineState = fleet.PipelineState
+)
+
+// NewServeServer returns an unstarted gateway; Start binds its planes.
+func NewServeServer(cfg ServeConfig) (*ServeServer, error) { return serve.New(cfg) }
+
+// ServeSubscribe opens a data-plane connection and subscribes to a
+// session; read records from the returned reader with ReadServeRecord.
+var ServeSubscribe = serve.Subscribe
+
+// ReadServeRecord reads one record from a subscribed stream; io.EOF
+// marks a clean end of stream.
+var ReadServeRecord = serve.ReadRecord
+
+// RunServeLoad executes a load scenario against a gateway (self-hosting
+// one when cfg.Server is nil) and returns its measurements.
+func RunServeLoad(cfg ServeLoadConfig) (*ServeLoadResult, error) { return serve.RunLoad(cfg) }
+
+// DefaultServeLoadConfig returns the BENCH_serve baseline scenario.
+func DefaultServeLoadConfig() ServeLoadConfig { return serve.DefaultLoadConfig() }
+
+// NewPipeline builds one steppable implant pipeline (implant idx of a
+// fleet configuration).
+func NewPipeline(cfg FleetConfig, idx, worker int) (*Pipeline, error) {
+	return fleet.NewPipeline(cfg, idx, worker)
+}
+
+// RestorePipeline rebuilds a pipeline from a snapshot taken under the
+// same configuration; it continues bit-identically.
+func RestorePipeline(cfg FleetConfig, st PipelineState) (*Pipeline, error) {
+	return fleet.RestorePipeline(cfg, st)
+}
+
+// EncodeCheckpoint serializes a session checkpoint to its versioned
+// binary form.
+func EncodeCheckpoint(cp Checkpoint) []byte { return checkpoint.Encode(cp) }
+
+// DecodeCheckpoint parses a checkpoint blob, rejecting malformed,
+// truncated or trailing bytes.
+func DecodeCheckpoint(buf []byte) (Checkpoint, error) { return checkpoint.Decode(buf) }
 
 // Lossless neural-data compression (the data-compressive IC approach).
 var (
