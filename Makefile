@@ -8,7 +8,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test check fmt vet race bench fuzz-smoke fault-smoke serve-smoke determinism clean
+.PHONY: all build test check fmt vet race bench fuzz-smoke fault-smoke serve-smoke decode-smoke determinism clean
 
 all: build
 
@@ -46,6 +46,8 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDeltaRiceDecode -fuzztime $(FUZZTIME) ./internal/dsp/
 	$(GO) test -run '^$$' -fuzz FuzzDeltaRiceRoundTrip -fuzztime $(FUZZTIME) ./internal/dsp/
 	$(GO) test -run '^$$' -fuzz FuzzCheckpointDecode -fuzztime $(FUZZTIME) ./internal/serve/checkpoint/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeCheckpointV2 -fuzztime $(FUZZTIME) ./internal/serve/checkpoint/
+	$(GO) test -run '^$$' -fuzz FuzzDecoderStep -fuzztime $(FUZZTIME) ./internal/decode/
 
 # Fault-injection smoke: the fault package's unit tests, the clean-path
 # digest pin (fault machinery disabled must stay byte-identical to the
@@ -63,7 +65,18 @@ serve-smoke:
 	$(GO) test -race -run 'TestServeSmoke|TestPauseResumeSnapshot|TestShutdownDrainsSnapshots' ./internal/serve/
 	$(GO) test -race -run 'TestCheckpointResume|TestRestoreContinuesBitIdentically' ./internal/fleet/ ./internal/serve/checkpoint/
 
-check: build vet fmt race fault-smoke serve-smoke fuzz-smoke
+# Decode smoke: a tiny fleet run per decoder kind, digest-chained — the
+# frame digest must be byte-identical with and without the decoder, the
+# decode digest worker-invariant, and a mid-run checkpoint must resume
+# bit-identically with decoder temporal state — plus the v1 golden blob
+# under the v2 codec and the gateway-layer decoded stream.
+decode-smoke:
+	$(GO) test -race -run 'TestDecode|TestCheckpointResumeWithDecoder|TestSessionDecoderDeterministic' ./internal/fleet/
+	$(GO) test -race -run 'TestGoldenV1|TestRoundTripWithDecoder|TestRestoreContinuesBitIdenticallyWithDecoder' ./internal/serve/checkpoint/
+	$(GO) test -race -run 'TestDecodedStream|TestGatewayRestoreWithDecoder|TestDefaultDecoderApplied' ./internal/serve/
+	$(GO) test -run 'TestResetEqualsFresh|TestDecoderStepZeroAlloc' ./internal/decode/
+
+check: build vet fmt race fault-smoke serve-smoke decode-smoke fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

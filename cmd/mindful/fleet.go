@@ -22,15 +22,17 @@ import (
 //	mindful fleet [-n N] [-workers K] [-ticks T] [-channels C] [-qam B]
 //	              [-ebn0 DB] [-seed S] [-scaling FILE]
 //	              [-faults I] [-arq N] [-fec D] [-conceal MODE]
-//	              [-fault-sweep FILE]
+//	              [-decoder NAME] [-decode-bin T] [-fault-sweep FILE]
 //
 // With -scaling FILE it additionally measures the 1/2/4/8-worker
 // throughput curve on the same configuration and writes it as JSON
 // (the BENCH_fleet.json schema). -faults I injects the default fault
 // profile scaled to intensity I; -arq/-fec/-conceal enable the recovery
-// stack. -fault-sweep FILE runs the degradation sweep over the default
-// intensity grid and writes the curve as JSON (the BENCH_fault.json
-// schema).
+// stack. -decoder attaches a kinematics decoder (kalman, wiener or dnn)
+// to every implant's wearable, binning received samples every
+// -decode-bin frames. -fault-sweep FILE runs the degradation sweep over
+// the default intensity grid and writes the curve as JSON (the
+// BENCH_fault.json schema).
 func runFleet() error {
 	fs := flag.NewFlagSet("fleet", flag.ContinueOnError)
 	n := fs.Int("n", 64, "number of implants")
@@ -45,6 +47,8 @@ func runFleet() error {
 	arqRetries := fs.Int("arq", 0, "ARQ retransmission budget per frame (0 = off)")
 	fecDepth := fs.Int("fec", 0, "Hamming(7,4) FEC interleaver depth (0 = off)")
 	conceal := fs.String("conceal", "none", "gap concealment: none, hold or interp")
+	decoder := fs.String("decoder", "none", "kinematics decoder: none, kalman, wiener or dnn")
+	decodeBin := fs.Int("decode-bin", 0, "frames per decoder observation bin (0 = default)")
 	faultSweep := fs.String("fault-sweep", "", "run the degradation sweep and write the curve to FILE")
 	if err := fs.Parse(flag.Args()[1:]); err != nil {
 		return fmt.Errorf("%w: %v", errUsage, err)
@@ -82,6 +86,11 @@ func runFleet() error {
 		p := fault.DefaultProfile().Scale(*faults)
 		cfg.Faults = &p
 	}
+	kind, err := fleet.ParseDecoderKind(*decoder)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	cfg.Decode = fleet.DecodeConfig{Kind: kind, BinTicks: *decodeBin}
 
 	if *faultSweep != "" {
 		return runFaultSweep(cfg, *faultSweep)
@@ -118,6 +127,10 @@ func runFleet() error {
 			agg.DeliveryRate(), agg.ConcealedFraction(), agg.EffectiveBER())
 		fmt.Printf("blanked %d  link-dropped %d  retransmits %d  recovered %d  arq-failed %d  fec-fixed %d  stale %d\n",
 			agg.Blanked, agg.LinkDropped, agg.Retransmits, agg.Recovered, agg.ARQFailed, agg.FECCorrected, agg.Stale)
+	}
+	if cfg.Decode.Enabled() {
+		fmt.Printf("decoder %s: %d steps  %d concealed bins  %d MACs  decode-digest %#016x\n",
+			cfg.Decode.Kind, agg.DecodedSteps, agg.DecodeConcealedBins, agg.DecodeMACs, agg.DecodeDigest)
 	}
 	fmt.Printf("%.0f frames/s over %s (GOMAXPROCS %d)\n",
 		agg.FramesPerSecond, agg.Elapsed.Round(time.Microsecond), runtime.GOMAXPROCS(0))

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"flag"
 	"io"
 	"os"
 	"path/filepath"
@@ -99,6 +100,37 @@ func TestObserveMetricsSnapshot(t *testing.T) {
 	}
 	if !strings.Contains(string(trace), `"name":"implant.tick"`) {
 		t.Errorf("trace snapshot missing implant.tick spans")
+	}
+}
+
+// runSubcommand parses argv as the top-level CLI would and runs the
+// named subcommand runner, returning its stdout.
+func runSubcommand(t *testing.T, fn func() error, argv ...string) string {
+	t.Helper()
+	if err := flag.CommandLine.Parse(argv); err != nil {
+		t.Fatal(err)
+	}
+	defer flag.CommandLine.Parse(nil)
+	return capture(t, fn)
+}
+
+// TestFleetDecoderFlag: `mindful fleet -decoder kalman` runs the decode
+// stage and reports its accounting; an unknown decoder name is a usage
+// error.
+func TestFleetDecoderFlag(t *testing.T) {
+	out := runSubcommand(t, runFleet,
+		"fleet", "-n", "2", "-ticks", "16", "-channels", "8", "-decoder", "kalman")
+	for _, want := range []string{"decoder kalman", "decode-digest"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet -decoder output missing %q:\n%s", want, out)
+		}
+	}
+	if err := flag.CommandLine.Parse([]string{"fleet", "-n", "2", "-decoder", "transformer"}); err != nil {
+		t.Fatal(err)
+	}
+	defer flag.CommandLine.Parse(nil)
+	if err := runFleet(); err == nil {
+		t.Fatal("unknown decoder name accepted")
 	}
 }
 

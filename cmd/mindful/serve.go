@@ -11,6 +11,7 @@ import (
 	"syscall"
 	"time"
 
+	"mindful/internal/fleet"
 	"mindful/internal/report"
 	"mindful/internal/serve"
 	"mindful/internal/serve/checkpoint"
@@ -20,11 +21,14 @@ import (
 //
 //	mindful serve [-ctl ADDR] [-stream ADDR] [-snapshot-dir DIR]
 //	              [-max-sessions N] [-queue N] [-stall D] [-tick-interval D]
+//	              [-decoder NAME]
 //
 // The control plane is JSON over HTTP on -ctl; the data plane streams
-// length-prefixed binary records on -stream. On shutdown every live
-// session is drained and (with -snapshot-dir) checkpointed so it can be
-// restored bit-identically.
+// length-prefixed binary records on -stream. -decoder (kalman, wiener
+// or dnn) attaches that decoder to every session that does not name one
+// itself; decoded kinematics stream to "SUB <id> decoded" subscribers.
+// On shutdown every live session is drained and (with -snapshot-dir)
+// checkpointed so it can be restored bit-identically.
 func runServe() error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	ctl := fs.String("ctl", "127.0.0.1:7600", "control-plane (HTTP) listen address")
@@ -34,19 +38,24 @@ func runServe() error {
 	queue := fs.Int("queue", serve.DefaultQueueDepth, "per-subscriber record queue depth")
 	stall := fs.Duration("stall", serve.DefaultStallTimeout, "evict a subscriber stalled this long (negative disables)")
 	tickInterval := fs.Duration("tick-interval", 0, "throttle every session's tick loop (0 = free-run)")
+	decoder := fs.String("decoder", "", "default kinematics decoder for new sessions: kalman, wiener or dnn")
 	if err := fs.Parse(flag.Args()[1:]); err != nil {
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	if _, err := fleet.ParseDecoderKind(*decoder); err != nil {
 		return fmt.Errorf("%w: %v", errUsage, err)
 	}
 
 	srv, err := serve.New(serve.Config{
-		ControlAddr:  *ctl,
-		StreamAddr:   *stream,
-		SnapshotDir:  *snapDir,
-		MaxSessions:  *maxSessions,
-		QueueDepth:   *queue,
-		StallTimeout: *stall,
-		TickInterval: *tickInterval,
-		Observer:     observer,
+		ControlAddr:    *ctl,
+		StreamAddr:     *stream,
+		SnapshotDir:    *snapDir,
+		MaxSessions:    *maxSessions,
+		QueueDepth:     *queue,
+		StallTimeout:   *stall,
+		TickInterval:   *tickInterval,
+		DefaultDecoder: *decoder,
+		Observer:       observer,
 	})
 	if err != nil {
 		return err
@@ -71,7 +80,7 @@ func runServe() error {
 // throughput and delivery latency as JSON (the BENCH_serve.json schema):
 //
 //	mindful loadgen [-sessions N] [-subs N] [-ticks T] [-channels C]
-//	                [-qam B] [-ebn0 DB] [-seed S] [-out FILE]
+//	                [-qam B] [-ebn0 DB] [-seed S] [-decoder NAME] [-out FILE]
 //
 // With no flags it runs the baseline 100 sessions × 2 subscribers × 100
 // frames against a self-hosted loopback gateway.
@@ -85,8 +94,12 @@ func runLoadgen() error {
 	qam := fs.Int("qam", def.Session.QAMBits, "QAM bits per symbol (0 = OOK)")
 	ebn0 := fs.Float64("ebn0", def.Session.EbN0dB, "AWGN operating point Eb/N0 [dB]")
 	seed := fs.Int64("seed", def.Session.Seed, "base seed (offset per session)")
+	decoder := fs.String("decoder", "", "attach a kinematics decoder to every session: kalman, wiener or dnn")
 	out := fs.String("out", "BENCH_serve.json", "write the load result as JSON to FILE")
 	if err := fs.Parse(flag.Args()[1:]); err != nil {
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	if _, err := fleet.ParseDecoderKind(*decoder); err != nil {
 		return fmt.Errorf("%w: %v", errUsage, err)
 	}
 
@@ -94,6 +107,7 @@ func runLoadgen() error {
 		Sessions:       *sessions,
 		SubsPerSession: *subs,
 		Ticks:          *ticks,
+		Decoder:        *decoder,
 		Session: checkpoint.SessionConfig{
 			Channels:     *channels,
 			SampleRateHz: def.Session.SampleRateHz,
@@ -114,6 +128,9 @@ func runLoadgen() error {
 	tb.AddRow("records received", fmt.Sprintf("%d", res.Records))
 	tb.AddRow("dropped frames", fmt.Sprintf("%d", res.Dropped))
 	tb.AddRow("evicted subscribers", fmt.Sprintf("%d", res.Evicted))
+	if *decoder != "" && *decoder != "none" {
+		tb.AddRow("decoded steps", fmt.Sprintf("%d", res.DecodedSteps))
+	}
 	tb.AddRow("elapsed", fmt.Sprintf("%.3f s", res.ElapsedSeconds))
 	tb.AddRow("sessions/s", fmt.Sprintf("%.1f", res.SessionsPerSec))
 	tb.AddRow("frames/s", fmt.Sprintf("%.0f", res.FramesPerSec))

@@ -1,0 +1,45 @@
+package decode
+
+import (
+	"testing"
+)
+
+// Decoders run inside the serving tick loop, so Step must be
+// allocation-free at steady state: every intermediate lives in scratch
+// reused across calls. These tests pin that property the same way the
+// comm and dsp Append* paths are pinned.
+
+func assertZeroAlloc(t *testing.T, name string, fn func()) {
+	t.Helper()
+	fn() // warm-up: build scratch to steady state
+	if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+		t.Errorf("%s: %.1f allocs/op at steady state, want 0", name, allocs)
+	}
+}
+
+func TestDecoderStepZeroAlloc(t *testing.T) {
+	states, obs := synthLinearSystem(t, 200, 8, 0.2, 10)
+	k, err := FitKalman(states, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg, err := k.SteadyStateGain(500, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := FitWiener(states, obs, 3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, d := range map[string]Decoder{
+		"Kalman": k, "FixedGain": fg, "Wiener": w,
+	} {
+		i := 0
+		assertZeroAlloc(t, name+".Step", func() {
+			if _, err := d.Step(obs[i%len(obs)]); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		})
+	}
+}

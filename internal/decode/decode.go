@@ -4,6 +4,14 @@
 // extraction and accuracy metrics. Each decoder reports its per-step
 // multiply-accumulate count so the power framework can compare linear
 // control algorithms against DNNs on equal terms.
+//
+// Decoders are built to run in the serving loop: Step is allocation-free
+// at steady state (scratch matrices are reused across calls, pinned by
+// alloc_test.go), rejects non-finite or mis-sized observations instead of
+// propagating NaNs, and the temporal state every decoder carries between
+// steps (Kalman x/P, Wiener lag ring) is exposed through State/RestoreState
+// pairs so a mid-stream decoder can be checkpointed and resumed
+// bit-identically.
 package decode
 
 import (
@@ -44,13 +52,30 @@ func BinSpikeCounts(spikeLog [][]int, nSamples, binSamples int) ([][]float64, er
 
 // Decoder maps one observation vector to one state estimate.
 type Decoder interface {
-	// Step consumes one observation and returns the state estimate.
+	// Step consumes one observation and returns the state estimate. The
+	// returned slice is owned by the decoder and overwritten by the next
+	// Step or Reset — callers that keep estimates must copy them.
 	Step(z []float64) ([]float64, error)
 	// Reset clears temporal state.
 	Reset()
 	// MACsPerStep returns the multiply-accumulate operations one Step
 	// executes, the quantity the power framework prices.
 	MACsPerStep() int
+}
+
+// checkObservation rejects mis-sized or non-finite observation vectors:
+// a NaN or Inf fed into a recursive filter poisons every later estimate,
+// so it must surface as an error at the boundary, never propagate.
+func checkObservation(z []float64, want int) error {
+	if len(z) != want {
+		return fmt.Errorf("decode: observation length %d != %d", len(z), want)
+	}
+	for i, v := range z {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("decode: non-finite observation[%d] = %v", i, v)
+		}
+	}
+	return nil
 }
 
 // Kalman is the standard BCI Kalman filter decoder: a linear-Gaussian
@@ -65,6 +90,52 @@ type Kalman struct {
 
 	x linalg.Matrix // ds×1 state estimate
 	p linalg.Matrix // ds×ds covariance
+
+	s kalmanScratch
+}
+
+// kalmanScratch holds every intermediate of one predict/update cycle so
+// Step allocates nothing at steady state.
+type kalmanScratch struct {
+	ready              bool
+	aT, hT             linalg.Matrix // cached transposes
+	xPred              linalg.Matrix // ds×1
+	pPred, dsds, imkh  linalg.Matrix // ds×ds
+	zm, innov, hxp     linalg.Matrix // do×1
+	sMat, sInv, doWork linalg.Matrix // do×do
+	dsdo, gain         linalg.Matrix // ds×do
+	dods               linalg.Matrix // do×ds
+	out                []float64
+}
+
+func (k *Kalman) ensureScratch() {
+	if k.s.ready {
+		return
+	}
+	ds, do := k.A.Rows, k.H.Rows
+	if k.x.Rows == 0 {
+		k.x = linalg.NewMatrix(ds, 1)
+		k.p = linalg.Identity(ds)
+	}
+	k.s = kalmanScratch{
+		ready:  true,
+		aT:     k.A.T(),
+		hT:     k.H.T(),
+		xPred:  linalg.NewMatrix(ds, 1),
+		pPred:  linalg.NewMatrix(ds, ds),
+		dsds:   linalg.NewMatrix(ds, ds),
+		imkh:   linalg.NewMatrix(ds, ds),
+		zm:     linalg.NewMatrix(do, 1),
+		innov:  linalg.NewMatrix(do, 1),
+		hxp:    linalg.NewMatrix(do, 1),
+		sMat:   linalg.NewMatrix(do, do),
+		sInv:   linalg.NewMatrix(do, do),
+		doWork: linalg.NewMatrix(do, do),
+		dsdo:   linalg.NewMatrix(ds, do),
+		gain:   linalg.NewMatrix(ds, do),
+		dods:   linalg.NewMatrix(do, ds),
+		out:    make([]float64, ds),
+	}
 }
 
 // FitKalman estimates the model matrices from training pairs: states[t] is
@@ -117,35 +188,83 @@ func residualCovariance(y, yHat linalg.Matrix) linalg.Matrix {
 	return diff.T().Mul(diff).Scale(1 / n)
 }
 
-// Step implements Decoder with one predict/update cycle.
+// Step implements Decoder with one predict/update cycle. All
+// intermediates live in reusable scratch, so a steady-state call
+// allocates nothing.
 func (k *Kalman) Step(z []float64) ([]float64, error) {
-	if len(z) != k.H.Rows {
-		return nil, fmt.Errorf("decode: observation length %d != %d", len(z), k.H.Rows)
+	if err := checkObservation(z, k.H.Rows); err != nil {
+		return nil, err
 	}
+	k.ensureScratch()
+	s := &k.s
 	// Predict.
-	xPred := k.A.Mul(k.x)
-	pPred := k.A.Mul(k.p).Mul(k.A.T()).Add(k.W)
+	linalg.MulInto(s.xPred, k.A, k.x)
+	linalg.MulInto(s.dsds, k.A, k.p)
+	linalg.MulInto(s.pPred, s.dsds, s.aT)
+	linalg.AddInto(s.pPred, s.pPred, k.W)
 	// Update.
-	zm := linalg.NewMatrix(len(z), 1)
-	copy(zm.Data, z)
-	innov := zm.Sub(k.H.Mul(xPred))
-	s := k.H.Mul(pPred).Mul(k.H.T()).Add(k.Q)
-	sInv, err := s.Inverse()
-	if err != nil {
+	copy(s.zm.Data, z)
+	linalg.MulInto(s.hxp, k.H, s.xPred)
+	linalg.SubInto(s.innov, s.zm, s.hxp)
+	linalg.MulInto(s.dods, k.H, s.pPred)
+	linalg.MulInto(s.sMat, s.dods, s.hT)
+	linalg.AddInto(s.sMat, s.sMat, k.Q)
+	if err := linalg.InverseInto(s.sInv, s.doWork, s.sMat); err != nil {
 		return nil, fmt.Errorf("decode: innovation covariance singular: %w", err)
 	}
-	gain := pPred.Mul(k.H.T()).Mul(sInv)
-	k.x = xPred.Add(gain.Mul(innov))
-	k.p = linalg.Identity(pPred.Rows).Sub(gain.Mul(k.H)).Mul(pPred)
-	out := make([]float64, k.x.Rows)
-	copy(out, k.x.Data)
-	return out, nil
+	linalg.MulInto(s.dsdo, s.pPred, s.hT)
+	linalg.MulInto(s.gain, s.dsdo, s.sInv)
+	linalg.MulInto(k.x, s.gain, s.innov)
+	linalg.AddInto(k.x, k.x, s.xPred)
+	linalg.MulInto(s.dsds, s.gain, k.H)
+	linalg.IdentityInto(s.imkh)
+	linalg.SubInto(s.imkh, s.imkh, s.dsds)
+	linalg.MulInto(k.p, s.imkh, s.pPred)
+	copy(s.out, k.x.Data)
+	return s.out, nil
 }
 
-// Reset implements Decoder.
+// Reset implements Decoder: the state estimate returns to zero and the
+// covariance to the identity prior — exactly the fresh-decoder state, the
+// property the Reset-equals-fresh regression test pins.
 func (k *Kalman) Reset() {
-	k.x = linalg.NewMatrix(k.A.Rows, 1)
-	k.p = linalg.Identity(k.A.Rows)
+	if k.x.Rows == 0 {
+		k.x = linalg.NewMatrix(k.A.Rows, 1)
+		k.p = linalg.Identity(k.A.Rows)
+		return
+	}
+	for i := range k.x.Data {
+		k.x.Data[i] = 0
+	}
+	linalg.IdentityInto(k.p)
+}
+
+// KalmanState is the filter's serializable temporal state: the estimate
+// and the error covariance (row-major).
+type KalmanState struct {
+	X []float64
+	P []float64
+}
+
+// State captures the filter's temporal state.
+func (k *Kalman) State() KalmanState {
+	k.ensureScratch()
+	return KalmanState{
+		X: append([]float64(nil), k.x.Data...),
+		P: append([]float64(nil), k.p.Data...),
+	}
+}
+
+// RestoreState overwrites the filter's temporal state.
+func (k *Kalman) RestoreState(st KalmanState) error {
+	ds := k.A.Rows
+	if len(st.X) != ds || len(st.P) != ds*ds {
+		return fmt.Errorf("decode: Kalman state dims %d/%d != %d/%d", len(st.X), len(st.P), ds, ds*ds)
+	}
+	k.ensureScratch()
+	copy(k.x.Data, st.X)
+	copy(k.p.Data, st.P)
+	return nil
 }
 
 // MACsPerStep implements Decoder: the dominant matrix products of one
@@ -186,24 +305,79 @@ func (k *Kalman) SteadyStateGain(maxIter int, tol float64) (*FixedGain, error) {
 type FixedGain struct {
 	A, H, K linalg.Matrix
 	x       linalg.Matrix
+
+	s fixedGainScratch
+}
+
+type fixedGainScratch struct {
+	ready             bool
+	xPred, corr       linalg.Matrix // ds×1
+	zm, innov, hxPred linalg.Matrix // do×1
+	out               []float64
+}
+
+func (f *FixedGain) ensureScratch() {
+	if f.s.ready {
+		return
+	}
+	ds, do := f.A.Rows, f.H.Rows
+	if f.x.Rows == 0 {
+		f.x = linalg.NewMatrix(ds, 1)
+	}
+	f.s = fixedGainScratch{
+		ready:  true,
+		xPred:  linalg.NewMatrix(ds, 1),
+		corr:   linalg.NewMatrix(ds, 1),
+		zm:     linalg.NewMatrix(do, 1),
+		innov:  linalg.NewMatrix(do, 1),
+		hxPred: linalg.NewMatrix(do, 1),
+		out:    make([]float64, ds),
+	}
 }
 
 // Step implements Decoder.
 func (f *FixedGain) Step(z []float64) ([]float64, error) {
-	if len(z) != f.H.Rows {
-		return nil, fmt.Errorf("decode: observation length %d != %d", len(z), f.H.Rows)
+	if err := checkObservation(z, f.H.Rows); err != nil {
+		return nil, err
 	}
-	xPred := f.A.Mul(f.x)
-	zm := linalg.NewMatrix(len(z), 1)
-	copy(zm.Data, z)
-	f.x = xPred.Add(f.K.Mul(zm.Sub(f.H.Mul(xPred))))
-	out := make([]float64, f.x.Rows)
-	copy(out, f.x.Data)
-	return out, nil
+	f.ensureScratch()
+	s := &f.s
+	linalg.MulInto(s.xPred, f.A, f.x)
+	copy(s.zm.Data, z)
+	linalg.MulInto(s.hxPred, f.H, s.xPred)
+	linalg.SubInto(s.innov, s.zm, s.hxPred)
+	linalg.MulInto(s.corr, f.K, s.innov)
+	linalg.AddInto(f.x, s.xPred, s.corr)
+	copy(s.out, f.x.Data)
+	return s.out, nil
 }
 
 // Reset implements Decoder.
-func (f *FixedGain) Reset() { f.x = linalg.NewMatrix(f.A.Rows, 1) }
+func (f *FixedGain) Reset() {
+	if f.x.Rows == 0 {
+		f.x = linalg.NewMatrix(f.A.Rows, 1)
+		return
+	}
+	for i := range f.x.Data {
+		f.x.Data[i] = 0
+	}
+}
+
+// State captures the decoder's temporal state (the estimate vector).
+func (f *FixedGain) State() []float64 {
+	f.ensureScratch()
+	return append([]float64(nil), f.x.Data...)
+}
+
+// RestoreState overwrites the decoder's temporal state.
+func (f *FixedGain) RestoreState(x []float64) error {
+	if len(x) != f.A.Rows {
+		return fmt.Errorf("decode: FixedGain state dim %d != %d", len(x), f.A.Rows)
+	}
+	f.ensureScratch()
+	copy(f.x.Data, x)
+	return nil
+}
 
 // MACsPerStep implements Decoder: A·x + H·x̂ + K·innovation.
 func (f *FixedGain) MACsPerStep() int {
@@ -217,7 +391,14 @@ type Wiener struct {
 	W    linalg.Matrix
 	Lags int
 
-	hist [][]float64
+	// ring is the lag history, newest-first from head: slot
+	// (head+l) mod Lags holds z_{t−l}. Unfilled slots are zero, matching
+	// the implicit zero-padding of a cold filter.
+	ring    []float64
+	head    int
+	filled  int
+	stacked []float64
+	out     []float64
 }
 
 // FitWiener fits a Wiener filter with the given number of lags by ridge
@@ -252,33 +433,87 @@ func FitWiener(states, obs [][]float64, lags int, ridge float64) (*Wiener, error
 	return &Wiener{W: wT.T(), Lags: lags}, nil
 }
 
-// Step implements Decoder.
-func (w *Wiener) Step(z []float64) ([]float64, error) {
-	do := w.W.Cols / w.Lags
-	if len(z) != do {
-		return nil, fmt.Errorf("decode: observation length %d != %d", len(z), do)
+func (w *Wiener) obsDim() int { return w.W.Cols / w.Lags }
+
+func (w *Wiener) ensureScratch() {
+	if w.ring == nil {
+		w.ring = make([]float64, w.W.Cols)
+		w.stacked = make([]float64, w.W.Cols)
+		w.out = make([]float64, w.W.Rows)
 	}
-	zc := make([]float64, len(z))
-	copy(zc, z)
-	w.hist = append([][]float64{zc}, w.hist...)
-	if len(w.hist) > w.Lags {
-		w.hist = w.hist[:w.Lags]
-	}
-	stacked := make([]float64, w.W.Cols)
-	for l, h := range w.hist {
-		copy(stacked[l*do:(l+1)*do], h)
-	}
-	return w.W.MulVec(stacked), nil
 }
 
-// Reset implements Decoder.
-func (w *Wiener) Reset() { w.hist = nil }
+// Step implements Decoder. The lag history lives in a fixed ring buffer,
+// so a steady-state call allocates nothing.
+func (w *Wiener) Step(z []float64) ([]float64, error) {
+	do := w.obsDim()
+	if err := checkObservation(z, do); err != nil {
+		return nil, err
+	}
+	w.ensureScratch()
+	// Rotate the ring back one slot and write the newest vector at head.
+	w.head = (w.head + w.Lags - 1) % w.Lags
+	copy(w.ring[w.head*do:(w.head+1)*do], z)
+	if w.filled < w.Lags {
+		w.filled++
+	}
+	for l := 0; l < w.Lags; l++ {
+		slot := (w.head + l) % w.Lags
+		copy(w.stacked[l*do:(l+1)*do], w.ring[slot*do:(slot+1)*do])
+	}
+	linalg.MulVecInto(w.out, w.W, w.stacked)
+	return w.out, nil
+}
+
+// Reset implements Decoder: the lag ring is zeroed and the fill cursor
+// rewound, so the next Step behaves exactly like a fresh decoder's first.
+func (w *Wiener) Reset() {
+	for i := range w.ring {
+		w.ring[i] = 0
+	}
+	w.head = 0
+	w.filled = 0
+}
+
+// WienerState is the filter's serializable temporal state: the lag
+// vectors, newest first (length ≤ Lags · obsDim).
+type WienerState struct {
+	// Lagged holds the filled history, newest vector first, flattened.
+	Lagged []float64
+}
+
+// State captures the lag history, newest vector first.
+func (w *Wiener) State() WienerState {
+	w.ensureScratch()
+	do := w.obsDim()
+	out := make([]float64, w.filled*do)
+	for l := 0; l < w.filled; l++ {
+		slot := (w.head + l) % w.Lags
+		copy(out[l*do:(l+1)*do], w.ring[slot*do:(slot+1)*do])
+	}
+	return WienerState{Lagged: out}
+}
+
+// RestoreState overwrites the lag history from a snapshot.
+func (w *Wiener) RestoreState(st WienerState) error {
+	do := w.obsDim()
+	if len(st.Lagged)%do != 0 || len(st.Lagged) > w.Lags*do {
+		return fmt.Errorf("decode: Wiener lag state length %d not a multiple of %d within %d lags",
+			len(st.Lagged), do, w.Lags)
+	}
+	w.ensureScratch()
+	w.Reset()
+	w.filled = len(st.Lagged) / do
+	copy(w.ring, st.Lagged)
+	return nil
+}
 
 // MACsPerStep implements Decoder.
 func (w *Wiener) MACsPerStep() int { return w.W.Rows * w.W.Cols }
 
 // Run feeds every observation through a decoder, returning the estimate
-// trajectory.
+// trajectory. Each returned row is a private copy (Step reuses its output
+// buffer).
 func Run(d Decoder, obs [][]float64) ([][]float64, error) {
 	out := make([][]float64, len(obs))
 	for i, z := range obs {
@@ -286,7 +521,7 @@ func Run(d Decoder, obs [][]float64) ([][]float64, error) {
 		if err != nil {
 			return nil, err
 		}
-		out[i] = x
+		out[i] = append([]float64(nil), x...)
 	}
 	return out, nil
 }

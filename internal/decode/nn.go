@@ -1,0 +1,95 @@
+package decode
+
+import (
+	"errors"
+	"fmt"
+
+	"mindful/internal/fixed"
+	"mindful/internal/nn"
+)
+
+// NNDecoder adapts a feed-forward network from internal/nn to the Decoder
+// interface: one observation vector in, one state estimate out. It is the
+// DNN arm of the paper's control-algorithm comparison (Section 2.3 vs
+// Section 5) — the same serving loop that steps a Kalman or Wiener
+// baseline can step a neural decoder and compare MAC budgets on equal
+// terms.
+//
+// With a fixed-point format set, every dense layer runs through
+// nn.QuantizedDense — the accelerator's 8-bit datapath model — instead of
+// the float engine, mirroring what an implanted inference ASIC computes.
+// The network is stateless between steps (its temporal context, if any,
+// lives in the caller's binning), so Reset has nothing to clear and
+// checkpointing needs no NN-side state.
+type NNDecoder struct {
+	net    *nn.Network
+	dense  []*nn.Dense // non-nil when the fixed-point path is usable
+	format fixed.Format
+	quant  bool
+	macs   int
+	in     int
+	out    []float64
+}
+
+// NewNNDecoder wraps a network whose input is a flat 1×n vector. A valid
+// fixed-point format routes inference through the quantized datapath;
+// the zero Format runs float64. The quantized path requires an all-dense
+// network (the MLP family BuildFromSpec produces).
+func NewNNDecoder(net *nn.Network, f fixed.Format) (*NNDecoder, error) {
+	if net == nil {
+		return nil, errors.New("decode: nil network")
+	}
+	if net.InCh != 1 {
+		return nil, fmt.Errorf("decode: NN decoder needs a flat input, got %d channels", net.InCh)
+	}
+	macs, err := net.TotalMACs()
+	if err != nil {
+		return nil, err
+	}
+	d := &NNDecoder{net: net, format: f, macs: macs, in: net.InLen}
+	if f != (fixed.Format{}) {
+		if !f.Valid() {
+			return nil, fmt.Errorf("decode: invalid fixed-point format %v", f)
+		}
+		for i, l := range net.Layers {
+			dl, ok := l.(*nn.Dense)
+			if !ok {
+				return nil, fmt.Errorf("decode: quantized NN decoder needs dense layers; layer %d is not", i)
+			}
+			d.dense = append(d.dense, dl)
+		}
+		d.quant = true
+	}
+	return d, nil
+}
+
+// Step implements Decoder.
+func (d *NNDecoder) Step(z []float64) ([]float64, error) {
+	if err := checkObservation(z, d.in); err != nil {
+		return nil, err
+	}
+	if d.quant {
+		cur := z
+		for i, l := range d.dense {
+			next, err := nn.QuantizedDense(l, cur, d.format)
+			if err != nil {
+				return nil, fmt.Errorf("decode: quantized layer %d: %w", i, err)
+			}
+			cur = next
+		}
+		d.out = append(d.out[:0], cur...)
+		return d.out, nil
+	}
+	res, err := d.net.Forward(nn.FromVector(z))
+	if err != nil {
+		return nil, err
+	}
+	d.out = append(d.out[:0], res.Data...)
+	return d.out, nil
+}
+
+// Reset implements Decoder; the network carries no temporal state.
+func (d *NNDecoder) Reset() {}
+
+// MACsPerStep implements Decoder.
+func (d *NNDecoder) MACsPerStep() int { return d.macs }

@@ -103,8 +103,8 @@ func mulQuantized(rows [][]fixed.Value, scale float64, vec []float64, f fixed.Fo
 // Step implements Decoder: x ← A·x + K·(z − H·A·x), entirely in the
 // quantized datapath.
 func (q *QuantizedFixedGain) Step(z []float64) ([]float64, error) {
-	if len(z) != q.obsDim {
-		return nil, fmt.Errorf("decode: observation length %d != %d", len(z), q.obsDim)
+	if err := checkObservation(z, q.obsDim); err != nil {
+		return nil, err
 	}
 	xPred := mulQuantized(q.a, q.aScale, q.x, q.Format)
 	zPred := mulQuantized(q.h, q.hScale, xPred, q.Format)

@@ -1,0 +1,327 @@
+package fleet
+
+import (
+	"testing"
+
+	"mindful/internal/decode"
+)
+
+// decodeKinds are the active decoder arms every decode test sweeps.
+var decodeKinds = []DecoderKind{DecoderKalman, DecoderWiener, DecoderDNN}
+
+// decodeConfig returns the full-stack checkpoint scenario with the given
+// decoder attached — faults, ARQ, FEC and concealment all on, so the
+// concealed-frame path into the decoder is exercised.
+func decodeConfig(kind DecoderKind) Config {
+	cfg := checkpointConfigs()["full-stack"]
+	cfg.Decode = DecodeConfig{Kind: kind}
+	return cfg
+}
+
+// TestDecodeFrameDigestInvariant: attaching a decode stage must not
+// change a single received frame byte — the decoder is purely
+// downstream of the link, on its own derived stream. This is the
+// refactor's central invariant: the stage graph with a decoder produces
+// byte-identical frame digests to the pre-refactor pipeline without one.
+func TestDecodeFrameDigestInvariant(t *testing.T) {
+	for name, base := range checkpointConfigs() {
+		t.Run(name, func(t *testing.T) {
+			ref, err := Run(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, kind := range decodeKinds {
+				cfg := base
+				cfg.Decode = DecodeConfig{Kind: kind}
+				got, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Digest != ref.Digest {
+					t.Fatalf("%v: frame digest %d != decoder-free %d", kind, got.Digest, ref.Digest)
+				}
+				if got.DecodedSteps == 0 {
+					t.Fatalf("%v: decoder never stepped", kind)
+				}
+				if got.DecodeDigest == ref.DecodeDigest {
+					t.Fatalf("%v: decode digest %d equals decoder-free value", kind, got.DecodeDigest)
+				}
+				if got.DecodeMACs == 0 {
+					t.Fatalf("%v: no MACs accounted", kind)
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeWorkerInvariance: the decode digest must be bit-identical
+// for every worker count, like the frame digest — decoder state is
+// per-implant and draw order never crosses implants.
+func TestDecodeWorkerInvariance(t *testing.T) {
+	for _, kind := range decodeKinds {
+		cfg := decodeConfig(kind)
+		cfg.Workers = 1
+		ref, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.DecodedSteps == 0 {
+			t.Fatalf("%v: decoder never stepped", kind)
+		}
+		for _, workers := range []int{2, 4} {
+			cfg.Workers = workers
+			got, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Digest != ref.Digest || got.DecodeDigest != ref.DecodeDigest {
+				t.Fatalf("%v workers=%d: digests %d/%d != %d/%d",
+					kind, workers, got.Digest, got.DecodeDigest, ref.Digest, ref.DecodeDigest)
+			}
+			if got.DecodedSteps != ref.DecodedSteps || got.DecodeConcealedBins != ref.DecodeConcealedBins {
+				t.Fatalf("%v workers=%d: decode accounting diverged", kind, workers)
+			}
+		}
+	}
+}
+
+// TestDecodeConcealedBins: under the full fault stack with concealment,
+// some bins must contain concealed frames — the concealment-aware path
+// through the receiver's hook is live, not dead code.
+func TestDecodeConcealedBins(t *testing.T) {
+	agg, err := Run(decodeConfig(DecoderKalman))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Concealed == 0 {
+		t.Skip("scenario produced no concealed frames")
+	}
+	if agg.DecodeConcealedBins == 0 {
+		t.Fatal("concealed frames occurred but no bin was marked concealed")
+	}
+}
+
+// TestCheckpointResumeWithDecoder: snapshot at K, restore, K more ticks
+// must equal the uninterrupted 2K run bit-for-bit — including the
+// decoder's temporal state (Kalman x/P, Wiener lag ring) and the partial
+// bin. This is the acceptance criterion at the fleet layer.
+func TestCheckpointResumeWithDecoder(t *testing.T) {
+	const k = 16
+	for _, kind := range decodeKinds {
+		cfg := decodeConfig(kind)
+		// An odd bin size relative to k leaves a partially filled bin at
+		// the snapshot point, so the mid-bin state is exercised too.
+		cfg.Decode.BinTicks = 3
+		for idx := 0; idx < cfg.Implants; idx++ {
+			ref, err := NewPipeline(cfg, idx, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stepN(t, ref, 2*k)
+			want := ref.Result()
+			ref.Close()
+			if want.DecodedSteps == 0 {
+				t.Fatalf("%v implant %d: decoder never stepped in 2K ticks", kind, idx)
+			}
+
+			first, err := NewPipeline(cfg, idx, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stepN(t, first, k)
+			st, err := first.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			stepN(t, first, k)
+			if got := first.Result(); got != want {
+				t.Fatalf("%v implant %d: snapshot disturbed the pipeline:\n%+v\nwant %+v", kind, idx, got, want)
+			}
+			first.Close()
+
+			if st.Decode == nil {
+				t.Fatalf("%v: snapshot carries no decode state", kind)
+			}
+			resumed, err := RestorePipeline(cfg, st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stepN(t, resumed, k)
+			if got := resumed.Result(); got != want {
+				t.Fatalf("%v implant %d: resumed result\n%+v\nwant %+v", kind, idx, got, want)
+			}
+			resumed.Close()
+		}
+	}
+}
+
+// TestRestoreRejectsDecoderMismatch: decoder presence must match
+// between checkpoint and config in both directions.
+func TestRestoreRejectsDecoderMismatch(t *testing.T) {
+	cfg := decodeConfig(DecoderKalman)
+	p, err := NewPipeline(cfg, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepN(t, p, 8)
+	st, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+
+	noDec := cfg
+	noDec.Decode = DecodeConfig{}
+	if _, err := RestorePipeline(noDec, st); err == nil {
+		t.Fatal("restore without the decoder succeeded")
+	}
+
+	plain := noDec
+	q, err := NewPipeline(plain, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepN(t, q, 8)
+	st2, err := q.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	if _, err := RestorePipeline(cfg, st2); err == nil {
+		t.Fatal("restore of a decoder-free checkpoint under a decoder config succeeded")
+	}
+}
+
+// TestSessionDecoderDeterministic: the fitted decoder is a pure function
+// of (seed, index) — two builds step identically on the same input.
+func TestSessionDecoderDeterministic(t *testing.T) {
+	cfg := decodeConfig(DecoderKalman)
+	for _, kind := range decodeKinds {
+		cfg.Decode.Kind = kind
+		a, err := newSessionDecoder(cfg, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := newSessionDecoder(cfg, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		z := make([]float64, cfg.Channels)
+		for i := range z {
+			z[i] = 0.25 * float64(i%5)
+		}
+		for step := 0; step < 5; step++ {
+			xa, err := a.Step(z)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xb, err := b.Step(z)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range xa {
+				if xa[i] != xb[i] {
+					t.Fatalf("%v step %d: estimates diverge: %v vs %v", kind, step, xa, xb)
+				}
+			}
+		}
+	}
+}
+
+// TestStageListing: the graph is introspectable, and the decode stage
+// appears exactly when configured.
+func TestStageListing(t *testing.T) {
+	cfg := checkpointConfigs()["clean"]
+	p, err := NewPipeline(cfg, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	want := []string{"source", "transport", "receiver"}
+	got := p.Stages()
+	if len(got) != len(want) {
+		t.Fatalf("stages %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stages %v, want %v", got, want)
+		}
+	}
+
+	cfg.Decode = DecodeConfig{Kind: DecoderWiener}
+	q, err := NewPipeline(cfg, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if s := q.Stages(); len(s) != 4 || s[3] != "decode" {
+		t.Fatalf("decoder pipeline stages %v, want trailing decode", s)
+	}
+}
+
+// TestOnDecodeHook: the hook sees every decoder step, in tick order,
+// with the configured output dimensionality.
+func TestOnDecodeHook(t *testing.T) {
+	cfg := decodeConfig(DecoderWiener)
+	p, err := NewPipeline(cfg, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var ticks []int
+	p.OnDecode(func(tick int, estimate []float64, concealed int) {
+		if len(estimate) != intentDims {
+			t.Fatalf("estimate dims %d, want %d", len(estimate), intentDims)
+		}
+		if concealed < 0 {
+			t.Fatalf("negative concealed count %d", concealed)
+		}
+		ticks = append(ticks, tick)
+	})
+	stepN(t, p, cfg.Ticks)
+	if int64(len(ticks)) != p.Result().DecodedSteps {
+		t.Fatalf("hook fired %d times, %d steps accounted", len(ticks), p.Result().DecodedSteps)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] < ticks[i-1] {
+			t.Fatalf("hook ticks out of order: %v", ticks)
+		}
+	}
+}
+
+// TestParseDecoderKind covers the CLI spellings and round-trips.
+func TestParseDecoderKind(t *testing.T) {
+	for _, kind := range append([]DecoderKind{DecoderNone}, decodeKinds...) {
+		got, err := ParseDecoderKind(kind.String())
+		if err != nil || got != kind {
+			t.Fatalf("round-trip %v: got %v, %v", kind, got, err)
+		}
+	}
+	if _, err := ParseDecoderKind("lstm"); err == nil {
+		t.Fatal("unknown decoder accepted")
+	}
+	if k, err := ParseDecoderKind(""); err != nil || k != DecoderNone {
+		t.Fatalf("empty spelling: got %v, %v", k, err)
+	}
+}
+
+// TestNewSessionDecoderKinds: each kind yields a decoder of the
+// expected concrete type (the snapshot/restore type switch relies on
+// this mapping).
+func TestNewSessionDecoderKinds(t *testing.T) {
+	cfg := decodeConfig(DecoderKalman)
+	for kind, check := range map[DecoderKind]func(decode.Decoder) bool{
+		DecoderKalman: func(d decode.Decoder) bool { _, ok := d.(*decode.Kalman); return ok },
+		DecoderWiener: func(d decode.Decoder) bool { _, ok := d.(*decode.Wiener); return ok },
+		DecoderDNN:    func(d decode.Decoder) bool { _, ok := d.(*decode.NNDecoder); return ok },
+	} {
+		cfg.Decode.Kind = kind
+		d, err := newSessionDecoder(cfg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !check(d) {
+			t.Fatalf("%v: wrong concrete decoder type %T", kind, d)
+		}
+	}
+}

@@ -1,0 +1,348 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"mindful/internal/decode"
+	"mindful/internal/fixed"
+	"mindful/internal/nn"
+)
+
+// DecoderKind selects the control algorithm a pipeline's decode stage
+// runs — the paper's §2.3/§5 comparison axis (Kalman/Wiener baselines vs
+// a fixed-point DNN) inside one serving loop.
+type DecoderKind int
+
+// The decoder kinds.
+const (
+	// DecoderNone disables the decode stage; the pipeline stops at the
+	// wearable receiver, exactly as before decoders existed.
+	DecoderNone DecoderKind = iota
+	// DecoderKalman runs a full (time-varying gain) Kalman filter.
+	DecoderKalman
+	// DecoderWiener runs a lagged linear (Wiener) filter.
+	DecoderWiener
+	// DecoderDNN runs a small MLP through the 8-bit fixed-point
+	// datapath model — the implanted-ASIC inference arm.
+	DecoderDNN
+)
+
+// String returns the kind's CLI spelling.
+func (k DecoderKind) String() string {
+	switch k {
+	case DecoderNone:
+		return "none"
+	case DecoderKalman:
+		return "kalman"
+	case DecoderWiener:
+		return "wiener"
+	case DecoderDNN:
+		return "dnn"
+	}
+	return fmt.Sprintf("DecoderKind(%d)", int(k))
+}
+
+// ParseDecoderKind maps a CLI spelling to its kind.
+func ParseDecoderKind(s string) (DecoderKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "none", "off":
+		return DecoderNone, nil
+	case "kalman":
+		return DecoderKalman, nil
+	case "wiener":
+		return DecoderWiener, nil
+	case "dnn":
+		return DecoderDNN, nil
+	}
+	return DecoderNone, fmt.Errorf("fleet: unknown decoder %q (want none, kalman, wiener or dnn)", s)
+}
+
+// intentDims is the decoded state dimensionality: the 2-D intent
+// (cos θ, sin θ) every implant's generator is driven with.
+const intentDims = 2
+
+// DecodeConfig configures the optional decode stage.
+type DecodeConfig struct {
+	// Kind selects the decoder; DecoderNone (the zero value) disables
+	// the stage entirely.
+	Kind DecoderKind
+	// BinTicks is the number of frames (accepted or concealed) averaged
+	// into one decoder observation; 0 means 4.
+	BinTicks int
+	// Lags is the Wiener filter's lag depth; 0 means 3.
+	Lags int
+	// Hidden is the DNN decoder's hidden-layer width; 0 means 16.
+	Hidden int
+}
+
+// Enabled reports whether the config adds a decode stage.
+func (c DecodeConfig) Enabled() bool { return c.Kind != DecoderNone }
+
+// withDefaults fills the zero knobs.
+func (c DecodeConfig) withDefaults() DecodeConfig {
+	if c.BinTicks == 0 {
+		c.BinTicks = 4
+	}
+	if c.Lags == 0 {
+		c.Lags = 3
+	}
+	if c.Hidden == 0 {
+		c.Hidden = 16
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c DecodeConfig) Validate() error {
+	if c.Kind < DecoderNone || c.Kind > DecoderDNN {
+		return fmt.Errorf("fleet: unknown decoder kind %d", int(c.Kind))
+	}
+	if c.BinTicks < 0 {
+		return fmt.Errorf("fleet: negative decode bin %d", c.BinTicks)
+	}
+	if c.Lags < 0 {
+		return fmt.Errorf("fleet: negative decode lags %d", c.Lags)
+	}
+	if c.Hidden < 0 {
+		return fmt.Errorf("fleet: negative decode hidden width %d", c.Hidden)
+	}
+	return nil
+}
+
+// newSessionDecoder builds implant idx's decoder. Everything is a pure
+// function of (seed, index): the calibration set is synthesized from the
+// same intent trajectory the generator follows, observed through random
+// per-channel tuning gains drawn from the implant's StreamDecode stream,
+// so a restored session refits the identical decoder.
+func newSessionDecoder(cfg Config, idx int) (decode.Decoder, error) {
+	dc := cfg.Decode.withDefaults()
+	rng := rand.New(rand.NewSource(DeriveSeed(cfg.Seed, uint64(idx), StreamDecode)))
+	ch := cfg.Channels
+
+	if dc.Kind == DecoderDNN {
+		net, err := nn.NewNetwork(1, ch,
+			nn.RandDense(rng, ch, dc.Hidden, nn.ReLU),
+			nn.RandDense(rng, dc.Hidden, intentDims, nn.Identity))
+		if err != nil {
+			return nil, err
+		}
+		return decode.NewNNDecoder(net, fixed.Q4_3)
+	}
+
+	// Linear decoders are fit on a synthetic calibration pass: intent
+	// states x_t on the unit circle (period 200, as the pipeline drives
+	// them) observed as z = G·x + noise through random tuning gains.
+	const calTicks = 192
+	gains := make([]float64, ch*intentDims)
+	for i := range gains {
+		gains[i] = 2*rng.Float64() - 1
+	}
+	states := make([][]float64, calTicks)
+	obs := make([][]float64, calTicks)
+	for t := 0; t < calTicks; t++ {
+		theta := 2 * math.Pi * float64(t) / 200
+		x := []float64{math.Cos(theta), math.Sin(theta)}
+		z := make([]float64, ch)
+		for c := 0; c < ch; c++ {
+			z[c] = gains[c*intentDims]*x[0] + gains[c*intentDims+1]*x[1] + 0.05*rng.NormFloat64()
+		}
+		states[t], obs[t] = x, z
+	}
+	switch dc.Kind {
+	case DecoderKalman:
+		return decode.FitKalman(states, obs)
+	case DecoderWiener:
+		return decode.FitWiener(states, obs, dc.Lags, 1e-3)
+	}
+	return nil, fmt.Errorf("fleet: unknown decoder kind %d", int(dc.Kind))
+}
+
+// decodeStage closes the loop the wearable left open: accepted and
+// concealed frames are binned into per-channel mean rates (normalized to
+// the ADC's ±1 span) and each full bin is stepped through the session's
+// decoder. Concealed frames enter the bin in arrival order — the
+// receiver synthesizes them, via OnConcealed, before the accepted frame
+// that revealed the gap — so the decode digest is as schedule-free as
+// the frame digest. The decoder's output digest is kept separate from
+// the frame digest: a pipeline with a decoder produces byte-identical
+// frame digests to one without.
+type decodeStage struct {
+	cfg      DecodeConfig // defaults applied
+	dec      decode.Decoder
+	channels int
+	maxCode  float64
+	tk       *Tick // the pipeline's shared tick record
+
+	binSums      []float64
+	obsBuf       []float64
+	binCount     int
+	binConcealed int
+
+	steps         int64
+	concealedBins int64
+	macs          int64
+	digest        uint64
+	err           error
+
+	onDecode func(tick int, estimate []float64, concealed int)
+}
+
+func newDecodeStage(cfg Config, idx int, tk *Tick) (*decodeStage, error) {
+	dec, err := newSessionDecoder(cfg, idx)
+	if err != nil {
+		return nil, err
+	}
+	return &decodeStage{
+		cfg:      cfg.Decode.withDefaults(),
+		dec:      dec,
+		channels: cfg.Channels,
+		maxCode:  float64((uint32(1) << cfg.SampleBits) - 1),
+		tk:       tk,
+		binSums:  make([]float64, cfg.Channels),
+		obsBuf:   make([]float64, cfg.Channels),
+		digest:   fnvOffset,
+	}, nil
+}
+
+func (d *decodeStage) Name() string { return "decode" }
+
+// accumulate folds one frame's samples into the current bin, flushing a
+// full bin through the decoder. It is called both from Step (accepted
+// frames) and from the receiver's OnConcealed hook (synthesized gap
+// frames, which arrive first).
+func (d *decodeStage) accumulate(samples []uint16, concealed bool) {
+	if d.err != nil {
+		return
+	}
+	if len(samples) != d.channels {
+		d.err = fmt.Errorf("fleet: decode stage got %d samples, want %d", len(samples), d.channels)
+		return
+	}
+	for c, s := range samples {
+		d.binSums[c] += 2*float64(s)/d.maxCode - 1
+	}
+	d.binCount++
+	if concealed {
+		d.binConcealed++
+	}
+	if d.binCount >= d.cfg.BinTicks {
+		d.flush()
+	}
+}
+
+// flush steps the decoder on the bin mean and folds the estimate into
+// the decode digest.
+func (d *decodeStage) flush() {
+	n := float64(d.binCount)
+	for c := range d.obsBuf {
+		d.obsBuf[c] = d.binSums[c] / n
+	}
+	x, err := d.dec.Step(d.obsBuf)
+	if err != nil {
+		d.err = err
+		return
+	}
+	d.steps++
+	d.macs += int64(d.dec.MACsPerStep())
+	if d.binConcealed > 0 {
+		d.concealedBins++
+	}
+	for _, v := range x {
+		bits := math.Float64bits(v)
+		for shift := 56; shift >= 0; shift -= 8 {
+			d.digest = (d.digest ^ (bits >> uint(shift) & 0xFF)) * fnvPrime
+		}
+	}
+	if d.onDecode != nil {
+		d.onDecode(d.tk.N, x, d.binConcealed)
+	}
+	for c := range d.binSums {
+		d.binSums[c] = 0
+	}
+	d.binCount, d.binConcealed = 0, 0
+}
+
+func (d *decodeStage) Step(tk *Tick) error {
+	// Concealed frames were already accumulated during the receiver
+	// stage's Step (the OnConcealed hook fires inside Receive); only the
+	// accepted frame remains.
+	if tk.RxOK {
+		d.accumulate(tk.RxFrame.Samples, false)
+	}
+	return d.err
+}
+
+// DecodeState is the decode stage's serializable mid-run state: the
+// partial bin, the accounting, and the decoder's temporal state (kind
+// dependent — the DNN is stateless between steps).
+type DecodeState struct {
+	// BinSums is the partial bin's per-channel sum; BinCount the frames
+	// accumulated so far and BinConcealed how many were synthesized.
+	BinSums      []float64
+	BinCount     int
+	BinConcealed int
+
+	// Steps, ConcealedBins and MACs are the running decode counters;
+	// Digest the FNV-1a hash over every decoded estimate.
+	Steps         int64
+	ConcealedBins int64
+	MACs          int64
+	Digest        uint64
+
+	// KalmanX/KalmanP carry the Kalman estimate and covariance;
+	// WienerLag the lag history, newest vector first. Unused fields are
+	// nil for the other kinds.
+	KalmanX   []float64
+	KalmanP   []float64
+	WienerLag []float64
+}
+
+func (d *decodeStage) Snapshot(st *PipelineState) {
+	ds := &DecodeState{
+		BinSums:       append([]float64(nil), d.binSums...),
+		BinCount:      d.binCount,
+		BinConcealed:  d.binConcealed,
+		Steps:         d.steps,
+		ConcealedBins: d.concealedBins,
+		MACs:          d.macs,
+		Digest:        d.digest,
+	}
+	switch dec := d.dec.(type) {
+	case *decode.Kalman:
+		ks := dec.State()
+		ds.KalmanX, ds.KalmanP = ks.X, ks.P
+	case *decode.Wiener:
+		ds.WienerLag = dec.State().Lagged
+	}
+	st.Decode = ds
+}
+
+func (d *decodeStage) Restore(cfg Config, st *PipelineState) error {
+	ds := st.Decode
+	if ds == nil {
+		return errors.New("fleet: checkpoint carries no decoder state but config enables a decoder")
+	}
+	if len(ds.BinSums) != d.channels {
+		return fmt.Errorf("fleet: decode bin width %d does not match %d channels", len(ds.BinSums), d.channels)
+	}
+	if ds.BinCount < 0 || ds.BinCount >= d.cfg.BinTicks || ds.BinConcealed < 0 || ds.BinConcealed > ds.BinCount {
+		return fmt.Errorf("fleet: decode bin fill %d/%d invalid for bin of %d", ds.BinConcealed, ds.BinCount, d.cfg.BinTicks)
+	}
+	copy(d.binSums, ds.BinSums)
+	d.binCount, d.binConcealed = ds.BinCount, ds.BinConcealed
+	d.steps, d.concealedBins = ds.Steps, ds.ConcealedBins
+	d.macs, d.digest = ds.MACs, ds.Digest
+	switch dec := d.dec.(type) {
+	case *decode.Kalman:
+		return dec.RestoreState(decode.KalmanState{X: ds.KalmanX, P: ds.KalmanP})
+	case *decode.Wiener:
+		return dec.RestoreState(decode.WienerState{Lagged: ds.WienerLag})
+	}
+	return nil
+}
+
+func (d *decodeStage) Close() {}

@@ -73,6 +73,10 @@ type Config struct {
 	// Concealment selects the wearable's gap-concealment strategy for
 	// frames lost to drops, brownouts or exhausted retries.
 	Concealment wearable.Concealment
+	// Decode optionally closes the loop with a per-implant decoder fed
+	// concealment-aware binned rates; the zero value stops the pipeline
+	// at the wearable, byte-identical to the decoder-free run.
+	Decode DecodeConfig
 }
 
 // DefaultConfig returns a small fleet at a noisy but workable operating
@@ -125,6 +129,9 @@ func (c Config) Validate() error {
 	if c.FECDepth < 0 {
 		return fmt.Errorf("fleet: negative FEC depth %d", c.FECDepth)
 	}
+	if err := c.Decode.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -171,6 +178,16 @@ type ImplantResult struct {
 	// Digest is an FNV-1a hash over every received frame byte, in tick
 	// order — the byte-identity witness of the determinism tests.
 	Digest uint64
+	// DecodedSteps, DecodeConcealedBins and DecodeMACs are the decode
+	// stage's accounting: decoder steps taken, bins containing at least
+	// one concealed frame, and multiply-accumulates spent. All zero
+	// without a decoder.
+	DecodedSteps        int64
+	DecodeConcealedBins int64
+	DecodeMACs          int64
+	// DecodeDigest is an FNV-1a hash over every decoded estimate, the
+	// decode-path analogue of Digest (0 without a decoder).
+	DecodeDigest uint64
 	// Err is the first pipeline error, if any.
 	Err error
 }
@@ -203,14 +220,22 @@ type Aggregate struct {
 	DataBits         int64
 	DataBitErrors    int64
 
+	// Decode-stage accounting, summed over implants (zero without a
+	// decoder).
+	DecodedSteps        int64
+	DecodeConcealedBins int64
+	DecodeMACs          int64
+
 	// BER is the measured uplink bit error rate; FER the frame error rate
 	// at the receiver.
 	BER float64
 	FER float64
 
 	// Digest chains the per-implant digests in index order — equal
-	// digests mean byte-identical fleet output.
-	Digest uint64
+	// digests mean byte-identical fleet output. DecodeDigest chains the
+	// per-implant decode digests the same way (0 without a decoder).
+	Digest       uint64
+	DecodeDigest uint64
 
 	// Elapsed and FramesPerSecond describe this run's wall-clock
 	// performance; they are the only non-deterministic fields.
@@ -294,6 +319,9 @@ func Run(cfg Config) (*Aggregate, error) {
 		Elapsed:    elapsed,
 		PerImplant: results,
 	}
+	if cfg.Decode.Enabled() {
+		agg.DecodeDigest = fnvOffset
+	}
 	for i := range results {
 		r := &results[i]
 		if r.Err != nil {
@@ -318,8 +346,16 @@ func Run(cfg Config) (*Aggregate, error) {
 		agg.FaultyChannels += r.FaultyChannels
 		agg.DataBits += r.DataBits
 		agg.DataBitErrors += r.DataBitErrors
+		agg.DecodedSteps += r.DecodedSteps
+		agg.DecodeConcealedBins += r.DecodeConcealedBins
+		agg.DecodeMACs += r.DecodeMACs
 		for shift := 56; shift >= 0; shift -= 8 {
 			agg.Digest = (agg.Digest ^ (r.Digest >> shift & 0xFF)) * fnvPrime
+		}
+		if cfg.Decode.Enabled() {
+			for shift := 56; shift >= 0; shift -= 8 {
+				agg.DecodeDigest = (agg.DecodeDigest ^ (r.DecodeDigest >> shift & 0xFF)) * fnvPrime
+			}
 		}
 	}
 	if agg.BitsSent > 0 {
@@ -366,6 +402,14 @@ func runImplant(cfg Config, idx, worker int) ImplantResult {
 		reg.Counter("fleet_arq_recovered_total", lbl).Add(res.Recovered)
 		reg.Counter("fleet_fec_corrected_bits_total", lbl).Add(res.FECCorrected)
 		reg.Counter("fleet_frames_concealed_total", lbl).Add(res.Concealed)
+		if cfg.Decode.Enabled() {
+			reg.Counter("fleet_decode_steps_total", lbl).Add(res.DecodedSteps)
+			reg.Counter("fleet_decode_concealed_bins_total", lbl).Add(res.DecodeConcealedBins)
+			reg.Counter("fleet_decode_macs_total", lbl).Add(res.DecodeMACs)
+			reg.Help("fleet_decode_steps_total", "Decoder steps taken by the shard's implants.")
+			reg.Help("fleet_decode_concealed_bins_total", "Decoder bins containing at least one concealed frame.")
+			reg.Help("fleet_decode_macs_total", "Multiply-accumulates spent by the shard's decoders.")
+		}
 		reg.Help("fleet_frames_total", "Frames transmitted by the shard's implants.")
 		reg.Help("fleet_frames_accepted_total", "Frames accepted by the wearable receiver.")
 		reg.Help("fleet_frames_corrupt_total", "Frames rejected as corrupt after the noisy link.")

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	mathbits "math/bits"
 
 	"mindful/internal/comm"
 	"mindful/internal/fault"
@@ -13,17 +12,20 @@ import (
 )
 
 // Pipeline is one implant's full dataflow — synthetic cortex → ADC →
-// frame → bits → (FEC) → symbols → AWGN → bits → frame → wearable —
-// exposed one tick at a time. Run drives a fleet of these to completion;
-// the serve gateway steps them under session control, pausing, resuming
-// and checkpointing mid-stream.
+// frame → bits → (FEC) → symbols → AWGN → bits → frame → wearable →
+// (decoder) — exposed one tick at a time. Run drives a fleet of these to
+// completion; the serve gateway steps them under session control,
+// pausing, resuming and checkpointing mid-stream.
 //
-// A Pipeline stepped N times produces byte-for-byte the counters and
-// digest of runImplant over N ticks: the tick loop below is the same
-// code, and every random draw comes from the same derived streams in the
-// same order. Snapshot/RestorePipeline extend that guarantee across a
-// serialization boundary — a restored pipeline continues the exact draw
-// sequences, so checkpoint/resume is invisible to the digest.
+// Internally the dataflow is a stage graph: source → transport →
+// receiver → (decode), each a Stage sharing one Tick record per step.
+// The builder assembles the graph so that every random draw comes from
+// the same derived streams in the same order as the original hardwired
+// pipeline — a Pipeline stepped N times produces byte-for-byte the
+// counters and digest of runImplant over N ticks, with or without a
+// decode stage attached. Snapshot/RestorePipeline extend that guarantee
+// across a serialization boundary: a restored pipeline continues the
+// exact draw sequences, so checkpoint/resume is invisible to the digest.
 //
 // A Pipeline is not safe for concurrent use; Close returns its pooled
 // buffers and must be called exactly once when done.
@@ -31,33 +33,15 @@ type Pipeline struct {
 	cfg  Config
 	tick int
 	res  ImplantResult
+	tk   Tick
 
-	gen     *neural.Generator
-	adc     neural.ADC
-	pkt     *comm.Packetizer
-	modem   comm.Modem
-	channel *comm.AWGNChannel
-	rx      *wearable.Receiver
-	link    *fault.BurstLink
-	elec    *fault.ElectrodeBank
-	brown   *fault.Brownout
-	fec     *comm.FEC
-	arq     *comm.ARQ
+	stages []Stage
+	src    *sourceStage
+	trans  *transportStage
+	recv   *receiverStage
+	dec    *decodeStage // nil without a decoder
 
-	k     int
-	phase float64
-
-	framePtr, rxFramePtr *[]byte
-	bitPtr, rxBitPtr     *[]byte
-	symPtr               *[]comm.Symbol
-	codedPtr, decPtr     *[]byte
-	linkPtr              *[]byte
-	sampleBuf            []float64
-	codeBuf              []uint16
-	finalBuf             []byte
-	closed               bool
-
-	onDeliver func(tick int, data []byte, accepted bool)
+	closed bool
 }
 
 // neuralConfig derives implant idx's neural source configuration.
@@ -67,6 +51,14 @@ func neuralConfig(cfg Config, idx int) neural.Config {
 	ncfg.SampleRate = cfg.SampleRate
 	ncfg.Seed = DeriveSeed(cfg.Seed, uint64(idx), StreamNeural)
 	return ncfg
+}
+
+// intentAt returns the 2-D intent the generator is driven with at tick
+// t: a point on the unit circle with period 200, phase-offset per
+// implant.
+func intentAt(phase float64, t int) (float64, float64) {
+	theta := phase + 2*math.Pi*float64(t)/200
+	return math.Cos(theta), math.Sin(theta)
 }
 
 // NewPipeline builds implant idx's pipeline under the fleet config.
@@ -82,29 +74,33 @@ func NewPipeline(cfg Config, idx, worker int) (*Pipeline, error) {
 	p := &Pipeline{
 		cfg: cfg,
 		res: ImplantResult{Index: idx, Worker: worker, Digest: fnvOffset},
-		// Golden-angle phase offset decorrelates the implants' intent
-		// trajectories without extra randomness.
-		phase: 2 * math.Pi * 0.381966 * float64(idx),
 	}
 
+	// Golden-angle phase offset decorrelates the implants' intent
+	// trajectories without extra randomness.
+	src := &sourceStage{phase: 2 * math.Pi * 0.381966 * float64(idx)}
 	gen, err := neural.New(neuralConfig(cfg, idx))
 	if err != nil {
 		return nil, err
 	}
-	p.gen = gen
-	p.adc = neural.ADC{Bits: cfg.SampleBits, FullScale: 2.0}
-	if p.pkt, err = comm.NewPacketizer(cfg.SampleBits); err != nil {
+	src.gen = gen
+	src.adc = neural.ADC{Bits: cfg.SampleBits, FullScale: 2.0}
+	if src.pkt, err = comm.NewPacketizer(cfg.SampleBits); err != nil {
 		return nil, err
 	}
-	if p.modem, err = comm.NewModem(cfg.Modulation); err != nil {
+
+	trans := &transportStage{}
+	if trans.modem, err = comm.NewModem(cfg.Modulation); err != nil {
 		return nil, err
 	}
-	p.channel = comm.NewAWGNChannel(math.Pow(10, cfg.EbN0dB/10),
+	trans.channel = comm.NewAWGNChannel(math.Pow(10, cfg.EbN0dB/10),
 		DeriveSeed(cfg.Seed, uint64(idx), StreamChannel))
-	if p.rx, err = wearable.NewReceiver(0); err != nil {
+
+	recv := &receiverStage{}
+	if recv.rx, err = wearable.NewReceiver(0); err != nil {
 		return nil, err
 	}
-	p.rx.Concealment = cfg.Concealment
+	recv.rx.Concealment = cfg.Concealment
 
 	// Fault processes, each on its own derived stream so the injected
 	// history is a pure function of (seed, index) — never of scheduling.
@@ -117,37 +113,61 @@ func NewPipeline(cfg Config, idx, worker int) (*Pipeline, error) {
 			return nil, err
 		}
 		if inj != nil {
-			p.link, p.elec, p.brown = inj.Link, inj.Electrodes, inj.Brownout
-			p.res.FaultyChannels = p.elec.FaultyChannels()
+			trans.link, src.elec, src.brown = inj.Link, inj.Electrodes, inj.Brownout
+			p.res.FaultyChannels = src.elec.FaultyChannels()
 		}
 	}
 	if cfg.FECDepth > 0 {
-		if p.fec, err = comm.NewFEC(cfg.FECDepth); err != nil {
+		if trans.fec, err = comm.NewFEC(cfg.FECDepth); err != nil {
 			return nil, err
 		}
 	}
 	if cfg.ARQ.Enabled() {
-		if p.arq, err = comm.NewARQ(cfg.ARQ); err != nil {
+		if trans.arq, err = comm.NewARQ(cfg.ARQ); err != nil {
 			return nil, err
 		}
 	}
 
 	// Pooled buffers: the tick path is allocation-free once these have
 	// grown to steady-state capacity. Close returns them.
-	p.framePtr = comm.GetByteBuf()
-	p.rxFramePtr = comm.GetByteBuf()
-	p.bitPtr = comm.GetBitBuf()
-	p.rxBitPtr = comm.GetBitBuf()
-	p.symPtr = comm.GetSymbolBuf()
-	if p.fec != nil {
-		p.codedPtr = comm.GetBitBuf()
-		p.decPtr = comm.GetBitBuf()
+	src.framePtr = comm.GetByteBuf()
+	trans.rxFramePtr = comm.GetByteBuf()
+	trans.bitPtr = comm.GetBitBuf()
+	trans.rxBitPtr = comm.GetBitBuf()
+	trans.symPtr = comm.GetSymbolBuf()
+	if trans.fec != nil {
+		trans.codedPtr = comm.GetBitBuf()
+		trans.decPtr = comm.GetBitBuf()
 	}
-	if p.link != nil {
-		p.linkPtr = comm.GetByteBuf()
+	if trans.link != nil {
+		trans.linkPtr = comm.GetByteBuf()
 	}
-	p.k = p.modem.BitsPerSymbol()
+	trans.k = trans.modem.BitsPerSymbol()
+
+	p.src, p.trans, p.recv = src, trans, recv
+	p.stages = []Stage{src, trans, recv}
+	if cfg.Decode.Enabled() {
+		dec, err := newDecodeStage(cfg, idx, &p.tk)
+		if err != nil {
+			return nil, err
+		}
+		// Concealed gap frames reach the decoder through the receiver's
+		// hook, in synthesis order, ahead of the accepted frame.
+		recv.rx.OnConcealed = func(f comm.Frame) { dec.accumulate(f.Samples, true) }
+		p.dec = dec
+		p.stages = append(p.stages, dec)
+	}
 	return p, nil
+}
+
+// Stages returns the stage names in step order — the pipeline's graph
+// as built.
+func (p *Pipeline) Stages() []string {
+	names := make([]string, len(p.stages))
+	for i, s := range p.stages {
+		names[i] = s.Name()
+	}
+	return names
 }
 
 // OnDeliver installs a hook called for every frame that reaches the
@@ -156,7 +176,18 @@ func NewPipeline(cfg Config, idx, worker int) (*Pipeline, error) {
 // recycled on the next tick — sinks must copy what they keep. Pass nil
 // to detach.
 func (p *Pipeline) OnDeliver(fn func(tick int, data []byte, accepted bool)) {
-	p.onDeliver = fn
+	p.recv.onDeliver = fn
+}
+
+// OnDecode installs a hook called for every decoder step: the tick the
+// bin completed on, the state estimate, and how many of the bin's
+// frames were concealed. The estimate slice is decoder-owned and reused
+// — sinks must copy what they keep. A no-op without a decode stage;
+// pass nil to detach.
+func (p *Pipeline) OnDecode(fn func(tick int, estimate []float64, concealed int)) {
+	if p.dec != nil {
+		p.dec.onDecode = fn
+	}
 }
 
 // Tick returns the number of ticks stepped so far.
@@ -172,110 +203,14 @@ func (p *Pipeline) Close() {
 		return
 	}
 	p.closed = true
-	comm.PutByteBuf(p.framePtr)
-	comm.PutByteBuf(p.rxFramePtr)
-	comm.PutBitBuf(p.bitPtr)
-	comm.PutBitBuf(p.rxBitPtr)
-	comm.PutSymbolBuf(p.symPtr)
-	if p.codedPtr != nil {
-		comm.PutBitBuf(p.codedPtr)
-		comm.PutBitBuf(p.decPtr)
-	}
-	if p.linkPtr != nil {
-		comm.PutByteBuf(p.linkPtr)
-	}
-}
-
-// attempt runs one full transmission: frame bits → (FEC) → symbols →
-// AWGN → demodulation → (FEC decode) → bytes → (burst link). It returns
-// the bytes that arrived at the wearable, or nil when the burst link
-// swallowed the frame whole. With every fault and coding stage disabled
-// it performs exactly the draws, in exactly the order, of the original
-// fault-free pipeline — the clean-path byte-identity invariant the
-// determinism wall pins.
-func (p *Pipeline) attempt() ([]byte, error) {
-	frame := *p.framePtr
-	raw := comm.AppendBytesAsBits((*p.bitPtr)[:0], frame)
-	*p.bitPtr = raw
-	tx := raw
-	codedLen := len(raw)
-	if p.fec != nil {
-		coded := p.fec.AppendEncode((*p.codedPtr)[:0], raw)
-		tx = coded
-		codedLen = len(coded)
-	}
-	// Pad to a symbol boundary; the pad is dropped after demodulation.
-	for len(tx)%p.k != 0 {
-		tx = append(tx, 0)
-	}
-	if p.fec != nil {
-		*p.codedPtr = tx
-	} else {
-		*p.bitPtr = tx
-	}
-	syms, merr := p.modem.AppendModulate((*p.symPtr)[:0], tx)
-	if merr != nil {
-		return nil, merr
-	}
-	*p.symPtr = syms
-	p.channel.TransmitInPlace(syms)
-	rxBits := p.modem.AppendDemodulate((*p.rxBitPtr)[:0], syms)
-	*p.rxBitPtr = rxBits
-	for i := range tx {
-		if tx[i] != rxBits[i] {
-			p.res.BitErrors++
-		}
-	}
-	p.res.BitsSent += int64(len(tx))
-
-	data := rxBits[:codedLen]
-	if p.fec != nil {
-		dec, fixed, derr := p.fec.AppendDecode((*p.decPtr)[:0], data)
-		if derr != nil {
-			return nil, derr
-		}
-		*p.decPtr = dec
-		p.res.FECCorrected += int64(fixed)
-		data = dec
-	}
-	rxFrame := comm.AppendBitsAsBytes((*p.rxFramePtr)[:0], data[:len(frame)*8])
-	*p.rxFramePtr = rxFrame
-	if p.link != nil {
-		out := p.link.AppendTransport((*p.linkPtr)[:0], rxFrame)
-		if out == nil {
-			p.res.LinkDropped++
-			return nil, nil
-		}
-		*p.linkPtr = out
-		rxFrame = out
-	}
-	return rxFrame, nil
-}
-
-// deliver hands the received bytes to the wearable, measures the
-// residual (post-FEC) payload errors, folds the bytes into the
-// determinism digest, and fires the OnDeliver hook.
-func (p *Pipeline) deliver(t int, got []byte) {
-	_, rerr := p.rx.Receive(got) // CRC-rejected frames are counted as corrupt
-	frame := *p.framePtr
-	p.res.DataBits += int64(len(frame) * 8)
-	for i, b := range frame {
-		if i < len(got) {
-			p.res.DataBitErrors += int64(mathbits.OnesCount8(b ^ got[i]))
-		} else {
-			p.res.DataBitErrors += 8
-		}
-	}
-	for _, b := range got {
-		p.res.Digest = (p.res.Digest ^ uint64(b)) * fnvPrime
-	}
-	if p.onDeliver != nil {
-		p.onDeliver(t, got, rerr == nil)
+	for _, s := range p.stages {
+		s.Close()
 	}
 }
 
 // Step advances the pipeline one tick: synthesize, digitize, frame and
-// (unless browned out) transmit with the configured recovery. Ticks are
+// (unless browned out) transmit with the configured recovery, stepping
+// each stage of the graph in order over a shared Tick record. Ticks are
 // unbounded — Config.Ticks is the planned run length Run enforces, not a
 // property of the pipeline.
 func (p *Pipeline) Step() error {
@@ -284,68 +219,11 @@ func (p *Pipeline) Step() error {
 	}
 	t := p.tick
 	p.tick++
-	theta := p.phase + 2*math.Pi*float64(t)/200
-	p.gen.SetIntent(math.Cos(theta), math.Sin(theta))
-	blanked := p.brown.Tick()
-	p.sampleBuf = p.gen.NextInto(p.sampleBuf)
-	p.elec.Apply(p.sampleBuf) // nil-safe: no-op without electrode faults
-	p.codeBuf = p.adc.AppendQuantize(p.codeBuf[:0], p.sampleBuf)
-	frame, err := p.pkt.AppendEncode((*p.framePtr)[:0], p.codeBuf)
-	if err != nil {
-		return err
-	}
-	*p.framePtr = frame
-	if blanked {
-		// Brownout: the frame was built (the sequence counter advanced)
-		// but the radio is dark; the wearable will see a sequence gap and
-		// conceal it if configured.
-		p.res.Blanked++
-		return nil
-	}
-	p.res.Frames++
-
-	if p.arq == nil {
-		got, aerr := p.attempt()
-		if aerr != nil {
-			return aerr
+	p.tk = Tick{N: t, Res: &p.res}
+	for _, s := range p.stages {
+		if err := s.Step(&p.tk); err != nil {
+			return err
 		}
-		if got != nil {
-			p.deliver(t, got)
-		}
-		return nil
-	}
-	// ARQ: retry until the frame decodes cleanly or the budget runs out.
-	// The wearable keeps the last bytes it heard, so an exhausted budget
-	// still surfaces the corrupt frame (counted as such) rather than
-	// silently vanishing.
-	air := len(frame) * 8
-	if p.fec != nil {
-		air = p.fec.CodedBits(air)
-	}
-	if rem := air % p.k; rem != 0 {
-		air += p.k - rem
-	}
-	haveFinal := false
-	var attemptErr error
-	p.arq.Send(frame, air, func([]byte) bool {
-		got, aerr := p.attempt()
-		if aerr != nil {
-			attemptErr = aerr
-			return false
-		}
-		if got == nil {
-			return false
-		}
-		p.finalBuf = append(p.finalBuf[:0], got...)
-		haveFinal = true
-		_, derr := comm.Decode(got)
-		return derr == nil
-	})
-	if attemptErr != nil {
-		return attemptErr
-	}
-	if haveFinal {
-		p.deliver(t, p.finalBuf)
 	}
 	return nil
 }
@@ -354,16 +232,22 @@ func (p *Pipeline) Step() error {
 // may be called between steps.
 func (p *Pipeline) Result() ImplantResult {
 	res := p.res
-	if p.arq != nil {
-		ast := p.arq.Stats()
+	if p.trans.arq != nil {
+		ast := p.trans.arq.Stats()
 		res.Retransmits = ast.Retransmits
 		res.Recovered = ast.Recovered
 		res.ARQFailed = ast.Failed
 		res.RetransmitBits = ast.RetransmitBits
 	}
-	st := p.rx.Stats()
+	st := p.recv.rx.Stats()
 	res.Accepted, res.Corrupt, res.LostSeq = st.Accepted, st.Corrupted, st.LostSeq
 	res.Stale, res.Concealed, res.ConcealedSamples = st.Stale, st.Concealed, st.ConcealedSamples
+	if p.dec != nil {
+		res.DecodedSteps = p.dec.steps
+		res.DecodeConcealedBins = p.dec.concealedBins
+		res.DecodeMACs = p.dec.macs
+		res.DecodeDigest = p.dec.digest
+	}
 	return res
 }
 
@@ -376,8 +260,9 @@ type PipelineState struct {
 	// Tick is the number of ticks stepped before the snapshot.
 	Tick int
 	// Counters are the raw running counters, including the digest
-	// accumulator. ARQ/receiver-derived fields are excluded (they live
-	// in their components' states below); Err must be nil.
+	// accumulator. ARQ-, receiver- and decoder-derived fields are
+	// excluded (they live in their components' states below); Err must
+	// be nil.
 	Counters ImplantResult
 
 	Gen     neural.GeneratorState
@@ -394,10 +279,13 @@ type PipelineState struct {
 	Link      *fault.BurstLinkState
 	Brown     *fault.BrownoutState
 	ElecGains []float64
+
+	// Decode is the decode stage's state; nil without a decoder.
+	Decode *DecodeState
 }
 
-// Snapshot captures the pipeline's complete mid-run state. The pipeline
-// remains usable afterwards.
+// Snapshot captures the pipeline's complete mid-run state by asking
+// each stage for its slice. The pipeline remains usable afterwards.
 func (p *Pipeline) Snapshot() (PipelineState, error) {
 	if p.closed {
 		return PipelineState{}, errors.New("fleet: snapshot of closed pipeline")
@@ -408,27 +296,9 @@ func (p *Pipeline) Snapshot() (PipelineState, error) {
 	st := PipelineState{
 		Tick:     p.tick,
 		Counters: p.res,
-		Gen:      p.gen.Snapshot(),
-		Channel:  p.channel.Snapshot(),
-		PktSeq:   p.pkt.Seq(),
-		Rx:       p.rx.Snapshot(),
 	}
-	if p.arq != nil {
-		st.ARQ = p.arq.Stats()
-	}
-	if p.fec != nil {
-		st.FECCorrected = p.fec.Corrected()
-	}
-	if p.link != nil {
-		ls := p.link.Snapshot()
-		st.Link = &ls
-	}
-	if p.brown != nil {
-		bs := p.brown.Snapshot()
-		st.Brown = &bs
-	}
-	if p.elec != nil {
-		st.ElecGains = p.elec.Gains()
+	for _, s := range p.stages {
+		s.Snapshot(&st)
 	}
 	return st, nil
 }
@@ -437,8 +307,8 @@ func (p *Pipeline) Snapshot() (PipelineState, error) {
 // same config. Static structure is regenerated from the config; every
 // RNG stream is fast-forwarded to its recorded position; mutable state
 // and counters are overwritten. The config must match the one the
-// snapshot was taken under — mismatched fault/FEC/ARQ shapes are
-// rejected, and mismatched seeds fail the RNG position validation.
+// snapshot was taken under — mismatched fault/FEC/ARQ/decoder shapes
+// are rejected, and mismatched seeds fail the RNG position validation.
 func RestorePipeline(cfg Config, st PipelineState) (*Pipeline, error) {
 	if st.Tick < 0 {
 		return nil, fmt.Errorf("fleet: negative checkpoint tick %d", st.Tick)
@@ -451,50 +321,11 @@ func RestorePipeline(cfg Config, st PipelineState) (*Pipeline, error) {
 		p.Close()
 		return nil, err
 	}
-	if p.gen, err = neural.RestoreGenerator(neuralConfig(cfg, st.Counters.Index), st.Gen); err != nil {
-		return restoreErr(err)
+	if p.dec == nil && st.Decode != nil {
+		return restoreErr(errors.New("fleet: checkpoint carries decoder state but config disables the decoder"))
 	}
-	if want := DeriveSeed(cfg.Seed, uint64(st.Counters.Index), StreamChannel); st.Channel.RNG.Seed != want {
-		return restoreErr(fmt.Errorf("fleet: channel RNG seed %d does not derive from config seed %d", st.Channel.RNG.Seed, cfg.Seed))
-	}
-	p.channel = comm.RestoreAWGNChannel(math.Pow(10, cfg.EbN0dB/10), st.Channel)
-	p.pkt.SetSeq(st.PktSeq)
-	if err := p.rx.RestoreState(st.Rx); err != nil {
-		return restoreErr(err)
-	}
-	if p.arq == nil && st.ARQ != (comm.ARQStats{}) {
-		return restoreErr(errors.New("fleet: checkpoint carries ARQ state but config disables ARQ"))
-	}
-	if p.arq != nil {
-		p.arq.RestoreStats(st.ARQ)
-	}
-	if p.fec == nil && st.FECCorrected != 0 {
-		return restoreErr(errors.New("fleet: checkpoint carries FEC state but config disables FEC"))
-	}
-	if p.fec != nil {
-		p.fec.RestoreCorrected(st.FECCorrected)
-	}
-	if (p.link != nil) != (st.Link != nil) {
-		return restoreErr(errors.New("fleet: burst-link state does not match config"))
-	}
-	if p.link != nil {
-		if p.link, err = fault.RestoreBurstLink(*cfg.Faults, *st.Link); err != nil {
-			return restoreErr(err)
-		}
-	}
-	if (p.brown != nil) != (st.Brown != nil) {
-		return restoreErr(errors.New("fleet: brownout state does not match config"))
-	}
-	if p.brown != nil {
-		if p.brown, err = fault.RestoreBrownout(*cfg.Faults, *st.Brown); err != nil {
-			return restoreErr(err)
-		}
-	}
-	if p.elec != nil || len(st.ElecGains) > 0 {
-		if p.elec == nil {
-			return restoreErr(errors.New("fleet: electrode gains do not match config"))
-		}
-		if err := p.elec.RestoreGains(st.ElecGains); err != nil {
+	for _, s := range p.stages {
+		if err := s.Restore(cfg, &st); err != nil {
 			return restoreErr(err)
 		}
 	}

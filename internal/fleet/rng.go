@@ -22,6 +22,9 @@ const (
 	StreamElectrode uint64 = 3
 	// StreamBrownout seeds the transmitter brownout process.
 	StreamBrownout uint64 = 4
+	// StreamDecode seeds the decode stage's deterministic calibration
+	// (tuning gains and network initialization).
+	StreamDecode uint64 = 5
 )
 
 // splitmix64 is the SplitMix64 state-advance + finalizer: increment by

@@ -1,0 +1,155 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// In-place variants of the matrix operations. The allocating methods on
+// Matrix stay the ergonomic default for fitting code; these exist for the
+// per-step hot paths (the Kalman and Wiener decoders in internal/decode)
+// where every tick would otherwise allocate a handful of intermediates.
+// All destinations must be pre-shaped by the caller and — unless noted —
+// must not alias the sources.
+
+// shapeCheck panics with a descriptive message on a shape mismatch; the
+// in-place API keeps the package's panic-on-misuse convention (shapes are
+// static properties of the calling decoder, not data-dependent).
+func shapeCheck(cond bool, format string, args ...any) {
+	if !cond {
+		panic("linalg: " + fmt.Sprintf(format, args...))
+	}
+}
+
+// MulInto computes a·b into dst. dst must be a.Rows×b.Cols and must not
+// alias a or b.
+func MulInto(dst, a, b Matrix) {
+	shapeCheck(a.Cols == b.Rows, "MulInto inner dimension %d != %d", a.Cols, b.Rows)
+	shapeCheck(dst.Rows == a.Rows && dst.Cols == b.Cols,
+		"MulInto destination %d×%d != %d×%d", dst.Rows, dst.Cols, a.Rows, b.Cols)
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			v := a.At(i, k)
+			if v == 0 {
+				continue
+			}
+			dstRow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			bRow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j := range dstRow {
+				dstRow[j] += v * bRow[j]
+			}
+		}
+	}
+}
+
+// AddInto computes a + b into dst. dst may alias a or b.
+func AddInto(dst, a, b Matrix) {
+	shapeCheck(a.Rows == b.Rows && a.Cols == b.Cols && dst.Rows == a.Rows && dst.Cols == a.Cols,
+		"AddInto shape mismatch")
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+// SubInto computes a − b into dst. dst may alias a or b.
+func SubInto(dst, a, b Matrix) {
+	shapeCheck(a.Rows == b.Rows && a.Cols == b.Cols && dst.Rows == a.Rows && dst.Cols == a.Cols,
+		"SubInto shape mismatch")
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] - b.Data[i]
+	}
+}
+
+// TInto writes aᵀ into dst. dst must be a.Cols×a.Rows and not alias a.
+func TInto(dst, a Matrix) {
+	shapeCheck(dst.Rows == a.Cols && dst.Cols == a.Rows,
+		"TInto destination %d×%d != %d×%d", dst.Rows, dst.Cols, a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			dst.Set(j, i, a.At(i, j))
+		}
+	}
+}
+
+// CopyInto copies a into dst of the same shape.
+func CopyInto(dst, a Matrix) {
+	shapeCheck(dst.Rows == a.Rows && dst.Cols == a.Cols, "CopyInto shape mismatch")
+	copy(dst.Data, a.Data)
+}
+
+// IdentityInto overwrites the square dst with the identity.
+func IdentityInto(dst Matrix) {
+	shapeCheck(dst.Rows == dst.Cols, "IdentityInto needs a square matrix, got %d×%d", dst.Rows, dst.Cols)
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for i := 0; i < dst.Rows; i++ {
+		dst.Set(i, i, 1)
+	}
+}
+
+// InverseInto inverts a into dst using work as elimination scratch; a is
+// preserved. dst and work must be square matrices of a's shape and must
+// not alias a or each other. The pivoting and tolerance match Inverse
+// exactly, so both paths return ErrSingular on the same inputs.
+func InverseInto(dst, work, a Matrix) error {
+	if a.Rows != a.Cols {
+		return fmt.Errorf("linalg: cannot invert %d×%d matrix", a.Rows, a.Cols)
+	}
+	shapeCheck(dst.Rows == a.Rows && dst.Cols == a.Cols, "InverseInto destination shape mismatch")
+	shapeCheck(work.Rows == a.Rows && work.Cols == a.Cols, "InverseInto scratch shape mismatch")
+	n := a.Rows
+	CopyInto(work, a)
+	IdentityInto(dst)
+	for col := 0; col < n; col++ {
+		pivot, best := col, math.Abs(work.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(work.At(r, col)); v > best {
+				pivot, best = r, v
+			}
+		}
+		if best < 1e-12 {
+			return ErrSingular
+		}
+		if pivot != col {
+			swapRows(work, pivot, col)
+			swapRows(dst, pivot, col)
+		}
+		p := work.At(col, col)
+		for j := 0; j < n; j++ {
+			work.Set(col, j, work.At(col, j)/p)
+			dst.Set(col, j, dst.At(col, j)/p)
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := work.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				work.Set(r, j, work.At(r, j)-f*work.At(col, j))
+				dst.Set(r, j, dst.At(r, j)-f*dst.At(col, j))
+			}
+		}
+	}
+	return nil
+}
+
+// MulVecInto computes m·v into dst of length m.Rows. dst must not alias v.
+func MulVecInto(dst []float64, m Matrix, v []float64) {
+	shapeCheck(len(v) == m.Cols, "MulVecInto length %d != cols %d", len(v), m.Cols)
+	shapeCheck(len(dst) == m.Rows, "MulVecInto destination length %d != rows %d", len(dst), m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, x := range v {
+			s += row[j] * x
+		}
+		dst[i] = s
+	}
+}

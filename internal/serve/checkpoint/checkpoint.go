@@ -7,9 +7,15 @@
 // Format (all integers big-endian):
 //
 //	magic    [4]byte  "MFCP"
-//	version  uint16   format version (currently 1)
+//	version  uint16   format version (currently 2)
 //	config   fixed-order session configuration
 //	state    fixed-order pipeline state (see encode/decode below)
+//
+// Version 2 appends the decode-stage sections to the v1 layout: the
+// decoder selection after the fault profile in the config, and the
+// decoder's serialized state after the electrode gains in the state.
+// The v1 prefix is unchanged, so v1 blobs decode under this package
+// (decoder absent) bit-identically — the committed golden blob pins it.
 //
 // Versioning rules (documented in DESIGN.md): the version is bumped on
 // any field change; decoders reject versions they do not know rather
@@ -17,7 +23,7 @@
 // lifetime during development, never reordered after release. Every
 // length field is bounded, and truncated or trailing bytes are errors —
 // malformed input must never panic or allocate unboundedly (the fuzz
-// target FuzzCheckpointDecode pins this).
+// targets FuzzCheckpointDecode and FuzzDecodeCheckpointV2 pin this).
 package checkpoint
 
 import (
@@ -38,8 +44,12 @@ import (
 // Magic identifies a MINDFUL serve checkpoint blob.
 var Magic = [4]byte{'M', 'F', 'C', 'P'}
 
-// Version is the current format version.
-const Version uint16 = 1
+// Version is the current format version. VersionV1 is the oldest
+// format this package still decodes.
+const (
+	Version   uint16 = 2
+	VersionV1 uint16 = 1
+)
 
 // maxSliceLen bounds every decoded length field: larger values cannot
 // come from a real session (pending buffers, gains and sample vectors
@@ -81,6 +91,29 @@ type SessionConfig struct {
 
 	// Faults optionally enables the deterministic fault profile.
 	Faults *fault.Profile `json:"faults,omitempty"`
+
+	// Decoder selects the in-loop decoder ("" or "none" disables;
+	// "kalman", "wiener", "dnn" enable). DecodeBin, DecodeLags and
+	// DecodeHidden tune it (0 = defaults). Added in format version 2;
+	// v1 blobs decode with the zero values.
+	Decoder      string `json:"decoder,omitempty"`
+	DecodeBin    int    `json:"decode_bin,omitempty"`
+	DecodeLags   int    `json:"decode_lags,omitempty"`
+	DecodeHidden int    `json:"decode_hidden,omitempty"`
+}
+
+// decodeConfig parses the decoder selection.
+func (c SessionConfig) decodeConfig() (fleet.DecodeConfig, error) {
+	kind, err := fleet.ParseDecoderKind(c.Decoder)
+	if err != nil {
+		return fleet.DecodeConfig{}, err
+	}
+	return fleet.DecodeConfig{
+		Kind:     kind,
+		BinTicks: c.DecodeBin,
+		Lags:     c.DecodeLags,
+		Hidden:   c.DecodeHidden,
+	}, nil
 }
 
 // FleetConfig expands the session config into a single-implant fleet
@@ -101,6 +134,10 @@ func (c SessionConfig) FleetConfig() (fleet.Config, error) {
 	if c.Ticks < 0 {
 		return fleet.Config{}, fmt.Errorf("checkpoint: negative ticks %d", c.Ticks)
 	}
+	dec, err := c.decodeConfig()
+	if err != nil {
+		return fleet.Config{}, err
+	}
 	cfg := fleet.Config{
 		Implants:    1,
 		Workers:     1,
@@ -115,6 +152,7 @@ func (c SessionConfig) FleetConfig() (fleet.Config, error) {
 		ARQ:         comm.ARQConfig{MaxRetries: c.ARQMaxRetries, SlotTime: c.ARQSlotTime, LatencyBudget: c.ARQLatencyBudget},
 		FECDepth:    c.FECDepth,
 		Concealment: wearable.Concealment(c.Concealment),
+		Decode:      dec,
 	}
 	if err := cfg.Validate(); err != nil {
 		return fleet.Config{}, err
@@ -148,6 +186,13 @@ func (w *writer) boolean(v bool) {
 func (w *writer) rng(st detrand.State) {
 	w.i64(st.Seed)
 	w.u64(st.Draws)
+}
+
+func (w *writer) f64s(v []float64) {
+	w.u32(uint32(len(v)))
+	for _, x := range v {
+		w.f64(x)
+	}
 }
 
 // reader consumes fixed-width fields, remembering the first error so
@@ -239,6 +284,18 @@ func (r *reader) rng() detrand.State {
 	return detrand.State{Seed: r.i64(), Draws: r.u64()}
 }
 
+func (r *reader) f64s() []float64 {
+	n := r.length()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.f64()
+	}
+	return out
+}
+
 // Encode serializes the checkpoint.
 func Encode(cp Checkpoint) []byte {
 	w := &writer{b: make([]byte, 0, 512)}
@@ -274,6 +331,13 @@ func Encode(cp Checkpoint) []byte {
 		w.f64(p.BrownoutProb)
 		w.u32(uint32(p.BrownoutTicks))
 	}
+	// Decoder selection (v2). Snapshot validates the config, so an
+	// unparseable decoder name cannot reach here; encode it as none.
+	dec, _ := c.decodeConfig()
+	w.u8(uint8(dec.Kind))
+	w.u32(uint32(c.DecodeBin))
+	w.u32(uint32(c.DecodeLags))
+	w.u32(uint32(c.DecodeHidden))
 
 	// Pipeline state.
 	st := cp.State
@@ -348,6 +412,21 @@ func Encode(cp Checkpoint) []byte {
 	for _, v := range st.ElecGains {
 		w.f64(v)
 	}
+
+	// Decode-stage state (v2).
+	w.boolean(st.Decode != nil)
+	if d := st.Decode; d != nil {
+		w.f64s(d.BinSums)
+		w.u32(uint32(d.BinCount))
+		w.u32(uint32(d.BinConcealed))
+		w.i64(d.Steps)
+		w.i64(d.ConcealedBins)
+		w.i64(d.MACs)
+		w.u64(d.Digest)
+		w.f64s(d.KalmanX)
+		w.f64s(d.KalmanP)
+		w.f64s(d.WienerLag)
+	}
 	return w.b
 }
 
@@ -362,10 +441,11 @@ func Decode(buf []byte) (Checkpoint, error) {
 		}
 		return cp, r.err
 	}
-	if v := r.u16(); r.err != nil || v != Version {
-		if r.err == nil {
-			r.err = fmt.Errorf("%w: %d (have %d)", ErrBadVersion, v, Version)
-		}
+	v := r.u16()
+	if r.err == nil && (v < VersionV1 || v > Version) {
+		r.err = fmt.Errorf("%w: %d (this build supports %d..%d)", ErrBadVersion, v, VersionV1, Version)
+	}
+	if r.err != nil {
 		return cp, r.err
 	}
 
@@ -396,6 +476,19 @@ func Decode(buf []byte) (Checkpoint, error) {
 		p.BrownoutProb = r.f64()
 		p.BrownoutTicks = int(r.u32())
 		c.Faults = &p
+	}
+	if v >= 2 {
+		kind := fleet.DecoderKind(r.u8())
+		if r.err == nil && (kind < fleet.DecoderNone || kind > fleet.DecoderDNN) {
+			r.err = fmt.Errorf("checkpoint: unknown decoder kind %d", int(kind))
+			return cp, r.err
+		}
+		if kind != fleet.DecoderNone {
+			c.Decoder = kind.String()
+		}
+		c.DecodeBin = int(r.u32())
+		c.DecodeLags = int(r.u32())
+		c.DecodeHidden = int(r.u32())
 	}
 
 	st := &cp.State
@@ -480,6 +573,21 @@ func Decode(buf []byte) (Checkpoint, error) {
 		}
 	}
 
+	if v >= 2 && r.boolean() {
+		var d fleet.DecodeState
+		d.BinSums = r.f64s()
+		d.BinCount = int(r.u32())
+		d.BinConcealed = int(r.u32())
+		d.Steps = r.i64()
+		d.ConcealedBins = r.i64()
+		d.MACs = r.i64()
+		d.Digest = r.u64()
+		d.KalmanX = r.f64s()
+		d.KalmanP = r.f64s()
+		d.WienerLag = r.f64s()
+		st.Decode = &d
+	}
+
 	if r.err != nil {
 		return Checkpoint{}, r.err
 	}
@@ -489,8 +597,12 @@ func Decode(buf []byte) (Checkpoint, error) {
 	return cp, nil
 }
 
-// Snapshot freezes a pipeline under its session config into a blob.
+// Snapshot freezes a pipeline under its session config into a blob. The
+// config is validated first so the blob always round-trips.
 func Snapshot(cfg SessionConfig, p *fleet.Pipeline) ([]byte, error) {
+	if _, err := cfg.FleetConfig(); err != nil {
+		return nil, err
+	}
 	st, err := p.Snapshot()
 	if err != nil {
 		return nil, err

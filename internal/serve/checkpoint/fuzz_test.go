@@ -2,12 +2,40 @@ package checkpoint
 
 import (
 	"bytes"
+	"encoding/binary"
+	"reflect"
 	"testing"
 )
 
+// blobVersion extracts the header version (0 when too short).
+func blobVersion(b []byte) uint16 {
+	if len(b) < 6 {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b[4:6])
+}
+
+// checkDecoded asserts the codec invariants on an accepted blob: a
+// current-version blob must be canonical (Encode(Decode(b)) == b), and
+// any accepted blob must survive an upgrade round-trip unchanged.
+func checkDecoded(t *testing.T, data []byte, cp Checkpoint) {
+	t.Helper()
+	again := Encode(cp)
+	if blobVersion(data) == Version && !bytes.Equal(again, data) {
+		t.Fatalf("accepted non-canonical blob: %d bytes re-encode to %d", len(data), len(again))
+	}
+	cp2, err := Decode(again)
+	if err != nil {
+		t.Fatalf("re-encoded blob no longer decodes: %v", err)
+	}
+	if !reflect.DeepEqual(cp, cp2) {
+		t.Fatal("upgrade round-trip changed the checkpoint")
+	}
+}
+
 // FuzzCheckpointDecode: arbitrary bytes must never panic the decoder or
-// force unbounded allocation — they either decode to a checkpoint whose
-// re-encoding is canonical, or they return an error.
+// force unbounded allocation — they either decode to a checkpoint
+// satisfying the codec invariants, or they return an error.
 func FuzzCheckpointDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(Magic[:])
@@ -38,9 +66,53 @@ func FuzzCheckpointDecode(f *testing.F) {
 		if err != nil {
 			return
 		}
-		// Accepted blobs must be canonical: Encode(Decode(b)) == b.
-		if again := Encode(cp); !bytes.Equal(again, data) {
-			t.Fatalf("accepted non-canonical blob: %d bytes re-encode to %d", len(data), len(again))
+		checkDecoded(t, data, cp)
+	})
+}
+
+// FuzzDecodeCheckpointV2: the v2 decoder sections get the same
+// treatment, seeded with decoder-active blobs (one per decoder kind,
+// plus a truncation and a version-1 golden-style blob) so the fuzzer
+// starts inside the new fields rather than rediscovering the header.
+func FuzzDecodeCheckpointV2(f *testing.F) {
+	for _, dec := range []string{"kalman", "wiener", "dnn"} {
+		cfg := fullConfig()
+		cfg.Decoder = dec
+		p, err := NewPipeline(cfg, 0)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			if err := p.Step(); err != nil {
+				f.Fatal(err)
+			}
+		}
+		blob, err := Snapshot(cfg, p)
+		p.Close()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+		f.Add(blob[:len(blob)-7])
+		// Flip a byte in the trailing (decoder) third of the blob.
+		mut := append([]byte(nil), blob...)
+		mut[len(mut)-len(mut)/4] ^= 0x40
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := Decode(data)
+		if err != nil {
+			return
+		}
+		checkDecoded(t, data, cp)
+		// An accepted blob may still describe an inconsistent session;
+		// Restore must reject or succeed, never panic. Skip forged
+		// configs large enough to make construction itself the cost.
+		if cp.Config.Channels <= 64 && cp.Config.DecodeHidden <= 64 && cp.Config.DecodeLags <= 16 {
+			if _, p, err := Restore(data); err == nil {
+				p.Close()
+			}
 		}
 	})
 }

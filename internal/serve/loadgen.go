@@ -34,6 +34,11 @@ type LoadConfig struct {
 	// overridden by the field above.
 	Session checkpoint.SessionConfig
 
+	// Decoder, when set, attaches that decoder to every session that does
+	// not name one itself — the cost of decode-in-the-loop shows up in
+	// the latency percentiles.
+	Decoder string
+
 	// Server optionally targets an already-running gateway; nil
 	// self-hosts one on loopback for the duration of the run.
 	Server *Server
@@ -65,6 +70,7 @@ type LoadResult struct {
 	Records        int64   `json:"records_received"`
 	Dropped        int64   `json:"dropped_frames"`
 	Evicted        int64   `json:"evicted_subscribers"`
+	DecodedSteps   int64   `json:"decoded_steps,omitempty"`
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	SessionsPerSec float64 `json:"sessions_per_sec"`
 	FramesPerSec   float64 `json:"frames_per_sec"`
@@ -104,6 +110,9 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		scfg := cfg.Session
 		scfg.Seed += int64(i) // independent streams per session
 		scfg.Ticks = cfg.Ticks
+		if scfg.Decoder == "" {
+			scfg.Decoder = cfg.Decoder
+		}
 		info, err := createSession(ctlURL, CreateRequest{SessionConfig: scfg, StartPaused: true})
 		if err != nil {
 			return nil, err
@@ -183,6 +192,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		}
 		res.Dropped += info.Dropped
 		res.Evicted += info.Evicted
+		res.DecodedSteps += info.DecodedSteps
 	}
 	if s := elapsed.Seconds(); s > 0 {
 		res.SessionsPerSec = float64(cfg.Sessions) / s

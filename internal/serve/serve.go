@@ -55,6 +55,9 @@ type Config struct {
 	StallTimeout time.Duration
 	// TickInterval throttles every session's tick loop (0 = free-run).
 	TickInterval time.Duration
+	// DefaultDecoder, when set (e.g. "kalman"), attaches that decoder to
+	// every created session whose config does not name one itself.
+	DefaultDecoder string
 	// Observer optionally collects gateway metrics and traces.
 	Observer *obs.Observer
 }
@@ -81,6 +84,8 @@ type Server struct {
 	mDropped   *obs.Counter
 	mEvicted   *obs.Counter
 	mTicks     *obs.Counter
+	mDecoded   *obs.Counter
+	mDecSess   *obs.Counter
 }
 
 // New returns an unstarted gateway.
@@ -117,6 +122,8 @@ func New(cfg Config) (*Server, error) {
 		s.mDropped = m.Counter("serve_frames_dropped_total")
 		s.mEvicted = m.Counter("serve_subscribers_evicted_total")
 		s.mTicks = m.Counter("serve_ticks_total")
+		s.mDecoded = m.Counter("serve_decode_steps_total")
+		s.mDecSess = m.Counter("serve_decode_sessions_total")
 		m.Help("serve_sessions_active", "Sessions currently hosted.")
 		m.Help("serve_subscribers_active", "Data-plane subscribers currently attached.")
 		m.Help("serve_sessions_created_total", "Sessions created fresh.")
@@ -125,6 +132,8 @@ func New(cfg Config) (*Server, error) {
 		m.Help("serve_frames_dropped_total", "Frames dropped by full subscriber queues.")
 		m.Help("serve_subscribers_evicted_total", "Subscribers evicted for stalling.")
 		m.Help("serve_ticks_total", "Pipeline ticks stepped across all sessions.")
+		m.Help("serve_decode_steps_total", "Decoder steps published across all sessions.")
+		m.Help("serve_decode_sessions_total", "Sessions hosted with a decoder in the loop.")
 	}
 	return s, nil
 }
@@ -134,6 +143,7 @@ func (s *Server) obsPublished() { s.mPublished.Inc() }
 func (s *Server) obsDropped()   { s.mDropped.Inc() }
 func (s *Server) obsEvicted()   { s.mEvicted.Inc() }
 func (s *Server) obsTick()      { s.mTicks.Inc() }
+func (s *Server) obsDecoded()   { s.mDecoded.Inc() }
 func (s *Server) obsSubscribers(d float64) {
 	if s.mSubs != nil {
 		s.mSubs.Add(d)
@@ -224,8 +234,12 @@ func (s *Server) register(build func(id string) (*Session, error)) (*Session, er
 
 // CreateSession builds a fresh pipeline session. With startPaused the
 // tick loop waits for an explicit resume — the way to attach
-// subscribers before the first frame.
+// subscribers before the first frame. A session config that names no
+// decoder inherits the gateway's DefaultDecoder.
 func (s *Server) CreateSession(cfg checkpoint.SessionConfig, startPaused bool) (*Session, error) {
+	if cfg.Decoder == "" && s.cfg.DefaultDecoder != "" && s.cfg.DefaultDecoder != "none" {
+		cfg.Decoder = s.cfg.DefaultDecoder
+	}
 	if _, err := cfg.FleetConfig(); err != nil {
 		return nil, err
 	}
@@ -235,7 +249,11 @@ func (s *Server) CreateSession(cfg checkpoint.SessionConfig, startPaused bool) (
 			return nil, err
 		}
 		s.mCreated.Inc()
-		return newSession(s, id, cfg, p, cfg.Ticks, startPaused), nil
+		sess := newSession(s, id, cfg, p, cfg.Ticks, startPaused)
+		if sess.hasDecoder() {
+			s.mDecSess.Inc()
+		}
+		return sess, nil
 	})
 }
 
@@ -256,7 +274,11 @@ func (s *Server) RestoreSession(blob []byte, ticks int, startPaused bool) (*Sess
 	}
 	sess, err := s.register(func(id string) (*Session, error) {
 		s.mRestored.Inc()
-		return newSession(s, id, cfg, p, cfg.Ticks, startPaused), nil
+		sess := newSession(s, id, cfg, p, cfg.Ticks, startPaused)
+		if sess.hasDecoder() {
+			s.mDecSess.Inc()
+		}
+		return sess, nil
 	})
 	if err != nil {
 		p.Close()

@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,6 +50,7 @@ type Session struct {
 	finalTick int
 
 	published atomic.Int64 // frames published to the fan-out
+	decoded   atomic.Int64 // decoded-kinematics records published
 	dropped   atomic.Int64 // frames dropped by full subscriber queues
 	evicted   atomic.Int64 // subscribers evicted for stalling
 
@@ -75,8 +78,17 @@ func newSession(srv *Server, id string, cfg checkpoint.SessionConfig, p *fleet.P
 		s.state = StatePaused
 	}
 	p.OnDeliver(s.publish)
+	if s.hasDecoder() {
+		p.OnDecode(s.publishDecoded)
+	}
 	go s.run()
 	return s
+}
+
+// hasDecoder reports whether the session's pipeline runs a decode
+// stage, i.e. whether decoded-mode subscriptions make sense.
+func (s *Session) hasDecoder() bool {
+	return s.cfg.Decoder != "" && s.cfg.Decoder != "none"
 }
 
 // run is the tick loop: step while running, wait while paused, finish at
@@ -151,7 +163,43 @@ func (s *Session) publish(tick int, data []byte, accepted bool) {
 		data:      append([]byte(nil), data...), // shared, read-only
 	}
 	for sub := range s.subs {
-		sub.push(rec)
+		if !sub.decoded {
+			sub.push(rec)
+		}
+	}
+	s.subMu.Unlock()
+}
+
+// publishDecoded fans one decoder step out to the decoded-mode
+// subscribers. Like publish it runs inside Pipeline.Step; the estimate
+// is serialized as big-endian float64s so the payload is byte-stable
+// across platforms.
+func (s *Session) publishDecoded(tick int, estimate []float64, concealed int) {
+	s.decoded.Add(1)
+	s.srv.obsDecoded()
+	s.subMu.Lock()
+	if len(s.subs) == 0 {
+		s.subMu.Unlock()
+		return
+	}
+	flags := RecordFlagDecoded
+	if concealed > 0 {
+		flags |= RecordFlagConcealedBin
+	}
+	data := make([]byte, 0, 8*len(estimate))
+	for _, v := range estimate {
+		data = binary.BigEndian.AppendUint64(data, math.Float64bits(v))
+	}
+	rec := record{
+		tick:      uint64(tick),
+		publishNs: time.Now().UnixNano(),
+		flags:     flags,
+		data:      data,
+	}
+	for sub := range s.subs {
+		if sub.decoded {
+			sub.push(rec)
+		}
 	}
 	s.subMu.Unlock()
 }
@@ -296,10 +344,17 @@ type SessionInfo struct {
 	// (JSON numbers lose uint64 precision).
 	Digest string `json:"digest"`
 	// Frames/Accepted/Concealed summarize the pipeline's accounting.
-	Frames    int64  `json:"frames"`
-	Accepted  int64  `json:"frames_accepted"`
-	Concealed int64  `json:"frames_concealed"`
-	Error     string `json:"error,omitempty"`
+	Frames    int64 `json:"frames"`
+	Accepted  int64 `json:"frames_accepted"`
+	Concealed int64 `json:"frames_concealed"`
+	// Decoder names the session's decoder ("" when decoding is off);
+	// the remaining fields mirror the pipeline's decode accounting.
+	// DecodeDigest is a decimal string for the same reason Digest is.
+	Decoder          string `json:"decoder,omitempty"`
+	DecodedSteps     int64  `json:"decoded_steps,omitempty"`
+	DecodedPublished int64  `json:"decoded_published,omitempty"`
+	DecodeDigest     string `json:"decode_digest,omitempty"`
+	Error            string `json:"error,omitempty"`
 }
 
 // info reports the session's current state.
@@ -325,10 +380,16 @@ func (s *Session) info() SessionInfo {
 		Accepted:  res.Accepted,
 		Concealed: res.Concealed,
 	}
+	if s.hasDecoder() {
+		info.Decoder = s.cfg.Decoder
+		info.DecodedSteps = res.DecodedSteps
+		info.DecodeDigest = fmt.Sprintf("%d", res.DecodeDigest)
+	}
 	if s.err != nil {
 		info.Error = s.err.Error()
 	}
 	s.mu.Unlock()
+	info.DecodedPublished = s.decoded.Load()
 	info.Published = s.published.Load()
 	info.Dropped = s.dropped.Load()
 	info.Evicted = s.evicted.Load()

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"strings"
 	"sync"
@@ -14,16 +15,20 @@ import (
 // The streaming data plane is a length-prefixed binary protocol over
 // TCP. A client opens a connection, sends one subscription line
 //
-//	SUB <session-id>\n
+//	SUB <session-id> [mode]\n
 //
-// and then reads records until the server closes the stream (session
-// finished or deleted) or evicts it for stalling. Each record is
+// where mode is "frames" (default: raw received frame bytes) or
+// "decoded" (the session's decoder output — requires a session created
+// with a decoder), and then reads records until the server closes the
+// stream (session finished or deleted) or evicts it for stalling. Each
+// record is
 //
 //	length    uint32  bytes after this field
-//	tick      uint64  pipeline tick the frame belongs to
+//	tick      uint64  pipeline tick the record belongs to
 //	publishNs int64   server wall clock at publication (UnixNano)
 //	flags     uint8   RecordFlag bits
-//	frame     []byte  the received frame bytes (may be corrupt)
+//	payload   []byte  frame bytes, or big-endian float64 kinematics
+//	                  when RecordFlagDecoded is set
 //
 // Backpressure is explicit: every subscriber owns a bounded queue.
 // When the queue is full the oldest record is dropped and counted
@@ -31,10 +36,19 @@ import (
 // than the stall timeout is evicted. The publishing tick loop never
 // waits on either.
 
-// RecordFlagAccepted marks a frame the wearable receiver accepted
-// (CRC-clean, in sequence); records without it carry corrupt bytes
-// surfaced after an exhausted retry budget.
-const RecordFlagAccepted byte = 0x01
+// Record flags.
+const (
+	// RecordFlagAccepted marks a frame the wearable receiver accepted
+	// (CRC-clean, in sequence); frame records without it carry corrupt
+	// bytes surfaced after an exhausted retry budget.
+	RecordFlagAccepted byte = 0x01
+	// RecordFlagDecoded marks a decoded-kinematics record: the payload
+	// is the decoder's state estimate as big-endian float64s.
+	RecordFlagDecoded byte = 0x02
+	// RecordFlagConcealedBin marks a decoded record whose observation
+	// bin contained at least one concealed (synthesized) frame.
+	RecordFlagConcealedBin byte = 0x04
+)
 
 // maxRecordLen bounds a record a client will accept: far above any real
 // frame (64Ki channels at 16 bits is ~128 KiB) but small enough that a
@@ -56,9 +70,10 @@ type record struct {
 // drained by a dedicated writer goroutine. push never blocks; the
 // writer enforces the stall policy with write deadlines.
 type subscriber struct {
-	sess  *Session
-	conn  net.Conn
-	stall time.Duration
+	sess    *Session
+	conn    net.Conn
+	stall   time.Duration
+	decoded bool // receive decoded-kinematics records instead of frames
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -197,10 +212,22 @@ func (srv *Server) serveStream(conn net.Conn) {
 	}
 	conn.SetReadDeadline(time.Time{})
 	fields := strings.Fields(line)
-	if len(fields) != 2 || fields[0] != "SUB" {
-		fmt.Fprintf(conn, "ERR expected SUB <session-id>\n")
+	if (len(fields) != 2 && len(fields) != 3) || fields[0] != "SUB" {
+		fmt.Fprintf(conn, "ERR expected SUB <session-id> [frames|decoded]\n")
 		conn.Close()
 		return
+	}
+	decoded := false
+	if len(fields) == 3 {
+		switch fields[2] {
+		case "frames":
+		case "decoded":
+			decoded = true
+		default:
+			fmt.Fprintf(conn, "ERR unknown stream mode %q (want frames or decoded)\n", fields[2])
+			conn.Close()
+			return
+		}
 	}
 	sess, err := srv.session(fields[1])
 	if err != nil {
@@ -208,7 +235,13 @@ func (srv *Server) serveStream(conn net.Conn) {
 		conn.Close()
 		return
 	}
+	if decoded && !sess.hasDecoder() {
+		fmt.Fprintf(conn, "ERR session %s has no decoder\n", sess.ID)
+		conn.Close()
+		return
+	}
 	sub := newSubscriber(sess, conn, srv.queueDepth(), srv.stallTimeout())
+	sub.decoded = decoded
 	if err := sess.attach(sub); err != nil {
 		fmt.Fprintf(conn, "ERR %v\n", err)
 		conn.Close()
@@ -257,26 +290,54 @@ func ReadRecord(r io.Reader) (Record, error) {
 }
 
 // Subscribe opens a data-plane connection to addr and subscribes to the
-// session, returning the connection and a buffered reader positioned at
-// the first record.
+// session's frame stream, returning the connection and a buffered
+// reader positioned at the first record.
 func Subscribe(addr, sessionID string) (net.Conn, *bufio.Reader, error) {
+	return subscribe(addr, sessionID, "")
+}
+
+// SubscribeDecoded subscribes to the session's decoded-kinematics
+// stream; the server rejects the subscription when the session was
+// created without a decoder.
+func SubscribeDecoded(addr, sessionID string) (net.Conn, *bufio.Reader, error) {
+	return subscribe(addr, sessionID, "decoded")
+}
+
+func subscribe(addr, sessionID, mode string) (net.Conn, *bufio.Reader, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
-	if _, err := fmt.Fprintf(conn, "SUB %s\n", sessionID); err != nil {
+	line := "SUB " + sessionID
+	if mode != "" {
+		line += " " + mode
+	}
+	if _, err := fmt.Fprintf(conn, "%s\n", line); err != nil {
 		conn.Close()
 		return nil, nil, err
 	}
 	br := bufio.NewReader(conn)
-	line, err := br.ReadString('\n')
+	resp, err := br.ReadString('\n')
 	if err != nil {
 		conn.Close()
 		return nil, nil, err
 	}
-	if !strings.HasPrefix(line, "OK ") {
+	if !strings.HasPrefix(resp, "OK ") {
 		conn.Close()
-		return nil, nil, fmt.Errorf("serve: subscribe rejected: %s", strings.TrimSpace(line))
+		return nil, nil, fmt.Errorf("serve: subscribe rejected: %s", strings.TrimSpace(resp))
 	}
 	return conn, br, nil
+}
+
+// DecodeEstimates unpacks the payload of a RecordFlagDecoded record into
+// the decoder's state estimate.
+func DecodeEstimates(data []byte) ([]float64, error) {
+	if len(data)%8 != 0 {
+		return nil, fmt.Errorf("serve: decoded payload length %d is not a multiple of 8", len(data))
+	}
+	out := make([]float64, len(data)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.BigEndian.Uint64(data[i*8:]))
+	}
+	return out, nil
 }

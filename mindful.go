@@ -417,6 +417,39 @@ func DeriveSeed(base int64, index, stream uint64) int64 {
 	return fleet.DeriveSeed(base, index, stream)
 }
 
+// Stage graph: the pipeline is a fixed-order chain of snapshot-aware
+// stages (source → transport → receiver → decode) sharing one Tick
+// record per step. The decode stage is optional and purely downstream —
+// enabling it never changes the frame digests.
+type (
+	// PipelineStage is one snapshot-aware pipeline segment.
+	PipelineStage = fleet.Stage
+	// PipelineTick is the dataflow record one Step threads through the
+	// stages.
+	PipelineTick = fleet.Tick
+	// FleetDecodeConfig attaches a kinematics decoder to every implant's
+	// wearable.
+	FleetDecodeConfig = fleet.DecodeConfig
+	// FleetDecoderKind selects the decoder family.
+	FleetDecoderKind = fleet.DecoderKind
+	// FleetDecodeState is a decode stage's serializable state.
+	FleetDecodeState = fleet.DecodeState
+)
+
+// Decoder kinds for FleetDecodeConfig.Kind.
+const (
+	FleetDecoderNone   = fleet.DecoderNone
+	FleetDecoderKalman = fleet.DecoderKalman
+	FleetDecoderWiener = fleet.DecoderWiener
+	FleetDecoderDNN    = fleet.DecoderDNN
+)
+
+// ParseDecoderKind maps a decoder name ("none", "kalman", "wiener",
+// "dnn") to its kind.
+func ParseDecoderKind(name string) (FleetDecoderKind, error) {
+	return fleet.ParseDecoderKind(name)
+}
+
 // Observability: the cross-cutting metrics and tracing layer. Stateful
 // components (Implant, WearableReceiver, LossyLink) accept an observer via
 // SetObserver; the scheduler's free functions use SetSchedulerObserver;
@@ -551,6 +584,14 @@ func NewServeServer(cfg ServeConfig) (*ServeServer, error) { return serve.New(cf
 // ServeSubscribe opens a data-plane connection and subscribes to a
 // session; read records from the returned reader with ReadServeRecord.
 var ServeSubscribe = serve.Subscribe
+
+// ServeSubscribeDecoded subscribes to a session's decoded-kinematics
+// stream (sessions created with a decoder only).
+var ServeSubscribeDecoded = serve.SubscribeDecoded
+
+// ServeDecodeEstimates unpacks a decoded record's payload into the
+// decoder's state estimate.
+var ServeDecodeEstimates = serve.DecodeEstimates
 
 // ReadServeRecord reads one record from a subscribed stream; io.EOF
 // marks a clean end of stream.
