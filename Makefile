@@ -8,7 +8,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test check fmt vet race bench fuzz-smoke fault-smoke serve-smoke decode-smoke determinism clean
+.PHONY: all build test check fmt vet race bench fuzz-smoke fault-smoke serve-smoke decode-smoke obs-smoke determinism clean
 
 all: build
 
@@ -48,6 +48,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzCheckpointDecode -fuzztime $(FUZZTIME) ./internal/serve/checkpoint/
 	$(GO) test -run '^$$' -fuzz FuzzDecodeCheckpointV2 -fuzztime $(FUZZTIME) ./internal/serve/checkpoint/
 	$(GO) test -run '^$$' -fuzz FuzzDecoderStep -fuzztime $(FUZZTIME) ./internal/decode/
+	$(GO) test -run '^$$' -fuzz FuzzEventLogDecode -fuzztime $(FUZZTIME) ./internal/obs/
 
 # Fault-injection smoke: the fault package's unit tests, the clean-path
 # digest pin (fault machinery disabled must stay byte-identical to the
@@ -76,7 +77,19 @@ decode-smoke:
 	$(GO) test -race -run 'TestDecodedStream|TestGatewayRestoreWithDecoder|TestDefaultDecoderApplied' ./internal/serve/
 	$(GO) test -run 'TestResetEqualsFresh|TestDecoderStepZeroAlloc' ./internal/decode/
 
-check: build vet fmt race fault-smoke serve-smoke decode-smoke fuzz-smoke
+# Observability smoke: the flight recorder's guarantees — stage timing
+# is digest-neutral and covers all four stages (BENCH_stage.json), the
+# disabled path costs under 0.5% of a tick (BENCH_obs.json), the event
+# log survives wraparound and round-trips canonically, and the serve
+# lifecycle/fault narration fires — under the race detector where the
+# recorder runs concurrently.
+obs-smoke:
+	$(GO) test -run 'TestStageProfileBaseline|TestObserverOverheadBaseline' .
+	$(GO) test -race -run 'TestEventLog|TestEventRoundTrip|TestEventJSONCanonical|TestDecodeEventErrors|TestStageTimer|TestHistogramQuantile|TestExportGoldenFiles|TestTracerWraparoundSustained' ./internal/obs/
+	$(GO) test -race -run 'TestStageTiming|TestRunProfile' ./internal/fleet/
+	$(GO) test -race -run 'TestReadyz|TestSessionStatsEndpoint|TestStatsDeliveryLatency|TestLifecycleEvents|TestFaultPathEvents' ./internal/serve/
+
+check: build vet fmt race fault-smoke serve-smoke decode-smoke obs-smoke fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

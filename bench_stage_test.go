@@ -1,0 +1,67 @@
+// The stage flight recorder's tracked baseline: a decode-in-the-loop
+// fleet run with per-stage timing attached must attribute every tick to
+// all four pipeline stages, stay digest-identical to the untimed run,
+// and serialize as BENCH_stage.json. This is the `make obs-smoke` gate.
+package mindful_test
+
+import (
+	"os"
+	"testing"
+
+	"mindful"
+)
+
+func TestStageProfileBaseline(t *testing.T) {
+	cfg := mindful.DefaultFleetConfig()
+	cfg.Implants = 16
+	cfg.Workers = 4
+	cfg.Ticks = 64
+	cfg.Decode = mindful.FleetDecodeConfig{Kind: mindful.FleetDecoderKalman}
+
+	prof, agg, err := mindful.RunFleetProfile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The timing decorator is digest-neutral: the profiled aggregate must
+	// be byte-identical to an untimed run of the same config.
+	plain, err := mindful.RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Digest != plain.Digest || agg.DecodeDigest != plain.DecodeDigest {
+		t.Fatalf("profiled digests %#016x/%#016x != untimed %#016x/%#016x",
+			agg.Digest, agg.DecodeDigest, plain.Digest, plain.DecodeDigest)
+	}
+
+	// Every stage must be attributed, with one observation per frame.
+	want := map[string]bool{"source": false, "transport": false, "receiver": false, "decode": false}
+	steps := int64(cfg.Implants * cfg.Ticks)
+	for _, s := range prof.Stages {
+		seen, ok := want[s.Stage]
+		if !ok || seen {
+			t.Fatalf("unexpected or duplicate stage %q", s.Stage)
+		}
+		want[s.Stage] = true
+		if s.Count != steps {
+			t.Errorf("stage %s count = %d, want %d", s.Stage, s.Count, steps)
+		}
+		if s.MeanNs <= 0 || s.TotalNs <= 0 {
+			t.Errorf("stage %s has empty timing: mean %g ns, total %d ns", s.Stage, s.MeanNs, s.TotalNs)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("stage %s missing from profile", name)
+		}
+	}
+
+	f, err := os.Create("BENCH_stage.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := prof.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -12,10 +12,70 @@ import (
 	"mindful/internal/comm"
 	"mindful/internal/fault"
 	"mindful/internal/fleet"
+	"mindful/internal/obs"
 	"mindful/internal/report"
 	"mindful/internal/units"
 	"mindful/internal/wearable"
 )
+
+// fleetFlags registers the pipeline-configuration flags shared by the
+// fleet and profile subcommands on fs, returning a builder that resolves
+// them into a fleet.Config once fs has parsed.
+func fleetFlags(fs *flag.FlagSet) func() (fleet.Config, error) {
+	n := fs.Int("n", 64, "number of implants")
+	workers := fs.Int("workers", 4, "worker goroutines")
+	ticks := fs.Int("ticks", 128, "frames per implant")
+	channels := fs.Int("channels", 32, "channels per implant")
+	qam := fs.Int("qam", 4, "QAM bits per symbol (0 = OOK)")
+	ebn0 := fs.Float64("ebn0", 12, "AWGN operating point Eb/N0 [dB]")
+	seed := fs.Int64("seed", 1, "base seed for the sharded RNG streams")
+	faults := fs.Float64("faults", 0, "fault intensity: default profile scaled by this factor (0 = off)")
+	arqRetries := fs.Int("arq", 0, "ARQ retransmission budget per frame (0 = off)")
+	fecDepth := fs.Int("fec", 0, "Hamming(7,4) FEC interleaver depth (0 = off)")
+	conceal := fs.String("conceal", "none", "gap concealment: none, hold or interp")
+	decoder := fs.String("decoder", "none", "kinematics decoder: none, kalman, wiener or dnn")
+	decodeBin := fs.Int("decode-bin", 0, "frames per decoder observation bin (0 = default)")
+	return func() (fleet.Config, error) {
+		cfg := fleet.DefaultConfig()
+		cfg.Implants = *n
+		cfg.Workers = *workers
+		cfg.Ticks = *ticks
+		cfg.Channels = *channels
+		cfg.SampleRate = units.Kilohertz(2)
+		if *qam == 0 {
+			cfg.Modulation = comm.OOK{}
+		} else {
+			cfg.Modulation = comm.NewQAM(*qam)
+		}
+		cfg.EbN0dB = *ebn0
+		cfg.Seed = *seed
+		cfg.Observer = observer
+		if *arqRetries > 0 {
+			cfg.ARQ = comm.ARQConfig{MaxRetries: *arqRetries}
+		}
+		cfg.FECDepth = *fecDepth
+		switch *conceal {
+		case "none":
+			cfg.Concealment = wearable.ConcealNone
+		case "hold":
+			cfg.Concealment = wearable.ConcealHold
+		case "interp":
+			cfg.Concealment = wearable.ConcealInterp
+		default:
+			return cfg, fmt.Errorf("unknown concealment %q (none, hold or interp)", *conceal)
+		}
+		if *faults > 0 {
+			p := fault.DefaultProfile().Scale(*faults)
+			cfg.Faults = &p
+		}
+		kind, err := fleet.ParseDecoderKind(*decoder)
+		if err != nil {
+			return cfg, fmt.Errorf("%w: %v", errUsage, err)
+		}
+		cfg.Decode = fleet.DecodeConfig{Kind: kind, BinTicks: *decodeBin}
+		return cfg, nil
+	}
+}
 
 // runFleet executes the parallel fleet simulator:
 //
@@ -32,65 +92,24 @@ import (
 // to every implant's wearable, binning received samples every
 // -decode-bin frames. -fault-sweep FILE runs the degradation sweep over
 // the default intensity grid and writes the curve as JSON (the
-// BENCH_fault.json schema).
+// BENCH_fault.json schema). -stage-timing attaches the per-stage flight
+// recorder and prints the ns/frame attribution table after the run.
 func runFleet() error {
 	fs := flag.NewFlagSet("fleet", flag.ContinueOnError)
-	n := fs.Int("n", 64, "number of implants")
-	workers := fs.Int("workers", 4, "worker goroutines")
-	ticks := fs.Int("ticks", 128, "frames per implant")
-	channels := fs.Int("channels", 32, "channels per implant")
-	qam := fs.Int("qam", 4, "QAM bits per symbol (0 = OOK)")
-	ebn0 := fs.Float64("ebn0", 12, "AWGN operating point Eb/N0 [dB]")
-	seed := fs.Int64("seed", 1, "base seed for the sharded RNG streams")
+	build := fleetFlags(fs)
 	scaling := fs.String("scaling", "", "measure the 1/2/4/8-worker scaling curve and write it to FILE")
-	faults := fs.Float64("faults", 0, "fault intensity: default profile scaled by this factor (0 = off)")
-	arqRetries := fs.Int("arq", 0, "ARQ retransmission budget per frame (0 = off)")
-	fecDepth := fs.Int("fec", 0, "Hamming(7,4) FEC interleaver depth (0 = off)")
-	conceal := fs.String("conceal", "none", "gap concealment: none, hold or interp")
-	decoder := fs.String("decoder", "none", "kinematics decoder: none, kalman, wiener or dnn")
-	decodeBin := fs.Int("decode-bin", 0, "frames per decoder observation bin (0 = default)")
 	faultSweep := fs.String("fault-sweep", "", "run the degradation sweep and write the curve to FILE")
+	stageTiming := fs.Bool("stage-timing", false, "attach the per-stage flight recorder and print the ns/frame table")
 	if err := fs.Parse(flag.Args()[1:]); err != nil {
 		return fmt.Errorf("%w: %v", errUsage, err)
 	}
-
-	cfg := fleet.DefaultConfig()
-	cfg.Implants = *n
-	cfg.Workers = *workers
-	cfg.Ticks = *ticks
-	cfg.Channels = *channels
-	cfg.SampleRate = units.Kilohertz(2)
-	if *qam == 0 {
-		cfg.Modulation = comm.OOK{}
-	} else {
-		cfg.Modulation = comm.NewQAM(*qam)
-	}
-	cfg.EbN0dB = *ebn0
-	cfg.Seed = *seed
-	cfg.Observer = observer
-	if *arqRetries > 0 {
-		cfg.ARQ = comm.ARQConfig{MaxRetries: *arqRetries}
-	}
-	cfg.FECDepth = *fecDepth
-	switch *conceal {
-	case "none":
-		cfg.Concealment = wearable.ConcealNone
-	case "hold":
-		cfg.Concealment = wearable.ConcealHold
-	case "interp":
-		cfg.Concealment = wearable.ConcealInterp
-	default:
-		return fmt.Errorf("unknown concealment %q (none, hold or interp)", *conceal)
-	}
-	if *faults > 0 {
-		p := fault.DefaultProfile().Scale(*faults)
-		cfg.Faults = &p
-	}
-	kind, err := fleet.ParseDecoderKind(*decoder)
+	cfg, err := build()
 	if err != nil {
-		return fmt.Errorf("%w: %v", errUsage, err)
+		return err
 	}
-	cfg.Decode = fleet.DecodeConfig{Kind: kind, BinTicks: *decodeBin}
+	if *stageTiming {
+		cfg.StageTiming = obs.NewStageTimer()
+	}
 
 	if *faultSweep != "" {
 		return runFaultSweep(cfg, *faultSweep)
@@ -134,6 +153,10 @@ func runFleet() error {
 	}
 	fmt.Printf("%.0f frames/s over %s (GOMAXPROCS %d)\n",
 		agg.FramesPerSecond, agg.Elapsed.Round(time.Microsecond), runtime.GOMAXPROCS(0))
+	if cfg.StageTiming != nil {
+		fmt.Println()
+		fmt.Print(stageTable("Stage timing: attributed ns/frame", cfg.StageTiming.Stats()).String())
+	}
 	if *csvDir != "" {
 		if err := writeFile(*csvDir, "fleet.csv", tb.CSV()); err != nil {
 			return err
@@ -242,6 +265,18 @@ func runFaultSweep(cfg fleet.Config, path string) error {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	return nil
+}
+
+// stageTable renders a per-stage timing breakdown as a report table.
+func stageTable(title string, stages []obs.StageStats) *report.Table {
+	tb := report.NewTable(title,
+		"Stage", "Steps", "Mean [ns]", "EWMA [ns]", "p50 [ns]", "p99 [ns]", "Total [ms]")
+	for _, s := range stages {
+		tb.AddRow(s.Stage, strconv.FormatInt(s.Count, 10),
+			f(s.MeanNs, 0), f(s.EWMANs, 0), f(s.P50Ns, 0), f(s.P99Ns, 0),
+			f(float64(s.TotalNs)/1e6, 2))
+	}
+	return tb
 }
 
 // concealName names a concealment mode for reports.

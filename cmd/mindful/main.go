@@ -14,6 +14,7 @@
 //	-svg DIR          also write <name>.svg into DIR
 //	-metrics FILE     write a Prometheus-text metrics snapshot at exit
 //	-trace FILE       write the span trace as JSON lines at exit
+//	-events FILE      write the flight-recorder event log as JSON lines at exit
 //	-debug-addr ADDR  serve /metrics, /trace, expvar and pprof while running
 //
 // The observe subcommand runs the instrumented implant → modem → wearable
@@ -52,7 +53,7 @@ var errUsage = errors.New("usage error")
 
 // hasOwnFlags lists the subcommands that parse their own flags from the
 // remaining arguments.
-var hasOwnFlags = map[string]bool{"fleet": true, "serve": true, "loadgen": true}
+var hasOwnFlags = map[string]bool{"fleet": true, "profile": true, "serve": true, "loadgen": true}
 
 func main() {
 	flag.Usage = usage
@@ -77,6 +78,7 @@ func main() {
 		"ablate":   runAblate,
 		"ext":      runExt,
 		"fleet":    runFleet,
+		"profile":  runProfile,
 		"serve":    runServe,
 		"loadgen":  runLoadgen,
 		"observe":  runObserve,
@@ -119,9 +121,10 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mindful [-csv DIR] [-svg DIR] [-metrics FILE] [-trace FILE] [-debug-addr ADDR] <table1|fig4|fig5|fig6|fig7|fig9|fig10|fig11|fig12|ablate|ext|fleet|serve|loadgen|observe|all|validate>")
+	fmt.Fprintln(os.Stderr, "usage: mindful [-csv DIR] [-svg DIR] [-metrics FILE] [-trace FILE] [-events FILE] [-debug-addr ADDR] <table1|fig4|fig5|fig6|fig7|fig9|fig10|fig11|fig12|ablate|ext|fleet|profile|serve|loadgen|observe|all|validate>")
 	fmt.Fprintln(os.Stderr, "       mindful fleet [-n N] [-workers K] [-ticks T] [-channels C] [-qam B] [-ebn0 DB] [-seed S] [-scaling FILE]")
-	fmt.Fprintln(os.Stderr, "                     [-faults I] [-arq N] [-fec D] [-conceal none|hold|interp] [-fault-sweep FILE]")
+	fmt.Fprintln(os.Stderr, "                     [-faults I] [-arq N] [-fec D] [-conceal none|hold|interp] [-fault-sweep FILE] [-stage-timing]")
+	fmt.Fprintln(os.Stderr, "       mindful profile [fleet pipeline flags] [-out FILE]")
 	fmt.Fprintln(os.Stderr, "       mindful serve [-ctl ADDR] [-stream ADDR] [-snapshot-dir DIR] [-max-sessions N] [-queue N] [-stall D] [-tick-interval D]")
 	fmt.Fprintln(os.Stderr, "       mindful loadgen [-sessions N] [-subs N] [-ticks T] [-channels C] [-qam B] [-ebn0 DB] [-seed S] [-out FILE]")
 	flag.PrintDefaults()

@@ -23,6 +23,7 @@ import (
 var (
 	metricsPath = flag.String("metrics", "", "write a Prometheus-text metrics snapshot to this file at exit")
 	tracePath   = flag.String("trace", "", "write the span trace as JSON lines to this file at exit")
+	eventsPath  = flag.String("events", "", "write the flight-recorder event log as JSON lines to this file at exit")
 	debugAddr   = flag.String("debug-addr", "", "serve /metrics, /trace, expvar and pprof on this address while running")
 )
 
@@ -43,7 +44,7 @@ func startDebug() (func() error, error) {
 	return stop, nil
 }
 
-// writeObsOutputs flushes the -metrics and -trace files.
+// writeObsOutputs flushes the -metrics, -trace and -events files.
 func writeObsOutputs() error {
 	if *metricsPath != "" {
 		f, err := os.Create(*metricsPath)
@@ -72,6 +73,20 @@ func writeObsOutputs() error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *tracePath)
+	}
+	if *eventsPath != "" {
+		f, err := os.Create(*eventsPath)
+		if err != nil {
+			return err
+		}
+		if err := observer.Events.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *eventsPath)
 	}
 	return nil
 }

@@ -136,6 +136,8 @@ func runLoadgen() error {
 	tb.AddRow("frames/s", fmt.Sprintf("%.0f", res.FramesPerSec))
 	tb.AddRow("p50 delivery latency", fmt.Sprintf("%.3f ms", res.P50LatencyMs))
 	tb.AddRow("p99 delivery latency", fmt.Sprintf("%.3f ms", res.P99LatencyMs))
+	tb.AddRow("p99.9 delivery latency", fmt.Sprintf("%.3f ms", res.P999LatencyMs))
+	tb.AddRow("max delivery latency", fmt.Sprintf("%.3f ms", res.MaxLatencyMs))
 	fmt.Print(tb.String())
 
 	if *out != "" {

@@ -58,6 +58,13 @@ type Config struct {
 	Seed int64
 	// Observer optionally collects shard-labeled fleet metrics.
 	Observer *obs.Observer
+	// StageTiming optionally attributes per-stage wall time: when non-nil
+	// every pipeline stage's Step is timed into the clock named after the
+	// stage. The decorator is digest-neutral — it draws no randomness and
+	// never touches the Tick — so every digest pin holds with timing
+	// enabled. Process-local observability: not serialized in checkpoints,
+	// ignored by config comparison.
+	StageTiming *obs.StageTimer
 
 	// Faults optionally injects the profile's deterministic failure modes
 	// (electrode faults, brownouts, burst link) into every implant, each

@@ -54,12 +54,20 @@ func faultConfig() Config {
 // one (burst link + brownouts + electrode faults + ARQ + FEC +
 // concealment).
 func TestFleetDeterminismWall(t *testing.T) {
+	timed := faultConfig()
+	timed.Decode = DecodeConfig{Kind: DecoderKalman}
+	timed.StageTiming = obs.NewStageTimer()
 	scenarios := []struct {
 		name string
 		cfg  Config
 	}{
 		{"clean", testConfig()},
 		{"faults", faultConfig()},
+		// The flight recorder's digest-neutrality contract: the wall must
+		// hold with the timing decorator wrapping all four stages (the
+		// timer is shared across every worker-count run — it accumulates
+		// wall time, never touches the simulation).
+		{"timed", timed},
 	}
 	for _, sc := range scenarios {
 		sc := sc

@@ -157,6 +157,10 @@ func NewPipeline(cfg Config, idx, worker int) (*Pipeline, error) {
 		p.dec = dec
 		p.stages = append(p.stages, dec)
 	}
+	// Timing decoration happens last so every stage — including the
+	// decode stage — is wrapped. Typed references (p.src etc.) stay
+	// unwrapped: hooks and Result() read components directly.
+	wrapTimed(p.stages, cfg.StageTiming)
 	return p, nil
 }
 

@@ -1,0 +1,48 @@
+package fleet
+
+import (
+	"time"
+
+	"mindful/internal/obs"
+)
+
+// timedStage decorates a Stage with wall-time attribution. The contract
+// is digest neutrality: Step reads the clock, delegates, reads the
+// clock again — no RNG draws, no Tick mutation, no behavioral branch —
+// so a timed pipeline's counters and digests are byte-identical to the
+// untimed run (TestStageTimingDigestNeutral pins this). Everything else
+// delegates verbatim, so snapshot/restore and Close see the graph
+// exactly as built.
+type timedStage struct {
+	inner Stage
+	clock *obs.StageClock
+}
+
+// wrapTimed decorates each stage in place when a timer is configured.
+// Clock handles are resolved here, once, so Step stays on the atomic
+// fast path.
+func wrapTimed(stages []Stage, timer *obs.StageTimer) {
+	if timer == nil {
+		return
+	}
+	for i, s := range stages {
+		stages[i] = &timedStage{inner: s, clock: timer.Clock(s.Name())}
+	}
+}
+
+func (t *timedStage) Name() string { return t.inner.Name() }
+
+func (t *timedStage) Step(tk *Tick) error {
+	start := time.Now()
+	err := t.inner.Step(tk)
+	t.clock.Observe(time.Since(start).Nanoseconds())
+	return err
+}
+
+func (t *timedStage) Snapshot(st *PipelineState) { t.inner.Snapshot(st) }
+
+func (t *timedStage) Restore(cfg Config, st *PipelineState) error {
+	return t.inner.Restore(cfg, st)
+}
+
+func (t *timedStage) Close() { t.inner.Close() }

@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// The event log is the flight recorder's durable narrative: a bounded
+// ring buffer of typed, timestamped records with monotonic sequence
+// numbers. Where metrics aggregate and spans time, events *explain* —
+// a session was restored, an ARQ budget ran out, a brownout began.
+// Recording is cheap (one mutex, no allocation beyond the variadic
+// attribute slice), eviction is oldest-first and counted, and the
+// export is canonical JSONL: fixed field order, attributes in record
+// order, so identical histories serialize byte-identically.
+
+// maxEventAttrs bounds per-event attributes so the ring stays fixed
+// size; attributes past the limit are dropped and counted.
+const maxEventAttrs = 6
+
+// EventAttr is one numeric event attribute.
+type EventAttr struct {
+	Key string
+	Val float64
+}
+
+// Event is one recorded flight-recorder entry.
+type Event struct {
+	// Seq is the 1-based monotonic sequence number. Gaps in an exported
+	// stream mean the ring evicted records between two snapshots.
+	Seq uint64
+	// TimeNs is nanoseconds since the log's epoch.
+	TimeNs int64
+	// Type classifies the event (e.g. "session_create", "arq_exhausted").
+	Type string
+	// Subject names what the event happened to (e.g. a session ID).
+	Subject string
+	// Detail carries optional free-form context (a decoder name, an
+	// error string).
+	Detail string
+	// Attrs are the numeric attributes, in record order.
+	Attrs  [maxEventAttrs]EventAttr
+	NAttrs int
+}
+
+// EventLog records events into a bounded ring buffer, evicting oldest
+// first. Safe for concurrent use; every method is safe on a nil
+// receiver, so an unattached log costs one nil check per call site.
+type EventLog struct {
+	mu           sync.Mutex
+	ring         []Event
+	next         uint64 // events recorded; seq numbers are 1-based
+	attrsDropped uint64 // attributes dropped past maxEventAttrs
+	clock        func() int64
+	epoch        time.Time
+}
+
+// NewEventLog returns an event log retaining the most recent capacity
+// events.
+func NewEventLog(capacity int) *EventLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	l := &EventLog{ring: make([]Event, capacity), epoch: time.Now()}
+	l.clock = func() int64 { return int64(time.Since(l.epoch)) }
+	return l
+}
+
+// SetClock replaces the log's clock (ns since an arbitrary epoch) — used
+// by tests for deterministic timestamps. Safe on a nil receiver.
+func (l *EventLog) SetClock(clock func() int64) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.clock = clock
+	l.mu.Unlock()
+}
+
+// Record appends one event and returns its sequence number (0 on a nil
+// receiver). Attributes beyond the per-event limit are dropped and
+// counted rather than allocated.
+func (l *EventLog) Record(typ, subject, detail string, attrs ...EventAttr) uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	l.next++
+	seq := l.next
+	e := &l.ring[(seq-1)%uint64(len(l.ring))]
+	*e = Event{Seq: seq, TimeNs: l.clock(), Type: typ, Subject: subject, Detail: detail}
+	for _, a := range attrs {
+		if e.NAttrs < maxEventAttrs {
+			e.Attrs[e.NAttrs] = a
+			e.NAttrs++
+		} else {
+			l.attrsDropped++
+		}
+	}
+	l.mu.Unlock()
+	return seq
+}
+
+// Recorded returns the total number of events ever recorded, including
+// ones the ring has since evicted. Safe on a nil receiver.
+func (l *EventLog) Recorded() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Dropped returns how many events the ring has evicted oldest-first —
+// the sizing signal for the capacity. Safe on a nil receiver.
+func (l *EventLog) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if cap64 := uint64(len(l.ring)); l.next > cap64 {
+		return l.next - cap64
+	}
+	return 0
+}
+
+// AttrsDropped returns how many attributes were discarded past the
+// per-event limit. Safe on a nil receiver.
+func (l *EventLog) AttrsDropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.attrsDropped
+}
+
+// Snapshot returns the retained events in sequence order (oldest
+// first). Safe on a nil receiver (returns nil).
+func (l *EventLog) Snapshot() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	cap64 := uint64(len(l.ring))
+	start := uint64(1)
+	if n > cap64 {
+		start = n - cap64 + 1
+	}
+	out := make([]Event, 0, n-start+1)
+	for seq := start; seq <= n; seq++ {
+		out = append(out, l.ring[(seq-1)%cap64])
+	}
+	return out
+}
+
+// AppendJSON serializes the event onto dst in the canonical wire form:
+// fixed field order, attributes as an object in record order, numbers
+// via strconv so identical events encode byte-identically.
+func (e Event) AppendJSON(dst []byte) []byte {
+	dst = append(dst, `{"seq":`...)
+	dst = strconv.AppendUint(dst, e.Seq, 10)
+	dst = append(dst, `,"t_ns":`...)
+	dst = strconv.AppendInt(dst, e.TimeNs, 10)
+	dst = append(dst, `,"type":`...)
+	dst = appendJSONString(dst, e.Type)
+	if e.Subject != "" {
+		dst = append(dst, `,"subject":`...)
+		dst = appendJSONString(dst, e.Subject)
+	}
+	if e.Detail != "" {
+		dst = append(dst, `,"detail":`...)
+		dst = appendJSONString(dst, e.Detail)
+	}
+	if e.NAttrs > 0 {
+		dst = append(dst, `,"attrs":{`...)
+		for i := 0; i < e.NAttrs; i++ {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendJSONString(dst, e.Attrs[i].Key)
+			dst = append(dst, ':')
+			dst = strconv.AppendFloat(dst, e.Attrs[i].Val, 'g', -1, 64)
+		}
+		dst = append(dst, '}')
+	}
+	return append(dst, '}')
+}
+
+// appendJSONString appends s as a quoted JSON string. The encoding/json
+// marshaller would escape <, > and & for HTML embedding; event types and
+// subjects are plain identifiers, so the simple escape set suffices and
+// keeps the output canonical.
+func appendJSONString(dst []byte, s string) []byte {
+	b, _ := json.Marshal(s) // cannot fail for a string
+	return append(dst, b...)
+}
+
+// WriteJSONL writes the retained events as canonical JSON lines, oldest
+// first. Safe on a nil receiver (writes nothing).
+func (l *EventLog) WriteJSONL(w io.Writer) error {
+	var buf []byte
+	for _, e := range l.Snapshot() {
+		buf = e.AppendJSON(buf[:0])
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonEvent is the decode form of one event line.
+type jsonEvent struct {
+	Seq     *uint64            `json:"seq"`
+	TimeNs  *int64             `json:"t_ns"`
+	Type    string             `json:"type"`
+	Subject string             `json:"subject"`
+	Detail  string             `json:"detail"`
+	Attrs   map[string]float64 `json:"attrs"`
+}
+
+// DecodeEvent parses one JSONL event line back into an Event. Truncated,
+// garbage or schema-violating input is an error, never a panic — the
+// contract FuzzEventLogDecode pins. Attribute order inside the object is
+// not recoverable from a map; decoded attributes are returned sorted by
+// key for determinism.
+func DecodeEvent(line []byte) (Event, error) {
+	line = bytes.TrimSpace(line)
+	if len(line) == 0 {
+		return Event{}, errors.New("obs: empty event line")
+	}
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var je jsonEvent
+	if err := dec.Decode(&je); err != nil {
+		return Event{}, fmt.Errorf("obs: bad event line: %w", err)
+	}
+	if dec.More() {
+		return Event{}, errors.New("obs: trailing data after event")
+	}
+	if je.Seq == nil || *je.Seq == 0 {
+		return Event{}, errors.New("obs: event missing seq")
+	}
+	if je.TimeNs == nil {
+		return Event{}, errors.New("obs: event missing t_ns")
+	}
+	if je.Type == "" {
+		return Event{}, errors.New("obs: event missing type")
+	}
+	if len(je.Attrs) > maxEventAttrs {
+		return Event{}, fmt.Errorf("obs: event carries %d attrs, limit %d", len(je.Attrs), maxEventAttrs)
+	}
+	e := Event{Seq: *je.Seq, TimeNs: *je.TimeNs, Type: je.Type, Subject: je.Subject, Detail: je.Detail}
+	keys := make([]string, 0, len(je.Attrs))
+	for k := range je.Attrs {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	for _, k := range keys {
+		e.Attrs[e.NAttrs] = EventAttr{Key: k, Val: je.Attrs[k]}
+		e.NAttrs++
+	}
+	return e, nil
+}
+
+// sortStrings is an insertion sort: attribute sets are tiny and this
+// avoids pulling sort into the decode path's import graph twice.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

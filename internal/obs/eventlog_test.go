@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"unicode/utf8"
+)
+
+// stubClock returns a deterministic clock advancing 50ns per call.
+func stubClock() func() int64 {
+	now := int64(0)
+	return func() int64 { now += 50; return now }
+}
+
+func TestEventLogBasics(t *testing.T) {
+	l := NewEventLog(8)
+	l.SetClock(stubClock())
+	seq := l.Record("session_create", "s-1", "kalman",
+		EventAttr{Key: "implants", Val: 4})
+	if seq != 1 {
+		t.Fatalf("first seq = %d, want 1", seq)
+	}
+	if seq = l.Record("session_pause", "s-1", ""); seq != 2 {
+		t.Fatalf("second seq = %d, want 2", seq)
+	}
+	evs := l.Snapshot()
+	if len(evs) != 2 {
+		t.Fatalf("snapshot has %d events, want 2", len(evs))
+	}
+	if evs[0].Type != "session_create" || evs[0].Subject != "s-1" || evs[0].Detail != "kalman" {
+		t.Errorf("first event = %+v", evs[0])
+	}
+	if evs[0].TimeNs != 50 || evs[1].TimeNs != 100 {
+		t.Errorf("timestamps = %d, %d, want 50, 100", evs[0].TimeNs, evs[1].TimeNs)
+	}
+	if evs[0].NAttrs != 1 || evs[0].Attrs[0] != (EventAttr{Key: "implants", Val: 4}) {
+		t.Errorf("attrs = %v (n=%d)", evs[0].Attrs, evs[0].NAttrs)
+	}
+	if l.Recorded() != 2 || l.Dropped() != 0 {
+		t.Errorf("recorded/dropped = %d/%d, want 2/0", l.Recorded(), l.Dropped())
+	}
+}
+
+func TestEventLogEviction(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 0; i < 10; i++ {
+		l.Record("tick", "", "")
+	}
+	evs := l.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	// Oldest-first, contiguous, ending at the newest seq.
+	for i, e := range evs {
+		if want := uint64(7 + i); e.Seq != want {
+			t.Errorf("event %d seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+	if l.Recorded() != 10 {
+		t.Errorf("Recorded = %d, want 10", l.Recorded())
+	}
+	if l.Dropped() != 6 {
+		t.Errorf("Dropped = %d, want 6", l.Dropped())
+	}
+}
+
+func TestEventLogAttrOverflow(t *testing.T) {
+	l := NewEventLog(2)
+	attrs := make([]EventAttr, maxEventAttrs+3)
+	for i := range attrs {
+		attrs[i] = EventAttr{Key: string(rune('a' + i)), Val: float64(i)}
+	}
+	l.Record("overfull", "", "", attrs...)
+	if got := l.Snapshot()[0].NAttrs; got != maxEventAttrs {
+		t.Errorf("retained %d attrs, want %d", got, maxEventAttrs)
+	}
+	if l.AttrsDropped() != 3 {
+		t.Errorf("AttrsDropped = %d, want 3", l.AttrsDropped())
+	}
+}
+
+func TestEventLogNilSafety(t *testing.T) {
+	var l *EventLog
+	l.SetClock(func() int64 { return 0 })
+	if seq := l.Record("x", "", ""); seq != 0 {
+		t.Errorf("nil Record seq = %d, want 0", seq)
+	}
+	if l.Snapshot() != nil || l.Recorded() != 0 || l.Dropped() != 0 || l.AttrsDropped() != 0 {
+		t.Error("nil event log must read as empty")
+	}
+	var b strings.Builder
+	if err := l.WriteJSONL(&b); err != nil || b.Len() != 0 {
+		t.Errorf("nil WriteJSONL = %v, %q", err, b.String())
+	}
+}
+
+func TestEventLogConcurrency(t *testing.T) {
+	l := NewEventLog(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Record("concurrent", "g", "", EventAttr{Key: "i", Val: float64(i)})
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Recorded() != 8000 {
+		t.Errorf("Recorded = %d, want 8000", l.Recorded())
+	}
+	evs := l.Snapshot()
+	if len(evs) != 64 {
+		t.Fatalf("retained %d, want 64", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("snapshot seqs not contiguous at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestEventRoundTrip(t *testing.T) {
+	l := NewEventLog(8)
+	l.SetClock(stubClock())
+	l.Record("arq_exhausted", "s-2", "frame 17",
+		EventAttr{Key: "retries", Val: 2}, EventAttr{Key: "tick", Val: 17})
+	l.Record("brownout_onset", "s-2", "")
+	var b strings.Builder
+	if err := l.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2", len(lines))
+	}
+	for i, line := range lines {
+		got, err := DecodeEvent([]byte(line))
+		if err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		want := l.Snapshot()[i]
+		if got != want {
+			t.Errorf("line %d round-trip mismatch:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func TestEventJSONCanonical(t *testing.T) {
+	e := Event{Seq: 3, TimeNs: 150, Type: "evict", Subject: `sub "q"`, Detail: "stall",
+		Attrs: [maxEventAttrs]EventAttr{{Key: "depth", Val: 64}, {Key: "dropped", Val: 2.5}}, NAttrs: 2}
+	got := string(e.AppendJSON(nil))
+	want := `{"seq":3,"t_ns":150,"type":"evict","subject":"sub \"q\"","detail":"stall","attrs":{"depth":64,"dropped":2.5}}`
+	if got != want {
+		t.Errorf("canonical JSON mismatch:\n got %s\nwant %s", got, want)
+	}
+	// Serializing the same event twice must be byte-identical.
+	if again := string(e.AppendJSON(nil)); again != got {
+		t.Errorf("non-deterministic encode: %s vs %s", got, again)
+	}
+}
+
+func TestDecodeEventErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"not json",
+		`{"seq":1`,                               // truncated
+		`{"t_ns":5,"type":"x"}`,                  // missing seq
+		`{"seq":0,"t_ns":5,"type":"x"}`,          // zero seq
+		`{"seq":1,"type":"x"}`,                   // missing t_ns
+		`{"seq":1,"t_ns":5}`,                     // missing type
+		`{"seq":1,"t_ns":5,"type":"x","q":1}`,    // unknown field
+		`{"seq":1,"t_ns":5,"type":"x"} trailing`, // trailing data
+		`{"seq":-1,"t_ns":5,"type":"x"}`,         // negative seq
+		`{"seq":1,"t_ns":5,"type":"x","attrs":{"a":1,"b":2,"c":3,"d":4,"e":5,"f":6,"g":7}}`, // too many attrs
+	}
+	for _, line := range bad {
+		if _, err := DecodeEvent([]byte(line)); err == nil {
+			t.Errorf("DecodeEvent(%q) succeeded, want error", line)
+		}
+	}
+}
+
+// FuzzEventLogDecode pins the decoder's crash-safety contract: arbitrary
+// bytes — truncated records, garbage, adversarial JSON — must produce an
+// error or a valid event, never a panic. Valid decodes must re-encode to
+// a line that decodes identically (canonical form is a fixed point).
+func FuzzEventLogDecode(f *testing.F) {
+	f.Add([]byte(`{"seq":1,"t_ns":50,"type":"session_create","subject":"s-1","detail":"kalman","attrs":{"implants":4}}`))
+	f.Add([]byte(`{"seq":18446744073709551615,"t_ns":-1,"type":"x"}`))
+	f.Add([]byte(`{"seq":1`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte("\x00\xff\xfe"))
+	f.Add([]byte("{\"seq\":1,\"t_ns\":0,\"type\":\"\\u0000\"}"))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		e, err := DecodeEvent(line)
+		if err != nil {
+			return
+		}
+		if e.Seq == 0 || e.Type == "" {
+			t.Fatalf("decode accepted event violating schema: %+v", e)
+		}
+		// json.Marshal of decoded strings requires valid UTF-8 for the
+		// canonical re-encode; the decoder replaces invalid sequences, so
+		// re-encoded output must always be decodable.
+		reenc := e.AppendJSON(nil)
+		if !utf8.Valid(reenc) {
+			t.Fatalf("re-encoded event is not valid UTF-8: %q", reenc)
+		}
+		e2, err := DecodeEvent(reenc)
+		if err != nil {
+			t.Fatalf("re-encoded event %s failed to decode: %v", reenc, err)
+		}
+		if e2 != e {
+			t.Fatalf("canonical re-encode not a fixed point:\n once %+v\ntwice %+v", e, e2)
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+// buildGoldenObserver assembles a deterministic observer exercising every
+// export path: labeled and unlabeled metrics of each kind, nested spans
+// with attributes, and flight-recorder events — enough to pin JSONL field
+// ordering end to end.
+func buildGoldenObserver() *Observer {
+	o := &Observer{
+		Metrics: NewRegistry(),
+		Tracer:  NewTracer(8),
+		Events:  NewEventLog(8),
+	}
+	now := int64(0)
+	clock := func() int64 { now += 100; return now }
+	o.Tracer.SetClock(clock)
+	o.Events.SetClock(clock)
+
+	o.Metrics.Counter("frames_total", Label{Key: "stage", Value: "transport"}).Add(7)
+	o.Metrics.Gauge("queue_depth").Set(3.5)
+	h := o.Metrics.Histogram("stage_ns", []float64{100, 1000})
+	h.Observe(50)
+	h.Observe(500)
+	h.Observe(5000)
+
+	root := o.Tracer.Start("pipeline.tick", 0)
+	child := o.Tracer.Start("stage.decode", root)
+	o.Tracer.Attr(child, "channels", 64)
+	o.Tracer.End(child)
+	o.Tracer.End(root)
+
+	o.Events.Record("session_create", "s-1", "kalman", EventAttr{Key: "implants", Val: 4})
+	o.Events.Record("arq_exhausted", "s-1", "", EventAttr{Key: "tick", Val: 17}, EventAttr{Key: "retries", Val: 2})
+	o.Events.Record("session_drain", "s-1", "")
+	return o
+}
+
+// TestExportGoldenFiles pins the byte-exact JSONL export of metrics,
+// traces and events against files under testdata/ — the export-ordering
+// contract external consumers parse against. Regenerate intentionally
+// with: go test ./internal/obs -run TestExportGoldenFiles -update
+func TestExportGoldenFiles(t *testing.T) {
+	o := buildGoldenObserver()
+	for _, tc := range []struct {
+		file  string
+		write func(*strings.Builder) error
+	}{
+		{"metrics.golden.jsonl", func(b *strings.Builder) error { return o.Metrics.WriteJSONL(b) }},
+		{"trace.golden.jsonl", func(b *strings.Builder) error { return o.Tracer.WriteJSONL(b) }},
+		{"events.golden.jsonl", func(b *strings.Builder) error { return o.Events.WriteJSONL(b) }},
+	} {
+		t.Run(tc.file, func(t *testing.T) {
+			var b strings.Builder
+			if err := tc.write(&b); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", tc.file)
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if b.String() != string(want) {
+				t.Errorf("export drifted from %s:\n got:\n%s\nwant:\n%s\n(run with -update if intentional)",
+					path, b.String(), want)
+			}
+		})
+	}
+}
+
+// TestTracerWraparoundSustained drives the ring through many wraps and
+// pins the eviction contract: the newest `capacity` spans survive in
+// oldest-first order, Started() counts every span ever started, and
+// attributes on surviving spans are intact.
+func TestTracerWraparoundSustained(t *testing.T) {
+	const capacity, total = 8, 50
+	tr := NewTracer(capacity)
+	now := int64(0)
+	tr.SetClock(func() int64 { now++; return now })
+	for i := 0; i < total; i++ {
+		id := tr.Start(fmt.Sprintf("span-%d", i), 0)
+		tr.Attr(id, "i", float64(i))
+		tr.End(id)
+	}
+	if tr.Started() != total {
+		t.Errorf("Started = %d, want %d", tr.Started(), total)
+	}
+	spans := tr.Snapshot()
+	if len(spans) != capacity {
+		t.Fatalf("retained %d spans, want %d", len(spans), capacity)
+	}
+	for i, s := range spans {
+		wantID := uint64(total - capacity + 1 + i)
+		if s.ID != wantID {
+			t.Errorf("span %d: ID = %d, want %d (oldest-first after wrap)", i, s.ID, wantID)
+		}
+		wantName := fmt.Sprintf("span-%d", wantID-1)
+		if s.Name != wantName {
+			t.Errorf("span %d: name = %q, want %q", i, s.Name, wantName)
+		}
+		if s.NAttrs != 1 || s.Attrs[0].Val != float64(wantID-1) {
+			t.Errorf("span %d: attrs = %v (n=%d), want i=%d", i, s.Attrs, s.NAttrs, wantID-1)
+		}
+		if s.End == 0 {
+			t.Errorf("span %d: not ended", i)
+		}
+	}
+}

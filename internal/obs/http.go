@@ -14,6 +14,7 @@ import (
 //	/metrics       Prometheus text exposition
 //	/metrics.json  JSON-lines metrics snapshot
 //	/trace         JSON-lines span dump
+//	/events        JSON-lines flight-recorder event dump
 //	/debug/vars    expvar (cmdline, memstats, …)
 //	/debug/pprof/  runtime profiling endpoints
 func NewDebugMux(o *Observer) *http.ServeMux {
@@ -34,6 +35,12 @@ func NewDebugMux(o *Observer) *http.ServeMux {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		if o != nil {
 			_ = o.Tracer.WriteJSONL(w)
+		}
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if o != nil {
+			_ = o.Events.WriteJSONL(w)
 		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())

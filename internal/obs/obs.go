@@ -26,21 +26,33 @@ type Label struct {
 	Key, Value string
 }
 
-// Observer bundles the two sinks a component can be wired to. A nil
-// *Observer (or nil fields) short-circuits all instrumentation.
+// Observer bundles the sinks a component can be wired to: the metrics
+// registry, the span tracer, and the flight recorder's structured event
+// log. A nil *Observer (or nil fields) short-circuits all
+// instrumentation.
 type Observer struct {
 	Metrics *Registry
 	Tracer  *Tracer
+	Events  *EventLog
 }
 
 // DefaultTraceCapacity is the ring size of New's tracer: large enough to
 // hold several thousand pipeline ticks' stage spans.
 const DefaultTraceCapacity = 16384
 
-// New returns an Observer with a fresh registry and a default-capacity
-// tracer.
+// DefaultEventCapacity is the ring size of New's event log: lifecycle
+// and fault-path events are orders of magnitude rarer than spans, so a
+// smaller ring retains a long history.
+const DefaultEventCapacity = 4096
+
+// New returns an Observer with a fresh registry, a default-capacity
+// tracer and a default-capacity event log.
 func New() *Observer {
-	return &Observer{Metrics: NewRegistry(), Tracer: NewTracer(DefaultTraceCapacity)}
+	return &Observer{
+		Metrics: NewRegistry(),
+		Tracer:  NewTracer(DefaultTraceCapacity),
+		Events:  NewEventLog(DefaultEventCapacity),
+	}
 }
 
 // metric kinds.
@@ -283,12 +295,72 @@ func (h *Histogram) Observe(v float64) {
 	h.count.Add(1)
 }
 
+// NewHistogram returns a standalone histogram (not attached to any
+// registry) with the given ascending bucket bounds — the building block
+// behind StageTimer and the loadgen latency estimator. Histograms from
+// Registry.Histogram share the same implementation.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending at %d", i))
+		}
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]atomic.Int64, len(h.bounds)+1)
+	return h
+}
+
 // Count returns the number of observations (0 on a nil receiver).
 func (h *Histogram) Count() int64 {
 	if h == nil {
 		return 0
 	}
 	return h.count.Load()
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts
+// by linear interpolation inside the covering bucket — the
+// histogram_quantile estimator. Observations are assumed non-negative:
+// the first bucket interpolates from 0. A quantile that lands in the
+// +Inf overflow bucket is clamped to the highest finite bound (there is
+// no upper edge to interpolate toward). Returns 0 on a nil receiver or
+// an empty histogram. Under concurrent observation the bucket loads are
+// not a consistent snapshot; the estimate is approximate, which is all a
+// bucketed quantile ever is.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || len(h.bounds) == 0 {
+		return 0
+	}
+	total := int64(0)
+	counts := make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	lower := 0.0
+	for i, ub := range h.bounds {
+		c := counts[i]
+		if c > 0 && float64(cum)+float64(c) >= rank {
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (ub-lower)*frac
+		}
+		cum += c
+		lower = ub
+	}
+	return h.bounds[len(h.bounds)-1]
 }
 
 // Sum returns the sum of observed values (0 on a nil receiver).

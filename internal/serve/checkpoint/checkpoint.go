@@ -64,6 +64,7 @@ var (
 	ErrTruncated   = errors.New("checkpoint: truncated")
 	ErrTrailing    = errors.New("checkpoint: trailing bytes")
 	ErrLengthBound = errors.New("checkpoint: length field exceeds bound")
+	ErrNonFinite   = errors.New("checkpoint: non-finite float field")
 )
 
 // SessionConfig is the serializable subset of fleet.Config a serve
@@ -247,8 +248,20 @@ func (r *reader) u64() uint64 {
 	return binary.BigEndian.Uint64(b)
 }
 
-func (r *reader) i64() int64   { return int64(r.u64()) }
-func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+func (r *reader) i64() int64 { return int64(r.u64()) }
+
+// f64 rejects non-finite values: no pipeline component can snapshot a
+// NaN or Inf (decoders error on non-finite input before it reaches
+// state), so any such bit pattern is a forged blob — and NaN would
+// silently break the decode/encode round-trip invariant (NaN ≠ NaN).
+func (r *reader) f64() float64 {
+	v := math.Float64frombits(r.u64())
+	if r.err == nil && (math.IsNaN(v) || math.IsInf(v, 0)) {
+		r.err = ErrNonFinite
+		return 0
+	}
+	return v
+}
 
 func (r *reader) boolean() bool {
 	switch r.u8() {

@@ -2,6 +2,7 @@ package checkpoint
 
 import (
 	"bytes"
+	"math"
 	"reflect"
 	"testing"
 	"time"
@@ -150,6 +151,20 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 	}
 	if _, err := Decode(append(append([]byte(nil), blob...), 0)); err != ErrTrailing {
 		t.Fatalf("trailing byte: got %v", err)
+	}
+	// Non-finite floats cannot come from a real session, and a NaN that
+	// slipped through would break DeepEqual-based round-trip checks.
+	cp, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Config.SampleRateHz = math.NaN()
+	if _, err := Decode(Encode(cp)); err != ErrNonFinite {
+		t.Fatalf("NaN float: got %v, want ErrNonFinite", err)
+	}
+	cp.Config.SampleRateHz = math.Inf(1)
+	if _, err := Decode(Encode(cp)); err != ErrNonFinite {
+		t.Fatalf("+Inf float: got %v, want ErrNonFinite", err)
 	}
 }
 

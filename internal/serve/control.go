@@ -24,8 +24,15 @@ import (
 //	                                     (?ticks=N extends the target,
 //	                                      ?start_paused=1 creates paused)
 //	DELETE /api/sessions/{id}            halt, release, forget
-//	GET    /api/stats                    gateway-wide aggregates
+//	GET    /api/sessions/{id}/stats      per-session introspection (queue
+//	                                     depths, drops, decode stats,
+//	                                     last activity)
+//	GET    /api/stats                    gateway-wide aggregates +
+//	                                     delivery-latency percentiles
 //	GET    /healthz                      liveness
+//	GET    /readyz                       readiness (503 until both planes
+//	                                     are bound; 503 again once
+//	                                     shutdown begins)
 //
 // Errors are {"error": "..."} with a meaningful status code.
 
@@ -41,13 +48,22 @@ type CreateRequest struct {
 	StartPaused bool `json:"start_paused"`
 }
 
-// StatsResponse is the gateway-wide aggregate view.
+// StatsResponse is the gateway-wide aggregate view. The latency fields
+// are end-to-end publish→subscriber-write percentiles in milliseconds,
+// estimated from the delivery histogram; zero until a record has been
+// delivered.
 type StatsResponse struct {
 	Sessions    int   `json:"sessions"`
 	Subscribers int   `json:"subscribers"`
 	Published   int64 `json:"frames_published"`
 	Dropped     int64 `json:"dropped_frames"`
 	Evicted     int64 `json:"evicted_subscribers"`
+
+	Delivered            int64   `json:"records_delivered"`
+	DeliveryLatencyP50Ms float64 `json:"delivery_latency_p50_ms"`
+	DeliveryLatencyP99Ms float64 `json:"delivery_latency_p99_ms"`
+	// P999 is the p99.9 tail — the SLO figure stall eviction protects.
+	DeliveryLatencyP999Ms float64 `json:"delivery_latency_p999_ms"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -74,7 +90,15 @@ func (s *Server) controlMux() *http.ServeMux {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.Ready() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not ready"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
 	mux.HandleFunc("GET /api/stats", s.handleStats)
+	mux.HandleFunc("GET /api/sessions/{id}/stats", s.handleSessionStats)
 	mux.HandleFunc("POST /api/sessions", s.handleCreate)
 	mux.HandleFunc("GET /api/sessions", s.handleList)
 	mux.HandleFunc("POST /api/sessions/restore", s.handleRestore)
@@ -95,7 +119,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Dropped += info.Dropped
 		resp.Evicted += info.Evicted
 	}
+	resp.Delivered = s.latency.Count()
+	const msPerNs = 1e-6
+	resp.DeliveryLatencyP50Ms = s.latency.Quantile(0.50) * msPerNs
+	resp.DeliveryLatencyP99Ms = s.latency.Quantile(0.99) * msPerNs
+	resp.DeliveryLatencyP999Ms = s.latency.Quantile(0.999) * msPerNs
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.stats())
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {

@@ -8,10 +8,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"sort"
 	"sync"
 	"time"
 
+	"mindful/internal/obs"
 	"mindful/internal/serve/checkpoint"
 )
 
@@ -74,8 +74,18 @@ type LoadResult struct {
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	SessionsPerSec float64 `json:"sessions_per_sec"`
 	FramesPerSec   float64 `json:"frames_per_sec"`
-	P50LatencyMs   float64 `json:"p50_delivery_latency_ms"`
-	P99LatencyMs   float64 `json:"p99_delivery_latency_ms"`
+	// Latency percentiles are histogram-estimated (obs.Histogram.Quantile)
+	// rather than sorted-sample exact; Max is the exact observed maximum.
+	P50LatencyMs  float64 `json:"p50_delivery_latency_ms"`
+	P99LatencyMs  float64 `json:"p99_delivery_latency_ms"`
+	P999LatencyMs float64 `json:"p999_delivery_latency_ms"`
+	MaxLatencyMs  float64 `json:"max_delivery_latency_ms"`
+}
+
+// loadLatencyBuckets spans 1µs..~90s in milliseconds — client-side
+// delivery latency from loopback microseconds to stall-eviction tails.
+func loadLatencyBuckets() []float64 {
+	return obs.ExpBuckets(0.001, 1.6, 40)
 }
 
 // RunLoad executes the load scenario and returns its measurements.
@@ -120,12 +130,15 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		ids[i] = info.ID
 	}
 
-	// Attach the subscribers; each records the latency of every record.
+	// Attach the subscribers; each observes the latency of every record
+	// into a shared histogram (atomic buckets — no post-hoc sort) and
+	// tracks its exact local maximum.
 	type subResult struct {
-		records   int64
-		latencies []float64 // milliseconds
-		err       error
+		records int64
+		maxMs   float64
+		err     error
 	}
+	latHist := obs.NewHistogram(loadLatencyBuckets())
 	nSubs := cfg.Sessions * cfg.SubsPerSession
 	results := make([]subResult, nSubs)
 	var wg sync.WaitGroup
@@ -141,7 +154,6 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 				return
 			}
 			defer conn.Close()
-			lat := make([]float64, 0, cfg.Ticks)
 			for {
 				rec, err := ReadRecord(br)
 				if err != nil {
@@ -151,9 +163,12 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 					break
 				}
 				results[i].records++
-				lat = append(lat, float64(time.Now().UnixNano()-rec.PublishNs)/1e6)
+				ms := float64(time.Now().UnixNano()-rec.PublishNs) / 1e6
+				latHist.Observe(ms)
+				if ms > results[i].maxMs {
+					results[i].maxMs = ms
+				}
 			}
-			results[i].latencies = lat
 		}(i)
 	}
 	for i := 0; i < nSubs; i++ {
@@ -177,13 +192,14 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		Ticks:          cfg.Ticks,
 		ElapsedSeconds: elapsed.Seconds(),
 	}
-	var all []float64
 	for i := range results {
 		if err := results[i].err; err != nil {
 			return nil, fmt.Errorf("serve: subscriber %d: %w", i, err)
 		}
 		res.Records += results[i].records
-		all = append(all, results[i].latencies...)
+		if results[i].maxMs > res.MaxLatencyMs {
+			res.MaxLatencyMs = results[i].maxMs
+		}
 	}
 	for _, id := range ids {
 		info, err := getSession(ctlURL, id)
@@ -198,19 +214,10 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		res.SessionsPerSec = float64(cfg.Sessions) / s
 		res.FramesPerSec = float64(res.Records) / s
 	}
-	res.P50LatencyMs = percentile(all, 0.50)
-	res.P99LatencyMs = percentile(all, 0.99)
+	res.P50LatencyMs = latHist.Quantile(0.50)
+	res.P99LatencyMs = latHist.Quantile(0.99)
+	res.P999LatencyMs = latHist.Quantile(0.999)
 	return res, nil
-}
-
-// percentile returns the p-quantile of xs (0 for empty input).
-func percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	sort.Float64s(xs)
-	idx := int(p * float64(len(xs)-1))
-	return xs[idx]
 }
 
 // Minimal HTTP helpers — the control plane is plain JSON.

@@ -22,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mindful/internal/obs"
@@ -75,6 +76,15 @@ type Server struct {
 	strLn   net.Listener
 	httpSrv *http.Server
 	wg      sync.WaitGroup
+	ready   atomic.Bool
+
+	// events is the flight recorder's structured log (nil without an
+	// observer — every Record call is nil-safe). latency is the
+	// end-to-end publish→subscriber-write histogram behind the /api/stats
+	// latency percentiles; always live, observed off the tick loop in
+	// subscriber write loops.
+	events  *obs.EventLog
+	latency *obs.Histogram
 
 	mSessions  *obs.Gauge
 	mSubs      *obs.Gauge
@@ -111,7 +121,16 @@ func New(cfg Config) (*Server, error) {
 	if cfg.StallTimeout == 0 {
 		cfg.StallTimeout = DefaultStallTimeout
 	}
-	s := &Server{cfg: cfg, sessions: make(map[string]*Session)}
+	s := &Server{
+		cfg:      cfg,
+		sessions: make(map[string]*Session),
+		// 1µs..~8s exponential buckets: a local subscriber writes within
+		// microseconds; a stalled one drifts toward the eviction timeout.
+		latency: obs.NewHistogram(obs.ExpBuckets(1000, 2, 24)),
+	}
+	if o := cfg.Observer; o != nil {
+		s.events = o.Events
+	}
 	if o := cfg.Observer; o != nil && o.Metrics != nil {
 		m := o.Metrics
 		s.mSessions = m.Gauge("serve_sessions_active")
@@ -136,6 +155,25 @@ func New(cfg Config) (*Server, error) {
 		m.Help("serve_decode_sessions_total", "Sessions hosted with a decoder in the loop.")
 	}
 	return s, nil
+}
+
+// event records one flight-recorder entry; a no-op without an observer
+// (EventLog.Record is nil-safe).
+func (s *Server) event(typ, subject, detail string, attrs ...obs.EventAttr) {
+	s.events.Record(typ, subject, detail, attrs...)
+}
+
+// eventsEnabled gates the per-tick fault-path diffing: the diff costs a
+// Result() call per tick, so sessions skip it entirely when no event log
+// is attached.
+func (s *Server) eventsEnabled() bool { return s.events != nil }
+
+// observeDelivery records one record's publish→subscriber-write latency.
+func (s *Server) observeDelivery(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	s.latency.Observe(float64(ns))
 }
 
 // Nil-safe metric hooks.
@@ -188,7 +226,19 @@ func (s *Server) Start() error {
 			go s.serveStream(conn)
 		}
 	}()
+	s.ready.Store(true)
 	return nil
+}
+
+// Ready reports whether the gateway is accepting work: both planes
+// bound, shutdown not begun — the /readyz contract.
+func (s *Server) Ready() bool {
+	if !s.ready.Load() {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closed
 }
 
 // ControlAddr returns the bound control-plane address.
@@ -253,6 +303,9 @@ func (s *Server) CreateSession(cfg checkpoint.SessionConfig, startPaused bool) (
 		if sess.hasDecoder() {
 			s.mDecSess.Inc()
 		}
+		s.event("session_create", id, cfg.Decoder,
+			obs.EventAttr{Key: "channels", Val: float64(cfg.Channels)},
+			obs.EventAttr{Key: "ticks", Val: float64(cfg.Ticks)})
 		return sess, nil
 	})
 }
@@ -278,6 +331,9 @@ func (s *Server) RestoreSession(blob []byte, ticks int, startPaused bool) (*Sess
 		if sess.hasDecoder() {
 			s.mDecSess.Inc()
 		}
+		s.event("session_restore", id, cfg.Decoder,
+			obs.EventAttr{Key: "tick", Val: float64(p.Tick())},
+			obs.EventAttr{Key: "ticks", Val: float64(cfg.Ticks)})
 		return sess, nil
 	})
 	if err != nil {
@@ -298,6 +354,7 @@ func (s *Server) DeleteSession(id string) error {
 	if !ok {
 		return fmt.Errorf("serve: no session %q", id)
 	}
+	s.event("session_delete", id, "")
 	sess.halt()
 	sess.release()
 	if s.mSessions != nil {
@@ -353,6 +410,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 	var snapErr error
 	for _, sess := range sessions {
+		s.event("session_drain", sess.ID, "")
 		sess.halt()
 		if s.cfg.SnapshotDir != "" {
 			if blob, err := sess.snapshot(); err == nil {

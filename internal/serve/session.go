@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mindful/internal/fleet"
+	"mindful/internal/obs"
 	"mindful/internal/serve/checkpoint"
 )
 
@@ -54,6 +55,15 @@ type Session struct {
 	dropped   atomic.Int64 // frames dropped by full subscriber queues
 	evicted   atomic.Int64 // subscribers evicted for stalling
 
+	// lastActive is the wall clock (UnixNano) of the session's last
+	// publication (frame or decoded record), seeded at creation — the
+	// introspection endpoint's last-activity field.
+	lastActive atomic.Int64
+	// marks holds the previous tick's fault counters for the flight
+	// recorder's fault-path event diffing; only maintained (under mu)
+	// when an event log is attached.
+	marks faultMarks
+
 	subMu sync.Mutex
 	subs  map[*subscriber]struct{}
 
@@ -74,8 +84,15 @@ func newSession(srv *Server, id string, cfg checkpoint.SessionConfig, p *fleet.P
 		done:   make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.lastActive.Store(time.Now().UnixNano())
 	if paused {
 		s.state = StatePaused
+	}
+	if srv.eventsEnabled() {
+		// Baseline the fault marks from the pipeline's current counters so
+		// a restored session does not replay its history as fresh events.
+		res := p.Result()
+		s.marks = faultMarks{arqFailed: res.ARQFailed, concealed: res.Concealed, blanked: res.Blanked}
 	}
 	p.OnDeliver(s.publish)
 	if s.hasDecoder() {
@@ -123,10 +140,57 @@ func (s *Session) run() {
 			return
 		}
 		s.srv.obsTick()
+		if s.srv.eventsEnabled() {
+			s.recordFaultEventsLocked()
+		}
 		s.mu.Unlock()
 		if interval > 0 {
 			time.Sleep(interval)
 		}
+	}
+}
+
+// faultMarks is the previous tick's fault-counter snapshot, the basis
+// for edge-triggered fault-path events.
+type faultMarks struct {
+	arqFailed int64
+	concealed int64
+	blanked   int64
+	// concealing/blanking report whether the *previous* tick advanced the
+	// corresponding counter — the state that turns per-tick deltas into
+	// onset events.
+	concealing bool
+	blanking   bool
+}
+
+// recordFaultEventsLocked diffs the pipeline's fault counters against
+// the previous tick and records edge-triggered flight-recorder events:
+// every ARQ budget exhaustion, and the onsets of concealment runs and
+// brownouts (not every tick inside one). Callers hold mu; only invoked
+// when an event log is attached.
+func (s *Session) recordFaultEventsLocked() {
+	res := s.p.Result()
+	tick := obs.EventAttr{Key: "tick", Val: float64(s.p.Tick() - 1)}
+	if d := res.ARQFailed - s.marks.arqFailed; d > 0 {
+		s.srv.event("arq_exhausted", s.ID, "", tick,
+			obs.EventAttr{Key: "frames", Val: float64(d)})
+	}
+	concealing := res.Concealed > s.marks.concealed
+	if concealing && !s.marks.concealing {
+		s.srv.event("concealment_run", s.ID, "", tick,
+			obs.EventAttr{Key: "concealed_total", Val: float64(res.Concealed)})
+	}
+	blanking := res.Blanked > s.marks.blanked
+	if blanking && !s.marks.blanking {
+		s.srv.event("brownout_onset", s.ID, "", tick,
+			obs.EventAttr{Key: "blanked_total", Val: float64(res.Blanked)})
+	}
+	s.marks = faultMarks{
+		arqFailed:  res.ARQFailed,
+		concealed:  res.Concealed,
+		blanked:    res.Blanked,
+		concealing: concealing,
+		blanking:   blanking,
 	}
 }
 
@@ -147,6 +211,8 @@ func (s *Session) freezeLocked() {
 func (s *Session) publish(tick int, data []byte, accepted bool) {
 	s.published.Add(1)
 	s.srv.obsPublished()
+	now := time.Now().UnixNano()
+	s.lastActive.Store(now)
 	s.subMu.Lock()
 	if len(s.subs) == 0 {
 		s.subMu.Unlock()
@@ -158,7 +224,7 @@ func (s *Session) publish(tick int, data []byte, accepted bool) {
 	}
 	rec := record{
 		tick:      uint64(tick),
-		publishNs: time.Now().UnixNano(),
+		publishNs: now,
 		flags:     flags,
 		data:      append([]byte(nil), data...), // shared, read-only
 	}
@@ -177,6 +243,8 @@ func (s *Session) publish(tick int, data []byte, accepted bool) {
 func (s *Session) publishDecoded(tick int, estimate []float64, concealed int) {
 	s.decoded.Add(1)
 	s.srv.obsDecoded()
+	now := time.Now().UnixNano()
+	s.lastActive.Store(now)
 	s.subMu.Lock()
 	if len(s.subs) == 0 {
 		s.subMu.Unlock()
@@ -192,7 +260,7 @@ func (s *Session) publishDecoded(tick int, estimate []float64, concealed int) {
 	}
 	rec := record{
 		tick:      uint64(tick),
-		publishNs: time.Now().UnixNano(),
+		publishNs: now,
 		flags:     flags,
 		data:      data,
 	}
@@ -234,6 +302,8 @@ func (s *Session) detach(sub *subscriber, evicted bool) {
 	if evicted {
 		s.evicted.Add(1)
 		s.srv.obsEvicted()
+		s.srv.event("subscriber_evict", s.ID, "stall",
+			obs.EventAttr{Key: "dropped", Val: float64(sub.droppedCount())})
 	}
 }
 
@@ -258,6 +328,8 @@ func (s *Session) pause() error {
 	switch s.state {
 	case StateRunning:
 		s.state = StatePaused
+		s.srv.event("session_pause", s.ID, "",
+			obs.EventAttr{Key: "tick", Val: float64(s.p.Tick())})
 		return nil
 	case StatePaused:
 		return nil
@@ -274,6 +346,8 @@ func (s *Session) resume() error {
 	case StatePaused:
 		s.state = StateRunning
 		s.cond.Broadcast()
+		s.srv.event("session_resume", s.ID, "",
+			obs.EventAttr{Key: "tick", Val: float64(s.p.Tick())})
 		return nil
 	case StateRunning:
 		return nil
@@ -293,7 +367,13 @@ func (s *Session) snapshot() ([]byte, error) {
 	if s.err != nil {
 		return nil, fmt.Errorf("%w: %v", errSessionFailed, s.err)
 	}
-	return checkpoint.Snapshot(s.cfg, s.p)
+	blob, err := checkpoint.Snapshot(s.cfg, s.p)
+	if err == nil {
+		s.srv.event("session_snapshot", s.ID, "",
+			obs.EventAttr{Key: "tick", Val: float64(s.p.Tick())},
+			obs.EventAttr{Key: "bytes", Val: float64(len(blob))})
+	}
+	return blob, err
 }
 
 // halt stops the tick loop (if still running) and waits for it to exit.
@@ -397,4 +477,59 @@ func (s *Session) info() SessionInfo {
 	info.Subscribers = len(s.subs)
 	s.subMu.Unlock()
 	return info
+}
+
+// QueueStats is one subscriber queue's introspection view.
+type QueueStats struct {
+	// Mode is "frames" or "decoded".
+	Mode string `json:"mode"`
+	// Depth is the number of records currently queued; Capacity the ring
+	// size the drop-oldest policy enforces.
+	Depth    int `json:"depth"`
+	Capacity int `json:"capacity"`
+	// Dropped counts records this queue discarded oldest-first.
+	Dropped int64 `json:"dropped"`
+}
+
+// SessionStats is the per-session introspection view: the control-plane
+// info plus queue depths, decode accounting and last activity.
+type SessionStats struct {
+	SessionInfo
+	// LastActivityUnixNs is the wall clock of the last published record
+	// (session creation when nothing has published yet).
+	LastActivityUnixNs int64 `json:"last_activity_unix_ns"`
+	// DecodeConcealedBins and DecodeMACs extend the info's decode
+	// accounting for sessions with a decoder.
+	DecodeConcealedBins int64 `json:"decode_concealed_bins,omitempty"`
+	DecodeMACs          int64 `json:"decode_macs,omitempty"`
+	// Queues lists every attached subscriber's queue, unordered.
+	Queues []QueueStats `json:"queues"`
+}
+
+// stats reports the session's introspection view.
+func (s *Session) stats() SessionStats {
+	st := SessionStats{
+		SessionInfo:        s.info(),
+		LastActivityUnixNs: s.lastActive.Load(),
+	}
+	s.mu.Lock()
+	var res fleet.ImplantResult
+	switch {
+	case s.final != nil:
+		res = *s.final
+	case s.p != nil:
+		res = s.p.Result()
+	}
+	s.mu.Unlock()
+	if s.hasDecoder() {
+		st.DecodeConcealedBins = res.DecodeConcealedBins
+		st.DecodeMACs = res.DecodeMACs
+	}
+	s.subMu.Lock()
+	st.Queues = make([]QueueStats, 0, len(s.subs))
+	for sub := range s.subs {
+		st.Queues = append(st.Queues, sub.queueStats())
+	}
+	s.subMu.Unlock()
+	return st
 }

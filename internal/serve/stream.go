@@ -140,6 +140,24 @@ func (s *subscriber) pop() (record, bool) {
 	}
 }
 
+// queueStats reports the queue's introspection view.
+func (s *subscriber) queueStats() QueueStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mode := "frames"
+	if s.decoded {
+		mode = "decoded"
+	}
+	return QueueStats{Mode: mode, Depth: s.count, Capacity: len(s.ring), Dropped: s.dropped}
+}
+
+// droppedCount returns the records this queue has discarded.
+func (s *subscriber) droppedCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
 // finish asks the writer to flush the queue and close cleanly.
 func (s *subscriber) finish() {
 	s.mu.Lock()
@@ -187,6 +205,9 @@ func (s *subscriber) writeLoop() {
 			s.sess.detach(s, evicted)
 			return
 		}
+		// End-to-end delivery latency: publication wall clock → the write
+		// completing on this subscriber's connection.
+		s.sess.srv.observeDelivery(time.Now().UnixNano() - rec.publishNs)
 	}
 }
 

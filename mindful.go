@@ -469,11 +469,50 @@ type (
 	TraceSpan = obs.Span
 	// ObservedModem wraps a Modem with link-quality accounting.
 	ObservedModem = comm.ObservedModem
+	// Histogram is the atomic-bucket histogram with quantile estimation.
+	Histogram = obs.Histogram
+	// StageTimer attributes per-stage wall time across a pipeline; attach
+	// one via FleetConfig.StageTiming (digest-neutral).
+	StageTimer = obs.StageTimer
+	// StageClock is one stage's nil-safe timing instrument.
+	StageClock = obs.StageClock
+	// StageStats is one stage's timing summary (count, mean, EWMA, p50,
+	// p99 in nanoseconds).
+	StageStats = obs.StageStats
+	// EventLog is the flight recorder's bounded structured event log.
+	EventLog = obs.EventLog
+	// Event is one recorded flight-recorder event.
+	Event = obs.Event
+	// EventAttr is one numeric event attribute.
+	EventAttr = obs.EventAttr
+	// StageProfile is a fleet run's per-stage ns/frame breakdown (the
+	// BENCH_stage.json schema).
+	StageProfile = fleet.StageProfile
 )
 
 // NewObserver returns an observer with a fresh registry and a tracer of
 // the default capacity.
 func NewObserver() *Observer { return obs.New() }
+
+// NewHistogram returns a histogram over the given ascending bucket
+// bounds; ExpBuckets builds exponential bounds.
+func NewHistogram(bounds []float64) *Histogram { return obs.NewHistogram(bounds) }
+
+// ExpBuckets returns n exponential bucket bounds starting at start.
+func ExpBuckets(start, factor float64, n int) []float64 { return obs.ExpBuckets(start, factor, n) }
+
+// NewStageTimer returns an empty per-stage timing registry.
+func NewStageTimer() *StageTimer { return obs.NewStageTimer() }
+
+// NewEventLog returns a flight-recorder event log keeping the newest
+// capacity events.
+func NewEventLog(capacity int) *EventLog { return obs.NewEventLog(capacity) }
+
+// RunFleetProfile runs the fleet with stage timing attached and returns
+// the per-stage breakdown alongside the (digest-identical) aggregate.
+func RunFleetProfile(cfg FleetConfig) (*StageProfile, *FleetAggregate, error) {
+	return fleet.RunProfile(cfg)
+}
 
 // ObserveModem wraps a modem so its traffic is accounted in o's registry,
 // labeled by modulation name.

@@ -32,6 +32,12 @@ type obsOverheadBaseline struct {
 	// hook calls in isolation; NoopOverheadPct relates it to the tick.
 	NoopHookNsPerTick float64 `json:"noop_hook_ns_per_tick"`
 	NoopOverheadPct   float64 `json:"noop_overhead_pct"`
+	// FlightHookNsPerTick is the disabled flight recorder's per-tick cost:
+	// the four per-stage nil StageClock observes plus the event-log nil
+	// check — what every tick pays when neither -stage-timing nor an
+	// Observer is attached. FlightOverheadPct relates it to the tick.
+	FlightHookNsPerTick float64 `json:"flight_hook_ns_per_tick"`
+	FlightOverheadPct   float64 `json:"flight_overhead_pct"`
 }
 
 // tickNs returns the best-of-reps ns/tick of a comm-centric implant.
@@ -94,6 +100,32 @@ func noopHookNs() float64 {
 	return float64(time.Since(start).Nanoseconds()) / float64(iters)
 }
 
+// flightHookNs measures the disabled flight recorder's tick cost: one
+// nil StageClock.Observe per pipeline stage (source, transport,
+// receiver, decode) plus one nil EventLog nil-check — the exact sequence
+// an untimed, unobserved fleet tick would pay if the hooks ever lost
+// their short circuits. (The fleet skips even this by not wrapping
+// stages when StageTiming is nil; the bound here is the worst case.)
+func flightHookNs() float64 {
+	var h struct {
+		clocks [4]*obs.StageClock
+		events *obs.EventLog
+	}
+	const iters = 2_000_000
+	n := int64(0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		for _, c := range h.clocks {
+			c.Observe(int64(i))
+		}
+		if h.events != nil {
+			n++
+		}
+	}
+	_ = n
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+}
+
 func TestObserverOverheadBaseline(t *testing.T) {
 	const (
 		warmup = 2000
@@ -103,6 +135,7 @@ func TestObserverOverheadBaseline(t *testing.T) {
 	unobserved := tickNs(t, false, warmup, ticks, reps)
 	observed := tickNs(t, true, warmup, ticks, reps)
 	hook := noopHookNs()
+	flight := flightHookNs()
 
 	b := obsOverheadBaseline{
 		Benchmark:           "implant_tick_observer_overhead",
@@ -113,10 +146,13 @@ func TestObserverOverheadBaseline(t *testing.T) {
 		ObservedOverheadPct: 100 * (observed - unobserved) / unobserved,
 		NoopHookNsPerTick:   hook,
 		NoopOverheadPct:     100 * hook / unobserved,
+		FlightHookNsPerTick: flight,
+		FlightOverheadPct:   100 * flight / unobserved,
 	}
-	t.Logf("unobserved %.0f ns/tick, observed %.0f ns/tick (%.1f%%), no-op hooks %.1f ns (%.2f%%)",
+	t.Logf("unobserved %.0f ns/tick, observed %.0f ns/tick (%.1f%%), no-op hooks %.1f ns (%.2f%%), flight hooks %.1f ns (%.2f%%)",
 		b.UnobservedNsPerTick, b.ObservedNsPerTick, b.ObservedOverheadPct,
-		b.NoopHookNsPerTick, b.NoopOverheadPct)
+		b.NoopHookNsPerTick, b.NoopOverheadPct,
+		b.FlightHookNsPerTick, b.FlightOverheadPct)
 
 	// The acceptance bound: the no-op short-circuit must stay under 5% of
 	// the tick. The margin is wide — the hooks measure in the tens of
@@ -124,6 +160,11 @@ func TestObserverOverheadBaseline(t *testing.T) {
 	// means an instrument lost its nil short-circuit, not timer noise.
 	if b.NoopOverheadPct >= 5 {
 		t.Errorf("no-op observer hooks cost %.2f%% of a tick, want < 5%%", b.NoopOverheadPct)
+	}
+	// The flight recorder's disabled path is tighter still: four nil
+	// observes and a nil check must stay under 0.5% of the tick.
+	if b.FlightOverheadPct >= 0.5 {
+		t.Errorf("disabled flight-recorder hooks cost %.2f%% of a tick, want < 0.5%%", b.FlightOverheadPct)
 	}
 
 	out, err := json.MarshalIndent(b, "", "  ")
