@@ -8,7 +8,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test check fmt vet race bench fuzz-smoke fault-smoke serve-smoke decode-smoke obs-smoke determinism clean
+.PHONY: all build test check fmt vet race bench fuzz-smoke fault-smoke serve-smoke decode-smoke obs-smoke cluster-smoke determinism clean
 
 all: build
 
@@ -49,6 +49,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeCheckpointV2 -fuzztime $(FUZZTIME) ./internal/serve/checkpoint/
 	$(GO) test -run '^$$' -fuzz FuzzDecoderStep -fuzztime $(FUZZTIME) ./internal/decode/
 	$(GO) test -run '^$$' -fuzz FuzzEventLogDecode -fuzztime $(FUZZTIME) ./internal/obs/
+	$(GO) test -run '^$$' -fuzz FuzzMigrationDecode -fuzztime $(FUZZTIME) ./internal/cluster/wire/
 
 # Fault-injection smoke: the fault package's unit tests, the clean-path
 # digest pin (fault machinery disabled must stay byte-identical to the
@@ -89,7 +90,20 @@ obs-smoke:
 	$(GO) test -race -run 'TestStageTiming|TestRunProfile' ./internal/fleet/
 	$(GO) test -race -run 'TestReadyz|TestSessionStatsEndpoint|TestStatsDeliveryLatency|TestLifecycleEvents|TestFaultPathEvents' ./internal/serve/
 
-check: build vet fmt race fault-smoke serve-smoke decode-smoke obs-smoke fuzz-smoke
+# Cluster smoke: the ring property tests (uniformity + minimal
+# disruption), the migration determinism wall (every decoder kind,
+# bit-identical digests across a live mid-run migration), the chaos
+# kill/restore regression (SIGKILL-equivalent shard death, checkpoint
+# recovery, split-brain guard), and the drain-readyz contract — all
+# under the race detector — then a 3-shard self-hosted run with one
+# migration and one kill/restore, digest-checked, emitting
+# BENCH_cluster.json.
+cluster-smoke:
+	$(GO) test -race -run 'TestRing|TestMigration|TestMigrate|TestConcurrentMigrations|TestSubscriberFollowsMigration|TestChaos|TestCluster' ./internal/cluster/
+	$(GO) test -race -run 'TestExportImport|TestImportRejects|TestReadyzDraining|TestSubscribeMoved|TestKillIsAbrupt' ./internal/serve/
+	$(GO) run ./cmd/mindful cluster -shards 3 -sessions 9 -subs 1 -ticks 150 -migrations 1 -kill -verify -out BENCH_cluster.json
+
+check: build vet fmt race fault-smoke serve-smoke decode-smoke obs-smoke cluster-smoke fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"mindful/internal/serve"
+)
+
+// The front tier's control plane mirrors the gateway's JSON/HTTP shape
+// so clients move between single-gateway and clustered deployments by
+// changing an address. Session routes take cluster keys (c000001) and
+// proxy to the owning shard; topology routes manage the shard set.
+//
+//	GET    /healthz                       liveness
+//	GET    /readyz                        ready when ≥1 shard is placeable
+//	GET    /api/cluster                   topology: shards, liveness, placements
+//	POST   /api/shards                    join: {"id":...} self-hosts; +{"ctl","stream"} attaches
+//	DELETE /api/shards/{id}               drain and remove a shard (sessions migrate off)
+//	POST   /api/shards/{id}/kill          chaos: SIGKILL-equivalent on a self-hosted shard
+//	POST   /api/shards/{id}/recover       declare a dead shard down and restore its sessions
+//	POST   /api/rebalance                 re-place every session onto its ring owner
+//	POST   /api/checkpoint                snapshot every session into the recovery store
+//	POST   /api/sessions                  create on the key's ring owner
+//	GET    /api/sessions                  list all routed sessions
+//	GET    /api/sessions/{key}            fetch one session via its shard
+//	DELETE /api/sessions/{key}            delete from its shard and the table
+//	POST   /api/sessions/{key}/pause      proxy pause
+//	POST   /api/sessions/{key}/resume     proxy resume
+//	POST   /api/sessions/{key}/migrate    live-migrate (?target=<shard-id>)
+
+// writeJSON writes a JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeErr writes a plain-text error body (matching the gateway's
+// error shape).
+func writeErr(w http.ResponseWriter, status int, err error) {
+	http.Error(w, err.Error(), status)
+}
+
+// joinRequest is the POST /api/shards body.
+type joinRequest struct {
+	ID string `json:"id"`
+	// Ctl and Stream attach an externally running gateway; empty means
+	// self-host a new one in the front-tier process.
+	Ctl    string `json:"ctl"`
+	Stream string `json:"stream"`
+}
+
+func (c *Cluster) controlMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		for _, sh := range c.Topology().Shards {
+			if sh.Ready {
+				w.WriteHeader(http.StatusOK)
+				return
+			}
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+	})
+	mux.HandleFunc("GET /api/cluster", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Topology())
+	})
+	mux.HandleFunc("POST /api/shards", c.handleJoin)
+	mux.HandleFunc("DELETE /api/shards/{id}", c.handleLeave)
+	mux.HandleFunc("POST /api/shards/{id}/kill", c.handleKill)
+	mux.HandleFunc("POST /api/shards/{id}/recover", c.handleRecover)
+	mux.HandleFunc("POST /api/rebalance", func(w http.ResponseWriter, r *http.Request) {
+		moved, err := c.Rebalance()
+		if err != nil {
+			writeErr(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"moved": moved})
+	})
+	mux.HandleFunc("POST /api/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]int{"stored": c.CheckpointNow()})
+	})
+	mux.HandleFunc("POST /api/sessions", c.handleCreate)
+	mux.HandleFunc("GET /api/sessions", func(w http.ResponseWriter, r *http.Request) {
+		infos, err := c.Sessions()
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		if infos == nil {
+			infos = []Info{}
+		}
+		writeJSON(w, http.StatusOK, infos)
+	})
+	mux.HandleFunc("GET /api/sessions/{key}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := c.SessionInfo(r.PathValue("key"))
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("DELETE /api/sessions/{key}", func(w http.ResponseWriter, r *http.Request) {
+		if err := c.DeleteSession(r.PathValue("key")); err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("key")})
+	})
+	mux.HandleFunc("POST /api/sessions/{key}/pause", c.proxyLifecycle(pauseSession))
+	mux.HandleFunc("POST /api/sessions/{key}/resume", c.proxyLifecycle(resumeSession))
+	mux.HandleFunc("POST /api/sessions/{key}/migrate", c.handleMigrate)
+	return mux
+}
+
+func (c *Cluster) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.ID == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("id is required"))
+		return
+	}
+	if (req.Ctl == "") != (req.Stream == "") {
+		writeErr(w, http.StatusBadRequest, errors.New("ctl and stream must be given together"))
+		return
+	}
+	var err error
+	if req.Ctl != "" {
+		err = c.AttachShard(req.ID, req.Ctl, req.Stream)
+	} else {
+		err = c.AddShard(req.ID)
+	}
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, c.Topology())
+}
+
+func (c *Cluster) handleLeave(w http.ResponseWriter, r *http.Request) {
+	if err := c.RemoveShard(r.PathValue("id")); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Topology())
+}
+
+func (c *Cluster) handleKill(w http.ResponseWriter, r *http.Request) {
+	if err := c.KillShard(r.PathValue("id")); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"killed": r.PathValue("id")})
+}
+
+func (c *Cluster) handleRecover(w http.ResponseWriter, r *http.Request) {
+	recovered, lost, err := c.RecoverShard(r.PathValue("id"))
+	if err != nil && recovered == 0 && lost == 0 {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"recovered": recovered, "lost": lost})
+}
+
+func (c *Cluster) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req serve.CreateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	info, err := c.CreateSession(req)
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (c *Cluster) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	target := r.URL.Query().Get("target")
+	if target == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("target shard is required (?target=)"))
+		return
+	}
+	if err := c.Migrate(key, target); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	info, err := c.SessionInfo(key)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("migrated but unreadable: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// proxyLifecycle adapts a per-shard lifecycle call into a front-tier
+// route on the cluster key.
+func (c *Cluster) proxyLifecycle(call func(base, id string) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		key := r.PathValue("key")
+		p, sh, err := c.lookup(key)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		if err := call(sh.CtlBase, p.LocalID); err != nil {
+			writeErr(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"key": key, "shard": p.ShardID})
+	}
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mindful/internal/obs"
+	"mindful/internal/serve"
+)
+
+func eventTypes(log *obs.EventLog) map[string]int {
+	types := make(map[string]int)
+	for _, e := range log.Snapshot() {
+		types[e.Type]++
+	}
+	return types
+}
+
+// TestClusterFlightRecorder pins the observability contract: an
+// attached observer sees the cluster_* metrics move and the event log
+// narrate joins, placements, migrations, shard death and recovery.
+func TestClusterFlightRecorder(t *testing.T) {
+	o := obs.New()
+	c, err := New(Config{
+		CheckpointInterval: -1,
+		HealthInterval:     -1,
+		Shard:              serve.Config{TickInterval: time.Millisecond},
+		Observer:           o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { shutdownCluster(t, c) })
+	for i := 0; i < 2; i++ {
+		if err := c.AddShard(fmt.Sprintf("shard-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cfg := testSessionConfig()
+	cfg.Ticks = 0 // unbounded: stays live through migration and kill
+	var keys []string
+	for i := 0; i < 4; i++ {
+		sc := cfg
+		sc.Seed += int64(i)
+		info, err := c.CreateSession(serve.CreateRequest{SessionConfig: sc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, info.Key)
+	}
+
+	// Migrate the first session to the other shard, then kill the
+	// migration target — it provably hosts ≥ 1 session — and recover.
+	first, err := c.SessionInfo(keys[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := "shard-0"
+	if first.Shard == victim {
+		victim = "shard-1"
+	}
+	if err := c.Migrate(keys[0], victim); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.CheckpointNow(); n != len(keys) {
+		t.Fatalf("checkpointed %d sessions, want %d", n, len(keys))
+	}
+	if err := c.KillShard(victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.RecoverShard(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	counters := map[string]int64{
+		"cluster_sessions_created_total":   int64(len(keys)),
+		"cluster_migrations_total":         1,
+		"cluster_shard_down_total":         1,
+		"cluster_sessions_recovered_total": 1,
+	}
+	for name, min := range counters {
+		if got := o.Metrics.Counter(name).Value(); got < min {
+			t.Errorf("%s = %d, want ≥ %d", name, got, min)
+		}
+	}
+	if got := o.Metrics.Counter("cluster_migration_failures_total").Value(); got != 0 {
+		t.Errorf("cluster_migration_failures_total = %d, want 0", got)
+	}
+	if got := o.Metrics.Gauge("cluster_shards_active").Value(); got != 1 {
+		t.Errorf("cluster_shards_active = %v, want 1", got)
+	}
+	if got := o.Metrics.Gauge("cluster_sessions_routed").Value(); got != float64(len(keys)) {
+		// Sessions without a checkpoint on the dead shard would be lost;
+		// CheckpointNow covered all of them, so none may go missing.
+		t.Errorf("cluster_sessions_routed = %v, want %d", got, len(keys))
+	}
+
+	types := eventTypes(o.Events)
+	for _, w := range []string{
+		"shard_join", "cluster_create", "migrate", "shard_down", "session_recover",
+	} {
+		if types[w] == 0 {
+			t.Errorf("event log missing %q; have %v", w, types)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"mindful/internal/serve"
+)
+
+// The front tier speaks to shards over their existing JSON/HTTP control
+// planes — no private RPC channel, so an externally attached gateway is
+// indistinguishable from a self-hosted one. Every call is bounded by
+// ctlClient's timeout; liveness probes use the much shorter probeClient
+// so a dead shard is declared dead in probe-time, not call-time.
+
+// maxShardBody bounds any response body read from a shard (checkpoint
+// blobs dominate; this matches the serve side's own body cap).
+const maxShardBody = 16 << 20
+
+var ctlClient = &http.Client{Timeout: 10 * time.Second}
+
+var probeClient = &http.Client{Timeout: DefaultProbeTimeout}
+
+// shardError converts a non-2xx shard response into an error carrying
+// the shard's own message.
+func shardError(op string, resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	msg := string(bytes.TrimSpace(body))
+	if msg == "" {
+		msg = resp.Status
+	}
+	return fmt.Errorf("cluster: %s: %s", op, msg)
+}
+
+// doJSON runs a request and decodes a JSON response into out (skipped
+// when out is nil).
+func doJSON(req *http.Request, wantStatus int, out any) error {
+	resp, err := ctlClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		return shardError(req.Method+" "+req.URL.Path, resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, maxShardBody)).Decode(out)
+}
+
+// createSession places a session on a shard.
+func createSession(base string, reqBody serve.CreateRequest) (serve.SessionInfo, error) {
+	buf, err := json.Marshal(reqBody)
+	if err != nil {
+		return serve.SessionInfo{}, err
+	}
+	req, err := http.NewRequest(http.MethodPost, base+"/api/sessions", bytes.NewReader(buf))
+	if err != nil {
+		return serve.SessionInfo{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var info serve.SessionInfo
+	return info, doJSON(req, http.StatusCreated, &info)
+}
+
+// getSession fetches a session's info from its shard.
+func getSession(base, id string) (serve.SessionInfo, error) {
+	req, err := http.NewRequest(http.MethodGet, base+"/api/sessions/"+id, nil)
+	if err != nil {
+		return serve.SessionInfo{}, err
+	}
+	var info serve.SessionInfo
+	return info, doJSON(req, http.StatusOK, &info)
+}
+
+// deleteSession removes a session from a shard.
+func deleteSession(base, id string) error {
+	req, err := http.NewRequest(http.MethodDelete, base+"/api/sessions/"+id, nil)
+	if err != nil {
+		return err
+	}
+	return doJSON(req, http.StatusOK, nil)
+}
+
+// pauseSession suspends a session's tick loop.
+func pauseSession(base, id string) error {
+	req, err := http.NewRequest(http.MethodPost, base+"/api/sessions/"+id+"/pause", nil)
+	if err != nil {
+		return err
+	}
+	return doJSON(req, http.StatusOK, nil)
+}
+
+// resumeSession releases a paused session.
+func resumeSession(base, id string) error {
+	req, err := http.NewRequest(http.MethodPost, base+"/api/sessions/"+id+"/resume", nil)
+	if err != nil {
+		return err
+	}
+	return doJSON(req, http.StatusOK, nil)
+}
+
+// exportSession drives the migration source: pause + snapshot, returned
+// as an encoded wire.Envelope stamped with the cluster key.
+func exportSession(base, id, key string) ([]byte, error) {
+	resp, err := ctlClient.Post(base+"/api/sessions/"+id+"/export?key="+key, "application/octet-stream", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, shardError("export "+id, resp)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, maxShardBody))
+}
+
+// importSession drives the migration target: restore the envelope's
+// checkpoint paused.
+func importSession(base string, env []byte) (serve.SessionInfo, error) {
+	req, err := http.NewRequest(http.MethodPost, base+"/api/sessions/import", bytes.NewReader(env))
+	if err != nil {
+		return serve.SessionInfo{}, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	var info serve.SessionInfo
+	return info, doJSON(req, http.StatusCreated, &info)
+}
+
+// checkpointSession snapshots a session without pausing it — the
+// periodic-checkpoint feed behind kill recovery. The session's info is
+// fetched alongside the blob so the store records the tick and run
+// state the checkpoint describes.
+func checkpointSession(base, id string) ([]byte, serve.SessionInfo, error) {
+	resp, err := ctlClient.Get(base + "/api/sessions/" + id + "/checkpoint")
+	if err != nil {
+		return nil, serve.SessionInfo{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, serve.SessionInfo{}, shardError("checkpoint "+id, resp)
+	}
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, maxShardBody))
+	if err != nil {
+		return nil, serve.SessionInfo{}, err
+	}
+	info, err := getSession(base, id)
+	if err != nil {
+		return nil, serve.SessionInfo{}, err
+	}
+	return blob, info, nil
+}
+
+// restoreSession replays a stored checkpoint onto a shard (paused when
+// startPaused) — the kill-recovery path.
+func restoreSession(base string, blob []byte, startPaused bool) (serve.SessionInfo, error) {
+	url := base + "/api/sessions/restore?start_paused=" + strconv.FormatBool(startPaused)
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(blob))
+	if err != nil {
+		return serve.SessionInfo{}, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	var info serve.SessionInfo
+	return info, doJSON(req, http.StatusCreated, &info)
+}
+
+// drainShard toggles a shard's draining flag over HTTP (works for
+// attached shards the front tier does not host in-process).
+func drainShard(base string, on bool) error {
+	req, err := http.NewRequest(http.MethodPost, base+"/api/drain?on="+strconv.FormatBool(on), nil)
+	if err != nil {
+		return err
+	}
+	return doJSON(req, http.StatusOK, nil)
+}
+
+// probeReady reports whether a shard answers /readyz with 200 — false
+// for dead AND draining shards (neither should receive new placements).
+func probeReady(base string) bool {
+	resp, err := probeClient.Get(base + "/readyz")
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// probeAlive reports whether a shard's control plane answers /healthz
+// at all — true for draining shards (alive, just not placeable), false
+// only when the process is gone. The health loop keys shard-death
+// detection off this, not probeReady, so a drain never looks like a
+// crash.
+func probeAlive(base string) bool {
+	resp, err := probeClient.Get(base + "/healthz")
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

@@ -1,0 +1,501 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mindful/internal/obs"
+	"mindful/internal/serve"
+	"mindful/internal/serve/checkpoint"
+)
+
+// newShutdownContext bounds the harness's teardown.
+func newShutdownContext() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 30*time.Second)
+}
+
+// The cluster load generator is the sharded counterpart of the serve
+// harness: it boots a front tier with N self-hosted shards, spreads
+// sessions across the ring, attaches every subscriber through the
+// front tier's redirect plane, and then injects the two disruptions
+// the tentpole exists for — live migrations and a shard kill with
+// checkpoint recovery — while the subscribers keep reading. It is the
+// source of BENCH_cluster.json: per-shard delivery-latency
+// percentiles, per-migration blackout as the subscriber saw it (last
+// record from the old shard → first record from the new one), and the
+// kill-recovery numbers.
+
+// LoadConfig describes one cluster load run.
+type LoadConfig struct {
+	// Shards is the self-hosted gateway count.
+	Shards int
+	// Sessions, SubsPerSession and Ticks set the fan-out and run length.
+	Sessions       int
+	SubsPerSession int
+	Ticks          int
+	// TickInterval paces the shards (the disruption windows need real
+	// time to land mid-run; 0 = 1ms).
+	TickInterval time.Duration
+
+	// Session is the per-session pipeline configuration; the seed is
+	// offset per session so no two sessions share streams.
+	Session checkpoint.SessionConfig
+	// Decoder, when set, attaches that decoder to every session.
+	Decoder string
+
+	// Migrations is how many sessions to live-migrate mid-run.
+	Migrations int
+	// Kill, when set, SIGKILLs one shard mid-run and recovers its
+	// sessions from the front tier's checkpoints.
+	Kill bool
+	// VerifyDigests re-runs every session's pipeline uninterrupted
+	// in-process and requires the served digests to match bit-for-bit —
+	// the smoke harness's proof that migration and recovery were
+	// invisible. Doubles the compute; off for pure benchmarking.
+	VerifyDigests bool
+
+	// Observer, when set, instruments the self-hosted front tier
+	// (cluster_* metrics, migrate/shard_down narration).
+	Observer *obs.Observer
+}
+
+// DefaultLoadConfig returns the BENCH_cluster baseline: 3 shards, 24
+// sessions × 1 subscriber × 300 frames of a 32-channel 16-QAM implant,
+// 3 live migrations and one shard kill mid-run.
+func DefaultLoadConfig() LoadConfig {
+	return LoadConfig{
+		Shards:         3,
+		Sessions:       24,
+		SubsPerSession: 1,
+		Ticks:          300,
+		Migrations:     3,
+		Kill:           true,
+		Session: checkpoint.SessionConfig{
+			Channels:     32,
+			SampleRateHz: 2000,
+			SampleBits:   10,
+			QAMBits:      4,
+			EbN0dB:       12,
+			Seed:         1,
+		},
+	}
+}
+
+// ShardStats is one gateway's slice of a load run.
+type ShardStats struct {
+	ID       string  `json:"id"`
+	Sessions int     `json:"sessions_final"`
+	Records  int64   `json:"records_delivered"`
+	P50Ms    float64 `json:"p50_delivery_latency_ms"`
+	P99Ms    float64 `json:"p99_delivery_latency_ms"`
+	MaxMs    float64 `json:"max_delivery_latency_ms"`
+}
+
+// MigrationStats is one live migration as both sides saw it.
+type MigrationStats struct {
+	Key  string `json:"key"`
+	From string `json:"from"`
+	To   string `json:"to"`
+	// CoordinatorMs is the pause→resume wall time at the front tier.
+	CoordinatorMs float64 `json:"coordinator_ms"`
+	// BlackoutMs is the subscriber-observed gap: last record delivered
+	// by the old shard → first record delivered by the new one
+	// (negative when no subscriber reconnect was observed).
+	BlackoutMs float64 `json:"blackout_ms"`
+}
+
+// LoadResult summarizes one cluster load run.
+type LoadResult struct {
+	Shards         int     `json:"shards"`
+	Sessions       int     `json:"sessions"`
+	SubsPerSession int     `json:"subs_per_session"`
+	Ticks          int     `json:"ticks"`
+	Records        int64   `json:"records_received"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	FramesPerSec   float64 `json:"frames_per_sec"`
+
+	PerShard   []ShardStats     `json:"per_shard"`
+	Migrations []MigrationStats `json:"migrations,omitempty"`
+	// Aggregate blackout over the run's migrations (subscriber-observed).
+	BlackoutP50Ms float64 `json:"migration_blackout_p50_ms,omitempty"`
+	BlackoutMaxMs float64 `json:"migration_blackout_max_ms,omitempty"`
+
+	Killed           string  `json:"killed_shard,omitempty"`
+	Recovered        int     `json:"sessions_recovered,omitempty"`
+	Lost             int     `json:"sessions_lost,omitempty"`
+	RecoverySeconds  float64 `json:"recovery_seconds,omitempty"`
+	DigestsVerified  int     `json:"digests_verified,omitempty"`
+	DigestMismatches int     `json:"digest_mismatches,omitempty"`
+}
+
+// subTracker is one subscriber's accounting, updated only by its own
+// goroutine; lastNs is read by the migration driver under the harness
+// mutex after the subscriber exits, never concurrently.
+type subTracker struct {
+	mu       sync.Mutex
+	records  int64
+	maxMs    float64
+	lastNs   int64 // wall clock of the most recent record
+	gaps     []gap // reconnect gaps: stream sever → first record after
+	err      error
+	reshards int
+}
+
+type gap struct {
+	severNs int64
+	firstNs int64
+}
+
+// RunLoad executes the cluster load scenario and returns its
+// measurements.
+func RunLoad(cfg LoadConfig) (*LoadResult, error) {
+	if cfg.Shards < 1 || cfg.Sessions < 1 || cfg.SubsPerSession < 0 || cfg.Ticks < 1 {
+		return nil, errors.New("cluster: load config needs shards ≥ 1, sessions ≥ 1, subs ≥ 0, ticks ≥ 1")
+	}
+	if cfg.Migrations > 0 && cfg.Shards < 2 {
+		return nil, errors.New("cluster: migrations need at least 2 shards")
+	}
+	if cfg.Kill && cfg.Shards < 2 {
+		return nil, errors.New("cluster: kill/recovery needs at least 2 shards")
+	}
+	tickInterval := cfg.TickInterval
+	if tickInterval == 0 {
+		tickInterval = time.Millisecond
+	}
+
+	c, err := New(Config{
+		CheckpointInterval: -1, // the harness checkpoints explicitly
+		HealthInterval:     -1, // and recovers explicitly, so the numbers are attributable
+		Shard:              serve.Config{TickInterval: tickInterval},
+		Observer:           cfg.Observer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Start(); err != nil {
+		return nil, err
+	}
+	defer func() {
+		ctx, cancel := newShutdownContext()
+		defer cancel()
+		c.Shutdown(ctx)
+	}()
+
+	shardIDs := make([]string, cfg.Shards)
+	for i := range shardIDs {
+		shardIDs[i] = fmt.Sprintf("shard-%d", i)
+		if err := c.AddShard(shardIDs[i]); err != nil {
+			return nil, err
+		}
+	}
+	// Stream-address → shard-ID map for per-shard latency attribution
+	// (the addresses outlive a kill: a dead shard just stops answering).
+	addrToShard := make(map[string]string, cfg.Shards)
+	shardHists := make(map[string]*obs.Histogram, cfg.Shards)
+	for _, sh := range c.Topology().Shards {
+		addrToShard[sh.StreamAddr] = sh.ID
+		shardHists[sh.ID] = obs.NewHistogram(obs.ExpBuckets(0.001, 1.6, 40))
+	}
+
+	start := time.Now()
+
+	// Create every session paused so subscribers attach before frame 0.
+	keys := make([]string, cfg.Sessions)
+	seeds := make([]int64, cfg.Sessions)
+	for i := range keys {
+		scfg := cfg.Session
+		scfg.Seed += int64(i)
+		scfg.Ticks = cfg.Ticks
+		if scfg.Decoder == "" {
+			scfg.Decoder = cfg.Decoder
+		}
+		seeds[i] = scfg.Seed
+		info, err := c.CreateSession(serve.CreateRequest{SessionConfig: scfg, StartPaused: true})
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = info.Key
+	}
+
+	// Subscribers dial the front tier and follow MOVED redirects; on a
+	// sever (migration or kill) they re-dial the front tier, which
+	// re-resolves the key against the current routing table. Records
+	// attribute to the shard the connection landed on.
+	nSubs := cfg.Sessions * cfg.SubsPerSession
+	trackers := make([]*subTracker, nSubs)
+	var wg sync.WaitGroup
+	ready := make(chan error, nSubs)
+	deadline := time.Now().Add(5 * time.Minute)
+	for i := 0; i < nSubs; i++ {
+		trackers[i] = &subTracker{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr := trackers[i]
+			key := keys[i%cfg.Sessions]
+			firstDial := true
+			var severNs int64
+			for {
+				conn, br, err := serve.SubscribeFollow(c.StreamAddr(), key, "", 4)
+				if firstDial {
+					ready <- err
+					firstDial = false
+				}
+				if err != nil {
+					// Mid-kill the key may be unrouted until recovery runs;
+					// keep retrying until the session is truly gone or done.
+					if time.Now().After(deadline) {
+						tr.mu.Lock()
+						tr.err = fmt.Errorf("cluster: resubscribe %s: %w", key, err)
+						tr.mu.Unlock()
+						return
+					}
+					if info, ierr := c.SessionInfo(key); ierr != nil || info.State == serve.StateDone {
+						return
+					}
+					time.Sleep(5 * time.Millisecond)
+					continue
+				}
+				shardID := addrToShard[conn.RemoteAddr().String()]
+				hist := shardHists[shardID]
+				gotFirst := false
+				var readErr error
+				for {
+					rec, err := serve.ReadRecord(br)
+					if err != nil {
+						readErr = err
+						break
+					}
+					now := time.Now().UnixNano()
+					ms := float64(now-rec.PublishNs) / 1e6
+					if hist != nil {
+						hist.Observe(ms)
+					}
+					tr.mu.Lock()
+					tr.records++
+					tr.lastNs = now
+					if ms > tr.maxMs {
+						tr.maxMs = ms
+					}
+					if !gotFirst && severNs != 0 {
+						tr.gaps = append(tr.gaps, gap{severNs: severNs, firstNs: now})
+						severNs = 0
+					}
+					tr.mu.Unlock()
+					gotFirst = true
+				}
+				conn.Close()
+				// A clean close means the session finished or was deleted;
+				// anything else is a sever worth reconnecting across.
+				if info, ierr := c.SessionInfo(key); ierr != nil || info.State == serve.StateDone {
+					return
+				}
+				_ = readErr
+				tr.mu.Lock()
+				tr.reshards++
+				severNs = tr.lastNs
+				tr.mu.Unlock()
+				if time.Now().After(deadline) {
+					tr.mu.Lock()
+					tr.err = errors.New("cluster: subscriber deadline exceeded")
+					tr.mu.Unlock()
+					return
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < nSubs; i++ {
+		if err := <-ready; err != nil {
+			return nil, fmt.Errorf("cluster: subscribe: %w", err)
+		}
+	}
+
+	// Fire: resume every session.
+	for _, key := range keys {
+		if err := c.ResumeSession(key); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &LoadResult{
+		Shards:         cfg.Shards,
+		Sessions:       cfg.Sessions,
+		SubsPerSession: cfg.SubsPerSession,
+		Ticks:          cfg.Ticks,
+	}
+
+	// Disruption 1: live migrations, spread across the run's first half.
+	for m := 0; m < cfg.Migrations; m++ {
+		key := keys[m%len(keys)]
+		info, err := c.SessionInfo(key)
+		if err != nil {
+			return nil, err
+		}
+		if info.State == serve.StateDone {
+			continue // the run outpaced the driver; nothing left to move
+		}
+		target := ""
+		for _, id := range shardIDs {
+			if id != info.Shard {
+				target = id
+				break
+			}
+		}
+		t0 := time.Now()
+		if err := c.Migrate(key, target); err != nil {
+			return nil, fmt.Errorf("cluster: load migration %d: %w", m, err)
+		}
+		res.Migrations = append(res.Migrations, MigrationStats{
+			Key:           key,
+			From:          info.Shard,
+			To:            target,
+			CoordinatorMs: float64(time.Since(t0).Microseconds()) / 1e3,
+			BlackoutMs:    -1, // filled from the subscriber gap below
+		})
+	}
+
+	// Disruption 2: checkpoint everything, kill a shard, recover.
+	if cfg.Kill {
+		c.CheckpointNow()
+		victim := ""
+		for _, sh := range c.Topology().Shards {
+			if sh.Sessions > 0 {
+				victim = sh.ID
+				break
+			}
+		}
+		if victim != "" {
+			t0 := time.Now()
+			if err := c.KillShard(victim); err != nil {
+				return nil, err
+			}
+			recovered, lost, err := c.RecoverShard(victim)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: recovery: %w", err)
+			}
+			res.Killed = victim
+			res.Recovered = recovered
+			res.Lost = lost
+			res.RecoverySeconds = time.Since(t0).Seconds()
+		}
+	}
+
+	// Wait for every session to finish, then for the subscribers to
+	// drain.
+	for _, key := range keys {
+		for {
+			info, err := c.SessionInfo(key)
+			if err != nil {
+				return nil, err
+			}
+			if info.State == serve.StateDone {
+				break
+			}
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("cluster: session %s did not finish", key)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	res.ElapsedSeconds = elapsed.Seconds()
+
+	// Subscriber accounting: totals, and the first observed reconnect
+	// gap per migrated key becomes that migration's blackout.
+	blackouts := obs.NewHistogram(obs.ExpBuckets(0.1, 2, 20))
+	for i, tr := range trackers {
+		tr.mu.Lock()
+		if tr.err != nil {
+			err := tr.err
+			tr.mu.Unlock()
+			return nil, fmt.Errorf("cluster: subscriber %d: %w", i, err)
+		}
+		res.Records += tr.records
+		key := keys[i%cfg.Sessions]
+		for mi := range res.Migrations {
+			if res.Migrations[mi].Key == key && res.Migrations[mi].BlackoutMs < 0 && len(tr.gaps) > 0 {
+				g := tr.gaps[0]
+				res.Migrations[mi].BlackoutMs = float64(g.firstNs-g.severNs) / 1e6
+			}
+		}
+		for _, g := range tr.gaps {
+			blackouts.Observe(float64(g.firstNs-g.severNs) / 1e6)
+		}
+		tr.mu.Unlock()
+	}
+	if blackouts.Count() > 0 {
+		res.BlackoutP50Ms = blackouts.Quantile(0.50)
+		res.BlackoutMaxMs = blackouts.Quantile(1.0)
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		res.FramesPerSec = float64(res.Records) / s
+	}
+
+	// Per-shard stats: latency from the attribution histograms, final
+	// placement from the topology.
+	topo := c.Topology()
+	finalCounts := make(map[string]int, len(topo.Shards))
+	for _, sh := range topo.Shards {
+		finalCounts[sh.ID] = sh.Sessions
+	}
+	for _, id := range shardIDs {
+		h := shardHists[id]
+		st := ShardStats{ID: id, Sessions: finalCounts[id]}
+		if h.Count() > 0 {
+			st.Records = h.Count()
+			st.P50Ms = h.Quantile(0.50)
+			st.P99Ms = h.Quantile(0.99)
+			st.MaxMs = h.Quantile(1.0)
+		}
+		res.PerShard = append(res.PerShard, st)
+	}
+
+	// Optional determinism audit: every served digest must equal an
+	// uninterrupted in-process run of the same seed.
+	if cfg.VerifyDigests {
+		for i, key := range keys {
+			info, err := c.SessionInfo(key)
+			if err != nil {
+				return nil, err
+			}
+			scfg := cfg.Session
+			scfg.Seed = seeds[i]
+			scfg.Ticks = cfg.Ticks
+			if scfg.Decoder == "" {
+				scfg.Decoder = cfg.Decoder
+			}
+			want, err := referenceDigest(scfg)
+			if err != nil {
+				return nil, err
+			}
+			res.DigestsVerified++
+			if info.Digest != want {
+				res.DigestMismatches++
+			}
+		}
+		if res.DigestMismatches > 0 {
+			return res, fmt.Errorf("cluster: %d of %d digests diverged from uninterrupted runs",
+				res.DigestMismatches, res.DigestsVerified)
+		}
+	}
+	return res, nil
+}
+
+// referenceDigest runs a session config uninterrupted in-process.
+func referenceDigest(cfg checkpoint.SessionConfig) (string, error) {
+	p, err := checkpoint.NewPipeline(cfg, 0)
+	if err != nil {
+		return "", err
+	}
+	defer p.Close()
+	for i := 0; i < cfg.Ticks; i++ {
+		if err := p.Step(); err != nil {
+			return "", err
+		}
+	}
+	return fmt.Sprintf("%d", p.Result().Digest), nil
+}

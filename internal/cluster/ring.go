@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The placement function is a consistent-hash ring with virtual nodes:
+// every shard owns VirtualNodes points on a 64-bit circle, and a
+// session key belongs to the first point clockwise from its own hash.
+// Two properties matter and both are pinned by property tests:
+//
+//   - Uniformity: with enough virtual nodes (the default 128) the
+//     max/min shard load over many keys stays within a small factor.
+//   - Minimal disruption: removing one of N shards remaps only the keys
+//     that shard owned (~1/N of them); every other key keeps its owner.
+//     Likewise a join steals only the keys it now owns.
+//
+// Hashing is FNV-1a with an avalanche finalizer — deterministic across
+// processes and platforms, so every front tier computes the same
+// placement from the same member list.
+
+// DefaultVirtualNodes is the per-shard point count. 128 keeps the
+// max/min load ratio under ~1.35 for realistic shard counts while the
+// ring stays small enough to rebuild on every membership change.
+const DefaultVirtualNodes = 128
+
+// ringHash hashes a string onto the circle: 64-bit FNV-1a (inlined to
+// avoid allocating a hasher per lookup) followed by a splitmix64-style
+// avalanche. The finalizer matters: raw FNV-1a of near-identical
+// strings ("shard-0#1", "shard-0#2", ...) leaves the high bits
+// correlated, clumping a shard's virtual nodes together and ruining
+// uniformity (a measured 4x max/min load ratio at 3 shards without it).
+func ringHash(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// ringPoint is one virtual node on the circle.
+type ringPoint struct {
+	hash  uint64
+	shard string
+}
+
+// Ring is an immutable consistent-hash ring over a shard set. Build
+// one with NewRing; membership changes build a new ring (they are rare
+// — joins, leaves, failures — while lookups are per-session).
+type Ring struct {
+	points []ringPoint
+	shards []string // sorted member list
+}
+
+// NewRing builds a ring over the shard IDs with vnodes virtual nodes
+// per shard (0 = DefaultVirtualNodes). Duplicate IDs are an error —
+// they would silently double a shard's share.
+func NewRing(shardIDs []string, vnodes int) (*Ring, error) {
+	if vnodes == 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	if vnodes < 1 {
+		return nil, fmt.Errorf("cluster: virtual nodes must be positive, got %d", vnodes)
+	}
+	seen := make(map[string]bool, len(shardIDs))
+	r := &Ring{
+		points: make([]ringPoint, 0, len(shardIDs)*vnodes),
+		shards: make([]string, 0, len(shardIDs)),
+	}
+	for _, id := range shardIDs {
+		if id == "" {
+			return nil, fmt.Errorf("cluster: empty shard ID")
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("cluster: duplicate shard ID %q", id)
+		}
+		seen[id] = true
+		r.shards = append(r.shards, id)
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  ringHash(fmt.Sprintf("%s#%d", id, v)),
+				shard: id,
+			})
+		}
+	}
+	sort.Strings(r.shards)
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// Hash ties (astronomically rare, but possible on a forged
+		// member list) break by shard ID so placement stays deterministic
+		// regardless of insertion order.
+		return a.shard < b.shard
+	})
+	return r, nil
+}
+
+// Owner returns the shard a session key belongs to ("" on an empty
+// ring).
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the circle's first point
+	}
+	return r.points[i].shard
+}
+
+// Shards returns the sorted member list.
+func (r *Ring) Shards() []string {
+	return append([]string(nil), r.shards...)
+}
+
+// Size returns the member count.
+func (r *Ring) Size() int { return len(r.shards) }
+
+// Has reports membership.
+func (r *Ring) Has(id string) bool {
+	i := sort.SearchStrings(r.shards, id)
+	return i < len(r.shards) && r.shards[i] == id
+}

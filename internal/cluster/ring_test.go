@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringKeys generates n session-ID-shaped keys (the same c%06d shape
+// the front tier mints).
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("c%06d", i+1)
+	}
+	return keys
+}
+
+func shardIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("shard-%d", i)
+	}
+	return ids
+}
+
+// TestRingUniformity: with the default virtual-node count, 10k session
+// keys spread across the shards with a bounded max/min load ratio —
+// the property that makes consistent hashing usable as a load
+// balancer at all.
+func TestRingUniformity(t *testing.T) {
+	for _, shards := range []int{2, 3, 5, 8} {
+		r, err := NewRing(shardIDs(shards), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make(map[string]int, shards)
+		for _, key := range ringKeys(10000) {
+			counts[r.Owner(key)]++
+		}
+		if len(counts) != shards {
+			t.Fatalf("%d shards: only %d received keys", shards, len(counts))
+		}
+		min, max := 10000, 0
+		for _, n := range counts {
+			if n < min {
+				min = n
+			}
+			if n > max {
+				max = n
+			}
+		}
+		// 128 vnodes keeps the spread well inside 2x for small shard
+		// counts; the bound has head-room so the test pins the property,
+		// not the exact hash layout.
+		if ratio := float64(max) / float64(min); ratio > 2.0 {
+			t.Fatalf("%d shards: load ratio %.2f (max %d, min %d), want <= 2.0",
+				shards, ratio, max, min)
+		}
+	}
+}
+
+// TestRingMinimalDisruptionOnLeave: removing one of N shards remaps
+// ONLY the keys that shard owned — every other key keeps its owner —
+// and the remapped share is about 1/N.
+func TestRingMinimalDisruptionOnLeave(t *testing.T) {
+	const shards = 5
+	ids := shardIDs(shards)
+	before, err := NewRing(ids, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := ids[2]
+	after, err := NewRing(append(append([]string{}, ids[:2]...), ids[3:]...), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	keys := ringKeys(10000)
+	remapped := 0
+	for _, key := range keys {
+		was, is := before.Owner(key), after.Owner(key)
+		if was == is {
+			continue
+		}
+		if was != removed {
+			t.Fatalf("key %s moved %s->%s though %s left — disruption is not minimal",
+				key, was, is, removed)
+		}
+		remapped++
+	}
+	// The removed shard owned ~1/5 of the keys; allow a wide band
+	// around it.
+	if remapped < 10000/shards/2 || remapped > 10000*2/shards {
+		t.Fatalf("%d of 10000 keys remapped, want about %d", remapped, 10000/shards)
+	}
+}
+
+// TestRingMinimalDisruptionOnJoin: a joining shard steals only the keys
+// it now owns; no key moves between two surviving shards.
+func TestRingMinimalDisruptionOnJoin(t *testing.T) {
+	ids := shardIDs(4)
+	before, err := NewRing(ids, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joiner := "shard-new"
+	after, err := NewRing(append(append([]string{}, ids...), joiner), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stolen := 0
+	for _, key := range ringKeys(10000) {
+		was, is := before.Owner(key), after.Owner(key)
+		if was == is {
+			continue
+		}
+		if is != joiner {
+			t.Fatalf("key %s moved %s->%s though only %s joined", key, was, is, joiner)
+		}
+		stolen++
+	}
+	if stolen == 0 {
+		t.Fatal("joiner stole no keys")
+	}
+}
+
+// TestRingDeterministic: placement is a pure function of the member
+// list — two rings built from the same members (any insertion order)
+// agree on every key. Front tiers must not need to gossip placements.
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing([]string{"x", "y", "z"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"z", "x", "y"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range ringKeys(1000) {
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %s: %s vs %s from the same member set", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// TestRingErrors: invalid member lists are rejected, empty rings answer
+// "" rather than panic.
+func TestRingErrors(t *testing.T) {
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Fatal("duplicate shard ID accepted")
+	}
+	if _, err := NewRing([]string{""}, 0); err == nil {
+		t.Fatal("empty shard ID accepted")
+	}
+	if _, err := NewRing([]string{"a"}, -1); err == nil {
+		t.Fatal("negative virtual nodes accepted")
+	}
+	empty, err := NewRing(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner := empty.Owner("k"); owner != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", owner)
+	}
+	if empty.Size() != 0 || empty.Has("a") {
+		t.Fatal("empty ring reports members")
+	}
+}
+
+// TestRingMembership: Shards is sorted and Has agrees with it.
+func TestRingMembership(t *testing.T) {
+	r, err := NewRing([]string{"b", "c", "a"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Shards()
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Shards() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Shards() = %v, want %v", got, want)
+		}
+		if !r.Has(want[i]) {
+			t.Fatalf("Has(%q) = false", want[i])
+		}
+	}
+	if r.Has("d") {
+		t.Fatal("Has(d) = true")
+	}
+}

@@ -1,0 +1,41 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+)
+
+// The front tier's data plane is a pure redirector: a subscriber dials
+// it with the same SUB line it would send a gateway, and the answer is
+// always MOVED <owning-shard-stream-addr> <local-session-id> (or ERR
+// for unknown keys). Frames never flow through the front tier — after
+// one round trip the subscriber is connected straight to the shard, so
+// the front tier adds no per-frame latency and no bandwidth bottleneck.
+// serve.SubscribeFollow performs the hop automatically; it also heals
+// subscribers after a migration or shard death, because re-dialing the
+// front tier re-resolves the key against the current routing table.
+func (c *Cluster) serveRedirect(conn net.Conn) {
+	defer c.wg.Done()
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return
+	}
+	fields := strings.Fields(line)
+	if (len(fields) != 2 && len(fields) != 3) || fields[0] != "SUB" {
+		fmt.Fprintf(conn, "ERR expected SUB <session-key> [frames|decoded]\n")
+		return
+	}
+	addr, localID, ok := c.Resolve(fields[1])
+	if !ok {
+		fmt.Fprintf(conn, "ERR cluster: no session %q\n", fields[1])
+		return
+	}
+	c.mRedirects.Inc()
+	fmt.Fprintf(conn, "MOVED %s %s\n", addr, localID)
+}

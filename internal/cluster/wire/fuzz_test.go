@@ -1,0 +1,38 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzMigrationDecode pins the decoder's two contracts on hostile
+// input: errors, never panics, and no allocation beyond the input's own
+// length (a forged length field must be rejected before make). Valid
+// envelopes must re-encode byte-identically — the canonical-form
+// invariant the migration path relies on.
+func FuzzMigrationDecode(f *testing.F) {
+	seed, err := Encode(Envelope{Key: "c000001", SourceID: "s000001", Tick: 42, Blob: []byte{1, 2, 3, 4}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(Magic[:])
+	f.Add(append(append([]byte{}, Magic[:]...), 0, 1, 0xFF, 0xFF))
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		e, err := Decode(buf)
+		if err != nil {
+			return
+		}
+		if len(e.Blob) > len(buf) {
+			t.Fatalf("decoded blob %d bytes from %d input bytes", len(e.Blob), len(buf))
+		}
+		out, err := Encode(e)
+		if err != nil {
+			t.Fatalf("valid envelope failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(out, buf) {
+			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", buf, out)
+		}
+	})
+}

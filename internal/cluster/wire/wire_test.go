@@ -1,0 +1,64 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	cases := []Envelope{
+		{},
+		{Key: "c000001", SourceID: "s000042", Tick: 123, Blob: []byte{1, 2, 3}},
+		{Key: strings.Repeat("k", maxKeyLen), Tick: 1<<64 - 1, Blob: bytes.Repeat([]byte{0xAB}, 4096)},
+	}
+	for _, want := range cases {
+		buf, err := Encode(want)
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", want, err)
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if got.Key != want.Key || got.SourceID != want.SourceID || got.Tick != want.Tick || !bytes.Equal(got.Blob, want.Blob) {
+			t.Fatalf("round trip %+v != %+v", got, want)
+		}
+	}
+}
+
+func TestEncodeBounds(t *testing.T) {
+	if _, err := Encode(Envelope{Key: strings.Repeat("k", maxKeyLen+1)}); err == nil {
+		t.Fatal("oversized key encoded")
+	}
+	if _, err := Encode(Envelope{SourceID: strings.Repeat("s", maxKeyLen+1)}); err == nil {
+		t.Fatal("oversized source ID encoded")
+	}
+	if _, err := Encode(Envelope{Blob: make([]byte, maxBlobLen+1)}); err == nil {
+		t.Fatal("oversized blob encoded")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	good, err := Encode(Envelope{Key: "c1", SourceID: "s1", Tick: 7, Blob: []byte{9, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":       nil,
+		"bad magic":   []byte("NOPE\x00\x01"),
+		"bad version": append(append([]byte{}, Magic[:]...), 0x00, 0x63),
+		"truncated":   good[:len(good)-1],
+		"trailing":    append(append([]byte{}, good...), 0),
+	}
+	// A forged blob length must not allocate: claim 16 MiB with 2 bytes
+	// of payload behind it.
+	forged := append([]byte{}, good[:len(good)-6]...)
+	forged = append(forged, 0x00, 0xFF, 0xFF, 0xFF, 9, 9)
+	cases["forged blob length"] = forged
+	for name, buf := range cases {
+		if _, err := Decode(buf); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 
+	"mindful/internal/cluster/wire"
+	"mindful/internal/obs"
 	"mindful/internal/serve/checkpoint"
 )
 
@@ -20,6 +22,12 @@ import (
 //	POST   /api/sessions/{id}/pause      suspend the tick loop
 //	POST   /api/sessions/{id}/resume     resume the tick loop
 //	GET    /api/sessions/{id}/checkpoint binary snapshot blob
+//	POST   /api/sessions/{id}/export     pause + snapshot into a
+//	                                     migration envelope (?key=K
+//	                                     stamps the cluster session key)
+//	POST   /api/sessions/import          restore a migration envelope
+//	                                     paused (checkpoint transfer
+//	                                     target)
 //	POST   /api/sessions/restore         new session from a blob
 //	                                     (?ticks=N extends the target,
 //	                                      ?start_paused=1 creates paused)
@@ -29,9 +37,13 @@ import (
 //	                                     last activity)
 //	GET    /api/stats                    gateway-wide aggregates +
 //	                                     delivery-latency percentiles
+//	POST   /api/drain                    toggle rebalance draining
+//	                                     (?on=true|false; /readyz is 503
+//	                                     while on)
 //	GET    /healthz                      liveness
 //	GET    /readyz                       readiness (503 until both planes
-//	                                     are bound; 503 again once
+//	                                     are bound; 503 while draining
+//	                                     for a rebalance; 503 again once
 //	                                     shutdown begins)
 //
 // Errors are {"error": "..."} with a meaningful status code.
@@ -97,6 +109,7 @@ func (s *Server) controlMux() *http.ServeMux {
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
+	mux.HandleFunc("POST /api/drain", s.handleDrain)
 	mux.HandleFunc("GET /api/stats", s.handleStats)
 	mux.HandleFunc("GET /api/sessions/{id}/stats", s.handleSessionStats)
 	mux.HandleFunc("POST /api/sessions", s.handleCreate)
@@ -106,8 +119,24 @@ func (s *Server) controlMux() *http.ServeMux {
 	mux.HandleFunc("POST /api/sessions/{id}/pause", s.handlePause)
 	mux.HandleFunc("POST /api/sessions/{id}/resume", s.handleResume)
 	mux.HandleFunc("GET /api/sessions/{id}/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("POST /api/sessions/{id}/export", s.handleExport)
+	mux.HandleFunc("POST /api/sessions/import", s.handleImport)
 	mux.HandleFunc("DELETE /api/sessions/{id}", s.handleDelete)
 	return mux
+}
+
+// handleDrain toggles the draining flag (?on=true|false): while set,
+// /readyz answers 503 so nothing new is placed here, but the planes
+// stay up for the sessions migrating off — the rebalance coordinator's
+// knob.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	on, err := strconv.ParseBool(r.URL.Query().Get("on"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, errors.New("on must be a boolean"))
+		return
+	}
+	s.SetDraining(on)
+	writeJSON(w, http.StatusOK, map[string]bool{"draining": on})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -201,6 +230,71 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
 	w.WriteHeader(http.StatusOK)
 	w.Write(blob)
+}
+
+// handleExport is the migration source's half of a checkpoint transfer:
+// pause the session (running loops stop at the next tick boundary),
+// snapshot it, and return a wire.Envelope stamped with the caller's
+// cluster key (?key=...). The session stays paused — the coordinator
+// deletes it once the import lands, or resumes it to abort.
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	blob, tick, err := sess.exportSnapshot()
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	env, err := wire.Encode(wire.Envelope{
+		Key:      r.URL.Query().Get("key"),
+		SourceID: sess.ID,
+		Tick:     uint64(tick),
+		Blob:     blob,
+	})
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(env)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(env)
+}
+
+// handleImport is the migration target's half: decode the envelope,
+// restore its checkpoint paused (the coordinator resumes after
+// redirecting subscribers), and reject a transfer whose restored tick
+// does not match the envelope's — a corrupted or mismatched blob must
+// not silently take over a session.
+func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
+	buf, err := io.ReadAll(io.LimitReader(r.Body, maxControlBody))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	env, err := wire.Decode(buf)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, err := s.RestoreSession(env.Blob, 0, true)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	info := sess.info()
+	if info.Tick != int(env.Tick) {
+		s.DeleteSession(sess.ID)
+		writeErr(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("serve: imported tick %d does not match envelope tick %d", info.Tick, env.Tick))
+		return
+	}
+	s.event("session_import", sess.ID, env.Key,
+		obs.EventAttr{Key: "tick", Val: float64(info.Tick)})
+	writeJSON(w, http.StatusCreated, info)
 }
 
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {

@@ -59,6 +59,11 @@ type Config struct {
 	// DefaultDecoder, when set (e.g. "kalman"), attaches that decoder to
 	// every created session whose config does not name one itself.
 	DefaultDecoder string
+	// Redirect, when set, resolves sessions this gateway does not host:
+	// a data-plane SUB for an unknown ID consults it and, on success,
+	// answers "MOVED <addr> <id>" instead of an error — the cluster
+	// front tier's subscriber-redirect hook.
+	Redirect func(sessionID string) (addr, localID string, ok bool)
 	// Observer optionally collects gateway metrics and traces.
 	Observer *obs.Observer
 }
@@ -72,11 +77,12 @@ type Server struct {
 	nextID   uint64
 	closed   bool
 
-	ctlLn   net.Listener
-	strLn   net.Listener
-	httpSrv *http.Server
-	wg      sync.WaitGroup
-	ready   atomic.Bool
+	ctlLn    net.Listener
+	strLn    net.Listener
+	httpSrv  *http.Server
+	wg       sync.WaitGroup
+	ready    atomic.Bool
+	draining atomic.Bool
 
 	// events is the flight recorder's structured log (nil without an
 	// observer — every Record call is nil-safe). latency is the
@@ -231,14 +237,28 @@ func (s *Server) Start() error {
 }
 
 // Ready reports whether the gateway is accepting work: both planes
-// bound, shutdown not begun — the /readyz contract.
+// bound, not draining, shutdown not begun — the /readyz contract.
 func (s *Server) Ready() bool {
-	if !s.ready.Load() {
+	if !s.ready.Load() || s.draining.Load() {
 		return false
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return !s.closed
+}
+
+// SetDraining marks the gateway as draining for a rebalance: /readyz
+// answers 503 so load balancers stop placing new work here, while the
+// planes stay up for the sessions migrating off. Clearing it restores
+// readiness.
+func (s *Server) SetDraining(v bool) {
+	if s.draining.Swap(v) != v {
+		state := "end"
+		if v {
+			state = "begin"
+		}
+		s.event("gateway_drain", state, "")
+	}
 }
 
 // ControlAddr returns the bound control-plane address.
@@ -442,6 +462,39 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return httpErr
 	}
 	return snapErr
+}
+
+// Kill stops the gateway the way SIGKILL would, minus the leaked
+// goroutines: both listeners close immediately, every subscriber
+// connection is severed mid-record, and no drain checkpoints are
+// written. Sessions vanish with whatever state they had — recovery is
+// the cluster's business, from checkpoints taken before the kill. The
+// chaos tests use it to stand in for a gateway process dying.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	sessions := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.sessions = make(map[string]*Session)
+	s.mu.Unlock()
+
+	s.ready.Store(false)
+	s.strLn.Close()
+	s.httpSrv.Close() // closes the control listener and every live conn
+	for _, sess := range sessions {
+		sess.halt()
+		sess.release()
+		if s.mSessions != nil {
+			s.mSessions.Add(-1)
+		}
+	}
+	s.wg.Wait()
 }
 
 // errSessionFailed lets Shutdown skip snapshotting failed sessions

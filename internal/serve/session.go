@@ -376,6 +376,36 @@ func (s *Session) snapshot() ([]byte, error) {
 	return blob, err
 }
 
+// exportSnapshot freezes the session for migration: a running tick
+// loop is paused at its next boundary (done sessions snapshot as-is),
+// then the full state is serialized under the same lock hold so the
+// blob and the reported tick cannot diverge. The session stays paused —
+// the migration coordinator deletes it after a successful import on the
+// target shard, or resumes it to abort.
+func (s *Session) exportSnapshot() ([]byte, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.p == nil {
+		return nil, 0, errors.New("serve: session already released")
+	}
+	if s.err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", errSessionFailed, s.err)
+	}
+	if s.state == StateRunning {
+		s.state = StatePaused
+		s.srv.event("session_pause", s.ID, "export",
+			obs.EventAttr{Key: "tick", Val: float64(s.p.Tick())})
+	}
+	blob, err := checkpoint.Snapshot(s.cfg, s.p)
+	if err != nil {
+		return nil, 0, err
+	}
+	s.srv.event("session_export", s.ID, "",
+		obs.EventAttr{Key: "tick", Val: float64(s.p.Tick())},
+		obs.EventAttr{Key: "bytes", Val: float64(len(blob))})
+	return blob, s.p.Tick(), nil
+}
+
 // halt stops the tick loop (if still running) and waits for it to exit.
 // The pipeline stays open so a final snapshot can still be taken.
 func (s *Session) halt() {

@@ -3,6 +3,7 @@ package serve
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -20,8 +21,14 @@ import (
 // where mode is "frames" (default: raw received frame bytes) or
 // "decoded" (the session's decoder output — requires a session created
 // with a decoder), and then reads records until the server closes the
-// stream (session finished or deleted) or evicts it for stalling. Each
-// record is
+// stream (session finished or deleted) or evicts it for stalling. A
+// gateway that does not host the session but can resolve its owner
+// (Config.Redirect — the cluster front tier) answers
+//
+//	MOVED <stream-addr> <session-id>\n
+//
+// and closes; the client re-dials the named address (SubscribeFollow
+// does this automatically, bounded to a few hops). Each record is
 //
 //	length    uint32  bytes after this field
 //	tick      uint64  pipeline tick the record belongs to
@@ -252,6 +259,17 @@ func (srv *Server) serveStream(conn net.Conn) {
 	}
 	sess, err := srv.session(fields[1])
 	if err != nil {
+		// A session this gateway does not host may live elsewhere in the
+		// cluster: the redirect hook answers MOVED so the client can
+		// re-dial the owning shard (the front tier and post-migration
+		// stragglers both land here).
+		if srv.cfg.Redirect != nil {
+			if addr, id, ok := srv.cfg.Redirect(fields[1]); ok {
+				fmt.Fprintf(conn, "MOVED %s %s\n", addr, id)
+				conn.Close()
+				return
+			}
+		}
 		fmt.Fprintf(conn, "ERR %v\n", err)
 		conn.Close()
 		return
@@ -324,6 +342,17 @@ func SubscribeDecoded(addr, sessionID string) (net.Conn, *bufio.Reader, error) {
 	return subscribe(addr, sessionID, "decoded")
 }
 
+// MovedError reports a subscription redirect: the session lives on
+// another gateway. Re-dial Addr and subscribe to ID there.
+type MovedError struct {
+	Addr string
+	ID   string
+}
+
+func (e *MovedError) Error() string {
+	return fmt.Sprintf("serve: session moved to %s as %s", e.Addr, e.ID)
+}
+
 func subscribe(addr, sessionID, mode string) (net.Conn, *bufio.Reader, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -343,11 +372,34 @@ func subscribe(addr, sessionID, mode string) (net.Conn, *bufio.Reader, error) {
 		conn.Close()
 		return nil, nil, err
 	}
+	if fields := strings.Fields(resp); len(fields) == 3 && fields[0] == "MOVED" {
+		conn.Close()
+		return nil, nil, &MovedError{Addr: fields[1], ID: fields[2]}
+	}
 	if !strings.HasPrefix(resp, "OK ") {
 		conn.Close()
 		return nil, nil, fmt.Errorf("serve: subscribe rejected: %s", strings.TrimSpace(resp))
 	}
 	return conn, br, nil
+}
+
+// SubscribeFollow subscribes like Subscribe but follows MOVED redirects
+// (at most maxHops of them) — the way to reach a session through the
+// cluster front tier, which always answers with the owning shard. mode
+// is "" (frames) or "decoded".
+func SubscribeFollow(addr, sessionID, mode string, maxHops int) (net.Conn, *bufio.Reader, error) {
+	for hop := 0; ; hop++ {
+		conn, br, err := subscribe(addr, sessionID, mode)
+		var moved *MovedError
+		if errors.As(err, &moved) {
+			if hop >= maxHops {
+				return nil, nil, fmt.Errorf("serve: redirect limit (%d hops): %w", maxHops, err)
+			}
+			addr, sessionID = moved.Addr, moved.ID
+			continue
+		}
+		return conn, br, err
+	}
 }
 
 // DecodeEstimates unpacks the payload of a RecordFlagDecoded record into

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"mindful/internal/afe"
+	"mindful/internal/cluster"
 	"mindful/internal/comm"
 	"mindful/internal/decode"
 	"mindful/internal/dnnmodel"
@@ -642,6 +643,42 @@ func RunServeLoad(cfg ServeLoadConfig) (*ServeLoadResult, error) { return serve.
 
 // DefaultServeLoadConfig returns the BENCH_serve baseline scenario.
 func DefaultServeLoadConfig() ServeLoadConfig { return serve.DefaultLoadConfig() }
+
+// Cluster serving: a sharded front tier over N gateways. Session keys
+// consistent-hash onto shards over a virtual-node ring; the control
+// plane proxies to the owner, the data plane redirects subscribers
+// (`MOVED`), and sessions migrate live between shards by checkpoint
+// transfer — bit-identically, with paused-state preservation and
+// checkpoint-based recovery when a shard dies.
+type (
+	// ClusterConfig describes the front tier and its shard template.
+	ClusterConfig = cluster.Config
+	// ClusterServer is a running front tier.
+	ClusterServer = cluster.Cluster
+	// ClusterLoadConfig describes one cluster load-generation run.
+	ClusterLoadConfig = cluster.LoadConfig
+	// ClusterLoadResult summarizes a cluster load run (the
+	// BENCH_cluster schema).
+	ClusterLoadResult = cluster.LoadResult
+	// Ring is the consistent-hash ring the front tier places with.
+	Ring = cluster.Ring
+)
+
+// NewCluster returns an unstarted front tier; Start binds its planes,
+// then AddShard/JoinShard populate the ring.
+func NewCluster(cfg ClusterConfig) (*ClusterServer, error) { return cluster.New(cfg) }
+
+// NewRing builds a consistent-hash ring over the given shard IDs with
+// vnodes virtual nodes per shard (0 = default).
+func NewRing(shardIDs []string, vnodes int) (*Ring, error) { return cluster.NewRing(shardIDs, vnodes) }
+
+// RunClusterLoad drives a self-hosted sharded front tier at fleet
+// scale — live migrations and an optional shard kill/recovery mid-run —
+// and returns its measurements.
+func RunClusterLoad(cfg ClusterLoadConfig) (*ClusterLoadResult, error) { return cluster.RunLoad(cfg) }
+
+// DefaultClusterLoadConfig returns the BENCH_cluster baseline scenario.
+func DefaultClusterLoadConfig() ClusterLoadConfig { return cluster.DefaultLoadConfig() }
 
 // NewPipeline builds one steppable implant pipeline (implant idx of a
 // fleet configuration).
