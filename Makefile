@@ -8,7 +8,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test check fmt vet race bench fuzz-smoke fault-smoke serve-smoke decode-smoke obs-smoke cluster-smoke determinism clean
+.PHONY: all build test check fmt vet race bench fuzz-smoke fault-smoke serve-smoke decode-smoke obs-smoke cluster-smoke chaos-smoke determinism clean
 
 all: build
 
@@ -103,7 +103,19 @@ cluster-smoke:
 	$(GO) test -race -run 'TestExportImport|TestImportRejects|TestReadyzDraining|TestSubscribeMoved|TestKillIsAbrupt' ./internal/serve/
 	$(GO) run ./cmd/mindful cluster -shards 3 -sessions 9 -subs 1 -ticks 150 -migrations 1 -kill -verify -out BENCH_cluster.json
 
-check: build vet fmt race fault-smoke serve-smoke decode-smoke obs-smoke cluster-smoke fuzz-smoke
+# Chaos-hardening smoke: the deterministic fault-injection primitives
+# (CRN monotonicity, per-op isolation, proxy fates), the durable
+# checkpoint store's corruption table, the chaos determinism wall
+# (seeded control-plane faults, janitor convergence to exactly one copy
+# per key, bit-identical digests) and the front-tier restart recovery —
+# all under the race detector — then a short chaos sweep across four
+# intensities emitting BENCH_chaos.json.
+chaos-smoke:
+	$(GO) test -race ./internal/chaosnet/ ./internal/cluster/store/
+	$(GO) test -race -run 'TestChaosDeterminismWall|TestChaosWallFaultFreePins|TestFrontTierRestartRecovers|TestRecoverShard' ./internal/cluster/
+	$(GO) run ./cmd/mindful cluster -shards 3 -sessions 8 -subs 1 -ticks 120 -migrations 2 -kill -chaos-sweep -chaos-seed 1 -chaos-intensities 0,0.5,1,2 -chaos-out BENCH_chaos.json
+
+check: build vet fmt race fault-smoke serve-smoke decode-smoke obs-smoke cluster-smoke chaos-smoke fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"mindful/internal/cluster"
@@ -22,12 +24,17 @@ import (
 //	                [-tick-interval D] [-channels C] [-qam B] [-ebn0 DB]
 //	                [-seed S] [-decoder NAME] [-migrations M] [-kill]
 //	                [-verify] [-out FILE]
+//	                [-chaos-sweep] [-chaos-seed S] [-chaos-intensities L]
+//	                [-chaos-out FILE]
 //
 // With no flags it runs the baseline: 3 self-hosted shards, 24 sessions
 // × 1 subscriber × 300 frames, 3 live migrations and one shard kill
 // with checkpoint recovery mid-run. -verify additionally re-runs every
 // session uninterrupted in-process and requires the served digests to
-// match bit-for-bit.
+// match bit-for-bit. -chaos-sweep instead runs the scenario once per
+// fault intensity in the ladder, injecting seeded deterministic faults
+// into the control plane, and writes the survival/retry/latency curves
+// as BENCH_chaos.json.
 func runCluster() error {
 	fs := flag.NewFlagSet("cluster", flag.ContinueOnError)
 	def := cluster.DefaultLoadConfig()
@@ -45,6 +52,10 @@ func runCluster() error {
 	kill := fs.Bool("kill", def.Kill, "kill one shard mid-run and recover from checkpoints")
 	verify := fs.Bool("verify", false, "require served digests to match uninterrupted in-process runs")
 	out := fs.String("out", "BENCH_cluster.json", "write the load result as JSON to FILE")
+	chaosSweep := fs.Bool("chaos-sweep", false, "run the scenario across a ladder of fault intensities instead of once")
+	chaosSeed := fs.Int64("chaos-seed", 1, "seed for the deterministic fault schedule")
+	chaosIntensities := fs.String("chaos-intensities", "", "comma-separated sweep ladder (default 0,0.25,0.5,1,2)")
+	chaosOut := fs.String("chaos-out", "BENCH_chaos.json", "write the sweep result as JSON to FILE (with -chaos-sweep)")
 	if err := fs.Parse(flag.Args()[1:]); err != nil {
 		return fmt.Errorf("%w: %v", errUsage, err)
 	}
@@ -72,6 +83,14 @@ func runCluster() error {
 			Seed:         *seed,
 		},
 	}
+	if *chaosSweep {
+		intensities, err := parseIntensities(*chaosIntensities)
+		if err != nil {
+			return fmt.Errorf("%w: %v", errUsage, err)
+		}
+		return runChaosSweep(cfg, intensities, *chaosSeed, *chaosOut)
+	}
+
 	res, err := cluster.RunLoad(cfg)
 	if err != nil {
 		return err
@@ -117,6 +136,64 @@ func runCluster() error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+	return nil
+}
+
+// parseIntensities parses the -chaos-intensities ladder; empty means
+// the default ladder.
+func parseIntensities(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		x, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || x < 0 {
+			return nil, fmt.Errorf("bad intensity %q", part)
+		}
+		out = append(out, x)
+	}
+	return out, nil
+}
+
+// runChaosSweep runs the intensity ladder and writes BENCH_chaos.json.
+func runChaosSweep(cfg cluster.LoadConfig, intensities []float64, seed int64, out string) error {
+	sweep, err := cluster.RunChaosSweep(cfg, intensities, seed)
+	if err != nil {
+		return err
+	}
+
+	tb := report.NewTable(fmt.Sprintf("Chaos sweep: %d shards, %d sessions × %d frames, seed %d",
+		sweep.Shards, sweep.Sessions, sweep.Ticks, sweep.Seed),
+		"Intensity", "Survival", "Migr ok", "Retries", "Giveups", "Repairs", "p99 [ms]")
+	for _, pt := range sweep.Points {
+		r := pt.Result
+		tb.AddRow(fmt.Sprintf("%.2f", pt.Intensity),
+			fmt.Sprintf("%.3f", r.SurvivalRate),
+			fmt.Sprintf("%.3f", r.MigrationSuccessRate),
+			fmt.Sprintf("%d", r.Retries),
+			fmt.Sprintf("%d", r.Giveups),
+			fmt.Sprintf("%d", r.ReconcileRepairs),
+			fmt.Sprintf("%.3f", r.OverallP99Ms))
+	}
+	fmt.Print(tb.String())
+
+	if out != "" {
+		bench := struct {
+			Benchmark  string `json:"benchmark"`
+			GOMAXPROCS int    `json:"gomaxprocs"`
+			NumCPU     int    `json:"num_cpu"`
+			*cluster.ChaosSweep
+		}{"cluster_chaos_sweep", runtime.GOMAXPROCS(0), runtime.NumCPU(), sweep}
+		buf, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", out)
 	}
 	return nil
 }

@@ -1,0 +1,63 @@
+package chaosnet
+
+import (
+	"io"
+	"math"
+	"net/http"
+)
+
+func floatBits(v float64) uint64     { return math.Float64bits(v) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// drainClose consumes and closes a response body so the injected reset
+// still lets the peer's handler run to completion and the underlying
+// connection be reused.
+func drainClose(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}
+
+// cutBody delivers a prefix of the wrapped body and then fails the
+// read with ErrCut — a transfer severed partway through.
+type cutBody struct {
+	inner     io.ReadCloser
+	remaining int64
+}
+
+// newCutBody budgets frac of the declared content length (or of a
+// 64 KiB default when the length is unknown/chunked), with a floor of
+// one byte so "cut" never degenerates into a clean empty read, and a
+// ceiling one byte short of a known length so it always truncates.
+func newCutBody(inner io.ReadCloser, frac float64, contentLength int64) io.ReadCloser {
+	total := contentLength
+	if total <= 0 {
+		total = 64 << 10
+	}
+	budget := int64(frac * float64(total))
+	if contentLength > 0 && budget >= contentLength {
+		budget = contentLength - 1
+	}
+	if budget < 1 {
+		budget = 1
+	}
+	return &cutBody{inner: inner, remaining: budget}
+}
+
+func (c *cutBody) Read(p []byte) (int, error) {
+	if c.remaining <= 0 {
+		return 0, ErrCut
+	}
+	if int64(len(p)) > c.remaining {
+		p = p[:c.remaining]
+	}
+	n, err := c.inner.Read(p)
+	c.remaining -= int64(n)
+	if err == io.EOF {
+		// The body was shorter than the budget: the cut lands after the
+		// last byte, which a framed reader must still treat as torn.
+		return n, ErrCut
+	}
+	return n, err
+}
+
+func (c *cutBody) Close() error { return c.inner.Close() }

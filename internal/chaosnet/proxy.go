@@ -1,0 +1,171 @@
+package chaosnet
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy is a fault-injecting TCP forwarder for the data plane: dial the
+// proxy's Addr instead of the upstream and connections are refused,
+// delayed, or severed after a drawn byte budget according to the
+// profile. Decisions are keyed by the connection index, so the same
+// seed replays the same per-connection fate regardless of wall clock.
+type Proxy struct {
+	upstream string
+	prof     Profile
+	seed     int64
+
+	ln        net.Listener
+	intensity atomicFloat
+	connIdx   atomic.Uint64
+	closed    atomic.Bool
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+
+	refused atomic.Int64
+	severed atomic.Int64
+}
+
+// NewProxy listens on addr (e.g. "127.0.0.1:0") and forwards accepted
+// connections to upstream through the fault profile. Intensity starts
+// at 1.
+func NewProxy(addr, upstream string, prof Profile, seed int64) (*Proxy, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		upstream: upstream,
+		prof:     prof,
+		seed:     seed,
+		ln:       ln,
+		conns:    make(map[net.Conn]struct{}),
+	}
+	p.intensity.Store(1)
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address, for clients to dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetIntensity rescales injection for connections accepted from now on.
+func (p *Proxy) SetIntensity(x float64) {
+	if x < 0 {
+		x = 0
+	}
+	p.intensity.Store(x)
+}
+
+// Refused and Severed report the faults injected so far.
+func (p *Proxy) Refused() int64 { return p.refused.Load() }
+func (p *Proxy) Severed() int64 { return p.severed.Load() }
+
+// Close stops accepting and tears down every live connection.
+func (p *Proxy) Close() error {
+	if !p.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := p.ln.Close()
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		idx := p.connIdx.Add(1) - 1
+		p.wg.Add(1)
+		go p.serve(conn, idx)
+	}
+}
+
+// serve applies one connection's fate. Draw roles are reused from the
+// HTTP transport: drop refuses the connection outright, delay holds the
+// accept before forwarding, cut severs both directions after a byte
+// budget drawn over severBudget bytes of downstream traffic.
+const severBudget = 256 << 10
+
+func (p *Proxy) serve(conn net.Conn, idx uint64) {
+	defer p.wg.Done()
+	d := drawsFor(p.seed, "proxy", idx)
+	v := decide(p.prof.Scale(p.intensity.Load()), d)
+	if v.drop || v.partitionOnset {
+		p.refused.Add(1)
+		conn.Close()
+		return
+	}
+	if v.delay > 0 {
+		time.Sleep(v.delay)
+	}
+	up, err := net.DialTimeout("tcp", p.upstream, 5*time.Second)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	p.track(conn, up)
+	defer p.untrack(conn, up)
+	defer conn.Close()
+	defer up.Close()
+
+	var limit int64 = -1
+	if v.cut {
+		limit = int64(v.cutFrac * severBudget)
+		if limit < 1 {
+			limit = 1
+		}
+	}
+	done := make(chan struct{}, 2)
+	// Client → upstream is never the limited direction: subscriptions
+	// send one handshake line and then receive; the cut belongs on the
+	// downstream byte stream.
+	go func() {
+		io.Copy(up, conn)
+		done <- struct{}{}
+	}()
+	go func() {
+		if limit >= 0 {
+			io.CopyN(conn, up, limit)
+			p.severed.Add(1)
+		} else {
+			io.Copy(conn, up)
+		}
+		done <- struct{}{}
+	}()
+	<-done
+	// Closing both ends (deferred) unblocks the other copy.
+}
+
+func (p *Proxy) track(conns ...net.Conn) {
+	p.mu.Lock()
+	for _, c := range conns {
+		p.conns[c] = struct{}{}
+	}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) untrack(conns ...net.Conn) {
+	p.mu.Lock()
+	for _, c := range conns {
+		delete(p.conns, c)
+	}
+	p.mu.Unlock()
+}

@@ -1,0 +1,159 @@
+package chaosnet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoUpstream answers each line with "echo: <line>" and, on "blast",
+// streams a large payload — enough downstream traffic to trip a sever.
+func echoUpstream(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				for sc.Scan() {
+					line := sc.Text()
+					if line == "blast" {
+						big := strings.Repeat("y", 1<<20)
+						io.WriteString(c, big)
+						return
+					}
+					fmt.Fprintf(c, "echo: %s\n", line)
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close() }
+}
+
+// TestProxyPassthrough: intensity 0 forwards cleanly in both directions.
+func TestProxyPassthrough(t *testing.T) {
+	up, stop := echoUpstream(t)
+	defer stop()
+	p, err := NewProxy("127.0.0.1:0", up, DefaultProfile(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetIntensity(0)
+
+	for i := 0; i < 10; i++ {
+		conn, err := net.Dial("tcp", p.Addr())
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		fmt.Fprintf(conn, "ping %d\n", i)
+		reply, err := bufio.NewReader(conn).ReadString('\n')
+		conn.Close()
+		if err != nil || reply != fmt.Sprintf("echo: ping %d\n", i) {
+			t.Fatalf("conn %d: reply %q err %v", i, reply, err)
+		}
+	}
+	if p.Refused() != 0 || p.Severed() != 0 {
+		t.Fatalf("intensity 0 injected: refused=%d severed=%d", p.Refused(), p.Severed())
+	}
+}
+
+// TestProxyRefuse: Drop=1 makes every connection die before any byte.
+func TestProxyRefuse(t *testing.T) {
+	up, stop := echoUpstream(t)
+	defer stop()
+	p, err := NewProxy("127.0.0.1:0", up, Profile{Drop: 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		// Acceptable: close raced the dial.
+		return
+	}
+	defer conn.Close()
+	fmt.Fprintln(conn, "ping")
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := bufio.NewReader(conn).ReadString('\n'); err == nil {
+		t.Fatal("refused connection still delivered a reply")
+	}
+	if p.Refused() == 0 {
+		t.Fatal("refusal not counted")
+	}
+}
+
+// TestProxySever: Cut=1 delivers only a prefix of a large downstream
+// payload before the connection dies.
+func TestProxySever(t *testing.T) {
+	up, stop := echoUpstream(t)
+	defer stop()
+	p, err := NewProxy("127.0.0.1:0", up, Profile{Cut: 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintln(conn, "blast")
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n, _ := io.Copy(io.Discard, conn)
+	if n >= 1<<20 {
+		t.Fatalf("sever delivered the whole 1 MiB payload (%d bytes)", n)
+	}
+	if p.Severed() == 0 {
+		t.Fatal("sever not counted")
+	}
+}
+
+// TestProxyDeterministicFates: same seed → same per-connection-index
+// fates across proxy instances.
+func TestProxyDeterministicFates(t *testing.T) {
+	up, stop := echoUpstream(t)
+	defer stop()
+	prof := Profile{Drop: 0.5}
+	run := func() []bool {
+		p, err := NewProxy("127.0.0.1:0", up, prof, 123)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		var fates []bool
+		for i := 0; i < 20; i++ {
+			conn, err := net.Dial("tcp", p.Addr())
+			if err != nil {
+				fates = append(fates, false)
+				continue
+			}
+			fmt.Fprintln(conn, "ping")
+			conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+			_, rerr := bufio.NewReader(conn).ReadString('\n')
+			conn.Close()
+			fates = append(fates, rerr == nil)
+		}
+		return fates
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("connection %d: fates diverge (%v vs %v)", i, a[i], b[i])
+		}
+	}
+}

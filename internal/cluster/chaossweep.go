@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"mindful/internal/chaosnet"
+)
+
+// The chaos sweep is the robustness counterpart of BENCH_cluster: the
+// same clustered load scenario, run at a ladder of fault intensities
+// with a fixed chaos seed, so the output is a set of curves — session
+// survival, migration success, retry volume, delivery p99 — over how
+// hostile the network is. The seeded transport gives common random
+// numbers across the ladder: intensity 0.5 injects a strict subset of
+// intensity 1.0's faults, so the curves are monotone by construction
+// and a regression shows up as a shape change, not sampling noise.
+// Intensity 0 takes the exact fault-free code path, pinning the
+// sweep's baseline to BENCH_cluster's numbers.
+
+// DefaultSweepIntensities is the standard ladder.
+func DefaultSweepIntensities() []float64 { return []float64{0, 0.25, 0.5, 1.0, 2.0} }
+
+// SweepPoint is one intensity's run.
+type SweepPoint struct {
+	Intensity float64     `json:"intensity"`
+	Result    *LoadResult `json:"result"`
+}
+
+// ChaosSweep is the BENCH_chaos.json document.
+type ChaosSweep struct {
+	Seed        int64            `json:"chaos_seed"`
+	Profile     chaosnet.Profile `json:"profile"`
+	Shards      int              `json:"shards"`
+	Sessions    int              `json:"sessions"`
+	Ticks       int              `json:"ticks"`
+	Points      []SweepPoint     `json:"points"`
+	TotalFaults int64            `json:"total_faults_injected"`
+}
+
+// RunChaosSweep runs the load scenario once per intensity and collects
+// the curves. The base config's own chaos fields are overridden per
+// point; everything else (shards, sessions, migrations, kill) is held
+// fixed so intensity is the only moving variable.
+func RunChaosSweep(base LoadConfig, intensities []float64, seed int64) (*ChaosSweep, error) {
+	if len(intensities) == 0 {
+		intensities = DefaultSweepIntensities()
+	}
+	prof := chaosnet.DefaultProfile()
+	if base.ChaosProfile != nil {
+		prof = *base.ChaosProfile
+	}
+	sweep := &ChaosSweep{
+		Seed:     seed,
+		Profile:  prof,
+		Shards:   base.Shards,
+		Sessions: base.Sessions,
+		Ticks:    base.Ticks,
+	}
+	for _, x := range intensities {
+		if x < 0 {
+			return nil, errors.New("cluster: sweep intensity must be >= 0")
+		}
+		cfg := base
+		cfg.ChaosIntensity = x
+		cfg.ChaosSeed = seed
+		res, err := RunLoad(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: chaos sweep at intensity %g: %w", x, err)
+		}
+		sweep.Points = append(sweep.Points, SweepPoint{Intensity: x, Result: res})
+		s := res.ChaosStats
+		sweep.TotalFaults += s.Drops + s.Resets + s.Cuts + s.Partitioned
+	}
+	return sweep, nil
+}

@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mindful/internal/chaosnet"
+	"mindful/internal/serve"
+)
+
+// The chaos determinism wall: under a seeded fault schedule on the
+// control plane, every migration either completes or fully reconciles,
+// the invariant auditor ends clean (exactly one copy per session key,
+// in the intended run state), and every surviving session's digest is
+// byte-identical to an uninterrupted run — injected network faults may
+// cost time and retries, never correctness. Runs under -race in CI.
+
+const (
+	wallSeed      = 42
+	wallIntensity = 1.5
+)
+
+// chaosCluster boots a front tier whose control-plane client rides a
+// seeded chaosnet transport, with the janitor on a tight cadence.
+func chaosCluster(t *testing.T, shards int) (*Cluster, *chaosnet.Transport) {
+	t.Helper()
+	tr, err := chaosnet.NewTransport(nil, chaosnet.DefaultProfile(), wallSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.SetIntensity(0) // fault-free while the fixture assembles
+	c, err := New(Config{
+		CheckpointInterval: -1,
+		HealthInterval:     -1,
+		ReconcileInterval:  25 * time.Millisecond,
+		Transport:          tr,
+		RetrySeed:          wallSeed,
+		Shard:              serve.Config{TickInterval: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { shutdownCluster(t, c) })
+	for i := 0; i < shards; i++ {
+		if err := c.AddShard(fmt.Sprintf("shard-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, tr
+}
+
+// waitKeyStateChaos is waitKeyState with chaos manners: a transient
+// control-plane error is retried, not fatal.
+func waitKeyStateChaos(t *testing.T, c *Cluster, key, state string) Info {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		info, err := c.SessionInfo(key)
+		if err == nil && info.State == state {
+			return info
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session %s never reached %s (last: %+v, err=%v)", key, state, info, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestChaosDeterminismWall(t *testing.T) {
+	c, tr := chaosCluster(t, 3)
+	cfg := testSessionConfig()
+	cfg.Ticks = 600
+	wantFrame, _ := digests(t, cfg)
+
+	keys := make([]string, 0, 6)
+	for i := 0; i < 6; i++ {
+		info, err := c.CreateSession(serve.CreateRequest{SessionConfig: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, info.Key)
+	}
+	for _, key := range keys {
+		waitKeyTick(t, c, key, 5)
+	}
+
+	// Storm on: every control-plane call from here — exports, imports,
+	// table flips' deletes, compensating resumes — can be dropped,
+	// reset, cut, delayed, or caught in a partition window, on a
+	// schedule fully determined by (seed, op, attempt).
+	tr.SetIntensity(wallIntensity)
+
+	// Two migration rounds per key. A failed Migrate is acceptable —
+	// the abort path plus the janitor owe us a converged session — but
+	// the error must never leave a key unrouted.
+	attempted, failed := 0, 0
+	for round := 0; round < 2; round++ {
+		for _, key := range keys {
+			info, err := c.SessionInfo(key)
+			if err != nil {
+				continue // transient read failure; the key stays where it is
+			}
+			if info.State == serve.StateDone {
+				continue
+			}
+			target := ""
+			for _, id := range []string{"shard-0", "shard-1", "shard-2"} {
+				if id != info.Shard {
+					target = id
+					break
+				}
+			}
+			attempted++
+			if err := c.Migrate(key, target); err != nil {
+				failed++
+			}
+			if _, _, err := c.lookup(key); err != nil {
+				t.Fatalf("migration left %s unrouted: %v", key, err)
+			}
+		}
+	}
+	t.Logf("migrations: %d attempted, %d failed (reconciled); faults: %+v",
+		attempted, failed, tr.Stats())
+
+	// Storm off, then require convergence: the janitor must repair every
+	// stranded state until the auditor finds exactly one copy per key in
+	// its intended run state — no orphans, no stuck pauses, no ghosts.
+	tr.SetIntensity(0)
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		c.ReconcileNow()
+		rep, err := c.AuditInvariant()
+		if err == nil && rep.Ok() && rep.Routed == len(keys) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never converged: %+v err=%v", rep, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Correctness floor: every session finishes bit-identical to an
+	// uninterrupted run. Faults cost retries and blackout, never state.
+	for _, key := range keys {
+		done := waitKeyStateChaos(t, c, key, serve.StateDone)
+		if done.Digest != wantFrame {
+			t.Fatalf("session %s digest %s under chaos, want %s", key, done.Digest, wantFrame)
+		}
+	}
+
+	if v := c.mRetries.Value(); v == 0 && failed == 0 && tr.Stats().Drops == 0 {
+		t.Fatal("the storm injected nothing; the wall proved nothing")
+	}
+}
+
+// TestChaosWallFaultFreePins: at intensity 0 the chaos transport must
+// be a perfect no-op — the wall's baseline is byte-identical to a run
+// with no transport injection at all.
+func TestChaosWallFaultFreePins(t *testing.T) {
+	c, tr := chaosCluster(t, 2) // intensity stays 0
+	cfg := testSessionConfig()
+	cfg.Ticks = 80
+	wantFrame, _ := digests(t, cfg)
+
+	info, err := c.CreateSession(serve.CreateRequest{SessionConfig: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := "shard-0"
+	if cur, err := c.SessionInfo(info.Key); err == nil && cur.Shard == "shard-0" {
+		target = "shard-1"
+	}
+	if err := c.Migrate(info.Key, target); err != nil {
+		t.Fatal(err)
+	}
+	done := waitKeyState(t, c, info.Key, serve.StateDone)
+	if done.Digest != wantFrame {
+		t.Fatalf("digest %s at intensity 0, want %s", done.Digest, wantFrame)
+	}
+	st := tr.Stats()
+	if st.Drops != 0 || st.Resets != 0 || st.Cuts != 0 || st.Delays != 0 || st.Partitioned != 0 {
+		t.Fatalf("intensity 0 injected faults: %+v", st)
+	}
+	if st.Requests == 0 {
+		t.Fatal("transport saw no traffic; the pin proved nothing")
+	}
+}

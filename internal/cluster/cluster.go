@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"mindful/internal/cluster/store"
 	"mindful/internal/obs"
 	"mindful/internal/serve"
 )
@@ -40,6 +41,8 @@ const (
 	DefaultHealthInterval = time.Second
 	// DefaultProbeTimeout bounds one health probe.
 	DefaultProbeTimeout = 500 * time.Millisecond
+	// DefaultReconcileInterval is the janitor cadence.
+	DefaultReconcileInterval = 2 * time.Second
 )
 
 // Config describes one front tier.
@@ -59,6 +62,32 @@ type Config struct {
 	// HealthInterval is the shard probe cadence (0 = default; negative
 	// disables the loop — tests drive RecoverShard explicitly).
 	HealthInterval time.Duration
+	// ReconcileInterval is the janitor cadence: each pass converges
+	// stuck migration states (paused source with no routed copy,
+	// orphaned target copy, routing entry at a dead shard) back to
+	// exactly one running copy per key (0 = default; negative disables
+	// the loop — tests drive ReconcileNow explicitly).
+	ReconcileInterval time.Duration
+	// StoreDir, when set, backs the checkpoint map with a durable
+	// on-disk store (internal/cluster/store): every stored checkpoint
+	// is also framed to disk, and New reloads the directory so a
+	// restarted front tier can still recover a dead shard's sessions.
+	StoreDir string
+	// Transport optionally replaces the control-plane HTTP transport —
+	// the chaos tests' injection point.
+	Transport http.RoundTripper
+	// ProbeTransport optionally replaces the health/readiness probe
+	// transport (separate so probe chaos can be gated independently).
+	ProbeTransport http.RoundTripper
+	// RetryMax is the retry budget per idempotent control call
+	// (0 = default; negative disables retries).
+	RetryMax int
+	// RetryBase and RetryCap bound the exponential backoff between
+	// retries (0 = defaults).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// RetrySeed seeds the deterministic backoff jitter.
+	RetrySeed int64
 	// Shard is the template for self-hosted shards: listen addresses
 	// are overridden to loopback ephemeral ports, everything else
 	// (queue depth, tick interval, default decoder, observer) applies
@@ -68,10 +97,14 @@ type Config struct {
 	Observer *obs.Observer
 }
 
-// placement is one session's current home.
+// placement is one session's current home. WantRun is the control
+// plane's intent — whether the session should be executing — recorded
+// at create/pause/resume/migrate time so the janitor can tell a
+// deliberately paused session from one a failed migration stranded.
 type placement struct {
 	ShardID string
 	LocalID string
+	WantRun bool
 }
 
 // storedCkpt is one session's most recent checkpoint — the recovery
@@ -110,11 +143,19 @@ type Cluster struct {
 	nextKey   uint64
 	closed    bool
 
+	// orphanSuspects holds "shard/localID" copies seen unrouted on the
+	// previous janitor pass; only a second consecutive sighting deletes.
+	// Guarded by topoMu (only the janitor touches it).
+	orphanSuspects map[string]bool
+
 	ctlLn   net.Listener
 	strLn   net.Listener
 	httpSrv *http.Server
 	wg      sync.WaitGroup
 	stop    chan struct{}
+
+	client *shardClient
+	store  *store.Store // nil without Config.StoreDir
 
 	events *obs.EventLog
 
@@ -128,6 +169,10 @@ type Cluster struct {
 	mRecovered  *obs.Counter
 	mLost       *obs.Counter
 	mRedirects  *obs.Counter
+	mRetries    *obs.Counter
+	mGiveups    *obs.Counter
+	mReconciles *obs.Counter
+	mRepaired   *obs.Counter
 	mBlackout   *obs.Histogram
 }
 
@@ -145,6 +190,9 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.HealthInterval == 0 {
 		cfg.HealthInterval = DefaultHealthInterval
 	}
+	if cfg.ReconcileInterval == 0 {
+		cfg.ReconcileInterval = DefaultReconcileInterval
+	}
 	ring, err := NewRing(nil, cfg.VirtualNodes)
 	if err != nil {
 		return nil, err
@@ -157,6 +205,8 @@ func New(cfg Config) (*Cluster, error) {
 		ckpts:     make(map[string]storedCkpt),
 		migrating: make(map[string]bool),
 		stop:      make(chan struct{}),
+
+		orphanSuspects: make(map[string]bool),
 		// Blackout spans sub-millisecond loopback flips to multi-second
 		// stalls: 0.1 ms .. ~1.6 min exponential buckets.
 		mBlackout: obs.NewHistogram(obs.ExpBuckets(0.1, 2, 20)),
@@ -176,6 +226,10 @@ func New(cfg Config) (*Cluster, error) {
 		c.mRecovered = m.Counter("cluster_sessions_recovered_total")
 		c.mLost = m.Counter("cluster_sessions_lost_total")
 		c.mRedirects = m.Counter("cluster_redirects_total")
+		c.mRetries = m.Counter("cluster_ctl_retries_total")
+		c.mGiveups = m.Counter("cluster_ctl_giveups_total")
+		c.mReconciles = m.Counter("cluster_reconcile_passes_total")
+		c.mRepaired = m.Counter("cluster_reconcile_repairs_total")
 		m.Help("cluster_shards_active", "Gateways currently in the ring.")
 		m.Help("cluster_sessions_routed", "Sessions in the routing table.")
 		m.Help("cluster_sessions_created_total", "Sessions created through the front tier.")
@@ -186,6 +240,34 @@ func New(cfg Config) (*Cluster, error) {
 		m.Help("cluster_sessions_recovered_total", "Sessions restored from checkpoints after a shard death.")
 		m.Help("cluster_sessions_lost_total", "Sessions lost with a dead shard (no checkpoint).")
 		m.Help("cluster_redirects_total", "Data-plane MOVED redirects answered.")
+		m.Help("cluster_ctl_retries_total", "Control-plane call retries after transient failures.")
+		m.Help("cluster_ctl_giveups_total", "Control-plane calls that exhausted their retry budget.")
+		m.Help("cluster_reconcile_passes_total", "Janitor reconciliation passes run.")
+		m.Help("cluster_reconcile_repairs_total", "Stuck migration states converged by the janitor.")
+	}
+	c.client = newShardClient(cfg, c.mRetries, c.mGiveups)
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: checkpoint store: %w", err)
+		}
+		c.store = st
+		// A restarted front tier reloads every durable checkpoint: the
+		// routing table is memory-only, but the recovery state survives,
+		// so RecoverShard can still resurrect a dead shard's sessions.
+		recs, err := st.LoadAll()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: checkpoint store: %w", err)
+		}
+		for key, rec := range recs {
+			c.ckpts[key] = storedCkpt{Blob: rec.Blob, Tick: rec.Tick, Running: rec.Running}
+			// Keys minted by this generation must not collide with the
+			// crashed generation's: advance past every stored key.
+			var n uint64
+			if _, err := fmt.Sscanf(key, "c%d", &n); err == nil && n > c.nextKey {
+				c.nextKey = n
+			}
+		}
 	}
 	return c, nil
 }
@@ -233,6 +315,10 @@ func (c *Cluster) Start() error {
 	if c.cfg.HealthInterval > 0 {
 		c.wg.Add(1)
 		go c.healthLoop()
+	}
+	if c.cfg.ReconcileInterval > 0 {
+		c.wg.Add(1)
+		go c.janitorLoop()
 	}
 	return nil
 }
@@ -331,7 +417,7 @@ func (c *Cluster) RemoveShard(id string) error {
 	c.mu.Unlock()
 
 	// Drain first: stop new placements while the sessions move off.
-	if err := drainShard(sh.CtlBase, true); err != nil {
+	if err := c.client.drainShard(sh.CtlBase, true); err != nil {
 		return fmt.Errorf("cluster: drain %s: %w", id, err)
 	}
 
@@ -451,13 +537,13 @@ func (c *Cluster) CreateSession(req serve.CreateRequest) (Info, error) {
 	sh := c.shards[owner]
 	c.mu.Unlock()
 
-	info, err := createSession(sh.CtlBase, req)
+	info, err := c.client.createSession(sh.CtlBase, req)
 	if err != nil {
 		return Info{}, err
 	}
 
 	c.mu.Lock()
-	c.table[key] = placement{ShardID: owner, LocalID: info.ID}
+	c.table[key] = placement{ShardID: owner, LocalID: info.ID, WantRun: !req.StartPaused}
 	if c.mRouted != nil {
 		c.mRouted.Add(1)
 	}
@@ -474,7 +560,7 @@ func (c *Cluster) DeleteSession(key string) error {
 	if err != nil {
 		return err
 	}
-	if err := deleteSession(sh.CtlBase, p.LocalID); err != nil {
+	if err := c.client.deleteSession(sh.CtlBase, p.LocalID); err != nil {
 		return err
 	}
 	c.forget(key)
@@ -482,7 +568,8 @@ func (c *Cluster) DeleteSession(key string) error {
 	return nil
 }
 
-// forget drops a session's routing entry and stored checkpoint.
+// forget drops a session's routing entry and stored checkpoint (the
+// durable copy too).
 func (c *Cluster) forget(key string) {
 	c.mu.Lock()
 	if _, ok := c.table[key]; ok {
@@ -493,6 +580,30 @@ func (c *Cluster) forget(key string) {
 	}
 	delete(c.ckpts, key)
 	c.mu.Unlock()
+	if c.store != nil {
+		c.store.Delete(key)
+	}
+}
+
+// storeCkpt records a session's latest checkpoint in memory and, when
+// a store is configured, durably on disk.
+func (c *Cluster) storeCkpt(key string, ck storedCkpt) {
+	c.mu.Lock()
+	c.ckpts[key] = ck
+	c.mu.Unlock()
+	if c.store != nil {
+		c.store.Put(key, store.Record{Blob: ck.Blob, Tick: ck.Tick, Running: ck.Running})
+	}
+}
+
+// setWantRun records the control plane's run intent for a key.
+func (c *Cluster) setWantRun(key string, v bool) {
+	c.mu.Lock()
+	if p, ok := c.table[key]; ok {
+		p.WantRun = v
+		c.table[key] = p
+	}
+	c.mu.Unlock()
 }
 
 // PauseSession suspends a session's tick loop via its shard.
@@ -501,7 +612,11 @@ func (c *Cluster) PauseSession(key string) error {
 	if err != nil {
 		return err
 	}
-	return pauseSession(sh.CtlBase, p.LocalID)
+	if err := c.client.pauseSession(sh.CtlBase, p.LocalID); err != nil {
+		return err
+	}
+	c.setWantRun(key, false)
+	return nil
 }
 
 // ResumeSession releases a paused session via its shard.
@@ -510,7 +625,11 @@ func (c *Cluster) ResumeSession(key string) error {
 	if err != nil {
 		return err
 	}
-	return resumeSession(sh.CtlBase, p.LocalID)
+	if err := c.client.resumeSession(sh.CtlBase, p.LocalID); err != nil {
+		return err
+	}
+	c.setWantRun(key, true)
+	return nil
 }
 
 // Info is the front tier's view of one session: the cluster key and
@@ -527,7 +646,7 @@ func (c *Cluster) SessionInfo(key string) (Info, error) {
 	if err != nil {
 		return Info{}, err
 	}
-	info, err := getSession(sh.CtlBase, p.LocalID)
+	info, err := c.client.getSession(sh.CtlBase, p.LocalID)
 	if err != nil {
 		return Info{}, err
 	}
@@ -593,7 +712,7 @@ func (c *Cluster) Topology() ClusterInfo {
 			CtlBase:    sh.CtlBase,
 			StreamAddr: sh.StreamAddr,
 			SelfHosted: sh.srv != nil,
-			Ready:      probeReady(sh.CtlBase),
+			Ready:      c.client.probeReady(sh.CtlBase),
 			Sessions:   counts[sh.ID],
 		})
 	}

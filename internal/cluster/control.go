@@ -112,9 +112,12 @@ func (c *Cluster) controlMux() *http.ServeMux {
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("key")})
 	})
-	mux.HandleFunc("POST /api/sessions/{key}/pause", c.proxyLifecycle(pauseSession))
-	mux.HandleFunc("POST /api/sessions/{key}/resume", c.proxyLifecycle(resumeSession))
+	mux.HandleFunc("POST /api/sessions/{key}/pause", c.proxyLifecycle(c.PauseSession))
+	mux.HandleFunc("POST /api/sessions/{key}/resume", c.proxyLifecycle(c.ResumeSession))
 	mux.HandleFunc("POST /api/sessions/{key}/migrate", c.handleMigrate)
+	mux.HandleFunc("POST /api/reconcile", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]int{"repaired": c.ReconcileNow()})
+	})
 	return mux
 }
 
@@ -203,17 +206,17 @@ func (c *Cluster) handleMigrate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
-// proxyLifecycle adapts a per-shard lifecycle call into a front-tier
-// route on the cluster key.
-func (c *Cluster) proxyLifecycle(call func(base, id string) error) http.HandlerFunc {
+// proxyLifecycle adapts a cluster-level lifecycle call (which records
+// run intent for the janitor) into a front-tier route on the key.
+func (c *Cluster) proxyLifecycle(call func(key string) error) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		key := r.PathValue("key")
-		p, sh, err := c.lookup(key)
+		p, _, err := c.lookup(key)
 		if err != nil {
 			writeErr(w, http.StatusNotFound, err)
 			return
 		}
-		if err := call(sh.CtlBase, p.LocalID); err != nil {
+		if err := call(key); err != nil {
 			writeErr(w, http.StatusConflict, err)
 			return
 		}

@@ -1,0 +1,324 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"mindful/internal/obs"
+	"mindful/internal/serve"
+)
+
+// The janitor is the cluster's reconciliation loop: migrations and
+// recoveries are multi-step protocols over a lossy network, and any
+// step's answer can vanish after the effect landed. Instead of making
+// every coordinator path handle every partial outcome, the coordinator
+// records intent (placement.WantRun) and the janitor converges actual
+// state toward it. The states a single injected fault can strand:
+//
+//   - stuck pause: the routed copy is paused but the control plane
+//     wants it running (a migration aborted after its export paused the
+//     source, and the compensating resume failed too) → resume it;
+//   - wrong run: the routed copy is running but a pause was requested
+//     (the pause's answer was lost mid-compensation) → pause it;
+//   - missing copy: the routed shard definitively answers "no session"
+//     (an import landed nowhere, or a delete raced a crash) → restore
+//     the stored checkpoint onto the key's ring owner;
+//   - routed to a ghost: the routing entry names a shard no longer in
+//     the member set → same restore path;
+//   - orphan copy: a shard hosts a session no routing entry points at
+//     (a migration's source delete failed) → delete it, after it stays
+//     orphaned for two consecutive passes — the grace pass keeps an
+//     in-flight create (registered on the shard, not yet in the table)
+//     from being reaped.
+//
+// ReconcileNow holds topoMu, so a pass never observes a migration's
+// intermediate states — every repair acts on a settled, stranded state.
+
+// janitorLoop runs ReconcileNow on the configured cadence.
+func (c *Cluster) janitorLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.ReconcileInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.ReconcileNow()
+		}
+	}
+}
+
+// ReconcileNow runs one reconciliation pass and returns the number of
+// stuck states repaired.
+func (c *Cluster) ReconcileNow() int {
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
+	c.mReconciles.Inc()
+
+	repaired := 0
+	repaired += c.reconcileRouted()
+	repaired += c.reconcileOrphans()
+	if repaired > 0 {
+		c.mRepaired.Add(int64(repaired))
+	}
+	return repaired
+}
+
+// reconcileRouted converges every routing entry: the routed copy must
+// exist and its run state must match the recorded intent. Callers hold
+// topoMu.
+func (c *Cluster) reconcileRouted() int {
+	c.mu.Lock()
+	type entry struct {
+		key string
+		p   placement
+		sh  *shard // nil when the placement names a ghost shard
+	}
+	entries := make([]entry, 0, len(c.table))
+	for key, p := range c.table {
+		entries = append(entries, entry{key, p, c.shards[p.ShardID]})
+	}
+	c.mu.Unlock()
+	keys := make([]string, 0, len(entries))
+	byKey := make(map[string]entry, len(entries))
+	for _, e := range entries {
+		keys = append(keys, e.key)
+		byKey[e.key] = e
+	}
+	sortStrings(keys)
+
+	repaired := 0
+	for _, key := range keys {
+		e := byKey[key]
+		if e.sh == nil {
+			if c.restoreOnOwner(e.key, e.p.WantRun, "routed to removed shard") {
+				repaired++
+			}
+			continue
+		}
+		info, err := c.client.getSession(e.sh.CtlBase, e.p.LocalID)
+		if err != nil {
+			if !isNotFound(err) {
+				continue // shard unreachable: the health loop's case, not ours
+			}
+			if c.restoreOnOwner(e.key, e.p.WantRun, "routed copy missing on "+e.sh.ID) {
+				repaired++
+			}
+			continue
+		}
+		switch {
+		case info.State == serve.StatePaused && e.p.WantRun:
+			if c.client.resumeSession(e.sh.CtlBase, e.p.LocalID) == nil {
+				c.event("reconcile_resume", e.key, e.sh.ID,
+					obs.EventAttr{Key: "tick", Val: float64(info.Tick)})
+				repaired++
+			}
+		case info.State == serve.StateRunning && !e.p.WantRun:
+			if c.client.pauseSession(e.sh.CtlBase, e.p.LocalID) == nil {
+				c.event("reconcile_pause", e.key, e.sh.ID,
+					obs.EventAttr{Key: "tick", Val: float64(info.Tick)})
+				repaired++
+			}
+		}
+	}
+	return repaired
+}
+
+// restoreOnOwner replays a key's stored checkpoint onto its current
+// ring owner — the repair for a routing entry whose copy is gone. No
+// checkpoint means the session is unrecoverable: forget it, count it
+// lost. Callers hold topoMu.
+func (c *Cluster) restoreOnOwner(key string, wantRun bool, why string) bool {
+	c.mu.Lock()
+	ck, has := c.ckpts[key]
+	var dst *shard
+	if c.ring.Size() > 0 {
+		dst = c.shards[c.ring.Owner(key)]
+	}
+	c.mu.Unlock()
+	if !has || dst == nil {
+		c.forget(key)
+		c.mLost.Inc()
+		c.event("session_lost", key, why)
+		return false
+	}
+	info, err := c.client.restoreSession(dst.CtlBase, ck.Blob, true)
+	if err != nil {
+		// Leave the entry for the next pass: the owner may be mid-chaos.
+		return false
+	}
+	c.mu.Lock()
+	c.table[key] = placement{ShardID: dst.ID, LocalID: info.ID, WantRun: wantRun}
+	c.mu.Unlock()
+	if wantRun {
+		if err := c.client.resumeSession(dst.CtlBase, info.ID); err != nil {
+			if cur, gerr := c.client.getSession(dst.CtlBase, info.ID); gerr != nil || cur.State != serve.StateDone {
+				// Restored but still paused: the next pass's stuck-pause
+				// case picks it up.
+				c.event("reconcile_restore", key, dst.ID+" (paused: "+why+")",
+					obs.EventAttr{Key: "tick", Val: float64(ck.Tick)})
+				return true
+			}
+		}
+	}
+	c.event("reconcile_restore", key, dst.ID+" ("+why+")",
+		obs.EventAttr{Key: "tick", Val: float64(ck.Tick)})
+	return true
+}
+
+// reconcileOrphans deletes shard-hosted copies no routing entry points
+// at. An orphan must be seen in two consecutive passes before it is
+// deleted: a create that has registered on its shard but not yet in the
+// routing table looks orphaned for exactly one observation. Callers
+// hold topoMu.
+func (c *Cluster) reconcileOrphans() int {
+	c.mu.Lock()
+	shards := make([]*shard, 0, len(c.shards))
+	for _, sh := range c.shards {
+		shards = append(shards, sh)
+	}
+	c.mu.Unlock()
+
+	repaired := 0
+	next := make(map[string]bool)
+	for _, sh := range shards {
+		infos, err := c.client.listSessions(sh.CtlBase)
+		if err != nil {
+			continue // unreachable shard: nothing to judge this pass
+		}
+		// The routed set is read AFTER the listing: any create whose
+		// shard-side effect we can see has either registered by now or
+		// will earn its grace pass below.
+		c.mu.Lock()
+		routed := make(map[string]bool)
+		for _, p := range c.table {
+			if p.ShardID == sh.ID {
+				routed[p.LocalID] = true
+			}
+		}
+		c.mu.Unlock()
+		for _, info := range infos {
+			if routed[info.ID] {
+				continue
+			}
+			mark := sh.ID + "/" + info.ID
+			if !c.orphanSuspects[mark] {
+				next[mark] = true // first sighting: grace pass
+				continue
+			}
+			if c.client.deleteSession(sh.CtlBase, info.ID) == nil {
+				c.event("reconcile_orphan", mark, "deleted",
+					obs.EventAttr{Key: "tick", Val: float64(info.Tick)})
+				repaired++
+			} else {
+				next[mark] = true // still there next pass
+			}
+		}
+	}
+	c.orphanSuspects = next
+	return repaired
+}
+
+// AuditReport is AuditInvariant's verdict on the cluster's core
+// invariant: exactly one copy per routed session key, in the run state
+// the control plane intends.
+type AuditReport struct {
+	// Routed is the routing-table size at audit time.
+	Routed int
+	// Copies counts shard-hosted session copies observed.
+	Copies int
+	// Violations describes every invariant breach found; empty means
+	// the invariant holds.
+	Violations []string
+}
+
+// Ok reports whether the invariant holds.
+func (r AuditReport) Ok() bool { return len(r.Violations) == 0 }
+
+// AuditInvariant checks "exactly one running copy per session key"
+// across the whole cluster: every routing entry's copy exists on its
+// shard in the intended state (Done is terminal and always fine), and
+// no shard hosts a copy the routing table does not know. It holds
+// topoMu so it never reads mid-migration state. Probes every shard —
+// an unreachable shard fails the audit rather than hiding its copies.
+func (c *Cluster) AuditInvariant() (AuditReport, error) {
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
+
+	c.mu.Lock()
+	shards := make([]*shard, 0, len(c.shards))
+	for _, sh := range c.shards {
+		shards = append(shards, sh)
+	}
+	table := make(map[string]placement, len(c.table))
+	for k, p := range c.table {
+		table[k] = p
+	}
+	c.mu.Unlock()
+
+	var rep AuditReport
+	rep.Routed = len(table)
+	hosted := make(map[string]map[string]serve.SessionInfo, len(shards)) // shard → localID → info
+	for _, sh := range shards {
+		infos, err := c.client.listSessions(sh.CtlBase)
+		if err != nil {
+			return rep, fmt.Errorf("cluster: audit: shard %s unreachable: %w", sh.ID, err)
+		}
+		m := make(map[string]serve.SessionInfo, len(infos))
+		for _, info := range infos {
+			m[info.ID] = info
+			rep.Copies++
+		}
+		hosted[sh.ID] = m
+	}
+
+	referenced := make(map[string]bool, len(table)) // "shard/local" routed copies
+	keys := make([]string, 0, len(table))
+	for key := range table {
+		keys = append(keys, key)
+	}
+	sortStrings(keys)
+	for _, key := range keys {
+		p := table[key]
+		m, ok := hosted[p.ShardID]
+		if !ok {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("%s routed to unknown shard %s", key, p.ShardID))
+			continue
+		}
+		info, ok := m[p.LocalID]
+		if !ok {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("%s routed to %s/%s but no such copy", key, p.ShardID, p.LocalID))
+			continue
+		}
+		referenced[p.ShardID+"/"+p.LocalID] = true
+		switch info.State {
+		case serve.StateDone:
+			// Terminal: intent no longer applies.
+		case serve.StateRunning:
+			if !p.WantRun {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("%s running on %s but intent is paused", key, p.ShardID))
+			}
+		case serve.StatePaused:
+			if p.WantRun {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("%s paused on %s but intent is running", key, p.ShardID))
+			}
+		default:
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("%s on %s in state %s", key, p.ShardID, info.State))
+		}
+	}
+	for _, sh := range shards {
+		for id := range hosted[sh.ID] {
+			if !referenced[sh.ID+"/"+id] {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("orphan copy %s/%s (no routing entry)", sh.ID, id))
+			}
+		}
+	}
+	return rep, nil
+}

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"sync"
 	"time"
 
+	"mindful/internal/chaosnet"
 	"mindful/internal/obs"
 	"mindful/internal/serve"
 	"mindful/internal/serve/checkpoint"
@@ -60,6 +62,19 @@ type LoadConfig struct {
 	// Observer, when set, instruments the self-hosted front tier
 	// (cluster_* metrics, migrate/shard_down narration).
 	Observer *obs.Observer
+
+	// ChaosIntensity > 0 injects deterministic control-plane faults
+	// (drops, resets, cuts, delays, partitions) through a seeded
+	// chaosnet transport scaled by this factor, turns on the janitor,
+	// and makes disruptions non-fatal: failed migrations are counted
+	// and left for reconciliation instead of aborting the run. Zero
+	// keeps the exact fault-free baseline path.
+	ChaosIntensity float64
+	// ChaosSeed keys the fault schedule; same seed + same intensity =
+	// same faults (and a higher intensity strictly adds faults).
+	ChaosSeed int64
+	// ChaosProfile overrides chaosnet.DefaultProfile's base rates.
+	ChaosProfile *chaosnet.Profile
 }
 
 // DefaultLoadConfig returns the BENCH_cluster baseline: 3 shards, 24
@@ -129,6 +144,26 @@ type LoadResult struct {
 	RecoverySeconds  float64 `json:"recovery_seconds,omitempty"`
 	DigestsVerified  int     `json:"digests_verified,omitempty"`
 	DigestMismatches int     `json:"digest_mismatches,omitempty"`
+
+	// Overall delivery latency across every shard (subscriber-observed).
+	OverallP50Ms float64 `json:"p50_delivery_latency_ms"`
+	OverallP99Ms float64 `json:"p99_delivery_latency_ms"`
+
+	// Chaos accounting (only meaningful when ChaosIntensity > 0).
+	ChaosIntensity      float64        `json:"chaos_intensity"`
+	ChaosSeed           int64          `json:"chaos_seed,omitempty"`
+	ChaosStats          chaosnet.Stats `json:"chaos_faults"`
+	MigrationsAttempted int            `json:"migrations_attempted"`
+	MigrationsFailed    int            `json:"migrations_failed"`
+	// SurvivalRate is finished-or-reconciled sessions over created ones.
+	SurvivalRate float64 `json:"session_survival_rate"`
+	// MigrationSuccessRate counts migrations that completed first-try
+	// (reconciled aborts are survival, not migration success).
+	MigrationSuccessRate float64 `json:"migration_success_rate"`
+	Retries              int64   `json:"ctl_retries"`
+	Giveups              int64   `json:"ctl_giveups"`
+	ReconcilePasses      int64   `json:"reconcile_passes"`
+	ReconcileRepairs     int64   `json:"reconcile_repairs"`
 }
 
 // subTracker is one subscriber's accounting, updated only by its own
@@ -166,12 +201,40 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		tickInterval = time.Millisecond
 	}
 
-	c, err := New(Config{
+	// Chaos wiring: a seeded fault-injecting transport on the control
+	// plane, the janitor on a tight cadence to converge what the faults
+	// strand, and an observer (the run's own if the caller brought none)
+	// so retry/reconcile counters are readable afterwards. Probes stay on
+	// a clean transport: the harness kills shards deliberately, and a
+	// lying probe would misattribute those numbers.
+	chaos := cfg.ChaosIntensity > 0
+	var chaosT *chaosnet.Transport
+	clcfg := Config{
 		CheckpointInterval: -1, // the harness checkpoints explicitly
 		HealthInterval:     -1, // and recovers explicitly, so the numbers are attributable
+		ReconcileInterval:  -1,
 		Shard:              serve.Config{TickInterval: tickInterval},
 		Observer:           cfg.Observer,
-	})
+	}
+	if chaos {
+		prof := chaosnet.DefaultProfile()
+		if cfg.ChaosProfile != nil {
+			prof = *cfg.ChaosProfile
+		}
+		t, err := chaosnet.NewTransport(http.DefaultTransport, prof, cfg.ChaosSeed)
+		if err != nil {
+			return nil, err
+		}
+		t.SetIntensity(cfg.ChaosIntensity)
+		chaosT = t
+		clcfg.Transport = t
+		clcfg.ReconcileInterval = 50 * time.Millisecond
+		clcfg.RetrySeed = cfg.ChaosSeed
+		if clcfg.Observer == nil {
+			clcfg.Observer = obs.New()
+		}
+	}
+	c, err := New(clcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -199,6 +262,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		addrToShard[sh.StreamAddr] = sh.ID
 		shardHists[sh.ID] = obs.NewHistogram(obs.ExpBuckets(0.001, 1.6, 40))
 	}
+	overall := obs.NewHistogram(obs.ExpBuckets(0.001, 1.6, 40))
 
 	start := time.Now()
 
@@ -253,7 +317,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 						tr.mu.Unlock()
 						return
 					}
-					if info, ierr := c.SessionInfo(key); ierr != nil || info.State == serve.StateDone {
+					if done, gone := sessionLook(c, key, chaos); done || gone {
 						return
 					}
 					time.Sleep(5 * time.Millisecond)
@@ -274,6 +338,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 					if hist != nil {
 						hist.Observe(ms)
 					}
+					overall.Observe(ms)
 					tr.mu.Lock()
 					tr.records++
 					tr.lastNs = now
@@ -290,7 +355,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 				conn.Close()
 				// A clean close means the session finished or was deleted;
 				// anything else is a sever worth reconnecting across.
-				if info, ierr := c.SessionInfo(key); ierr != nil || info.State == serve.StateDone {
+				if done, gone := sessionLook(c, key, chaos); done || gone {
 					return
 				}
 				_ = readErr
@@ -328,11 +393,19 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	}
 
 	// Disruption 1: live migrations, spread across the run's first half.
+	// Under chaos a failed migration is data, not a harness error: the
+	// abort path plus the janitor owe us a converged session, and the
+	// failure lands in the success-rate curve.
 	for m := 0; m < cfg.Migrations; m++ {
 		key := keys[m%len(keys)]
 		info, err := c.SessionInfo(key)
 		if err != nil {
-			return nil, err
+			if !chaos {
+				return nil, err
+			}
+			res.MigrationsAttempted++
+			res.MigrationsFailed++
+			continue
 		}
 		if info.State == serve.StateDone {
 			continue // the run outpaced the driver; nothing left to move
@@ -345,8 +418,13 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 			}
 		}
 		t0 := time.Now()
+		res.MigrationsAttempted++
 		if err := c.Migrate(key, target); err != nil {
-			return nil, fmt.Errorf("cluster: load migration %d: %w", m, err)
+			if !chaos {
+				return nil, fmt.Errorf("cluster: load migration %d: %w", m, err)
+			}
+			res.MigrationsFailed++
+			continue
 		}
 		res.Migrations = append(res.Migrations, MigrationStats{
 			Key:           key,
@@ -384,15 +462,24 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	}
 
 	// Wait for every session to finish, then for the subscribers to
-	// drain.
+	// drain. Under chaos a transient read error is retried (the janitor
+	// may still be converging the key); only a definitively unrouted key
+	// is given up as lost.
+	goneKeys := make(map[string]bool)
 	for _, key := range keys {
 		for {
 			info, err := c.SessionInfo(key)
-			if err != nil {
-				return nil, err
-			}
-			if info.State == serve.StateDone {
+			if err == nil && info.State == serve.StateDone {
 				break
+			}
+			if err != nil {
+				if !chaos {
+					return nil, err
+				}
+				if _, _, lerr := c.lookup(key); lerr != nil {
+					goneKeys[key] = true
+					break
+				}
 			}
 			if time.Now().After(deadline) {
 				return nil, fmt.Errorf("cluster: session %s did not finish", key)
@@ -454,10 +541,35 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		res.PerShard = append(res.PerShard, st)
 	}
 
+	// Overall latency and the chaos curve's inputs.
+	if overall.Count() > 0 {
+		res.OverallP50Ms = overall.Quantile(0.50)
+		res.OverallP99Ms = overall.Quantile(0.99)
+	}
+	res.ChaosIntensity = cfg.ChaosIntensity
+	if chaosT != nil {
+		res.ChaosSeed = cfg.ChaosSeed
+		res.ChaosStats = chaosT.Stats()
+	}
+	res.Retries = c.mRetries.Value()
+	res.Giveups = c.mGiveups.Value()
+	res.ReconcilePasses = c.mReconciles.Value()
+	res.ReconcileRepairs = c.mRepaired.Value()
+	res.SurvivalRate = float64(cfg.Sessions-len(goneKeys)) / float64(cfg.Sessions)
+	res.MigrationSuccessRate = 1
+	if res.MigrationsAttempted > 0 {
+		res.MigrationSuccessRate = float64(res.MigrationsAttempted-res.MigrationsFailed) /
+			float64(res.MigrationsAttempted)
+	}
+
 	// Optional determinism audit: every served digest must equal an
-	// uninterrupted in-process run of the same seed.
+	// uninterrupted in-process run of the same seed (lost sessions have
+	// nothing left to audit).
 	if cfg.VerifyDigests {
 		for i, key := range keys {
+			if goneKeys[key] {
+				continue
+			}
 			info, err := c.SessionInfo(key)
 			if err != nil {
 				return nil, err
@@ -483,6 +595,25 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// sessionLook probes a key for subscriber exit decisions. Outside
+// chaos any read error ends the subscriber (the baseline behavior);
+// under chaos only a definitively unrouted key does — a transient
+// control-plane failure or a missing-but-routed copy may yet be
+// reconciled, so the subscriber keeps retrying.
+func sessionLook(c *Cluster, key string, chaos bool) (done, gone bool) {
+	info, err := c.SessionInfo(key)
+	if err == nil {
+		return info.State == serve.StateDone, false
+	}
+	if !chaos {
+		return false, true
+	}
+	if _, _, lerr := c.lookup(key); lerr != nil {
+		return false, true
+	}
+	return false, false
 }
 
 // referenceDigest runs a session config uninterrupted in-process.

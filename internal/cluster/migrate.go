@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"mindful/internal/cluster/store"
 	"mindful/internal/cluster/wire"
 	"mindful/internal/obs"
 	"mindful/internal/serve"
@@ -86,7 +87,7 @@ func (c *Cluster) migrateKey(key, targetID string) error {
 	// session arrives paused; anything else (running, or already done —
 	// a done session restores paused at its final tick and the resume
 	// immediately re-completes it) is resumed on the target.
-	pre, err := getSession(src.CtlBase, p.LocalID)
+	pre, err := c.client.getSession(src.CtlBase, p.LocalID)
 	if err != nil {
 		c.mMigFailed.Inc()
 		return fmt.Errorf("cluster: inspect %s on %s: %w", key, src.ID, err)
@@ -94,26 +95,26 @@ func (c *Cluster) migrateKey(key, targetID string) error {
 	wasRunning := pre.State != serve.StatePaused
 
 	start := time.Now()
-	envBuf, err := exportSession(src.CtlBase, p.LocalID, key)
+	envBuf, err := c.client.exportSession(src.CtlBase, p.LocalID, key)
 	if err != nil {
 		c.mMigFailed.Inc()
+		// The export may have paused the source before its answer was
+		// lost; an abort must not leave a should-run session frozen.
+		c.abortResume(key, src, p.LocalID, wasRunning, 0)
 		return fmt.Errorf("cluster: export %s from %s: %w", key, src.ID, err)
 	}
 	env, err := wire.Decode(envBuf)
 	if err != nil {
 		// The source produced a malformed envelope; it is still paused —
 		// resume it so the abort leaves the session running where it was.
-		resumeSession(src.CtlBase, p.LocalID)
+		c.abortResume(key, src, p.LocalID, wasRunning, 0)
 		c.mMigFailed.Inc()
 		return fmt.Errorf("cluster: export %s produced bad envelope: %w", key, err)
 	}
 
-	info, err := importSession(dst.CtlBase, envBuf)
+	info, err := c.client.importSession(dst.CtlBase, envBuf)
 	if err != nil {
-		if rerr := resumeSession(src.CtlBase, p.LocalID); rerr != nil {
-			c.event("migrate_abort", key, "source resume failed",
-				obs.EventAttr{Key: "tick", Val: float64(env.Tick)})
-		}
+		c.abortResume(key, src, p.LocalID, wasRunning, env.Tick)
 		c.mMigFailed.Inc()
 		return fmt.Errorf("cluster: import %s onto %s: %w", key, targetID, err)
 	}
@@ -122,23 +123,27 @@ func (c *Cluster) migrateKey(key, targetID string) error {
 	// reconnects mid-window is redirected to the target, where the
 	// session sits paused until step 5.
 	c.mu.Lock()
-	c.table[key] = placement{ShardID: targetID, LocalID: info.ID}
-	c.ckpts[key] = storedCkpt{Blob: env.Blob, Tick: int(env.Tick), Running: wasRunning}
+	c.table[key] = placement{ShardID: targetID, LocalID: info.ID, WantRun: p.WantRun}
 	c.mu.Unlock()
+	c.storeCkpt(key, storedCkpt{Blob: env.Blob, Tick: int(env.Tick), Running: wasRunning})
 
 	// Delete the paused source BEFORE resuming the target: the one
 	// ordering that makes two-shards-running impossible. A failed delete
-	// (the source just died) leaves at most a paused orphan.
-	if err := deleteSession(src.CtlBase, p.LocalID); err != nil {
+	// (the source just died, or every retry failed) leaves at most a
+	// paused orphan — the janitor's scan deletes it once the shard
+	// answers again.
+	if err := c.client.deleteSession(src.CtlBase, p.LocalID); err != nil {
 		c.event("migrate_orphan", key, src.ID,
 			obs.EventAttr{Key: "tick", Val: float64(env.Tick)})
 	}
 	if wasRunning {
-		if err := resumeSession(dst.CtlBase, info.ID); err != nil {
+		if err := c.client.resumeSession(dst.CtlBase, info.ID); err != nil {
 			// A session exported at its final tick restores already done;
-			// anything else is a real failure.
-			if cur, gerr := getSession(dst.CtlBase, info.ID); gerr != nil || cur.State != serve.StateDone {
+			// anything else leaves the target paused for the janitor.
+			if cur, gerr := c.client.getSession(dst.CtlBase, info.ID); gerr != nil || cur.State != serve.StateDone {
 				c.mMigFailed.Inc()
+				c.event("migrate_stuck", key, "target resume failed; janitor will converge",
+					obs.EventAttr{Key: "tick", Val: float64(env.Tick)})
 				return fmt.Errorf("cluster: resume %s on %s: %w", key, targetID, err)
 			}
 		}
@@ -151,6 +156,27 @@ func (c *Cluster) migrateKey(key, targetID string) error {
 		obs.EventAttr{Key: "tick", Val: float64(env.Tick)},
 		obs.EventAttr{Key: "blackout_ms", Val: blackoutMs})
 	return nil
+}
+
+// abortResume is a failed migration's compensation: the source copy
+// may be paused (the export ran) while the control plane wants it
+// running. The resume is retried — once through the client's own retry
+// budget, then one more full round — and a compensation that still
+// fails is handed to the janitor: the key stays routed with
+// WantRun intent intact, so the next reconcile pass converges it
+// instead of the session staying frozen forever.
+func (c *Cluster) abortResume(key string, src *shard, localID string, wasRunning bool, tick uint64) {
+	if !wasRunning {
+		return // deliberately paused; the abort leaves it as intended
+	}
+	var err error
+	for round := 0; round < 2; round++ {
+		if err = c.client.resumeSession(src.CtlBase, localID); err == nil {
+			return
+		}
+	}
+	c.event("migrate_stuck", key, "abort resume failed on "+src.ID+"; janitor will converge",
+		obs.EventAttr{Key: "tick", Val: float64(tick)})
 }
 
 // Rebalance migrates every session whose routing disagrees with the
@@ -230,25 +256,31 @@ func (c *Cluster) CheckpointNow() int {
 
 	stored := 0
 	for _, t := range targets {
-		blob, info, err := checkpointSession(t.base, t.localID)
+		blob, info, err := c.client.checkpointSession(t.base, t.localID)
 		if err != nil {
 			continue
+		}
+		ck := storedCkpt{
+			Blob: blob,
+			Tick: info.Tick,
+			// Same rule as migration: only a deliberate pause survives
+			// recovery; running and done sessions restart running (a
+			// done session re-completes on its first resumed step).
+			Running: info.State != serve.StatePaused,
 		}
 		c.mu.Lock()
 		// The placement may have moved while we snapshotted; only store
 		// a checkpoint that still describes the routed copy.
-		if p, ok := c.table[t.key]; ok && p.LocalID == t.localID {
-			c.ckpts[t.key] = storedCkpt{
-				Blob: blob,
-				Tick: info.Tick,
-				// Same rule as migration: only a deliberate pause survives
-				// recovery; running and done sessions restart running (a
-				// done session re-completes on its first resumed step).
-				Running: info.State != serve.StatePaused,
-			}
+		ok := false
+		if p, has := c.table[t.key]; has && p.LocalID == t.localID {
+			c.ckpts[t.key] = ck
+			ok = true
 			stored++
 		}
 		c.mu.Unlock()
+		if ok && c.store != nil {
+			c.store.Put(t.key, store.Record{Blob: ck.Blob, Tick: ck.Tick, Running: ck.Running})
+		}
 	}
 	return stored
 }
@@ -288,7 +320,7 @@ func (c *Cluster) healthLoop() {
 			}
 			c.mu.Unlock()
 			for id, base := range bases {
-				if probeAlive(base) {
+				if c.client.probeAlive(base) {
 					delete(failed, id)
 					continue
 				}
@@ -316,7 +348,14 @@ func (c *Cluster) RecoverShard(id string) (recovered, lost int, err error) {
 	if !ok {
 		return 0, 0, fmt.Errorf("cluster: no shard %q", id)
 	}
-	if probeAlive(sh.CtlBase) {
+	// Confirm death with multiple probes: under injected network chaos a
+	// single failed probe can be the network lying, and recovering a live
+	// shard would run its sessions twice. Any success refuses recovery.
+	alive := false
+	for i := 0; i < 3 && !alive; i++ {
+		alive = c.client.probeAlive(sh.CtlBase)
+	}
+	if alive {
 		return 0, 0, fmt.Errorf("cluster: shard %q is alive; refusing recovery (split-brain guard)", id)
 	}
 
@@ -352,6 +391,21 @@ func (c *Cluster) RecoverShard(id string) (recovered, lost int, err error) {
 		ck, has := c.ckpts[key]
 		orphans = append(orphans, orphan{key, ck, has})
 	}
+	// A restarted front tier reloads its durable checkpoints but not the
+	// memory-only routing table, so the crashed generation's sessions
+	// show up here as stored checkpoints with no routing entry. Declaring
+	// a shard dead is the signal that the old generation is gone: adopt
+	// every unrouted checkpoint alongside the shard's routed orphans. In
+	// steady state the unrouted set is empty (forget drops a key's
+	// checkpoint with its routing entry), so this only fires after a
+	// restart. A surviving shard may still host the pre-crash copy of an
+	// adopted key; that copy is unaddressable without the old table and
+	// the janitor's orphan scan removes it.
+	for key, ck := range c.ckpts {
+		if _, routed := c.table[key]; !routed {
+			orphans = append(orphans, orphan{key, ck, true})
+		}
+	}
 	c.mu.Unlock()
 
 	c.mShardDown.Inc()
@@ -379,7 +433,7 @@ func (c *Cluster) RecoverShard(id string) (recovered, lost int, err error) {
 		c.mu.Lock()
 		dst := c.shards[owner]
 		c.mu.Unlock()
-		info, err := restoreSession(dst.CtlBase, o.ckpt.Blob, true)
+		info, err := c.client.restoreSession(dst.CtlBase, o.ckpt.Blob, true)
 		if err != nil {
 			c.forget(o.key)
 			c.mLost.Inc()
@@ -388,14 +442,15 @@ func (c *Cluster) RecoverShard(id string) (recovered, lost int, err error) {
 			continue
 		}
 		c.mu.Lock()
-		c.table[o.key] = placement{ShardID: owner, LocalID: info.ID}
+		c.table[o.key] = placement{ShardID: owner, LocalID: info.ID, WantRun: o.ckpt.Running}
 		c.mu.Unlock()
 		if o.ckpt.Running {
-			if err := resumeSession(dst.CtlBase, info.ID); err != nil {
-				if cur, gerr := getSession(dst.CtlBase, info.ID); gerr != nil || cur.State != serve.StateDone {
-					c.event("session_lost", o.key, "resume failed on "+owner)
-					lost++
-					continue
+			if err := c.client.resumeSession(dst.CtlBase, info.ID); err != nil {
+				if cur, gerr := c.client.getSession(dst.CtlBase, info.ID); gerr != nil || cur.State != serve.StateDone {
+					// The copy is restored and routed, just paused: count it
+					// recovered and leave the resume to the janitor instead
+					// of declaring it lost.
+					c.event("session_stuck", o.key, "resume failed on "+owner)
 				}
 			}
 		}

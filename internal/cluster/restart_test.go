@@ -1,0 +1,371 @@
+package cluster
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mindful/internal/cluster/store"
+	"mindful/internal/serve"
+)
+
+// externalShard runs a gateway outside any front tier, standing in for
+// a shard process that outlives a front-tier crash.
+func externalShard(t *testing.T) *serve.Server {
+	t.Helper()
+	srv, err := serve.New(serve.Config{
+		ControlAddr:  "127.0.0.1:0",
+		StreamAddr:   "127.0.0.1:0",
+		TickInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv
+}
+
+func attach(t *testing.T, c *Cluster, id string, srv *serve.Server) {
+	t.Helper()
+	if err := c.AttachShard(id, "http://"+srv.ControlAddr(), srv.StreamAddr()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFrontTierRestartRecovers is the crash-the-coordinator drill: the
+// front tier checkpoints its sessions to the durable store, a shard
+// dies, and then the front tier itself crashes before recovering. A
+// new front tier over the same store directory must reload every
+// checkpoint from disk, declare the dead shard down, and restore the
+// sessions on the survivors — the routing table is memory and dies
+// with the process, but the recovery state is disk and does not.
+func TestFrontTierRestartRecovers(t *testing.T) {
+	dir := t.TempDir()
+	srvA, srvB := externalShard(t), externalShard(t)
+
+	c1, err := New(Config{
+		StoreDir:           dir,
+		CheckpointInterval: -1,
+		HealthInterval:     -1,
+		ReconcileInterval:  -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	attach(t, c1, "a", srvA)
+	attach(t, c1, "b", srvB)
+
+	cfg := testSessionConfig()
+	cfg.Ticks = 2000
+	wantFrame, _ := digests(t, cfg)
+	keys := make([]string, 0, 6)
+	for i := 0; i < 6; i++ {
+		info, err := c1.CreateSession(serve.CreateRequest{SessionConfig: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, info.Key)
+	}
+	for _, key := range keys {
+		waitKeyTick(t, c1, key, 10)
+	}
+	if stored := c1.CheckpointNow(); stored != len(keys) {
+		t.Fatalf("checkpointed %d of %d sessions", stored, len(keys))
+	}
+
+	// Shard A dies hard, and the front tier crashes before it can
+	// recover anything. The external shard B keeps running, oblivious.
+	srvA.Kill()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	c1.Shutdown(ctx)
+	cancel()
+
+	// The next generation: same store directory, empty routing table.
+	c2, err := New(Config{
+		StoreDir:           dir,
+		CheckpointInterval: -1,
+		HealthInterval:     -1,
+		ReconcileInterval:  -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { shutdownCluster(t, c2) })
+	attach(t, c2, "b", srvB)
+	// Re-register the dead shard so it can be declared down. The join
+	// succeeds because the routing table is empty — nothing rebalances
+	// onto it before recovery removes it.
+	if err := c2.AttachShard("a", "http://"+srvA.ControlAddr(), srvA.StreamAddr()); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered, lost, err := c2.RecoverShard("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered != len(keys) || lost != 0 {
+		t.Fatalf("recovered %d, lost %d; want %d recovered, 0 lost", recovered, lost, len(keys))
+	}
+
+	// New keys must not collide with the crashed generation's.
+	fresh, err := c2.CreateSession(serve.CreateRequest{SessionConfig: cfg, StartPaused: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range keys {
+		if fresh.Key == key {
+			t.Fatalf("new key %s collides with a recovered session", fresh.Key)
+		}
+	}
+	if err := c2.DeleteSession(fresh.Key); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shard B still hosts its pre-crash copies — unaddressable without
+	// the old routing table. Two janitor passes (sighting + grace)
+	// remove them, after which the invariant auditor is clean.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c2.ReconcileNow()
+		rep, err := c2.AuditInvariant()
+		if err == nil && rep.Ok() && rep.Routed == len(keys) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never converged: %+v err=%v", rep, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Every recovered session replays to the same digest as an
+	// uninterrupted run — the crash cost progress, not correctness.
+	for _, key := range keys {
+		done := waitKeyState(t, c2, key, serve.StateDone)
+		if done.Digest != wantFrame {
+			t.Fatalf("session %s digest %s after restart recovery, want %s", key, done.Digest, wantFrame)
+		}
+	}
+}
+
+// TestRecoverShardCorruptStore feeds RecoverShard a store whose frames
+// have been damaged on disk: a bit-flipped newest generation falls back
+// to the previous good one, and a wholly corrupted key is counted lost
+// — never a panic, never garbage restored.
+func TestRecoverShardCorruptStore(t *testing.T) {
+	cases := []struct {
+		name   string
+		mangle func(t *testing.T, path string)
+		// fallback: the older generation still restores the session.
+		fallback bool
+	}{
+		{"bit-flip", func(t *testing.T, path string) {
+			buf, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf[len(buf)/3] ^= 0x40
+			if err := os.WriteFile(path, buf, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}, true},
+		{"truncation", func(t *testing.T, path string) {
+			buf, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, buf[:len(buf)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}, true},
+		{"bad-magic", func(t *testing.T, path string) {
+			buf, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			copy(buf, "JUNK")
+			if err := os.WriteFile(path, buf, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			c, err := New(Config{
+				StoreDir:           dir,
+				CheckpointInterval: -1,
+				HealthInterval:     -1,
+				ReconcileInterval:  -1,
+				Shard:              serve.Config{TickInterval: time.Millisecond},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Start(); err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { shutdownCluster(t, c) })
+			for _, id := range []string{"shard-0", "shard-1"} {
+				if err := c.AddShard(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			cfg := testSessionConfig()
+			cfg.Ticks = 1000
+			info, err := c.CreateSession(serve.CreateRequest{SessionConfig: cfg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			waitKeyTick(t, c, info.Key, 5)
+			// Two checkpoint passes → two on-disk generations.
+			if c.CheckpointNow() != 1 {
+				t.Fatal("first checkpoint pass stored nothing")
+			}
+			waitKeyTick(t, c, info.Key, 10)
+			if c.CheckpointNow() != 1 {
+				t.Fatal("second checkpoint pass stored nothing")
+			}
+
+			// Damage the newest generation on disk, then reload the map
+			// from the store the way a restarted front tier would.
+			newest := newestGeneration(t, dir, info.Key)
+			tc.mangle(t, newest)
+			st, err := store.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs, err := st.LoadAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.mu.Lock()
+			c.ckpts = make(map[string]storedCkpt, len(recs))
+			for key, rec := range recs {
+				c.ckpts[key] = storedCkpt{Blob: rec.Blob, Tick: rec.Tick, Running: rec.Running}
+			}
+			c.mu.Unlock()
+
+			victim := info.Shard
+			if err := c.KillShard(victim); err != nil {
+				t.Fatal(err)
+			}
+			recovered, lost, err := c.RecoverShard(victim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.fallback {
+				if recovered != 1 || lost != 0 {
+					t.Fatalf("recovered %d, lost %d; want fallback restore (1, 0)", recovered, lost)
+				}
+				done := waitKeyState(t, c, info.Key, serve.StateDone)
+				if done.Digest == "" {
+					t.Fatal("restored session produced no digest")
+				}
+			}
+		})
+	}
+}
+
+// TestRecoverShardAllGenerationsCorrupt: when every retained generation
+// of a key is damaged, the session is counted lost — loudly, not
+// restored as garbage.
+func TestRecoverShardAllGenerationsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Config{
+		StoreDir:           dir,
+		CheckpointInterval: -1,
+		HealthInterval:     -1,
+		ReconcileInterval:  -1,
+		Shard:              serve.Config{TickInterval: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { shutdownCluster(t, c) })
+	for _, id := range []string{"shard-0", "shard-1"} {
+		if err := c.AddShard(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := testSessionConfig()
+	cfg.Ticks = 0
+	info, err := c.CreateSession(serve.CreateRequest{SessionConfig: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitKeyTick(t, c, info.Key, 3)
+	if c.CheckpointNow() != 1 {
+		t.Fatal("checkpoint pass stored nothing")
+	}
+
+	// Damage every generation on disk.
+	matches, err := filepath.Glob(filepath.Join(dir, info.Key+".*.mfcs"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no store files for %s (err=%v)", info.Key, err)
+	}
+	for _, path := range matches {
+		if err := os.WriteFile(path, []byte("scrambled"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := st.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recs[info.Key]; ok {
+		t.Fatal("corrupt key surfaced by LoadAll")
+	}
+	c.mu.Lock()
+	c.ckpts = make(map[string]storedCkpt)
+	c.mu.Unlock()
+
+	victim := info.Shard
+	if err := c.KillShard(victim); err != nil {
+		t.Fatal(err)
+	}
+	recovered, lost, err := c.RecoverShard(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered != 0 || lost != 1 {
+		t.Fatalf("recovered %d, lost %d; want (0, 1) — no checkpoint survived", recovered, lost)
+	}
+}
+
+// newestGeneration returns the highest-generation store file for a key.
+func newestGeneration(t *testing.T, dir, key string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, key+".*.mfcs"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no store files for %s (err=%v)", key, err)
+	}
+	newest := matches[0]
+	for _, m := range matches[1:] {
+		if m > newest {
+			newest = m
+		}
+	}
+	return newest
+}

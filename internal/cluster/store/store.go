@@ -1,0 +1,368 @@
+// Package store is the front tier's durable checkpoint store: the
+// in-memory recovery map (cluster key → latest checkpoint) mirrored to
+// disk so a front-tier restart does not forfeit the state a dead
+// shard's sessions would restart from. Each checkpoint is one
+// CRC32C-framed file written via temp-file + atomic rename, with the
+// previous generation retained: a torn or corrupted write is detected
+// by the checksum and falls back to the last good generation instead of
+// restoring garbage — the same fail-closed posture as the checkpoint
+// codec itself.
+//
+// On-disk layout: one file per (key, generation), named
+// "<key>.<generation:016x>.mfcs". Frame (integers big-endian):
+//
+//	magic    [4]byte  "MFCS"
+//	version  uint16   frame version (currently 1)
+//	key      uint16 length + bytes, the cluster session key
+//	tick     uint64   pipeline tick at snapshot
+//	running  uint8    1 when the session was executing at snapshot
+//	blob     uint32 length + bytes, the checkpoint blob
+//	crc      uint32   CRC32C (Castagnoli) over all preceding bytes
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Magic identifies a MINDFUL checkpoint-store frame.
+var Magic = [4]byte{'M', 'F', 'C', 'S'}
+
+// Version is the current frame version.
+const Version uint16 = 1
+
+// Bounds mirror the migration envelope's: keys are short identifiers,
+// blobs are capped at the control plane's body limit.
+const (
+	maxKeyLen  = 256
+	maxBlobLen = 16 << 20
+)
+
+// keepGenerations is how many generations survive per key: the current
+// write plus one fallback.
+const keepGenerations = 2
+
+// Framing errors.
+var (
+	ErrBadMagic    = errors.New("store: bad magic")
+	ErrBadVersion  = errors.New("store: unsupported version")
+	ErrTruncated   = errors.New("store: truncated frame")
+	ErrTrailing    = errors.New("store: trailing bytes")
+	ErrLengthBound = errors.New("store: length field exceeds bound")
+	ErrChecksum    = errors.New("store: checksum mismatch")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one durable checkpoint.
+type Record struct {
+	Blob    []byte
+	Tick    int
+	Running bool
+}
+
+// Encode frames a record for disk.
+func Encode(key string, rec Record) ([]byte, error) {
+	if len(key) == 0 || len(key) > maxKeyLen {
+		return nil, fmt.Errorf("%w: key %d bytes", ErrLengthBound, len(key))
+	}
+	if len(rec.Blob) > maxBlobLen {
+		return nil, fmt.Errorf("%w: blob %d bytes", ErrLengthBound, len(rec.Blob))
+	}
+	b := make([]byte, 0, 4+2+2+len(key)+8+1+4+len(rec.Blob)+4)
+	b = append(b, Magic[:]...)
+	b = binary.BigEndian.AppendUint16(b, Version)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(key)))
+	b = append(b, key...)
+	b = binary.BigEndian.AppendUint64(b, uint64(rec.Tick))
+	if rec.Running {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(rec.Blob)))
+	b = append(b, rec.Blob...)
+	return binary.BigEndian.AppendUint32(b, crc32.Checksum(b, castagnoli)), nil
+}
+
+// Decode parses and verifies one frame, returning the framed key and
+// record. Malformed or corrupted input returns an error — never a
+// panic, never garbage accepted as a checkpoint.
+func Decode(buf []byte) (string, Record, error) {
+	if len(buf) < 4 {
+		return "", Record{}, ErrTruncated
+	}
+	if [4]byte(buf[:4]) != Magic {
+		return "", Record{}, ErrBadMagic
+	}
+	if len(buf) < 4+2+2 {
+		return "", Record{}, ErrTruncated
+	}
+	// Verify the checksum before trusting any length field beyond the
+	// fixed header: a flipped bit in a length must not drive the parse.
+	if len(buf) < 4+2+2+8+1+4+4 {
+		return "", Record{}, ErrTruncated
+	}
+	body, sum := buf[:len(buf)-4], binary.BigEndian.Uint32(buf[len(buf)-4:])
+	if crc32.Checksum(body, castagnoli) != sum {
+		return "", Record{}, ErrChecksum
+	}
+	if v := binary.BigEndian.Uint16(buf[4:6]); v != Version {
+		return "", Record{}, fmt.Errorf("%w: %d (this build supports %d)", ErrBadVersion, v, Version)
+	}
+	keyLen := int(binary.BigEndian.Uint16(buf[6:8]))
+	if keyLen > maxKeyLen {
+		return "", Record{}, ErrLengthBound
+	}
+	rest := body[8:]
+	if len(rest) < keyLen+8+1+4 {
+		return "", Record{}, ErrTruncated
+	}
+	key := string(rest[:keyLen])
+	rest = rest[keyLen:]
+	tick := binary.BigEndian.Uint64(rest[:8])
+	running := rest[8] == 1
+	blobLen := int(binary.BigEndian.Uint32(rest[9:13]))
+	rest = rest[13:]
+	if blobLen > maxBlobLen {
+		return "", Record{}, ErrLengthBound
+	}
+	if len(rest) < blobLen {
+		return "", Record{}, ErrTruncated
+	}
+	if len(rest) > blobLen {
+		return "", Record{}, ErrTrailing
+	}
+	rec := Record{Tick: int(tick), Running: running}
+	if blobLen > 0 {
+		rec.Blob = append([]byte(nil), rest[:blobLen]...)
+	}
+	return key, rec, nil
+}
+
+// Store is one checkpoint directory.
+type Store struct {
+	dir string
+
+	mu   sync.Mutex
+	gens map[string]uint64 // key → newest generation on disk
+	// corrupt counts frames rejected at load time — surfaced so a
+	// recovery that fell back a generation is visible, not silent.
+	corrupt int
+}
+
+// Open creates (if needed) and scans a checkpoint directory.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, gens: make(map[string]uint64)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, ent := range entries {
+		key, gen, ok := parseName(ent.Name())
+		if !ok {
+			continue
+		}
+		if cur, seen := s.gens[key]; !seen || gen > cur {
+			s.gens[key] = gen
+		}
+	}
+	return s, nil
+}
+
+// parseName splits "<key>.<gen:016x>.mfcs"; sidesteps temp files and
+// foreign names.
+func parseName(name string) (key string, gen uint64, ok bool) {
+	if !strings.HasSuffix(name, ".mfcs") {
+		return "", 0, false
+	}
+	stem := strings.TrimSuffix(name, ".mfcs")
+	i := strings.LastIndexByte(stem, '.')
+	if i <= 0 || len(stem)-i-1 != 16 {
+		return "", 0, false
+	}
+	gen, err := strconv.ParseUint(stem[i+1:], 16, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return stem[:i], gen, true
+}
+
+// validKey rejects keys that cannot be file-name stems.
+func validKey(key string) error {
+	if key == "" || len(key) > maxKeyLen {
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	for _, r := range key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_':
+		default:
+			return fmt.Errorf("store: invalid key %q", key)
+		}
+	}
+	return nil
+}
+
+func (s *Store) path(key string, gen uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s.%016x.mfcs", key, gen))
+}
+
+// Put durably writes a key's next checkpoint generation: frame, temp
+// file, fsync, atomic rename, then prune generations beyond the
+// retained window.
+func (s *Store) Put(key string, rec Record) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	frame, err := Encode(key, rec)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gen := s.gens[key] + 1
+	tmp, err := os.CreateTemp(s.dir, ".tmp-"+key+"-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(frame); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, s.path(key, gen)); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	s.gens[key] = gen
+	// Prune: anything older than the retained window is garbage now.
+	if gen > keepGenerations {
+		for g := gen - keepGenerations; g > 0; g-- {
+			if os.Remove(s.path(key, g)) != nil {
+				break // older generations were pruned by earlier passes
+			}
+		}
+	}
+	return nil
+}
+
+// Delete removes every generation of a key (the session is gone).
+func (s *Store) Delete(key string) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gen, ok := s.gens[key]
+	if !ok {
+		return nil
+	}
+	delete(s.gens, key)
+	for g := gen; g > 0; g-- {
+		if os.Remove(s.path(key, g)) != nil && g < gen {
+			break
+		}
+	}
+	return nil
+}
+
+// Load returns a key's newest good checkpoint, walking back through
+// retained generations when the newest frame is torn or corrupted.
+// A missing key returns os.ErrNotExist.
+func (s *Store) Load(key string) (Record, error) {
+	if err := validKey(key); err != nil {
+		return Record{}, err
+	}
+	s.mu.Lock()
+	gen, ok := s.gens[key]
+	s.mu.Unlock()
+	if !ok {
+		return Record{}, os.ErrNotExist
+	}
+	return s.loadFrom(key, gen)
+}
+
+func (s *Store) loadFrom(key string, newest uint64) (Record, error) {
+	var lastErr error = os.ErrNotExist
+	for g := newest; g > 0 && newest-g < keepGenerations; g-- {
+		buf, err := os.ReadFile(s.path(key, g))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		fkey, rec, err := Decode(buf)
+		if err != nil || fkey != key {
+			if err == nil {
+				err = fmt.Errorf("store: frame for key %q found under %q", fkey, key)
+			}
+			s.mu.Lock()
+			s.corrupt++
+			s.mu.Unlock()
+			lastErr = err
+			continue
+		}
+		return rec, nil
+	}
+	return Record{}, lastErr
+}
+
+// LoadAll returns the newest good checkpoint per key — the restart
+// path. Keys whose every retained generation is corrupt are skipped
+// (counted in CorruptFrames), not fatal: losing one session's
+// checkpoint must not block recovering the rest.
+func (s *Store) LoadAll() (map[string]Record, error) {
+	s.mu.Lock()
+	gens := make(map[string]uint64, len(s.gens))
+	for k, g := range s.gens {
+		gens[k] = g
+	}
+	s.mu.Unlock()
+	out := make(map[string]Record, len(gens))
+	for key, gen := range gens {
+		rec, err := s.loadFrom(key, gen)
+		if err != nil {
+			continue
+		}
+		out[key] = rec
+	}
+	return out, nil
+}
+
+// CorruptFrames counts frames rejected since Open.
+func (s *Store) CorruptFrames() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.corrupt
+}
+
+// Keys lists keys with at least one retained generation.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.gens))
+	for k := range s.gens {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,307 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testRecord(tick int, running bool, blob string) Record {
+	return Record{Blob: []byte(blob), Tick: tick, Running: running}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		key  string
+		rec  Record
+	}{
+		{"basic", "c000001", testRecord(42, true, "checkpoint-bytes")},
+		{"paused", "c000002", testRecord(0, false, "x")},
+		{"empty-blob", "k", testRecord(7, true, "")},
+		{"large-tick", "c999999", testRecord(1<<40, false, "zzz")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			frame, err := Encode(tc.key, tc.rec)
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			key, rec, err := Decode(frame)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if key != tc.key {
+				t.Errorf("key = %q, want %q", key, tc.key)
+			}
+			if rec.Tick != tc.rec.Tick || rec.Running != tc.rec.Running {
+				t.Errorf("rec = %+v, want %+v", rec, tc.rec)
+			}
+			if !bytes.Equal(rec.Blob, tc.rec.Blob) {
+				t.Errorf("blob = %q, want %q", rec.Blob, tc.rec.Blob)
+			}
+		})
+	}
+}
+
+func TestEncodeBounds(t *testing.T) {
+	if _, err := Encode("", Record{}); err == nil {
+		t.Error("empty key accepted")
+	}
+	if _, err := Encode(string(make([]byte, maxKeyLen+1)), Record{}); err == nil {
+		t.Error("oversized key accepted")
+	}
+}
+
+// TestDecodeCorruption is the corruption table: every damaged frame
+// must come back as a typed error — never a panic, never a Record.
+func TestDecodeCorruption(t *testing.T) {
+	good, err := Encode("c000123", testRecord(99, true, "the-checkpoint-blob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		mangle  func([]byte) []byte
+		wantErr error // nil means "any error"
+	}{
+		{"bit-flip-header", func(b []byte) []byte { b[5] ^= 0x01; return b }, ErrChecksum},
+		{"bit-flip-key-length", func(b []byte) []byte { b[7] ^= 0x80; return b }, ErrChecksum},
+		{"bit-flip-blob", func(b []byte) []byte { b[len(b)-8] ^= 0x10; return b }, ErrChecksum},
+		{"bit-flip-crc", func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b }, ErrChecksum},
+		{"truncate-mid-blob", func(b []byte) []byte { return b[:len(b)-10] }, nil},
+		{"truncate-to-header", func(b []byte) []byte { return b[:8] }, ErrTruncated},
+		{"truncate-empty", func(b []byte) []byte { return nil }, ErrTruncated},
+		{"bad-magic", func(b []byte) []byte { copy(b, "NOPE"); return b }, ErrBadMagic},
+		{"trailing-bytes", func(b []byte) []byte { return append(b, 0xAA, 0xBB) }, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			buf := tc.mangle(append([]byte(nil), good...))
+			_, _, err := Decode(buf)
+			if err == nil {
+				t.Fatal("corrupted frame decoded cleanly")
+			}
+			if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+				t.Errorf("err = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestDecodeVersionGate(t *testing.T) {
+	frame, err := Encode("k", testRecord(1, true, "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bump the version and re-seal the checksum so only the version
+	// gate, not the CRC, rejects it.
+	frame[5] = 2
+	sum := crc32.Checksum(frame[:len(frame)-4], castagnoli)
+	binary.BigEndian.PutUint32(frame[len(frame)-4:], sum)
+	if _, _, err := Decode(frame); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestPutLoadDelete(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testRecord(12, true, "blob-a")
+	if err := s.Put("c000001", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load("c000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tick != want.Tick || got.Running != want.Running || !bytes.Equal(got.Blob, want.Blob) {
+		t.Errorf("Load = %+v, want %+v", got, want)
+	}
+	if _, err := s.Load("c999999"); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing key: err = %v, want os.ErrNotExist", err)
+	}
+	if err := s.Delete("c000001"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("c000001"); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("deleted key: err = %v, want os.ErrNotExist", err)
+	}
+	if err := s.Put("bad key!", want); err == nil {
+		t.Error("invalid key accepted")
+	}
+}
+
+func TestGenerationRetentionAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if err := s.Put("k", testRecord(i, true, "gen")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != keepGenerations {
+		t.Errorf("%d files on disk, want %d (pruned)", len(ents), keepGenerations)
+	}
+	got, err := s.Load("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tick != 5 {
+		t.Errorf("Tick = %d, want newest generation (5)", got.Tick)
+	}
+}
+
+// TestCorruptionFallback: a torn newest generation falls back to the
+// previous good one, and the fallback is counted.
+func TestCorruptionFallback(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", testRecord(1, false, "old-good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", testRecord(2, true, "new-torn")); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the newest generation in place (torn write simulation).
+	newest := s.path("k", 2)
+	buf, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0xff
+	if err := os.WriteFile(newest, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load("k")
+	if err != nil {
+		t.Fatalf("Load after corruption: %v", err)
+	}
+	if string(got.Blob) != "old-good" || got.Tick != 1 {
+		t.Errorf("fell back to %+v, want the old-good generation", got)
+	}
+	if s.CorruptFrames() == 0 {
+		t.Error("corrupt frame not counted")
+	}
+	// Both generations corrupt → error, never garbage.
+	older := s.path("k", 1)
+	if err := os.WriteFile(older, []byte("not a frame"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("k"); err == nil {
+		t.Error("wholly corrupt key loaded cleanly")
+	}
+}
+
+// TestReopenScan: a fresh Open over an existing directory finds the
+// newest generation per key and ignores temp/foreign files.
+func TestReopenScan(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", testRecord(1, true, "aa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", testRecord(2, true, "aa2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", testRecord(9, false, "bb")); err != nil {
+		t.Fatal(err)
+	}
+	// Litter: a stale temp file and a foreign name must not confuse the scan.
+	os.WriteFile(filepath.Join(dir, ".tmp-a-123"), []byte("partial"), 0o644)
+	os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hi"), 0o644)
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := s2.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("LoadAll found %d keys, want 2", len(all))
+	}
+	if all["a"].Tick != 2 || string(all["a"].Blob) != "aa2" {
+		t.Errorf("key a = %+v, want newest generation", all["a"])
+	}
+	if all["b"].Tick != 9 || all["b"].Running {
+		t.Errorf("key b = %+v, want tick 9 paused", all["b"])
+	}
+	keys := s2.Keys()
+	if len(keys) != 2 {
+		t.Errorf("Keys = %v, want 2 entries", keys)
+	}
+}
+
+// TestLoadAllSkipsCorruptKey: one wholly corrupt key must not block
+// recovering the rest.
+func TestLoadAllSkipsCorruptKey(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("good", testRecord(3, true, "fine")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("bad", testRecord(4, true, "doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path("bad", 1), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	all, err := s.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := all["bad"]; ok {
+		t.Error("corrupt key surfaced by LoadAll")
+	}
+	if rec, ok := all["good"]; !ok || string(rec.Blob) != "fine" {
+		t.Errorf("good key = %+v, want recovered", rec)
+	}
+}
+
+func TestParseName(t *testing.T) {
+	cases := []struct {
+		in  string
+		key string
+		gen uint64
+		ok  bool
+	}{
+		{"c000001.0000000000000001.mfcs", "c000001", 1, true},
+		{"a.b.000000000000000f.mfcs", "a.b", 15, true},
+		{".tmp-k-1234", "", 0, false},
+		{"k.mfcs", "", 0, false},
+		{"k.123.mfcs", "", 0, false},
+		{"k.000000000000000z.mfcs", "", 0, false},
+		{"k.0000000000000001.other", "", 0, false},
+	}
+	for _, tc := range cases {
+		key, gen, ok := parseName(tc.in)
+		if key != tc.key || gen != tc.gen || ok != tc.ok {
+			t.Errorf("parseName(%q) = (%q, %d, %v), want (%q, %d, %v)",
+				tc.in, key, gen, ok, tc.key, tc.gen, tc.ok)
+		}
+	}
+}

@@ -26,6 +26,10 @@ func (c *Cluster) serveRedirect(conn net.Conn) {
 	if err != nil {
 		return
 	}
+	// The deadline exists to bound the handshake, not the connection:
+	// left armed, it would sever the write side mid-answer if the MOVED
+	// reply ever blocked past it.
+	conn.SetReadDeadline(time.Time{})
 	fields := strings.Fields(line)
 	if (len(fields) != 2 && len(fields) != 3) || fields[0] != "SUB" {
 		fmt.Fprintf(conn, "ERR expected SUB <session-key> [frames|decoded]\n")

@@ -173,11 +173,17 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
+	token := r.Header.Get("Idempotency-Key")
+	if prev, ok := s.idemLookup(token); ok {
+		writeJSON(w, http.StatusCreated, prev.info())
+		return
+	}
 	sess, err := s.CreateSession(req.SessionConfig, req.StartPaused)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	s.idemRecord(token, sess.ID)
 	writeJSON(w, http.StatusCreated, sess.info())
 }
 
@@ -268,8 +274,15 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 // restore its checkpoint paused (the coordinator resumes after
 // redirecting subscribers), and reject a transfer whose restored tick
 // does not match the envelope's — a corrupted or mismatched blob must
-// not silently take over a session.
+// not silently take over a session. An Idempotency-Key header makes a
+// retried import at-most-once: a token seen before answers with the
+// session the first attempt created instead of restoring a second copy.
 func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
+	token := r.Header.Get("Idempotency-Key")
+	if prev, ok := s.idemLookup(token); ok {
+		writeJSON(w, http.StatusCreated, prev.info())
+		return
+	}
 	buf, err := io.ReadAll(io.LimitReader(r.Body, maxControlBody))
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -292,12 +305,18 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("serve: imported tick %d does not match envelope tick %d", info.Tick, env.Tick))
 		return
 	}
+	s.idemRecord(token, sess.ID)
 	s.event("session_import", sess.ID, env.Key,
 		obs.EventAttr{Key: "tick", Val: float64(info.Tick)})
 	writeJSON(w, http.StatusCreated, info)
 }
 
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	token := r.Header.Get("Idempotency-Key")
+	if prev, ok := s.idemLookup(token); ok {
+		writeJSON(w, http.StatusCreated, prev.info())
+		return
+	}
 	blob, err := io.ReadAll(io.LimitReader(r.Body, maxControlBody))
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -324,11 +343,20 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	s.idemRecord(token, sess.ID)
 	writeJSON(w, http.StatusCreated, sess.info())
 }
 
+// handleDelete is idempotent: session IDs are never reused, so a 404
+// whose ID sits in the recently-deleted record is a retry of a delete
+// that already landed and answers success again.
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if err := s.DeleteSession(r.PathValue("id")); err != nil {
+	id := r.PathValue("id")
+	if err := s.DeleteSession(id); err != nil {
+		if s.idemDeleted(id) {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+			return
+		}
 		writeErr(w, statusFor(err, http.StatusInternalServerError), err)
 		return
 	}

@@ -77,6 +77,17 @@ type Server struct {
 	nextID   uint64
 	closed   bool
 
+	// At-most-once support for a retrying control plane: restores carry
+	// an Idempotency-Key header mapping token → created session, and
+	// deletes of recently deleted IDs answer success again instead of
+	// 404. Both records are bounded FIFO — session IDs are never reused
+	// (nextID only grows), so a record aging out can only turn a very
+	// stale retry into an error, never into a duplicate effect.
+	idemTokens  map[string]string
+	idemFIFO    []string
+	deleted     map[string]struct{}
+	deletedFIFO []string
+
 	ctlLn    net.Listener
 	strLn    net.Listener
 	httpSrv  *http.Server
@@ -128,8 +139,10 @@ func New(cfg Config) (*Server, error) {
 		cfg.StallTimeout = DefaultStallTimeout
 	}
 	s := &Server{
-		cfg:      cfg,
-		sessions: make(map[string]*Session),
+		cfg:        cfg,
+		sessions:   make(map[string]*Session),
+		idemTokens: make(map[string]string),
+		deleted:    make(map[string]struct{}),
 		// 1µs..~8s exponential buckets: a local subscriber writes within
 		// microseconds; a stalled one drifts toward the eviction timeout.
 		latency: obs.NewHistogram(obs.ExpBuckets(1000, 2, 24)),
@@ -363,12 +376,74 @@ func (s *Server) RestoreSession(blob []byte, ticks int, startPaused bool) (*Sess
 	return sess, nil
 }
 
+// Bounds for the idempotency records: tokens cover in-flight retry
+// windows (one per restore call), the deleted ring covers delete
+// retries arriving after the first attempt already landed.
+const (
+	maxIdemTokens = 1024
+	maxDeletedIDs = 4096
+)
+
+// idemLookup returns the session a prior attempt with this token
+// created, if the token is known and the session still exists.
+func (s *Server) idemLookup(token string) (*Session, bool) {
+	if token == "" {
+		return nil, false
+	}
+	s.mu.Lock()
+	id, ok := s.idemTokens[token]
+	var sess *Session
+	if ok {
+		sess = s.sessions[id]
+	}
+	s.mu.Unlock()
+	if !ok || sess == nil {
+		return nil, false
+	}
+	return sess, true
+}
+
+// idemRecord binds a token to the session its first attempt created.
+// Callers hold no locks.
+func (s *Server) idemRecord(token, id string) {
+	if token == "" {
+		return
+	}
+	s.mu.Lock()
+	if _, dup := s.idemTokens[token]; !dup {
+		s.idemTokens[token] = id
+		s.idemFIFO = append(s.idemFIFO, token)
+		if len(s.idemFIFO) > maxIdemTokens {
+			delete(s.idemTokens, s.idemFIFO[0])
+			s.idemFIFO = s.idemFIFO[1:]
+		}
+	}
+	s.mu.Unlock()
+}
+
+// idemDeleted reports whether an unknown session ID was deleted
+// recently — a retried DELETE whose first attempt already landed.
+func (s *Server) idemDeleted(id string) bool {
+	s.mu.Lock()
+	_, ok := s.deleted[id]
+	s.mu.Unlock()
+	return ok
+}
+
 // DeleteSession halts, releases and forgets a session.
 func (s *Server) DeleteSession(id string) error {
 	s.mu.Lock()
 	sess, ok := s.sessions[id]
 	if ok {
 		delete(s.sessions, id)
+		if _, dup := s.deleted[id]; !dup {
+			s.deleted[id] = struct{}{}
+			s.deletedFIFO = append(s.deletedFIFO, id)
+			if len(s.deletedFIFO) > maxDeletedIDs {
+				delete(s.deleted, s.deletedFIFO[0])
+				s.deletedFIFO = s.deletedFIFO[1:]
+			}
+		}
 	}
 	s.mu.Unlock()
 	if !ok {

@@ -30,10 +30,13 @@ package mindful
 import (
 	"fmt"
 	"math/rand"
+	"net/http"
 	"time"
 
 	"mindful/internal/afe"
+	"mindful/internal/chaosnet"
 	"mindful/internal/cluster"
+	"mindful/internal/cluster/store"
 	"mindful/internal/comm"
 	"mindful/internal/decode"
 	"mindful/internal/dnnmodel"
@@ -679,6 +682,68 @@ func RunClusterLoad(cfg ClusterLoadConfig) (*ClusterLoadResult, error) { return 
 
 // DefaultClusterLoadConfig returns the BENCH_cluster baseline scenario.
 func DefaultClusterLoadConfig() ClusterLoadConfig { return cluster.DefaultLoadConfig() }
+
+// Chaos hardening: deterministic network fault injection and the
+// machinery that survives it. A chaosnet transport drops, resets, cuts,
+// delays or partitions control-plane calls on a schedule fully
+// determined by (seed, operation, attempt) — common-random-number
+// semantics, so intensities nest. The cluster answers with
+// retry/backoff + idempotency keys, a reconciliation janitor, and a
+// durable CRC-framed checkpoint store that survives front-tier
+// restarts.
+type (
+	// ChaosProfile holds per-fate fault probabilities at intensity 1.
+	ChaosProfile = chaosnet.Profile
+	// ChaosTransport is a seeded fault-injecting http.RoundTripper.
+	ChaosTransport = chaosnet.Transport
+	// ChaosProxy is a seeded fault-injecting TCP proxy (data plane).
+	ChaosProxy = chaosnet.Proxy
+	// ChaosStats counts injected faults by fate.
+	ChaosStats = chaosnet.Stats
+	// ChaosSweep is a survival/latency sweep across a fault-intensity
+	// ladder (the BENCH_chaos schema).
+	ChaosSweep = cluster.ChaosSweep
+	// ChaosSweepPoint is one intensity's load-run result.
+	ChaosSweepPoint = cluster.SweepPoint
+	// ClusterAuditReport is the invariant auditor's findings: exactly
+	// one copy of each routed session, in its intended run state.
+	ClusterAuditReport = cluster.AuditReport
+	// CheckpointStore is the durable per-session checkpoint store
+	// (CRC32C frames, atomic renames, generation fallback).
+	CheckpointStore = store.Store
+	// CheckpointRecord is one stored checkpoint frame.
+	CheckpointRecord = store.Record
+)
+
+// DefaultChaosProfile returns the standard fault mix at intensity 1.
+func DefaultChaosProfile() ChaosProfile { return chaosnet.DefaultProfile() }
+
+// NewChaosTransport wraps inner (nil = http.DefaultTransport) with
+// seeded fault injection; SetIntensity scales the profile without
+// changing the underlying draw schedule.
+func NewChaosTransport(inner http.RoundTripper, prof ChaosProfile, seed int64) (*ChaosTransport, error) {
+	return chaosnet.NewTransport(inner, prof, seed)
+}
+
+// NewChaosProxy listens on addr and forwards to upstream with seeded
+// connection-level fault injection.
+func NewChaosProxy(addr, upstream string, prof ChaosProfile, seed int64) (*ChaosProxy, error) {
+	return chaosnet.NewProxy(addr, upstream, prof, seed)
+}
+
+// OpenCheckpointStore opens (creating if needed) a durable checkpoint
+// store rooted at dir.
+func OpenCheckpointStore(dir string) (*CheckpointStore, error) { return store.Open(dir) }
+
+// RunChaosSweep reruns a cluster load scenario at each fault intensity
+// with a common chaos seed and collects survival, migration-success,
+// retry and latency curves.
+func RunChaosSweep(base ClusterLoadConfig, intensities []float64, seed int64) (*ChaosSweep, error) {
+	return cluster.RunChaosSweep(base, intensities, seed)
+}
+
+// DefaultChaosIntensities returns the standard sweep ladder.
+func DefaultChaosIntensities() []float64 { return cluster.DefaultSweepIntensities() }
 
 // NewPipeline builds one steppable implant pipeline (implant idx of a
 // fleet configuration).
