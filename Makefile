@@ -8,7 +8,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test check fmt vet race bench fuzz-smoke fault-smoke serve-smoke decode-smoke obs-smoke cluster-smoke chaos-smoke determinism clean
+.PHONY: all build test check fmt vet race bench fuzz-smoke fault-smoke serve-smoke decode-smoke obs-smoke cluster-smoke chaos-smoke drift-smoke determinism clean
 
 all: build
 
@@ -47,6 +47,8 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDeltaRiceRoundTrip -fuzztime $(FUZZTIME) ./internal/dsp/
 	$(GO) test -run '^$$' -fuzz FuzzCheckpointDecode -fuzztime $(FUZZTIME) ./internal/serve/checkpoint/
 	$(GO) test -run '^$$' -fuzz FuzzDecodeCheckpointV2 -fuzztime $(FUZZTIME) ./internal/serve/checkpoint/
+	$(GO) test -run '^$$' -fuzz FuzzDriftCheckpointV3 -fuzztime $(FUZZTIME) ./internal/serve/checkpoint/
+	$(GO) test -run '^$$' -fuzz FuzzInstabilityMetric -fuzztime $(FUZZTIME) ./internal/drift/
 	$(GO) test -run '^$$' -fuzz FuzzDecoderStep -fuzztime $(FUZZTIME) ./internal/decode/
 	$(GO) test -run '^$$' -fuzz FuzzEventLogDecode -fuzztime $(FUZZTIME) ./internal/obs/
 	$(GO) test -run '^$$' -fuzz FuzzMigrationDecode -fuzztime $(FUZZTIME) ./internal/cluster/wire/
@@ -115,7 +117,25 @@ chaos-smoke:
 	$(GO) test -race -run 'TestChaosDeterminismWall|TestChaosWallFaultFreePins|TestFrontTierRestartRecovers|TestRecoverShard' ./internal/cluster/
 	$(GO) run ./cmd/mindful cluster -shards 3 -sessions 8 -subs 1 -ticks 120 -migrations 2 -kill -chaos-sweep -chaos-seed 1 -chaos-intensities 0,0.5,1,2 -chaos-out BENCH_chaos.json
 
-check: build vet fmt race fault-smoke serve-smoke decode-smoke obs-smoke cluster-smoke chaos-smoke fuzz-smoke
+# Nonstationarity smoke: the drift package's unit tests, the
+# intensity-0 digest pin (attaching the drift subsystem at zero scale
+# must stay byte-identical to a drift-free run), the adaptive
+# determinism wall and checkpoint resume (under the race detector via
+# `race`), the frozen-vs-adaptive sweep sanity, the v3 codec round trip
+# over the committed v1/v2 goldens, and the migration-mid-refit wall.
+drift-smoke:
+	$(GO) test ./internal/drift/
+	$(GO) test -run 'TestDriftZeroIntensityDigestPin|TestDriftChangesFrameDigest|TestAdaptFrameDigestInvariant|TestDriftSweep' ./internal/fleet/
+	$(GO) test -race -run 'TestAdaptDeterminismWall|TestCheckpointResumeAdaptive|TestRestoreRejectsDriftMismatch' ./internal/fleet/
+	$(GO) test -race -run 'TestGoldenV1|TestGoldenV2|TestRoundTripAdaptive|TestRestoreContinuesBitIdenticallyAdaptive' ./internal/serve/checkpoint/
+	$(GO) test -race -run 'TestGatewayRestoreAdaptive' ./internal/serve/
+	$(GO) test -race -run 'TestMigrationMidRefitAdaptive' ./internal/cluster/
+	$(GO) run ./cmd/mindful fleet -n 2 -workers 2 -ticks 12000 -channels 16 \
+		-decoder kalman -decode-bin 25 -calibrate \
+		-refit-every 12 -refit-buffer 48 -refit-blend 0.3 \
+		-drift-sweep BENCH_drift.json
+
+check: build vet fmt race fault-smoke serve-smoke decode-smoke obs-smoke cluster-smoke chaos-smoke drift-smoke fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

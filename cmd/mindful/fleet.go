@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mindful/internal/comm"
+	"mindful/internal/drift"
 	"mindful/internal/fault"
 	"mindful/internal/fleet"
 	"mindful/internal/obs"
@@ -33,8 +34,16 @@ func fleetFlags(fs *flag.FlagSet) func() (fleet.Config, error) {
 	arqRetries := fs.Int("arq", 0, "ARQ retransmission budget per frame (0 = off)")
 	fecDepth := fs.Int("fec", 0, "Hamming(7,4) FEC interleaver depth (0 = off)")
 	conceal := fs.String("conceal", "none", "gap concealment: none, hold or interp")
-	decoder := fs.String("decoder", "none", "kinematics decoder: none, kalman, wiener or dnn")
+	decoder := fs.String("decoder", "none", "kinematics decoder: none, kalman, wiener, dnn or fixed")
 	decodeBin := fs.Int("decode-bin", 0, "frames per decoder observation bin (0 = default)")
+	driftI := fs.Float64("drift", 0, "nonstationarity intensity: default sweep profile scaled by this factor (0 = off)")
+	driftEpoch := fs.Int("drift-epoch", 0, "drift epoch length in ticks (0 = profile default)")
+	calibrate := fs.Bool("calibrate", false, "fit the day-0 decoder from the implant's own simulated cortex")
+	track := fs.Bool("track", false, "attach the instability meter and decode-error scoring")
+	adapt := fs.Bool("adapt", false, "closed-loop decoder recalibration (implies -track)")
+	refitEvery := fs.Int("refit-every", 0, "bins between recalibrations (0 = default)")
+	refitBuffer := fs.Int("refit-buffer", 0, "supervision ring capacity in bins (0 = default)")
+	refitBlend := fs.Float64("refit-blend", 0, "refit blending weight toward the new fit (0 = default)")
 	return func() (fleet.Config, error) {
 		cfg := fleet.DefaultConfig()
 		cfg.Implants = *n
@@ -68,11 +77,28 @@ func fleetFlags(fs *flag.FlagSet) func() (fleet.Config, error) {
 			p := fault.DefaultProfile().Scale(*faults)
 			cfg.Faults = &p
 		}
+		if *driftI > 0 {
+			base := fleet.DefaultSweepProfile()
+			if *driftEpoch > 0 {
+				base.EpochTicks = *driftEpoch
+			}
+			p := base.Scale(*driftI)
+			cfg.Drift = &p
+		}
 		kind, err := fleet.ParseDecoderKind(*decoder)
 		if err != nil {
 			return cfg, fmt.Errorf("%w: %v", errUsage, err)
 		}
-		cfg.Decode = fleet.DecodeConfig{Kind: kind, BinTicks: *decodeBin}
+		cfg.Decode = fleet.DecodeConfig{
+			Kind:        kind,
+			BinTicks:    *decodeBin,
+			Calibrate:   *calibrate,
+			Track:       *track || *adapt,
+			Adapt:       *adapt,
+			RefitEvery:  *refitEvery,
+			RefitBuffer: *refitBuffer,
+			RefitBlend:  *refitBlend,
+		}
 		return cfg, nil
 	}
 }
@@ -83,22 +109,34 @@ func fleetFlags(fs *flag.FlagSet) func() (fleet.Config, error) {
 //	              [-ebn0 DB] [-seed S] [-scaling FILE]
 //	              [-faults I] [-arq N] [-fec D] [-conceal MODE]
 //	              [-decoder NAME] [-decode-bin T] [-fault-sweep FILE]
+//	              [-drift I] [-drift-epoch T] [-calibrate] [-track] [-adapt]
+//	              [-refit-every N] [-refit-buffer N] [-refit-blend W]
+//	              [-drift-sweep FILE]
 //
 // With -scaling FILE it additionally measures the 1/2/4/8-worker
 // throughput curve on the same configuration and writes it as JSON
 // (the BENCH_fleet.json schema). -faults I injects the default fault
 // profile scaled to intensity I; -arq/-fec/-conceal enable the recovery
-// stack. -decoder attaches a kinematics decoder (kalman, wiener or dnn)
-// to every implant's wearable, binning received samples every
+// stack. -decoder attaches a kinematics decoder (kalman, wiener, dnn or
+// fixed) to every implant's wearable, binning received samples every
 // -decode-bin frames. -fault-sweep FILE runs the degradation sweep over
 // the default intensity grid and writes the curve as JSON (the
 // BENCH_fault.json schema). -stage-timing attaches the per-stage flight
 // recorder and prints the ns/frame attribution table after the run.
+//
+// -drift I attaches the default nonstationarity profile scaled to
+// intensity I (-drift-epoch overrides its epoch length); -calibrate
+// fits the day-0 decoder from the implant's own simulated cortex;
+// -track scores decode error and instability; -adapt closes the loop
+// with periodic recalibration tuned by -refit-every/-buffer/-blend.
+// -drift-sweep FILE runs the frozen-versus-adaptive degradation sweep
+// and writes the curve as JSON (the BENCH_drift.json schema).
 func runFleet() error {
 	fs := flag.NewFlagSet("fleet", flag.ContinueOnError)
 	build := fleetFlags(fs)
 	scaling := fs.String("scaling", "", "measure the 1/2/4/8-worker scaling curve and write it to FILE")
 	faultSweep := fs.String("fault-sweep", "", "run the degradation sweep and write the curve to FILE")
+	driftSweep := fs.String("drift-sweep", "", "run the frozen-vs-adaptive drift sweep and write the curve to FILE")
 	stageTiming := fs.Bool("stage-timing", false, "attach the per-stage flight recorder and print the ns/frame table")
 	if err := fs.Parse(flag.Args()[1:]); err != nil {
 		return fmt.Errorf("%w: %v", errUsage, err)
@@ -113,6 +151,9 @@ func runFleet() error {
 
 	if *faultSweep != "" {
 		return runFaultSweep(cfg, *faultSweep)
+	}
+	if *driftSweep != "" {
+		return runDriftSweep(cfg, *driftSweep)
 	}
 
 	agg, err := fleet.Run(cfg)
@@ -254,6 +295,81 @@ func runFaultSweep(cfg fleet.Config, path string) error {
 			Retransmits: p.Retransmits, Recovered: p.Recovered,
 			FECCorrected: p.FECCorrected, Concealed: p.Concealed,
 			Digest: strconv.FormatUint(p.Digest, 10),
+		})
+	}
+	out, err := json.MarshalIndent(curve, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+// runDriftSweep executes the frozen-versus-adaptive nonstationarity
+// sweep over the default intensity grid and writes the curve as JSON
+// (the BENCH_drift.json schema). The config's decoder and refit knobs
+// apply to every point; its own -drift flag is ignored (the sweep scales
+// the default sweep profile itself).
+func runDriftSweep(cfg fleet.Config, path string) error {
+	cfg.Drift = nil
+	sw, err := fleet.RunDriftSweep(cfg, fleet.DefaultSweepProfile(), nil)
+	if err != nil {
+		return err
+	}
+
+	dc := cfg.Decode
+	tb := report.NewTable(fmt.Sprintf("Drift sweep: %d implants × %d ticks (decoder %s, bin %d)",
+		cfg.Implants, cfg.Ticks, dc.Kind, dc.BinTicks),
+		"Intensity", "Frozen RMSE", "Adaptive RMSE", "Refits", "Turnovers", "Units lost", "KL")
+	for _, p := range sw.Points {
+		tb.AddRow(fmt.Sprintf("%.2f", p.Intensity), fmt.Sprintf("%.4f", p.FrozenRMSE),
+			fmt.Sprintf("%.4f", p.AdaptiveRMSE), strconv.FormatInt(p.Refits, 10),
+			strconv.FormatInt(p.DriftTurnovers, 10), strconv.FormatInt(p.DriftUnitsLost, 10),
+			fmt.Sprintf("%.3f", p.FrozenKL))
+	}
+	fmt.Print(tb.String())
+	fmt.Printf("\nsweep digest %#016x\n", sw.Digest)
+
+	type pointJSON struct {
+		Intensity      float64 `json:"intensity"`
+		FrozenRMSE     float64 `json:"frozen_rmse"`
+		AdaptiveRMSE   float64 `json:"adaptive_rmse"`
+		FrozenKL       float64 `json:"frozen_kl"`
+		AdaptiveKL     float64 `json:"adaptive_kl"`
+		Refits         int64   `json:"refits"`
+		DriftEpochs    int64   `json:"drift_epochs"`
+		DriftTurnovers int64   `json:"drift_turnovers"`
+		DriftUnitsLost int64   `json:"drift_units_lost"`
+		FrameDigest    string  `json:"frame_digest"`
+	}
+	curve := struct {
+		Benchmark   string        `json:"benchmark"`
+		Implants    int           `json:"implants"`
+		Ticks       int           `json:"ticks"`
+		Channels    int           `json:"channels"`
+		Decoder     string        `json:"decoder"`
+		DecodeBin   int           `json:"decode_bin"`
+		RefitEvery  int           `json:"refit_every"`
+		RefitBuffer int           `json:"refit_buffer"`
+		RefitBlend  float64       `json:"refit_blend"`
+		Profile     drift.Profile `json:"profile"`
+		Seed        int64         `json:"seed"`
+		SweepDigest string        `json:"sweep_digest"`
+		Points      []pointJSON   `json:"points"`
+	}{"fleet_drift_sweep", cfg.Implants, cfg.Ticks, cfg.Channels,
+		dc.Kind.String(), dc.BinTicks, dc.RefitEvery, dc.RefitBuffer, dc.RefitBlend,
+		sw.Profile, cfg.Seed, strconv.FormatUint(sw.Digest, 10), nil}
+	for _, p := range sw.Points {
+		curve.Points = append(curve.Points, pointJSON{
+			Intensity: p.Intensity, FrozenRMSE: p.FrozenRMSE,
+			AdaptiveRMSE: p.AdaptiveRMSE, FrozenKL: p.FrozenKL,
+			AdaptiveKL: p.AdaptiveKL, Refits: p.Refits,
+			DriftEpochs: p.DriftEpochs, DriftTurnovers: p.DriftTurnovers,
+			DriftUnitsLost: p.DriftUnitsLost,
+			FrameDigest:    strconv.FormatUint(p.FrameDigest, 10),
 		})
 	}
 	out, err := json.MarshalIndent(curve, "", "  ")

@@ -11,6 +11,7 @@ import (
 	"syscall"
 	"time"
 
+	"mindful/internal/drift"
 	"mindful/internal/fleet"
 	"mindful/internal/report"
 	"mindful/internal/serve"
@@ -21,14 +22,18 @@ import (
 //
 //	mindful serve [-ctl ADDR] [-stream ADDR] [-snapshot-dir DIR]
 //	              [-max-sessions N] [-queue N] [-stall D] [-tick-interval D]
-//	              [-decoder NAME]
+//	              [-decoder NAME] [-drift I] [-adapt]
 //
 // The control plane is JSON over HTTP on -ctl; the data plane streams
-// length-prefixed binary records on -stream. -decoder (kalman, wiener
-// or dnn) attaches that decoder to every session that does not name one
-// itself; decoded kinematics stream to "SUB <id> decoded" subscribers.
-// On shutdown every live session is drained and (with -snapshot-dir)
-// checkpointed so it can be restored bit-identically.
+// length-prefixed binary records on -stream. -decoder (kalman, wiener,
+// dnn or fixed) attaches that decoder to every session that does not
+// name one itself; decoded kinematics stream to "SUB <id> decoded"
+// subscribers. -drift I attaches the default nonstationarity profile
+// scaled to intensity I to every session that configures none itself;
+// -adapt closes the recalibration loop on every linear-decoder session
+// that sets no adaptive knob. On shutdown every live session is drained
+// and (with -snapshot-dir) checkpointed so it can be restored
+// bit-identically.
 func runServe() error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	ctl := fs.String("ctl", "127.0.0.1:7600", "control-plane (HTTP) listen address")
@@ -38,12 +43,19 @@ func runServe() error {
 	queue := fs.Int("queue", serve.DefaultQueueDepth, "per-subscriber record queue depth")
 	stall := fs.Duration("stall", serve.DefaultStallTimeout, "evict a subscriber stalled this long (negative disables)")
 	tickInterval := fs.Duration("tick-interval", 0, "throttle every session's tick loop (0 = free-run)")
-	decoder := fs.String("decoder", "", "default kinematics decoder for new sessions: kalman, wiener or dnn")
+	decoder := fs.String("decoder", "", "default kinematics decoder for new sessions: kalman, wiener, dnn or fixed")
+	driftI := fs.Float64("drift", 0, "default nonstationarity intensity for new sessions (0 = off)")
+	adapt := fs.Bool("adapt", false, "close the recalibration loop on new linear-decoder sessions by default")
 	if err := fs.Parse(flag.Args()[1:]); err != nil {
 		return fmt.Errorf("%w: %v", errUsage, err)
 	}
 	if _, err := fleet.ParseDecoderKind(*decoder); err != nil {
 		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	var defaultDrift *drift.Profile
+	if *driftI > 0 {
+		p := fleet.DefaultSweepProfile().Scale(*driftI)
+		defaultDrift = &p
 	}
 
 	srv, err := serve.New(serve.Config{
@@ -55,6 +67,8 @@ func runServe() error {
 		StallTimeout:   *stall,
 		TickInterval:   *tickInterval,
 		DefaultDecoder: *decoder,
+		DefaultDrift:   defaultDrift,
+		DefaultAdapt:   *adapt,
 		Observer:       observer,
 	})
 	if err != nil {
@@ -80,7 +94,8 @@ func runServe() error {
 // throughput and delivery latency as JSON (the BENCH_serve.json schema):
 //
 //	mindful loadgen [-sessions N] [-subs N] [-ticks T] [-channels C]
-//	                [-qam B] [-ebn0 DB] [-seed S] [-decoder NAME] [-out FILE]
+//	                [-qam B] [-ebn0 DB] [-seed S] [-decoder NAME]
+//	                [-drift I] [-adapt] [-out FILE]
 //
 // With no flags it runs the baseline 100 sessions × 2 subscribers × 100
 // frames against a self-hosted loopback gateway.
@@ -94,7 +109,9 @@ func runLoadgen() error {
 	qam := fs.Int("qam", def.Session.QAMBits, "QAM bits per symbol (0 = OOK)")
 	ebn0 := fs.Float64("ebn0", def.Session.EbN0dB, "AWGN operating point Eb/N0 [dB]")
 	seed := fs.Int64("seed", def.Session.Seed, "base seed (offset per session)")
-	decoder := fs.String("decoder", "", "attach a kinematics decoder to every session: kalman, wiener or dnn")
+	decoder := fs.String("decoder", "", "attach a kinematics decoder to every session: kalman, wiener, dnn or fixed")
+	driftI := fs.Float64("drift", 0, "nonstationarity intensity for every session (0 = off)")
+	adapt := fs.Bool("adapt", false, "close the recalibration loop on every session (needs a linear -decoder)")
 	out := fs.String("out", "BENCH_serve.json", "write the load result as JSON to FILE")
 	if err := fs.Parse(flag.Args()[1:]); err != nil {
 		return fmt.Errorf("%w: %v", errUsage, err)
@@ -116,6 +133,13 @@ func runLoadgen() error {
 			EbN0dB:       *ebn0,
 			Seed:         *seed,
 		},
+	}
+	if *driftI > 0 {
+		p := fleet.DefaultSweepProfile().Scale(*driftI)
+		cfg.Session.Drift = &p
+	}
+	if *adapt {
+		cfg.Session.Calibrate, cfg.Session.Track, cfg.Session.Adapt = true, true, true
 	}
 	res, err := serve.RunLoad(cfg)
 	if err != nil {

@@ -17,6 +17,51 @@ func assertZeroAlloc(t *testing.T, name string, fn func()) {
 	}
 }
 
+// TestRecalibratorFeedZeroAlloc pins the closed-loop adaptation path:
+// Feed with Every=1 runs a full refit (Gram accumulation, inversion,
+// blend, and for FixedGain the Riccati gain recursion) on every call,
+// and none of it may allocate at steady state.
+func TestRecalibratorFeedZeroAlloc(t *testing.T) {
+	states, obs := synthLinearSystem(t, 200, 8, 0.2, 10)
+	k, err := FitKalman(states, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg, err := k.SteadyStateGain(500, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := FitWiener(states, obs, 3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, d := range map[string]Decoder{
+		"Kalman": k, "FixedGain": fg, "Wiener": w,
+	} {
+		r, err := NewRecalibrator(d, RecalConfig{Buffer: 32, Every: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm past the minimum fit size so every measured Feed refits.
+		for i := 0; i < 12; i++ {
+			if _, err := r.Feed(obs[i], states[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		i := 12
+		assertZeroAlloc(t, name+".Feed+refit", func() {
+			refit, err := r.Feed(obs[i%len(obs)], states[i%len(states)])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !refit {
+				t.Fatal("warm Feed did not refit")
+			}
+			i++
+		})
+	}
+}
+
 func TestDecoderStepZeroAlloc(t *testing.T) {
 	states, obs := synthLinearSystem(t, 200, 8, 0.2, 10)
 	k, err := FitKalman(states, obs)

@@ -1,0 +1,392 @@
+// Package drift is the multi-day nonstationarity model for the synthetic
+// neural substrate: the reason implanted BCIs need recalibration at all.
+// The MINDFUL instability work measures how multi-day human intracortical
+// recordings wander — tuning directions rotate, units appear and vanish,
+// baseline rates shift — until a decoder frozen at calibration time
+// degrades. This package reproduces those processes synthetically and
+// deterministically: a seeded Process evolves per-unit state once per
+// epoch (a synthetic "day") and applies it to a neural.Generator, and a
+// Meter quantifies the resulting distribution shift as a KL-style
+// divergence between a frozen reference window of binned rates and a
+// sliding recent window.
+//
+// Profile follows internal/fault's common-random-number contract: Scale
+// multiplies every magnitude and probability by an intensity, draw counts
+// are fixed regardless of outcome, so intensity ladders share one random
+// history and nest — and Scale(0) disables the process entirely, leaving
+// the pipeline byte-identical to a drift-free run.
+package drift
+
+import (
+	"fmt"
+	"math"
+
+	"mindful/internal/detrand"
+	"mindful/internal/neural"
+)
+
+// Profile describes a nonstationarity environment at unit intensity. The
+// zero value drifts nothing; Scale derives weaker or stronger
+// environments for stability sweeps.
+type Profile struct {
+	// RotationSigma is the per-epoch standard deviation of each unit's
+	// preferred-direction random walk, in radians.
+	RotationSigma float64
+	// GainSigma is the per-epoch log-normal walk width of each unit's
+	// spike amplitude (waveform attenuation as tissue shifts).
+	GainSigma float64
+	// BaselineSigma is the per-epoch log-normal walk width of each
+	// unit's baseline firing rate.
+	BaselineSigma float64
+	// TurnoverProb is the per-unit per-epoch probability the electrode
+	// picks up a replacement unit: fresh preferred direction, pristine
+	// gain and rate. A replacement revives a previously lost unit.
+	TurnoverProb float64
+	// LossProb is the per-unit per-epoch probability the unit drops out
+	// of range and stops spiking until a turnover revives it.
+	LossProb float64
+	// EpochTicks is the drift cadence in pipeline ticks — one epoch is
+	// one synthetic recording day. 0 means 100.
+	EpochTicks int
+}
+
+// DefaultProfile returns a deliberately harsh unit-intensity
+// environment: preferred directions wander visibly within a few epochs,
+// amplitudes and baselines walk, and a few percent of units turn over or
+// vanish each epoch — the stress point stability sweeps scale down from.
+func DefaultProfile() Profile {
+	return Profile{
+		RotationSigma: 0.35,
+		GainSigma:     0.10,
+		BaselineSigma: 0.10,
+		TurnoverProb:  0.05,
+		LossProb:      0.02,
+		EpochTicks:    100,
+	}
+}
+
+// clamp01 bounds probabilities to [0, 1].
+func clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Scale returns the profile with every magnitude and probability
+// multiplied by intensity (probabilities clamped to [0, 1]); the epoch
+// cadence is kept. Scale(0) disables all drift, Scale(1) is the profile
+// itself, and because every epoch draws a fixed number of variates per
+// channel, intensities share one random history: a ladder of scaled
+// profiles under one seed perturbs the same units in the same epochs.
+func (p Profile) Scale(intensity float64) Profile {
+	if intensity < 0 {
+		intensity = 0
+	}
+	out := p
+	out.RotationSigma = p.RotationSigma * intensity
+	out.GainSigma = p.GainSigma * intensity
+	out.BaselineSigma = p.BaselineSigma * intensity
+	out.TurnoverProb = clamp01(p.TurnoverProb * intensity)
+	out.LossProb = clamp01(p.LossProb * intensity)
+	// Event probabilities partition the per-unit epoch draw: renormalize
+	// when scaling pushes their sum past 1.
+	if sum := out.TurnoverProb + out.LossProb; sum > 1 {
+		out.TurnoverProb /= sum
+		out.LossProb /= sum
+	}
+	return out
+}
+
+// Validate checks the profile's ranges.
+func (p Profile) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"RotationSigma", p.RotationSigma},
+		{"GainSigma", p.GainSigma},
+		{"BaselineSigma", p.BaselineSigma},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) || f.v < 0 {
+			return fmt.Errorf("drift: %s %g must be finite and non-negative", f.name, f.v)
+		}
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"TurnoverProb", p.TurnoverProb},
+		{"LossProb", p.LossProb},
+	} {
+		if math.IsNaN(f.v) || f.v < 0 || f.v > 1 {
+			return fmt.Errorf("drift: %s %g outside [0, 1]", f.name, f.v)
+		}
+	}
+	if p.TurnoverProb+p.LossProb > 1 {
+		return fmt.Errorf("drift: event probabilities sum to %g > 1", p.TurnoverProb+p.LossProb)
+	}
+	if p.EpochTicks < 0 {
+		return fmt.Errorf("drift: negative epoch length %d", p.EpochTicks)
+	}
+	return nil
+}
+
+// Enabled reports whether the profile drifts anything at all.
+func (p Profile) Enabled() bool {
+	return p.RotationSigma > 0 || p.GainSigma > 0 || p.BaselineSigma > 0 ||
+		p.TurnoverProb > 0 || p.LossProb > 0
+}
+
+// epochTicks returns the defaulted cadence.
+func (p Profile) epochTicks() int {
+	if p.EpochTicks <= 0 {
+		return 100
+	}
+	return p.EpochTicks
+}
+
+// gainFloor bounds the multiplicative walks away from zero and infinity
+// so long runs degrade rather than explode or denormalize.
+const (
+	gainFloor   = 0.05
+	gainCeiling = 4.0
+)
+
+// Process is one implant's seeded nonstationarity history: the absolute
+// per-unit state (preferred-direction angle, rate and amplitude scales,
+// liveness) evolved once per epoch from a dedicated random stream. The
+// state is absolute so a checkpoint restore can rebuild a pristine
+// generator from config and re-apply the process verbatim.
+type Process struct {
+	p        Profile
+	epoch    int // defaulted EpochTicks
+	channels int
+	rng      *detrand.Rand
+	tick     int
+
+	theta     []float64
+	rateScale []float64
+	ampGain   []float64
+	alive     []bool
+
+	epochs    int64
+	turnovers int64
+	lost      int64
+}
+
+// NewProcess builds a drift process over the generator's day-0 unit
+// state (its drawn tuning angles and activity mask). A profile with
+// nothing enabled returns a nil process — the byte-identity guarantee of
+// intensity 0. Ticking a nil process is a no-op.
+func NewProcess(p Profile, g *neural.Generator, seed int64) (*Process, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !p.Enabled() {
+		return nil, nil
+	}
+	theta := g.UnitThetas()
+	active := g.UnitActive()
+	pr := &Process{
+		p:         p,
+		epoch:     p.epochTicks(),
+		channels:  len(theta),
+		rng:       detrand.New(seed),
+		theta:     theta,
+		rateScale: make([]float64, len(theta)),
+		ampGain:   make([]float64, len(theta)),
+		alive:     active,
+	}
+	for c := range pr.rateScale {
+		pr.rateScale[c], pr.ampGain[c] = 1, 1
+	}
+	return pr, nil
+}
+
+// Tick advances one pipeline tick; on an epoch boundary (tick EpochTicks,
+// 2·EpochTicks, …) the per-unit state takes one random-walk step and is
+// applied to the generator. Tick 0 applies nothing — day 0 is pristine,
+// so short runs are byte-identical to drift-free runs until the first
+// epoch ends. Safe on a nil process (no-op).
+func (p *Process) Tick(g *neural.Generator) error {
+	if p == nil {
+		return nil
+	}
+	t := p.tick
+	p.tick++
+	if t == 0 || t%p.epoch != 0 {
+		return nil
+	}
+	p.step()
+	return p.Apply(g)
+}
+
+// step evolves the per-unit state one epoch. Every channel draws exactly
+// five variates regardless of outcome — three walk steps, one event
+// uniform, one replacement angle — the fixed-draw-count discipline that
+// keeps intensity ladders on one shared random history.
+func (p *Process) step() {
+	p.epochs++
+	for c := 0; c < p.channels; c++ {
+		rot := p.rng.NormFloat64()
+		gw := p.rng.NormFloat64()
+		bw := p.rng.NormFloat64()
+		u := p.rng.Float64()
+		v := p.rng.Float64()
+		switch {
+		case u < p.p.LossProb:
+			if p.alive[c] {
+				p.alive[c] = false
+				p.lost++
+			}
+		case u < p.p.LossProb+p.p.TurnoverProb:
+			// A replacement unit: fresh direction, pristine scales.
+			p.theta[c] = v * 2 * math.Pi
+			p.rateScale[c], p.ampGain[c] = 1, 1
+			p.alive[c] = true
+			p.turnovers++
+		default:
+			p.theta[c] += p.p.RotationSigma * rot
+			p.ampGain[c] = clampGain(p.ampGain[c] * math.Exp(p.p.GainSigma*gw))
+			p.rateScale[c] = clampGain(p.rateScale[c] * math.Exp(p.p.BaselineSigma*bw))
+		}
+	}
+}
+
+func clampGain(g float64) float64 {
+	if g < gainFloor {
+		return gainFloor
+	}
+	if g > gainCeiling {
+		return gainCeiling
+	}
+	return g
+}
+
+// Apply pushes the process's absolute per-unit state into the generator.
+// It is idempotent, so a restore path can re-apply a snapshot verbatim.
+func (p *Process) Apply(g *neural.Generator) error {
+	if p == nil {
+		return nil
+	}
+	for c := 0; c < p.channels; c++ {
+		if err := g.SetUnitState(c, p.theta[c], p.rateScale[c], p.ampGain[c], p.alive[c]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Epochs returns the number of epoch steps taken so far.
+func (p *Process) Epochs() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.epochs
+}
+
+// Turnovers returns the number of unit replacements so far.
+func (p *Process) Turnovers() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.turnovers
+}
+
+// Lost returns the number of unit-loss events so far.
+func (p *Process) Lost() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.lost
+}
+
+// ProcessState is a process's serializable mid-run state: the RNG
+// position, the tick counter, the absolute per-unit state and the event
+// accounting.
+type ProcessState struct {
+	RNG       detrand.State
+	Tick      int
+	Theta     []float64
+	RateScale []float64
+	AmpGain   []float64
+	Alive     []bool
+	Epochs    int64
+	Turnovers int64
+	Lost      int64
+}
+
+// Snapshot captures the process's mid-run state. Safe on a nil process
+// (returns the zero state).
+func (p *Process) Snapshot() ProcessState {
+	if p == nil {
+		return ProcessState{}
+	}
+	return ProcessState{
+		RNG:       p.rng.State(),
+		Tick:      p.tick,
+		Theta:     append([]float64(nil), p.theta...),
+		RateScale: append([]float64(nil), p.rateScale...),
+		AmpGain:   append([]float64(nil), p.ampGain...),
+		Alive:     append([]bool(nil), p.alive...),
+		Epochs:    p.epochs,
+		Turnovers: p.turnovers,
+		Lost:      p.lost,
+	}
+}
+
+// RestoreProcess rebuilds a process mid-stream under the same profile
+// and generator, re-applying the absolute unit state when any epoch has
+// already elapsed (a pristine process leaves the generator untouched,
+// matching a fresh pipeline bit for bit).
+func RestoreProcess(p Profile, g *neural.Generator, st ProcessState) (*Process, error) {
+	pr, err := NewProcess(p, g, st.RNG.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if pr == nil {
+		return nil, fmt.Errorf("drift: restore under a disabled profile")
+	}
+	rng, err := detrand.RestoreInto(pr.rng, st.RNG)
+	if err != nil {
+		return nil, fmt.Errorf("drift: %w", err)
+	}
+	if len(st.Theta) != pr.channels || len(st.RateScale) != pr.channels ||
+		len(st.AmpGain) != pr.channels || len(st.Alive) != pr.channels {
+		return nil, fmt.Errorf("drift: state widths %d/%d/%d/%d do not match %d channels",
+			len(st.Theta), len(st.RateScale), len(st.AmpGain), len(st.Alive), pr.channels)
+	}
+	if st.Tick < 0 {
+		return nil, fmt.Errorf("drift: negative tick counter %d", st.Tick)
+	}
+	if st.Epochs < 0 || st.Turnovers < 0 || st.Lost < 0 {
+		return nil, fmt.Errorf("drift: negative event counters")
+	}
+	for c := 0; c < pr.channels; c++ {
+		for _, v := range [...]float64{st.Theta[c], st.RateScale[c], st.AmpGain[c]} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("drift: non-finite unit state for channel %d", c)
+			}
+		}
+		if st.RateScale[c] < 0 || st.AmpGain[c] < 0 {
+			return nil, fmt.Errorf("drift: negative unit scale for channel %d", c)
+		}
+	}
+	pr.rng = rng
+	pr.tick = st.Tick
+	copy(pr.theta, st.Theta)
+	copy(pr.rateScale, st.RateScale)
+	copy(pr.ampGain, st.AmpGain)
+	copy(pr.alive, st.Alive)
+	pr.epochs, pr.turnovers, pr.lost = st.Epochs, st.Turnovers, st.Lost
+	if pr.epochs > 0 {
+		if err := pr.Apply(g); err != nil {
+			return nil, err
+		}
+	}
+	return pr, nil
+}

@@ -1,0 +1,263 @@
+package drift
+
+import (
+	"math"
+	"testing"
+
+	"mindful/internal/neural"
+	"mindful/internal/units"
+)
+
+func testGen(t *testing.T, channels int, seed int64) *neural.Generator {
+	t.Helper()
+	cfg := neural.DefaultConfig()
+	cfg.Channels = channels
+	cfg.SampleRate = units.Kilohertz(2)
+	cfg.Seed = seed
+	g, err := neural.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestProfileScaleZeroDisables(t *testing.T) {
+	p := DefaultProfile().Scale(0)
+	if p.Enabled() {
+		t.Fatalf("Scale(0) still enabled: %+v", p)
+	}
+	g := testGen(t, 8, 7)
+	pr, err := NewProcess(p, g, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr != nil {
+		t.Fatal("Scale(0) produced a live process")
+	}
+	// A nil process must be safe everywhere.
+	if err := pr.Tick(g); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Epochs() != 0 || pr.Turnovers() != 0 || pr.Lost() != 0 {
+		t.Fatal("nil process reports events")
+	}
+}
+
+func TestProfileScaleValidates(t *testing.T) {
+	for _, i := range []float64{0, 0.1, 0.5, 1, 2, 10} {
+		if err := DefaultProfile().Scale(i).Validate(); err != nil {
+			t.Fatalf("Scale(%g): %v", i, err)
+		}
+	}
+	bad := Profile{RotationSigma: math.NaN()}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("NaN sigma validated")
+	}
+	bad = Profile{TurnoverProb: 0.7, LossProb: 0.7}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("event probabilities summing past 1 validated")
+	}
+	if err := (Profile{EpochTicks: -1}).Validate(); err == nil {
+		t.Fatal("negative epoch validated")
+	}
+}
+
+// TestScaleCommonRandomNumbers: under one seed, the set of units hit by
+// turnover/loss at a weaker intensity must be a subset of the set hit at
+// a stronger one (nested ladders), because every epoch draws a fixed
+// number of variates per channel and events trigger on u < p·intensity.
+func TestScaleCommonRandomNumbers(t *testing.T) {
+	// Continuous rotation/gain walks touch every unit at any intensity;
+	// zero them so only the event-gated turnover/loss channels witness the
+	// ladder (theta or liveness changes iff an event fired).
+	base := DefaultProfile()
+	base.RotationSigma = 0
+	base.GainSigma = 0
+	base.BaselineSigma = 0
+	base.EpochTicks = 10
+	const channels, ticks = 32, 200
+
+	eventsAt := func(intensity float64) map[int]bool {
+		g := testGen(t, channels, 3)
+		pr, err := NewProcess(base.Scale(intensity), g, 1234)
+		if err != nil {
+			t.Fatal(err)
+		}
+		init := g.UnitThetas()
+		for i := 0; i < ticks; i++ {
+			if err := pr.Tick(g); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := pr.Snapshot()
+		hit := map[int]bool{}
+		for c := range st.Theta {
+			// With the continuous walks zeroed, theta only moves on a
+			// turnover replacement and liveness only flips on a loss —
+			// both event-gated, so a hit witnesses u < p·intensity.
+			if !st.Alive[c] || st.Theta[c] != init[c] {
+				hit[c] = true
+			}
+		}
+		return hit
+	}
+
+	weak := eventsAt(0.25)
+	strong := eventsAt(1.0)
+	for c := range weak {
+		if !strong[c] {
+			t.Fatalf("channel %d perturbed at intensity 0.25 but untouched at 1.0 — CRN ladder broken", c)
+		}
+	}
+	if len(strong) <= len(weak) {
+		t.Fatalf("stronger intensity touched %d units, weaker %d — no monotone growth", len(strong), len(weak))
+	}
+}
+
+// TestProcessDeterministic: the same (profile, generator seed, process
+// seed) triple must produce an identical drift history.
+func TestProcessDeterministic(t *testing.T) {
+	run := func() ProcessState {
+		g := testGen(t, 16, 5)
+		pr, err := NewProcess(DefaultProfile(), g, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 350; i++ {
+			if err := pr.Tick(g); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return pr.Snapshot()
+	}
+	a, b := run(), run()
+	if a.RNG != b.RNG || a.Epochs != b.Epochs || a.Turnovers != b.Turnovers || a.Lost != b.Lost {
+		t.Fatalf("drift histories diverge: %+v vs %+v", a, b)
+	}
+	for c := range a.Theta {
+		if a.Theta[c] != b.Theta[c] || a.RateScale[c] != b.RateScale[c] ||
+			a.AmpGain[c] != b.AmpGain[c] || a.Alive[c] != b.Alive[c] {
+			t.Fatalf("channel %d state diverges", c)
+		}
+	}
+}
+
+// TestProcessSnapshotRestore: restore at tick K and continue — the final
+// state must equal an uninterrupted run's, and the restored process must
+// have re-applied its absolute unit state to the fresh generator.
+func TestProcessSnapshotRestore(t *testing.T) {
+	const ticks, snapAt = 400, 250
+	p := DefaultProfile()
+
+	g1 := testGen(t, 16, 5)
+	pr1, err := NewProcess(p, g1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mid ProcessState
+	for i := 0; i < ticks; i++ {
+		if i == snapAt {
+			mid = pr1.Snapshot()
+		}
+		if err := pr1.Tick(g1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := pr1.Snapshot()
+
+	g2 := testGen(t, 16, 5)
+	pr2, err := RestoreProcess(p, g2, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := snapAt; i < ticks; i++ {
+		if err := pr2.Tick(g2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := pr2.Snapshot()
+	if got.RNG != want.RNG || got.Epochs != want.Epochs || got.Turnovers != want.Turnovers || got.Lost != want.Lost {
+		t.Fatalf("restored continuation diverges: %+v vs %+v", got, want)
+	}
+	for c := range want.Theta {
+		if got.Theta[c] != want.Theta[c] || got.Alive[c] != want.Alive[c] {
+			t.Fatalf("channel %d restored state diverges", c)
+		}
+	}
+}
+
+func TestRestoreProcessRejects(t *testing.T) {
+	g := testGen(t, 8, 1)
+	pr, err := NewProcess(DefaultProfile(), g, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := pr.Snapshot()
+
+	bad := good
+	bad.Theta = good.Theta[:4]
+	if _, err := RestoreProcess(DefaultProfile(), g, bad); err == nil {
+		t.Fatal("short theta accepted")
+	}
+	bad = good
+	bad.Theta = append([]float64(nil), good.Theta...)
+	bad.Theta[0] = math.NaN()
+	if _, err := RestoreProcess(DefaultProfile(), g, bad); err == nil {
+		t.Fatal("NaN theta accepted")
+	}
+	bad = good
+	bad.Tick = -1
+	if _, err := RestoreProcess(DefaultProfile(), g, bad); err == nil {
+		t.Fatal("negative tick accepted")
+	}
+	if _, err := RestoreProcess(Profile{}, g, good); err == nil {
+		t.Fatal("restore under disabled profile accepted")
+	}
+}
+
+// TestDriftChangesSignal: an enabled process must actually change the
+// generated samples after the first epoch (the workload is real), while
+// the pre-epoch prefix stays byte-identical to a drift-free run.
+func TestDriftChangesSignal(t *testing.T) {
+	p := DefaultProfile()
+	p.EpochTicks = 50
+	run := func(enabled bool) [][]float64 {
+		g := testGen(t, 16, 5)
+		var pr *Process
+		if enabled {
+			var err error
+			if pr, err = NewProcess(p, g, 42); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out := make([][]float64, 0, 200)
+		for i := 0; i < 200; i++ {
+			if err := pr.Tick(g); err != nil {
+				t.Fatal(err)
+			}
+			g.SetIntent(math.Cos(float64(i)/30), math.Sin(float64(i)/30))
+			out = append(out, g.Next())
+		}
+		return out
+	}
+	clean, drifted := run(false), run(true)
+	for i := 0; i < p.EpochTicks; i++ {
+		for c := range clean[i] {
+			if clean[i][c] != drifted[i][c] {
+				t.Fatalf("pre-epoch sample %d/%d differs — day 0 must be pristine", i, c)
+			}
+		}
+	}
+	diverged := false
+	for i := p.EpochTicks; i < len(clean) && !diverged; i++ {
+		for c := range clean[i] {
+			if clean[i][c] != drifted[i][c] {
+				diverged = true
+				break
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("drift enabled but the sample stream never changed")
+	}
+}

@@ -1,0 +1,239 @@
+package drift
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Meter errors. Degenerate inputs are contract violations the caller
+// must see — the metric never silently returns NaN or panics.
+var (
+	// ErrEmptyObservation is returned for a zero-length rate vector.
+	ErrEmptyObservation = errors.New("drift: empty rate observation")
+	// ErrNonFinite is returned when an observed rate is NaN or Inf.
+	ErrNonFinite = errors.New("drift: non-finite rate observation")
+	// ErrNotReady is returned by KL before both windows hold data.
+	ErrNotReady = errors.New("drift: windows not yet filled")
+	// ErrDegenerate is returned when a window's variance vanishes — a
+	// KL divergence between point masses is undefined, not infinite.
+	ErrDegenerate = errors.New("drift: zero-variance window")
+)
+
+// Meter is MINDFUL's core instability measurement, simplified to the
+// binned-rate features the decode stage already extracts: it freezes the
+// first RefBins observations as the reference distribution (the
+// "calibration day") and maintains a sliding window of the most recent
+// WinBins, reporting the KL divergence between diagonal-Gaussian fits of
+// the two — 0 for a stationary signal, growing as tuning rotates, units
+// turn over and baselines walk.
+//
+// The meter is pure arithmetic: no randomness, allocation-free after
+// construction, and fully serializable (MeterState), so it rides inside
+// checkpointed pipelines.
+type Meter struct {
+	channels int
+	refBins  int
+	winBins  int
+
+	refSum   []float64
+	refSqSum []float64
+	refCount int
+
+	ring     []float64 // winBins × channels, oldest overwritten
+	ringHead int
+	ringFill int
+
+	// scratch for KL (per-channel moments of the sliding window)
+	meanBuf, varBuf []float64
+}
+
+// NewMeter builds an instability meter over rate vectors of the given
+// width. refBins and winBins default to 16 when 0.
+func NewMeter(channels, refBins, winBins int) (*Meter, error) {
+	if channels < 1 {
+		return nil, fmt.Errorf("drift: meter needs at least one channel, got %d", channels)
+	}
+	if refBins == 0 {
+		refBins = 16
+	}
+	if winBins == 0 {
+		winBins = 16
+	}
+	if refBins < 2 || winBins < 2 {
+		return nil, fmt.Errorf("drift: meter windows %d/%d need at least 2 bins", refBins, winBins)
+	}
+	return &Meter{
+		channels: channels,
+		refBins:  refBins,
+		winBins:  winBins,
+		refSum:   make([]float64, channels),
+		refSqSum: make([]float64, channels),
+		ring:     make([]float64, winBins*channels),
+		meanBuf:  make([]float64, channels),
+		varBuf:   make([]float64, channels),
+	}, nil
+}
+
+// Observe feeds one binned-rate vector. The first RefBins observations
+// build the frozen reference; every observation enters the sliding
+// window. Degenerate input — wrong width, empty, non-finite — is an
+// error and leaves the meter unchanged.
+func (m *Meter) Observe(rates []float64) error {
+	if len(rates) == 0 {
+		return ErrEmptyObservation
+	}
+	if len(rates) != m.channels {
+		return fmt.Errorf("drift: observation width %d != %d channels", len(rates), m.channels)
+	}
+	for i, v := range rates {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: rates[%d] = %v", ErrNonFinite, i, v)
+		}
+	}
+	if m.refCount < m.refBins {
+		for c, v := range rates {
+			m.refSum[c] += v
+			m.refSqSum[c] += v * v
+		}
+		m.refCount++
+	}
+	copy(m.ring[m.ringHead*m.channels:(m.ringHead+1)*m.channels], rates)
+	m.ringHead = (m.ringHead + 1) % m.winBins
+	if m.ringFill < m.winBins {
+		m.ringFill++
+	}
+	return nil
+}
+
+// Ready reports whether both windows hold enough data for KL.
+func (m *Meter) Ready() bool {
+	return m.refCount >= m.refBins && m.ringFill >= m.winBins
+}
+
+// varianceFloor regularizes the per-channel variances: binned rates from
+// a quantized front end can sit constant over a short window without the
+// underlying distribution being a point mass.
+const varianceFloor = 1e-9
+
+// KL returns the summed per-channel KL divergence D(recent ‖ reference)
+// between diagonal-Gaussian fits of the sliding and reference windows.
+// It errors — never NaN, never panics — while the windows are unfilled
+// or when every channel's variance vanishes.
+func (m *Meter) KL() (float64, error) {
+	if !m.Ready() {
+		return 0, ErrNotReady
+	}
+	// Sliding-window moments, recomputed from the ring: no running
+	// subtract-on-evict, so the value is a pure function of the window
+	// contents regardless of history length.
+	n := float64(m.ringFill)
+	for c := 0; c < m.channels; c++ {
+		m.meanBuf[c], m.varBuf[c] = 0, 0
+	}
+	for b := 0; b < m.ringFill; b++ {
+		row := m.ring[b*m.channels : (b+1)*m.channels]
+		for c, v := range row {
+			m.meanBuf[c] += v
+		}
+	}
+	for c := range m.meanBuf {
+		m.meanBuf[c] /= n
+	}
+	for b := 0; b < m.ringFill; b++ {
+		row := m.ring[b*m.channels : (b+1)*m.channels]
+		for c, v := range row {
+			d := v - m.meanBuf[c]
+			m.varBuf[c] += d * d
+		}
+	}
+
+	refN := float64(m.refCount)
+	kl := 0.0
+	degenerate := true
+	for c := 0; c < m.channels; c++ {
+		refMean := m.refSum[c] / refN
+		refVar := m.refSqSum[c]/refN - refMean*refMean
+		winVar := m.varBuf[c] / n
+		if refVar > varianceFloor || winVar > varianceFloor {
+			degenerate = false
+		}
+		if refVar < varianceFloor {
+			refVar = varianceFloor
+		}
+		if winVar < varianceFloor {
+			winVar = varianceFloor
+		}
+		d := m.meanBuf[c] - refMean
+		kl += 0.5 * (math.Log(refVar/winVar) + (winVar+d*d)/refVar - 1)
+	}
+	if degenerate {
+		return 0, ErrDegenerate
+	}
+	if math.IsNaN(kl) || math.IsInf(kl, 0) {
+		return 0, ErrDegenerate
+	}
+	return kl, nil
+}
+
+// MeterState is a meter's serializable mid-run state.
+type MeterState struct {
+	RefSum   []float64
+	RefSqSum []float64
+	RefCount int
+	Ring     []float64
+	RingHead int
+	RingFill int
+}
+
+// Snapshot captures the meter's mid-run state.
+func (m *Meter) Snapshot() MeterState {
+	return MeterState{
+		RefSum:   append([]float64(nil), m.refSum...),
+		RefSqSum: append([]float64(nil), m.refSqSum...),
+		RefCount: m.refCount,
+		Ring:     append([]float64(nil), m.ring...),
+		RingHead: m.ringHead,
+		RingFill: m.ringFill,
+	}
+}
+
+// RestoreMeter rebuilds a meter mid-stream with the same geometry.
+func RestoreMeter(channels, refBins, winBins int, st MeterState) (*Meter, error) {
+	m, err := NewMeter(channels, refBins, winBins)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.RefSum) != m.channels || len(st.RefSqSum) != m.channels || len(st.Ring) != len(m.ring) {
+		return nil, fmt.Errorf("drift: meter state widths %d/%d/%d do not match geometry %d/%d",
+			len(st.RefSum), len(st.RefSqSum), len(st.Ring), m.channels, len(m.ring))
+	}
+	if st.RefCount < 0 || st.RefCount > m.refBins {
+		return nil, fmt.Errorf("drift: reference fill %d outside 0..%d", st.RefCount, m.refBins)
+	}
+	if st.RingHead < 0 || st.RingHead >= m.winBins || st.RingFill < 0 || st.RingFill > m.winBins {
+		return nil, fmt.Errorf("drift: ring position %d/%d outside window %d", st.RingHead, st.RingFill, m.winBins)
+	}
+	for _, v := range st.RefSum {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("drift: %w in meter state", ErrNonFinite)
+		}
+	}
+	for _, v := range st.RefSqSum {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("drift: %w in meter state", ErrNonFinite)
+		}
+	}
+	for _, v := range st.Ring {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("drift: %w in meter state", ErrNonFinite)
+		}
+	}
+	copy(m.refSum, st.RefSum)
+	copy(m.refSqSum, st.RefSqSum)
+	m.refCount = st.RefCount
+	copy(m.ring, st.Ring)
+	m.ringHead = st.RingHead
+	m.ringFill = st.RingFill
+	return m, nil
+}

@@ -1,0 +1,269 @@
+package drift
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func feedGaussian(t *testing.T, m *Meter, rng *rand.Rand, bins, channels int, mean, sd float64) {
+	t.Helper()
+	row := make([]float64, channels)
+	for b := 0; b < bins; b++ {
+		for c := range row {
+			row[c] = mean + sd*rng.NormFloat64()
+		}
+		if err := m.Observe(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMeterStationaryNearZero: a stationary stream's KL must be small,
+// and a mean-shifted stream's much larger.
+func TestMeterStationaryNearZero(t *testing.T) {
+	m, err := NewMeter(8, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	feedGaussian(t, m, rng, 64, 8, 0.5, 0.1)
+	stationary, err := m.KL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedGaussian(t, m, rng, 32, 8, 1.5, 0.1) // shift the window off the reference
+	shifted, err := m.KL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stationary < 0 || shifted < 0 {
+		t.Fatalf("negative KL: %g / %g", stationary, shifted)
+	}
+	if shifted < 10*stationary+1 {
+		t.Fatalf("mean shift barely moved KL: stationary %g, shifted %g", stationary, shifted)
+	}
+}
+
+// TestMeterDegenerateInputs: the unit table the ISSUE demands — empty
+// windows, zero-variance windows and non-finite rates are errors, never
+// NaN and never a panic.
+func TestMeterDegenerateInputs(t *testing.T) {
+	m, err := NewMeter(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := m.Observe(nil); !errors.Is(err, ErrEmptyObservation) {
+		t.Fatalf("empty observation: got %v", err)
+	}
+	if err := m.Observe([]float64{1, 2}); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+	for _, bad := range [][]float64{
+		{math.NaN(), 0, 0, 0},
+		{0, math.Inf(1), 0, 0},
+		{0, 0, math.Inf(-1), 0},
+	} {
+		if err := m.Observe(bad); !errors.Is(err, ErrNonFinite) {
+			t.Fatalf("non-finite observation %v: got %v", bad, err)
+		}
+	}
+
+	// Unfilled windows: KL must refuse, not extrapolate.
+	if _, err := m.KL(); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("KL on empty meter: got %v", err)
+	}
+	if err := m.Observe([]float64{1, 1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.KL(); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("KL on partial windows: got %v", err)
+	}
+
+	// Zero-variance (constant) windows: degenerate, not ±Inf.
+	for i := 0; i < 8; i++ {
+		if err := m.Observe([]float64{1, 1, 1, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.KL(); !errors.Is(err, ErrDegenerate) {
+		t.Fatalf("KL on constant stream: got %v", err)
+	}
+
+	// A failed Observe must leave the meter unchanged: the constant
+	// stream verdict still holds after rejected inputs.
+	_ = m.Observe([]float64{math.NaN(), 1, 1, 1})
+	if _, err := m.KL(); !errors.Is(err, ErrDegenerate) {
+		t.Fatalf("rejected observation mutated the meter: %v", err)
+	}
+
+	if _, err := NewMeter(0, 4, 4); err == nil {
+		t.Fatal("zero channels accepted")
+	}
+	if _, err := NewMeter(4, 1, 4); err == nil {
+		t.Fatal("one-bin reference accepted")
+	}
+}
+
+// TestMeterKLProperty: for randomized window geometries and finite
+// random inputs, KL either errors or returns a finite non-negative value
+// — the property test over the metric's whole input space.
+func TestMeterKLProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		channels := 1 + rng.Intn(12)
+		refBins := 2 + rng.Intn(12)
+		winBins := 2 + rng.Intn(12)
+		m, err := NewMeter(channels, refBins, winBins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row := make([]float64, channels)
+		feeds := rng.Intn(3 * (refBins + winBins))
+		for f := 0; f < feeds; f++ {
+			for c := range row {
+				switch rng.Intn(8) {
+				case 0:
+					row[c] = 0 // zero-count bin
+				case 1:
+					row[c] = float64(rng.Intn(3)) * 1e6 // extreme rate
+				default:
+					row[c] = rng.NormFloat64()
+				}
+			}
+			if err := m.Observe(row); err != nil {
+				t.Fatalf("finite observation rejected: %v", err)
+			}
+			kl, err := m.KL()
+			if err != nil {
+				if !errors.Is(err, ErrNotReady) && !errors.Is(err, ErrDegenerate) {
+					t.Fatalf("unexpected KL error: %v", err)
+				}
+				continue
+			}
+			if math.IsNaN(kl) || math.IsInf(kl, 0) {
+				t.Fatalf("non-finite KL %v from finite inputs", kl)
+			}
+			if kl < -1e-9 {
+				t.Fatalf("negative KL %v", kl)
+			}
+		}
+	}
+}
+
+// TestMeterSnapshotRestore: a restored meter must report the identical
+// KL trajectory as the uninterrupted one.
+func TestMeterSnapshotRestore(t *testing.T) {
+	const channels, refBins, winBins = 6, 8, 8
+	m1, err := NewMeter(channels, refBins, winBins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	feedGaussian(t, m1, rng, 20, channels, 1, 0.3)
+	st := m1.Snapshot()
+
+	m2, err := RestoreMeter(channels, refBins, winBins, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]float64, channels)
+	for b := 0; b < 10; b++ {
+		for c := range row {
+			row[c] = 2 + 0.3*rng.NormFloat64()
+		}
+		if err := m1.Observe(append([]float64(nil), row...)); err != nil {
+			t.Fatal(err)
+		}
+		if err := m2.Observe(row); err != nil {
+			t.Fatal(err)
+		}
+		k1, e1 := m1.KL()
+		k2, e2 := m2.KL()
+		if (e1 == nil) != (e2 == nil) || k1 != k2 {
+			t.Fatalf("restored meter diverges at bin %d: %v/%v vs %v/%v", b, k1, e1, k2, e2)
+		}
+	}
+}
+
+func TestRestoreMeterRejects(t *testing.T) {
+	m, err := NewMeter(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := m.Snapshot()
+
+	bad := good
+	bad.Ring = good.Ring[:3]
+	if _, err := RestoreMeter(4, 4, 4, bad); err == nil {
+		t.Fatal("short ring accepted")
+	}
+	bad = good
+	bad.RefCount = 99
+	if _, err := RestoreMeter(4, 4, 4, bad); err == nil {
+		t.Fatal("overfull reference accepted")
+	}
+	bad = good
+	bad.RingHead = 7
+	if _, err := RestoreMeter(4, 4, 4, bad); err == nil {
+		t.Fatal("ring head outside window accepted")
+	}
+	bad = m.Snapshot()
+	bad.RefSum = append([]float64(nil), bad.RefSum...)
+	bad.RefSum[0] = math.Inf(1)
+	if _, err := RestoreMeter(4, 4, 4, bad); err == nil {
+		t.Fatal("non-finite reference accepted")
+	}
+}
+
+// FuzzInstabilityMetric: arbitrary byte-derived geometries and rate
+// streams must never panic and never produce a non-finite KL without an
+// error — the fuzz target make fuzz-smoke runs.
+func FuzzInstabilityMetric(f *testing.F) {
+	f.Add([]byte{4, 4, 4, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{1, 2, 2, 0, 0, 0, 0})
+	f.Add([]byte{8, 3, 3, 255, 254, 253, 252})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		channels := int(data[0]%16) + 1
+		refBins := int(data[1]%8) + 2
+		winBins := int(data[2]%8) + 2
+		m, err := NewMeter(channels, refBins, winBins)
+		if err != nil {
+			t.Fatalf("valid geometry rejected: %v", err)
+		}
+		payload := data[3:]
+		row := make([]float64, channels)
+		for len(payload) >= channels {
+			for c := 0; c < channels; c++ {
+				b := payload[c]
+				switch {
+				case b == 255:
+					row[c] = math.NaN()
+				case b == 254:
+					row[c] = math.Inf(1)
+				case b == 253:
+					row[c] = math.Inf(-1)
+				default:
+					row[c] = (float64(b) - 128) / 8
+				}
+			}
+			payload = payload[channels:]
+			if err := m.Observe(row); err != nil {
+				continue // rejected inputs must leave the meter usable
+			}
+			kl, err := m.KL()
+			if err == nil && (math.IsNaN(kl) || math.IsInf(kl, 0)) {
+				t.Fatalf("non-finite KL %v without error", kl)
+			}
+		}
+		// The meter must still round-trip through its snapshot.
+		if _, err := RestoreMeter(channels, refBins, winBins, m.Snapshot()); err != nil {
+			t.Fatalf("snapshot of live meter does not restore: %v", err)
+		}
+	})
+}

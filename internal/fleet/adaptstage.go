@@ -1,0 +1,216 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mindful/internal/decode"
+	"mindful/internal/detrand"
+	"mindful/internal/drift"
+)
+
+// adaptStage closes the stability loop: it watches every decoded bin,
+// scores the estimate against the intent the generator was actually
+// driven with, feeds the binned rates to the instability meter
+// (KL divergence of recent activity against the frozen calibration-day
+// reference), and — when adaptation is on — feeds (rates, intended
+// kinematics) supervision into the decoder's Recalibrator so the model
+// tracks the drifting substrate.
+//
+// The supervision labels are the true intent plus an optional Gaussian
+// jitter modelling imperfect intent inference; the two jitter variates
+// are drawn per bin from the implant's dedicated StreamRefit stream
+// regardless of the jitter width, so the refit history is a pure
+// function of (seed, index) and jitter ladders share one random history.
+//
+// The stage is observation-only with respect to the frame path: it
+// never touches the Tick record, draws nothing from the other streams,
+// and leaves the frame digest byte-identical to a run without it.
+type adaptStage struct {
+	phase    float64
+	channels int
+
+	meter *drift.Meter
+	recal *decode.Recalibrator // nil when tracking only
+	rng   *detrand.Rand        // nil when tracking only
+
+	jitter    float64
+	intentBuf []float64
+
+	sqErr   float64
+	errBins int64
+	lastKL  float64
+	klValid bool
+	err     error
+
+	onRefit func(tick int, refits int64, kl float64)
+}
+
+// newAdaptStage builds implant idx's tracking/adaptation stage over the
+// decode stage's decoder. cfg.Decode must be enabled with Track or
+// Adapt set.
+func newAdaptStage(cfg Config, idx int, d *decodeStage) (*adaptStage, error) {
+	dc := cfg.Decode.withDefaults()
+	a := &adaptStage{
+		phase:     2 * math.Pi * 0.381966 * float64(idx),
+		channels:  cfg.Channels,
+		jitter:    dc.RefitJitter,
+		intentBuf: make([]float64, intentDims),
+	}
+	m, err := drift.NewMeter(cfg.Channels, dc.MeterRef, dc.MeterWin)
+	if err != nil {
+		return nil, err
+	}
+	a.meter = m
+	if dc.Adapt {
+		r, err := decode.NewRecalibrator(d.dec, decode.RecalConfig{
+			Buffer: dc.RefitBuffer,
+			Every:  dc.RefitEvery,
+			Blend:  dc.RefitBlend,
+		})
+		if err != nil {
+			return nil, err
+		}
+		a.recal = r
+		a.rng = detrand.New(DeriveSeed(cfg.Seed, uint64(idx), StreamRefit))
+	}
+	return a, nil
+}
+
+// observeBin is the decode stage's onBin hook: one call per decoder
+// step, with the stage-owned observation and estimate buffers.
+func (a *adaptStage) observeBin(tick int, obs, estimate []float64, concealed int) {
+	if a.err != nil {
+		return
+	}
+	ix, iy := intentAt(a.phase, tick)
+	dx, dy := estimate[0]-ix, estimate[1]-iy
+	a.sqErr += dx*dx + dy*dy
+	a.errBins++
+
+	if err := a.meter.Observe(obs); err != nil {
+		a.err = fmt.Errorf("fleet: instability meter: %w", err)
+		return
+	}
+	if a.meter.Ready() {
+		// A degenerate window (flat-lined rates) keeps the last valid
+		// reading rather than failing the run; any other error is a bug.
+		switch kl, err := a.meter.KL(); {
+		case err == nil:
+			a.lastKL, a.klValid = kl, true
+		case !errors.Is(err, drift.ErrDegenerate):
+			a.err = fmt.Errorf("fleet: instability meter: %w", err)
+			return
+		}
+	}
+
+	if a.recal == nil {
+		return
+	}
+	// Fixed draw count per bin: two jitter variates, used or not.
+	jx := a.rng.NormFloat64()
+	jy := a.rng.NormFloat64()
+	a.intentBuf[0] = ix + a.jitter*jx
+	a.intentBuf[1] = iy + a.jitter*jy
+	refit, err := a.recal.Feed(obs, a.intentBuf)
+	if err != nil {
+		a.err = fmt.Errorf("fleet: recalibration: %w", err)
+		return
+	}
+	if refit && a.onRefit != nil {
+		a.onRefit(tick, a.recal.Refits(), a.lastKL)
+	}
+}
+
+func (a *adaptStage) Name() string { return "adapt" }
+
+// Step only surfaces errors: the stage's work happens inside the decode
+// stage's flush, via observeBin, so the supervision is recorded in the
+// same call order for any worker count.
+func (a *adaptStage) Step(tk *Tick) error { return a.err }
+
+func (a *adaptStage) refits() int64 {
+	if a.recal == nil {
+		return 0
+	}
+	return a.recal.Refits()
+}
+
+// AdaptState is the adapt stage's serializable mid-run state: the
+// instability meter, the recalibration buffer and mutated decoder model,
+// the jitter stream position, and the error accounting. Recal, Model and
+// RNG are nil/zero when the stage only tracks.
+type AdaptState struct {
+	Meter drift.MeterState
+	Recal *decode.RecalState
+	Model *decode.ModelState
+	RNG   detrand.State
+
+	SqErr   float64
+	ErrBins int64
+	LastKL  float64
+	KLValid bool
+}
+
+func (a *adaptStage) Snapshot(st *PipelineState) {
+	as := &AdaptState{
+		Meter:   a.meter.Snapshot(),
+		SqErr:   a.sqErr,
+		ErrBins: a.errBins,
+		LastKL:  a.lastKL,
+		KLValid: a.klValid,
+	}
+	if a.recal != nil {
+		rs := a.recal.State()
+		ms := a.recal.ModelState()
+		as.Recal, as.Model = &rs, &ms
+		as.RNG = a.rng.State()
+	}
+	st.Adapt = as
+}
+
+func (a *adaptStage) Restore(cfg Config, st *PipelineState) error {
+	as := st.Adapt
+	if as == nil {
+		return errors.New("fleet: checkpoint carries no adapt state but config enables tracking")
+	}
+	dc := cfg.Decode.withDefaults()
+	m, err := drift.RestoreMeter(a.channels, dc.MeterRef, dc.MeterWin, as.Meter)
+	if err != nil {
+		return err
+	}
+	a.meter = m
+	if (a.recal != nil) != (as.Recal != nil) {
+		return errors.New("fleet: recalibration state does not match config")
+	}
+	if a.recal != nil {
+		if as.Model == nil {
+			return errors.New("fleet: checkpoint carries no decoder model for adaptive session")
+		}
+		if err := a.recal.RestoreState(*as.Recal); err != nil {
+			return err
+		}
+		if err := a.recal.RestoreModel(*as.Model); err != nil {
+			return err
+		}
+		rng, err := detrand.RestoreInto(a.rng, as.RNG)
+		if err != nil {
+			return fmt.Errorf("fleet: refit stream: %w", err)
+		}
+		a.rng = rng
+	}
+	if as.ErrBins < 0 {
+		return fmt.Errorf("fleet: negative adapt error bins %d", as.ErrBins)
+	}
+	for _, v := range [...]float64{as.SqErr, as.LastKL} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("fleet: non-finite adapt accounting %v", v)
+		}
+	}
+	a.sqErr, a.errBins = as.SqErr, as.ErrBins
+	a.lastKL, a.klValid = as.LastKL, as.KLValid
+	return nil
+}
+
+func (a *adaptStage) Close() {}

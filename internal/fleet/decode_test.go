@@ -314,6 +314,7 @@ func TestNewSessionDecoderKinds(t *testing.T) {
 		DecoderKalman: func(d decode.Decoder) bool { _, ok := d.(*decode.Kalman); return ok },
 		DecoderWiener: func(d decode.Decoder) bool { _, ok := d.(*decode.Wiener); return ok },
 		DecoderDNN:    func(d decode.Decoder) bool { _, ok := d.(*decode.NNDecoder); return ok },
+		DecoderFixed:  func(d decode.Decoder) bool { _, ok := d.(*decode.FixedGain); return ok },
 	} {
 		cfg.Decode.Kind = kind
 		d, err := newSessionDecoder(cfg, 0)

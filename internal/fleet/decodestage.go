@@ -9,6 +9,7 @@ import (
 
 	"mindful/internal/decode"
 	"mindful/internal/fixed"
+	"mindful/internal/neural"
 	"mindful/internal/nn"
 )
 
@@ -29,6 +30,10 @@ const (
 	// DecoderDNN runs a small MLP through the 8-bit fixed-point
 	// datapath model — the implanted-ASIC inference arm.
 	DecoderDNN
+	// DecoderFixed runs a steady-state (fixed-gain) Kalman decoder — the
+	// constant-coefficient form implanted hardware executes, derived by
+	// converging the Kalman covariance recursion at fit time.
+	DecoderFixed
 )
 
 // String returns the kind's CLI spelling.
@@ -42,6 +47,8 @@ func (k DecoderKind) String() string {
 		return "wiener"
 	case DecoderDNN:
 		return "dnn"
+	case DecoderFixed:
+		return "fixed"
 	}
 	return fmt.Sprintf("DecoderKind(%d)", int(k))
 }
@@ -57,8 +64,10 @@ func ParseDecoderKind(s string) (DecoderKind, error) {
 		return DecoderWiener, nil
 	case "dnn":
 		return DecoderDNN, nil
+	case "fixed", "ssgain":
+		return DecoderFixed, nil
 	}
-	return DecoderNone, fmt.Errorf("fleet: unknown decoder %q (want none, kalman, wiener or dnn)", s)
+	return DecoderNone, fmt.Errorf("fleet: unknown decoder %q (want none, kalman, wiener, dnn or fixed)", s)
 }
 
 // intentDims is the decoded state dimensionality: the 2-D intent
@@ -77,6 +86,37 @@ type DecodeConfig struct {
 	Lags int
 	// Hidden is the DNN decoder's hidden-layer width; 0 means 16.
 	Hidden int
+
+	// Calibrate fits the linear decoders on a twin-generator calibration
+	// pass — a day-0 recording of the implant's own synthetic cortex
+	// (same StreamNeural seed), digitized and binned exactly like the
+	// live pipeline — instead of the legacy synthetic-gains set. False
+	// keeps the historical decoder and its digest pins byte-identical.
+	Calibrate bool
+	// Track attaches the adapt stage in observation-only mode: decode
+	// error against true intent and instability (KL) metrics, no model
+	// mutation.
+	Track bool
+	// Adapt enables closed-loop recalibration (CLDA): the adapt stage
+	// feeds supervised pairs into a Recalibrator that periodically
+	// refits the decoder. Implies tracking. Linear decoders only.
+	Adapt bool
+
+	// RefitEvery is the adaptation period in decoder bins; 0 means 16.
+	RefitEvery int
+	// RefitBuffer is the supervision ring capacity in bins; 0 means 64.
+	RefitBuffer int
+	// RefitBlend is the smoothbatch λ in (0, 1]; 0 means 0.5.
+	RefitBlend float64
+	// RefitJitter is the σ of the Gaussian jitter added to the intent
+	// labels fed to the recalibrator (imperfect intent inference). The
+	// two per-bin jitter variates are drawn from StreamRefit regardless
+	// of the width, so jitter ladders share one random history.
+	RefitJitter float64
+	// MeterRef and MeterWin are the instability meter's reference and
+	// sliding window lengths in bins; 0 means 16 each.
+	MeterRef int
+	MeterWin int
 }
 
 // Enabled reports whether the config adds a decode stage.
@@ -93,12 +133,27 @@ func (c DecodeConfig) withDefaults() DecodeConfig {
 	if c.Hidden == 0 {
 		c.Hidden = 16
 	}
+	if c.RefitEvery == 0 {
+		c.RefitEvery = 16
+	}
+	if c.RefitBuffer == 0 {
+		c.RefitBuffer = 64
+	}
+	if c.RefitBlend == 0 {
+		c.RefitBlend = 0.5
+	}
+	if c.MeterRef == 0 {
+		c.MeterRef = 16
+	}
+	if c.MeterWin == 0 {
+		c.MeterWin = 16
+	}
 	return c
 }
 
 // Validate checks the configuration.
 func (c DecodeConfig) Validate() error {
-	if c.Kind < DecoderNone || c.Kind > DecoderDNN {
+	if c.Kind < DecoderNone || c.Kind > DecoderFixed {
 		return fmt.Errorf("fleet: unknown decoder kind %d", int(c.Kind))
 	}
 	if c.BinTicks < 0 {
@@ -109,6 +164,35 @@ func (c DecodeConfig) Validate() error {
 	}
 	if c.Hidden < 0 {
 		return fmt.Errorf("fleet: negative decode hidden width %d", c.Hidden)
+	}
+	if (c.Calibrate || c.Track || c.Adapt) && c.Kind == DecoderNone {
+		return errors.New("fleet: calibrate/track/adapt require a decoder")
+	}
+	if c.Kind == DecoderDNN {
+		if c.Adapt {
+			return errors.New("fleet: the DNN decoder does not support adaptation")
+		}
+		if c.Calibrate {
+			return errors.New("fleet: the DNN decoder does not support calibration fitting")
+		}
+	}
+	if c.RefitEvery < 0 || c.RefitBuffer < 0 {
+		return fmt.Errorf("fleet: negative refit parameters %d/%d", c.RefitEvery, c.RefitBuffer)
+	}
+	if c.RefitBlend < 0 || c.RefitBlend > 1 || math.IsNaN(c.RefitBlend) {
+		return fmt.Errorf("fleet: refit blend %g outside [0, 1]", c.RefitBlend)
+	}
+	if c.RefitJitter < 0 || math.IsNaN(c.RefitJitter) || math.IsInf(c.RefitJitter, 0) {
+		return fmt.Errorf("fleet: refit jitter %g must be finite and non-negative", c.RefitJitter)
+	}
+	if c.MeterRef < 0 || c.MeterWin < 0 {
+		return fmt.Errorf("fleet: negative meter windows %d/%d", c.MeterRef, c.MeterWin)
+	}
+	if c.Adapt {
+		rc := decode.RecalConfig{Buffer: c.RefitBuffer, Every: c.RefitEvery, Blend: c.RefitBlend}
+		if err := rc.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -133,32 +217,123 @@ func newSessionDecoder(cfg Config, idx int) (decode.Decoder, error) {
 		return decode.NewNNDecoder(net, fixed.Q4_3)
 	}
 
-	// Linear decoders are fit on a synthetic calibration pass: intent
-	// states x_t on the unit circle (period 200, as the pipeline drives
-	// them) observed as z = G·x + noise through random tuning gains.
-	const calTicks = 192
-	gains := make([]float64, ch*intentDims)
-	for i := range gains {
-		gains[i] = 2*rng.Float64() - 1
-	}
-	states := make([][]float64, calTicks)
-	obs := make([][]float64, calTicks)
-	for t := 0; t < calTicks; t++ {
-		theta := 2 * math.Pi * float64(t) / 200
-		x := []float64{math.Cos(theta), math.Sin(theta)}
-		z := make([]float64, ch)
-		for c := 0; c < ch; c++ {
-			z[c] = gains[c*intentDims]*x[0] + gains[c*intentDims+1]*x[1] + 0.05*rng.NormFloat64()
+	var states, obs [][]float64
+	if dc.Calibrate {
+		var err error
+		if states, obs, err = calibrationPass(cfg, idx, dc); err != nil {
+			return nil, err
 		}
-		states[t], obs[t] = x, z
+	} else {
+		// Legacy calibration set: intent states x_t on the unit circle
+		// (period 200, as the pipeline drives them) observed as
+		// z = G·x + noise through random tuning gains.
+		const calTicks = 192
+		gains := make([]float64, ch*intentDims)
+		for i := range gains {
+			gains[i] = 2*rng.Float64() - 1
+		}
+		states = make([][]float64, calTicks)
+		obs = make([][]float64, calTicks)
+		for t := 0; t < calTicks; t++ {
+			theta := 2 * math.Pi * float64(t) / 200
+			x := []float64{math.Cos(theta), math.Sin(theta)}
+			z := make([]float64, ch)
+			for c := 0; c < ch; c++ {
+				z[c] = gains[c*intentDims]*x[0] + gains[c*intentDims+1]*x[1] + 0.05*rng.NormFloat64()
+			}
+			states[t], obs[t] = x, z
+		}
 	}
 	switch dc.Kind {
 	case DecoderKalman:
-		return decode.FitKalman(states, obs)
+		k, err := decode.FitKalman(states, obs)
+		if err != nil {
+			return nil, err
+		}
+		// The calibration states follow the intent circle almost exactly,
+		// so the fitted process noise collapses to ~0 and the filter
+		// would trust dead reckoning over the electrodes. Floor W with
+		// the same process-noise prior the recalibrator assumes; the
+		// legacy synthetic fit is left untouched to keep its digest pins.
+		if dc.Calibrate {
+			floorProcessNoise(k)
+		}
+		return k, nil
 	case DecoderWiener:
 		return decode.FitWiener(states, obs, dc.Lags, 1e-3)
+	case DecoderFixed:
+		k, err := decode.FitKalman(states, obs)
+		if err != nil {
+			return nil, err
+		}
+		// Always floored: without it the Riccati recursion crawls toward
+		// a vanishing gain and fails to converge.
+		floorProcessNoise(k)
+		return k.SteadyStateGain(500, 1e-9)
 	}
 	return nil, fmt.Errorf("fleet: unknown decoder kind %d", int(dc.Kind))
+}
+
+// floorProcessNoise adds the recalibrator's process-noise prior to the
+// fitted Kalman W diagonal.
+func floorProcessNoise(k *decode.Kalman) {
+	for i := 0; i < k.W.Rows; i++ {
+		k.W.Data[i*k.W.Cols+i] += 0.01
+	}
+}
+
+// calibrationPass replays implant idx's own day-0 cortex — a twin
+// generator on the same StreamNeural seed, before any drift has been
+// applied — through the live digitization path (ADC quantization, ±1
+// normalization, BinTicks binning) and returns the (intent, rates)
+// pairs the decoder is fit on. This is the bench recording the drift
+// sweep measures from: the fitted model matches the live signal's units
+// exactly at tick 0 and decays as the substrate drifts away from it.
+// Electrode faults are deliberately excluded — calibration models a
+// supervised recording session, not the degraded field array.
+func calibrationPass(cfg Config, idx int, dc DecodeConfig) (states, obs [][]float64, err error) {
+	gen, err := neural.New(neuralConfig(cfg, idx))
+	if err != nil {
+		return nil, nil, err
+	}
+	adc := neural.ADC{Bits: cfg.SampleBits, FullScale: 2.0}
+	maxCode := float64((uint32(1) << cfg.SampleBits) - 1)
+	phase := 2 * math.Pi * 0.381966 * float64(idx)
+
+	// Enough bins that the readout and covariance fits generalize: Q is
+	// channels² parameters, so the pass scales with the array rather
+	// than using a fixed window.
+	calBins := 4 * cfg.Channels
+	if calBins < 64 {
+		calBins = 64
+	}
+	states = make([][]float64, 0, calBins)
+	obs = make([][]float64, 0, calBins)
+	sums := make([]float64, cfg.Channels)
+	var sampleBuf []float64
+	var codeBuf []uint16
+	count := 0
+	for t := 0; t < calBins*dc.BinTicks; t++ {
+		gen.SetIntent(intentAt(phase, t))
+		sampleBuf = gen.NextInto(sampleBuf)
+		codeBuf = adc.AppendQuantize(codeBuf[:0], sampleBuf)
+		for c, s := range codeBuf {
+			sums[c] += 2*float64(s)/maxCode - 1
+		}
+		count++
+		if count == dc.BinTicks {
+			row := make([]float64, cfg.Channels)
+			for c := range row {
+				row[c] = sums[c] / float64(count)
+				sums[c] = 0
+			}
+			ix, iy := intentAt(phase, t)
+			states = append(states, []float64{ix, iy})
+			obs = append(obs, row)
+			count = 0
+		}
+	}
+	return states, obs, nil
 }
 
 // decodeStage closes the loop the wearable left open: accepted and
@@ -189,6 +364,10 @@ type decodeStage struct {
 	err           error
 
 	onDecode func(tick int, estimate []float64, concealed int)
+	// onBin is the adapt stage's tap: it additionally sees the binned
+	// observation the decoder was stepped on. Both slices are stage-owned
+	// and reused next bin.
+	onBin func(tick int, obs, estimate []float64, concealed int)
 }
 
 func newDecodeStage(cfg Config, idx int, tk *Tick) (*decodeStage, error) {
@@ -260,6 +439,9 @@ func (d *decodeStage) flush() {
 	if d.onDecode != nil {
 		d.onDecode(d.tk.N, x, d.binConcealed)
 	}
+	if d.onBin != nil {
+		d.onBin(d.tk.N, d.obsBuf, x, d.binConcealed)
+	}
 	for c := range d.binSums {
 		d.binSums[c] = 0
 	}
@@ -294,8 +476,9 @@ type DecodeState struct {
 	Digest        uint64
 
 	// KalmanX/KalmanP carry the Kalman estimate and covariance;
-	// WienerLag the lag history, newest vector first. Unused fields are
-	// nil for the other kinds.
+	// WienerLag the lag history, newest vector first. The fixed-gain
+	// decoder's estimate reuses KalmanX (its only temporal state).
+	// Unused fields are nil for the other kinds.
 	KalmanX   []float64
 	KalmanP   []float64
 	WienerLag []float64
@@ -315,6 +498,8 @@ func (d *decodeStage) Snapshot(st *PipelineState) {
 	case *decode.Kalman:
 		ks := dec.State()
 		ds.KalmanX, ds.KalmanP = ks.X, ks.P
+	case *decode.FixedGain:
+		ds.KalmanX = dec.State()
 	case *decode.Wiener:
 		ds.WienerLag = dec.State().Lagged
 	}
@@ -339,6 +524,8 @@ func (d *decodeStage) Restore(cfg Config, st *PipelineState) error {
 	switch dec := d.dec.(type) {
 	case *decode.Kalman:
 		return dec.RestoreState(decode.KalmanState{X: ds.KalmanX, P: ds.KalmanP})
+	case *decode.FixedGain:
+		return dec.RestoreState(ds.KalmanX)
 	case *decode.Wiener:
 		return dec.RestoreState(decode.WienerState{Lagged: ds.WienerLag})
 	}

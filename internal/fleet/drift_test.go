@@ -1,0 +1,401 @@
+package fleet
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"mindful/internal/drift"
+)
+
+// driftProfile returns the nonstationarity the fleet drift tests run:
+// epochs short enough that a 32-tick scenario crosses several.
+func driftProfile() drift.Profile {
+	p := drift.DefaultProfile()
+	p.EpochTicks = 8
+	return p
+}
+
+// adaptiveConfig returns the full-stack checkpoint scenario with drift,
+// a calibrated decoder and closed-loop recalibration all enabled — the
+// everything-on configuration the adaptive checkpoint and determinism
+// tests exercise. Refit and meter windows are shortened so refits and
+// KL readings happen inside 32 ticks.
+func adaptiveConfig(kind DecoderKind) Config {
+	cfg := checkpointConfigs()["full-stack"]
+	p := driftProfile()
+	cfg.Drift = &p
+	cfg.Decode = DecodeConfig{
+		Kind:        kind,
+		BinTicks:    2,
+		Calibrate:   true,
+		Adapt:       true,
+		RefitEvery:  4,
+		RefitBuffer: 8,
+		MeterRef:    4,
+		MeterWin:    4,
+	}
+	return cfg
+}
+
+// adaptiveKinds are the decoder arms that support recalibration.
+var adaptiveKinds = []DecoderKind{DecoderKalman, DecoderFixed, DecoderWiener}
+
+// TestDriftZeroIntensityDigestPin: a drift profile scaled to zero must
+// leave every digest and counter byte-identical to a run with no drift
+// configured at all — the CRN ladder's anchor, and the guarantee that
+// attaching the subsystem costs existing runs nothing.
+func TestDriftZeroIntensityDigestPin(t *testing.T) {
+	for name, base := range checkpointConfigs() {
+		t.Run(name, func(t *testing.T) {
+			cfg := base
+			cfg.Decode = DecodeConfig{Kind: DecoderKalman}
+			ref, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			zero := driftProfile().Scale(0)
+			cfg.Drift = &zero
+			got, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Digest != ref.Digest || got.DecodeDigest != ref.DecodeDigest {
+				t.Fatalf("zero-intensity drift changed digests: %d/%d != %d/%d",
+					got.Digest, got.DecodeDigest, ref.Digest, ref.DecodeDigest)
+			}
+			if g, w := deterministicFields(got), deterministicFields(ref); !reflect.DeepEqual(g, w) {
+				t.Fatalf("zero-intensity drift changed the aggregate:\n got %+v\nwant %+v", g, w)
+			}
+			if got.DriftEpochs != 0 {
+				t.Fatalf("disabled drift accounted %d epochs", got.DriftEpochs)
+			}
+		})
+	}
+}
+
+// TestDriftChangesFrameDigest: full-intensity drift must actually move
+// the radiated bytes (the pin above is not vacuous), and the process
+// accounting must be live.
+func TestDriftChangesFrameDigest(t *testing.T) {
+	cfg := checkpointConfigs()["clean"]
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := driftProfile()
+	cfg.Drift = &p
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Digest == ref.Digest {
+		t.Fatal("full-intensity drift left the frame digest unchanged")
+	}
+	if got.DriftEpochs == 0 {
+		t.Fatal("drift crossed no epochs in the scenario")
+	}
+}
+
+// TestAdaptFrameDigestInvariant: tracking and adaptation ride the decode
+// path only — the frame digest must stay byte-identical whether the
+// adapt stage is off, tracking, or rewriting the decoder, while the
+// decode digest must actually change once refits land.
+func TestAdaptFrameDigestInvariant(t *testing.T) {
+	base := adaptiveConfig(DecoderKalman)
+	base.Decode.Track, base.Decode.Adapt = false, false
+	ref, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	track := base
+	track.Decode.Track = true
+	trackAgg, err := Run(track)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trackAgg.Digest != ref.Digest || trackAgg.DecodeDigest != ref.DecodeDigest {
+		t.Fatal("observation-only tracking changed a digest")
+	}
+	if trackAgg.DecodeErrBins == 0 {
+		t.Fatal("tracking accumulated no error bins")
+	}
+
+	adapt := base
+	adapt.Decode.Adapt = true
+	adaptAgg, err := Run(adapt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptAgg.Digest != ref.Digest {
+		t.Fatal("adaptation changed the frame digest")
+	}
+	if adaptAgg.Refits == 0 {
+		t.Fatal("adaptation applied no refits in the scenario")
+	}
+	if adaptAgg.DecodeDigest == ref.DecodeDigest {
+		t.Fatal("refits landed but the decode digest never moved")
+	}
+}
+
+// TestAdaptDeterminismWall: the everything-on configuration — drift,
+// calibration, concealment-aware decoding, KL tracking and closed-loop
+// recalibration — must stay bit-identical for every worker count, for
+// every adaptive decoder kind. Runs under -race via the tier-1.5 gate.
+func TestAdaptDeterminismWall(t *testing.T) {
+	for _, kind := range adaptiveKinds {
+		cfg := adaptiveConfig(kind)
+		cfg.Workers = 1
+		ref, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Refits == 0 {
+			t.Fatalf("%v: scenario applied no refits", kind)
+		}
+		want := deterministicFields(ref)
+		for _, workers := range []int{2, 4} {
+			c := cfg
+			c.Workers = workers
+			got, err := Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g := deterministicFields(got); !reflect.DeepEqual(g, want) {
+				t.Fatalf("%v workers=%d: aggregate diverged:\n got %+v\nwant %+v", kind, workers, g, want)
+			}
+		}
+	}
+}
+
+// TestCheckpointResumeAdaptive: snapshot at K, restore, K more ticks
+// must equal the uninterrupted 2K run bit-for-bit — including the drift
+// process, the instability meter, the supervision ring mid-refit-cycle
+// and the mutated decoder model. K is chosen so the snapshot lands
+// between refits with a partially filled ring.
+func TestCheckpointResumeAdaptive(t *testing.T) {
+	const k = 16
+	for _, kind := range adaptiveKinds {
+		cfg := adaptiveConfig(kind)
+		for idx := 0; idx < cfg.Implants; idx++ {
+			ref, err := NewPipeline(cfg, idx, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stepN(t, ref, 2*k)
+			want := ref.Result()
+			ref.Close()
+			if want.Refits == 0 {
+				t.Fatalf("%v implant %d: no refits in 2K ticks", kind, idx)
+			}
+
+			first, err := NewPipeline(cfg, idx, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stepN(t, first, k)
+			st, err := first.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			stepN(t, first, k)
+			if got := first.Result(); got != want {
+				t.Fatalf("%v implant %d: snapshot disturbed the pipeline:\n%+v\nwant %+v", kind, idx, got, want)
+			}
+			first.Close()
+
+			if st.Drift == nil || st.Adapt == nil || st.Adapt.Recal == nil || st.Adapt.Model == nil {
+				t.Fatalf("%v: snapshot missing drift/adapt state", kind)
+			}
+			resumed, err := RestorePipeline(cfg, st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stepN(t, resumed, k)
+			if got := resumed.Result(); got != want {
+				t.Fatalf("%v implant %d: resumed result\n%+v\nwant %+v", kind, idx, got, want)
+			}
+			resumed.Close()
+		}
+	}
+}
+
+// TestRestoreRejectsDriftMismatch: drift and adapt state presence must
+// match the config in both directions.
+func TestRestoreRejectsDriftMismatch(t *testing.T) {
+	cfg := adaptiveConfig(DecoderKalman)
+	p, err := NewPipeline(cfg, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepN(t, p, 16)
+	st, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+
+	noDrift := cfg
+	noDrift.Drift = nil
+	if _, err := RestorePipeline(noDrift, st); err == nil {
+		t.Fatal("restore without drift accepted a drifting checkpoint")
+	}
+	noAdapt := cfg
+	noAdapt.Decode.Adapt = false
+	noAdapt.Decode.Track = false
+	if _, err := RestorePipeline(noAdapt, st); err == nil {
+		t.Fatal("restore without tracking accepted an adaptive checkpoint")
+	}
+	trackOnly := cfg
+	trackOnly.Decode.Adapt = false
+	trackOnly.Decode.Track = true
+	if _, err := RestorePipeline(trackOnly, st); err == nil {
+		t.Fatal("track-only restore accepted a recalibrating checkpoint")
+	}
+
+	plain := cfg
+	plain.Drift = nil
+	plain.Decode.Adapt = false
+	plain.Decode.Track = false
+	q, err := NewPipeline(plain, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepN(t, q, 16)
+	st2, err := q.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	if _, err := RestorePipeline(cfg, st2); err == nil {
+		t.Fatal("adaptive restore accepted a drift-free, adapt-free checkpoint")
+	}
+}
+
+// TestDriftSweepFrozenVsAdaptive: the headline claim, end to end — the
+// frozen decoder's error grows as drift intensity rises while the
+// recalibrating decoder's stays bounded, and both arms share the frame
+// stream at every point.
+// The run is long (multi-epoch, period-aligned bins) because the claim
+// is about slow physiology: the intent cycle is 200 ticks, so BinTicks
+// 25 makes one cycle 8 bins and the 16-bin meter windows two whole
+// cycles; epochs of 1000 ticks keep each refit buffer (48 bins = 1200
+// ticks) spanning roughly one drift epoch, so supervision is stale by
+// at most one epoch. Every value below is deterministic (fixed seed),
+// so the assertions are exact, not statistical.
+func TestDriftSweepFrozenVsAdaptive(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Implants = 2
+	cfg.Ticks = 12000
+	cfg.Channels = 16
+	cfg.Decode = DecodeConfig{Kind: DecoderKalman, BinTicks: 25, RefitEvery: 12, RefitBuffer: 48, RefitBlend: 0.3, MeterRef: 16, MeterWin: 16}
+
+	sw, err := RunDriftSweep(cfg, DefaultSweepProfile(), []float64{0, 0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Points) != 3 {
+		t.Fatalf("sweep returned %d points, want 3", len(sw.Points))
+	}
+	for i, pt := range sw.Points {
+		if i > 0 && pt.FrozenRMSE <= sw.Points[i-1].FrozenRMSE {
+			t.Errorf("frozen RMSE not increasing: point %d %.4f <= point %d %.4f",
+				i, pt.FrozenRMSE, i-1, sw.Points[i-1].FrozenRMSE)
+		}
+		if pt.AdaptiveRMSE >= pt.FrozenRMSE {
+			t.Errorf("point %d: adaptation did not help: %.4f >= %.4f",
+				i, pt.AdaptiveRMSE, pt.FrozenRMSE)
+		}
+		if pt.Refits == 0 {
+			t.Errorf("point %d: adaptive arm never refitted", i)
+		}
+		if pt.FrozenKL < 0 || math.IsNaN(pt.FrozenKL) || math.IsInf(pt.FrozenKL, 0) {
+			t.Errorf("point %d: invalid KL reading %v", i, pt.FrozenKL)
+		}
+	}
+	first, last := sw.Points[0], sw.Points[len(sw.Points)-1]
+	// Bounded: full-intensity drift costs the adaptive arm at most a
+	// modest premium over its own drift-free error, while the frozen
+	// arm degrades several times as much in absolute terms.
+	if bound := 1.25 * first.AdaptiveRMSE; last.AdaptiveRMSE > bound {
+		t.Errorf("adaptive RMSE %.4f exceeded bound %.4f (1.25x drift-free %.4f)",
+			last.AdaptiveRMSE, bound, first.AdaptiveRMSE)
+	}
+	if last.DriftEpochs == 0 || last.DriftTurnovers == 0 {
+		t.Errorf("drift accounting implausible: epochs %d, turnovers %d",
+			last.DriftEpochs, last.DriftTurnovers)
+	}
+}
+
+// TestDriftSweepWorkerInvariance: the sweep digest is bit-identical for
+// any worker count, like every other fleet artifact.
+func TestDriftSweepWorkerInvariance(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Implants = 3
+	cfg.Ticks = 64
+	cfg.Channels = 16
+	cfg.Decode = DecodeConfig{Kind: DecoderKalman, BinTicks: 2, RefitEvery: 4, RefitBuffer: 8, MeterRef: 4, MeterWin: 4}
+	base := driftProfile()
+
+	cfg.Workers = 1
+	ref, err := RunDriftSweep(cfg, base, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		c := cfg
+		c.Workers = workers
+		got, err := RunDriftSweep(c, base, []float64{0, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Digest != ref.Digest {
+			t.Fatalf("workers=%d: sweep digest %d != %d", workers, got.Digest, ref.Digest)
+		}
+	}
+}
+
+// TestDriftSweepRejectsBadInput covers the sweep's validation.
+func TestDriftSweepRejectsBadInput(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Implants = 1
+	cfg.Ticks = 8
+	base := driftProfile()
+	if _, err := RunDriftSweep(cfg, base, []float64{-1}); err == nil {
+		t.Fatal("negative intensity accepted")
+	}
+	bad := base
+	bad.RotationSigma = -1
+	if _, err := RunDriftSweep(cfg, bad, nil); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+	dnn := cfg
+	dnn.Decode = DecodeConfig{Kind: DecoderDNN}
+	if _, err := RunDriftSweep(dnn, base, nil); err == nil {
+		t.Fatal("DNN sweep accepted")
+	}
+}
+
+// TestDecodeConfigValidateAdapt covers the new knobs' validation.
+func TestDecodeConfigValidateAdapt(t *testing.T) {
+	for _, bad := range []DecodeConfig{
+		{Track: true},
+		{Adapt: true},
+		{Calibrate: true},
+		{Kind: DecoderDNN, Adapt: true},
+		{Kind: DecoderDNN, Calibrate: true},
+		{Kind: DecoderKalman, RefitBlend: 1.5},
+		{Kind: DecoderKalman, RefitJitter: -0.1},
+		{Kind: DecoderKalman, MeterRef: -1},
+		{Kind: DecoderKalman, Adapt: true, RefitEvery: 100, RefitBuffer: 8},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("config %+v accepted", bad)
+		}
+	}
+	good := DecodeConfig{Kind: DecoderFixed, Calibrate: true, Adapt: true, RefitJitter: 0.1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid adaptive config rejected: %v", err)
+	}
+}

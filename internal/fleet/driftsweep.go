@@ -1,0 +1,167 @@
+package fleet
+
+// Drift sweeps: run the same fleet at increasing nonstationarity
+// intensity, twice per point — once with the calibration-day decoder
+// frozen, once with closed-loop recalibration — and report the decode
+// error of each arm. The frozen arm's error grows with intensity (the
+// substrate walks away from the fitted model); the adaptive arm's stays
+// bounded (the recalibrator tracks it). All points share the base seed
+// (common random numbers), both arms share each point's frame stream
+// byte for byte, and every run inherits Run's worker-count invariance,
+// so the sweep digest is bit-identical for any Workers value.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mindful/internal/drift"
+)
+
+// DriftPoint is one intensity sample of a drift sweep.
+type DriftPoint struct {
+	// Intensity is the Profile.Scale factor of this point.
+	Intensity float64
+
+	// FrozenRMSE and AdaptiveRMSE are the per-dimension decode RMSE
+	// against the true intent for the frozen and recalibrating arms.
+	FrozenRMSE   float64
+	AdaptiveRMSE float64
+
+	// FrozenKL and AdaptiveKL are the worst final instability (KL
+	// divergence) readings across the fleet, per arm.
+	FrozenKL   float64
+	AdaptiveKL float64
+
+	// Refits is the adaptive arm's total recalibration count.
+	Refits int64
+
+	// Drift-process accounting, summed over the fleet (identical in
+	// both arms — the process never sees the decoder).
+	DriftEpochs    int64
+	DriftTurnovers int64
+	DriftUnitsLost int64
+
+	// FrameDigest is the shared frame-path digest of both arms;
+	// FrozenDecodeDigest and AdaptiveDecodeDigest the per-arm decode
+	// digests.
+	FrameDigest          uint64
+	FrozenDecodeDigest   uint64
+	AdaptiveDecodeDigest uint64
+}
+
+// DriftSweep is a full frozen-versus-adaptive degradation curve.
+type DriftSweep struct {
+	// Profile is the unit-intensity nonstationarity the points scale.
+	Profile drift.Profile
+	// Points holds one sample per intensity, in input order.
+	Points []DriftPoint
+	// Digest chains every point's intensity, digests and counters —
+	// equal digests mean the whole sweep was bit-identical.
+	Digest uint64
+}
+
+// DefaultSweepProfile returns the stock sweep nonstationarity: tuning
+// rotation and unit turnover dominate, with mild gain/baseline wander
+// and rare outright unit loss, over epochs shorter than a session but
+// longer than the recalibration buffer. Rotation and turnover scramble
+// the frozen decoder's fitted tuning map yet leave the units firing, so
+// the adaptive arm has signal to re-learn from — the regime where
+// closed-loop recalibration demonstrably pays (heavy unit *loss*, by
+// contrast, starves both arms equally).
+func DefaultSweepProfile() drift.Profile {
+	return drift.Profile{
+		RotationSigma: 0.4,
+		GainSigma:     0.1,
+		BaselineSigma: 0.1,
+		TurnoverProb:  0.06,
+		LossProb:      0.005,
+		EpochTicks:    1000,
+	}
+}
+
+// RunDriftSweep executes two fleet runs per intensity — frozen and
+// adaptive — scaling the base drift profile. The config's own Drift
+// field is ignored. The decode config is forced onto the calibration
+// path (Calibrate, Track) so both arms start from the same day-0 fit of
+// the implant's own cortex; a disabled decoder defaults to the Kalman
+// filter. The adaptive arm additionally sets Adapt.
+func RunDriftSweep(cfg Config, base drift.Profile, intensities []float64) (*DriftSweep, error) {
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	if len(intensities) == 0 {
+		intensities = DefaultIntensities()
+	}
+	if !cfg.Decode.Enabled() {
+		cfg.Decode.Kind = DecoderKalman
+	}
+	if cfg.Decode.Kind == DecoderDNN {
+		return nil, errors.New("fleet: drift sweep needs a linear decoder")
+	}
+	cfg.Decode.Calibrate = true
+	cfg.Decode.Track = true
+
+	sw := &DriftSweep{Profile: base, Digest: fnvOffset}
+	for _, intensity := range intensities {
+		if intensity < 0 || math.IsNaN(intensity) {
+			return nil, fmt.Errorf("fleet: invalid sweep intensity %g", intensity)
+		}
+		scaled := base.Scale(intensity)
+
+		frozenCfg := cfg
+		frozenCfg.Drift = &scaled
+		frozenCfg.Decode.Adapt = false
+		frozen, err := Run(frozenCfg)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: drift sweep intensity %g (frozen): %w", intensity, err)
+		}
+
+		adaptCfg := cfg
+		adaptCfg.Drift = &scaled
+		adaptCfg.Decode.Adapt = true
+		adaptive, err := Run(adaptCfg)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: drift sweep intensity %g (adaptive): %w", intensity, err)
+		}
+
+		// The decode path never feeds back into the frame path, so the
+		// two arms must radiate identical bytes; a mismatch means the
+		// isolation invariant broke.
+		if frozen.Digest != adaptive.Digest {
+			return nil, fmt.Errorf("fleet: drift sweep intensity %g: arms diverged on the frame path (%#x vs %#x)",
+				intensity, frozen.Digest, adaptive.Digest)
+		}
+
+		pt := DriftPoint{
+			Intensity:            intensity,
+			FrozenRMSE:           frozen.DecodeRMSE(),
+			AdaptiveRMSE:         adaptive.DecodeRMSE(),
+			FrozenKL:             frozen.MaxLastKL,
+			AdaptiveKL:           adaptive.MaxLastKL,
+			Refits:               adaptive.Refits,
+			DriftEpochs:          frozen.DriftEpochs,
+			DriftTurnovers:       frozen.DriftTurnovers,
+			DriftUnitsLost:       frozen.DriftUnitsLost,
+			FrameDigest:          frozen.Digest,
+			FrozenDecodeDigest:   frozen.DecodeDigest,
+			AdaptiveDecodeDigest: adaptive.DecodeDigest,
+		}
+		sw.Points = append(sw.Points, pt)
+		sw.Digest = fnvMix(sw.Digest, math.Float64bits(intensity))
+		sw.Digest = fnvMix(sw.Digest, pt.FrameDigest)
+		sw.Digest = fnvMix(sw.Digest, pt.FrozenDecodeDigest)
+		sw.Digest = fnvMix(sw.Digest, pt.AdaptiveDecodeDigest)
+		sw.Digest = fnvMix(sw.Digest, math.Float64bits(pt.FrozenRMSE))
+		sw.Digest = fnvMix(sw.Digest, math.Float64bits(pt.AdaptiveRMSE))
+		for _, v := range []int64{
+			pt.Refits, pt.DriftEpochs, pt.DriftTurnovers, pt.DriftUnitsLost,
+		} {
+			sw.Digest = fnvMix(sw.Digest, uint64(v))
+		}
+	}
+	if len(sw.Points) == 0 {
+		return nil, errors.New("fleet: empty drift sweep")
+	}
+	return sw, nil
+}

@@ -18,11 +18,13 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strconv"
 	"sync"
 	"time"
 
 	"mindful/internal/comm"
+	"mindful/internal/drift"
 	"mindful/internal/fault"
 	"mindful/internal/obs"
 	"mindful/internal/units"
@@ -84,6 +86,12 @@ type Config struct {
 	// concealment-aware binned rates; the zero value stops the pipeline
 	// at the wearable, byte-identical to the decoder-free run.
 	Decode DecodeConfig
+	// Drift optionally applies the multi-day nonstationarity model to
+	// every implant's synthetic cortex: tuning rotation, gain and
+	// baseline walks, unit turnover and loss, each implant on its own
+	// derived StreamDrift stream. Nil, or a profile scaled to zero,
+	// leaves every digest byte-identical to the drift-free run.
+	Drift *drift.Profile
 }
 
 // DefaultConfig returns a small fleet at a noisy but workable operating
@@ -138,6 +146,11 @@ func (c Config) Validate() error {
 	}
 	if err := c.Decode.Validate(); err != nil {
 		return err
+	}
+	if c.Drift != nil {
+		if err := c.Drift.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -195,6 +208,23 @@ type ImplantResult struct {
 	// DecodeDigest is an FNV-1a hash over every decoded estimate, the
 	// decode-path analogue of Digest (0 without a decoder).
 	DecodeDigest uint64
+	// DecodeSqErr and DecodeErrBins are the adapt stage's decode-error
+	// accounting: the summed squared estimate error against the true
+	// intent and the bins it was accumulated over. Zero unless the
+	// decode config tracks or adapts.
+	DecodeSqErr   float64
+	DecodeErrBins int64
+	// Refits counts decoder recalibrations applied; LastKL is the final
+	// instability (KL divergence) reading. Zero without adaptation /
+	// tracking respectively.
+	Refits int64
+	LastKL float64
+	// DriftEpochs, DriftTurnovers and DriftUnitsLost are the drift
+	// process's accounting: epoch boundaries crossed, units that swapped
+	// tuning, and units currently dead. All zero without drift.
+	DriftEpochs    int64
+	DriftTurnovers int64
+	DriftUnitsLost int64
 	// Err is the first pipeline error, if any.
 	Err error
 }
@@ -232,6 +262,17 @@ type Aggregate struct {
 	DecodedSteps        int64
 	DecodeConcealedBins int64
 	DecodeMACs          int64
+
+	// Adaptation and drift accounting, summed over implants; MaxLastKL
+	// is the worst final instability reading across the fleet. All zero
+	// without tracking/adaptation/drift.
+	DecodeSqErr    float64
+	DecodeErrBins  int64
+	Refits         int64
+	MaxLastKL      float64
+	DriftEpochs    int64
+	DriftTurnovers int64
+	DriftUnitsLost int64
 
 	// BER is the measured uplink bit error rate; FER the frame error rate
 	// at the receiver.
@@ -275,6 +316,16 @@ func (a *Aggregate) ConcealedFraction() float64 {
 		return float64(a.Concealed) / float64(total)
 	}
 	return 0
+}
+
+// DecodeRMSE returns the root-mean-square decode error against the true
+// intent, per dimension, over every tracked bin (0 when the adapt stage
+// was off or saw no bins).
+func (a *Aggregate) DecodeRMSE() float64 {
+	if a.DecodeErrBins == 0 {
+		return 0
+	}
+	return math.Sqrt(a.DecodeSqErr / float64(intentDims*a.DecodeErrBins))
 }
 
 // EffectiveBER returns the residual payload bit error rate after FEC, over
@@ -356,6 +407,15 @@ func Run(cfg Config) (*Aggregate, error) {
 		agg.DecodedSteps += r.DecodedSteps
 		agg.DecodeConcealedBins += r.DecodeConcealedBins
 		agg.DecodeMACs += r.DecodeMACs
+		agg.DecodeSqErr += r.DecodeSqErr
+		agg.DecodeErrBins += r.DecodeErrBins
+		agg.Refits += r.Refits
+		if r.LastKL > agg.MaxLastKL {
+			agg.MaxLastKL = r.LastKL
+		}
+		agg.DriftEpochs += r.DriftEpochs
+		agg.DriftTurnovers += r.DriftTurnovers
+		agg.DriftUnitsLost += r.DriftUnitsLost
 		for shift := 56; shift >= 0; shift -= 8 {
 			agg.Digest = (agg.Digest ^ (r.Digest >> shift & 0xFF)) * fnvPrime
 		}
@@ -416,6 +476,20 @@ func runImplant(cfg Config, idx, worker int) ImplantResult {
 			reg.Help("fleet_decode_steps_total", "Decoder steps taken by the shard's implants.")
 			reg.Help("fleet_decode_concealed_bins_total", "Decoder bins containing at least one concealed frame.")
 			reg.Help("fleet_decode_macs_total", "Multiply-accumulates spent by the shard's decoders.")
+		}
+		if cfg.Decode.Track || cfg.Decode.Adapt {
+			reg.Counter("fleet_decode_refits_total", lbl).Add(res.Refits)
+			reg.Gauge("fleet_decode_instability_kl", lbl).Set(res.LastKL)
+			reg.Help("fleet_decode_refits_total", "Decoder recalibrations applied by the shard's implants.")
+			reg.Help("fleet_decode_instability_kl", "Last instability (KL divergence) reading per shard.")
+		}
+		if cfg.Drift != nil && cfg.Drift.Enabled() {
+			reg.Counter("fleet_drift_epochs_total", lbl).Add(res.DriftEpochs)
+			reg.Counter("fleet_drift_turnovers_total", lbl).Add(res.DriftTurnovers)
+			reg.Counter("fleet_drift_units_lost_total", lbl).Add(res.DriftUnitsLost)
+			reg.Help("fleet_drift_epochs_total", "Drift epoch boundaries crossed by the shard's implants.")
+			reg.Help("fleet_drift_turnovers_total", "Units that swapped tuning across the shard's implants.")
+			reg.Help("fleet_drift_units_lost_total", "Units currently dead across the shard's implants.")
 		}
 		reg.Help("fleet_frames_total", "Frames transmitted by the shard's implants.")
 		reg.Help("fleet_frames_accepted_total", "Frames accepted by the wearable receiver.")

@@ -57,6 +57,10 @@ func TestFleetDeterminismWall(t *testing.T) {
 	timed := faultConfig()
 	timed.Decode = DecodeConfig{Kind: DecoderKalman}
 	timed.StageTiming = obs.NewStageTimer()
+	drifting := faultConfig()
+	driftProf := driftProfile()
+	drifting.Drift = &driftProf
+	drifting.Decode = DecodeConfig{Kind: DecoderKalman}
 	scenarios := []struct {
 		name string
 		cfg  Config
@@ -68,6 +72,7 @@ func TestFleetDeterminismWall(t *testing.T) {
 		// timer is shared across every worker-count run — it accumulates
 		// wall time, never touches the simulation).
 		{"timed", timed},
+		{"drift", drifting},
 	}
 	for _, sc := range scenarios {
 		sc := sc

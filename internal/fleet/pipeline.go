@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"mindful/internal/comm"
+	"mindful/internal/drift"
 	"mindful/internal/fault"
 	"mindful/internal/neural"
 	"mindful/internal/wearable"
@@ -40,6 +41,7 @@ type Pipeline struct {
 	trans  *transportStage
 	recv   *receiverStage
 	dec    *decodeStage // nil without a decoder
+	adapt  *adaptStage  // nil unless tracking or adapting
 
 	closed bool
 }
@@ -84,6 +86,15 @@ func NewPipeline(cfg Config, idx, worker int) (*Pipeline, error) {
 		return nil, err
 	}
 	src.gen = gen
+	if cfg.Drift != nil {
+		// nil process when the profile is disabled — the clean path stays
+		// byte-identical.
+		src.drift, err = drift.NewProcess(*cfg.Drift, gen,
+			DeriveSeed(cfg.Seed, uint64(idx), StreamDrift))
+		if err != nil {
+			return nil, err
+		}
+	}
 	src.adc = neural.ADC{Bits: cfg.SampleBits, FullScale: 2.0}
 	if src.pkt, err = comm.NewPacketizer(cfg.SampleBits); err != nil {
 		return nil, err
@@ -156,6 +167,15 @@ func NewPipeline(cfg Config, idx, worker int) (*Pipeline, error) {
 		recv.rx.OnConcealed = func(f comm.Frame) { dec.accumulate(f.Samples, true) }
 		p.dec = dec
 		p.stages = append(p.stages, dec)
+		if cfg.Decode.Track || cfg.Decode.Adapt {
+			ad, err := newAdaptStage(cfg, idx, dec)
+			if err != nil {
+				return nil, err
+			}
+			dec.onBin = ad.observeBin
+			p.adapt = ad
+			p.stages = append(p.stages, ad)
+		}
 	}
 	// Timing decoration happens last so every stage — including the
 	// decode stage — is wrapped. Typed references (p.src etc.) stay
@@ -191,6 +211,16 @@ func (p *Pipeline) OnDeliver(fn func(tick int, data []byte, accepted bool)) {
 func (p *Pipeline) OnDecode(fn func(tick int, estimate []float64, concealed int)) {
 	if p.dec != nil {
 		p.dec.onDecode = fn
+	}
+}
+
+// OnRefit installs a hook called every time the adapt stage applies a
+// decoder recalibration: the tick the refit landed on, the cumulative
+// refit count, and the last instability (KL) reading (0 until the meter
+// fills). A no-op unless the pipeline adapts; pass nil to detach.
+func (p *Pipeline) OnRefit(fn func(tick int, refits int64, kl float64)) {
+	if p.adapt != nil {
+		p.adapt.onRefit = fn
 	}
 }
 
@@ -252,6 +282,17 @@ func (p *Pipeline) Result() ImplantResult {
 		res.DecodeMACs = p.dec.macs
 		res.DecodeDigest = p.dec.digest
 	}
+	if p.adapt != nil {
+		res.DecodeSqErr = p.adapt.sqErr
+		res.DecodeErrBins = p.adapt.errBins
+		res.Refits = p.adapt.refits()
+		res.LastKL = p.adapt.lastKL
+	}
+	if p.src.drift != nil {
+		res.DriftEpochs = p.src.drift.Epochs()
+		res.DriftTurnovers = p.src.drift.Turnovers()
+		res.DriftUnitsLost = p.src.drift.Lost()
+	}
 	return res
 }
 
@@ -286,6 +327,11 @@ type PipelineState struct {
 
 	// Decode is the decode stage's state; nil without a decoder.
 	Decode *DecodeState
+
+	// Drift is the nonstationarity process's state; nil without drift.
+	Drift *drift.ProcessState
+	// Adapt is the adapt stage's state; nil unless tracking or adapting.
+	Adapt *AdaptState
 }
 
 // Snapshot captures the pipeline's complete mid-run state by asking
@@ -327,6 +373,12 @@ func RestorePipeline(cfg Config, st PipelineState) (*Pipeline, error) {
 	}
 	if p.dec == nil && st.Decode != nil {
 		return restoreErr(errors.New("fleet: checkpoint carries decoder state but config disables the decoder"))
+	}
+	if p.adapt == nil && st.Adapt != nil {
+		return restoreErr(errors.New("fleet: checkpoint carries adapt state but config disables tracking"))
+	}
+	if p.src.drift == nil && st.Drift != nil {
+		return restoreErr(errors.New("fleet: checkpoint carries drift state but config disables drift"))
 	}
 	for _, s := range p.stages {
 		if err := s.Restore(cfg, &st); err != nil {

@@ -25,6 +25,12 @@ const (
 	// StreamDecode seeds the decode stage's deterministic calibration
 	// (tuning gains and network initialization).
 	StreamDecode uint64 = 5
+	// StreamDrift seeds the multi-day nonstationarity process
+	// (drift.Process): tuning rotation, gain walks and unit turnover.
+	StreamDrift uint64 = 6
+	// StreamRefit seeds the adaptive decoder's recalibration loop: the
+	// CLDA intent-label jitter drawn per buffered training pair.
+	StreamRefit uint64 = 7
 )
 
 // splitmix64 is the SplitMix64 state-advance + finalizer: increment by

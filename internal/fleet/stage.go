@@ -7,6 +7,7 @@ import (
 	mathbits "math/bits"
 
 	"mindful/internal/comm"
+	"mindful/internal/drift"
 	"mindful/internal/fault"
 	"mindful/internal/neural"
 	"mindful/internal/wearable"
@@ -68,6 +69,7 @@ type sourceStage struct {
 	pkt   *comm.Packetizer
 	elec  *fault.ElectrodeBank
 	brown *fault.Brownout
+	drift *drift.Process
 
 	framePtr  *[]byte
 	sampleBuf []float64
@@ -77,6 +79,11 @@ type sourceStage struct {
 func (s *sourceStage) Name() string { return "source" }
 
 func (s *sourceStage) Step(tk *Tick) error {
+	// Drift mutates the cortex before anything observes it this tick;
+	// nil-safe, and tick 0 applies nothing (day 0 is pristine).
+	if err := s.drift.Tick(s.gen); err != nil {
+		return err
+	}
 	s.gen.SetIntent(intentAt(s.phase, tk.N))
 	tk.Blanked = s.brown.Tick()
 	s.sampleBuf = s.gen.NextInto(s.sampleBuf)
@@ -108,6 +115,10 @@ func (s *sourceStage) Snapshot(st *PipelineState) {
 	if s.elec != nil {
 		st.ElecGains = s.elec.Gains()
 	}
+	if s.drift != nil {
+		ds := s.drift.Snapshot()
+		st.Drift = &ds
+	}
 }
 
 func (s *sourceStage) Restore(cfg Config, st *PipelineState) error {
@@ -130,6 +141,16 @@ func (s *sourceStage) Restore(cfg Config, st *PipelineState) error {
 			return errors.New("fleet: electrode gains do not match config")
 		}
 		if err := s.elec.RestoreGains(st.ElecGains); err != nil {
+			return err
+		}
+	}
+	if (s.drift != nil) != (st.Drift != nil) {
+		return errors.New("fleet: drift state does not match config")
+	}
+	if s.drift != nil {
+		// Restore after the generator so the drifted unit state lands on
+		// the restored cortex.
+		if s.drift, err = drift.RestoreProcess(*cfg.Drift, s.gen, *st.Drift); err != nil {
 			return err
 		}
 	}

@@ -65,6 +65,8 @@ type Generator struct {
 
 	active   []bool       // channel has a unit
 	tuning   [][2]float64 // unit preferred direction (unit vector)
+	theta    []float64    // drawn preferred-direction angles (static)
+	drift    *unitDrift   // externally-applied nonstationarity; nil when stationary
 	template []float64    // AP waveform
 	// pending is a per-channel ring of upcoming additive waveform values:
 	// channel c's ring is pending[c*len(template) : (c+1)*len(template)],
@@ -105,6 +107,7 @@ func New(cfg Config) (*Generator, error) {
 		rng:      detrand.New(cfg.Seed),
 		active:   make([]bool, cfg.Channels),
 		tuning:   make([][2]float64, cfg.Channels),
+		theta:    make([]float64, cfg.Channels),
 		pendHead: make([]int, cfg.Channels),
 		spikeLog: make([][]int, cfg.Channels),
 		template: apTemplate(cfg.SampleRate),
@@ -113,6 +116,7 @@ func New(cfg Config) (*Generator, error) {
 	for c := 0; c < cfg.Channels; c++ {
 		g.active[c] = g.rng.Float64() < cfg.ActiveFraction
 		theta := g.rng.Float64() * 2 * math.Pi
+		g.theta[c] = theta
 		g.tuning[c] = [2]float64{math.Cos(theta), math.Sin(theta)}
 	}
 	// LFP resonator: damped ~10 Hz AR(2) driven by unit white noise,
@@ -182,6 +186,68 @@ func (g *Generator) Intent() (x, y float64) { return g.intent[0], g.intent[1] }
 // RecordSpikes enables ground-truth spike logging (for detector tests).
 func (g *Generator) RecordSpikes(on bool) { g.logSpikes = on }
 
+// unitDrift holds externally-applied nonstationarity state — per-unit
+// multipliers on the configured firing rate and spike amplitude plus a
+// liveness gate. It stays nil until SetUnitState is first called, so a
+// stationary generator's hot path is untouched; once allocated, identity
+// values (scale 1, alive) are bit-exact no-ops.
+type unitDrift struct {
+	rateScale []float64
+	ampGain   []float64
+	alive     []bool
+}
+
+// UnitThetas returns a copy of the drawn preferred-direction angles, one
+// per channel — the day-0 tuning a nonstationarity process evolves from.
+func (g *Generator) UnitThetas() []float64 {
+	return append([]float64(nil), g.theta...)
+}
+
+// UnitActive returns a copy of the per-channel unit presence flags.
+func (g *Generator) UnitActive() []bool {
+	return append([]bool(nil), g.active...)
+}
+
+// SetUnitState overwrites one channel's unit parameters for
+// nonstationarity modeling: theta is the absolute preferred-direction
+// angle (replacing the drawn one), rateScale and ampGain multiply the
+// configured firing rate and spike amplitude, and alive gates the unit —
+// a unit lost to turnover stops spiking even on an active channel.
+//
+// The state set here is NOT part of GeneratorState: a restored generator
+// comes back pristine and the owning drift process must re-apply its
+// absolute state (drift.Process does exactly that).
+func (g *Generator) SetUnitState(c int, theta, rateScale, ampGain float64, alive bool) error {
+	if c < 0 || c >= g.cfg.Channels {
+		return fmt.Errorf("neural: unit %d outside 0..%d", c, g.cfg.Channels-1)
+	}
+	for _, v := range [...]float64{theta, rateScale, ampGain} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("neural: non-finite unit state for channel %d", c)
+		}
+	}
+	if rateScale < 0 || ampGain < 0 {
+		return fmt.Errorf("neural: negative unit scale for channel %d", c)
+	}
+	if g.drift == nil {
+		d := &unitDrift{
+			rateScale: make([]float64, g.cfg.Channels),
+			ampGain:   make([]float64, g.cfg.Channels),
+			alive:     make([]bool, g.cfg.Channels),
+		}
+		for i := 0; i < g.cfg.Channels; i++ {
+			d.rateScale[i], d.ampGain[i], d.alive[i] = 1, 1, true
+		}
+		g.drift = d
+	}
+	g.theta[c] = theta
+	g.tuning[c] = [2]float64{math.Cos(theta), math.Sin(theta)}
+	g.drift.rateScale[c] = rateScale
+	g.drift.ampGain[c] = ampGain
+	g.drift.alive[c] = alive
+	return nil
+}
+
 // SpikeLog returns, per channel, the sample indices at which spikes were
 // emitted since construction (only while RecordSpikes was enabled).
 func (g *Generator) SpikeLog() [][]int { return g.spikeLog }
@@ -215,8 +281,16 @@ func (g *Generator) fill(dst []float64) {
 		v := g.cfg.LFPAmplitude*lfp + g.cfg.NoiseRMS*g.rng.NormFloat64()
 		ring := g.pending[c*tlen : (c+1)*tlen]
 		head := g.pendHead[c]
-		if g.active[c] {
+		if g.active[c] && (g.drift == nil || g.drift.alive[c]) {
 			rate := g.cfg.MeanRateHz * (1 + g.cfg.ModulationDepth*(g.tuning[c][0]*g.intent[0]+g.tuning[c][1]*g.intent[1]))
+			amp := 1.0
+			if g.drift != nil {
+				// Multiplying by the identity scales (1.0) is bit-exact,
+				// so a drift state that has not diverged from pristine
+				// keeps the sample stream byte-identical.
+				rate *= g.drift.rateScale[c]
+				amp = g.drift.ampGain[c]
+			}
 			if rate < 0 {
 				rate = 0
 			}
@@ -224,7 +298,7 @@ func (g *Generator) fill(dst []float64) {
 				// Emit a spike: mix the template additively into the
 				// channel's pending ring (overlapping spikes sum).
 				for k, tv := range g.template {
-					ring[(head+k)%tlen] += tv
+					ring[(head+k)%tlen] += tv * amp
 				}
 				if g.logSpikes {
 					g.spikeLog[c] = append(g.spikeLog[c], g.t)

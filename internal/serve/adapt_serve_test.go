@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"mindful/internal/drift"
+	"mindful/internal/obs"
+	"mindful/internal/serve/checkpoint"
+)
+
+// adaptiveServeConfig is the everything-on nonstationarity session:
+// drift, day-0 calibration, instability tracking and closed-loop
+// recalibration, with windows short enough that refits land within the
+// session's 50 ticks.
+func adaptiveServeConfig(dec string) checkpoint.SessionConfig {
+	cfg := decodeSessionConfig(dec)
+	p := drift.DefaultProfile()
+	p.EpochTicks = 8
+	cfg.Drift = &p
+	cfg.DecodeBin = 2
+	cfg.Calibrate = true
+	cfg.Track = true
+	cfg.Adapt = true
+	cfg.RefitEvery = 4
+	cfg.RefitBuffer = 8
+	cfg.RefitBlend = 0.3
+	cfg.MeterRef = 4
+	cfg.MeterWin = 4
+	return cfg
+}
+
+// TestGatewayRestoreAdaptive: an adaptive session checkpointed through
+// the control plane and restored with a doubled target must finish
+// bit-identically to the uninterrupted run — the snapshot lands with
+// the supervision ring mid-fill and the decoder model already mutated
+// by refits, and all of it must cross the codec. The gateway must also
+// narrate the refits in the flight recorder.
+func TestGatewayRestoreAdaptive(t *testing.T) {
+	for _, dec := range []string{"kalman", "fixed", "wiener"} {
+		t.Run(dec, func(t *testing.T) {
+			o := obs.New()
+			srv := startServer(t, Config{Observer: o, TickInterval: time.Millisecond})
+			base := "http://" + srv.ControlAddr()
+			cfg := adaptiveServeConfig(dec)
+
+			info, err := createSession(base, CreateRequest{SessionConfig: cfg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			waitState(t, base, info.ID, StateDone)
+
+			resp, err := http.Get(base + "/api/sessions/" + info.ID + "/checkpoint")
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				t.Fatalf("checkpoint fetch: status %d err %v", resp.StatusCode, err)
+			}
+
+			restored, err := restoreSession(base, blob, 2*cfg.Ticks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			finished := waitState(t, base, restored.ID, StateDone)
+			wantDigest, wantDecode, wantSteps := resultAfter(t, cfg, 2*cfg.Ticks)
+			if finished.Digest != wantDigest {
+				t.Fatalf("restored digest %s, want uninterrupted %s", finished.Digest, wantDigest)
+			}
+			if finished.DecodeDigest != wantDecode {
+				t.Fatalf("restored decode digest %s, want uninterrupted %s", finished.DecodeDigest, wantDecode)
+			}
+			if finished.DecodedSteps != wantSteps || wantSteps == 0 {
+				t.Fatalf("restored decoded steps %d, want %d (nonzero)", finished.DecodedSteps, wantSteps)
+			}
+			if n := eventTypes(o.Events)["decoder_refit"]; n == 0 {
+				t.Fatal("no decoder_refit events recorded for an adaptive session")
+			}
+		})
+	}
+}

@@ -17,6 +17,14 @@
 // The v1 prefix is unchanged, so v1 blobs decode under this package
 // (decoder absent) bit-identically — the committed golden blob pins it.
 //
+// Version 3 appends the nonstationarity sections after the v2 layout:
+// the drift profile and the adaptive-decoding knobs at the end of the
+// config, and the drift-process and adapt-stage (instability meter,
+// supervision rings, mutated decoder model) state at the end of the
+// state. The v2 prefix is byte-identical, so v1 and v2 blobs decode
+// under this package with drift and adaptation absent — the committed
+// v1 and v2 golden blobs pin it.
+//
 // Versioning rules (documented in DESIGN.md): the version is bumped on
 // any field change; decoders reject versions they do not know rather
 // than guessing; fields are only ever appended within a version's
@@ -34,7 +42,9 @@ import (
 	"time"
 
 	"mindful/internal/comm"
+	"mindful/internal/decode"
 	"mindful/internal/detrand"
+	"mindful/internal/drift"
 	"mindful/internal/fault"
 	"mindful/internal/fleet"
 	"mindful/internal/units"
@@ -47,7 +57,8 @@ var Magic = [4]byte{'M', 'F', 'C', 'P'}
 // Version is the current format version. VersionV1 is the oldest
 // format this package still decodes.
 const (
-	Version   uint16 = 2
+	Version   uint16 = 3
+	VersionV2 uint16 = 2
 	VersionV1 uint16 = 1
 )
 
@@ -101,6 +112,25 @@ type SessionConfig struct {
 	DecodeBin    int    `json:"decode_bin,omitempty"`
 	DecodeLags   int    `json:"decode_lags,omitempty"`
 	DecodeHidden int    `json:"decode_hidden,omitempty"`
+
+	// Drift optionally enables the nonstationarity process. Added in
+	// format version 3; earlier blobs decode with it absent.
+	Drift *drift.Profile `json:"drift,omitempty"`
+
+	// Adaptive-decoding knobs (v3): Calibrate fits the day-0 decoder
+	// from the implant's own simulated cortex; Track attaches the
+	// instability meter and error scoring; Adapt additionally closes
+	// the loop with periodic recalibration. The Refit*/Meter* fields
+	// tune the loop (0 = fleet defaults).
+	Calibrate   bool    `json:"calibrate,omitempty"`
+	Track       bool    `json:"track,omitempty"`
+	Adapt       bool    `json:"adapt,omitempty"`
+	RefitEvery  int     `json:"refit_every,omitempty"`
+	RefitBuffer int     `json:"refit_buffer,omitempty"`
+	RefitBlend  float64 `json:"refit_blend,omitempty"`
+	RefitJitter float64 `json:"refit_jitter,omitempty"`
+	MeterRef    int     `json:"meter_ref,omitempty"`
+	MeterWin    int     `json:"meter_win,omitempty"`
 }
 
 // decodeConfig parses the decoder selection.
@@ -110,10 +140,19 @@ func (c SessionConfig) decodeConfig() (fleet.DecodeConfig, error) {
 		return fleet.DecodeConfig{}, err
 	}
 	return fleet.DecodeConfig{
-		Kind:     kind,
-		BinTicks: c.DecodeBin,
-		Lags:     c.DecodeLags,
-		Hidden:   c.DecodeHidden,
+		Kind:        kind,
+		BinTicks:    c.DecodeBin,
+		Lags:        c.DecodeLags,
+		Hidden:      c.DecodeHidden,
+		Calibrate:   c.Calibrate,
+		Track:       c.Track,
+		Adapt:       c.Adapt,
+		RefitEvery:  c.RefitEvery,
+		RefitBuffer: c.RefitBuffer,
+		RefitBlend:  c.RefitBlend,
+		RefitJitter: c.RefitJitter,
+		MeterRef:    c.MeterRef,
+		MeterWin:    c.MeterWin,
 	}, nil
 }
 
@@ -154,6 +193,7 @@ func (c SessionConfig) FleetConfig() (fleet.Config, error) {
 		FECDepth:    c.FECDepth,
 		Concealment: wearable.Concealment(c.Concealment),
 		Decode:      dec,
+		Drift:       c.Drift,
 	}
 	if err := cfg.Validate(); err != nil {
 		return fleet.Config{}, err
@@ -193,6 +233,13 @@ func (w *writer) f64s(v []float64) {
 	w.u32(uint32(len(v)))
 	for _, x := range v {
 		w.f64(x)
+	}
+}
+
+func (w *writer) bools(v []bool) {
+	w.u32(uint32(len(v)))
+	for _, x := range v {
+		w.boolean(x)
 	}
 }
 
@@ -309,6 +356,18 @@ func (r *reader) f64s() []float64 {
 	return out
 }
 
+func (r *reader) bools() []bool {
+	n := r.length()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = r.boolean()
+	}
+	return out
+}
+
 // Encode serializes the checkpoint.
 func Encode(cp Checkpoint) []byte {
 	w := &writer{b: make([]byte, 0, 512)}
@@ -351,6 +410,25 @@ func Encode(cp Checkpoint) []byte {
 	w.u32(uint32(c.DecodeBin))
 	w.u32(uint32(c.DecodeLags))
 	w.u32(uint32(c.DecodeHidden))
+	// Nonstationarity and adaptive-decoding config (v3).
+	w.boolean(c.Drift != nil)
+	if p := c.Drift; p != nil {
+		w.f64(p.RotationSigma)
+		w.f64(p.GainSigma)
+		w.f64(p.BaselineSigma)
+		w.f64(p.TurnoverProb)
+		w.f64(p.LossProb)
+		w.u32(uint32(p.EpochTicks))
+	}
+	w.boolean(c.Calibrate)
+	w.boolean(c.Track)
+	w.boolean(c.Adapt)
+	w.u32(uint32(c.RefitEvery))
+	w.u32(uint32(c.RefitBuffer))
+	w.f64(c.RefitBlend)
+	w.f64(c.RefitJitter)
+	w.u32(uint32(c.MeterRef))
+	w.u32(uint32(c.MeterWin))
 
 	// Pipeline state.
 	st := cp.State
@@ -440,6 +518,51 @@ func Encode(cp Checkpoint) []byte {
 		w.f64s(d.KalmanP)
 		w.f64s(d.WienerLag)
 	}
+
+	// Drift-process and adapt-stage state (v3).
+	w.boolean(st.Drift != nil)
+	if d := st.Drift; d != nil {
+		w.rng(d.RNG)
+		w.u64(uint64(d.Tick))
+		w.f64s(d.Theta)
+		w.f64s(d.RateScale)
+		w.f64s(d.AmpGain)
+		w.bools(d.Alive)
+		w.i64(d.Epochs)
+		w.i64(d.Turnovers)
+		w.i64(d.Lost)
+	}
+	w.boolean(st.Adapt != nil)
+	if a := st.Adapt; a != nil {
+		m := a.Meter
+		w.f64s(m.RefSum)
+		w.f64s(m.RefSqSum)
+		w.u32(uint32(m.RefCount))
+		w.f64s(m.Ring)
+		w.u32(uint32(m.RingHead))
+		w.u32(uint32(m.RingFill))
+		w.boolean(a.Recal != nil)
+		if rc := a.Recal; rc != nil {
+			w.f64s(rc.Obs)
+			w.f64s(rc.Intent)
+			w.u32(uint32(rc.Count))
+			w.u32(uint32(rc.Head))
+			w.u32(uint32(rc.SinceRefit))
+			w.i64(rc.Refits)
+		}
+		w.boolean(a.Model != nil)
+		if ms := a.Model; ms != nil {
+			w.f64s(ms.H)
+			w.f64s(ms.Q)
+			w.f64s(ms.W)
+			w.f64s(ms.K)
+		}
+		w.rng(a.RNG)
+		w.f64(a.SqErr)
+		w.i64(a.ErrBins)
+		w.f64(a.LastKL)
+		w.boolean(a.KLValid)
+	}
 	return w.b
 }
 
@@ -491,8 +614,13 @@ func Decode(buf []byte) (Checkpoint, error) {
 		c.Faults = &p
 	}
 	if v >= 2 {
+		// v2 predates the fixed-gain decoder, so its blobs cannot name it.
+		maxKind := fleet.DecoderDNN
+		if v >= 3 {
+			maxKind = fleet.DecoderFixed
+		}
 		kind := fleet.DecoderKind(r.u8())
-		if r.err == nil && (kind < fleet.DecoderNone || kind > fleet.DecoderDNN) {
+		if r.err == nil && (kind < fleet.DecoderNone || kind > maxKind) {
 			r.err = fmt.Errorf("checkpoint: unknown decoder kind %d", int(kind))
 			return cp, r.err
 		}
@@ -502,6 +630,27 @@ func Decode(buf []byte) (Checkpoint, error) {
 		c.DecodeBin = int(r.u32())
 		c.DecodeLags = int(r.u32())
 		c.DecodeHidden = int(r.u32())
+	}
+	if v >= 3 {
+		if r.boolean() {
+			var p drift.Profile
+			p.RotationSigma = r.f64()
+			p.GainSigma = r.f64()
+			p.BaselineSigma = r.f64()
+			p.TurnoverProb = r.f64()
+			p.LossProb = r.f64()
+			p.EpochTicks = int(r.u32())
+			c.Drift = &p
+		}
+		c.Calibrate = r.boolean()
+		c.Track = r.boolean()
+		c.Adapt = r.boolean()
+		c.RefitEvery = int(r.u32())
+		c.RefitBuffer = int(r.u32())
+		c.RefitBlend = r.f64()
+		c.RefitJitter = r.f64()
+		c.MeterRef = int(r.u32())
+		c.MeterWin = int(r.u32())
 	}
 
 	st := &cp.State
@@ -599,6 +748,55 @@ func Decode(buf []byte) (Checkpoint, error) {
 		d.KalmanP = r.f64s()
 		d.WienerLag = r.f64s()
 		st.Decode = &d
+	}
+
+	if v >= 3 {
+		if r.boolean() {
+			var d drift.ProcessState
+			d.RNG = r.rng()
+			d.Tick = int(r.u64())
+			d.Theta = r.f64s()
+			d.RateScale = r.f64s()
+			d.AmpGain = r.f64s()
+			d.Alive = r.bools()
+			d.Epochs = r.i64()
+			d.Turnovers = r.i64()
+			d.Lost = r.i64()
+			st.Drift = &d
+		}
+		if r.boolean() {
+			var a fleet.AdaptState
+			a.Meter.RefSum = r.f64s()
+			a.Meter.RefSqSum = r.f64s()
+			a.Meter.RefCount = int(r.u32())
+			a.Meter.Ring = r.f64s()
+			a.Meter.RingHead = int(r.u32())
+			a.Meter.RingFill = int(r.u32())
+			if r.boolean() {
+				var rc decode.RecalState
+				rc.Obs = r.f64s()
+				rc.Intent = r.f64s()
+				rc.Count = int(r.u32())
+				rc.Head = int(r.u32())
+				rc.SinceRefit = int(r.u32())
+				rc.Refits = r.i64()
+				a.Recal = &rc
+			}
+			if r.boolean() {
+				var ms decode.ModelState
+				ms.H = r.f64s()
+				ms.Q = r.f64s()
+				ms.W = r.f64s()
+				ms.K = r.f64s()
+				a.Model = &ms
+			}
+			a.RNG = r.rng()
+			a.SqErr = r.f64()
+			a.ErrBins = r.i64()
+			a.LastKL = r.f64()
+			a.KLValid = r.boolean()
+			st.Adapt = &a
+		}
 	}
 
 	if r.err != nil {

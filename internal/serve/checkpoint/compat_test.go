@@ -155,7 +155,7 @@ func TestGoldenV1UpgradesToV2(t *testing.T) {
 // must fail with ErrBadVersion and a message naming the supported range.
 func TestUnknownFutureVersionRejected(t *testing.T) {
 	blob := append([]byte(nil), readGolden(t)...)
-	for _, v := range []byte{3, 0xFF} {
+	for _, v := range []byte{4, 0xFF} {
 		blob[4], blob[5] = 0, v
 		_, err := Decode(blob)
 		if !errors.Is(err, ErrBadVersion) {

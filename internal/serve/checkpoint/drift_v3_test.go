@@ -1,0 +1,150 @@
+package checkpoint
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"mindful/internal/drift"
+)
+
+// adaptiveSessionConfig is the everything-on v3 session: nonstationarity,
+// day-0 calibration, instability tracking and closed-loop recalibration.
+// Windows are shortened so refits and KL readings land within a few
+// dozen ticks.
+func adaptiveSessionConfig(decoder string) SessionConfig {
+	cfg := fullConfig()
+	p := drift.DefaultProfile()
+	p.EpochTicks = 8
+	cfg.Drift = &p
+	cfg.Decoder = decoder
+	cfg.DecodeBin = 2
+	cfg.Calibrate = true
+	cfg.Track = true
+	cfg.Adapt = true
+	cfg.RefitEvery = 4
+	cfg.RefitBuffer = 8
+	cfg.RefitBlend = 0.3
+	cfg.MeterRef = 4
+	cfg.MeterWin = 4
+	return cfg
+}
+
+// adaptiveDecoders are the decoder selections that support the v3 loop.
+var adaptiveDecoders = []string{"kalman", "fixed", "wiener"}
+
+// TestRoundTripAdaptive: the v3 sections — drift profile, adaptive knobs,
+// drift-process and adapt-stage state — survive Encode → Decode exactly
+// and re-encode to the same bytes.
+func TestRoundTripAdaptive(t *testing.T) {
+	for _, dec := range adaptiveDecoders {
+		t.Run(dec, func(t *testing.T) {
+			cfg := adaptiveSessionConfig(dec)
+			blob := snapshotAfter(t, cfg, 24)
+			cp, err := Decode(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(cp.Config, cfg) {
+				t.Fatalf("config round-trip: got %+v want %+v", cp.Config, cfg)
+			}
+			if cp.State.Drift == nil || cp.State.Adapt == nil {
+				t.Fatal("v3 blob lost the drift or adapt state")
+			}
+			if cp.State.Adapt.Recal == nil || cp.State.Adapt.Model == nil {
+				t.Fatal("adaptive blob lost the recalibration rings or model")
+			}
+			if again := Encode(cp); !bytes.Equal(again, blob) {
+				t.Fatal("re-encoding a decoded checkpoint changed the bytes")
+			}
+		})
+	}
+}
+
+// TestRestoreContinuesBitIdenticallyAdaptive: the resume guarantee holds
+// across the codec for adaptive sessions — including mid-refit-cycle
+// supervision rings and the drifted substrate. K lands between refits.
+func TestRestoreContinuesBitIdenticallyAdaptive(t *testing.T) {
+	const k = 18
+	for _, dec := range adaptiveDecoders {
+		t.Run(dec, func(t *testing.T) {
+			cfg := adaptiveSessionConfig(dec)
+			ref, err := NewPipeline(cfg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 2*k; i++ {
+				if err := ref.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want := ref.Result()
+			ref.Close()
+			if want.Refits == 0 {
+				t.Fatal("scenario applied no refits")
+			}
+
+			blob := snapshotAfter(t, cfg, k)
+			rcfg, p, err := Restore(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(rcfg, cfg) {
+				t.Fatalf("restored config %+v want %+v", rcfg, cfg)
+			}
+			for i := 0; i < k; i++ {
+				if err := p.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := p.Result(); got != want {
+				t.Fatalf("resumed result %+v\nwant %+v", got, want)
+			}
+			p.Close()
+		})
+	}
+}
+
+// FuzzDriftCheckpointV3: the v3 drift/adapt sections get the same
+// malformed-input treatment as the earlier formats, seeded with adaptive
+// blobs (one per decoder kind, plus truncations and tail mutations) so
+// the fuzzer starts inside the new fields.
+func FuzzDriftCheckpointV3(f *testing.F) {
+	for _, dec := range adaptiveDecoders {
+		cfg := adaptiveSessionConfig(dec)
+		p, err := NewPipeline(cfg, 0)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for i := 0; i < 24; i++ {
+			if err := p.Step(); err != nil {
+				f.Fatal(err)
+			}
+		}
+		blob, err := Snapshot(cfg, p)
+		p.Close()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+		f.Add(blob[:len(blob)-9])
+		// Flip a byte in the trailing (drift/adapt) third of the blob.
+		mut := append([]byte(nil), blob...)
+		mut[len(mut)-len(mut)/3] ^= 0x20
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := Decode(data)
+		if err != nil {
+			return
+		}
+		checkDecoded(t, data, cp)
+		if cp.Config.Channels <= 64 && cp.Config.DecodeHidden <= 64 && cp.Config.DecodeLags <= 16 &&
+			cp.Config.RefitBuffer <= 256 && cp.Config.MeterRef <= 256 && cp.Config.MeterWin <= 256 {
+			if _, p, err := Restore(data); err == nil {
+				p.Close()
+			}
+		}
+	})
+}

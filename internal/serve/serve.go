@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mindful/internal/drift"
 	"mindful/internal/obs"
 	"mindful/internal/serve/checkpoint"
 )
@@ -59,6 +60,14 @@ type Config struct {
 	// DefaultDecoder, when set (e.g. "kalman"), attaches that decoder to
 	// every created session whose config does not name one itself.
 	DefaultDecoder string
+	// DefaultDrift, when set, attaches that nonstationarity profile to
+	// every created session that does not configure drift itself.
+	DefaultDrift *drift.Profile
+	// DefaultAdapt closes the recalibration loop (calibration, tracking
+	// and periodic refits with the fleet's default windows) on every
+	// created session that runs a linear decoder and does not set any
+	// adaptive knob itself.
+	DefaultAdapt bool
 	// Redirect, when set, resolves sessions this gateway does not host:
 	// a data-plane SUB for an unknown ID consults it and, on success,
 	// answers "MOVED <addr> <id>" instead of an error — the cluster
@@ -113,6 +122,8 @@ type Server struct {
 	mTicks     *obs.Counter
 	mDecoded   *obs.Counter
 	mDecSess   *obs.Counter
+	mRefits    *obs.Counter
+	mKL        *obs.Gauge
 }
 
 // New returns an unstarted gateway.
@@ -162,6 +173,8 @@ func New(cfg Config) (*Server, error) {
 		s.mTicks = m.Counter("serve_ticks_total")
 		s.mDecoded = m.Counter("serve_decode_steps_total")
 		s.mDecSess = m.Counter("serve_decode_sessions_total")
+		s.mRefits = m.Counter("serve_decode_refits_total")
+		s.mKL = m.Gauge("serve_decode_instability_kl")
 		m.Help("serve_sessions_active", "Sessions currently hosted.")
 		m.Help("serve_subscribers_active", "Data-plane subscribers currently attached.")
 		m.Help("serve_sessions_created_total", "Sessions created fresh.")
@@ -172,6 +185,8 @@ func New(cfg Config) (*Server, error) {
 		m.Help("serve_ticks_total", "Pipeline ticks stepped across all sessions.")
 		m.Help("serve_decode_steps_total", "Decoder steps published across all sessions.")
 		m.Help("serve_decode_sessions_total", "Sessions hosted with a decoder in the loop.")
+		m.Help("serve_decode_refits_total", "Closed-loop decoder recalibrations applied across all sessions.")
+		m.Help("serve_decode_instability_kl", "Latest instability (KL divergence) reading at a refit, any session.")
 	}
 	return s, nil
 }
@@ -318,10 +333,18 @@ func (s *Server) register(build func(id string) (*Session, error)) (*Session, er
 // CreateSession builds a fresh pipeline session. With startPaused the
 // tick loop waits for an explicit resume — the way to attach
 // subscribers before the first frame. A session config that names no
-// decoder inherits the gateway's DefaultDecoder.
+// decoder inherits the gateway's DefaultDecoder; one that configures no
+// nonstationarity or adaptation inherits DefaultDrift and DefaultAdapt.
 func (s *Server) CreateSession(cfg checkpoint.SessionConfig, startPaused bool) (*Session, error) {
 	if cfg.Decoder == "" && s.cfg.DefaultDecoder != "" && s.cfg.DefaultDecoder != "none" {
 		cfg.Decoder = s.cfg.DefaultDecoder
+	}
+	if cfg.Drift == nil && s.cfg.DefaultDrift != nil {
+		cfg.Drift = s.cfg.DefaultDrift
+	}
+	if s.cfg.DefaultAdapt && cfg.Decoder != "" && cfg.Decoder != "none" && cfg.Decoder != "dnn" &&
+		!cfg.Calibrate && !cfg.Track && !cfg.Adapt {
+		cfg.Calibrate, cfg.Track, cfg.Adapt = true, true, true
 	}
 	if _, err := cfg.FleetConfig(); err != nil {
 		return nil, err

@@ -98,8 +98,24 @@ func newSession(srv *Server, id string, cfg checkpoint.SessionConfig, p *fleet.P
 	if s.hasDecoder() {
 		p.OnDecode(s.publishDecoded)
 	}
+	if cfg.Adapt {
+		p.OnRefit(s.recordRefit)
+	}
 	go s.run()
 	return s
+}
+
+// recordRefit is the pipeline's OnRefit hook: one flight-recorder event
+// and metric bump per applied recalibration, tagged with the instability
+// reading that accompanied it. Runs on the tick loop via Step, so it
+// needs no locking of its own.
+func (s *Session) recordRefit(tick int, refits int64, kl float64) {
+	s.srv.mRefits.Inc()
+	s.srv.mKL.Set(kl)
+	s.srv.event("decoder_refit", s.ID, "",
+		obs.EventAttr{Key: "tick", Val: float64(tick)},
+		obs.EventAttr{Key: "refits", Val: float64(refits)},
+		obs.EventAttr{Key: "kl", Val: kl})
 }
 
 // hasDecoder reports whether the session's pipeline runs a decode

@@ -40,6 +40,7 @@ import (
 	"mindful/internal/comm"
 	"mindful/internal/decode"
 	"mindful/internal/dnnmodel"
+	"mindful/internal/drift"
 	"mindful/internal/dsp"
 	"mindful/internal/fault"
 	"mindful/internal/fleet"
@@ -744,6 +745,63 @@ func RunChaosSweep(base ClusterLoadConfig, intensities []float64, seed int64) (*
 
 // DefaultChaosIntensities returns the standard sweep ladder.
 func DefaultChaosIntensities() []float64 { return cluster.DefaultSweepIntensities() }
+
+// Nonstationarity and closed-loop recalibration: a seeded drift process
+// walks each unit's tuning, gain and baseline across synthetic
+// recording days (with unit turnover and loss) under common-random-
+// number semantics — Scale(0) is a byte-identical no-op and intensity
+// ladders nest. A KL-divergence instability meter scores the binned
+// rate field against a frozen reference window, and a CLDA
+// recalibrator periodically refits linear decoders in place from a
+// bounded ring of (rates, intended-kinematics) supervision.
+type (
+	// DriftProfile parameterizes the per-epoch nonstationarity walk.
+	DriftProfile = drift.Profile
+	// DriftProcess is one implant's seeded drift state machine.
+	DriftProcess = drift.Process
+	// InstabilityMeter is the reference-vs-recent KL divergence meter.
+	InstabilityMeter = drift.Meter
+	// RecalConfig holds the CLDA refit knobs (cadence, ring size,
+	// blend, label jitter).
+	RecalConfig = decode.RecalConfig
+	// Recalibrator refits a linear decoder in place from recent
+	// supervision.
+	Recalibrator = decode.Recalibrator
+	// DriftSweepResult is the frozen-vs-adaptive intensity sweep (the
+	// BENCH_drift schema).
+	DriftSweepResult = fleet.DriftSweep
+	// DriftSweepPoint is one intensity's paired-arm measurements.
+	DriftSweepPoint = fleet.DriftPoint
+)
+
+// DefaultDriftProfile returns a mild general-purpose drift profile.
+func DefaultDriftProfile() DriftProfile { return drift.DefaultProfile() }
+
+// DefaultDriftSweepProfile returns the rotation/turnover-dominant
+// profile the tracked BENCH_drift baseline sweeps over.
+func DefaultDriftSweepProfile() DriftProfile { return fleet.DefaultSweepProfile() }
+
+// NewDriftProcess attaches a seeded drift process to a generator.
+func NewDriftProcess(p DriftProfile, g *neural.Generator, seed int64) (*DriftProcess, error) {
+	return drift.NewProcess(p, g, seed)
+}
+
+// NewInstabilityMeter builds a KL instability meter over channels with
+// the given reference- and recent-window sizes (in bins).
+func NewInstabilityMeter(channels, refBins, winBins int) (*InstabilityMeter, error) {
+	return drift.NewMeter(channels, refBins, winBins)
+}
+
+// NewRecalibrator wraps a refittable linear decoder in a CLDA loop.
+func NewRecalibrator(d Decoder, cfg RecalConfig) (*Recalibrator, error) {
+	return decode.NewRecalibrator(d, cfg)
+}
+
+// RunDriftSweep runs the frozen-vs-adaptive decoder comparison across a
+// drift-intensity ladder (nil intensities = the standard 0…1 ladder).
+func RunDriftSweep(cfg FleetConfig, base DriftProfile, intensities []float64) (*DriftSweepResult, error) {
+	return fleet.RunDriftSweep(cfg, base, intensities)
+}
 
 // NewPipeline builds one steppable implant pipeline (implant idx of a
 // fleet configuration).
