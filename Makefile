@@ -8,7 +8,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test check fmt vet race bench fuzz-smoke fault-smoke serve-smoke decode-smoke obs-smoke cluster-smoke chaos-smoke drift-smoke determinism clean
+.PHONY: all build test check fmt vet race bench fuzz-smoke fault-smoke serve-smoke decode-smoke obs-smoke cluster-smoke chaos-smoke drift-smoke batch-smoke determinism clean
 
 all: build
 
@@ -135,7 +135,21 @@ drift-smoke:
 		-refit-every 12 -refit-buffer 48 -refit-blend 0.3 \
 		-drift-sweep BENCH_drift.json
 
-check: build vet fmt race fault-smoke serve-smoke decode-smoke obs-smoke cluster-smoke chaos-smoke drift-smoke fuzz-smoke
+# Batched-execution smoke: the bit-identity foundations (packed-modem
+# decision thresholds at every boundary ±1 ulp, bulk normal sampler
+# draw-for-draw against math/rand), the batched determinism wall
+# (batch × workers × scenario digests equal scalar, under the race
+# detector), the zero-allocation pin on the batched group step, and the
+# scaling baseline with its ungated single-core batched-vs-scalar
+# speedup floor (BENCH_fleet.json).
+batch-smoke:
+	$(GO) test -run 'TestDemodThresholdsExact|TestDemodBoundarySymbols|TestPackedModemIdentical' ./internal/comm/
+	$(GO) test -run 'TestFillNormBitIdentical' ./internal/detrand/
+	$(GO) test -race -run 'TestBatched|TestBatchValidate|TestReceiveScratch' ./internal/fleet/ ./internal/wearable/
+	$(GO) test -run 'TestBatchedStepAllocFree' ./internal/fleet/
+	$(GO) test -run 'TestFleetScalingBaseline' .
+
+check: build vet fmt race fault-smoke serve-smoke decode-smoke obs-smoke cluster-smoke chaos-smoke drift-smoke batch-smoke fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

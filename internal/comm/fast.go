@@ -1,0 +1,153 @@
+package comm
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+)
+
+// This file holds the batched pipeline's allocation-free fast paths:
+// word-accumulator sample packing/unpacking, a Decode variant with
+// caller-owned scratch and static rejection errors, and the AWGN
+// channel's inlined-sampler transmit. Each is bit-identical to its
+// scalar counterpart (pinned by fast_test.go); the scalar APIs remain
+// the reference implementations.
+
+// Static rejection errors for DecodeInto. Decode reports the same
+// conditions with formatted (allocating) errors; the fast path trades
+// the detail for a zero-allocation corrupt-frame path.
+var (
+	ErrBadSampleBits = errors.New("comm: frame sample bits invalid")
+	ErrBadPayloadLen = errors.New("comm: frame payload length mismatch")
+	ErrBadPadding    = errors.New("comm: nonzero payload padding bits")
+)
+
+// AppendEncodeFast is AppendEncode with a word-accumulator sample
+// packer: byte-identical frames, same errors, same sequence-counter
+// behavior, no per-bit loop.
+func (p *Packetizer) AppendEncodeFast(dst []byte, samples []uint16) ([]byte, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("comm: empty sample vector")
+	}
+	if err := checkSamples(samples, p.SampleBits); err != nil {
+		return nil, err
+	}
+	start := len(dst)
+	dst = binary.BigEndian.AppendUint16(dst, FrameMagic)
+	dst = binary.BigEndian.AppendUint32(dst, p.seq)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(samples)))
+	dst = append(dst, byte(p.SampleBits), 0)
+	dst = appendPackSamplesFast(dst, samples, p.SampleBits)
+	dst = binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:]))
+	p.seq++
+	return dst, nil
+}
+
+// appendPackSamplesFast packs MSB-first through a 64-bit accumulator —
+// byte-identical to AppendPackSamples (bits ≤ 16, so the accumulator
+// never holds more than 23 pending bits).
+func appendPackSamplesFast(dst []byte, samples []uint16, bits int) []byte {
+	var acc uint64
+	nacc := 0
+	for _, s := range samples {
+		acc = acc<<bits | uint64(s)
+		nacc += bits
+		for nacc >= 8 {
+			nacc -= 8
+			dst = append(dst, byte(acc>>nacc))
+		}
+	}
+	if nacc > 0 {
+		// Final partial byte, left-aligned with zero padding bits (the
+		// canonical-encoding invariant Decode enforces).
+		dst = append(dst, byte(acc<<(8-nacc)))
+	}
+	return dst
+}
+
+// unpackSamplesFast reverses appendPackSamplesFast into dst. data must
+// hold at least ceil(count*bits/8) bytes (DecodeInto has already
+// validated this).
+func unpackSamplesFast(dst []uint16, data []byte, count, bits int) []uint16 {
+	var acc uint64
+	nacc, di := 0, 0
+	mask := uint64(1)<<bits - 1
+	for i := 0; i < count; i++ {
+		for nacc < bits {
+			acc = acc<<8 | uint64(data[di])
+			di++
+			nacc += 8
+		}
+		nacc -= bits
+		dst = append(dst, uint16(acc>>nacc&mask))
+	}
+	return dst
+}
+
+// DecodeInto is Decode with caller-owned sample scratch: it performs the
+// same validation in the same order, rejects with static errors (so the
+// corrupt-frame path allocates nothing), and unpacks into scratch
+// instead of a fresh slice. The returned Frame's Samples alias the
+// returned scratch and are only valid until the next DecodeInto call
+// reusing it; callers that retain samples must copy.
+func DecodeInto(scratch []uint16, buf []byte) (Frame, []uint16, error) {
+	if len(buf) < frameHeaderLen+4 {
+		return Frame{}, scratch, ErrShortFrame
+	}
+	if binary.BigEndian.Uint16(buf[0:2]) != FrameMagic {
+		return Frame{}, scratch, ErrBadMagic
+	}
+	body, trailer := buf[:len(buf)-4], buf[len(buf)-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(trailer) {
+		return Frame{}, scratch, ErrBadCRC
+	}
+	seq := binary.BigEndian.Uint32(buf[2:6])
+	chans := int(binary.BigEndian.Uint16(buf[6:8]))
+	bits := int(buf[8])
+	flags := buf[9]
+	if bits < 1 || bits > 16 {
+		return Frame{}, scratch, ErrBadSampleBits
+	}
+	payload := body[frameHeaderLen:]
+	if want := (chans*bits + 7) / 8; len(payload) != want {
+		return Frame{}, scratch, ErrBadPayloadLen
+	}
+	if pad := len(payload)*8 - chans*bits; pad > 0 && payload[len(payload)-1]&(1<<pad-1) != 0 {
+		return Frame{}, scratch, ErrBadPadding
+	}
+	scratch = unpackSamplesFast(scratch[:0], payload, chans, bits)
+	return Frame{Seq: seq, SampleBits: bits, Samples: scratch, Flags: flags}, scratch, nil
+}
+
+// TransmitInPlaceFast is TransmitInPlace through the detrand fast
+// sampler: identical noise sequence and draw count, without the
+// math/rand wrapper dispatch per draw.
+func (c *AWGNChannel) TransmitInPlaceFast(syms []Symbol) {
+	sigma := c.sigma
+	for i := range syms {
+		syms[i].I += c.rng.FastNormFloat64() * sigma
+		syms[i].Q += c.rng.FastNormFloat64() * sigma
+	}
+}
+
+// TransmitSlabFast is TransmitInPlace through the bulk sampler: the
+// frame's whole noise vector is drawn into the caller-owned scratch
+// (grown as needed and returned) in one FillNorm pass, then applied.
+// The draw order is identical — TransmitInPlace consumes I then Q per
+// symbol sequentially, which is exactly scratch order — so the noisy
+// symbols and the channel's draw count are bit-identical to the scalar
+// path.
+func (c *AWGNChannel) TransmitSlabFast(syms []Symbol, scratch []float64) []float64 {
+	need := 2 * len(syms)
+	if cap(scratch) < need {
+		scratch = make([]float64, need)
+	}
+	scratch = scratch[:need]
+	c.rng.FillNorm(scratch)
+	sigma := c.sigma
+	for i := range syms {
+		syms[i].I += scratch[2*i] * sigma
+		syms[i].Q += scratch[2*i+1] * sigma
+	}
+	return scratch
+}

@@ -1,0 +1,388 @@
+package comm
+
+import (
+	"bytes"
+	"math"
+	mathbits "math/bits"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestAppendEncodeFastIdentical pins the word-accumulator encoder
+// against the reference encoder: identical frame bytes and sequence
+// evolution at every sample width.
+func TestAppendEncodeFastIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for bits := 1; bits <= 16; bits++ {
+		ref, _ := NewPacketizer(bits)
+		fast, _ := NewPacketizer(bits)
+		for iter := 0; iter < 20; iter++ {
+			n := 1 + rng.Intn(64)
+			samples := make([]uint16, n)
+			max := int(1)<<bits - 1
+			for i := range samples {
+				samples[i] = uint16(rng.Intn(max + 1))
+			}
+			want, err := ref.AppendEncode(nil, samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := fast.AppendEncodeFast(nil, samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want, got) {
+				t.Fatalf("bits=%d iter=%d: fast frame differs\n got %x\nwant %x", bits, iter, got, want)
+			}
+			if ref.Seq() != fast.Seq() {
+				t.Fatalf("bits=%d: seq diverged %d vs %d", bits, ref.Seq(), fast.Seq())
+			}
+		}
+	}
+	// Error parity: empty vector and out-of-range samples must reject.
+	p, _ := NewPacketizer(4)
+	if _, err := p.AppendEncodeFast(nil, nil); err == nil {
+		t.Error("empty sample vector accepted")
+	}
+	if _, err := p.AppendEncodeFast(nil, []uint16{16}); err == nil {
+		t.Error("out-of-range sample accepted")
+	}
+}
+
+// TestDecodeIntoIdentical pins DecodeInto against Decode on valid
+// frames and on systematic corruptions: same accept/reject decision for
+// every mutation, same decoded frame when accepted.
+func TestDecodeIntoIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var scratch []uint16
+	for bits := 1; bits <= 16; bits++ {
+		p, _ := NewPacketizer(bits)
+		samples := make([]uint16, 1+rng.Intn(48))
+		for i := range samples {
+			samples[i] = uint16(rng.Intn(int(1)<<bits)) & (1<<bits - 1)
+		}
+		frame, err := p.AppendEncode(nil, samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(buf []byte) {
+			t.Helper()
+			want, werr := Decode(buf)
+			var got Frame
+			var gerr error
+			got, scratch, gerr = DecodeInto(scratch, buf)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("bits=%d: accept mismatch: Decode err=%v DecodeInto err=%v", bits, werr, gerr)
+			}
+			if werr == nil && !reflect.DeepEqual(want, got) {
+				t.Fatalf("bits=%d: frame mismatch\n got %+v\nwant %+v", bits, got, want)
+			}
+		}
+		check(frame)
+		// Flip one bit in every byte position.
+		for i := range frame {
+			mut := append([]byte(nil), frame...)
+			mut[i] ^= 1 << uint(rng.Intn(8))
+			check(mut)
+		}
+		// Truncations.
+		for _, cut := range []int{1, 4, len(frame) - 1, len(frame)} {
+			if cut <= len(frame) {
+				check(frame[:len(frame)-cut])
+			}
+		}
+	}
+}
+
+// TestPackedModemIdentical pins the byte-oriented modem against the
+// bit-level path for every k that divides 8: identical symbols
+// (bit-for-bit), identical hard decisions after noise, and popcount
+// bit-error counts equal to the per-bit comparison.
+func TestPackedModemIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, qbits := range []int{2, 4, 8} {
+		mod := NewQAM(qbits)
+		pm, ok := NewPackedModem(mod)
+		if !ok {
+			t.Fatalf("QAM%d: packed modem unavailable", 1<<qbits)
+		}
+		bitModem, err := NewModem(mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for iter := 0; iter < 50; iter++ {
+			data := make([]byte, 1+rng.Intn(96))
+			rng.Read(data)
+
+			refBits := AppendBytesAsBits(nil, data)
+			refSyms, err := bitModem.AppendModulate(nil, refBits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotSyms := pm.AppendModulateBytes(nil, data)
+			if len(refSyms) != len(gotSyms) {
+				t.Fatalf("QAM%d: %d symbols vs %d", 1<<qbits, len(gotSyms), len(refSyms))
+			}
+			for i := range refSyms {
+				if math.Float64bits(refSyms[i].I) != math.Float64bits(gotSyms[i].I) ||
+					math.Float64bits(refSyms[i].Q) != math.Float64bits(gotSyms[i].Q) {
+					t.Fatalf("QAM%d sym %d: %+v vs %+v", 1<<qbits, i, gotSyms[i], refSyms[i])
+				}
+			}
+
+			// Same noise on both symbol streams (twin seeded channels), then
+			// demodulate both ways.
+			chA := NewAWGNChannel(4, int64(iter))
+			chB := NewAWGNChannel(4, int64(iter))
+			chA.TransmitInPlace(refSyms)
+			chB.TransmitInPlaceFast(gotSyms)
+			rxBits := bitModem.AppendDemodulate(nil, refSyms)
+			rxBytes := AppendBitsAsBytes(nil, rxBits)
+			gotBytes := pm.AppendDemodulateBytes(nil, gotSyms)
+			if !bytes.Equal(rxBytes, gotBytes) {
+				t.Fatalf("QAM%d: demodulated bytes differ\n got %x\nwant %x", 1<<qbits, gotBytes, rxBytes)
+			}
+
+			// Bit-error accounting: XOR+popcount over bytes must equal the
+			// scalar per-bit comparison (k | 8 means no pad bits exist).
+			perBit := 0
+			for i := range refBits {
+				if refBits[i] != rxBits[i] {
+					perBit++
+				}
+			}
+			pop := 0
+			for i := range data {
+				pop += mathbits.OnesCount8(data[i] ^ gotBytes[i])
+			}
+			if perBit != pop {
+				t.Fatalf("QAM%d: popcount errors %d != per-bit %d", 1<<qbits, pop, perBit)
+			}
+		}
+	}
+	// Non-applicable modulations must be declined.
+	for _, m := range []Modulation{OOK{}, NewQAM(1), NewQAM(6)} {
+		if _, ok := NewPackedModem(m); ok {
+			t.Errorf("%s: packed modem should not apply", m.Name())
+		}
+	}
+}
+
+// TestTransmitInPlaceFastIdentical pins the fast AWGN transmit against
+// the stock one on twin channels.
+func TestTransmitInPlaceFastIdentical(t *testing.T) {
+	a := NewAWGNChannel(15.8, 77)
+	b := NewAWGNChannel(15.8, 77)
+	sa := make([]Symbol, 4096)
+	sb := make([]Symbol, 4096)
+	a.TransmitInPlace(sa)
+	b.TransmitInPlaceFast(sb)
+	for i := range sa {
+		if math.Float64bits(sa[i].I) != math.Float64bits(sb[i].I) ||
+			math.Float64bits(sa[i].Q) != math.Float64bits(sb[i].Q) {
+			t.Fatalf("symbol %d: %+v vs %+v", i, sb[i], sa[i])
+		}
+	}
+	if a.Snapshot() != b.Snapshot() {
+		t.Fatal("noise-stream positions diverged")
+	}
+}
+
+// TestFECFramesIdentical pins the frame-slab codec against per-frame
+// scalar calls including the transport's modem-alignment padding.
+func TestFECFramesIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, depth := range []int{1, 4} {
+		for _, padTo := range []int{1, 4, 6} {
+			ref, _ := NewFEC(depth)
+			slab, _ := NewFEC(depth)
+			const frameBits = 72
+			const nFrames = 5
+			src := make([]byte, frameBits*nFrames)
+			for i := range src {
+				src[i] = byte(rng.Intn(2))
+			}
+			// Reference: encode+pad each frame separately.
+			var want []byte
+			for f := 0; f < nFrames; f++ {
+				enc := ref.AppendEncode(nil, src[f*frameBits:(f+1)*frameBits])
+				if padTo > 1 {
+					for len(enc)%padTo != 0 {
+						enc = append(enc, 0)
+					}
+				}
+				want = append(want, enc...)
+			}
+			got, err := slab.AppendEncodeFrames(nil, src, frameBits, padTo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want, got) {
+				t.Fatalf("depth=%d padTo=%d: coded slabs differ", depth, padTo)
+			}
+
+			// Corrupt a few bits, then decode both ways.
+			airBits := len(got) / nFrames
+			codedBits := ref.CodedBits(frameBits)
+			for i := 0; i < 8; i++ {
+				got[rng.Intn(len(got))] ^= 1
+			}
+			var wantDec []byte
+			wantFixed := make([]int, nFrames)
+			for f := 0; f < nFrames; f++ {
+				var err error
+				wantDec, wantFixed[f], err = ref.AppendDecode(wantDec, got[f*airBits:f*airBits+codedBits])
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			gotFixed := make([]int, nFrames)
+			gotDec, err := slab.AppendDecodeFrames(nil, got, airBits, codedBits, gotFixed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(wantDec, gotDec) {
+				t.Fatalf("depth=%d padTo=%d: decoded slabs differ", depth, padTo)
+			}
+			if !reflect.DeepEqual(wantFixed, gotFixed) {
+				t.Fatalf("depth=%d padTo=%d: fixed counts %v vs %v", depth, padTo, gotFixed, wantFixed)
+			}
+		}
+	}
+}
+
+func benchSamples(n, bits int) []uint16 {
+	rng := rand.New(rand.NewSource(1))
+	s := make([]uint16, n)
+	for i := range s {
+		s[i] = uint16(rng.Intn(int(1) << bits))
+	}
+	return s
+}
+
+func BenchmarkAppendEncode(b *testing.B) {
+	p, _ := NewPacketizer(10)
+	samples := benchSamples(32, 10)
+	buf := make([]byte, 0, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf, _ = p.AppendEncode(buf[:0], samples)
+	}
+}
+
+func BenchmarkAppendEncodeFast(b *testing.B) {
+	p, _ := NewPacketizer(10)
+	samples := benchSamples(32, 10)
+	buf := make([]byte, 0, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf, _ = p.AppendEncodeFast(buf[:0], samples)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	p, _ := NewPacketizer(10)
+	frame, _ := p.AppendEncode(nil, benchSamples(32, 10))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeInto(b *testing.B) {
+	p, _ := NewPacketizer(10)
+	frame, _ := p.AppendEncode(nil, benchSamples(32, 10))
+	scratch := make([]uint16, 0, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, scratch, err = DecodeInto(scratch, frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModulateBits(b *testing.B) {
+	m, _ := NewModem(NewQAM(4))
+	data := make([]byte, 54)
+	rand.New(rand.NewSource(1)).Read(data)
+	bits := AppendBytesAsBits(nil, data)
+	syms := make([]Symbol, 0, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bb := AppendBytesAsBits(bits[:0], data)
+		syms, _ = m.AppendModulate(syms[:0], bb)
+	}
+}
+
+func BenchmarkModulatePacked(b *testing.B) {
+	pm, _ := NewPackedModem(NewQAM(4))
+	data := make([]byte, 54)
+	rand.New(rand.NewSource(1)).Read(data)
+	syms := make([]Symbol, 0, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		syms = pm.AppendModulateBytes(syms[:0], data)
+	}
+}
+
+func BenchmarkDemodulateBits(b *testing.B) {
+	m, _ := NewModem(NewQAM(4))
+	data := make([]byte, 54)
+	rand.New(rand.NewSource(1)).Read(data)
+	syms, _ := m.AppendModulate(nil, AppendBytesAsBits(nil, data))
+	NewAWGNChannel(15.8, 1).TransmitInPlace(syms)
+	bits := make([]byte, 0, 512)
+	out := make([]byte, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bits = m.AppendDemodulate(bits[:0], syms)
+		out = AppendBitsAsBytes(out[:0], bits)
+	}
+}
+
+func BenchmarkDemodulatePacked(b *testing.B) {
+	pm, _ := NewPackedModem(NewQAM(4))
+	data := make([]byte, 54)
+	rand.New(rand.NewSource(1)).Read(data)
+	syms := pm.AppendModulateBytes(nil, data)
+	NewAWGNChannel(15.8, 1).TransmitInPlace(syms)
+	out := make([]byte, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out = pm.AppendDemodulateBytes(out[:0], syms)
+	}
+}
+
+// TestTransmitSlabFastIdentical pins the slab AWGN path against the
+// scalar channel: identical noisy symbols and identical serialized
+// channel state (draw counts included).
+func TestTransmitSlabFastIdentical(t *testing.T) {
+	ref := NewAWGNChannel(10, 77)
+	fast := NewAWGNChannel(10, 77)
+	var scratch []float64
+	rng := rand.New(rand.NewSource(5))
+	for block := 0; block < 50; block++ {
+		n := 1 + rng.Intn(200)
+		a := make([]Symbol, n)
+		for i := range a {
+			a[i] = Symbol{I: rng.NormFloat64(), Q: rng.NormFloat64()}
+		}
+		b := append([]Symbol(nil), a...)
+		ref.TransmitInPlace(a)
+		scratch = fast.TransmitSlabFast(b, scratch)
+		for i := range a {
+			if math.Float64bits(a[i].I) != math.Float64bits(b[i].I) ||
+				math.Float64bits(a[i].Q) != math.Float64bits(b[i].Q) {
+				t.Fatalf("block %d symbol %d: %+v != %+v", block, i, b[i], a[i])
+			}
+		}
+	}
+	if ref.Snapshot() != fast.Snapshot() {
+		t.Fatalf("channel states diverge: %+v vs %+v", fast.Snapshot(), ref.Snapshot())
+	}
+}

@@ -202,14 +202,21 @@ func (m *qamModem) AppendDemodulate(dst []byte, syms []Symbol) []byte {
 
 func (m *qamModem) nearestLevel(x float64) int {
 	// Levels are uniformly spaced at 2·scale starting at −(L−1)·scale.
-	idx := int(math.Round((x/m.scale + float64(m.levels-1)) / 2))
-	if idx < 0 {
+	// Clamping happens on the float side so the function is total and
+	// monotone for every input — an int() conversion of an
+	// out-of-range float is implementation-defined, and monotonicity
+	// is what lets the packed modem precompute decision thresholds
+	// (see demodThresholds). Reachable symbol magnitudes sit far
+	// inside the representable range, where this is the same
+	// round-then-clamp as ever.
+	r := math.Round((x/m.scale + float64(m.levels-1)) / 2)
+	switch {
+	case !(r > 0): // negative, zero, or NaN
 		return 0
-	}
-	if idx >= m.levels {
+	case r >= float64(m.levels):
 		return m.levels - 1
 	}
-	return idx
+	return int(r)
 }
 
 func checkBits(bits []byte, per int) error {

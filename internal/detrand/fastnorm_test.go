@@ -1,0 +1,136 @@
+package detrand
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFastSamplersBitIdentical replays long interleaved sequences and
+// checks the fast samplers agree bit-for-bit with the stock methods on
+// an identically seeded twin. The sequence length covers the ziggurat
+// tail and wedge branches many times over.
+func TestFastSamplersBitIdentical(t *testing.T) {
+	if !zigOK {
+		t.Fatal("ziggurat self-check failed at init; fast path is disabled")
+	}
+	for _, seed := range []int64{0, 1, 3, 99, -7, 1 << 40} {
+		a := New(seed)
+		b := New(seed)
+		for i := 0; i < 200_000; i++ {
+			switch i % 3 {
+			case 0:
+				ref, got := a.NormFloat64(), b.FastNormFloat64()
+				if math.Float64bits(ref) != math.Float64bits(got) {
+					t.Fatalf("seed %d draw %d: NormFloat64 %v != fast %v", seed, i, ref, got)
+				}
+			case 1:
+				if ref, got := a.Float64(), b.FastFloat64(); ref != got {
+					t.Fatalf("seed %d draw %d: Float64 %v != fast %v", seed, i, ref, got)
+				}
+			default:
+				// Mixing stock calls on the same stream must stay aligned:
+				// the fast methods share the underlying counting source.
+				if ref, got := a.Int63(), b.Int63(); ref != got {
+					t.Fatalf("seed %d draw %d: Int63 %v != %v", seed, i, ref, got)
+				}
+			}
+		}
+		if a.Draws() != b.Draws() {
+			t.Fatalf("seed %d: draw counts diverged: %d vs %d", seed, a.Draws(), b.Draws())
+		}
+	}
+}
+
+// TestFastSamplersCountDraws pins that the fast path consumes exactly
+// the same number of source steps as the stock path, so checkpoints
+// taken around fast draws restore identically.
+func TestFastSamplersCountDraws(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 1000; i++ {
+		r.FastNormFloat64()
+		r.FastFloat64()
+	}
+	st := r.State()
+	resumed, err := RestoreInto(New(17), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		want, got := r.NormFloat64(), resumed.FastNormFloat64()
+		if math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("draw %d after restore: %v != %v", i, want, got)
+		}
+	}
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.NormFloat64()
+	}
+	_ = sink
+}
+
+func BenchmarkFastNormFloat64(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.FastNormFloat64()
+	}
+	_ = sink
+}
+
+func BenchmarkFastFloat64(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.FastFloat64()
+	}
+	_ = sink
+}
+
+// TestFillNormBitIdentical pins the bulk sampler against the stock
+// per-call sequence, including draw-count equality across odd slab
+// sizes (rejection paths consume extra steps; the batched counter must
+// land exactly where per-call counting would).
+func TestFillNormBitIdentical(t *testing.T) {
+	if !zigOK {
+		t.Fatal("ziggurat self-check failed at init; fast path is disabled")
+	}
+	for _, seed := range []int64{0, 1, 3, 99, -7, 1 << 40} {
+		a, b := New(seed), New(seed)
+		buf := make([]float64, 0, 257)
+		for _, n := range []int{1, 2, 7, 64, 257, 1000} {
+			if cap(buf) < n {
+				buf = make([]float64, n)
+			}
+			buf = buf[:n]
+			b.FillNorm(buf)
+			for i := 0; i < n; i++ {
+				want := a.NormFloat64()
+				if math.Float64bits(want) != math.Float64bits(buf[i]) {
+					t.Fatalf("seed %d block %d draw %d: %v != %v", seed, n, i, buf[i], want)
+				}
+			}
+			if a.Draws() != b.Draws() {
+				t.Fatalf("seed %d block %d: draws %d != %d", seed, n, b.Draws(), a.Draws())
+			}
+			// Interleave a uniform draw so the streams stay aligned through
+			// mixed use.
+			if a.Float64() != b.FastFloat64() {
+				t.Fatalf("seed %d: interleaved uniform diverged", seed)
+			}
+		}
+	}
+}
+
+func BenchmarkFillNorm(b *testing.B) {
+	r := New(1)
+	buf := make([]float64, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.FillNorm(buf)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*256), "ns/draw")
+}

@@ -1,0 +1,135 @@
+package dsp
+
+import "fmt"
+
+// Slab kernels: the batched execution model runs per-channel DSP over a
+// dense row-major [rows × n] block (row r = one channel's contiguous
+// sample window) instead of one sample at a time, amortizing dispatch
+// and keeping the inner loops cache-resident. Every kernel is
+// bit-identical to its scalar counterpart: an IIR stage is causal over
+// its own state, so filtering a whole row through stage 1 then stage 2
+// produces exactly the per-sample cascade's output, and the biquad
+// arithmetic below is the same expressions as Biquad.Process with the
+// coefficients and state held in registers (pinned by slab_test.go).
+
+// ProcessBiquadSlab runs row r of the slab through filters[r] in place.
+// len(slab) must be len(filters)*n. Filter state carries across calls,
+// so consecutive slabs continue each row's stream.
+func ProcessBiquadSlab(filters []*Biquad, slab []float64, n int) error {
+	if n < 0 || len(slab) != len(filters)*n {
+		return fmt.Errorf("dsp: slab holds %d samples, want %d rows × %d", len(slab), len(filters), n)
+	}
+	for r, f := range filters {
+		row := slab[r*n : (r+1)*n]
+		b0, b1, b2, a1, a2 := f.B0, f.B1, f.B2, f.A1, f.A2
+		z1, z2 := f.z1, f.z2
+		for i, x := range row {
+			y := b0*x + z1
+			z1 = b1*x - a1*y + z2
+			z2 = b2*x - a2*y
+			row[i] = y
+		}
+		f.z1, f.z2 = z1, z2
+	}
+	return nil
+}
+
+// ProcessChainSlab runs row r of the slab through chains[r] in place,
+// stage by stage: biquad stages use the register kernel above, any
+// other Filter falls back to per-sample Process. Output is
+// bit-identical to calling chains[r].Process on each sample.
+func ProcessChainSlab(chains []Chain, slab []float64, n int) error {
+	if n < 0 || len(slab) != len(chains)*n {
+		return fmt.Errorf("dsp: slab holds %d samples, want %d rows × %d", len(slab), len(chains), n)
+	}
+	var one [1]*Biquad
+	for r, c := range chains {
+		row := slab[r*n : (r+1)*n]
+		for _, stage := range c {
+			if bq, ok := stage.(*Biquad); ok {
+				one[0] = bq
+				if err := ProcessBiquadSlab(one[:], row, n); err != nil {
+					return err
+				}
+				continue
+			}
+			for i, x := range row {
+				row[i] = stage.Process(x)
+			}
+		}
+	}
+	return nil
+}
+
+// NEOSlab computes the nonlinear energy operator row by row: out and
+// slab are [rows × n] blocks and out row r is exactly AppendNEO of slab
+// row r (ψ[i] = x[i]² − x[i−1]·x[i+1], edges zero).
+func NEOSlab(out, slab []float64, rows, n int) error {
+	if len(slab) != rows*n || len(out) != rows*n {
+		return fmt.Errorf("dsp: NEO slab shapes %d/%d, want %d rows × %d", len(out), len(slab), rows, n)
+	}
+	for r := 0; r < rows; r++ {
+		x := slab[r*n : (r+1)*n]
+		y := out[r*n : (r+1)*n]
+		for i := range y {
+			y[i] = 0
+		}
+		for i := 1; i+1 < n; i++ {
+			y[i] = x[i]*x[i] - x[i-1]*x[i+1]
+		}
+	}
+	return nil
+}
+
+// DetectSlab runs the NEO detector over every row of a slab, appending
+// row r's spike indices to out[r] (out is grown to rows entries when
+// shorter). Per-row results are identical to Detect; the ψ and
+// smoothing scratch is shared across rows.
+func (d NEODetector) DetectSlab(out [][]int, slab []float64, rows, n int) ([][]int, error) {
+	if len(slab) != rows*n {
+		return out, fmt.Errorf("dsp: slab holds %d samples, want %d rows × %d", len(slab), rows, n)
+	}
+	if d.ThresholdFactor <= 0 || d.SmoothSamples < 1 {
+		return out, fmt.Errorf("dsp: invalid NEO detector parameters")
+	}
+	ma, err := NewMovingAverage(d.SmoothSamples)
+	if err != nil {
+		return out, err
+	}
+	for len(out) < rows {
+		out = append(out, nil)
+	}
+	scratch := getF64Buf()
+	defer putF64Buf(scratch)
+	for r := 0; r < rows; r++ {
+		xs := slab[r*n : (r+1)*n]
+		psi := AppendNEO((*scratch)[:0], xs)
+		ma.Reset()
+		psi = AppendProcessBlock(psi, ma, psi[:n])
+		*scratch = psi
+		smooth := psi[n:]
+		mean := 0.0
+		for _, v := range smooth {
+			mean += v
+		}
+		if len(smooth) > 0 {
+			mean /= float64(len(smooth))
+		}
+		if mean <= 0 {
+			continue
+		}
+		thr := d.ThresholdFactor * mean
+		hold := 0
+		for i, v := range smooth {
+			if hold > 0 {
+				hold--
+				continue
+			}
+			if v > thr {
+				out[r] = append(out[r], i)
+				hold = d.RefractorySamples
+			}
+		}
+	}
+	return out, nil
+}

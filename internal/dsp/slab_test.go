@@ -1,0 +1,191 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func randSlab(rng *rand.Rand, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	return xs
+}
+
+// TestProcessBiquadSlabBitIdentical pins the register-kernel biquad
+// against per-sample Process, including state carry across slab calls.
+func TestProcessBiquadSlabBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const rows, n = 6, 128
+	mk := func() []*Biquad {
+		fs := make([]*Biquad, rows)
+		for r := range fs {
+			f, err := NewLowpass(300+50*float64(r), 30000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs[r] = f
+		}
+		return fs
+	}
+	slabF, refF := mk(), mk()
+	for block := 0; block < 4; block++ {
+		src := randSlab(rng, rows*n)
+		want := append([]float64(nil), src...)
+		for r := 0; r < rows; r++ {
+			for i := 0; i < n; i++ {
+				want[r*n+i] = refF[r].Process(want[r*n+i])
+			}
+		}
+		got := append([]float64(nil), src...)
+		if err := ProcessBiquadSlab(slabF, got, n); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+				t.Fatalf("block %d sample %d: %v != %v", block, i, got[i], want[i])
+			}
+		}
+	}
+	if err := ProcessBiquadSlab(mk(), make([]float64, 3), n); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+// TestProcessChainSlabBitIdentical pins the cascaded slab path
+// (bandpass = highpass→lowpass, plus an FIR fallback stage) against
+// per-sample Chain.Process.
+func TestProcessChainSlabBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const rows, n = 4, 96
+	mk := func() []Chain {
+		cs := make([]Chain, rows)
+		for r := range cs {
+			bp, err := NewBandpass(300, 5000, 30000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ma, err := NewMovingAverage(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs[r] = append(bp, ma)
+		}
+		return cs
+	}
+	slabC, refC := mk(), mk()
+	for block := 0; block < 3; block++ {
+		src := randSlab(rng, rows*n)
+		want := append([]float64(nil), src...)
+		for r := 0; r < rows; r++ {
+			for i := 0; i < n; i++ {
+				want[r*n+i] = refC[r].Process(want[r*n+i])
+			}
+		}
+		got := append([]float64(nil), src...)
+		if err := ProcessChainSlab(slabC, got, n); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+				t.Fatalf("block %d sample %d: %v != %v", block, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestNEOSlabMatchesAppendNEO pins the slab ψ kernel against the scalar
+// reference, and the slab detection path against per-row Detect.
+func TestNEOSlabMatchesAppendNEO(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const rows, n = 5, 400
+	slab := randSlab(rng, rows*n)
+	// Plant an obvious transient per row.
+	for r := 0; r < rows; r++ {
+		slab[r*n+50+3*r] = 40
+	}
+	out := make([]float64, rows*n)
+	if err := NEOSlab(out, slab, rows, n); err != nil {
+		t.Fatal(err)
+	}
+	d := NewNEODetector(30000)
+	hits, err := d.DetectSlab(nil, slab, rows, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < rows; r++ {
+		want := AppendNEO(nil, slab[r*n:(r+1)*n])
+		got := out[r*n : (r+1)*n]
+		for i := range want {
+			if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+				t.Fatalf("row %d sample %d: ψ %v != %v", r, i, got[i], want[i])
+			}
+		}
+		refHits, err := d.Detect(slab[r*n : (r+1)*n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(hits[r], refHits) {
+			t.Fatalf("row %d: slab detections %v != scalar %v", r, hits[r], refHits)
+		}
+		found := false
+		for _, h := range refHits {
+			if h >= 50+3*r-2 && h <= 50+3*r+2 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("row %d: planted transient not detected (hits %v)", r, refHits)
+		}
+	}
+	if err := NEOSlab(out[:1], slab, rows, n); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	if _, err := d.DetectSlab(nil, slab[:1], rows, n); err == nil {
+		t.Error("detect shape mismatch accepted")
+	}
+}
+
+func BenchmarkBiquadPerSample(b *testing.B) {
+	f, _ := NewLowpass(300, 30000)
+	xs := randSlab(rand.New(rand.NewSource(1)), 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, x := range xs {
+			sink = f.Process(x)
+		}
+	}
+}
+
+func BenchmarkBiquadSlab(b *testing.B) {
+	const rows = 16
+	fs := make([]*Biquad, rows)
+	for r := range fs {
+		fs[r], _ = NewLowpass(300, 30000)
+	}
+	slab := randSlab(rand.New(rand.NewSource(1)), rows*1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ProcessBiquadSlab(fs, slab, 1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNEOSlab(b *testing.B) {
+	const rows, n = 16, 1024
+	slab := randSlab(rand.New(rand.NewSource(1)), rows*n)
+	out := make([]float64, rows*n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := NEOSlab(out, slab, rows, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var sink float64

@@ -1,0 +1,158 @@
+package fleet
+
+import (
+	"testing"
+)
+
+// newBenchGroup builds a batch group of n implants under cfg with every
+// per-implant buffer warmed by a few ticks, mirroring runBatchShard's
+// assembly (timing stripped from the build config, columns assembled
+// against the original).
+func newBenchGroup(tb testing.TB, cfg Config, n int) *batchGroup {
+	tb.Helper()
+	buildCfg := cfg
+	buildCfg.StageTiming = nil
+	ps := make([]*Pipeline, n)
+	for i := 0; i < n; i++ {
+		p, err := NewPipeline(buildCfg, i, 0)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		ps[i] = p
+		tb.Cleanup(p.Close)
+	}
+	g := newBatchGroup(cfg, ps, &batchArena{})
+	for i := 0; i < 64; i++ {
+		if err := g.step(); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return g
+}
+
+// TestBatchedStepAllocFree pins the batched hot loop's allocation
+// behavior: once buffers reach steady state, a whole group tick — all
+// columns over all implants — allocates nothing. This is the property
+// the arena, the Append*Fast kernels and the scratch receiver exist
+// for; any regression here silently costs the 3× batched speedup to GC
+// pressure.
+func TestBatchedStepAllocFree(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Implants = 16
+	cfg.Batch = 16
+	g := newBenchGroup(t, cfg, cfg.Implants)
+	avg := testing.AllocsPerRun(200, func() {
+		if err := g.step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("batched group step allocates %.2f times at steady state, want 0", avg)
+	}
+}
+
+// benchmarkBatchedStage times one batched column in isolation: the
+// other columns still run every iteration (the pipeline's state must
+// advance coherently) but outside the timer window. ns/op is the
+// column's cost per group tick; ns/frame divides by the batch size for
+// comparison with the scalar per-implant numbers.
+func benchmarkBatchedStage(b *testing.B, col string) {
+	const n = 16
+	cfg := DefaultConfig()
+	cfg.Implants = n
+	cfg.Batch = n
+	g := newBenchGroup(b, cfg, n)
+	target := -1
+	for i, c := range g.cols {
+		if c.Name() == col {
+			target = i
+		}
+	}
+	if target < 0 {
+		b.Fatalf("no %q column", col)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.StopTimer()
+	for i := 0; i < b.N; i++ {
+		g.beginTick()
+		for j := 0; j < target; j++ {
+			if err := g.cols[j].BatchStep(g.tks); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		err := g.cols[target].BatchStep(g.tks)
+		b.StopTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := target + 1; j < len(g.cols); j++ {
+			if err := g.cols[j].BatchStep(g.tks); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/frame")
+}
+
+func BenchmarkBatchedStageStep(b *testing.B) {
+	b.Run("source", func(b *testing.B) { benchmarkBatchedStage(b, "source") })
+	b.Run("transport", func(b *testing.B) { benchmarkBatchedStage(b, "transport") })
+	b.Run("receiver", func(b *testing.B) { benchmarkBatchedStage(b, "receiver") })
+}
+
+// benchmarkScalarStage is the scalar counterpart: one implant stepped
+// through the ordinary stage list, timing only the named stage.
+func benchmarkScalarStage(b *testing.B, col string) {
+	cfg := DefaultConfig()
+	cfg.Implants = 1
+	p, err := NewPipeline(cfg, 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(p.Close)
+	target := -1
+	for i, s := range p.stages {
+		if s.Name() == col {
+			target = i
+		}
+	}
+	if target < 0 {
+		b.Fatalf("no %q stage", col)
+	}
+	for i := 0; i < 64; i++ {
+		if err := p.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.StopTimer()
+	for i := 0; i < b.N; i++ {
+		p.tk = Tick{N: p.tick, Res: &p.res}
+		p.tick++
+		for j := 0; j < target; j++ {
+			if err := p.stages[j].Step(&p.tk); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		err := p.stages[target].Step(&p.tk)
+		b.StopTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := target + 1; j < len(p.stages); j++ {
+			if err := p.stages[j].Step(&p.tk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/frame")
+}
+
+func BenchmarkScalarStageStep(b *testing.B) {
+	b.Run("source", func(b *testing.B) { benchmarkScalarStage(b, "source") })
+	b.Run("transport", func(b *testing.B) { benchmarkScalarStage(b, "transport") })
+	b.Run("receiver", func(b *testing.B) { benchmarkScalarStage(b, "receiver") })
+}

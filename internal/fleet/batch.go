@@ -1,0 +1,382 @@
+package fleet
+
+import (
+	"fmt"
+	mathbits "math/bits"
+	"time"
+
+	"mindful/internal/comm"
+	"mindful/internal/neural"
+	"mindful/internal/obs"
+)
+
+// Batched execution: instead of stepping each implant's pipeline to
+// completion one at a time, a worker partitions its shard into groups of
+// Config.Batch implants and steps the whole group tick-by-tick, one
+// stage column at a time — all sources, then all transports, then all
+// receivers. The columns run over contiguous structure-of-arrays slabs
+// (one sample row per implant, one symbol segment per implant) shared
+// through a per-worker arena, which is where the throughput comes from:
+// the slab kernels in neural, dsp and comm amortize per-call dispatch
+// and keep their inner loops free of allocation and interface hops.
+//
+// Bit-identity with the scalar path is by construction, not by luck:
+// every random draw in the simulation comes from a per-(implant, purpose)
+// SplitMix64-derived stream, so interleaving implants at tick granularity
+// cannot reorder any single implant's draws — each stream advances
+// exactly when that implant's stage would have advanced it in the scalar
+// schedule. Stages with cross-tick feedback that has no batched kernel
+// (decode, adapt) and transports the packed modem cannot express (ARQ,
+// FEC, OOK/BPSK/QAM64) run through scalarBatch, the compatibility column
+// that steps the ordinary per-implant stages — so every configuration
+// batches, and the determinism wall pins batched == scalar digests for
+// all of them.
+
+// batchArena is the per-worker scratch shared by every group the worker
+// steps: one sample slab (implants × channels) and one symbol slab
+// (implants × symbols-per-frame). Groups run sequentially on their
+// worker, so sharing is safe and steady-state ticks allocate nothing.
+type batchArena struct {
+	samples []float64
+	syms    []comm.Symbol
+	noise   []float64
+}
+
+// batchedSource steps the source column: per-implant drift, intent and
+// brownout phases (each on its own derived stream), one NextSlab fill
+// over the group's sample slab, then per-implant electrode faults,
+// ADC quantization and frame encoding through the allocation-free fast
+// kernels. The phase split preserves each implant's draw order because
+// no phase shares a stream across implants.
+type batchedSource struct {
+	channels int
+	srcs     []*sourceStage
+	gens     []*neural.Generator
+	slab     []float64
+}
+
+func (b *batchedSource) Name() string { return "source" }
+
+func (b *batchedSource) BatchStep(tks []*Tick) error {
+	for i, s := range b.srcs {
+		tk := tks[i]
+		if err := s.drift.Tick(s.gen); err != nil {
+			tk.Res.Err = err
+			return err
+		}
+		s.gen.SetIntent(intentAt(s.phase, tk.N))
+		tk.Blanked = s.brown.Tick()
+		b.gens[i] = s.gen
+	}
+	if err := neural.NextSlab(b.gens, b.slab, b.channels); err != nil {
+		tks[0].Res.Err = err
+		return err
+	}
+	for i, s := range b.srcs {
+		tk := tks[i]
+		row := b.slab[i*b.channels : (i+1)*b.channels]
+		s.elec.Apply(row) // nil-safe: no-op without electrode faults
+		s.codeBuf = s.adc.AppendQuantizeFast(s.codeBuf[:0], row)
+		frame, err := s.pkt.AppendEncodeFast((*s.framePtr)[:0], s.codeBuf)
+		if err != nil {
+			tk.Res.Err = err
+			return err
+		}
+		*s.framePtr = frame
+		tk.Frame = frame
+		if tk.Blanked {
+			tk.Res.Blanked++
+		} else {
+			tk.Res.Frames++
+		}
+	}
+	return nil
+}
+
+// batchedTransport steps the uplink column through the packed byte
+// modem: modulate every implant's frame into one symbol slab, run each
+// implant's AWGN channel over its segment (the only phase that draws
+// randomness, per-implant streams), then demodulate straight back to
+// bytes and count bit errors by XOR+popcount. It exists only for
+// configurations the packed modem proves equivalent for — square QAM
+// with 8 % bits == 0, no FEC, no ARQ — where a frame maps to a whole
+// number of symbols with no pad bits, so the popcount equals the scalar
+// path's per-bit comparison exactly. The burst link is per-implant
+// state on its own stream and composes unchanged.
+type batchedTransport struct {
+	pm    *comm.PackedModem
+	ts    []*transportStage
+	arena *batchArena
+}
+
+func (b *batchedTransport) Name() string { return "transport" }
+
+func (b *batchedTransport) BatchStep(tks []*Tick) error {
+	k := b.pm.BitsPerSymbol()
+	spf := 0
+	for _, tk := range tks {
+		if !tk.Blanked {
+			spf = len(tk.Frame) * 8 / k
+			break
+		}
+	}
+	if spf == 0 {
+		return nil // the whole group is browned out this tick
+	}
+	if need := len(tks) * spf; cap(b.arena.syms) < need {
+		b.arena.syms = make([]comm.Symbol, 0, need)
+	}
+	syms := b.arena.syms[:0]
+	for _, tk := range tks {
+		if tk.Blanked {
+			continue
+		}
+		if len(tk.Frame)*8/k != spf {
+			err := fmt.Errorf("fleet: batched frame length diverged: %d vs %d symbols", len(tk.Frame)*8/k, spf)
+			tk.Res.Err = err
+			return err
+		}
+		syms = b.pm.AppendModulateBytes(syms, tk.Frame)
+	}
+	b.arena.syms = syms
+	off := 0
+	for i, tk := range tks {
+		if tk.Blanked {
+			continue
+		}
+		b.arena.noise = b.ts[i].channel.TransmitSlabFast(syms[off:off+spf], b.arena.noise)
+		off += spf
+	}
+	off = 0
+	for i, tk := range tks {
+		if tk.Blanked {
+			continue
+		}
+		t := b.ts[i]
+		frame := tk.Frame
+		rxFrame := b.pm.AppendDemodulateBytes((*t.rxFramePtr)[:0], syms[off:off+spf])
+		off += spf
+		*t.rxFramePtr = rxFrame
+		for j := range frame {
+			tk.Res.BitErrors += int64(mathbits.OnesCount8(frame[j] ^ rxFrame[j]))
+		}
+		tk.Res.BitsSent += int64(len(frame) * 8)
+		if t.link != nil {
+			out := t.link.AppendTransport((*t.linkPtr)[:0], rxFrame)
+			if out == nil {
+				tk.Res.LinkDropped++
+				continue
+			}
+			*t.linkPtr = out
+			rxFrame = out
+		}
+		tk.Delivered = rxFrame
+	}
+	return nil
+}
+
+// batchedReceiver steps the wearable column through the scratch-decode
+// path: same validation, counters, concealment and digest as the scalar
+// receiver stage, with frame samples decoded into a per-implant scratch
+// slice instead of a fresh allocation.
+type batchedReceiver struct {
+	rs []*receiverStage
+}
+
+func (b *batchedReceiver) Name() string { return "receiver" }
+
+func (b *batchedReceiver) BatchStep(tks []*Tick) error {
+	for i, r := range b.rs {
+		if err := r.stepScratch(tks[i]); err != nil {
+			tks[i].Res.Err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// scalarBatch adapts one column of per-implant scalar stages to the
+// batched runner — the compatibility fallback that keeps every
+// configuration batchable: decode and adapt always run here, and the
+// transport column does when ARQ, FEC or a non-packable modulation is
+// configured. Stepping the scalar stages in group order is trivially
+// draw-order preserving (each call is exactly the scalar schedule's
+// call, on streams no other implant touches).
+type scalarBatch struct {
+	name   string
+	stages []Stage
+}
+
+func scalarColumn(ps []*Pipeline, j int) *scalarBatch {
+	b := &scalarBatch{name: ps[0].stages[j].Name(), stages: make([]Stage, len(ps))}
+	for i, p := range ps {
+		b.stages[i] = p.stages[j]
+	}
+	return b
+}
+
+func (b *scalarBatch) Name() string { return b.name }
+
+func (b *scalarBatch) BatchStep(tks []*Tick) error {
+	for i, s := range b.stages {
+		if err := s.Step(tks[i]); err != nil {
+			tks[i].Res.Err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// timedExec decorates a batch column with wall-time attribution:
+// ObserveBatch spreads the column's elapsed time over the implants it
+// stepped, so Count keeps its frames meaning and MeanNs stays ns/frame,
+// comparable with the scalar per-step timings. Digest-neutral, like the
+// scalar timedStage.
+type timedExec struct {
+	inner BatchStage
+	clock *obs.StageClock
+}
+
+func (t *timedExec) Name() string { return t.inner.Name() }
+
+func (t *timedExec) BatchStep(tks []*Tick) error {
+	start := time.Now()
+	err := t.inner.BatchStep(tks)
+	t.clock.ObserveBatch(time.Since(start).Nanoseconds(), len(tks))
+	return err
+}
+
+// batchGroup is one group of pipelines stepped in tick lockstep through
+// the stage columns.
+type batchGroup struct {
+	ps   []*Pipeline
+	tks  []*Tick
+	cols []BatchStage
+}
+
+// newBatchGroup assembles the column executors for a group of pipelines
+// built under the same config. The pipelines must have been built with
+// StageTiming stripped (the columns are timed as units here, against the
+// original config's timer).
+func newBatchGroup(cfg Config, ps []*Pipeline, arena *batchArena) *batchGroup {
+	n := len(ps)
+	g := &batchGroup{ps: ps, tks: make([]*Tick, n)}
+
+	bs := &batchedSource{
+		channels: cfg.Channels,
+		srcs:     make([]*sourceStage, n),
+		gens:     make([]*neural.Generator, n),
+	}
+	for i, p := range ps {
+		bs.srcs[i] = p.src
+	}
+	if need := n * cfg.Channels; cap(arena.samples) < need {
+		arena.samples = make([]float64, need)
+	}
+	bs.slab = arena.samples[:n*cfg.Channels]
+	g.cols = append(g.cols, bs)
+
+	if pm, ok := comm.NewPackedModem(cfg.Modulation); ok && cfg.FECDepth == 0 && !cfg.ARQ.Enabled() {
+		bt := &batchedTransport{pm: pm, ts: make([]*transportStage, n), arena: arena}
+		for i, p := range ps {
+			bt.ts[i] = p.trans
+		}
+		g.cols = append(g.cols, bt)
+	} else {
+		g.cols = append(g.cols, scalarColumn(ps, 1))
+	}
+
+	br := &batchedReceiver{rs: make([]*receiverStage, n)}
+	for i, p := range ps {
+		br.rs[i] = p.recv
+	}
+	g.cols = append(g.cols, br)
+
+	for j := 3; j < len(ps[0].stages); j++ {
+		g.cols = append(g.cols, scalarColumn(ps, j))
+	}
+
+	if cfg.StageTiming != nil {
+		for i, c := range g.cols {
+			g.cols[i] = &timedExec{inner: c, clock: cfg.StageTiming.Clock(c.Name())}
+		}
+	}
+	return g
+}
+
+// beginTick rebuilds every pipeline's Tick record in place (decode
+// stages hold a pointer to it), exactly as the scalar Step does.
+func (g *batchGroup) beginTick() {
+	for i, p := range g.ps {
+		p.tk = Tick{N: p.tick, Res: &p.res}
+		p.tick++
+		g.tks[i] = &p.tk
+	}
+}
+
+// step advances every pipeline in the group one tick, column by column.
+func (g *batchGroup) step() error {
+	g.beginTick()
+	for _, c := range g.cols {
+		if err := c.BatchStep(g.tks); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runBatchShard is the batched counterpart of the runImplant loop: the
+// worker's implants, in shard order, partitioned into groups of
+// cfg.Batch and stepped in lockstep. Results land in the same disjoint
+// slots, so aggregation is identical to the scalar path.
+func runBatchShard(cfg Config, w, workers int, results []ImplantResult) {
+	buildCfg := cfg
+	buildCfg.StageTiming = nil // columns are timed whole by timedExec
+	var idxs []int
+	for i := w; i < cfg.Implants; i += workers {
+		idxs = append(idxs, i)
+	}
+	arena := &batchArena{}
+	for start := 0; start < len(idxs); start += cfg.Batch {
+		end := start + cfg.Batch
+		if end > len(idxs) {
+			end = len(idxs)
+		}
+		ps := make([]*Pipeline, 0, end-start)
+		for _, idx := range idxs[start:end] {
+			p, err := NewPipeline(buildCfg, idx, w)
+			if err != nil {
+				results[idx] = ImplantResult{Index: idx, Worker: w, Digest: fnvOffset, Err: err}
+				continue
+			}
+			ps = append(ps, p)
+		}
+		if len(ps) == 0 {
+			continue
+		}
+		g := newBatchGroup(cfg, ps, arena)
+		for t := 0; t < cfg.Ticks; t++ {
+			if err := g.step(); err != nil {
+				carried := false
+				for _, p := range ps {
+					if p.res.Err != nil {
+						carried = true
+						break
+					}
+				}
+				if !carried {
+					ps[0].res.Err = err
+				}
+				break
+			}
+		}
+		for _, p := range ps {
+			res := p.Result()
+			if res.Err == nil {
+				flushObserver(cfg, res, w)
+			}
+			results[res.Index] = res
+			p.Close()
+		}
+	}
+}

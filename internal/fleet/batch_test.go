@@ -1,0 +1,192 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mindful/internal/comm"
+	"mindful/internal/fault"
+)
+
+// packedFaultConfig returns a scenario that keeps the packed transport
+// eligible (no ARQ, no FEC) while injecting every per-implant fault
+// process — burst link drops, brownouts and electrode faults all ride
+// through the batched columns.
+func packedFaultConfig() Config {
+	cfg := testConfig()
+	p := fault.DefaultProfile()
+	cfg.Faults = &p
+	return cfg
+}
+
+// TestBatchedDeterminismWall is the batched half of the determinism
+// wall: for every scenario — packed fast path, every scalar-fallback
+// trigger (FEC, ARQ, non-packable modulation), faults, drift and the
+// closed decode loop — the batched runner must produce byte-identical
+// aggregates and per-implant results to the scalar reference, for every
+// batch size × worker count, under -race (the tier-1.5 gate runs this
+// file with the race detector).
+func TestBatchedDeterminismWall(t *testing.T) {
+	drifting := packedFaultConfig()
+	driftProf := driftProfile()
+	drifting.Drift = &driftProf
+	drifting.Decode = DecodeConfig{Kind: DecoderKalman, Track: true, Adapt: true}
+
+	fecOnly := testConfig()
+	fecOnly.FECDepth = 4
+
+	qam64 := testConfig()
+	qam64.Modulation = comm.NewQAM(6)
+	qam64.EbN0dB = 16
+
+	scenarios := []struct {
+		name string
+		cfg  Config
+	}{
+		// Packed transport: square QAM, no FEC, no ARQ.
+		{"clean", testConfig()},
+		// Packed transport with every fault process injected.
+		{"faults", packedFaultConfig()},
+		// Packed transport + scalar decode/adapt columns + drift.
+		{"drift_decode", drifting},
+		// Scalar-fallback transport: FEC breaks packed eligibility.
+		{"fec", fecOnly},
+		// Scalar-fallback transport: ARQ + FEC + full fault profile.
+		{"harsh", faultConfig()},
+		// Scalar-fallback transport: 6 bits/symbol does not divide 8.
+		{"qam64", qam64},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			cfg := sc.cfg
+			cfg.Workers = 1
+			cfg.Batch = 0
+			ref, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.BitErrors == 0 {
+				t.Fatal("operating point produced zero bit errors; the wall would not exercise the noisy path")
+			}
+			want := deterministicFields(ref)
+			for _, batch := range []int{1, 4, 16} {
+				for _, workers := range []int{1, 2, 4} {
+					batch, workers := batch, workers
+					t.Run(fmt.Sprintf("batch=%d/workers=%d", batch, workers), func(t *testing.T) {
+						t.Parallel()
+						c := cfg
+						c.Batch = batch
+						c.Workers = workers
+						got, err := Run(c)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if g := deterministicFields(got); !reflect.DeepEqual(g, want) {
+							t.Errorf("aggregate diverged:\n got %+v\nwant %+v", g, want)
+						}
+						for i := range got.PerImplant {
+							g, w := got.PerImplant[i], ref.PerImplant[i]
+							g.Worker, w.Worker = 0, 0
+							if g != w {
+								t.Errorf("implant %d diverged:\n got %+v\nwant %+v", i, g, w)
+							}
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestBatchedStageTiming checks the batched runner's timing attribution:
+// one clock per column, frame counts equal to implants × ticks, and the
+// digest untouched by the decorator.
+func TestBatchedStageTiming(t *testing.T) {
+	cfg := testConfig()
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, agg, err := RunProfile(withBatch(cfg, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Digest != ref.Digest {
+		t.Errorf("timed batched digest %#x != scalar %#x", agg.Digest, ref.Digest)
+	}
+	if prof.Batch != 4 {
+		t.Errorf("profile batch = %d, want 4", prof.Batch)
+	}
+	frames := int64(cfg.Implants * cfg.Ticks)
+	for _, s := range prof.Stages {
+		if s.Count != frames {
+			t.Errorf("stage %s count = %d, want %d", s.Stage, s.Count, frames)
+		}
+		if s.Count > 0 && (s.P50Ns < float64(s.MinNs) || s.P99Ns > float64(s.MaxNs)) {
+			t.Errorf("stage %s quantiles outside [min,max]", s.Stage)
+		}
+	}
+}
+
+func withBatch(cfg Config, b int) Config {
+	cfg.Batch = b
+	return cfg
+}
+
+// TestBatchedCheckpointCompatible pins the serve-path interaction: a
+// pipeline snapshot taken from a scalar run restores and continues
+// identically whether the original fleet ran batched or not — Batch is
+// a runner choice, not simulation state.
+func TestBatchedCheckpointCompatible(t *testing.T) {
+	cfg := testConfig()
+	cfg.Batch = 4
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline(cfg, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i := 0; i < 10; i++ {
+		if err := p.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := RestorePipeline(cfg, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	for i := 0; i < 10; i++ {
+		if err := p.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pr, qr := p.Result(), q.Result()
+	if pr.Digest != qr.Digest {
+		t.Errorf("restored digest %#x != original %#x", qr.Digest, pr.Digest)
+	}
+}
+
+// TestBatchValidate pins the new config checks.
+func TestBatchValidate(t *testing.T) {
+	cfg := testConfig()
+	cfg.Batch = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative batch accepted")
+	}
+	cfg.Batch = 1
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("batch=1 rejected: %v", err)
+	}
+}

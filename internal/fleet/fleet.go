@@ -44,6 +44,13 @@ type Config struct {
 	// Workers is the number of concurrent worker goroutines; values < 1
 	// run single-threaded. The result is identical for every value.
 	Workers int
+	// Batch is the number of implants each worker steps in tick lockstep
+	// per stage invocation, over shared structure-of-arrays slabs; values
+	// < 2 run the scalar per-implant path. Every deterministic output —
+	// aggregate and per-implant digests included — is identical for every
+	// value: batching interleaves implants at tick granularity, which
+	// cannot reorder any single implant's per-stream random draws.
+	Batch int
 	// Ticks is the number of frames each implant transmits.
 	Ticks int
 	// Channels is the per-implant electrode count.
@@ -117,6 +124,9 @@ func (c Config) Validate() error {
 	}
 	if c.Ticks < 1 {
 		return errors.New("fleet: need at least one tick")
+	}
+	if c.Batch < 0 {
+		return fmt.Errorf("fleet: negative batch size %d", c.Batch)
 	}
 	if c.Channels < 1 {
 		return errors.New("fleet: need at least one channel")
@@ -361,6 +371,10 @@ func Run(cfg Config) (*Aggregate, error) {
 			defer wg.Done()
 			// Static round-robin sharding: implant i always belongs to
 			// shard i mod workers, and each slot is written exactly once.
+			if cfg.Batch > 1 {
+				runBatchShard(cfg, w, workers, results)
+				return
+			}
 			for i := w; i < cfg.Implants; i += workers {
 				results[i] = runImplant(cfg, i, w)
 			}
@@ -454,7 +468,14 @@ func runImplant(cfg Config, idx, worker int) ImplantResult {
 		}
 	}
 	res := p.Result()
+	flushObserver(cfg, res, worker)
+	return res
+}
 
+// flushObserver publishes one implant's finished counters to the
+// configured observer under its shard label. Called from both execution
+// modes once an implant completes without error.
+func flushObserver(cfg Config, res ImplantResult, worker int) {
 	if cfg.Observer != nil {
 		reg := cfg.Observer.Metrics
 		lbl := obs.Label{Key: "shard", Value: strconv.Itoa(worker)}
@@ -503,5 +524,4 @@ func runImplant(cfg Config, idx, worker int) ImplantResult {
 		reg.Help("fleet_fec_corrected_bits_total", "Bit errors fixed by the Hamming decoder.")
 		reg.Help("fleet_frames_concealed_total", "Gap frames synthesized by the wearable.")
 	}
-	return res
 }

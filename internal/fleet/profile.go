@@ -16,6 +16,7 @@ type StageProfile struct {
 	Implants  int    `json:"implants"`
 	Workers   int    `json:"workers"`
 	Ticks     int    `json:"ticks"`
+	Batch     int    `json:"batch"`
 	Digest    string `json:"digest"`
 	ElapsedNs int64  `json:"elapsed_ns"`
 	// Stages is sorted by stage name; Count is Steps (implants×ticks for
@@ -38,6 +39,7 @@ func RunProfile(cfg Config) (*StageProfile, *Aggregate, error) {
 		Implants:  agg.Implants,
 		Workers:   agg.Workers,
 		Ticks:     agg.Ticks,
+		Batch:     cfg.Batch,
 		Digest:    fmt.Sprintf("%016x", agg.Digest),
 		ElapsedNs: agg.Elapsed.Nanoseconds(),
 		Stages:    timer.Stats(),

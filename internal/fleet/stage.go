@@ -60,6 +60,22 @@ type Stage interface {
 	Close()
 }
 
+// BatchStage is the batched-execution capability of the stage layer: one
+// invocation steps a whole group of implants' Tick records, letting the
+// implementation run slab kernels across the batch. The scalar Step
+// remains the compatibility path — any stage without a batched executor
+// runs through scalarBatch, which steps the per-implant stages in group
+// order. Per-implant digests are bit-identical either way because every
+// random draw comes from a per-(implant, purpose) stream that only that
+// implant's stages advance.
+type BatchStage interface {
+	// Name identifies the column, matching the scalar stage's name so
+	// timing attribution lines up across execution modes.
+	Name() string
+	// BatchStep advances every tick in the batch through this column.
+	BatchStep(tks []*Tick) error
+}
+
 // sourceStage is the implant side: synthetic cortex → electrode faults →
 // ADC → frame encoder, with the brownout process gating the radio.
 type sourceStage struct {
@@ -359,6 +375,9 @@ func (t *transportStage) Close() {
 type receiverStage struct {
 	rx        *wearable.Receiver
 	onDeliver func(tick int, data []byte, accepted bool)
+	// scratch backs the batched path's allocation-free frame decode; the
+	// decoded samples alias it until the implant's next tick.
+	scratch []uint16
 }
 
 func (r *receiverStage) Name() string { return "receiver" }
@@ -369,6 +388,41 @@ func (r *receiverStage) Step(tk *Tick) error {
 	}
 	got := tk.Delivered
 	fr, rerr := r.rx.Receive(got) // CRC-rejected frames are counted as corrupt
+	frame := tk.Frame
+	tk.Res.DataBits += int64(len(frame) * 8)
+	for i, b := range frame {
+		if i < len(got) {
+			tk.Res.DataBitErrors += int64(mathbits.OnesCount8(b ^ got[i]))
+		} else {
+			tk.Res.DataBitErrors += 8
+		}
+	}
+	for _, b := range got {
+		tk.Res.Digest = (tk.Res.Digest ^ uint64(b)) * fnvPrime
+	}
+	if rerr == nil {
+		tk.RxFrame = fr
+		tk.RxOK = true
+	}
+	if r.onDeliver != nil {
+		r.onDeliver(tk.N, got, rerr == nil)
+	}
+	return nil
+}
+
+// stepScratch is Step for the batched path: identical accounting with
+// the frame decoded into the stage-owned scratch slice. Bit-identical
+// because ReceiveScratch mirrors Receive exactly and every consumer of
+// the samples (record, remember, conceal, decode accumulate) copies or
+// folds synchronously.
+func (r *receiverStage) stepScratch(tk *Tick) error {
+	if tk.Blanked || tk.Delivered == nil {
+		return nil
+	}
+	got := tk.Delivered
+	var fr comm.Frame
+	var rerr error
+	fr, r.scratch, rerr = r.rx.ReceiveScratch(got, r.scratch)
 	frame := tk.Frame
 	tk.Res.DataBits += int64(len(frame) * 8)
 	for i, b := range frame {

@@ -1,0 +1,93 @@
+package neural
+
+import (
+	"fmt"
+	"math"
+)
+
+// Batched sensing kernels: the fleet's batch runner steps B implants in
+// tick-lockstep, so the per-implant generators advance together over
+// one contiguous structure-of-arrays slab. Each generator owns an
+// independent RNG stream, so lockstep stepping preserves every
+// implant's draw order by construction; within one implant, fillFast is
+// fill with the detrand fast samplers substituted call-for-call —
+// identical value stream, identical draw count (pinned by
+// batch_test.go and the fleet determinism walls).
+
+// fillFast mirrors fill exactly, drawing through the fast samplers.
+func (g *Generator) fillFast(dst []float64) {
+	dt := g.cfg.SampleRate.Period()
+	raw := g.lfpA1*g.lfpY1 + g.lfpA2*g.lfpY2 + g.rng.FastNormFloat64()
+	g.lfpY2, g.lfpY1 = g.lfpY1, raw
+	lfp := raw * g.lfpNorm
+
+	tlen := len(g.template)
+	for c := 0; c < g.cfg.Channels; c++ {
+		v := g.cfg.LFPAmplitude*lfp + g.cfg.NoiseRMS*g.rng.FastNormFloat64()
+		ring := g.pending[c*tlen : (c+1)*tlen]
+		head := g.pendHead[c]
+		if g.active[c] && (g.drift == nil || g.drift.alive[c]) {
+			rate := g.cfg.MeanRateHz * (1 + g.cfg.ModulationDepth*(g.tuning[c][0]*g.intent[0]+g.tuning[c][1]*g.intent[1]))
+			amp := 1.0
+			if g.drift != nil {
+				rate *= g.drift.rateScale[c]
+				amp = g.drift.ampGain[c]
+			}
+			if rate < 0 {
+				rate = 0
+			}
+			if g.rng.FastFloat64() < rate*dt {
+				for k, tv := range g.template {
+					ring[(head+k)%tlen] += tv * amp
+				}
+				if g.logSpikes {
+					g.spikeLog[c] = append(g.spikeLog[c], g.t)
+				}
+			}
+		}
+		v += ring[head]
+		ring[head] = 0
+		g.pendHead[c] = (head + 1) % tlen
+		dst[c] = v
+	}
+	g.t++
+}
+
+// NextSlab advances every generator one sample in lockstep, writing
+// generator i's channels into slab[i*channels : (i+1)*channels] — the
+// batched NextInto. Generator i's output is bit-identical to what its
+// own NextInto would have produced.
+func NextSlab(gens []*Generator, slab []float64, channels int) error {
+	if len(slab) < len(gens)*channels {
+		return fmt.Errorf("neural: slab holds %d values, need %d", len(slab), len(gens)*channels)
+	}
+	for i, g := range gens {
+		if g.cfg.Channels != channels {
+			return fmt.Errorf("neural: generator %d has %d channels, slab expects %d", i, g.cfg.Channels, channels)
+		}
+		g.fillFast(slab[i*channels : (i+1)*channels])
+	}
+	return nil
+}
+
+// AppendQuantizeFast is AppendQuantize with the range check and scale
+// constants hoisted out of the sample loop; each code comes from the
+// same floating-point expression, so output is identical.
+func (a ADC) AppendQuantizeFast(dst []uint16, xs []float64) []uint16 {
+	if a.Bits < 1 || a.Bits > 16 {
+		panic("neural: ADC bits outside 1..16")
+	}
+	lv := float64(int(1) << a.Bits)
+	den := 2 * a.FullScale
+	for _, x := range xs {
+		code := math.Floor((x + a.FullScale) / den * lv)
+		if code < 0 {
+			code = 0
+		}
+		if code > lv-1 {
+			code = lv - 1
+		}
+		dst = append(dst, uint16(code))
+	}
+	return dst
+}

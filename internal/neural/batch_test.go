@@ -1,0 +1,133 @@
+package neural
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mindful/internal/units"
+)
+
+// TestNextSlabBitIdentical steps a batch of generators through NextSlab
+// and identically seeded twins through the scalar NextInto, asserting
+// bit-identical samples and end states across many ticks and changing
+// intents.
+func TestNextSlabBitIdentical(t *testing.T) {
+	const (
+		n     = 5
+		ticks = 400
+	)
+	cfg := DefaultConfig()
+	cfg.Channels = 16
+	mk := func() []*Generator {
+		gens := make([]*Generator, n)
+		for i := range gens {
+			c := cfg
+			c.Seed = int64(1000 + 37*i)
+			g, err := New(c)
+			if err != nil {
+				panic(err)
+			}
+			gens[i] = g
+		}
+		return gens
+	}
+	batch, scalar := mk(), mk()
+	slab := make([]float64, n*cfg.Channels)
+	ref := make([]float64, cfg.Channels)
+	for tick := 0; tick < ticks; tick++ {
+		ix, iy := math.Sin(float64(tick)/30), math.Cos(float64(tick)/50)
+		for i := 0; i < n; i++ {
+			batch[i].SetIntent(ix, iy)
+			scalar[i].SetIntent(ix, iy)
+		}
+		if err := NextSlab(batch, slab, cfg.Channels); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			ref = scalar[i].NextInto(ref)
+			for c := 0; c < cfg.Channels; c++ {
+				got := slab[i*cfg.Channels+c]
+				if math.Float64bits(ref[c]) != math.Float64bits(got) {
+					t.Fatalf("tick %d gen %d ch %d: slab %v != scalar %v", tick, i, c, got, ref[c])
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !reflect.DeepEqual(batch[i].Snapshot(), scalar[i].Snapshot()) {
+			t.Fatalf("gen %d: end states diverged", i)
+		}
+	}
+}
+
+// TestNextSlabValidates pins the slab-size and channel-shape errors.
+func TestNextSlabValidates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 8
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NextSlab([]*Generator{g}, make([]float64, 4), 8); err == nil {
+		t.Error("short slab accepted")
+	}
+	if err := NextSlab([]*Generator{g}, make([]float64, 16), 16); err == nil {
+		t.Error("channel mismatch accepted")
+	}
+}
+
+// TestAppendQuantizeFastIdentical pins the hoisted quantizer against the
+// reference across widths, in-range, clipped and edge values.
+func TestAppendQuantizeFastIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, bits := range []int{1, 4, 10, 16} {
+		a := ADC{Bits: bits, FullScale: 2.0}
+		xs := []float64{-3, -2, -1.9999, 0, 1.9999, 2, 3, math.SmallestNonzeroFloat64}
+		for i := 0; i < 256; i++ {
+			xs = append(xs, rng.NormFloat64())
+		}
+		want := a.AppendQuantize(nil, xs)
+		got := a.AppendQuantizeFast(nil, xs)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("bits=%d: codes differ", bits)
+		}
+	}
+}
+
+func benchGen() *Generator {
+	cfg := DefaultConfig()
+	cfg.Channels = 32
+	cfg.SampleRate = units.Hertz(2000)
+	g, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func BenchmarkNextInto(b *testing.B) {
+	g := benchGen()
+	buf := make([]float64, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = g.NextInto(buf)
+	}
+}
+
+func BenchmarkNextSlab(b *testing.B) {
+	gens := make([]*Generator, 16)
+	for i := range gens {
+		gens[i] = benchGen()
+	}
+	slab := make([]float64, 16*32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := NextSlab(gens, slab, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(gens)), "ns/gen")
+}

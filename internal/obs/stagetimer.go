@@ -20,11 +20,15 @@ import (
 // frames and tracks drift without whipsawing on scheduler noise.
 const ewmaAlpha = 1.0 / 64
 
-// stageTimerBuckets spans 100ns..~7ms in exponential steps — wide
-// enough for a trivial source stage and a Kalman decode stage to land
-// in interior buckets of the same histogram.
+// stageTimerBuckets spans 16ns..~125ms in exponential steps — wide
+// enough that a no-op decode step (tens of ns) and a Kalman refit
+// (hundreds of µs) both land in interior buckets of the same histogram.
+// The quantile estimates are additionally clamped to the observed
+// [min, max] in Stats, so a sub-first-bucket sample can never report a
+// p50 below the fastest recorded step (the BENCH_stage.json p50 ≈ 130ns
+// vs mean ≈ 213µs artifact).
 func stageTimerBuckets() []float64 {
-	return ExpBuckets(100, 1.8, 20)
+	return ExpBuckets(16, 1.8, 28)
 }
 
 // StageClock is the per-stage recording handle. Observe is atomic-only
@@ -33,6 +37,8 @@ type StageClock struct {
 	name     string
 	count    atomic.Int64
 	sumNs    atomic.Int64
+	minNs    atomic.Int64 // MaxInt64 until the first observation
+	maxNs    atomic.Int64
 	ewmaBits atomic.Uint64 // float64 bits; 0 = unset
 	hist     *Histogram
 }
@@ -46,14 +52,51 @@ func (c *StageClock) Observe(ns int64) {
 	c.count.Add(1)
 	c.sumNs.Add(ns)
 	c.hist.Observe(float64(ns))
+	c.observeRange(ns)
+	c.observeEWMA(float64(ns))
+}
+
+// ObserveBatch records a batched stage invocation that covered n frames
+// in totalNs: the per-frame average counts n times, so Count keeps its
+// frames-observed meaning and MeanNs stays the true ns/frame. The EWMA
+// takes one step toward the batch average (one invocation, one sample
+// of the quantity it tracks).
+func (c *StageClock) ObserveBatch(totalNs int64, n int) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.count.Add(int64(n))
+	c.sumNs.Add(totalNs)
+	avg := float64(totalNs) / float64(n)
+	c.hist.ObserveN(avg, int64(n))
+	c.observeRange(int64(avg))
+	c.observeEWMA(avg)
+}
+
+func (c *StageClock) observeRange(ns int64) {
+	for {
+		old := c.minNs.Load()
+		if ns >= old || c.minNs.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	for {
+		old := c.maxNs.Load()
+		if ns <= old || c.maxNs.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+}
+
+func (c *StageClock) observeEWMA(ns float64) {
 	for {
 		old := c.ewmaBits.Load()
 		var next float64
 		if old == 0 {
-			next = float64(ns)
+			next = ns
 		} else {
 			cur := math.Float64frombits(old)
-			next = cur + ewmaAlpha*(float64(ns)-cur)
+			next = cur + ewmaAlpha*(ns-cur)
 		}
 		if c.ewmaBits.CompareAndSwap(old, math.Float64bits(next)) {
 			return
@@ -69,7 +112,9 @@ func (c *StageClock) Name() string {
 	return c.name
 }
 
-// StageStats is one stage's timing summary.
+// StageStats is one stage's timing summary. The quantiles are
+// histogram estimates clamped to [MinNs, MaxNs], so p50/p99 always lie
+// within the range of recorded samples.
 type StageStats struct {
 	Stage   string  `json:"stage"`
 	Count   int64   `json:"count"`
@@ -77,6 +122,8 @@ type StageStats struct {
 	EWMANs  float64 `json:"ewma_ns"`
 	P50Ns   float64 `json:"p50_ns"`
 	P99Ns   float64 `json:"p99_ns"`
+	MinNs   int64   `json:"min_ns"`
+	MaxNs   int64   `json:"max_ns"`
 	TotalNs int64   `json:"total_ns"`
 }
 
@@ -105,6 +152,7 @@ func (t *StageTimer) Clock(name string) *StageClock {
 	c, ok := t.clocks[name]
 	if !ok {
 		c = &StageClock{name: name, hist: NewHistogram(stageTimerBuckets())}
+		c.minNs.Store(math.MaxInt64)
 		t.clocks[name] = c
 	}
 	return c
@@ -137,8 +185,26 @@ func (t *StageTimer) Stats() []StageStats {
 		}
 		if n > 0 {
 			s.MeanNs = float64(sum) / float64(n)
+			s.MinNs = c.minNs.Load()
+			s.MaxNs = c.maxNs.Load()
+			// Histogram quantiles interpolate within bucket bounds, which
+			// can stray outside the observed range (most visibly below the
+			// first bucket); clamp them to [min, max] so the summary never
+			// reports a quantile no sample attained.
+			s.P50Ns = clampQuantile(s.P50Ns, s.MinNs, s.MaxNs)
+			s.P99Ns = clampQuantile(s.P99Ns, s.MinNs, s.MaxNs)
 		}
 		out = append(out, s)
 	}
 	return out
+}
+
+func clampQuantile(q float64, min, max int64) float64 {
+	if q < float64(min) {
+		return float64(min)
+	}
+	if q > float64(max) {
+		return float64(max)
+	}
+	return q
 }

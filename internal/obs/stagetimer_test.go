@@ -40,6 +40,71 @@ func TestStageTimerStats(t *testing.T) {
 	}
 }
 
+// TestStageTimerQuantilesWithinRange is the regression test for the
+// BENCH_stage.json artifact where a mostly-no-op decode stage reported
+// p50 ≈ 130ns against a mean of ~213µs: with samples far below the
+// first histogram bucket mixed with heavy tail samples, every reported
+// quantile must still lie within [min, max] of what was recorded.
+func TestStageTimerQuantilesWithinRange(t *testing.T) {
+	st := NewStageTimer()
+	c := st.Clock("decode")
+	// Bimodal load: many ~40ns no-op steps, a few ~213µs refit steps —
+	// the exact shape that produced the artifact.
+	for i := 0; i < 980; i++ {
+		c.Observe(40)
+	}
+	for i := 0; i < 20; i++ {
+		c.Observe(213_000)
+	}
+	s := st.Stats()[0]
+	if s.MinNs != 40 || s.MaxNs != 213_000 {
+		t.Fatalf("min/max = %d/%d, want 40/213000", s.MinNs, s.MaxNs)
+	}
+	for _, q := range []struct {
+		name string
+		v    float64
+	}{{"p50", s.P50Ns}, {"p99", s.P99Ns}} {
+		if q.v < float64(s.MinNs) || q.v > float64(s.MaxNs) {
+			t.Errorf("%s = %g outside observed range [%d, %d]", q.name, q.v, s.MinNs, s.MaxNs)
+		}
+	}
+	// The median of this distribution is a no-op step: p50 must sit at
+	// the fast mode, not interpolate into fiction above it.
+	if s.P50Ns > 1000 {
+		t.Errorf("p50 = %g, want ≤ 1µs (fast mode)", s.P50Ns)
+	}
+	if s.P99Ns < 100_000 {
+		t.Errorf("p99 = %g, want ≥ 100µs (slow mode)", s.P99Ns)
+	}
+}
+
+// TestStageClockObserveBatch pins the batched observation semantics:
+// count keeps its frames-observed meaning, the mean is the true
+// ns/frame, and min/max/quantiles see the batch average.
+func TestStageClockObserveBatch(t *testing.T) {
+	st := NewStageTimer()
+	c := st.Clock("source")
+	c.ObserveBatch(64_000, 64) // 64 frames at 1µs average
+	c.ObserveBatch(32_000, 16) // 16 frames at 2µs average
+	c.ObserveBatch(100, 0)     // no frames: must record nothing
+	s := st.Stats()[0]
+	if s.Count != 80 || s.TotalNs != 96_000 {
+		t.Fatalf("count/total = %d/%d, want 80/96000", s.Count, s.TotalNs)
+	}
+	if s.MeanNs != 1200 {
+		t.Errorf("mean = %g, want 1200", s.MeanNs)
+	}
+	if s.MinNs != 1000 || s.MaxNs != 2000 {
+		t.Errorf("min/max = %d/%d, want 1000/2000", s.MinNs, s.MaxNs)
+	}
+	if s.P50Ns < float64(s.MinNs) || s.P50Ns > float64(s.MaxNs) {
+		t.Errorf("p50 = %g outside [%d, %d]", s.P50Ns, s.MinNs, s.MaxNs)
+	}
+	// Nil safety mirrors Observe.
+	var nilClock *StageClock
+	nilClock.ObserveBatch(1000, 4)
+}
+
 func TestStageTimerEWMATracks(t *testing.T) {
 	st := NewStageTimer()
 	c := st.Clock("transport")

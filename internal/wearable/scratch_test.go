@@ -1,0 +1,119 @@
+package wearable
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"mindful/internal/comm"
+)
+
+// TestReceiveScratchMatchesReceive feeds two receivers the same delivery
+// stream — clean frames, corrupt frames, gaps and a stale duplicate —
+// one through Receive and one through ReceiveScratch, and requires
+// identical frames, errors (by kind), stats, state and history.
+func TestReceiveScratchMatchesReceive(t *testing.T) {
+	mk := func() (*Receiver, *comm.Packetizer) {
+		rx, err := NewReceiver(32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rx.Concealment = ConcealInterp
+		pkt, err := comm.NewPacketizer(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rx, pkt
+	}
+	ref, refPkt := mk()
+	fast, fastPkt := mk()
+	var scratch []uint16
+
+	samples := func(pkt *comm.Packetizer, tick int) []byte {
+		xs := make([]uint16, 8)
+		for c := range xs {
+			xs[c] = uint16((tick*31 + c*7) % 1024)
+		}
+		buf, err := pkt.AppendEncode(nil, xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+
+	var stale []byte // a buffered frame redelivered later
+	for tick := 0; tick < 120; tick++ {
+		refBuf := samples(refPkt, tick)
+		fastBuf := samples(fastPkt, tick)
+		switch {
+		case tick%17 == 5: // dropped frame: receiver never sees it
+			continue
+		case tick%13 == 4: // corrupt delivery
+			refBuf[len(refBuf)/2] ^= 0x40
+			fastBuf[len(fastBuf)/2] ^= 0x40
+		case tick == 60: // remember for a stale redelivery
+			stale = append([]byte(nil), refBuf...)
+		}
+		refFr, refErr := ref.Receive(refBuf)
+		var fastFr comm.Frame
+		var fastErr error
+		fastFr, scratch, fastErr = fast.ReceiveScratch(fastBuf, scratch)
+		if (refErr == nil) != (fastErr == nil) {
+			t.Fatalf("tick %d: err mismatch %v vs %v", tick, refErr, fastErr)
+		}
+		if refErr == nil && !reflect.DeepEqual(refFr, comm.Frame{
+			Seq: fastFr.Seq, SampleBits: fastFr.SampleBits,
+			Samples: fastFr.Samples, Flags: fastFr.Flags,
+		}) {
+			t.Fatalf("tick %d: frame mismatch %+v vs %+v", tick, refFr, fastFr)
+		}
+		if tick == 80 && stale != nil { // redeliver the old frame
+			_, refErr := ref.Receive(stale)
+			_, scratch2, fastErr := fast.ReceiveScratch(stale, scratch)
+			scratch = scratch2
+			if !errors.Is(refErr, ErrStaleFrame) || !errors.Is(fastErr, ErrStaleFrame) {
+				t.Fatalf("stale redelivery: %v vs %v", refErr, fastErr)
+			}
+		}
+	}
+	if !reflect.DeepEqual(ref.Stats(), fast.Stats()) {
+		t.Errorf("stats diverge:\n ref %+v\nfast %+v", ref.Stats(), fast.Stats())
+	}
+	if !reflect.DeepEqual(ref.Snapshot(), fast.Snapshot()) {
+		t.Errorf("snapshots diverge")
+	}
+	for c := 0; c < 8; c++ {
+		if !reflect.DeepEqual(ref.History(c), fast.History(c)) {
+			t.Errorf("history channel %d diverges", c)
+		}
+	}
+}
+
+// TestReceiveScratchRejectionIsStatic pins the allocation contract: a
+// corrupt frame surfaces ErrFrameRejected itself, not a wrapped
+// allocation, and the scratch slice survives for reuse.
+func TestReceiveScratchRejectionIsStatic(t *testing.T) {
+	rx, err := NewReceiver(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]uint16, 0, 64)
+	_, scratch2, rerr := rx.ReceiveScratch([]byte{1, 2, 3}, scratch)
+	if rerr != ErrFrameRejected {
+		t.Fatalf("err = %v, want ErrFrameRejected identity", rerr)
+	}
+	if cap(scratch2) != cap(scratch) {
+		t.Errorf("scratch capacity changed on rejection")
+	}
+	if rx.Stats().Corrupted != 1 {
+		t.Errorf("corrupted = %d, want 1", rx.Stats().Corrupted)
+	}
+	garbage := []byte{1, 2, 3}
+	allocs := testing.AllocsPerRun(200, func() {
+		_, scratch, _ = rx.ReceiveScratch(garbage, scratch)
+	})
+	if allocs != 0 {
+		t.Errorf("rejection path allocates %.1f/op, want 0", allocs)
+	}
+
+}

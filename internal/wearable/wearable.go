@@ -178,6 +178,54 @@ func (r *Receiver) Receive(buf []byte) (comm.Frame, error) {
 	return f, nil
 }
 
+// ErrFrameRejected reports a frame that failed decode validation
+// (framing or CRC) — the allocation-free counterpart of the wrapped
+// error Receive returns. Use errors.Is against this, or against the
+// comm.Err* causes via DecodeInto directly, when the cause matters.
+var ErrFrameRejected = errors.New("wearable: frame rejected")
+
+// ReceiveScratch is Receive for the batched hot path: frame samples are
+// decoded into the caller-owned scratch slice (grown as needed and
+// returned), and decode rejections surface as the static
+// ErrFrameRejected, so a steady-state call allocates nothing. Counters,
+// sequence tracking, concealment and history behave exactly as Receive:
+// the returned frame's Samples alias scratch, which is safe because
+// record/remember/conceal copy synchronously.
+func (r *Receiver) ReceiveScratch(buf []byte, scratch []uint16) (comm.Frame, []uint16, error) {
+	var start time.Time
+	if r.o.attached {
+		start = time.Now()
+	}
+	f, scratch, err := comm.DecodeInto(scratch, buf)
+	if err != nil {
+		r.corrupt++
+		r.o.corrupt.Inc()
+		return comm.Frame{}, scratch, ErrFrameRejected
+	}
+	if r.started && f.Seq != r.nextSeq {
+		delta := int32(f.Seq - r.nextSeq)
+		if delta < 0 {
+			r.stale++
+			r.o.stale.Inc()
+			return f, scratch, ErrStaleFrame
+		}
+		gap := int64(delta)
+		r.lost += gap
+		r.o.lostSeq.Add(gap)
+		r.conceal(gap, f)
+	}
+	r.started = true
+	r.nextSeq = f.Seq + 1
+	r.accepted++
+	r.record(f.Samples)
+	r.remember(f.Samples)
+	if r.o.attached {
+		r.o.accepted.Inc()
+		r.o.latency.Observe(time.Since(start).Seconds())
+	}
+	return f, scratch, nil
+}
+
 // remember keeps a private copy of the latest accepted sample vector for
 // concealment (the caller's frame buffer is recycled between ticks).
 func (r *Receiver) remember(samples []uint16) {

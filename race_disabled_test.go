@@ -1,0 +1,7 @@
+//go:build !race
+
+package mindful_test
+
+// raceEnabled reports whether the race detector instruments this build;
+// see race_enabled_test.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package mindful_test
+
+// raceEnabled reports whether the race detector instruments this build.
+// Performance floors are not asserted under the detector: its per-access
+// instrumentation compresses the batched/scalar ratio the floor checks.
+const raceEnabled = true
